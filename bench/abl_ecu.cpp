@@ -1,0 +1,113 @@
+// Ablation — ECU-side scheduling (paper Section 5.2: SymTA/S "considers
+// operating system (OSEK) overhead, complex priority schemes with
+// cooperative and preemptive tasks as well as hardware interrupts").
+//
+// One representative supplier ECU, analyzed and simulated under design
+// alternatives the supplier controls: cooperative segment sizing, OS
+// overhead, and ISR load. This is the analysis the supplier runs to
+// produce the send-jitter guarantees of Figure 6 — without exposing any
+// of it to the OEM.
+
+#include "common.hpp"
+#include "symcan/analysis/ecu_rta.hpp"
+#include "symcan/sim/ecu_simulator.hpp"
+
+namespace symcan::bench {
+namespace {
+
+std::vector<Task> ecu_tasks(Duration coop_segment, Duration os_overhead,
+                            Duration isr_period) {
+  auto mk = [&](const char* name, int prio, Duration bcet, Duration wcet, Duration period,
+                SchedClass sched) {
+    Task t;
+    t.name = name;
+    t.priority = prio;
+    t.bcet = bcet;
+    t.wcet = wcet;
+    t.sched = sched;
+    t.os_overhead = os_overhead;
+    t.activation = EventModel::periodic(period);
+    t.deadline = period;
+    return t;
+  };
+  std::vector<Task> tasks;
+  tasks.push_back(mk("can_isr", 1, Duration::us(15), Duration::us(45), isr_period,
+                     SchedClass::kInterrupt));
+  tasks.push_back(mk("pedal_sample", 1, Duration::us(120), Duration::us(350), Duration::ms(5),
+                     SchedClass::kPreemptiveTask));
+  tasks.push_back(mk("control_loop", 2, Duration::us(400), Duration::ms(1), Duration::ms(10),
+                     SchedClass::kPreemptiveTask));
+  Task diag = mk("diagnostics", 8, Duration::ms(1), Duration::ms(4), Duration::ms(50),
+                 SchedClass::kCooperativeTask);
+  diag.max_segment = coop_segment;
+  tasks.push_back(diag);
+  return tasks;
+}
+
+void reproduce() {
+  banner("Cooperative segment sizing: blocking the supplier tunes (Section 5.2)");
+  TextTable t;
+  t.header({"diag segment", "pedal wcrt (analysis)", "pedal wcrt (sim 10s)", "pedal jitter out"});
+  for (const std::int64_t seg_us : {4000, 2000, 1000, 500, 250}) {
+    const auto tasks =
+        ecu_tasks(Duration::us(seg_us), Duration::us(20), Duration::ms(1));
+    const EcuResult res = EcuRta{tasks}.analyze();
+    EcuSimConfig sim;
+    sim.duration = Duration::s(10);
+    sim.seed = 5;
+    const EcuSimResult obs = simulate_ecu(tasks, sim);
+    const TaskResult* pedal = nullptr;
+    for (const auto& task : res.tasks)
+      if (task.name == "pedal_sample") pedal = &task;
+    t.row({strprintf("%lld us", static_cast<long long>(seg_us)), to_string(pedal->wcrt),
+           to_string(obs.find("pedal_sample")->wcrt_observed),
+           to_string(pedal->response_jitter())});
+  }
+  t.print(std::cout);
+  std::cout << "Shorter cooperative segments shrink the blocking on the critical\n"
+               "task — directly shrinking the send jitter the supplier can\n"
+               "guarantee to the OEM. Simulation stays below every bound.\n";
+
+  banner("OSEK overhead and ISR load (pedal_sample wcrt)");
+  TextTable t2;
+  t2.header({"os overhead", "isr period", "pedal wcrt", "utilization"});
+  for (const std::int64_t ovh_us : {0, 20, 80}) {
+    for (const std::int64_t isr_ms : {1, 2}) {
+      const auto tasks =
+          ecu_tasks(Duration::ms(1), Duration::us(ovh_us), Duration::ms(isr_ms));
+      const EcuResult res = EcuRta{tasks}.analyze();
+      const TaskResult* pedal = nullptr;
+      for (const auto& task : res.tasks)
+        if (task.name == "pedal_sample") pedal = &task;
+      t2.row({strprintf("%lld us", static_cast<long long>(ovh_us)),
+              strprintf("%lld ms", static_cast<long long>(isr_ms)), to_string(pedal->wcrt),
+              pct(res.utilization)});
+    }
+  }
+  t2.print(std::cout);
+}
+
+void BM_EcuAnalysis(benchmark::State& state) {
+  const auto tasks = ecu_tasks(Duration::ms(1), Duration::us(20), Duration::ms(1));
+  for (auto _ : state) {
+    const EcuRta rta{tasks};
+    benchmark::DoNotOptimize(rta.analyze());
+  }
+}
+BENCHMARK(BM_EcuAnalysis);
+
+void BM_EcuSimulationOneSecond(benchmark::State& state) {
+  const auto tasks = ecu_tasks(Duration::ms(1), Duration::us(20), Duration::ms(1));
+  EcuSimConfig cfg;
+  cfg.duration = Duration::s(1);
+  for (auto _ : state) benchmark::DoNotOptimize(simulate_ecu(tasks, cfg));
+}
+BENCHMARK(BM_EcuSimulationOneSecond);
+
+}  // namespace
+}  // namespace symcan::bench
+
+int main(int argc, char** argv) {
+  symcan::bench::reproduce();
+  return symcan::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,90 @@
+// Ablation — error-model families (Section 4: "We also considered
+// different types of bus error models that lead to retransmissions").
+// Compares the fault-free bus, Tindell-Burns sporadic errors and
+// Punnekkat burst errors across fault rates, at 25 % assumed jitter.
+
+#include "common.hpp"
+#include "symcan/sensitivity/sweep.hpp"
+
+namespace symcan::bench {
+namespace {
+
+void reproduce() {
+  KMatrix km = case_study_matrix();
+  assume_jitter_fraction(km, 0.25, true);
+
+  banner("Error-model comparison at 25% jitter (misses / max wcrt)");
+  TextTable t;
+  t.header({"min inter-error/burst", "no errors", "sporadic", "burst k=2", "burst k=4"});
+  for (const std::int64_t gap_ms : {200, 100, 50, 25, 10, 5}) {
+    std::vector<std::string> row{strprintf("%lld ms", static_cast<long long>(gap_ms))};
+    auto eval = [&](std::shared_ptr<const ErrorModel> model) {
+      CanRtaConfig cfg = worst_case_assumptions();
+      cfg.errors = std::move(model);
+      const BusResult res = CanRta{km, cfg}.analyze();
+      Duration worst = Duration::zero();
+      bool diverged = false;
+      for (const auto& m : res.messages) {
+        if (m.wcrt.is_infinite())
+          diverged = true;
+        else
+          worst = max(worst, m.wcrt);
+      }
+      return strprintf("%zu miss/%s", res.miss_count(),
+                       diverged ? "inf" : to_string(worst).c_str());
+    };
+    row.push_back(eval(std::make_shared<NoErrors>()));
+    row.push_back(eval(std::make_shared<SporadicErrors>(Duration::ms(gap_ms))));
+    row.push_back(eval(std::make_shared<BurstErrors>(Duration::ms(gap_ms), 2)));
+    row.push_back(eval(std::make_shared<BurstErrors>(Duration::ms(gap_ms), 4)));
+    t.row(row);
+  }
+  t.print(std::cout);
+  std::cout << "Burst errors at the same inter-arrival are strictly harsher than\n"
+               "sporadic ones; the paper's worst case uses bursts (Figure 5).\n";
+
+  banner("Error sensitivity sweep (Section 4.1, sporadic model)");
+  ErrorSweepConfig sweep;
+  sweep.rta = worst_case_assumptions();
+  sweep.rta.errors = std::make_shared<NoErrors>();
+  sweep.from = Duration::s(1);
+  sweep.to = Duration::ms(2);
+  sweep.points = 9;
+  const ErrorSweepResult res = sweep_errors(km, sweep);
+  TextTable t2;
+  t2.header({"min inter-error", "misses", ""});
+  for (std::size_t i = 0; i < res.results.size(); ++i)
+    t2.row({to_string(res.min_inter_error[i]), pct(res.results[i].miss_fraction()),
+            ascii_bar(res.results[i].miss_fraction(), 1.0, 24)});
+  t2.print(std::cout);
+}
+
+void BM_AnalysisWithBurstErrors(benchmark::State& state) {
+  KMatrix km = case_study_matrix();
+  assume_jitter_fraction(km, 0.25, true);
+  const CanRtaConfig cfg = worst_case_assumptions();
+  for (auto _ : state) {
+    const CanRta rta{km, cfg};
+    benchmark::DoNotOptimize(rta.analyze());
+  }
+}
+BENCHMARK(BM_AnalysisWithBurstErrors);
+
+void BM_ErrorSweep(benchmark::State& state) {
+  KMatrix km = case_study_matrix();
+  assume_jitter_fraction(km, 0.25, true);
+  ErrorSweepConfig cfg;
+  cfg.rta = worst_case_assumptions();
+  cfg.points = 9;
+  cfg.to = Duration::ms(2);
+  for (auto _ : state) benchmark::DoNotOptimize(sweep_errors(km, cfg));
+}
+BENCHMARK(BM_ErrorSweep);
+
+}  // namespace
+}  // namespace symcan::bench
+
+int main(int argc, char** argv) {
+  symcan::bench::reproduce();
+  return symcan::bench::run_benchmarks(argc, argv);
+}

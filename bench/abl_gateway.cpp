@@ -1,0 +1,127 @@
+// Ablation — gateway strategies (paper Section 5: "gatewaying strategies
+// can be optimized ... many parameters that can be tuned such as queue
+// configuration"). A bursty body-domain stream is forwarded onto the
+// power-train bus through three gateway configurations; the table shows
+// the trade-off the OEM tunes: gateway latency and queue depth vs. the
+// interference the forwarded stream inflicts on the power-train traffic.
+
+#include "common.hpp"
+#include "symcan/core/gateway.hpp"
+
+namespace symcan::bench {
+namespace {
+
+/// Destination bus plus the forwarded message, with the forwarded
+/// stream's event model substituted per strategy.
+BusResult destination_verdict(const KMatrix& base, const ForwardedStream& f) {
+  KMatrix km = base;
+  CanMessage fwd;
+  fwd.name = "FWD_BODY";
+  fwd.id = 0x10;  // body events preempt everything: the stress placement
+  fwd.payload_bytes = 8;
+  fwd.period = f.output.period();
+  fwd.jitter = f.output.jitter();
+  fwd.min_distance = f.output.min_distance();
+  fwd.jitter_known = true;  // the strategy defines this jitter, keep it
+  fwd.sender = "GW";
+  fwd.receivers = {km.nodes().front().name};
+  km.add_message(fwd);
+  KMatrix variant = km;
+  assume_jitter_fraction(variant, 0.15, false);
+  return CanRta{variant, worst_case_assumptions()}.analyze();
+}
+
+void reproduce() {
+  // Destination: a mid-life power-train bus (50 % load) whose busy
+  // windows are short — where queue configuration visibly matters.
+  PowertrainConfig cfg = PowertrainConfig::case_study();
+  cfg.target_utilization = 0.45;
+  const KMatrix base = generate_powertrain(cfg);
+  // The incoming body-domain stream: 5 ms rate, heavily bursty (a door
+  // module dumping state changes), paced at >= 300 us by its own bus.
+  const EventModel body_in =
+      EventModel::periodic_burst(Duration::ms(5), Duration::ms(20), Duration::us(300));
+
+  struct Row {
+    const char* label;
+    GatewayConfig cfg;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"immediate (per-stream buffer)", [] {
+                    GatewayConfig c;
+                    c.strategy = GatewayStrategy::kImmediate;
+                    return c;
+                  }()});
+  rows.push_back({"FIFO queue, 1 ms service", [] {
+                    GatewayConfig c;
+                    c.strategy = GatewayStrategy::kFifo;
+                    c.fifo_service = EventModel::periodic(Duration::ms(1));
+                    return c;
+                  }()});
+  rows.push_back({"shaped, d_min = 2 ms", [] {
+                    GatewayConfig c;
+                    c.strategy = GatewayStrategy::kShaped;
+                    c.shaping_distance = Duration::ms(2);
+                    return c;
+                  }()});
+
+  banner("Gateway strategy trade-off for a bursty forwarded stream");
+  TextTable t;
+  t.header({"strategy", "gw delay (max)", "queue depth", "dst misses", "max wcrt below FWD"});
+  for (const auto& row : rows) {
+    // The gateway also forwards two background streams through the same
+    // path (they share the FIFO when there is one).
+    const std::vector<EventModel> siblings = {EventModel::periodic(Duration::ms(10)),
+                                              EventModel::periodic(Duration::ms(20))};
+    const ForwardedStream f = forward_stream(body_in, row.cfg, siblings);
+    const BusResult res = destination_verdict(base, f);
+    Duration worst_low = Duration::zero();
+    bool diverged = false;
+    for (const auto& m : res.messages) {
+      if (m.id <= 0x10) continue;  // only traffic that FWD preempts
+      if (m.wcrt.is_infinite())
+        diverged = true;
+      else
+        worst_low = max(worst_low, m.wcrt);
+    }
+    t.row({row.label, to_string(f.max_delay),
+           f.queue_depth ? strprintf("%lld", static_cast<long long>(*f.queue_depth))
+                         : "unbounded",
+           strprintf("%zu/%zu", res.miss_count(), res.messages.size()),
+           diverged ? "inf" : to_string(worst_low)});
+  }
+  t.print(std::cout);
+  std::cout << "Shaping trades gateway-local smoothing delay for much lower\n"
+               "interference downstream; the FIFO is cheapest in hardware but\n"
+               "couples unrelated streams. All three are provable choices the\n"
+               "OEM controls without touching any supplier ECU (Section 5).\n";
+}
+
+void BM_ForwardShaped(benchmark::State& state) {
+  const EventModel body_in =
+      EventModel::periodic_burst(Duration::ms(5), Duration::ms(20), Duration::us(300));
+  GatewayConfig cfg;
+  cfg.strategy = GatewayStrategy::kShaped;
+  cfg.shaping_distance = Duration::ms(2);
+  for (auto _ : state) benchmark::DoNotOptimize(forward_stream(body_in, cfg));
+}
+BENCHMARK(BM_ForwardShaped);
+
+void BM_ForwardFifoWithSiblings(benchmark::State& state) {
+  const EventModel body_in =
+      EventModel::periodic_burst(Duration::ms(5), Duration::ms(20), Duration::us(300));
+  GatewayConfig cfg;
+  cfg.strategy = GatewayStrategy::kFifo;
+  cfg.fifo_service = EventModel::periodic(Duration::ms(1));
+  const std::vector<EventModel> siblings(4, EventModel::periodic(Duration::ms(10)));
+  for (auto _ : state) benchmark::DoNotOptimize(forward_stream(body_in, cfg, siblings));
+}
+BENCHMARK(BM_ForwardFifoWithSiblings);
+
+}  // namespace
+}  // namespace symcan::bench
+
+int main(int argc, char** argv) {
+  symcan::bench::reproduce();
+  return symcan::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,81 @@
+// Ablation — multi-supplier risk management and the penalty-reward model
+// (paper Section 6, ref [14]). Suppliers have committed send jitters but
+// can overrun; enumerating the overrun scenarios against the
+// schedulability analysis prices each supplier's criticality — before any
+// prototype exists.
+
+#include "common.hpp"
+#include "symcan/supplychain/risk.hpp"
+
+namespace symcan::bench {
+namespace {
+
+void reproduce() {
+  KMatrix km = case_study_matrix();
+  assume_jitter_fraction(km, 0.10, true);  // the committed baseline
+
+  std::vector<SupplierRisk> risks;
+  for (const auto& n : km.nodes()) {
+    SupplierRisk r;
+    r.ecu = n.name;
+    // Gateways aggregate foreign traffic: higher overrun exposure.
+    r.overrun_probability = n.is_gateway ? 0.30 : 0.15;
+    r.overrun_jitter_factor = 3.0;
+    risks.push_back(r);
+  }
+
+  RiskConfig cfg;
+  cfg.rta = worst_case_assumptions();
+  cfg.penalty_per_miss = 10.0;  // contractual units per losable message
+
+  const RiskReport report = assess_supplier_risk(km, risks, cfg);
+
+  banner("Multi-supplier risk assessment (worst-case assumptions)");
+  std::cout << strprintf("scenarios evaluated : %zu (%s)\n", report.scenarios_evaluated,
+                         report.exhaustive ? "exhaustive" : "sampled");
+  std::cout << strprintf("expected penalty    : %.2f units\n", report.expected_penalty);
+  std::cout << strprintf("worst scenario      : %.2f units at probability %.4f (",
+                         report.worst.penalty, report.worst.probability);
+  for (std::size_t i = 0; i < report.suppliers.size(); ++i)
+    if (report.worst.overruns[i]) std::cout << report.suppliers[i] << ' ';
+  std::cout << "overrun)\n";
+
+  banner("Per-supplier criticality -> penalty-reward ranking");
+  std::vector<std::size_t> order(report.suppliers.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return report.criticality[a] > report.criticality[b];
+  });
+  TextTable t;
+  t.header({"supplier (ECU)", "criticality", "reading"});
+  for (const std::size_t i : order) {
+    const double c = report.criticality[i];
+    t.row({report.suppliers[i], strprintf("%+.2f", c),
+           c > 1.0  ? "tighten contract / dual-source"
+           : c > 0.1 ? "monitor"
+                     : "uncritical"});
+  }
+  t.print(std::cout);
+  std::cout << "The OEM prices supplier slack with analysis results instead of\n"
+               "prototypes — reacting to bottlenecks 'earlier than ever and in\n"
+               "line with the projected road map' (Section 6).\n";
+}
+
+void BM_RiskEnumeration(benchmark::State& state) {
+  KMatrix km = case_study_matrix();
+  assume_jitter_fraction(km, 0.10, true);
+  std::vector<SupplierRisk> risks;
+  for (const auto& n : km.nodes()) risks.push_back({n.name, 0.2, 3.0});
+  RiskConfig cfg;
+  cfg.rta = worst_case_assumptions();
+  for (auto _ : state) benchmark::DoNotOptimize(assess_supplier_risk(km, risks, cfg));
+}
+BENCHMARK(BM_RiskEnumeration);
+
+}  // namespace
+}  // namespace symcan::bench
+
+int main(int argc, char** argv) {
+  symcan::bench::reproduce();
+  return symcan::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,84 @@
+// Ablation — whole-vehicle compositional analysis (Sections 5/6): the
+// two-bus + gateway System under increasing gateway traffic, reporting
+// cross-bus end-to-end latencies, global fixed-point iteration counts,
+// and the analysis wall time that makes "what-if in rapid cycles"
+// possible at vehicle scale.
+
+#include <chrono>
+
+#include "common.hpp"
+#include "symcan/core/engine.hpp"
+#include "symcan/workload/vehicle.hpp"
+
+namespace symcan::bench {
+namespace {
+
+EngineConfig engine_config() {
+  EngineConfig cfg;
+  cfg.bus.worst_case_stuffing = true;
+  cfg.bus.deadline_override = DeadlinePolicy::kPeriod;
+  return cfg;
+}
+
+void reproduce() {
+  banner("Vehicle-level integration: scaling the gateway traffic");
+  TextTable t;
+  t.header({"x-bus streams", "pt load", "body load", "iterations", "worst path latency",
+            "paths met", "wall"});
+  for (const int streams : {1, 3, 6, 10}) {
+    VehicleConfig cfg;
+    cfg.powertrain.target_utilization = 0.45;
+    cfg.gateway_streams_per_direction = streams;
+    const System sys = generate_vehicle(cfg);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const SystemResult res = Engine{sys, engine_config()}.analyze();
+    const auto t1 = std::chrono::steady_clock::now();
+
+    Duration worst = Duration::zero();
+    std::size_t met = 0;
+    for (const auto& p : res.paths) {
+      if (!p.latency_max.is_infinite()) worst = max(worst, p.latency_max);
+      if (p.met) ++met;
+    }
+    t.row({strprintf("%d per direction", streams),
+           pct(sys.buses().at("powertrain").utilization(true)),
+           pct(sys.buses().at("body").utilization(true)), strprintf("%d", res.iterations),
+           to_string(worst), strprintf("%zu/%zu", met, res.paths.size()),
+           strprintf("%.1f ms",
+                     static_cast<double>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                             t1 - t0)
+                                             .count()) /
+                         1000.0)});
+  }
+  t.print(std::cout);
+  std::cout << "The whole-vehicle fixed point settles in a handful of iterations\n"
+               "and milliseconds — every row is one complete what-if experiment\n"
+               "covering both buses, the gateway CPU, and all task sets.\n";
+}
+
+void BM_VehicleAnalysis(benchmark::State& state) {
+  VehicleConfig cfg;
+  cfg.powertrain.target_utilization = 0.45;
+  cfg.gateway_streams_per_direction = static_cast<int>(state.range(0));
+  const System sys = generate_vehicle(cfg);
+  const EngineConfig ecfg = engine_config();
+  for (auto _ : state) {
+    Engine engine{sys, ecfg};
+    benchmark::DoNotOptimize(engine.analyze());
+  }
+}
+BENCHMARK(BM_VehicleAnalysis)->Arg(1)->Arg(3)->Arg(6);
+
+void BM_VehicleGeneration(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(generate_vehicle(VehicleConfig{}));
+}
+BENCHMARK(BM_VehicleGeneration);
+
+}  // namespace
+}  // namespace symcan::bench
+
+int main(int argc, char** argv) {
+  symcan::bench::reproduce();
+  return symcan::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,38 @@
+#pragma once
+
+// Shared helpers for the figure-reproduction benches. Every bench prints
+// the paper-style data series first (the reproduction), then runs its
+// google-benchmark micro timings.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "symcan/analysis/presets.hpp"
+#include "symcan/util/table.hpp"
+#include "symcan/workload/powertrain.hpp"
+
+namespace symcan::bench {
+
+/// The canonical case-study matrix every figure uses (Section 4: a
+/// power-train bus with > 50 messages and a gateway).
+inline KMatrix case_study_matrix() { return generate_powertrain(PowertrainConfig::case_study()); }
+
+inline void banner(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+inline std::string pct(double v) { return strprintf("%5.1f%%", 100.0 * v); }
+
+/// Print data, then hand over to google-benchmark with the provided argv.
+inline int run_benchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace symcan::bench

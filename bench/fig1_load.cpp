@@ -1,0 +1,83 @@
+// Figure 1 — "Simple Load Analysis Example": four ECUs producing
+// 100/50/20/10 kbit/s on a 500 kbit/s CAN bus, accumulating to
+// 180 kbit/s = 36 % utilization. Also prints the load view of the
+// case-study power-train matrix and the two OEM load-limit verdicts
+// (40 % vs 60 %) discussed in Section 3.1.
+
+#include "common.hpp"
+#include "symcan/analysis/load.hpp"
+
+namespace symcan::bench {
+namespace {
+
+KMatrix figure1_matrix() {
+  KMatrix km{"fig1", BitTiming{500'000}};
+  const struct {
+    const char* name;
+    double kbps;
+  } nodes[] = {{"ECU1", 100}, {"ECU2", 50}, {"ECU3", 20}, {"ECU4", 10}};
+  for (const auto& n : nodes) {
+    EcuNode node;
+    node.name = n.name;
+    km.add_node(node);
+  }
+  CanId id = 0x100;
+  for (const auto& n : nodes) {
+    CanMessage m;
+    m.name = std::string(n.name) + "_tx";
+    m.id = id++;
+    m.payload_bytes = 8;
+    m.period = Duration::ns(static_cast<std::int64_t>(111.0 / (n.kbps * 1000.0) * 1e9));
+    m.sender = n.name;
+    m.receivers = {"ECU1"};
+    km.add_message(m);
+  }
+  return km;
+}
+
+void print_report(const KMatrix& km, bool stuffed) {
+  const LoadReport r = analyze_load(km, stuffed);
+  TextTable t;
+  t.header({"node", "traffic", "share", ""});
+  for (const auto& n : r.by_node)
+    t.row({n.node, strprintf("%7.1f kbit/s", n.traffic_bps / 1000.0), pct(n.share),
+           ascii_bar(n.traffic_bps, r.total_traffic_bps, 24)});
+  t.print(std::cout);
+  std::cout << strprintf("total traffic : %7.1f kbit/s on %.0f kbit/s bus\n",
+                         r.total_traffic_bps / 1000.0, r.bandwidth_bps / 1000.0);
+  std::cout << strprintf("utilization   : %s  (paper Figure 1: 36%%)\n", pct(r.utilization).c_str());
+  std::cout << strprintf("40%% OEM limit : %s   60%% OEM limit : %s\n",
+                         within_load_limit(r, 0.40) ? "PASS" : "FAIL",
+                         within_load_limit(r, 0.60) ? "PASS" : "FAIL");
+}
+
+void reproduce() {
+  banner("Figure 1: simple load analysis (paper example)");
+  print_report(figure1_matrix(), false);
+
+  banner("Load view of the synthetic power-train case study (worst-case stuffing)");
+  const KMatrix km = case_study_matrix();
+  print_report(km, true);
+  std::cout << "NOTE (Section 3.1): the load model says nothing about deadlines or\n"
+               "buffer overflow — see fig4/fig5 benches for what it misses.\n";
+}
+
+void BM_LoadAnalysisFigure1(benchmark::State& state) {
+  const KMatrix km = figure1_matrix();
+  for (auto _ : state) benchmark::DoNotOptimize(analyze_load(km, false));
+}
+BENCHMARK(BM_LoadAnalysisFigure1);
+
+void BM_LoadAnalysisPowertrain(benchmark::State& state) {
+  const KMatrix km = case_study_matrix();
+  for (auto _ : state) benchmark::DoNotOptimize(analyze_load(km, true));
+}
+BENCHMARK(BM_LoadAnalysisPowertrain);
+
+}  // namespace
+}  // namespace symcan::bench
+
+int main(int argc, char** argv) {
+  symcan::bench::reproduce();
+  return symcan::bench::run_benchmarks(argc, argv);
+}

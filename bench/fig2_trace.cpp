@@ -1,0 +1,91 @@
+// Figure 2 — "Message Jitters, Burst, and Errors Result in Complex
+// Communication Patterns": renders a concrete bus schedule from the
+// discrete-event simulator with release jitter, a bursty stream, and an
+// injected bus error with retransmission, as an ASCII Gantt chart.
+
+#include "common.hpp"
+#include "symcan/sim/simulator.hpp"
+
+namespace symcan::bench {
+namespace {
+
+KMatrix figure2_matrix() {
+  KMatrix km{"fig2", BitTiming{500'000}};
+  for (const char* n : {"ECU1", "ECU2", "ECU3"}) {
+    EcuNode node;
+    node.name = n;
+    km.add_node(node);
+  }
+  auto add = [&](const char* name, CanId id, Duration period, Duration jitter, Duration dmin,
+                 const char* sender) {
+    CanMessage m;
+    m.name = name;
+    m.id = id;
+    m.payload_bytes = 8;
+    m.period = period;
+    m.jitter = jitter;
+    m.min_distance = dmin;
+    m.sender = sender;
+    m.receivers = {"ECU1"};
+    km.add_message(m);
+  };
+  // A fast control message with jitter, a bursty gateway-style stream
+  // (J > P limited by d_min), and two background messages.
+  add("ctrl", 0x10, Duration::ms(2), Duration::us(600), Duration::zero(), "ECU1");
+  add("burst", 0x20, Duration::ms(3), Duration::ms(7), Duration::us(400), "ECU2");
+  add("status", 0x30, Duration::ms(5), Duration::ms(1), Duration::zero(), "ECU3");
+  add("slow", 0x40, Duration::ms(10), Duration::zero(), Duration::zero(), "ECU3");
+  return km;
+}
+
+void reproduce() {
+  banner("Figure 2: complex communication pattern (simulated trace)");
+  SimConfig cfg;
+  cfg.duration = Duration::ms(20);
+  cfg.stuffing = StuffingMode::kRandom;
+  cfg.errors = SimErrorProcess::sporadic(Duration::ms(4));
+  cfg.record_trace = true;
+  // Deterministically pick the first seed whose 20 ms window exhibits the
+  // figure's three phenomena: queueing delay, an error + retransmission.
+  SimResult res = simulate(figure2_matrix(), cfg);
+  for (std::uint64_t seed = 1; seed <= 64 && res.total_errors_injected == 0; ++seed) {
+    cfg.seed = seed;
+    res = simulate(figure2_matrix(), cfg);
+  }
+  std::cout << res.trace.to_gantt(Duration::zero(), Duration::ms(20), Duration::us(100));
+  std::cout << strprintf("errors injected: %lld (each costs 31 bit times + retransmission)\n",
+                         static_cast<long long>(res.total_errors_injected));
+
+  banner("Event log (first 25 events)");
+  int count = 0;
+  for (const auto& e : res.trace.events()) {
+    if (count++ >= 25) break;
+    std::cout << strprintf("%-10s %-10s %s#%lld\n", to_string(e.time).c_str(), to_string(e.type),
+                           e.message.c_str(), static_cast<long long>(e.instance));
+  }
+}
+
+void BM_Simulate20ms(benchmark::State& state) {
+  const KMatrix km = figure2_matrix();
+  SimConfig cfg;
+  cfg.duration = Duration::ms(20);
+  cfg.errors = SimErrorProcess::sporadic(Duration::ms(6));
+  for (auto _ : state) benchmark::DoNotOptimize(simulate(km, cfg));
+}
+BENCHMARK(BM_Simulate20ms);
+
+void BM_SimulatePowertrainOneSecond(benchmark::State& state) {
+  const KMatrix km = case_study_matrix();
+  SimConfig cfg;
+  cfg.duration = Duration::s(1);
+  for (auto _ : state) benchmark::DoNotOptimize(simulate(km, cfg));
+}
+BENCHMARK(BM_SimulatePowertrainOneSecond);
+
+}  // namespace
+}  // namespace symcan::bench
+
+int main(int argc, char** argv) {
+  symcan::bench::reproduce();
+  return symcan::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,98 @@
+// Figure 4 — "Jitter-Sensitive and Robust Messages": worst-case response
+// time vs. assumed jitter (0..60 % of each message's period) for selected
+// messages of each robustness class, plus the class census and the
+// per-message maximum tolerable jitter (Section 4.1, Racu et al. [9]).
+
+#include <map>
+
+#include "common.hpp"
+#include "symcan/sensitivity/robustness.hpp"
+
+namespace symcan::bench {
+namespace {
+
+void reproduce() {
+  const KMatrix km = case_study_matrix();
+  JitterSweepConfig cfg;
+  cfg.rta = best_case_assumptions();
+  const JitterSweepResult sweep = sweep_jitter(km, cfg);
+  const SensitivityReport rep = analyze_sensitivity(km, cfg);
+
+  // Pick one representative per class: the one with the largest response
+  // at 60 % (most visible line of its class).
+  std::map<Robustness, const MessageSensitivity*> pick;
+  for (const auto& m : rep.messages) {
+    auto& slot = pick[m.cls];
+    if (slot == nullptr || m.wcrt_at_max > slot->wcrt_at_max) slot = &m;
+  }
+
+  banner("Figure 4: response time vs jitter (one line per robustness class)");
+  TextTable t;
+  std::vector<std::string> head{"jitter"};
+  std::vector<const MessageSensitivity*> lines;
+  for (const Robustness r : {Robustness::kRobust, Robustness::kMedium, Robustness::kSensitive,
+                             Robustness::kVerySensitive}) {
+    if (pick.count(r) == 0) continue;
+    lines.push_back(pick[r]);
+    head.push_back(strprintf("%s(%s)", pick[r]->name.c_str(), to_string(r)));
+  }
+  t.header(head);
+  for (std::size_t i = 0; i < sweep.fractions.size(); ++i) {
+    std::vector<std::string> row{pct(sweep.fractions[i])};
+    for (const auto* line : lines) {
+      const auto curve = sweep.response_curve(line->name);
+      row.push_back(curve[i].is_infinite() ? "inf" : strprintf("%.2f ms", curve[i].as_ms()));
+    }
+    t.row(row);
+  }
+  t.print(std::cout);
+
+  banner("Robustness census (Section 4.1)");
+  TextTable census;
+  census.header({"class", "messages", "share"});
+  for (const Robustness r : {Robustness::kRobust, Robustness::kMedium, Robustness::kSensitive,
+                             Robustness::kVerySensitive}) {
+    census.row({to_string(r), strprintf("%zu", rep.count(r)),
+                pct(static_cast<double>(rep.count(r)) / static_cast<double>(rep.messages.size()))});
+  }
+  census.print(std::cout);
+
+  banner("Most critical messages (smallest tolerable jitter) -> supplier requirements");
+  std::vector<const MessageSensitivity*> sorted;
+  for (const auto& m : rep.messages) sorted.push_back(&m);
+  std::sort(sorted.begin(), sorted.end(), [](const auto* a, const auto* b) {
+    return a->max_tolerable_fraction < b->max_tolerable_fraction;
+  });
+  TextTable crit;
+  crit.header({"message", "class", "growth", "max tolerable jitter"});
+  for (std::size_t i = 0; i < 8 && i < sorted.size(); ++i)
+    crit.row({sorted[i]->name, to_string(sorted[i]->cls),
+              strprintf("%+.0f%%", 100 * sorted[i]->relative_growth),
+              pct(sorted[i]->max_tolerable_fraction)});
+  crit.print(std::cout);
+}
+
+void BM_JitterSweep13Points(benchmark::State& state) {
+  const KMatrix km = case_study_matrix();
+  JitterSweepConfig cfg;
+  cfg.rta = best_case_assumptions();
+  for (auto _ : state) benchmark::DoNotOptimize(sweep_jitter(km, cfg));
+}
+BENCHMARK(BM_JitterSweep13Points);
+
+void BM_MaxTolerableJitterSearch(benchmark::State& state) {
+  const KMatrix km = case_study_matrix();
+  const std::string victim = km.messages()[km.priority_order().back()].name;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        max_tolerable_jitter_fraction(km, worst_case_assumptions(), victim));
+}
+BENCHMARK(BM_MaxTolerableJitterSearch);
+
+}  // namespace
+}  // namespace symcan::bench
+
+int main(int argc, char** argv) {
+  symcan::bench::reproduce();
+  return symcan::bench::run_benchmarks(argc, argv);
+}

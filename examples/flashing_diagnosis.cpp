@@ -1,0 +1,107 @@
+// Diagnosis & ECU flashing (paper Section 2: "How about diagnosis and
+// ECU flashing?"): can a workshop flash an ECU over the running bus
+// without degrading the control traffic?
+//
+// Workflow: add an ISO-TP-style flashing session to the case-study bus,
+// check how many *regular* messages newly miss their deadline compared
+// to normal operation, cross-check with the simulator, then throttle the
+// session until the bus is provably no worse than before — the kind of
+// decision the paper argues should be made analytically, not by testing.
+
+#include <iostream>
+#include <set>
+
+#include "symcan/analysis/load.hpp"
+#include "symcan/analysis/presets.hpp"
+#include "symcan/sim/simulator.hpp"
+#include "symcan/util/table.hpp"
+#include "symcan/workload/powertrain.hpp"
+#include "symcan/workload/scenario.hpp"
+
+using namespace symcan;
+
+namespace {
+
+struct Verdict {
+  double load = 0;
+  std::size_t regular_misses = 0;   ///< Misses among the original messages.
+  std::int64_t regular_losses = 0;  ///< Simulated losses among them.
+  bool flash_ok = true;             ///< The flash stream itself meets its deadline.
+};
+
+Verdict evaluate(KMatrix km, const std::set<std::string>& regular) {
+  // Unknown jitters assumed at 15 %; known ones (incl. the tool-paced
+  // diagnostic streams) keep their specified values.
+  assume_jitter_fraction(km, 0.15, false);
+  Verdict v;
+  v.load = analyze_load(km, true).utilization;
+  const BusResult res = CanRta{km, worst_case_assumptions()}.analyze();
+  for (const auto& m : res.messages) {
+    if (regular.contains(m.name)) {
+      if (!m.schedulable) ++v.regular_misses;
+    } else {
+      v.flash_ok = v.flash_ok && m.schedulable;
+    }
+  }
+
+  SimConfig sim;
+  sim.duration = Duration::s(5);
+  sim.seed = 7;
+  sim.stuffing = StuffingMode::kRandom;
+  sim.errors = SimErrorProcess::burst(Duration::ms(25), 4);
+  const SimResult obs = simulate(km, sim);
+  for (const auto& m : obs.messages)
+    if (regular.contains(m.name)) v.regular_losses += m.losses;
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  const KMatrix base = generate_powertrain(PowertrainConfig::case_study());
+  std::set<std::string> regular;
+  for (const auto& m : base.messages()) regular.insert(m.name);
+
+  const Verdict baseline = evaluate(base, regular);
+
+  TextTable t;
+  t.header({"scenario", "load", "regular misses", "regular losses (sim 5s)", "flash stream"});
+  auto report = [&](const std::string& label, const Verdict& v) {
+    t.row({label, strprintf("%.0f%%", 100 * v.load), strprintf("%zu", v.regular_misses),
+           strprintf("%lld", static_cast<long long>(v.regular_losses)),
+           v.flash_ok ? "meets deadline" : "starved"});
+  };
+  report("normal operation (reference)", baseline);
+
+  // A workshop tool starts flashing at full speed, then the analysis
+  // throttles the ISO-TP flow control until the regular traffic is
+  // provably no worse than in normal operation.
+  Duration safe_spacing = Duration::zero();
+  for (const std::int64_t spacing_ms : {2, 3, 4, 5, 8}) {
+    DiagnosisConfig diag;
+    diag.frame_spacing = Duration::ms(spacing_ms);
+    diag.burst = spacing_ms <= 2 ? 4 : 2;
+    KMatrix attempt = base;
+    add_diagnosis_traffic(attempt, diag);
+    const Verdict v = evaluate(attempt, regular);
+    report(strprintf("flashing @ %lld ms spacing", static_cast<long long>(spacing_ms)), v);
+    if (safe_spacing == Duration::zero() && v.regular_misses <= baseline.regular_misses &&
+        v.regular_losses <= baseline.regular_losses && v.flash_ok)
+      safe_spacing = Duration::ms(spacing_ms);
+  }
+  t.print(std::cout);
+
+  if (safe_spacing > Duration::zero()) {
+    const double frames_per_s = 1.0 / safe_spacing.as_s();
+    std::cout << "\nVerdict: flash with flow-control spacing >= " << to_string(safe_spacing)
+              << " — the regular traffic keeps exactly its normal-operation\n"
+                 "guarantees, proven analytically and confirmed by simulation\n"
+                 "(Sections 2 and 4). "
+              << strprintf("Sustained flash payload: %.1f kB/s.\n",
+                           frames_per_s * 8.0 / 1000.0);
+    return 0;
+  }
+  std::cout << "\nNo safe spacing found in the candidate set — flashing requires a\n"
+               "bus-off window for this configuration.\n";
+  return 1;
+}

@@ -1,0 +1,106 @@
+// The OEM integration workflow of paper Section 4, end to end:
+//
+//   1. import the power-train K-Matrix (here: generated, then loaded from
+//      CSV exactly as the paper imports the OEM artifact),
+//   2. experiment 1: zero jitter, verify all deadlines hold,
+//   3. experiment 2: realistic jitter assumptions + error models,
+//   4. sensitivity analysis: which messages are robust, which are not,
+//   5. CAN-ID optimization to a zero-loss configuration at 25 % jitter,
+//   6. derive supplier requirements for the most sensitive messages.
+
+#include <algorithm>
+#include <iostream>
+
+#include "symcan/analysis/presets.hpp"
+#include "symcan/can/kmatrix_io.hpp"
+#include "symcan/opt/ga.hpp"
+#include "symcan/sensitivity/robustness.hpp"
+#include "symcan/supplychain/datasheet.hpp"
+#include "symcan/util/table.hpp"
+#include "symcan/workload/powertrain.hpp"
+
+using namespace symcan;
+
+int main() {
+  // 1. The OEM's starting artifact. We generate the synthetic stand-in
+  // for the proprietary matrix and round-trip it through the CSV importer
+  // to mirror the paper's "automatically imported from the K-Matrix".
+  const std::string csv = kmatrix_to_csv(generate_powertrain(PowertrainConfig::case_study()));
+  const KMatrix km = kmatrix_from_csv(csv);
+  std::cout << "Imported K-Matrix: " << km.size() << " messages, " << km.nodes().size()
+            << " ECUs, " << strprintf("%.0f%%", 100 * km.utilization(true))
+            << " worst-case load\n";
+
+  // 2. Experiment 1: zero jitters, no errors — all deadlines met?
+  {
+    KMatrix zero = km;
+    assume_jitter_fraction(zero, 0.0, true);
+    CanRtaConfig cfg;
+    cfg.worst_case_stuffing = true;
+    cfg.deadline_override = DeadlinePolicy::kPeriod;
+    const BusResult res = CanRta{zero, cfg}.analyze();
+    std::cout << "\nExperiment 1 (zero jitter): "
+              << (res.all_schedulable() ? "all deadlines met\n"
+                                        : strprintf("%zu misses!\n", res.miss_count()));
+  }
+
+  // 3. Experiment 2: realistic assumptions — 25 % jitter, burst errors,
+  // bit stuffing, min re-arrival deadlines.
+  {
+    KMatrix realistic = km;
+    assume_jitter_fraction(realistic, 0.25, true);
+    const BusResult res = CanRta{realistic, worst_case_assumptions()}.analyze();
+    std::cout << "Experiment 2 (25% jitter + burst errors): " << res.miss_count() << " of "
+              << res.messages.size() << " messages can be lost\n";
+  }
+
+  // 4. Sensitivity analysis (Section 4.1).
+  JitterSweepConfig sweep;
+  sweep.rta = best_case_assumptions();
+  const SensitivityReport rep = analyze_sensitivity(km, sweep);
+  std::cout << "\nSensitivity census: " << rep.count(Robustness::kRobust) << " robust, "
+            << rep.count(Robustness::kMedium) << " medium, "
+            << rep.count(Robustness::kSensitive) << " sensitive, "
+            << rep.count(Robustness::kVerySensitive) << " very sensitive\n";
+
+  // 5. Optimization (Section 4.3).
+  GaConfig ga;
+  ga.rta = worst_case_assumptions();
+  ga.eval_fractions = {0.25, 0.40, 0.60};
+  ga.population = 32;
+  ga.archive = 16;
+  ga.generations = 25;
+  ga.seeds = {current_order(km), deadline_monotonic_order(km)};
+  const GaResult opt = optimize_priorities(km, ga);
+  const KMatrix optimized = apply_priority_order(km, opt.best.order);
+  {
+    KMatrix at25 = optimized;
+    assume_jitter_fraction(at25, 0.25, true);
+    const BusResult res = CanRta{at25, worst_case_assumptions()}.analyze();
+    std::cout << "\nAfter GA optimization (" << opt.evaluations << " evaluations): "
+              << res.miss_count() << " losses at 25% jitter under worst-case assumptions\n";
+  }
+
+  // 6. Supplier requirements for the most critical senders (Section 5).
+  std::vector<const MessageSensitivity*> critical;
+  for (const auto& m : rep.messages)
+    if (m.cls == Robustness::kSensitive || m.cls == Robustness::kVerySensitive)
+      critical.push_back(&m);
+  std::sort(critical.begin(), critical.end(), [](const auto* a, const auto* b) {
+    return a->max_tolerable_fraction < b->max_tolerable_fraction;
+  });
+  TextTable t;
+  t.header({"critical message", "sender", "required max send jitter"});
+  int shown = 0;
+  for (const auto* m : critical) {
+    if (shown++ >= 5) break;
+    const Duration bound = max_own_jitter(optimized, worst_case_assumptions(), m->name);
+    t.row({m->name, optimized.find_message(m->name)->sender,
+           to_string(bound * 8 / 10)});  // 20 % engineering margin
+  }
+  std::cout << '\n';
+  t.print(std::cout);
+  std::cout << "\nThese requirements go into the supplier requirement specifications —\n"
+               "determined before any ECU prototype exists (Section 5).\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Vehicle-level network integration: the full compositional analysis the
+// paper's methodology culminates in — two buses, a gateway, OSEK task
+// sets on every ECU, and cross-bus event chains, all analyzed to a global
+// fixed point without any simulation or prototype (Sections 5 and 6).
+
+#include <iostream>
+
+#include "symcan/analysis/presets.hpp"
+#include "symcan/core/engine.hpp"
+#include "symcan/util/table.hpp"
+#include "symcan/workload/vehicle.hpp"
+
+using namespace symcan;
+
+namespace {
+
+SystemResult analyze(const System& sys) {
+  EngineConfig ecfg;
+  ecfg.bus.worst_case_stuffing = true;
+  ecfg.bus.deadline_override = DeadlinePolicy::kPeriod;
+  Engine engine{sys, ecfg};
+  return engine.analyze();
+}
+
+}  // namespace
+
+int main() {
+  VehicleConfig cfg;
+  cfg.powertrain.target_utilization = 0.45;  // a healthy mid-life vehicle
+  System sys = generate_vehicle(cfg);
+
+  std::cout << "Vehicle model: " << sys.buses().size() << " buses, " << sys.ecus().size()
+            << " ECUs, " << sys.paths().size() << " cross-bus paths\n";
+  for (const auto& [name, km] : sys.buses())
+    std::cout << strprintf("  %-11s %3zu messages, %4.0f kbit/s, %5.1f%% worst-case load\n",
+                           name.c_str(), km.size(),
+                           static_cast<double>(km.timing().bits_per_second()) / 1000,
+                           100 * km.utilization(true));
+
+  SystemResult res = analyze(sys);
+  std::cout << "\nGlobal fixed point: " << res.iterations << " iterations, "
+            << (res.converged ? "converged" : "DIVERGED") << "\n";
+
+  // Section 5.2 in action: when integration finds a bottleneck, the OEM
+  // iterates the design — here by relieving the overloaded bus (moving
+  // comfort functions off CAN) and re-running the analysis in seconds.
+  if (!res.all_schedulable()) {
+    for (const auto& [bus_name, bus_res] : res.buses) {
+      for (const auto& m : bus_res.messages)
+        if (!m.schedulable)
+          std::cout << "  bottleneck: " << bus_name << "/" << m.name << " (slack "
+                    << to_string(m.slack()) << ")\n";
+    }
+    std::cout << "Iterating: offloading body traffic and re-analyzing...\n";
+    cfg.body_target_utilization = 0.25;
+    sys = generate_vehicle(cfg);
+    res = analyze(sys);
+  }
+
+  std::cout << "\nPer-resource verdicts:\n";
+  for (const auto& [name, bus] : res.buses)
+    std::cout << strprintf("  bus %-11s %zu/%zu messages schedulable\n", name.c_str(),
+                           bus.messages.size() - bus.miss_count(), bus.messages.size());
+  std::size_t ecu_total = 0, ecu_ok = 0;
+  for (const auto& [name, ecu] : res.ecus) {
+    ecu_total += ecu.tasks.size();
+    ecu_ok += ecu.tasks.size() - ecu.miss_count();
+  }
+  std::cout << strprintf("  ECUs: %zu/%zu tasks schedulable across %zu nodes\n", ecu_ok,
+                         ecu_total, res.ecus.size());
+
+  std::cout << "\nCross-bus end-to-end latencies (source frame -> gateway -> far frame):\n";
+  TextTable t;
+  t.header({"path", "latency min", "latency max", "deadline", "verdict"});
+  for (const auto& p : res.paths)
+    t.row({p.name, to_string(p.latency_min), to_string(p.latency_max), to_string(p.deadline),
+           p.met ? "met" : "MISSED"});
+  t.print(std::cout);
+
+  bool all_met = res.all_schedulable();
+  std::cout << (all_met ? "\nIntegration verdict: the vehicle network holds its guarantees.\n"
+                        : "\nIntegration verdict: bottlenecks found - iterate (Section 5.2).\n");
+  return all_met ? 0 : 1;
+}

@@ -1,0 +1,53 @@
+#pragma once
+
+// Buffer/queue dimensioning (paper Section 1: integration problems
+// include "buffer under- and over-flows"; Section 5: gateway "queue
+// configuration" is an OEM-tunable parameter).
+//
+// Backlog bound: if events arrive per the arrival curves eta+_i and a
+// consumer is guaranteed to remove at least eta-_srv(dt) items in any
+// window dt, then the queue population never exceeds
+//
+//     B = sup over dt >= 0 of ( sum_i eta+_i(dt) - eta-_srv(dt) )
+//
+// evaluated at the arrival step points (the supremum is attained
+// immediately after an arrival). If the long-run arrival rate exceeds the
+// service rate the backlog is unbounded.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "symcan/can/kmatrix.hpp"
+#include "symcan/model/event_model.hpp"
+
+namespace symcan {
+
+/// Worst-case queue population for `arrivals` multiplexed into one queue
+/// served by `service` (one item removed per service event). Returns
+/// nullopt when the backlog is unbounded (arrival rate >= service rate
+/// with no idle margin), otherwise the exact supremum over windows up to
+/// the point where the service guarantee has caught up.
+std::optional<std::int64_t> max_backlog(const std::vector<EventModel>& arrivals,
+                                        const EventModel& service,
+                                        Duration horizon = Duration::s(10));
+
+/// Sizing verdict for one node's receive path.
+struct QueueReport {
+  std::string node;
+  std::int64_t messages_multiplexed = 0;  ///< Streams feeding the queue.
+  std::optional<std::int64_t> backlog;    ///< nullopt = unbounded.
+  /// Recommended hardware/driver queue depth: backlog plus one slot of
+  /// engineering margin.
+  std::int64_t recommended_depth() const { return backlog ? *backlog + 1 : -1; }
+  bool overflows(std::int64_t capacity) const { return !backlog || *backlog > capacity; }
+};
+
+/// Bound the receive-queue depth a node needs when its driver drains the
+/// controller with `service` (e.g. a 1 ms polling task handling one frame
+/// per activation). Considers every message the node receives.
+QueueReport size_receive_queue(const KMatrix& km, const std::string& node,
+                               const EventModel& service, Duration horizon = Duration::s(10));
+
+}  // namespace symcan

@@ -1,0 +1,74 @@
+#pragma once
+
+// ECU response-time analysis for OSEK-style fixed-priority scheduling
+// with mixed preemptive and cooperative tasks plus hardware interrupts
+// (paper Section 5.2). This is the resource-local analysis the
+// compositional engine runs for ECUs; CAN buses use CanRta.
+//
+// Scheduling model:
+//  * Hardware interrupts preempt every task and each other by priority.
+//  * Preemptive tasks preempt lower-priority tasks immediately.
+//  * Cooperative tasks yield only at segment boundaries; a task can
+//    therefore be blocked for at most the longest non-preemptible segment
+//    of any lower-priority cooperative task.
+//  * Per-activation OS overhead is charged as additional execution time.
+//
+// All interference is counted through standard event models (eta+), so
+// bursts and jitter at task activation are handled uniformly with the bus
+// analysis.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "symcan/model/task.hpp"
+#include "symcan/util/time.hpp"
+
+namespace symcan {
+
+/// Result for one task (fields mirror MessageResult where sensible).
+struct TaskResult {
+  std::string name;
+  Duration wcrt = Duration::infinite();
+  Duration bcrt = Duration::zero();
+  Duration deadline = Duration::infinite();
+  Duration blocking = Duration::zero();
+  Duration busy_period = Duration::zero();
+  std::int64_t instances = 1;
+  bool schedulable = false;
+  bool diverged = false;
+
+  Duration slack() const { return deadline.is_infinite() ? Duration::infinite() : deadline - wcrt; }
+  Duration response_jitter() const { return wcrt - bcrt; }
+};
+
+/// Result for one ECU.
+struct EcuResult {
+  std::vector<TaskResult> tasks;  ///< Same order as the input task list.
+  double utilization = 0;
+
+  bool all_schedulable() const;
+  std::size_t miss_count() const;
+};
+
+/// Analyzer for one ECU's task set.
+class EcuRta {
+ public:
+  /// `tasks` must have unique priorities within each scheduling class
+  /// pair that competes (validated). `horizon` bounds busy periods.
+  explicit EcuRta(std::vector<Task> tasks, Duration horizon = Duration::s(10));
+
+  TaskResult analyze_task(std::size_t index) const;
+  EcuResult analyze() const;
+
+  const std::vector<Task>& tasks() const { return tasks_; }
+
+ private:
+  bool preempts(const Task& hp, const Task& lp) const;
+  Duration blocking_for(std::size_t index) const;
+
+  std::vector<Task> tasks_;
+  Duration horizon_;
+};
+
+}  // namespace symcan

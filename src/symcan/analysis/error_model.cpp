@@ -1,0 +1,74 @@
+#include "symcan/analysis/error_model.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace symcan {
+
+SporadicErrors::SporadicErrors(Duration min_inter_error, std::int64_t initial_errors)
+    : min_inter_error_{min_inter_error}, initial_errors_{initial_errors} {
+  if (min_inter_error <= Duration::zero())
+    throw std::invalid_argument("SporadicErrors: min_inter_error must be > 0");
+  if (initial_errors < 0)
+    throw std::invalid_argument("SporadicErrors: initial_errors must be >= 0");
+}
+
+std::int64_t SporadicErrors::max_faults(Duration t) const {
+  if (t <= Duration::zero()) return 0;
+  return initial_errors_ + ceil_div(t, min_inter_error_);
+}
+
+std::string SporadicErrors::name() const {
+  std::ostringstream os;
+  os << "sporadic(T_E=" << to_string(min_inter_error_);
+  if (initial_errors_ > 0) os << ", n0=" << initial_errors_;
+  os << ")";
+  return os.str();
+}
+
+BurstErrors::BurstErrors(Duration min_inter_burst, std::int64_t errors_per_burst,
+                         Duration intra_burst_gap)
+    : min_inter_burst_{min_inter_burst},
+      errors_per_burst_{errors_per_burst},
+      intra_burst_gap_{intra_burst_gap} {
+  if (min_inter_burst <= Duration::zero())
+    throw std::invalid_argument("BurstErrors: min_inter_burst must be > 0");
+  if (errors_per_burst < 1)
+    throw std::invalid_argument("BurstErrors: errors_per_burst must be >= 1");
+  if (intra_burst_gap < Duration::zero())
+    throw std::invalid_argument("BurstErrors: intra_burst_gap must be >= 0");
+}
+
+std::int64_t BurstErrors::max_faults(Duration t) const {
+  if (t <= Duration::zero()) return 0;
+  // Whole bursts that can start within the window...
+  const std::int64_t bursts = ceil_div(t, min_inter_burst_);
+  std::int64_t faults = bursts * errors_per_burst_;
+  // ...but a trailing partial burst cannot land more faults than the
+  // intra-burst spacing admits inside the remaining window.
+  if (intra_burst_gap_ > Duration::zero()) {
+    const Duration into_last = t - (bursts - 1) * min_inter_burst_;
+    const std::int64_t in_last =
+        std::min<std::int64_t>(errors_per_burst_, ceil_div(into_last, intra_burst_gap_));
+    faults = (bursts - 1) * errors_per_burst_ + std::max<std::int64_t>(in_last, 1);
+  }
+  return faults;
+}
+
+Duration BurstErrors::overhead(Duration t, Duration max_retx_frame,
+                               const BitTiming& timing) const {
+  if (t <= Duration::zero()) return Duration::zero();
+  const Duration per_fault = timing.duration_of(error_frame_bits) + max_retx_frame;
+  const Duration burst_extent = (errors_per_burst_ - 1) * per_fault;
+  const std::int64_t bursts = ceil_div(t + burst_extent, min_inter_burst_);
+  return bursts * errors_per_burst_ * per_fault;
+}
+
+std::string BurstErrors::name() const {
+  std::ostringstream os;
+  os << "burst(T_B=" << to_string(min_inter_burst_) << ", k=" << errors_per_burst_ << ")";
+  return os.str();
+}
+
+}  // namespace symcan

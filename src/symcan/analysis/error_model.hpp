@@ -1,0 +1,114 @@
+#pragma once
+
+// Bus fault models for CAN response-time analysis.
+//
+// CAN signals a corrupted frame with an error frame (up to 31 bits of
+// recovery overhead) and automatically retransmits. The analysis charges
+// this as extra interference E(t) inside the busy-window fixed point:
+// every fault costs the recovery overhead plus one retransmission of the
+// largest frame that can be in flight at the message's priority level.
+//
+// Two practically useful families (paper Section 4):
+//  * sporadic errors [Tindell & Burns, YCS 229, 1994]: at most one fault
+//    per minimum inter-error interval (an MTBF-like guarantee), optionally
+//    preceded by a startup burst;
+//  * burst errors [Punnekkat, Hansson & Norstroem, RTAS 2000]: faults
+//    arrive in clusters of up to `errors_per_burst` back-to-back hits,
+//    clusters separated by a minimum distance.
+//
+// Both are instances of a monotone non-decreasing fault count n(t); the
+// monotonicity is what keeps the response-time fixed point convergent.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "symcan/can/frame.hpp"
+#include "symcan/util/time.hpp"
+
+namespace symcan {
+
+/// Interface: worst-case fault-recovery overhead within any window.
+class ErrorModel {
+ public:
+  virtual ~ErrorModel() = default;
+
+  /// Maximum number of faults in any half-open window of length `t`,
+  /// treating fault clusters as instantaneous (see BurstErrors::overhead
+  /// for the window extension that removes that approximation).
+  virtual std::int64_t max_faults(Duration t) const = 0;
+
+  /// Total interference from faults in a window of length `t`, when the
+  /// largest frame needing retransmission at this priority level takes
+  /// `max_retx_frame` and the bus bit time is `timing`. Must be monotone
+  /// non-decreasing in `t`.
+  virtual Duration overhead(Duration t, Duration max_retx_frame, const BitTiming& timing) const {
+    const std::int64_t n = max_faults(t);
+    if (n == 0) return Duration::zero();
+    return n * (timing.duration_of(error_frame_bits) + max_retx_frame);
+  }
+
+  virtual std::string name() const = 0;
+  virtual std::unique_ptr<ErrorModel> clone() const = 0;
+};
+
+/// Fault-free bus.
+class NoErrors final : public ErrorModel {
+ public:
+  std::int64_t max_faults(Duration) const override { return 0; }
+  std::string name() const override { return "no-errors"; }
+  std::unique_ptr<ErrorModel> clone() const override { return std::make_unique<NoErrors>(); }
+};
+
+/// Tindell-Burns sporadic error model: `initial_errors` faults may occur
+/// immediately, then at most one fault per `min_inter_error`.
+class SporadicErrors final : public ErrorModel {
+ public:
+  explicit SporadicErrors(Duration min_inter_error, std::int64_t initial_errors = 0);
+
+  std::int64_t max_faults(Duration t) const override;
+  std::string name() const override;
+  std::unique_ptr<ErrorModel> clone() const override {
+    return std::make_unique<SporadicErrors>(*this);
+  }
+
+  Duration min_inter_error() const { return min_inter_error_; }
+
+ private:
+  Duration min_inter_error_;
+  std::int64_t initial_errors_;
+};
+
+/// Punnekkat-style burst error model: clusters of up to `errors_per_burst`
+/// consecutive faults; cluster starts separated by at least
+/// `min_inter_burst`; faults within a cluster separated by at least
+/// `intra_burst_gap` (0 = back-to-back, each still destroying one frame).
+class BurstErrors final : public ErrorModel {
+ public:
+  BurstErrors(Duration min_inter_burst, std::int64_t errors_per_burst,
+              Duration intra_burst_gap = Duration::zero());
+
+  std::int64_t max_faults(Duration t) const override;
+
+  /// Burst-aware overhead: a burst has nonzero extent (its k faults are
+  /// spread over up to (k-1) recovery+retransmission slots), so a window
+  /// of length t can overlap faults of every burst whose *start* lies in
+  /// a window of length t + (k-1)*(recovery + max_retx_frame). Using the
+  /// extended window keeps the bound sound when an analysis window
+  /// straddles the tail of one burst and the head of the next.
+  Duration overhead(Duration t, Duration max_retx_frame, const BitTiming& timing) const override;
+  std::string name() const override;
+  std::unique_ptr<ErrorModel> clone() const override {
+    return std::make_unique<BurstErrors>(*this);
+  }
+
+  Duration min_inter_burst() const { return min_inter_burst_; }
+  std::int64_t errors_per_burst() const { return errors_per_burst_; }
+
+ private:
+  Duration min_inter_burst_;
+  std::int64_t errors_per_burst_;
+  Duration intra_burst_gap_;
+};
+
+}  // namespace symcan

@@ -1,0 +1,25 @@
+#include "symcan/analysis/load.hpp"
+
+#include <algorithm>
+
+namespace symcan {
+
+LoadReport analyze_load(const KMatrix& km, bool worst_case_stuffing) {
+  LoadReport r;
+  r.bandwidth_bps = static_cast<double>(km.timing().bits_per_second());
+  for (const auto& n : km.nodes()) {
+    NodeLoad nl;
+    nl.node = n.name;
+    nl.traffic_bps = km.node_traffic_bps(n.name, worst_case_stuffing);
+    r.by_node.push_back(nl);
+    r.total_traffic_bps += nl.traffic_bps;
+  }
+  for (auto& nl : r.by_node)
+    nl.share = r.total_traffic_bps > 0 ? nl.traffic_bps / r.total_traffic_bps : 0;
+  std::sort(r.by_node.begin(), r.by_node.end(),
+            [](const NodeLoad& a, const NodeLoad& b) { return a.traffic_bps > b.traffic_bps; });
+  r.utilization = r.bandwidth_bps > 0 ? r.total_traffic_bps / r.bandwidth_bps : 0;
+  return r;
+}
+
+}  // namespace symcan

@@ -1,0 +1,47 @@
+#pragma once
+
+// Bus-load (utilization) analysis — paper Section 3.1 and Figure 1.
+//
+// "For each message, multiply the frequency of a message (1/period) with
+// its length (incl. protocol overhead), build the sum over all messages,
+// and finally divide it by the network bandwidth."
+//
+// The paper's point is that this popular model is *insufficient*: it says
+// nothing about deadlines or buffer overflow. We implement it faithfully
+// (it is still the right first look and feeds the Figure 1 bench) and pair
+// it with the OEM-style load-limit verdicts (some OEMs cap at 40 %, others
+// at 60 %).
+
+#include <string>
+#include <vector>
+
+#include "symcan/can/kmatrix.hpp"
+
+namespace symcan {
+
+/// Per-node traffic contribution.
+struct NodeLoad {
+  std::string node;
+  double traffic_bps = 0;  ///< bits/s put on the bus by this node
+  double share = 0;        ///< fraction of total bus traffic
+};
+
+/// Whole-bus load summary.
+struct LoadReport {
+  double total_traffic_bps = 0;   ///< accumulated traffic (Figure 1: 180 kbit/s)
+  double bandwidth_bps = 0;       ///< bus bandwidth (Figure 1: 500 kbit/s)
+  double utilization = 0;         ///< traffic / bandwidth (Figure 1: 36 %)
+  std::vector<NodeLoad> by_node;  ///< descending by traffic
+};
+
+/// Compute the load report. `worst_case_stuffing` selects whether frame
+/// lengths include worst-case stuff bits (the conservative reading).
+LoadReport analyze_load(const KMatrix& km, bool worst_case_stuffing = false);
+
+/// OEM-style verdict against a load limit in [0,1] (0.40 and 0.60 are the
+/// two camps quoted in the paper).
+inline bool within_load_limit(const LoadReport& r, double limit) {
+  return r.utilization <= limit;
+}
+
+}  // namespace symcan

@@ -1,0 +1,39 @@
+#pragma once
+
+// Canonical what-if assumption presets used throughout the benches,
+// examples and tests. These are the two framing assumption sets of the
+// paper's Figure 5:
+//
+//  * best case  — "ignoring bus errors": unstuffed frame lengths, no
+//    faults, deadline = period;
+//  * worst case — "burst bus errors, bit stuffing, and the minimum
+//    re-arrival time as a deadline".
+
+#include <memory>
+
+#include "symcan/analysis/can_rta.hpp"
+#include "symcan/analysis/error_model.hpp"
+
+namespace symcan {
+
+/// Figure 5 "best case" assumption set.
+inline CanRtaConfig best_case_assumptions() {
+  CanRtaConfig cfg;
+  cfg.worst_case_stuffing = false;
+  cfg.errors = std::make_shared<NoErrors>();
+  cfg.deadline_override = DeadlinePolicy::kPeriod;
+  return cfg;
+}
+
+/// Figure 5 "worst case" assumption set. The burst model (one 4-fault
+/// burst per 25 ms) is the calibrated stand-in for the paper's
+/// (undisclosed) field error data.
+inline CanRtaConfig worst_case_assumptions() {
+  CanRtaConfig cfg;
+  cfg.worst_case_stuffing = true;
+  cfg.errors = std::make_shared<BurstErrors>(Duration::ms(25), 4);
+  cfg.deadline_override = DeadlinePolicy::kMinReArrival;
+  return cfg;
+}
+
+}  // namespace symcan

@@ -1,0 +1,17 @@
+#include "symcan/can/controller.hpp"
+
+#include <stdexcept>
+
+namespace symcan {
+
+const char* to_string(ControllerType t) {
+  return t == ControllerType::kFullCan ? "fullCAN" : "basicCAN";
+}
+
+void EcuNode::validate() const {
+  if (name.empty()) throw std::invalid_argument("EcuNode: empty name");
+  if (tx_buffers < 1)
+    throw std::invalid_argument("EcuNode '" + name + "': tx_buffers must be >= 1");
+}
+
+}  // namespace symcan

@@ -1,0 +1,53 @@
+#pragma once
+
+// CAN controller / ECU node model.
+//
+// The paper (Section 3.2) notes that "the controller type (basicCAN,
+// fullCAN, etc.) influences the order in which messages are sent". We
+// model the two classic families:
+//
+//  * fullCAN: one transmit buffer per message object; the controller
+//    always arbitrates internally by CAN ID, so the node presents its
+//    highest-priority pending frame to the bus. No intra-node priority
+//    inversion.
+//
+//  * basicCAN: a small number of shared transmit buffers filled by
+//    software, commonly drained in FIFO order and without transmit abort.
+//    A high-priority frame can sit behind lower-priority same-node frames
+//    that were queued earlier — an intra-node priority inversion that the
+//    analysis must charge as additional blocking.
+
+#include <cstdint>
+#include <string>
+
+#include "symcan/util/time.hpp"
+
+namespace symcan {
+
+enum class ControllerType : std::uint8_t {
+  kFullCan,   ///< Per-message buffers, internal priority arbitration.
+  kBasicCan,  ///< Shared FIFO transmit queue, no abort.
+};
+
+const char* to_string(ControllerType t);
+
+/// One node (ECU or gateway) attached to a bus.
+struct EcuNode {
+  std::string name;
+  ControllerType controller = ControllerType::kFullCan;
+
+  /// Number of hardware transmit buffers for basicCAN controllers.
+  /// A frame entering the queue can be preceded by up to
+  /// (tx_buffers - 1) already-committed lower-priority frames plus the one
+  /// currently on the wire.
+  int tx_buffers = 1;
+
+  /// True for gateway nodes that forward traffic between buses; the
+  /// compositional engine adds store-and-forward latency and jitter for
+  /// frames routed through them.
+  bool is_gateway = false;
+
+  void validate() const;
+};
+
+}  // namespace symcan

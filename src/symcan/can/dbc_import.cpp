@@ -1,0 +1,185 @@
+#include "symcan/can/dbc_import.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "symcan/util/csv.hpp"
+
+namespace symcan {
+
+namespace {
+
+constexpr std::uint32_t kExtendedBit = 0x8000'0000u;
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& msg) {
+  std::ostringstream os;
+  os << "DBC line " << line_no << ": " << msg;
+  throw std::runtime_error(os.str());
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : line) {
+    if (c == ' ' || c == '\t' || c == '\r') {
+      if (!cur.empty()) out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+std::string strip_trailing(std::string s, char c) {
+  while (!s.empty() && s.back() == c) s.pop_back();
+  return s;
+}
+
+std::int64_t parse_int(const std::string& s, std::size_t line_no, const char* what) {
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(s, &pos);
+    if (pos != s.size()) fail(line_no, std::string("malformed ") + what + " '" + s + "'");
+    return v;
+  } catch (const std::invalid_argument&) {
+    fail(line_no, std::string("malformed ") + what + " '" + s + "'");
+  } catch (const std::out_of_range&) {
+    fail(line_no, std::string("out-of-range ") + what + " '" + s + "'");
+  }
+}
+
+struct RawMessage {
+  std::string name;
+  std::uint32_t raw_id = 0;
+  int dlc = 0;
+  std::string sender;
+  std::set<std::string> receivers;
+  std::optional<Duration> cycle_time;
+  std::optional<Duration> delay_time;
+};
+
+}  // namespace
+
+KMatrix kmatrix_from_dbc(const std::string& text, const DbcImportOptions& options) {
+  std::vector<std::string> node_names;
+  std::map<std::uint32_t, RawMessage> messages;  // keyed by raw id
+  RawMessage* current = nullptr;                 // receiver lines attach here
+  std::optional<Duration> default_cycle;
+  std::int64_t bitrate = options.default_bitrate_bps;
+
+  std::istringstream in{text};
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto tok = tokenize(line);
+    if (tok.empty()) continue;
+
+    if (tok[0] == "BU_:") {
+      for (std::size_t i = 1; i < tok.size(); ++i) node_names.push_back(tok[i]);
+      continue;
+    }
+    if (tok[0] == "BO_") {
+      // BO_ <id> <Name>: <dlc> <sender>
+      if (tok.size() < 5) fail(line_no, "BO_ needs id, name, dlc and sender");
+      RawMessage m;
+      m.raw_id = static_cast<std::uint32_t>(parse_int(tok[1], line_no, "message id"));
+      m.name = strip_trailing(tok[2], ':');
+      m.dlc = static_cast<int>(parse_int(tok[3], line_no, "dlc"));
+      m.sender = tok[4];
+      const auto [it, inserted] = messages.emplace(m.raw_id, std::move(m));
+      if (!inserted) fail(line_no, "duplicate message id " + tok[1]);
+      current = &it->second;
+      continue;
+    }
+    if (tok[0] == "SG_") {
+      // SG_ <name> : <bits...> <unit> <receivers comma-separated>
+      if (current == nullptr) continue;  // stray signal, tolerate
+      const std::string& rx = tok.back();
+      std::string cur;
+      for (char c : rx) {
+        if (c == ',') {
+          if (!cur.empty()) current->receivers.insert(cur);
+          cur.clear();
+        } else {
+          cur.push_back(c);
+        }
+      }
+      if (!cur.empty()) current->receivers.insert(cur);
+      continue;
+    }
+    if (tok[0] == "BA_DEF_DEF_" && tok.size() >= 3 && tok[1] == "\"GenMsgCycleTime\"") {
+      default_cycle =
+          Duration::ms(parse_int(strip_trailing(tok[2], ';'), line_no, "default cycle time"));
+      continue;
+    }
+    if (tok[0] == "BA_" && tok.size() >= 3) {
+      if (tok[1] == "\"Baudrate\"") {
+        bitrate = parse_int(strip_trailing(tok[2], ';'), line_no, "baudrate");
+        continue;
+      }
+      if (tok.size() >= 5 && tok[2] == "BO_" &&
+          (tok[1] == "\"GenMsgCycleTime\"" || tok[1] == "\"GenMsgDelayTime\"")) {
+        const auto id = static_cast<std::uint32_t>(parse_int(tok[3], line_no, "message id"));
+        const auto it = messages.find(id);
+        if (it == messages.end()) fail(line_no, "attribute for unknown message id " + tok[3]);
+        const Duration value =
+            Duration::ms(parse_int(strip_trailing(tok[4], ';'), line_no, "attribute value"));
+        if (tok[1] == "\"GenMsgCycleTime\"")
+          it->second.cycle_time = value;
+        else
+          it->second.delay_time = value;
+        continue;
+      }
+    }
+    // Everything else: ignored (comments, version, value tables, ...).
+  }
+
+  KMatrix km{options.bus_name, BitTiming{bitrate}};
+  std::set<std::string> declared(node_names.begin(), node_names.end());
+  // Senders/receivers not in BU_ (e.g. the conventional "Vector__XXX"
+  // placeholder) become nodes too, so the matrix always validates.
+  for (const auto& [id, m] : messages) {
+    declared.insert(m.sender);
+    for (const auto& r : m.receivers) declared.insert(r);
+  }
+  for (const auto& n : declared) {
+    EcuNode node;
+    node.name = n;
+    km.add_node(std::move(node));
+  }
+
+  for (const auto& [raw_id, m] : messages) {
+    CanMessage out;
+    out.name = m.name;
+    out.format = (raw_id & kExtendedBit) ? FrameFormat::kExtended : FrameFormat::kStandard;
+    out.id = raw_id & ~kExtendedBit;
+    out.payload_bytes = std::clamp(m.dlc, 0, 8);
+    if (m.cycle_time && *m.cycle_time > Duration::zero()) {
+      out.period = *m.cycle_time;
+      out.jitter_known = false;
+    } else if (default_cycle && *default_cycle > Duration::zero()) {
+      out.period = *default_cycle;
+    } else {
+      out.period = options.fallback_period;
+    }
+    if (m.delay_time) out.min_distance = *m.delay_time;
+    out.sender = m.sender;
+    out.receivers.assign(m.receivers.begin(), m.receivers.end());
+    if (out.receivers.empty()) out.receivers.push_back(m.sender);
+    km.add_message(std::move(out));
+  }
+  km.validate();
+  return km;
+}
+
+KMatrix load_dbc(const std::string& path, const DbcImportOptions& options) {
+  return kmatrix_from_dbc(read_file(path), options);
+}
+
+}  // namespace symcan

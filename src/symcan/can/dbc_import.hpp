@@ -1,0 +1,43 @@
+#pragma once
+
+// Import of (a practical subset of) the Vector DBC format — the de-facto
+// exchange format for CAN communication matrices in the industry the
+// paper addresses. Supported constructs:
+//
+//   BU_: <node> <node> ...                       node list
+//   BO_ <id> <name>: <dlc> <sender>              message definition
+//   SG_ <sig> : ... <receiver>[,<receiver>...]   receivers (union over signals)
+//   BA_ "GenMsgCycleTime" BO_ <id> <ms>;         per-message period
+//   BA_ "GenMsgDelayTime" BO_ <id> <ms>;         minimum distance
+//   BA_DEF_DEF_ "GenMsgCycleTime" <ms>;          default period
+//   BA_ "Baudrate" <bps>;                        network bit rate
+//
+// Extended (29-bit) identifiers carry bit 31 in the DBC id field.
+// Everything else (comments CM_, value tables, signal scaling, ...) is
+// tolerated and ignored. Messages without any cycle time (event-driven
+// diagnostics etc.) get `options.fallback_period` and are marked
+// jitter-unknown.
+
+#include <string>
+
+#include "symcan/can/kmatrix.hpp"
+
+namespace symcan {
+
+struct DbcImportOptions {
+  /// Used when the file carries no BA_ "Baudrate" attribute.
+  std::int64_t default_bitrate_bps = 500'000;
+  /// Period for messages lacking GenMsgCycleTime.
+  Duration fallback_period = Duration::ms(100);
+  /// Name given to the imported bus.
+  std::string bus_name = "dbc";
+};
+
+/// Parse DBC text. Throws std::runtime_error with a line reference on
+/// malformed supported constructs; unknown lines are skipped.
+KMatrix kmatrix_from_dbc(const std::string& text, const DbcImportOptions& options = {});
+
+/// File convenience wrapper.
+KMatrix load_dbc(const std::string& path, const DbcImportOptions& options = {});
+
+}  // namespace symcan

@@ -1,0 +1,35 @@
+#include "symcan/can/frame.hpp"
+
+#include <stdexcept>
+
+namespace symcan {
+
+const char* to_string(FrameFormat f) {
+  return f == FrameFormat::kStandard ? "standard" : "extended";
+}
+
+BitTiming::BitTiming(std::int64_t bits_per_second) : bps_{bits_per_second} {
+  if (bits_per_second <= 0) throw std::invalid_argument("BitTiming: bit rate must be > 0");
+  if (bits_per_second > 1'000'000'000)
+    throw std::invalid_argument("BitTiming: bit rate above 1 Gbit/s is not a CAN rate");
+  bit_time_ = Duration::ns((1'000'000'000 + bits_per_second / 2) / bits_per_second);
+}
+
+namespace {
+void check_payload(int payload_bytes) {
+  if (payload_bytes < 0 || payload_bytes > 8)
+    throw std::invalid_argument("CAN payload must be 0..8 bytes");
+}
+}  // namespace
+
+Duration frame_time_unstuffed(const BitTiming& t, FrameFormat f, int payload_bytes) {
+  check_payload(payload_bytes);
+  return t.duration_of(frame_bits_unstuffed(f, payload_bytes));
+}
+
+Duration frame_time_worst_case(const BitTiming& t, FrameFormat f, int payload_bytes) {
+  check_payload(payload_bytes);
+  return t.duration_of(frame_bits_worst_case(f, payload_bytes));
+}
+
+}  // namespace symcan

@@ -1,0 +1,80 @@
+#pragma once
+
+// CAN frame timing model.
+//
+// Computes best-case (no stuff bits) and worst-case (maximum stuffing)
+// frame lengths for standard (11-bit ID) and extended (29-bit ID) data
+// frames, following the corrected formulation of Davis, Burns, Bril &
+// Lukkien ("Controller Area Network (CAN) schedulability analysis:
+// Refuted, revisited and revised", Real-Time Systems 35, 2007), which is
+// the modern form of the Tindell & Burns analysis the paper builds on.
+//
+// Only the first g + 8s - 1 bits of a frame (up to the end of the CRC
+// sequence) are subject to bit stuffing, where g = 34 for standard and
+// g = 54 for extended format; the CRC delimiter, ACK slot/delimiter, EOF
+// and the 3-bit interframe space (13 bits total) are not stuffed.
+
+#include <cstdint>
+
+#include "symcan/util/time.hpp"
+
+namespace symcan {
+
+enum class FrameFormat : std::uint8_t {
+  kStandard,  ///< CAN 2.0A, 11-bit identifier
+  kExtended,  ///< CAN 2.0B, 29-bit identifier
+};
+
+const char* to_string(FrameFormat f);
+
+/// Number of non-data protocol bits exposed to stuffing (g in Davis et al.).
+constexpr std::int64_t stuffable_overhead_bits(FrameFormat f) {
+  return f == FrameFormat::kStandard ? 34 : 54;
+}
+
+/// Protocol bits never subject to stuffing: CRC delimiter (1), ACK slot +
+/// delimiter (2), EOF (7), interframe space (3).
+constexpr std::int64_t unstuffed_tail_bits = 13;
+
+/// Frame length in bits with zero stuff bits (best case).
+/// `payload_bytes` must be in [0, 8] for classic CAN.
+constexpr std::int64_t frame_bits_unstuffed(FrameFormat f, int payload_bytes) {
+  return stuffable_overhead_bits(f) + 8 * payload_bytes + unstuffed_tail_bits;
+}
+
+/// Frame length in bits with worst-case stuffing: one stuff bit per four
+/// original bits of the stuffed region after the first.
+constexpr std::int64_t frame_bits_worst_case(FrameFormat f, int payload_bytes) {
+  const std::int64_t stuffed_region = stuffable_overhead_bits(f) + 8 * payload_bytes;
+  return stuffed_region + unstuffed_tail_bits + (stuffed_region - 1) / 4;
+}
+
+/// Error-signalling overhead in bits: error flag (6, up to 12 after
+/// superposition) + error delimiter (8) + interframe space (3) = up to 31
+/// bits (the constant used by Tindell & Burns for the recovery overhead
+/// preceding a retransmission).
+constexpr std::int64_t error_frame_bits = 31;
+
+/// Bit-level timing of a bus: nominal bit rate and derived bit time.
+class BitTiming {
+ public:
+  /// Bit rate in bit/s, e.g. 500'000 for the paper's power-train bus.
+  /// Bit time is rounded to the nearest nanosecond (exact for all standard
+  /// CAN rates: 125k/250k/500k/1M).
+  explicit BitTiming(std::int64_t bits_per_second);
+
+  std::int64_t bits_per_second() const { return bps_; }
+  Duration bit_time() const { return bit_time_; }
+
+  Duration duration_of(std::int64_t bits) const { return bits * bit_time_; }
+
+ private:
+  std::int64_t bps_;
+  Duration bit_time_;
+};
+
+/// Transmission time of one frame (best case / worst-case stuffing).
+Duration frame_time_unstuffed(const BitTiming& t, FrameFormat f, int payload_bytes);
+Duration frame_time_worst_case(const BitTiming& t, FrameFormat f, int payload_bytes);
+
+}  // namespace symcan

@@ -1,0 +1,85 @@
+#include "symcan/can/kmatrix.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace symcan {
+
+void KMatrix::add_node(EcuNode node) {
+  node.validate();
+  if (find_node(node.name) != nullptr)
+    throw std::invalid_argument("KMatrix: duplicate node '" + node.name + "'");
+  nodes_.push_back(std::move(node));
+}
+
+const EcuNode* KMatrix::find_node(const std::string& name) const {
+  for (const auto& n : nodes_)
+    if (n.name == name) return &n;
+  return nullptr;
+}
+
+void KMatrix::add_message(CanMessage m) {
+  m.validate();
+  messages_.push_back(std::move(m));
+}
+
+const CanMessage* KMatrix::find_message(const std::string& name) const {
+  for (const auto& m : messages_)
+    if (m.name == name) return &m;
+  return nullptr;
+}
+
+std::vector<std::size_t> KMatrix::priority_order() const {
+  std::vector<std::size_t> idx(messages_.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return messages_[a].arbitration_rank() < messages_[b].arbitration_rank();
+  });
+  return idx;
+}
+
+void KMatrix::validate() const {
+  // Standard and extended identifiers arbitrate in distinct spaces (the
+  // IDE bit participates), so uniqueness is per (format, id).
+  std::set<std::uint64_t> ids;
+  std::set<std::string> names;
+  for (const auto& m : messages_) {
+    m.validate();
+    const std::uint64_t key =
+        (m.format == FrameFormat::kExtended ? (std::uint64_t{1} << 32) : 0) | m.id;
+    if (!ids.insert(key).second)
+      throw std::invalid_argument("KMatrix: duplicate CAN id for message '" + m.name + "'");
+    if (!names.insert(m.name).second)
+      throw std::invalid_argument("KMatrix: duplicate message name '" + m.name + "'");
+    if (find_node(m.sender) == nullptr)
+      throw std::invalid_argument("KMatrix: message '" + m.name + "' sent by unknown node '" +
+                                  m.sender + "'");
+    for (const auto& r : m.receivers)
+      if (find_node(r) == nullptr)
+        throw std::invalid_argument("KMatrix: message '" + m.name + "' received by unknown node '" +
+                                    r + "'");
+  }
+}
+
+double KMatrix::utilization(bool worst_case_stuffing) const {
+  double u = 0;
+  for (const auto& m : messages_) {
+    const Duration c = m.wcet(timing_, worst_case_stuffing);
+    u += c.as_s() / m.period.as_s();
+  }
+  return u;
+}
+
+double KMatrix::node_traffic_bps(const std::string& node, bool worst_case_stuffing) const {
+  double bits_per_s = 0;
+  for (const auto& m : messages_) {
+    if (m.sender != node) continue;
+    const auto bits = worst_case_stuffing ? frame_bits_worst_case(m.format, m.payload_bytes)
+                                          : frame_bits_unstuffed(m.format, m.payload_bytes);
+    bits_per_s += static_cast<double>(bits) / m.period.as_s();
+  }
+  return bits_per_s;
+}
+
+}  // namespace symcan

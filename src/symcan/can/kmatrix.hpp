@@ -1,0 +1,63 @@
+#pragma once
+
+// The CAN communication matrix ("K-Matrix"): the central OEM artifact of
+// the paper. Holds the bus configuration, the attached nodes, and all
+// message rows, and offers the simple whole-bus queries (load, priority
+// order) the integration workflow starts from.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "symcan/can/controller.hpp"
+#include "symcan/can/frame.hpp"
+#include "symcan/can/message.hpp"
+
+namespace symcan {
+
+/// A complete single-bus K-Matrix.
+class KMatrix {
+ public:
+  KMatrix(std::string bus_name, BitTiming timing)
+      : bus_name_{std::move(bus_name)}, timing_{timing} {}
+
+  const std::string& bus_name() const { return bus_name_; }
+  const BitTiming& timing() const { return timing_; }
+
+  /// Nodes. Adding a message whose sender is unknown is rejected by
+  /// validate(), so add nodes first.
+  void add_node(EcuNode node);
+  const std::vector<EcuNode>& nodes() const { return nodes_; }
+  const EcuNode* find_node(const std::string& name) const;
+
+  /// Messages, in insertion order.
+  void add_message(CanMessage m);
+  const std::vector<CanMessage>& messages() const { return messages_; }
+  std::vector<CanMessage>& messages() { return messages_; }
+  const CanMessage* find_message(const std::string& name) const;
+  std::size_t size() const { return messages_.size(); }
+
+  /// Indices of messages() sorted by ascending CAN ID (descending
+  /// priority): the transmission-order view the analyses iterate in.
+  std::vector<std::size_t> priority_order() const;
+
+  /// Full-matrix validation: per-row checks, unique names, unique IDs,
+  /// known sender nodes. Throws std::invalid_argument.
+  void validate() const;
+
+  /// Bus utilization (paper Section 3.1): sum of frame_time/period over
+  /// all messages. `worst_case_stuffing` selects the frame-length model.
+  double utilization(bool worst_case_stuffing) const;
+
+  /// Raw traffic in bit/s contributed by one node (Figure 1 view).
+  double node_traffic_bps(const std::string& node, bool worst_case_stuffing) const;
+
+ private:
+  std::string bus_name_;
+  BitTiming timing_;
+  std::vector<EcuNode> nodes_;
+  std::vector<CanMessage> messages_;
+};
+
+}  // namespace symcan

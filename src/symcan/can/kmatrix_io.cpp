@@ -1,0 +1,154 @@
+#include "symcan/can/kmatrix_io.hpp"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+#include "symcan/util/csv.hpp"
+
+namespace symcan {
+
+namespace {
+
+std::string join(const std::vector<std::string>& parts, char sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out.push_back(sep);
+    out += parts[i];
+  }
+  return out;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+std::int64_t to_i64(const std::string& s, const char* what) {
+  std::int64_t v = 0;
+  const auto* begin = s.data();
+  const auto* end = s.data() + s.size();
+  const auto res = std::from_chars(begin, end, v);
+  if (res.ec != std::errc{} || res.ptr != end)
+    throw std::runtime_error(std::string("K-Matrix CSV: bad integer for ") + what + ": '" + s + "'");
+  return v;
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& msg) {
+  std::ostringstream os;
+  os << "K-Matrix CSV line " << line_no << ": " << msg;
+  throw std::runtime_error(os.str());
+}
+
+}  // namespace
+
+std::string kmatrix_to_csv(const KMatrix& km) {
+  std::ostringstream os;
+  os << "# symcan K-Matrix\n";
+  os << format_csv_row({"bus", km.bus_name(), std::to_string(km.timing().bits_per_second())})
+     << '\n';
+  for (const auto& n : km.nodes()) {
+    os << format_csv_row({"node", n.name, to_string(n.controller), std::to_string(n.tx_buffers),
+                          n.is_gateway ? "1" : "0"})
+       << '\n';
+  }
+  for (const auto& m : km.messages()) {
+    const bool expl = m.deadline_policy == DeadlinePolicy::kExplicit;
+    os << format_csv_row(
+              {"msg", m.name, std::to_string(m.id), to_string(m.format),
+               std::to_string(m.payload_bytes), std::to_string(m.period.count_ns()),
+               std::to_string(m.jitter.count_ns()),
+               std::to_string(m.min_distance.count_ns()), to_string(m.deadline_policy),
+               expl ? std::to_string(m.explicit_deadline.count_ns()) : "-", m.sender,
+               join(m.receivers, ';'), m.jitter_known ? "1" : "0",
+               m.tt_offset ? std::to_string(m.tt_offset->count_ns()) : "-"})
+       << '\n';
+  }
+  return os.str();
+}
+
+KMatrix kmatrix_from_csv(const std::string& text) {
+  std::optional<KMatrix> km;
+  const auto rows = parse_csv(text);
+  std::size_t line_no = 0;
+  for (const auto& row : rows) {
+    ++line_no;
+    if (row.empty() || row[0].empty()) continue;
+    const std::string& kind = row[0];
+    if (kind == "bus") {
+      if (row.size() != 3) fail(line_no, "bus record needs 3 fields");
+      if (km) fail(line_no, "duplicate bus record");
+      km.emplace(row[1], BitTiming{to_i64(row[2], "bitrate")});
+    } else if (kind == "node") {
+      if (!km) fail(line_no, "node record before bus record");
+      if (row.size() != 5) fail(line_no, "node record needs 5 fields");
+      EcuNode n;
+      n.name = row[1];
+      if (row[2] == "fullCAN")
+        n.controller = ControllerType::kFullCan;
+      else if (row[2] == "basicCAN")
+        n.controller = ControllerType::kBasicCan;
+      else
+        fail(line_no, "unknown controller type '" + row[2] + "'");
+      n.tx_buffers = static_cast<int>(to_i64(row[3], "tx_buffers"));
+      n.is_gateway = row[4] == "1";
+      km->add_node(std::move(n));
+    } else if (kind == "msg") {
+      if (!km) fail(line_no, "msg record before bus record");
+      // 13 fields = legacy (no TimeTable offset column), 14 = current.
+      if (row.size() != 13 && row.size() != 14) fail(line_no, "msg record needs 13 or 14 fields");
+      CanMessage m;
+      m.name = row[1];
+      m.id = static_cast<CanId>(to_i64(row[2], "id"));
+      if (row[3] == "standard")
+        m.format = FrameFormat::kStandard;
+      else if (row[3] == "extended")
+        m.format = FrameFormat::kExtended;
+      else
+        fail(line_no, "unknown frame format '" + row[3] + "'");
+      m.payload_bytes = static_cast<int>(to_i64(row[4], "bytes"));
+      m.period = Duration::ns(to_i64(row[5], "period_ns"));
+      m.jitter = Duration::ns(to_i64(row[6], "jitter_ns"));
+      m.min_distance = Duration::ns(to_i64(row[7], "dmin_ns"));
+      if (row[8] == "period")
+        m.deadline_policy = DeadlinePolicy::kPeriod;
+      else if (row[8] == "min-re-arrival")
+        m.deadline_policy = DeadlinePolicy::kMinReArrival;
+      else if (row[8] == "explicit")
+        m.deadline_policy = DeadlinePolicy::kExplicit;
+      else
+        fail(line_no, "unknown deadline policy '" + row[8] + "'");
+      if (m.deadline_policy == DeadlinePolicy::kExplicit)
+        m.explicit_deadline = Duration::ns(to_i64(row[9], "deadline_ns"));
+      m.sender = row[10];
+      m.receivers = split(row[11], ';');
+      m.jitter_known = row[12] == "1";
+      if (row.size() == 14 && row[13] != "-")
+        m.tt_offset = Duration::ns(to_i64(row[13], "offset_ns"));
+      km->add_message(std::move(m));
+    } else {
+      fail(line_no, "unknown record kind '" + kind + "'");
+    }
+  }
+  if (!km) throw std::runtime_error("K-Matrix CSV: missing bus record");
+  km->validate();
+  return std::move(*km);
+}
+
+void save_kmatrix(const KMatrix& km, const std::string& path) {
+  write_file(path, kmatrix_to_csv(km));
+}
+
+KMatrix load_kmatrix(const std::string& path) { return kmatrix_from_csv(read_file(path)); }
+
+}  // namespace symcan

@@ -1,0 +1,38 @@
+#pragma once
+
+// K-Matrix CSV import/export.
+//
+// The paper's workflow begins with "We automatically imported the length,
+// CAN id (priority), and the period of each message from the K-Matrix."
+// This module provides a round-trippable textual format so synthetic and
+// hand-written matrices are interchangeable.
+//
+// Format: one record per line; the first field tags the record kind.
+//
+//   bus,<name>,<bitrate_bps>
+//   node,<name>,<fullCAN|basicCAN>,<tx_buffers>,<gateway:0|1>
+//   msg,<name>,<id>,<standard|extended>,<bytes>,<period_ns>,<jitter_ns>,
+//       <dmin_ns>,<period|min-re-arrival|explicit>,<deadline_ns|->,
+//       <sender>,<receivers ';'-separated>,<jitter_known:0|1>,
+//       <tt_offset_ns|->                      (14th field optional/legacy)
+//
+// Lines starting with '#' are comments.
+
+#include <string>
+
+#include "symcan/can/kmatrix.hpp"
+
+namespace symcan {
+
+/// Serialize a K-Matrix to the CSV format above.
+std::string kmatrix_to_csv(const KMatrix& km);
+
+/// Parse the CSV format above. Throws std::runtime_error with a
+/// line-numbered message on malformed input; runs KMatrix::validate().
+KMatrix kmatrix_from_csv(const std::string& text);
+
+/// File convenience wrappers.
+void save_kmatrix(const KMatrix& km, const std::string& path);
+KMatrix load_kmatrix(const std::string& path);
+
+}  // namespace symcan

@@ -1,0 +1,55 @@
+#include "symcan/can/message.hpp"
+
+#include <stdexcept>
+
+namespace symcan {
+
+const char* to_string(DeadlinePolicy p) {
+  switch (p) {
+    case DeadlinePolicy::kPeriod:
+      return "period";
+    case DeadlinePolicy::kMinReArrival:
+      return "min-re-arrival";
+    case DeadlinePolicy::kExplicit:
+      return "explicit";
+  }
+  return "?";
+}
+
+Duration CanMessage::deadline() const {
+  switch (deadline_policy) {
+    case DeadlinePolicy::kPeriod:
+      return period;
+    case DeadlinePolicy::kMinReArrival:
+      // Minimum re-arrival of the next instance: it may arrive up to J
+      // early relative to the current one's nominal release. Never below
+      // the minimum distance if one is guaranteed.
+      return max(period - jitter, min_distance);
+    case DeadlinePolicy::kExplicit:
+      return explicit_deadline;
+  }
+  return Duration::infinite();
+}
+
+void CanMessage::validate() const {
+  if (name.empty()) throw std::invalid_argument("CanMessage: empty name");
+  const CanId max_id = format == FrameFormat::kStandard ? max_standard_id : max_extended_id;
+  if (id > max_id)
+    throw std::invalid_argument("CanMessage '" + name + "': id exceeds format range");
+  if (payload_bytes < 0 || payload_bytes > 8)
+    throw std::invalid_argument("CanMessage '" + name + "': payload must be 0..8 bytes");
+  if (period <= Duration::zero())
+    throw std::invalid_argument("CanMessage '" + name + "': period must be > 0");
+  if (jitter < Duration::zero())
+    throw std::invalid_argument("CanMessage '" + name + "': jitter must be >= 0");
+  if (min_distance < Duration::zero())
+    throw std::invalid_argument("CanMessage '" + name + "': min_distance must be >= 0");
+  if (deadline_policy == DeadlinePolicy::kExplicit && explicit_deadline <= Duration::zero())
+    throw std::invalid_argument("CanMessage '" + name + "': explicit deadline must be > 0");
+  if (tt_offset && (*tt_offset < Duration::zero() || *tt_offset >= period))
+    throw std::invalid_argument("CanMessage '" + name + "': tt_offset must be in [0, period)");
+  if (sender.empty())
+    throw std::invalid_argument("CanMessage '" + name + "': sender ECU missing");
+}
+
+}  // namespace symcan

@@ -1,0 +1,100 @@
+#pragma once
+
+// One row of a CAN communication matrix ("K-Matrix"): everything the OEM
+// knows statically about a bus message (paper Figure 3, grey area), plus
+// the dynamic attributes (jitter, minimum distance) that ECU suppliers
+// contribute as their implementations firm up.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "symcan/can/frame.hpp"
+#include "symcan/model/event_model.hpp"
+#include "symcan/util/time.hpp"
+
+namespace symcan {
+
+/// CAN identifier. Doubles as the arbitration priority: numerically lower
+/// IDs win arbitration.
+using CanId = std::uint32_t;
+
+constexpr CanId max_standard_id = 0x7FF;
+constexpr CanId max_extended_id = 0x1FFF'FFFF;
+
+/// How the deadline of a message is derived (paper Section 3.2 / Figure 5).
+enum class DeadlinePolicy : std::uint8_t {
+  kPeriod,        ///< D = T: the next instance overwrites the buffer at the
+                  ///< nominal period (best-case assumption in Figure 5).
+  kMinReArrival,  ///< D = T - J: the successor can arrive early by the full
+                  ///< jitter; the paper's worst-case assumption.
+  kExplicit,      ///< D given explicitly in the K-Matrix.
+};
+
+const char* to_string(DeadlinePolicy p);
+
+/// A periodic/sporadic CAN message.
+struct CanMessage {
+  std::string name;
+  CanId id = 0;              ///< Identifier == arbitration priority (lower wins).
+  FrameFormat format = FrameFormat::kStandard;
+  int payload_bytes = 8;     ///< DLC, 0..8.
+
+  Duration period = Duration::ms(10);   ///< Nominal period (or min inter-arrival).
+  Duration jitter = Duration::zero();   ///< Queueing jitter at the sender.
+  Duration min_distance = Duration::zero();  ///< Burst limitation (0 = none).
+
+  /// TimeTable activation (paper Section 5.2): when set, the sender
+  /// releases this message at `n*period + *tt_offset (+ jitter)`. Senders
+  /// with offset-scheduled messages desynchronize their releases, which
+  /// the offset-aware analysis exploits. Must satisfy 0 <= offset < period.
+  std::optional<Duration> tt_offset;
+
+  DeadlinePolicy deadline_policy = DeadlinePolicy::kPeriod;
+  Duration explicit_deadline = Duration::infinite();  ///< Used with kExplicit.
+
+  std::string sender;                  ///< Sending ECU name.
+  std::vector<std::string> receivers;  ///< Receiving ECU names.
+
+  /// True for messages the OEM knows the jitter of (paper Section 4: "We
+  /// knew the jitters of only a few messages"); false means the jitter
+  /// field is an assumption subject to what-if variation.
+  bool jitter_known = false;
+
+  /// Activation model implied by the row.
+  EventModel activation() const {
+    return EventModel::periodic_burst(period, jitter, min_distance);
+  }
+
+  /// Total order matching CAN arbitration across frame formats: the 11
+  /// base-ID bits compare first; on a tie a standard frame beats an
+  /// extended one (its RTR bit is dominant where the extended frame sends
+  /// the recessive SRR); extended frames then compare their remaining 18
+  /// ID bits. Lower rank = higher priority.
+  std::uint64_t arbitration_rank() const {
+    if (format == FrameFormat::kStandard) return std::uint64_t{id} << 19;
+    const std::uint64_t base11 = id >> 18;
+    const std::uint64_t ext18 = id & 0x3FFFF;
+    return (base11 << 19) | (std::uint64_t{1} << 18) | ext18;
+  }
+
+  /// Deadline under the given policy (Section 3.2: a message is lost when
+  /// its worst-case response time exceeds its minimum re-arrival time).
+  Duration deadline() const;
+
+  /// Worst-case / best-case time on the wire at the given bit timing.
+  Duration wcet(const BitTiming& t, bool worst_case_stuffing) const {
+    return worst_case_stuffing ? frame_time_worst_case(t, format, payload_bytes)
+                               : frame_time_unstuffed(t, format, payload_bytes);
+  }
+  Duration bcet(const BitTiming& t) const {
+    return frame_time_unstuffed(t, format, payload_bytes);
+  }
+
+  /// Validation; throws std::invalid_argument with a message naming the
+  /// offending field.
+  void validate() const;
+};
+
+}  // namespace symcan

@@ -1,0 +1,72 @@
+#include "symcan/cli/args.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <stdexcept>
+
+namespace symcan::cli {
+
+Args Args::parse(const std::vector<std::string>& raw,
+                 const std::vector<std::string>& flag_names) {
+  Args out;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const std::string& tok = raw[i];
+    if (tok.rfind("--", 0) == 0) {
+      const std::string name = tok.substr(2);
+      if (name.empty()) throw std::invalid_argument("empty option name '--'");
+      if (std::find(flag_names.begin(), flag_names.end(), name) != flag_names.end()) {
+        out.flags_[name] = true;
+      } else {
+        if (i + 1 >= raw.size())
+          throw std::invalid_argument("option --" + name + " expects a value");
+        out.options_[name] = raw[++i];
+      }
+    } else {
+      out.positionals_.push_back(tok);
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> Args::option(const std::string& name) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return std::nullopt;
+  read_[name] = true;
+  return it->second;
+}
+
+std::string Args::option_or(const std::string& name, const std::string& fallback) const {
+  return option(name).value_or(fallback);
+}
+
+std::int64_t Args::int_option_or(const std::string& name, std::int64_t fallback) const {
+  const auto v = option(name);
+  if (!v) return fallback;
+  std::int64_t parsed = 0;
+  const auto res = std::from_chars(v->data(), v->data() + v->size(), parsed);
+  if (res.ec != std::errc{} || res.ptr != v->data() + v->size())
+    throw std::invalid_argument("option --" + name + ": '" + *v + "' is not an integer");
+  return parsed;
+}
+
+double Args::double_option_or(const std::string& name, double fallback) const {
+  const auto v = option(name);
+  if (!v) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double parsed = std::stod(*v, &pos);
+    if (pos != v->size()) throw std::invalid_argument("");
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + name + ": '" + *v + "' is not a number");
+  }
+}
+
+std::vector<std::string> Args::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : options_)
+    if (!read_.count(name)) out.push_back(name);
+  return out;
+}
+
+}  // namespace symcan::cli

@@ -1,0 +1,47 @@
+#pragma once
+
+// Minimal argument parsing for the symcan command-line tool. Kept as a
+// library so the commands are unit-testable without spawning processes.
+//
+// Grammar:  symcan <command> [positionals...] [--key value]... [--flag]...
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace symcan::cli {
+
+class Args {
+ public:
+  /// Parse raw arguments (excluding argv[0] and the command word).
+  /// `flag_names` lists the options that take no value; everything else
+  /// starting with "--" expects one. Throws std::invalid_argument on a
+  /// missing value or an unknown flag-style token at the end.
+  static Args parse(const std::vector<std::string>& raw,
+                    const std::vector<std::string>& flag_names = {});
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+  bool has_flag(const std::string& name) const { return flags_.count(name) > 0; }
+
+  std::optional<std::string> option(const std::string& name) const;
+  std::string option_or(const std::string& name, const std::string& fallback) const;
+
+  /// Typed accessors; throw std::invalid_argument with the option name on
+  /// malformed numbers.
+  std::int64_t int_option_or(const std::string& name, std::int64_t fallback) const;
+  double double_option_or(const std::string& name, double fallback) const;
+
+  /// Options that were provided but never read — surfaced as errors so
+  /// typos do not silently change behaviour.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::vector<std::string> positionals_;
+  std::map<std::string, std::string> options_;
+  std::map<std::string, bool> flags_;
+  mutable std::map<std::string, bool> read_;
+};
+
+}  // namespace symcan::cli

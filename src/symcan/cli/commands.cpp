@@ -1,0 +1,357 @@
+#include "symcan/cli/commands.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "symcan/analysis/load.hpp"
+#include "symcan/analysis/presets.hpp"
+#include "symcan/can/dbc_import.hpp"
+#include "symcan/can/kmatrix_io.hpp"
+#include "symcan/cli/args.hpp"
+#include "symcan/opt/ga.hpp"
+#include "symcan/sensitivity/extensibility.hpp"
+#include "symcan/supplychain/budget.hpp"
+#include "symcan/sensitivity/robustness.hpp"
+#include "symcan/sim/simulator.hpp"
+#include "symcan/util/table.hpp"
+#include "symcan/workload/powertrain.hpp"
+
+namespace symcan::cli {
+
+namespace {
+
+/// Shared option handling: --worst-case / --best-case assumption presets
+/// and the --jitter fraction applied to (unknown) jitters.
+CanRtaConfig assumptions_from(const Args& args) {
+  if (args.has_flag("worst-case")) return worst_case_assumptions();
+  if (args.has_flag("best-case")) return best_case_assumptions();
+  // Default: stuffing + no errors + period deadlines.
+  CanRtaConfig cfg;
+  cfg.worst_case_stuffing = true;
+  cfg.deadline_override = DeadlinePolicy::kPeriod;
+  return cfg;
+}
+
+KMatrix load_matrix(const Args& args, std::size_t positional_index = 0) {
+  if (args.positionals().size() <= positional_index)
+    throw std::invalid_argument("missing K-Matrix path");
+  const std::string& path = args.positionals()[positional_index];
+  const bool is_dbc =
+      args.has_flag("dbc") || (path.size() > 4 && path.substr(path.size() - 4) == ".dbc");
+  KMatrix km = is_dbc ? load_dbc(path) : load_kmatrix(path);
+  const double jitter = args.double_option_or("jitter", -1.0);
+  if (jitter >= 0) assume_jitter_fraction(km, jitter, args.has_flag("override-known"));
+  return km;
+}
+
+void fail_on_unused(const Args& args) {
+  const auto unused = args.unused();
+  if (!unused.empty())
+    throw std::invalid_argument("unknown option --" + unused.front());
+}
+
+int cmd_generate(const Args& args, std::ostream& out) {
+  PowertrainConfig cfg = PowertrainConfig::case_study();
+  cfg.seed = static_cast<std::uint64_t>(args.int_option_or("seed", 42));
+  cfg.message_count = static_cast<int>(args.int_option_or("messages", cfg.message_count));
+  cfg.ecu_count = static_cast<int>(args.int_option_or("ecus", cfg.ecu_count));
+  cfg.target_utilization = args.double_option_or("util", cfg.target_utilization);
+  cfg.bitrate_bps = args.int_option_or("bitrate", cfg.bitrate_bps);
+  const std::string output = args.option_or("out", "");
+  KMatrix km = generate_powertrain(cfg);
+  if (args.has_flag("tt-offsets")) {
+    snap_periods(km, Duration::ms(1));
+    assign_tt_offsets(km);
+  }
+  fail_on_unused(args);
+  if (output.empty()) {
+    out << kmatrix_to_csv(km);
+  } else {
+    save_kmatrix(km, output);
+    out << "wrote " << km.size() << " messages to " << output << "\n";
+  }
+  return 0;
+}
+
+int cmd_analyze(const Args& args, std::ostream& out) {
+  const KMatrix km = load_matrix(args);
+  const CanRtaConfig cfg = assumptions_from(args);
+  fail_on_unused(args);
+
+  const LoadReport load = analyze_load(km, cfg.worst_case_stuffing);
+  out << strprintf("bus %s: %zu messages, load %.1f%% of %.0f kbit/s\n", km.bus_name().c_str(),
+                   km.size(), 100 * load.utilization, load.bandwidth_bps / 1000);
+
+  const BusResult res = CanRta{km, cfg}.analyze();
+  TextTable t;
+  t.header({"message", "id", "wcrt", "deadline", "slack", "verdict"});
+  for (const std::size_t i : km.priority_order()) {
+    const MessageResult& m = res.messages[i];
+    t.row({m.name, strprintf("0x%03X", m.id), to_string(m.wcrt), to_string(m.deadline),
+           to_string(m.slack()), m.schedulable ? "ok" : "MISS"});
+  }
+  t.print(out);
+  out << strprintf("misses: %zu/%zu\n", res.miss_count(), res.messages.size());
+  return res.all_schedulable() ? 0 : 1;
+}
+
+int cmd_sweep(const Args& args, std::ostream& out) {
+  const KMatrix km = load_matrix(args);
+  JitterSweepConfig cfg;
+  cfg.rta = assumptions_from(args);
+  cfg.from = args.double_option_or("from", 0.0);
+  cfg.to = args.double_option_or("to", 0.60);
+  cfg.step = args.double_option_or("step", 0.05);
+  fail_on_unused(args);
+  const JitterSweepResult res = sweep_jitter(km, cfg);
+  out << "jitter_fraction,miss_fraction,miss_count\n";
+  for (std::size_t i = 0; i < res.fractions.size(); ++i)
+    out << strprintf("%.4f,%.6f,%zu\n", res.fractions[i], res.miss_fraction(i),
+                     res.results[i].miss_count());
+  return 0;
+}
+
+int cmd_sensitivity(const Args& args, std::ostream& out) {
+  const KMatrix km = load_matrix(args);
+  JitterSweepConfig cfg;
+  cfg.rta = assumptions_from(args);
+  fail_on_unused(args);
+  const SensitivityReport rep = analyze_sensitivity(km, cfg);
+  TextTable t;
+  t.header({"message", "class", "growth", "max tolerable jitter"});
+  for (const auto& m : rep.messages)
+    t.row({m.name, to_string(m.cls), strprintf("%+.0f%%", 100 * m.relative_growth),
+           strprintf("%.1f%%", 100 * m.max_tolerable_fraction)});
+  t.print(out);
+  return 0;
+}
+
+int cmd_optimize(const Args& args, std::ostream& out) {
+  const KMatrix km = load_matrix(args);
+  GaConfig cfg;
+  cfg.rta = args.has_flag("best-case") ? best_case_assumptions() : worst_case_assumptions();
+  cfg.seed = static_cast<std::uint64_t>(args.int_option_or("seed", 7));
+  cfg.generations = static_cast<int>(args.int_option_or("generations", 25));
+  cfg.population = static_cast<int>(args.int_option_or("population", 32));
+  cfg.archive = std::max(2, cfg.population / 2);
+  cfg.eval_fractions = {args.double_option_or("target-jitter", 0.25)};
+  cfg.seeds = {current_order(km), deadline_monotonic_order(km)};
+  const std::string output = args.option_or("out", "");
+  fail_on_unused(args);
+
+  const GaResult res = optimize_priorities(km, cfg);
+  const KMatrix optimized = apply_priority_order(km, res.best.order);
+  out << strprintf("GA: %d evaluations, best misses %.0f, robustness cost %.3f\n",
+                   res.evaluations, res.best.misses, res.best.robustness_cost);
+  if (output.empty()) {
+    out << kmatrix_to_csv(optimized);
+  } else {
+    save_kmatrix(optimized, output);
+    out << "wrote optimized matrix to " << output << "\n";
+  }
+  return res.best.misses == 0 ? 0 : 1;
+}
+
+int cmd_simulate(const Args& args, std::ostream& out) {
+  const KMatrix km = load_matrix(args);
+  SimConfig cfg;
+  cfg.duration = Duration::ms(args.int_option_or("millis", 2000));
+  cfg.seed = static_cast<std::uint64_t>(args.int_option_or("seed", 1));
+  const std::string errors = args.option_or("errors", "none");
+  if (errors == "sporadic")
+    cfg.errors = SimErrorProcess::sporadic(Duration::ms(args.int_option_or("error-gap-ms", 40)));
+  else if (errors == "burst")
+    cfg.errors =
+        SimErrorProcess::burst(Duration::ms(args.int_option_or("error-gap-ms", 25)), 4);
+  else if (errors != "none")
+    throw std::invalid_argument("--errors must be none|sporadic|burst");
+  fail_on_unused(args);
+
+  const SimResult res = simulate(km, cfg);
+  TextTable t;
+  t.header({"message", "activations", "completed", "lost", "retx", "wcrt obs", "avg"});
+  for (const auto& m : res.messages)
+    t.row({m.name, strprintf("%lld", static_cast<long long>(m.activations)),
+           strprintf("%lld", static_cast<long long>(m.completions)),
+           strprintf("%lld", static_cast<long long>(m.losses)),
+           strprintf("%lld", static_cast<long long>(m.retransmissions)),
+           to_string(m.wcrt_observed), strprintf("%.0f us", m.avg_response_us)});
+  t.print(out);
+  std::int64_t losses = 0;
+  for (const auto& m : res.messages) losses += m.losses;
+  out << strprintf("simulated %s, %lld errors injected, %lld losses\n",
+                   to_string(res.simulated).c_str(),
+                   static_cast<long long>(res.total_errors_injected),
+                   static_cast<long long>(losses));
+  return losses == 0 ? 0 : 1;
+}
+
+int cmd_budget(const Args& args, std::ostream& out) {
+  const KMatrix km = load_matrix(args);
+  const CanRtaConfig cfg = assumptions_from(args);
+  fail_on_unused(args);
+  const BudgetReport budgets = allocate_jitter_budgets(km, cfg, 0.02);
+  out << strprintf("jointly safe uniform jitter: %.0f%% of each period\n",
+                   100 * budgets.joint_fraction);
+  TextTable t;
+  t.header({"message", "joint budget", "individual max", "tradeable bonus"});
+  for (const std::size_t i : km.priority_order())
+    t.row({km.messages()[i].name, to_string(budgets.joint_budget[i]),
+           to_string(budgets.individual_budget[i]), to_string(budgets.bonus(i))});
+  t.print(out);
+  return 0;
+}
+
+int cmd_report(const Args& args, std::ostream& out) {
+  const KMatrix km = load_matrix(args);
+  const CanRtaConfig cfg = assumptions_from(args);
+  fail_on_unused(args);
+
+  out << "# Network integration report: " << km.bus_name() << "\n\n";
+  const LoadReport load = analyze_load(km, cfg.worst_case_stuffing);
+  out << strprintf("- %zu messages on %zu nodes, %.0f kbit/s\n", km.size(), km.nodes().size(),
+                   load.bandwidth_bps / 1000);
+  out << strprintf("- bus load: %.1f%% (40%% limit: %s, 60%% limit: %s)\n",
+                   100 * load.utilization, within_load_limit(load, 0.4) ? "ok" : "EXCEEDED",
+                   within_load_limit(load, 0.6) ? "ok" : "EXCEEDED");
+
+  const BusResult res = CanRta{km, cfg}.analyze();
+  out << strprintf("- schedulability: %zu/%zu messages meet their deadline\n",
+                   res.messages.size() - res.miss_count(), res.messages.size());
+  Duration worst = Duration::zero();
+  std::string worst_name;
+  for (const auto& m : res.messages) {
+    if (m.wcrt.is_infinite()) continue;
+    if (m.wcrt > worst) {
+      worst = m.wcrt;
+      worst_name = m.name;
+    }
+  }
+  out << strprintf("- largest worst-case response: %s (%s)\n", to_string(worst).c_str(),
+                   worst_name.c_str());
+
+  out << "\n## Deadline misses\n\n";
+  bool any_miss = false;
+  for (const auto& m : res.messages) {
+    if (m.schedulable) continue;
+    any_miss = true;
+    out << strprintf("- %s: wcrt %s vs deadline %s\n", m.name.c_str(),
+                     to_string(m.wcrt).c_str(), to_string(m.deadline).c_str());
+  }
+  if (!any_miss) out << "none\n";
+
+  if (res.all_schedulable()) {
+    out << "\n## Jitter budgets (Section 5.2)\n\n";
+    const BudgetReport budgets = allocate_jitter_budgets(km, cfg, 0.02);
+    out << strprintf("- jointly safe uniform jitter: %.0f%% of each period\n",
+                     100 * budgets.joint_fraction);
+    // The three largest tradeable reserves.
+    std::vector<std::size_t> idx(km.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(),
+              [&](std::size_t a, std::size_t b) { return budgets.bonus(a) > budgets.bonus(b); });
+    for (std::size_t k = 0; k < 3 && k < idx.size(); ++k)
+      out << strprintf("- %s: joint %s, individually up to %s\n",
+                       km.messages()[idx[k]].name.c_str(),
+                       to_string(budgets.joint_budget[idx[k]]).c_str(),
+                       to_string(budgets.individual_budget[idx[k]]).c_str());
+
+    out << "\n## Extensibility (Section 2)\n\n";
+    ExtensionProfile profile;
+    profile.first_id = 0x600;
+    const ExtensibilityReport ext = max_additional_messages(km, cfg, profile, 64);
+    out << strprintf("- %s%zu additional 20 ms / 8 B messages provable (load at max: %.0f%%)\n",
+                     ext.capped ? ">= " : "", ext.max_additional_messages,
+                     100 * ext.utilization_at_max);
+  }
+  return res.all_schedulable() ? 0 : 1;
+}
+
+int cmd_import(const Args& args, std::ostream& out) {
+  if (args.positionals().empty()) throw std::invalid_argument("missing DBC path");
+  DbcImportOptions opt;
+  opt.default_bitrate_bps = args.int_option_or("bitrate", opt.default_bitrate_bps);
+  opt.bus_name = args.option_or("bus-name", opt.bus_name);
+  const KMatrix km = load_dbc(args.positionals()[0], opt);
+  const std::string output = args.option_or("out", "");
+  fail_on_unused(args);
+  if (output.empty()) {
+    out << kmatrix_to_csv(km);
+  } else {
+    save_kmatrix(km, output);
+    out << "imported " << km.size() << " messages from DBC to " << output << "\n";
+  }
+  return 0;
+}
+
+int cmd_extend(const Args& args, std::ostream& out) {
+  const KMatrix km = load_matrix(args);
+  ExtensionProfile profile;
+  profile.period = Duration::ms(args.int_option_or("period-ms", 20));
+  profile.payload_bytes = static_cast<int>(args.int_option_or("bytes", 8));
+  profile.jitter_fraction = args.double_option_or("profile-jitter", 0.25);
+  profile.first_id = static_cast<CanId>(args.int_option_or("first-id", 0x600));
+  const CanRtaConfig cfg = assumptions_from(args);
+  fail_on_unused(args);
+  const ExtensibilityReport r = max_additional_messages(km, cfg, profile, 128);
+  out << strprintf("headroom: %s%zu additional %lldms/%dB messages (util at max: %.1f%%)\n",
+                   r.capped ? ">= " : "", r.max_additional_messages,
+                   static_cast<long long>(profile.period.count_ns() / 1'000'000),
+                   profile.payload_bytes, 100 * r.utilization_at_max);
+  if (!r.capped && !r.steps.empty() && !r.steps.back().first_miss.empty())
+    out << "first failure: " << r.steps.back().first_miss << "\n";
+  return 0;
+}
+
+}  // namespace
+
+std::string usage() {
+  return "usage: symcan <command> [options]\n"
+         "  generate    [--seed N] [--messages N] [--ecus N] [--util X] [--bitrate BPS]\n"
+         "              [--tt-offsets] [--out FILE]      synthesize a K-Matrix CSV\n"
+         "  analyze     FILE [--worst-case|--best-case] [--jitter F] [--override-known]\n"
+         "  sweep       FILE [--from F] [--to F] [--step F] [--worst-case|--best-case]\n"
+         "  import      FILE.dbc [--bitrate BPS] [--bus-name NAME] [--out FILE]\n"
+         "  report      FILE [--worst-case|--best-case] [--jitter F]   markdown summary\n"
+         "  budget      FILE [--worst-case|--best-case]   jitter budgets (Section 5.2)\n"
+         "  sensitivity FILE [--worst-case|--best-case]\n"
+         "  optimize    FILE [--generations N] [--population N] [--seed N]\n"
+         "              [--target-jitter F] [--out FILE]\n"
+         "  simulate    FILE [--millis N] [--seed N] [--errors none|sporadic|burst]\n"
+         "              [--error-gap-ms N]\n"
+         "  extend      FILE [--period-ms N] [--bytes N] [--profile-jitter F]\n"
+         "              [--first-id N] [--worst-case|--best-case]\n"
+         "  help\n";
+}
+
+int run_cli(const std::vector<std::string>& argv_tail, std::ostream& out, std::ostream& err) {
+  if (argv_tail.empty() || argv_tail[0] == "help" || argv_tail[0] == "--help") {
+    out << usage();
+    return argv_tail.empty() ? 2 : 0;
+  }
+  const std::string command = argv_tail[0];
+  const std::vector<std::string> rest(argv_tail.begin() + 1, argv_tail.end());
+  try {
+    const std::vector<std::string> flags = {"worst-case", "best-case", "override-known",
+                                            "tt-offsets", "dbc"};
+    const Args args = Args::parse(rest, flags);
+    if (command == "generate") return cmd_generate(args, out);
+    if (command == "analyze") return cmd_analyze(args, out);
+    if (command == "sweep") return cmd_sweep(args, out);
+    if (command == "import") return cmd_import(args, out);
+    if (command == "report") return cmd_report(args, out);
+    if (command == "budget") return cmd_budget(args, out);
+    if (command == "sensitivity") return cmd_sensitivity(args, out);
+    if (command == "optimize") return cmd_optimize(args, out);
+    if (command == "simulate") return cmd_simulate(args, out);
+    if (command == "extend") return cmd_extend(args, out);
+    err << "symcan: unknown command '" << command << "'\n" << usage();
+    return 2;
+  } catch (const std::exception& e) {
+    err << "symcan " << command << ": " << e.what() << "\n";
+    return 2;
+  }
+}
+
+}  // namespace symcan::cli

@@ -1,0 +1,31 @@
+#pragma once
+
+// The symcan command-line tool, as a library (see tools/symcan_cli).
+//
+// Commands:
+//   generate    synthesize a power-train K-Matrix CSV
+//   analyze     load + worst-case response-time verdicts for a matrix
+//   sweep       Figure-5 style loss-vs-jitter series (CSV on stdout)
+//   sensitivity Figure-4 style robustness classification
+//   optimize    GA CAN-ID optimization, writes the optimized matrix
+//   simulate    discrete-event simulation statistics
+//   extend      extensibility headroom (how many more messages fit)
+//
+// All commands read/write the K-Matrix CSV format of kmatrix_io.hpp.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace symcan::cli {
+
+/// Entry point used by main() and by the tests. `argv_tail` excludes the
+/// program name. Returns the process exit code; never throws (errors are
+/// reported on `err` with exit code 2, analysis "failures" such as
+/// unschedulable matrices use exit code 1).
+int run_cli(const std::vector<std::string>& argv_tail, std::ostream& out, std::ostream& err);
+
+/// One-line summary per command, used by `symcan help`.
+std::string usage();
+
+}  // namespace symcan::cli

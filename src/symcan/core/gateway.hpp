@@ -1,0 +1,62 @@
+#pragma once
+
+// Gateway forwarding strategies (paper Section 5: "gatewaying strategies
+// can be optimized. These are usually under the control of the OEMs and
+// provide many parameters that can be tuned such as queue configuration").
+//
+// A gateway moves a stream from one bus to another. How it queues and
+// paces the stream decides both the latency it adds and the event model
+// it injects into the destination bus:
+//
+//  * immediate    — per-stream buffer, forwarded as soon as the
+//                   forwarding task runs: minimal latency, jitter passes
+//                   through (plus the task's response jitter);
+//  * fifo         — one shared queue for all forwarded streams: cheap
+//                   hardware, but streams add queueing delay and jitter
+//                   to each other (bounded via the backlog analysis);
+//  * shaped       — a traffic shaper enforces a minimum distance on the
+//                   output: bursts are flattened, the destination bus
+//                   sees a friendlier model, the shaper adds bounded
+//                   smoothing delay.
+
+#include <vector>
+
+#include "symcan/analysis/buffer.hpp"
+#include "symcan/model/event_model.hpp"
+#include "symcan/util/time.hpp"
+
+namespace symcan {
+
+enum class GatewayStrategy : std::uint8_t { kImmediate, kFifo, kShaped };
+
+const char* to_string(GatewayStrategy s);
+
+struct GatewayConfig {
+  GatewayStrategy strategy = GatewayStrategy::kImmediate;
+  /// Forwarding task: worst/best-case handling latency per frame.
+  Duration forward_bcet = Duration::us(50);
+  Duration forward_wcet = Duration::us(200);
+  /// kFifo: service model of the queue drain (e.g. forwarding task
+  /// activation). One frame forwarded per service event.
+  EventModel fifo_service = EventModel::periodic(Duration::ms(1));
+  /// kShaped: enforced minimum output distance.
+  Duration shaping_distance = Duration::ms(1);
+};
+
+/// Result of pushing one stream through the gateway.
+struct ForwardedStream {
+  /// Event model injected into the far bus.
+  EventModel output = EventModel::periodic(Duration::ms(10));
+  Duration max_delay;           ///< Worst added latency (queue + handling).
+  Duration min_delay;           ///< Best added latency.
+  std::optional<std::int64_t> queue_depth;  ///< kFifo: bound; nullopt = unbounded.
+};
+
+/// Forward `input` through a gateway configured by `cfg`. For kFifo,
+/// `siblings` are the other streams sharing the queue (their arrivals
+/// delay ours). Returns nullopt-queue_depth ForwardedStream with
+/// max_delay == infinite() when the FIFO is unboundedly backlogged.
+ForwardedStream forward_stream(const EventModel& input, const GatewayConfig& cfg,
+                               const std::vector<EventModel>& siblings = {});
+
+}  // namespace symcan

@@ -1,0 +1,53 @@
+#include "symcan/core/system.hpp"
+
+#include <stdexcept>
+
+namespace symcan {
+
+void System::add_bus(KMatrix km) {
+  const std::string name = km.bus_name();
+  if (buses_.contains(name)) throw std::invalid_argument("System: duplicate bus '" + name + "'");
+  buses_.emplace(name, std::move(km));
+}
+
+void System::add_ecu(std::string name, std::vector<Task> tasks) {
+  if (name.empty()) throw std::invalid_argument("System: ECU with empty name");
+  if (ecus_.contains(name)) throw std::invalid_argument("System: duplicate ECU '" + name + "'");
+  ecus_.emplace(std::move(name), std::move(tasks));
+}
+
+void System::add_path(Path p) {
+  if (p.name.empty()) throw std::invalid_argument("System: path with empty name");
+  if (p.elements.empty())
+    throw std::invalid_argument("System: path '" + p.name + "' has no elements");
+  paths_.push_back(std::move(p));
+}
+
+void System::validate() const {
+  for (const auto& [name, km] : buses_) km.validate();
+  for (const auto& p : paths_) {
+    for (const auto& el : p.elements) {
+      if (el.kind == PathElement::Kind::kMessage) {
+        auto it = buses_.find(el.resource);
+        if (it == buses_.end())
+          throw std::invalid_argument("System: path '" + p.name + "' references unknown bus '" +
+                                      el.resource + "'");
+        if (it->second.find_message(el.item) == nullptr)
+          throw std::invalid_argument("System: path '" + p.name + "' references unknown message '" +
+                                      el.item + "' on bus '" + el.resource + "'");
+      } else {
+        auto it = ecus_.find(el.resource);
+        if (it == ecus_.end())
+          throw std::invalid_argument("System: path '" + p.name + "' references unknown ECU '" +
+                                      el.resource + "'");
+        bool found = false;
+        for (const auto& t : it->second) found = found || t.name == el.item;
+        if (!found)
+          throw std::invalid_argument("System: path '" + p.name + "' references unknown task '" +
+                                      el.item + "' on ECU '" + el.resource + "'");
+      }
+    }
+  }
+}
+
+}  // namespace symcan

@@ -1,0 +1,73 @@
+#include "symcan/model/converters.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace symcan {
+
+EventModel to_sporadic(const EventModel& em) {
+  const Duration d2 = em.delta_min(2);
+  if (d2 <= Duration::zero()) {
+    // Events may coincide: the sporadic class cannot express that; the
+    // closest containing member uses the smallest representable distance.
+    return EventModel::sporadic(Duration::ns(1));
+  }
+  return EventModel::sporadic(d2);
+}
+
+EventModel to_periodic_jitter(const EventModel& em) {
+  return EventModel::periodic_jitter(em.period(), em.jitter());
+}
+
+EventModel abstraction_union(const EventModel& a, const EventModel& b) {
+  // Rate: the union must admit the higher rate.
+  const Duration period = min(a.period(), b.period());
+  // Short-window density: the weaker minimum-distance guarantee.
+  const Duration dmin = min(a.min_distance(), b.min_distance());
+  // Jitter: smallest J such that ceil((w+J)/P) dominates both eta+
+  // functions. Checked on the inputs' breakpoints: for every n, the union
+  // must admit n events within the tighter of the two delta_min(n) spans:
+  //   (n-1)*period - J <= min(delta_min_a(n), delta_min_b(n))
+  // so J >= (n-1)*period - min(...). The required J stabilizes once the
+  // periodic terms dominate (period <= both input periods).
+  Duration jitter = max(a.jitter(), b.jitter());
+  int settled = 0;
+  for (std::int64_t n = 2; n < 100'000 && settled < 8; ++n) {
+    const Duration span = min(a.delta_min(n), b.delta_min(n));
+    const Duration need = (n - 1) * period - span;
+    if (need > jitter) {
+      jitter = need;
+      settled = 0;
+    } else {
+      ++settled;
+    }
+  }
+  return EventModel::periodic_burst(period, jitter, dmin);
+}
+
+double adaptation_error(const EventModel& tight, const EventModel& loose, Duration horizon) {
+  if (horizon <= Duration::zero())
+    throw std::invalid_argument("adaptation_error: horizon must be > 0");
+  // Sample windows just past every step point of both eta+ functions.
+  std::vector<Duration> windows;
+  for (const EventModel* em : {&tight, &loose}) {
+    for (std::int64_t n = 2;; ++n) {
+      const Duration step = em->delta_min(n);
+      if (step > horizon || n > 100'000) break;
+      windows.push_back(step + Duration::ns(1));
+    }
+  }
+  windows.push_back(Duration::ns(1));
+  windows.push_back(horizon);
+
+  double worst = 0;
+  for (const Duration w : windows) {
+    const double t = static_cast<double>(tight.eta_plus(w));
+    const double l = static_cast<double>(loose.eta_plus(w));
+    worst = std::max(worst, (l - t) / std::max(1.0, t));
+  }
+  return worst;
+}
+
+}  // namespace symcan

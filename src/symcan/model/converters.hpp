@@ -1,0 +1,44 @@
+#pragma once
+
+// Event model interfaces and adaptation (Richter & Ernst, "Event Model
+// Interfaces for Heterogeneous System Analysis", DATE 2002 — the paper's
+// reference [11], and chapter 4 of Richter's thesis).
+//
+// Different analysis domains speak different activation-model dialects
+// (strictly periodic, sporadic, periodic-with-jitter/burst). EMIFs convert
+// between them *losslessly where possible and conservatively otherwise*:
+// the converted model must contain every event trace of the original
+// (EventModel::contains), and the adaptation error quantifies how much
+// pessimism the conversion added.
+
+#include "symcan/model/event_model.hpp"
+
+namespace symcan {
+
+/// Abstract `em` into the plain sporadic class (minimum inter-arrival
+/// only). Lossless for sporadic inputs; for jittery/bursty inputs the
+/// result keeps only delta_min(2) — maximally conservative for long
+/// windows but exactly preserves the short-window density.
+EventModel to_sporadic(const EventModel& em);
+
+/// Abstract `em` into the periodic-with-jitter class (drop the burst
+/// limitation). Lossless when d_min carries no information; otherwise the
+/// result admits denser bursts than the input.
+EventModel to_periodic_jitter(const EventModel& em);
+
+/// The tightest representable model containing every trace of both
+/// inputs (the join in the (P, J, d_min) lattice, computed on the eta+
+/// breakpoints). Used when two differently-specified streams merge into
+/// one queue or when a supplier's data sheet must cover several operating
+/// modes.
+EventModel abstraction_union(const EventModel& a, const EventModel& b);
+
+/// Adaptation error of abstracting `tight` by `loose`: the largest
+/// relative over-count  max over windows w of
+/// (eta+_loose(w) - eta+_tight(w)) / max(1, eta+_tight(w)), sampled at
+/// the step points of both models over `horizon`. Zero means the
+/// abstraction is exact on the sampled range.
+double adaptation_error(const EventModel& tight, const EventModel& loose,
+                        Duration horizon = Duration::s(1));
+
+}  // namespace symcan

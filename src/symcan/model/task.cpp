@@ -1,0 +1,17 @@
+#include "symcan/model/task.hpp"
+
+namespace symcan {
+
+const char* to_string(SchedClass c) {
+  switch (c) {
+    case SchedClass::kInterrupt:
+      return "interrupt";
+    case SchedClass::kPreemptiveTask:
+      return "preemptive";
+    case SchedClass::kCooperativeTask:
+      return "cooperative";
+  }
+  return "?";
+}
+
+}  // namespace symcan

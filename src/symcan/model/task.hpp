@@ -1,0 +1,62 @@
+#pragma once
+
+// Schedulable ECU task model (OSEK-flavoured, see paper Section 5.2:
+// "TimeTable activation of messages and tasks, ... operating system (OSEK)
+// overhead, complex priority schemes with cooperative and preemptive tasks
+// as well as hardware interrupts").
+
+#include <cstdint>
+#include <string>
+
+#include "symcan/model/event_model.hpp"
+#include "symcan/util/time.hpp"
+
+namespace symcan {
+
+/// How a task competes for its ECU.
+enum class SchedClass : std::uint8_t {
+  kInterrupt,        ///< Hardware ISR: preempts every task, runs above all priorities.
+  kPreemptiveTask,   ///< OSEK preemptive task: fixed-priority, fully preemptive.
+  kCooperativeTask,  ///< OSEK cooperative task: preemptible only at segment boundaries.
+};
+
+const char* to_string(SchedClass c);
+
+/// A task bound to one ECU. Value type used by the ECU response-time
+/// analysis and the compositional engine.
+struct Task {
+  std::string name;
+  SchedClass sched = SchedClass::kPreemptiveTask;
+
+  /// Smaller number = higher priority, matching CAN-ID convention.
+  /// Interrupts are ordered among themselves by the same field and beat
+  /// every non-interrupt task regardless of its value.
+  int priority = 0;
+
+  Duration bcet = Duration::zero();  ///< Best-case execution time.
+  Duration wcet = Duration::zero();  ///< Worst-case execution time.
+
+  /// Longest non-preemptible segment. Cooperative tasks are preemptible
+  /// only between segments, so this bounds the blocking they inflict on
+  /// higher-priority cooperative tasks. For preemptive tasks and ISRs it
+  /// is ignored. Zero means "single segment" (the whole WCET).
+  Duration max_segment = Duration::zero();
+
+  /// Per-activation OS overhead (OSEK context switch / schedule call),
+  /// charged like execution time.
+  Duration os_overhead = Duration::zero();
+
+  /// Activation model. Tasks activated by message arrival get this
+  /// overwritten by the compositional engine during propagation.
+  EventModel activation = EventModel::periodic(Duration::ms(10));
+
+  /// Relative deadline; infinite() = unconstrained.
+  Duration deadline = Duration::infinite();
+
+  /// Effective non-preemptible chunk used in blocking computations.
+  Duration effective_segment() const {
+    return max_segment > Duration::zero() ? min(max_segment, wcet) : wcet;
+  }
+};
+
+}  // namespace symcan

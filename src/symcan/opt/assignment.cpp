@@ -1,0 +1,161 @@
+#include "symcan/opt/assignment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "symcan/workload/powertrain.hpp"
+
+namespace symcan {
+
+KMatrix apply_priority_order(const KMatrix& km, const PriorityOrder& order, CanId base,
+                             CanId spacing) {
+  if (order.size() != km.size())
+    throw std::invalid_argument("apply_priority_order: order size mismatch");
+  std::vector<bool> seen(order.size(), false);
+  for (const std::size_t i : order) {
+    if (i >= order.size() || seen[i])
+      throw std::invalid_argument("apply_priority_order: order is not a permutation");
+    seen[i] = true;
+  }
+  const CanId top = base + spacing * static_cast<CanId>(order.size() - 1);
+  KMatrix out = km;
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    CanMessage& m = out.messages()[order[rank]];
+    CanId id = base + spacing * static_cast<CanId>(rank);
+    const CanId max_id = m.format == FrameFormat::kStandard ? max_standard_id : max_extended_id;
+    if (top > max_id) {
+      // Fall back to dense assignment when the spaced range overflows the
+      // ID space (large matrices of standard frames).
+      id = static_cast<CanId>(rank);
+    }
+    m.id = id;
+  }
+  out.validate();
+  return out;
+}
+
+PriorityOrder current_order(const KMatrix& km) { return km.priority_order(); }
+
+PriorityOrder deadline_monotonic_order(const KMatrix& km) {
+  PriorityOrder order(km.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const auto& msgs = km.messages();
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (msgs[a].deadline() != msgs[b].deadline()) return msgs[a].deadline() < msgs[b].deadline();
+    if (msgs[a].period != msgs[b].period) return msgs[a].period < msgs[b].period;
+    return msgs[a].id < msgs[b].id;
+  });
+  return order;
+}
+
+namespace {
+
+/// Schedulability of `cand` when it sits at the current lowest open rank:
+/// every still-unplaced message above it, the already-placed suffix below
+/// it, all jitters at `fraction` of their periods.
+bool feasible_at_rank(const KMatrix& km, const CanRtaConfig& rta, double fraction,
+                      const std::vector<bool>& placed, const PriorityOrder& order,
+                      std::size_t back, std::size_t cand) {
+  const std::size_t n = km.size();
+  KMatrix trial = km;
+  assume_jitter_fraction(trial, fraction, true);
+  CanId next_high = 0x100;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (placed[i] || i == cand) continue;
+    trial.messages()[i].id = next_high++;
+  }
+  trial.messages()[cand].id = next_high;
+  CanId below = next_high + 1;
+  for (std::size_t r = back + 1; r < n; ++r) trial.messages()[order[r]].id = below++;
+  trial.validate();
+  return CanRta{trial, rta}.analyze_message(cand).schedulable;
+}
+
+}  // namespace
+
+std::optional<PriorityOrder> robust_priority_order(const KMatrix& km, const CanRtaConfig& rta,
+                                                   double assumed_jitter_fraction,
+                                                   double tolerance) {
+  const std::size_t n = km.size();
+  PriorityOrder order(n);
+  std::vector<bool> placed(n, false);
+
+  for (std::size_t back = n; back-- > 0;) {
+    std::optional<std::size_t> best;
+    double best_tolerance = -1;
+    for (std::size_t cand = 0; cand < n; ++cand) {
+      if (placed[cand]) continue;
+      if (!feasible_at_rank(km, rta, assumed_jitter_fraction, placed, order, back, cand))
+        continue;
+      // Largest uniform jitter fraction this candidate tolerates here.
+      double lo = assumed_jitter_fraction, hi = 1.0;
+      if (feasible_at_rank(km, rta, hi, placed, order, back, cand)) {
+        lo = hi;
+      } else {
+        while (hi - lo > tolerance) {
+          const double mid = (lo + hi) / 2;
+          if (feasible_at_rank(km, rta, mid, placed, order, back, cand))
+            lo = mid;
+          else
+            hi = mid;
+        }
+      }
+      if (lo > best_tolerance) {
+        best_tolerance = lo;
+        best = cand;
+      }
+    }
+    if (!best) return std::nullopt;
+    order[back] = *best;
+    placed[*best] = true;
+  }
+  return order;
+}
+
+std::optional<PriorityOrder> audsley_order(const KMatrix& km, const CanRtaConfig& rta,
+                                           std::optional<double> assumed_jitter_fraction,
+                                           bool override_known) {
+  KMatrix work = km;
+  if (assumed_jitter_fraction)
+    assume_jitter_fraction(work, *assumed_jitter_fraction, override_known);
+
+  const std::size_t n = work.size();
+  PriorityOrder order(n);  // filled from the back (lowest rank first)
+  std::vector<bool> placed(n, false);
+
+  // Trial IDs: unplaced messages sit above (higher priority than) the
+  // candidate; already-placed ones below. We renumber on every probe.
+  for (std::size_t back = n; back-- > 0;) {
+    bool found = false;
+    for (std::size_t cand = 0; cand < n && !found; ++cand) {
+      if (placed[cand]) continue;
+      KMatrix trial = work;
+      CanId next_high = 0x100;
+      // Unplaced (excluding candidate): any relative order, all above.
+      for (std::size_t i = 0; i < n; ++i) {
+        if (placed[i] || i == cand) continue;
+        trial.messages()[i].id = next_high;
+        next_high += 1;
+      }
+      trial.messages()[cand].id = next_high;
+      CanId below = next_high + 1;
+      // Placed ones keep their established relative order below.
+      for (std::size_t r = back + 1; r < n; ++r) {
+        trial.messages()[order[r]].id = below;
+        below += 1;
+      }
+      trial.validate();
+      std::size_t cand_pos = cand;
+      const MessageResult res = CanRta{trial, rta}.analyze_message(cand_pos);
+      if (res.schedulable) {
+        order[back] = cand;
+        placed[cand] = true;
+        found = true;
+      }
+    }
+    if (!found) return std::nullopt;
+  }
+  return order;
+}
+
+}  // namespace symcan

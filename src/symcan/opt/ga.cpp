@@ -1,0 +1,199 @@
+#include "symcan/opt/ga.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "symcan/opt/permutation_ops.hpp"
+#include "symcan/util/rng.hpp"
+#include "symcan/workload/powertrain.hpp"
+
+namespace symcan {
+
+namespace {
+
+bool dominates(const GaIndividual& a, const GaIndividual& b) {
+  const bool le = a.misses <= b.misses && a.robustness_cost <= b.robustness_cost;
+  const bool lt = a.misses < b.misses || a.robustness_cost < b.robustness_cost;
+  return le && lt;
+}
+
+double objective_distance(const GaIndividual& a, const GaIndividual& b) {
+  const double d0 = a.misses - b.misses;
+  const double d1 = a.robustness_cost - b.robustness_cost;
+  return std::sqrt(d0 * d0 + d1 * d1);
+}
+
+/// SPEA2 fitness: raw dominance strength plus a k-nearest-neighbour
+/// density term. Lower is better; nondominated individuals have F < 1.
+std::vector<double> spea2_fitness(const std::vector<GaIndividual>& pool) {
+  const std::size_t n = pool.size();
+  std::vector<int> strength(n, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (i != j && dominates(pool[i], pool[j])) ++strength[i];
+
+  std::vector<double> fitness(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double raw = 0;
+    for (std::size_t j = 0; j < n; ++j)
+      if (i != j && dominates(pool[j], pool[i])) raw += strength[j];
+    // Density: 1 / (distance to k-th neighbour + 2).
+    std::vector<double> dist;
+    dist.reserve(n - 1);
+    for (std::size_t j = 0; j < n; ++j)
+      if (i != j) dist.push_back(objective_distance(pool[i], pool[j]));
+    const std::size_t k = static_cast<std::size_t>(std::sqrt(static_cast<double>(n)));
+    std::nth_element(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(k), dist.end());
+    const double density = 1.0 / (dist[k] + 2.0);
+    fitness[i] = raw + density;
+  }
+  return fitness;
+}
+
+bool lex_better(const GaIndividual& a, const GaIndividual& b) {
+  if (a.misses != b.misses) return a.misses < b.misses;
+  return a.robustness_cost < b.robustness_cost;
+}
+
+}  // namespace
+
+GaIndividual evaluate_order(const KMatrix& km, const PriorityOrder& order, const GaConfig& cfg) {
+  GaIndividual ind;
+  ind.order = order;
+  const KMatrix candidate = apply_priority_order(km, order);
+  double misses = 0;
+  double cost = 0;
+  std::size_t samples = 0;
+  // Lexicographic weighting: misses at eval_fractions[0] outweigh any
+  // number of misses at later (stress) fractions.
+  double weight = 1.0;
+  for (std::size_t k = 1; k < cfg.eval_fractions.size(); ++k) weight *= 1000.0;
+  for (const double f : cfg.eval_fractions) {
+    KMatrix variant = candidate;
+    assume_jitter_fraction(variant, f, cfg.override_known);
+    const BusResult res = CanRta{variant, cfg.rta}.analyze();
+    misses += weight * static_cast<double>(res.miss_count());
+    weight /= 1000.0;
+    for (const auto& m : res.messages) {
+      double ratio = cfg.ratio_cap;
+      if (!m.wcrt.is_infinite() && !m.deadline.is_infinite() && m.deadline > Duration::zero()) {
+        ratio = std::min(cfg.ratio_cap, static_cast<double>(m.wcrt.count_ns()) /
+                                            static_cast<double>(m.deadline.count_ns()));
+      }
+      cost += ratio;
+      ++samples;
+    }
+  }
+  ind.misses = misses;
+  ind.robustness_cost = samples > 0 ? cost / static_cast<double>(samples) : 0;
+  return ind;
+}
+
+GaResult optimize_priorities(const KMatrix& km, const GaConfig& cfg) {
+  if (cfg.population < 4) throw std::invalid_argument("optimize_priorities: population too small");
+  if (cfg.archive < 2) throw std::invalid_argument("optimize_priorities: archive too small");
+  if (cfg.eval_fractions.empty())
+    throw std::invalid_argument("optimize_priorities: need at least one evaluation fraction");
+
+  Rng rng{cfg.seed};
+  const std::size_t n = km.size();
+  GaResult result;
+
+  // Initial population: seeds first, then random permutations.
+  std::vector<GaIndividual> pop;
+  for (const auto& s : cfg.seeds) {
+    pop.push_back(evaluate_order(km, s, cfg));
+    ++result.evaluations;
+  }
+  while (pop.size() < static_cast<std::size_t>(cfg.population)) {
+    pop.push_back(evaluate_order(km, opt_detail::random_order(n, rng), cfg));
+    ++result.evaluations;
+  }
+
+  // Elitism: the lexicographically best individual ever evaluated is
+  // re-injected into every archive so density truncation can never lose
+  // the champion (SPEA2 boundary preservation, simplified).
+  GaIndividual champion = pop.front();
+  auto update_champion = [&](const std::vector<GaIndividual>& xs) {
+    for (const auto& x : xs)
+      if (lex_better(x, champion)) champion = x;
+  };
+  update_champion(pop);
+
+  std::vector<GaIndividual> archive;
+  for (int gen = 0; gen < cfg.generations; ++gen) {
+    // Environmental selection on population + archive.
+    std::vector<GaIndividual> pool = pop;
+    pool.insert(pool.end(), archive.begin(), archive.end());
+    const std::vector<double> fitness = spea2_fitness(pool);
+
+    std::vector<std::size_t> idx(pool.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    std::stable_sort(idx.begin(), idx.end(),
+                     [&](std::size_t a, std::size_t b) { return fitness[a] < fitness[b]; });
+    archive.clear();
+    for (std::size_t i = 0; i < idx.size() && archive.size() < static_cast<std::size_t>(cfg.archive);
+         ++i)
+      archive.push_back(pool[idx[i]]);
+
+    bool champion_in_archive = false;
+    for (const auto& a : archive)
+      champion_in_archive = champion_in_archive ||
+                            (a.misses == champion.misses &&
+                             a.robustness_cost == champion.robustness_cost);
+    if (!champion_in_archive) archive.back() = champion;
+
+    result.best_misses_history.push_back(champion.misses);
+
+    // Variation: binary tournament on archive fitness rank (archive is
+    // sorted by fitness already).
+    std::vector<GaIndividual> next;
+    next.reserve(static_cast<std::size_t>(cfg.population));
+    auto tournament = [&]() -> const GaIndividual& {
+      const std::size_t a = rng.index(archive.size());
+      const std::size_t b = rng.index(archive.size());
+      return archive[std::min(a, b)];
+    };
+    while (next.size() < static_cast<std::size_t>(cfg.population)) {
+      PriorityOrder child;
+      if (rng.chance(cfg.crossover_rate))
+        child = opt_detail::order_crossover(tournament().order, tournament().order, rng);
+      else
+        child = tournament().order;
+      if (rng.chance(cfg.mutation_rate)) opt_detail::swap_mutation(child, rng);
+      next.push_back(evaluate_order(km, child, cfg));
+      ++result.evaluations;
+    }
+    pop = std::move(next);
+    update_champion(pop);
+  }
+
+  // Final archive update and champion extraction.
+  std::vector<GaIndividual> pool = pop;
+  pool.insert(pool.end(), archive.begin(), archive.end());
+  std::vector<GaIndividual> pareto;
+  for (const auto& c : pool) {
+    bool dominated = false;
+    for (const auto& d : pool)
+      if (dominates(d, c)) {
+        dominated = true;
+        break;
+      }
+    if (!dominated) pareto.push_back(c);
+  }
+  // Dedup identical objective pairs to keep the front readable.
+  std::sort(pareto.begin(), pareto.end(), lex_better);
+  pareto.erase(std::unique(pareto.begin(), pareto.end(),
+                           [](const GaIndividual& a, const GaIndividual& b) {
+                             return a.misses == b.misses &&
+                                    a.robustness_cost == b.robustness_cost;
+                           }),
+               pareto.end());
+
+  result.pareto = pareto;
+  result.best = pareto.front();
+  return result;
+}
+
+}  // namespace symcan

@@ -1,0 +1,187 @@
+#include "symcan/opt/nsga2.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "symcan/opt/permutation_ops.hpp"
+#include "symcan/util/rng.hpp"
+
+namespace symcan {
+
+namespace {
+
+bool dominates(const GaIndividual& a, const GaIndividual& b) {
+  const bool le = a.misses <= b.misses && a.robustness_cost <= b.robustness_cost;
+  const bool lt = a.misses < b.misses || a.robustness_cost < b.robustness_cost;
+  return le && lt;
+}
+
+bool lex_better(const GaIndividual& a, const GaIndividual& b) {
+  if (a.misses != b.misses) return a.misses < b.misses;
+  return a.robustness_cost < b.robustness_cost;
+}
+
+/// Fast non-dominated sort: returns front index per individual (0 = best).
+std::vector<int> nondominated_sort(const std::vector<GaIndividual>& pool) {
+  const std::size_t n = pool.size();
+  std::vector<std::vector<std::size_t>> dominated_by(n);
+  std::vector<int> domination_count(n, 0);
+  std::vector<int> front(n, -1);
+
+  std::vector<std::size_t> current;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (dominates(pool[i], pool[j]))
+        dominated_by[i].push_back(j);
+      else if (dominates(pool[j], pool[i]))
+        ++domination_count[i];
+    }
+    if (domination_count[i] == 0) {
+      front[i] = 0;
+      current.push_back(i);
+    }
+  }
+  int level = 0;
+  while (!current.empty()) {
+    std::vector<std::size_t> next;
+    for (const std::size_t i : current) {
+      for (const std::size_t j : dominated_by[i]) {
+        if (--domination_count[j] == 0) {
+          front[j] = level + 1;
+          next.push_back(j);
+        }
+      }
+    }
+    ++level;
+    current = std::move(next);
+  }
+  return front;
+}
+
+/// Crowding distance within one front (by index list).
+std::vector<double> crowding(const std::vector<GaIndividual>& pool,
+                             const std::vector<std::size_t>& front) {
+  std::vector<double> dist(pool.size(), 0.0);
+  const double inf = std::numeric_limits<double>::infinity();
+  auto by_objective = [&](auto getter) {
+    std::vector<std::size_t> order = front;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return getter(pool[a]) < getter(pool[b]);
+    });
+    if (order.size() < 2) {
+      for (const std::size_t i : order) dist[i] = inf;
+      return;
+    }
+    dist[order.front()] = inf;
+    dist[order.back()] = inf;
+    const double span = getter(pool[order.back()]) - getter(pool[order.front()]);
+    if (span <= 0) return;
+    for (std::size_t k = 1; k + 1 < order.size(); ++k)
+      dist[order[k]] +=
+          (getter(pool[order[k + 1]]) - getter(pool[order[k - 1]])) / span;
+  };
+  by_objective([](const GaIndividual& x) { return x.misses; });
+  by_objective([](const GaIndividual& x) { return x.robustness_cost; });
+  return dist;
+}
+
+}  // namespace
+
+GaResult optimize_priorities_nsga2(const KMatrix& km, const GaConfig& cfg) {
+  if (cfg.population < 4)
+    throw std::invalid_argument("optimize_priorities_nsga2: population too small");
+  if (cfg.eval_fractions.empty())
+    throw std::invalid_argument("optimize_priorities_nsga2: need an evaluation fraction");
+
+  Rng rng{cfg.seed};
+  const std::size_t n = km.size();
+  const std::size_t mu = static_cast<std::size_t>(cfg.population);
+  GaResult result;
+
+  std::vector<GaIndividual> parents;
+  for (const auto& s : cfg.seeds) {
+    parents.push_back(evaluate_order(km, s, cfg));
+    ++result.evaluations;
+  }
+  while (parents.size() < mu) {
+    parents.push_back(evaluate_order(km, opt_detail::random_order(n, rng), cfg));
+    ++result.evaluations;
+  }
+
+  GaIndividual champion = parents.front();
+  for (const auto& p : parents)
+    if (lex_better(p, champion)) champion = p;
+
+  for (int gen = 0; gen < cfg.generations; ++gen) {
+    // Rank parents for tournament selection.
+    const std::vector<int> rank = nondominated_sort(parents);
+    std::vector<std::size_t> all(parents.size());
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+    const std::vector<double> crowd = crowding(parents, all);
+
+    auto tournament = [&]() -> const GaIndividual& {
+      const std::size_t a = rng.index(parents.size());
+      const std::size_t b = rng.index(parents.size());
+      if (rank[a] != rank[b]) return parents[rank[a] < rank[b] ? a : b];
+      return parents[crowd[a] > crowd[b] ? a : b];
+    };
+
+    // Offspring.
+    std::vector<GaIndividual> pool = parents;
+    while (pool.size() < 2 * mu) {
+      PriorityOrder child;
+      if (rng.chance(cfg.crossover_rate))
+        child = opt_detail::order_crossover(tournament().order, tournament().order, rng);
+      else
+        child = tournament().order;
+      if (rng.chance(cfg.mutation_rate)) opt_detail::swap_mutation(child, rng);
+      pool.push_back(evaluate_order(km, child, cfg));
+      ++result.evaluations;
+    }
+    for (const auto& p : pool)
+      if (lex_better(p, champion)) champion = p;
+
+    // Environmental selection: fill by fronts, crowding-truncate the last.
+    const std::vector<int> pool_rank = nondominated_sort(pool);
+    std::vector<std::size_t> order(pool.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::vector<std::size_t> everyone = order;
+    const std::vector<double> pool_crowd = crowding(pool, everyone);
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (pool_rank[a] != pool_rank[b]) return pool_rank[a] < pool_rank[b];
+      return pool_crowd[a] > pool_crowd[b];
+    });
+    std::vector<GaIndividual> next;
+    next.reserve(mu);
+    for (std::size_t i = 0; i < mu && i < order.size(); ++i) next.push_back(pool[order[i]]);
+    parents = std::move(next);
+    result.best_misses_history.push_back(champion.misses);
+  }
+
+  // Final front (dedup by objectives), champion guaranteed present.
+  parents.push_back(champion);
+  std::vector<GaIndividual> pareto;
+  for (const auto& c : parents) {
+    bool dominated = false;
+    for (const auto& d : parents)
+      if (dominates(d, c)) {
+        dominated = true;
+        break;
+      }
+    if (!dominated) pareto.push_back(c);
+  }
+  std::sort(pareto.begin(), pareto.end(), lex_better);
+  pareto.erase(std::unique(pareto.begin(), pareto.end(),
+                           [](const GaIndividual& a, const GaIndividual& b) {
+                             return a.misses == b.misses &&
+                                    a.robustness_cost == b.robustness_cost;
+                           }),
+               pareto.end());
+  result.pareto = pareto;
+  result.best = pareto.front();
+  return result;
+}
+
+}  // namespace symcan

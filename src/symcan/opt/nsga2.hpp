@@ -1,0 +1,19 @@
+#pragma once
+
+// NSGA-II (Deb, Pratap, Agarwal & Meyarivan, 2002) for CAN-ID
+// assignment — the second multi-objective optimizer, sharing the GA's
+// genome, objectives and variation operators but replacing SPEA2's
+// strength/density fitness with fast non-dominated sorting and crowding
+// distance. Included both as an algorithmic baseline for the SPEA2-style
+// optimizer the paper's tool used (ref [10]) and as the better-known
+// modern default.
+
+#include "symcan/opt/ga.hpp"
+
+namespace symcan {
+
+/// Reuses GaConfig (population doubles as NSGA-II's mu; `archive` is
+/// ignored — NSGA-II keeps the full parent population).
+GaResult optimize_priorities_nsga2(const KMatrix& km, const GaConfig& cfg);
+
+}  // namespace symcan

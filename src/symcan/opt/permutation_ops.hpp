@@ -1,0 +1,50 @@
+#pragma once
+
+// Shared permutation-genome operators for the multi-objective CAN-ID
+// optimizers (SPEA2-style GA and NSGA-II).
+
+#include <vector>
+
+#include "symcan/opt/assignment.hpp"
+#include "symcan/util/rng.hpp"
+
+namespace symcan::opt_detail {
+
+/// Order crossover (OX): keep a slice of parent A, fill the rest in
+/// parent B's order. Preserves permutation validity.
+inline PriorityOrder order_crossover(const PriorityOrder& a, const PriorityOrder& b, Rng& rng) {
+  const std::size_t n = a.size();
+  if (n < 2) return a;
+  std::size_t lo = rng.index(n);
+  std::size_t hi = rng.index(n);
+  if (lo > hi) std::swap(lo, hi);
+  PriorityOrder child(n, n);  // n = unset sentinel
+  std::vector<bool> used(n, false);
+  for (std::size_t i = lo; i <= hi; ++i) {
+    child[i] = a[i];
+    used[a[i]] = true;
+  }
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (used[b[i]]) continue;
+    while (pos >= lo && pos <= hi) ++pos;
+    child[pos++] = b[i];
+  }
+  return child;
+}
+
+inline void swap_mutation(PriorityOrder& o, Rng& rng) {
+  if (o.size() < 2) return;
+  const std::size_t i = rng.index(o.size());
+  const std::size_t j = rng.index(o.size());
+  std::swap(o[i], o[j]);
+}
+
+inline PriorityOrder random_order(std::size_t n, Rng& rng) {
+  PriorityOrder o(n);
+  for (std::size_t i = 0; i < n; ++i) o[i] = i;
+  rng.shuffle(o);
+  return o;
+}
+
+}  // namespace symcan::opt_detail

@@ -1,0 +1,105 @@
+#include "symcan/sensitivity/extensibility.hpp"
+
+#include <stdexcept>
+
+namespace symcan {
+
+namespace {
+
+void ensure_node(KMatrix& km, const std::string& name) {
+  if (km.find_node(name) != nullptr) return;
+  EcuNode n;
+  n.name = name;
+  km.add_node(std::move(n));
+}
+
+CanMessage extension_message(const ExtensionProfile& p, std::size_t index,
+                             const std::string& sender, const std::string& receiver) {
+  CanMessage m;
+  m.name = "ext_" + sender + "_" + std::to_string(index);
+  m.id = p.first_id + static_cast<CanId>(index) * p.id_stride;
+  m.payload_bytes = p.payload_bytes;
+  m.period = p.period;
+  m.jitter = Duration::ns(static_cast<std::int64_t>(
+      p.jitter_fraction * static_cast<double>(p.period.count_ns())));
+  m.sender = sender;
+  m.receivers = {receiver};
+  return m;
+}
+
+ExtensionStep verdict(const KMatrix& km, const CanRtaConfig& rta, std::size_t added) {
+  ExtensionStep step;
+  step.added = added;
+  step.utilization = km.utilization(true);
+  const BusResult res = CanRta{km, rta}.analyze();
+  step.schedulable = res.all_schedulable();
+  for (const auto& m : res.messages)
+    if (!m.schedulable) {
+      step.first_miss = m.name;
+      break;
+    }
+  return step;
+}
+
+void check_profile(const ExtensionProfile& p) {
+  if (p.period <= Duration::zero())
+    throw std::invalid_argument("ExtensionProfile: period must be > 0");
+  if (p.jitter_fraction < 0)
+    throw std::invalid_argument("ExtensionProfile: negative jitter fraction");
+  if (p.payload_bytes < 0 || p.payload_bytes > 8)
+    throw std::invalid_argument("ExtensionProfile: payload must be 0..8");
+  if (p.sender.empty()) throw std::invalid_argument("ExtensionProfile: empty sender");
+  if (p.id_stride == 0) throw std::invalid_argument("ExtensionProfile: zero id stride");
+}
+
+}  // namespace
+
+ExtensibilityReport max_additional_messages(const KMatrix& km, const CanRtaConfig& rta,
+                                            const ExtensionProfile& profile, std::size_t cap) {
+  check_profile(profile);
+  km.validate();
+  const std::string receiver = km.nodes().empty() ? profile.sender : km.nodes().front().name;
+
+  ExtensibilityReport report;
+  KMatrix work = km;
+  ensure_node(work, profile.sender);
+  for (std::size_t n = 1; n <= cap; ++n) {
+    work.add_message(extension_message(profile, n - 1, profile.sender, receiver));
+    const ExtensionStep step = verdict(work, rta, n);
+    report.steps.push_back(step);
+    if (!step.schedulable) return report;
+    report.max_additional_messages = n;
+    report.utilization_at_max = step.utilization;
+  }
+  report.capped = true;
+  return report;
+}
+
+ExtensibilityReport max_additional_ecus(const KMatrix& km, const CanRtaConfig& rta,
+                                        const ExtensionProfile& profile,
+                                        std::size_t messages_per_ecu, std::size_t cap) {
+  check_profile(profile);
+  if (messages_per_ecu == 0)
+    throw std::invalid_argument("max_additional_ecus: messages_per_ecu must be >= 1");
+  km.validate();
+  const std::string receiver = km.nodes().empty() ? profile.sender : km.nodes().front().name;
+
+  ExtensibilityReport report;
+  KMatrix work = km;
+  std::size_t msg_index = 0;
+  for (std::size_t e = 1; e <= cap; ++e) {
+    const std::string node = profile.sender + std::to_string(e - 1);
+    ensure_node(work, node);
+    for (std::size_t j = 0; j < messages_per_ecu; ++j)
+      work.add_message(extension_message(profile, msg_index++, node, receiver));
+    const ExtensionStep step = verdict(work, rta, e);
+    report.steps.push_back(step);
+    if (!step.schedulable) return report;
+    report.max_additional_messages = e;  // counts ECUs in this variant
+    report.utilization_at_max = step.utilization;
+  }
+  report.capped = true;
+  return report;
+}
+
+}  // namespace symcan

@@ -1,0 +1,71 @@
+#pragma once
+
+// Extensibility analysis — the integration question the paper opens with
+// (Section 2): "Can more ECUs (and how many) be connected without
+// overloading the bus?", and closes with (Section 6): OEMs can
+// "dimension optimized and robust buses with known extensibility".
+//
+// Given a profile of what future traffic looks like, the analysis adds
+// hypothetical messages one at a time and re-runs the full worst-case
+// verdict until either an existing message or an added one would miss
+// its deadline. The result is a guaranteed headroom figure — not a load
+// percentage, but "this many more messages/ECUs of this shape, proven".
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "symcan/analysis/can_rta.hpp"
+#include "symcan/can/kmatrix.hpp"
+
+namespace symcan {
+
+/// Shape of anticipated future traffic.
+struct ExtensionProfile {
+  int payload_bytes = 8;
+  Duration period = Duration::ms(20);
+  /// Jitter assumption for the new messages, as a fraction of period.
+  double jitter_fraction = 0.25;
+  /// CAN-ID region where new messages are slotted. Real matrices reserve
+  /// ID ranges for extensions; appending at the top (low priority) is the
+  /// non-disruptive default, inserting low IDs steals priority from the
+  /// existing traffic.
+  CanId first_id = 0x500;
+  CanId id_stride = 1;
+  /// Sender node for the hypothetical traffic. Created if absent.
+  std::string sender = "EXT";
+};
+
+/// One step of the extension search.
+struct ExtensionStep {
+  std::size_t added = 0;        ///< Messages present after this step.
+  double utilization = 0;       ///< Worst-case-stuffing utilization.
+  bool schedulable = false;     ///< Whole matrix still schedulable.
+  std::string first_miss;       ///< Name of the first missing message, if any.
+};
+
+struct ExtensibilityReport {
+  /// Largest number of additional messages with everything schedulable.
+  std::size_t max_additional_messages = 0;
+  /// Utilization at that point.
+  double utilization_at_max = 0;
+  /// The verdict trace (one entry per attempted count, ending at the
+  /// first failure or the cap).
+  std::vector<ExtensionStep> steps;
+  /// True when the cap was reached without failure (headroom >= cap).
+  bool capped = false;
+};
+
+/// How many additional `profile` messages fit. Exact under the
+/// monotonicity of the analysis (adding a message never helps anyone).
+ExtensibilityReport max_additional_messages(const KMatrix& km, const CanRtaConfig& rta,
+                                            const ExtensionProfile& profile,
+                                            std::size_t cap = 128);
+
+/// How many additional ECUs fit, each sending `messages_per_ecu` profile
+/// messages (ECUs named <sender>0, <sender>1, ...).
+ExtensibilityReport max_additional_ecus(const KMatrix& km, const CanRtaConfig& rta,
+                                        const ExtensionProfile& profile,
+                                        std::size_t messages_per_ecu, std::size_t cap = 32);
+
+}  // namespace symcan

@@ -1,0 +1,102 @@
+#include "symcan/sensitivity/robustness.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "symcan/workload/powertrain.hpp"
+
+namespace symcan {
+
+const char* to_string(Robustness r) {
+  switch (r) {
+    case Robustness::kRobust:
+      return "robust";
+    case Robustness::kMedium:
+      return "medium";
+    case Robustness::kSensitive:
+      return "sensitive";
+    case Robustness::kVerySensitive:
+      return "very-sensitive";
+  }
+  return "?";
+}
+
+std::size_t SensitivityReport::count(Robustness r) const {
+  std::size_t n = 0;
+  for (const auto& m : messages)
+    if (m.cls == r) ++n;
+  return n;
+}
+
+namespace {
+
+bool message_schedulable_at(const KMatrix& km, const CanRtaConfig& rta, std::size_t index,
+                            double fraction, bool override_known) {
+  KMatrix variant = km;
+  assume_jitter_fraction(variant, fraction, override_known);
+  return CanRta{variant, rta}.analyze_message(index).schedulable;
+}
+
+}  // namespace
+
+SensitivityReport analyze_sensitivity(const KMatrix& km, const JitterSweepConfig& cfg,
+                                      RobustnessThresholds th) {
+  const JitterSweepResult sweep = sweep_jitter(km, cfg);
+  if (sweep.results.empty()) throw std::invalid_argument("analyze_sensitivity: empty sweep");
+  const BusResult& first = sweep.results.front();
+  const BusResult& last = sweep.results.back();
+
+  SensitivityReport report;
+  for (std::size_t i = 0; i < km.size(); ++i) {
+    MessageSensitivity s;
+    s.name = km.messages()[i].name;
+    s.id = km.messages()[i].id;
+    s.wcrt_at_zero = first.messages[i].wcrt;
+    s.wcrt_at_max = last.messages[i].wcrt;
+    if (s.wcrt_at_max.is_infinite() || s.wcrt_at_zero <= Duration::zero()) {
+      s.relative_growth = std::numeric_limits<double>::infinity();
+      s.cls = Robustness::kVerySensitive;
+    } else {
+      s.relative_growth = static_cast<double>(s.wcrt_at_max.count_ns()) /
+                              static_cast<double>(s.wcrt_at_zero.count_ns()) -
+                          1.0;
+      if (s.relative_growth < th.robust_below)
+        s.cls = Robustness::kRobust;
+      else if (s.relative_growth < th.medium_below)
+        s.cls = Robustness::kMedium;
+      else if (s.relative_growth < th.sensitive_below)
+        s.cls = Robustness::kSensitive;
+      else
+        s.cls = Robustness::kVerySensitive;
+    }
+    s.max_tolerable_fraction =
+        max_tolerable_jitter_fraction(km, cfg.rta, s.name, 1.0, 0.005, cfg.override_known);
+    report.messages.push_back(std::move(s));
+  }
+  return report;
+}
+
+double max_tolerable_jitter_fraction(const KMatrix& km, const CanRtaConfig& rta,
+                                     const std::string& message, double cap, double tolerance,
+                                     bool override_known) {
+  std::size_t index = km.size();
+  for (std::size_t i = 0; i < km.size(); ++i)
+    if (km.messages()[i].name == message) index = i;
+  if (index == km.size())
+    throw std::invalid_argument("max_tolerable_jitter_fraction: unknown message " + message);
+
+  if (!message_schedulable_at(km, rta, index, 0.0, override_known)) return 0.0;
+  if (message_schedulable_at(km, rta, index, cap, override_known)) return cap;
+
+  double lo = 0.0, hi = cap;  // schedulable at lo, not at hi
+  while (hi - lo > tolerance) {
+    const double mid = (lo + hi) / 2;
+    if (message_schedulable_at(km, rta, index, mid, override_known))
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+}  // namespace symcan

@@ -1,0 +1,58 @@
+#include "symcan/sensitivity/sweep.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "symcan/workload/powertrain.hpp"
+
+namespace symcan {
+
+std::vector<Duration> JitterSweepResult::response_curve(const std::string& message) const {
+  std::vector<Duration> curve;
+  curve.reserve(results.size());
+  for (const auto& r : results) {
+    bool found = false;
+    for (const auto& m : r.messages) {
+      if (m.name == message) {
+        curve.push_back(m.wcrt);
+        found = true;
+        break;
+      }
+    }
+    if (!found) throw std::invalid_argument("response_curve: unknown message " + message);
+  }
+  return curve;
+}
+
+JitterSweepResult sweep_jitter(const KMatrix& km, const JitterSweepConfig& cfg) {
+  if (cfg.step <= 0 || cfg.to < cfg.from)
+    throw std::invalid_argument("sweep_jitter: bad sweep bounds");
+  JitterSweepResult out;
+  // Half-step epsilon keeps the endpoint inclusive despite FP accumulation.
+  for (double f = cfg.from; f <= cfg.to + cfg.step / 2; f += cfg.step) {
+    KMatrix variant = km;
+    assume_jitter_fraction(variant, f, cfg.override_known);
+    out.fractions.push_back(f);
+    out.results.push_back(CanRta{variant, cfg.rta}.analyze());
+  }
+  return out;
+}
+
+ErrorSweepResult sweep_errors(const KMatrix& km, const ErrorSweepConfig& cfg) {
+  if (cfg.points < 2) throw std::invalid_argument("sweep_errors: need >= 2 points");
+  if (cfg.from <= cfg.to) throw std::invalid_argument("sweep_errors: from must exceed to");
+  ErrorSweepResult out;
+  const double lo = std::log(static_cast<double>(cfg.to.count_ns()));
+  const double hi = std::log(static_cast<double>(cfg.from.count_ns()));
+  for (int i = 0; i < cfg.points; ++i) {
+    const double t = hi - (hi - lo) * static_cast<double>(i) / (cfg.points - 1);
+    const Duration gap = Duration::ns(static_cast<std::int64_t>(std::exp(t)));
+    CanRtaConfig rta = cfg.rta;
+    rta.errors = std::make_shared<SporadicErrors>(gap);
+    out.min_inter_error.push_back(gap);
+    out.results.push_back(CanRta{km, rta}.analyze());
+  }
+  return out;
+}
+
+}  // namespace symcan

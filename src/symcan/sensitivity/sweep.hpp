@@ -1,0 +1,61 @@
+#pragma once
+
+// What-if sweeps over modelling assumptions (paper Section 4: "we
+// conducted a set of experiments, each based on different assumptions on
+// the missing information", and Section 4.1/4.2: response-time and
+// message-loss behaviour over jitter and error distributions).
+
+#include <string>
+#include <vector>
+
+#include "symcan/analysis/can_rta.hpp"
+#include "symcan/can/kmatrix.hpp"
+
+namespace symcan {
+
+/// Sweep of the assumed jitter of unknown-jitter messages, expressed as a
+/// fraction of each message's own period (the x-axis of Figures 4 and 5).
+struct JitterSweepConfig {
+  double from = 0.0;
+  double to = 0.60;
+  double step = 0.05;
+  /// Also override messages whose jitter the OEM knows (Figure 4/5 sweep
+  /// the whole matrix uniformly, so default true).
+  bool override_known = true;
+  CanRtaConfig rta;
+};
+
+/// Analysis results at each swept point.
+struct JitterSweepResult {
+  std::vector<double> fractions;
+  std::vector<BusResult> results;  ///< One BusResult per fraction.
+
+  /// Fraction of messages missing their deadline at sweep point i
+  /// (Figure 5 y-axis).
+  double miss_fraction(std::size_t i) const { return results.at(i).miss_fraction(); }
+
+  /// Worst-case response-time curve of one message across the sweep
+  /// (Figure 4: one line per message). infinite() where diverged.
+  std::vector<Duration> response_curve(const std::string& message) const;
+};
+
+JitterSweepResult sweep_jitter(const KMatrix& km, const JitterSweepConfig& cfg);
+
+/// Sweep of the bus fault rate: min inter-error time from `from` down to
+/// `to` in `points` logarithmic steps, with sporadic errors ("similar
+/// results have been obtained for error-sensitivity").
+struct ErrorSweepConfig {
+  Duration from = Duration::s(1);
+  Duration to = Duration::ms(1);
+  int points = 13;
+  CanRtaConfig rta;  ///< Its error model is replaced at every point.
+};
+
+struct ErrorSweepResult {
+  std::vector<Duration> min_inter_error;
+  std::vector<BusResult> results;
+};
+
+ErrorSweepResult sweep_errors(const KMatrix& km, const ErrorSweepConfig& cfg);
+
+}  // namespace symcan

@@ -1,0 +1,228 @@
+#include "symcan/sim/ecu_simulator.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <optional>
+#include <queue>
+#include <stdexcept>
+
+namespace symcan {
+
+const TaskStats* EcuSimResult::find(const std::string& name) const {
+  for (const auto& t : tasks)
+    if (t.name == name) return &t;
+  return nullptr;
+}
+
+namespace {
+
+/// One pending/running activation.
+struct Instance {
+  std::size_t task = 0;
+  Duration release = Duration::zero();
+  Duration remaining = Duration::zero();  ///< Execution left (incl. overhead).
+  Duration executed = Duration::zero();   ///< Progress, for segment boundaries.
+};
+
+class EcuSimulation {
+ public:
+  EcuSimulation(const std::vector<Task>& tasks, const EcuSimConfig& cfg)
+      : tasks_{tasks}, cfg_{cfg}, rng_{cfg.seed} {
+    if (tasks.empty()) throw std::invalid_argument("simulate_ecu: no tasks");
+    // Reuse EcuRta's validation rules by construction checks here.
+    for (const auto& t : tasks_) {
+      if (t.wcet <= Duration::zero() || t.wcet < t.bcet)
+        throw std::invalid_argument("simulate_ecu: bad execution times for " + t.name);
+    }
+    stats_.resize(tasks_.size());
+    pending_.resize(tasks_.size());
+    for (std::size_t i = 0; i < tasks_.size(); ++i) stats_[i].name = tasks_[i].name;
+  }
+
+  EcuSimResult run() {
+    // Prime first activations (random phase within one period when
+    // randomizing; all at 0 for the deterministic critical-instant-like
+    // stress).
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+      const Duration phase = cfg_.randomize
+                                 ? rng_.uniform_duration(Duration::zero(),
+                                                         tasks_[i].activation.period())
+                                 : Duration::zero();
+      arrivals_.push({phase, i});
+    }
+
+    Duration now = Duration::zero();
+    while (now < cfg_.duration) {
+      // Admit all arrivals at `now`.
+      while (!arrivals_.empty() && arrivals_.top().time <= now) {
+        const Arrival a = arrivals_.top();
+        arrivals_.pop();
+        admit(a.task, a.time);
+      }
+      const Duration next_arrival =
+          arrivals_.empty() ? cfg_.duration : min(arrivals_.top().time, cfg_.duration);
+
+      std::optional<std::size_t> who = pick_runner();
+      if (!who) {
+        now = next_arrival;
+        continue;
+      }
+
+      Instance& inst = *running_;
+      const Task& t = tasks_[inst.task];
+      // Run until completion, the next arrival (a preemption decision
+      // point), or — for cooperative tasks with a higher-priority task
+      // waiting — the next segment boundary.
+      Duration until = min(now + inst.remaining, next_arrival);
+      if (t.sched == SchedClass::kCooperativeTask) {
+        const Duration seg = t.effective_segment();
+        if (seg > Duration::zero()) {
+          const Duration into = Duration::ns(inst.executed.count_ns() % seg.count_ns());
+          const Duration boundary = now + (seg - into);
+          if (boundary < until && higher_task_waiting(inst.task)) until = boundary;
+        }
+      }
+      const Duration slice = until - now;
+      inst.remaining -= slice;
+      inst.executed += slice;
+      busy_ += slice;
+      now = until;
+
+      if (inst.remaining <= Duration::zero()) complete(now);
+    }
+
+    EcuSimResult out;
+    out.tasks = stats_;
+    for (auto& s : out.tasks) {
+      if (s.completions > 0)
+        s.avg_response_us = response_sum_us_[s.name] / static_cast<double>(s.completions);
+      else if (s.bcrt_observed.is_infinite())
+        s.bcrt_observed = Duration::zero();
+    }
+    out.simulated = cfg_.duration;
+    out.busy_time = busy_;
+    return out;
+  }
+
+ private:
+  struct Arrival {
+    Duration time;
+    std::size_t task;
+    bool operator<(const Arrival& o) const { return time > o.time; }  // min-heap
+  };
+
+  void admit(std::size_t task, Duration release) {
+    ++stats_[task].activations;
+    Instance inst;
+    inst.task = task;
+    inst.release = release;
+    const Task& t = tasks_[task];
+    const Duration exec =
+        cfg_.randomize ? rng_.uniform_duration(t.bcet, t.wcet) : t.wcet;
+    inst.remaining = exec + t.os_overhead;
+    pending_[task].push_back(inst);
+    stats_[task].max_backlog = std::max<std::int64_t>(
+        stats_[task].max_backlog,
+        static_cast<std::int64_t>(pending_[task].size()) + (running_ && running_->task == task));
+
+    // Chain the next activation.
+    const Duration jit = cfg_.randomize
+                             ? rng_.uniform_duration(Duration::zero(), t.activation.jitter())
+                             : t.activation.jitter();
+    const Duration nominal_next = release - last_jitter_[task] + t.activation.period();
+    last_jitter_[task] = jit;
+    // Strictly-later clamp: a bursty model (J >= P) may pull the next
+    // activation before this one; 1 ns forward progress keeps the event
+    // loop finite without changing the load meaningfully.
+    arrivals_.push({max(nominal_next + jit, release + Duration::ns(1)), task});
+  }
+
+  /// True when a task (not ISR) with higher priority than `current` waits.
+  bool higher_task_waiting(std::size_t current) const {
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+      if (pending_[i].empty() || tasks_[i].sched == SchedClass::kInterrupt) continue;
+      if (tasks_[i].priority < tasks_[current].priority) return true;
+    }
+    return false;
+  }
+
+  /// Select who runs now, applying preemption rules; maintains running_.
+  std::optional<std::size_t> pick_runner() {
+    // Highest-priority ready ISR, if any.
+    std::optional<std::size_t> best_isr;
+    std::optional<std::size_t> best_task;
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+      if (pending_[i].empty()) continue;
+      if (tasks_[i].sched == SchedClass::kInterrupt) {
+        if (!best_isr || tasks_[i].priority < tasks_[*best_isr].priority) best_isr = i;
+      } else {
+        if (!best_task || tasks_[i].priority < tasks_[*best_task].priority) best_task = i;
+      }
+    }
+
+    if (running_) {
+      const Task& cur = tasks_[running_->task];
+      const bool cur_isr = cur.sched == SchedClass::kInterrupt;
+      bool preempt = false;
+      if (best_isr && (!cur_isr || tasks_[*best_isr].priority < cur.priority)) {
+        preempt = true;
+      } else if (!cur_isr && best_task && tasks_[*best_task].priority < cur.priority) {
+        // Task-level preemption: immediate for preemptive victims, only
+        // at segment boundaries for cooperative ones.
+        if (cur.sched == SchedClass::kPreemptiveTask) {
+          preempt = true;
+        } else {
+          const Duration seg = cur.effective_segment();
+          const bool at_boundary =
+              seg > Duration::zero() && running_->executed.count_ns() % seg.count_ns() == 0;
+          preempt = at_boundary;
+        }
+      }
+      if (!preempt) return running_->task;
+      // Suspend: back to its queue front.
+      pending_[running_->task].push_front(*running_);
+      running_.reset();
+    }
+
+    const std::optional<std::size_t> chosen = best_isr ? best_isr : best_task;
+    if (!chosen) return std::nullopt;
+    running_ = pending_[*chosen].front();
+    pending_[*chosen].pop_front();
+    return chosen;
+  }
+
+  void complete(Duration now) {
+    const Instance inst = *running_;
+    running_.reset();
+    auto& s = stats_[inst.task];
+    ++s.completions;
+    const Duration r = now - inst.release;
+    s.wcrt_observed = max(s.wcrt_observed, r);
+    s.bcrt_observed = min(s.bcrt_observed, r);
+    response_sum_us_[s.name] += r.as_us();
+  }
+
+  const std::vector<Task>& tasks_;
+  const EcuSimConfig& cfg_;
+  Rng rng_;
+
+  std::priority_queue<Arrival> arrivals_;
+  std::vector<std::deque<Instance>> pending_;  ///< FIFO per task (multi-activation).
+  std::optional<Instance> running_;
+  std::map<std::size_t, Duration> last_jitter_;
+  std::map<std::string, double> response_sum_us_;
+  std::vector<TaskStats> stats_;
+  Duration busy_ = Duration::zero();
+};
+
+}  // namespace
+
+EcuSimResult simulate_ecu(const std::vector<Task>& tasks, const EcuSimConfig& cfg) {
+  if (cfg.duration <= Duration::zero())
+    throw std::invalid_argument("simulate_ecu: duration must be > 0");
+  EcuSimulation sim{tasks, cfg};
+  return sim.run();
+}
+
+}  // namespace symcan

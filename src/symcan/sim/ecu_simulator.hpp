@@ -1,0 +1,60 @@
+#pragma once
+
+// Discrete-event simulation of one ECU's OSEK-style scheduler — the
+// task-level counterpart of the CAN bus simulator, and the soundness
+// oracle for EcuRta: simulated task response times must never exceed the
+// analysis bounds when execution times and release jitter respect the
+// task model.
+//
+// Scheduling semantics (matching EcuRta's model):
+//  * hardware ISRs preempt every task and each other by priority;
+//  * preemptive tasks preempt lower-priority tasks immediately;
+//  * cooperative tasks yield to other *tasks* only at segment boundaries
+//    (every `max_segment` of executed time); ISRs still preempt them;
+//  * per-activation OS overhead executes as part of the task;
+//  * activations queue (OSEK multiple-activation): a pending activation
+//    waits for the previous instance to complete.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "symcan/model/task.hpp"
+#include "symcan/util/rng.hpp"
+#include "symcan/util/time.hpp"
+
+namespace symcan {
+
+struct EcuSimConfig {
+  Duration duration = Duration::s(2);
+  std::uint64_t seed = 1;
+  /// Sample execution in [bcet, wcet] and release jitter in [0, J];
+  /// when false: always wcet and full jitter (deterministic stress).
+  bool randomize = true;
+};
+
+struct TaskStats {
+  std::string name;
+  std::int64_t activations = 0;
+  std::int64_t completions = 0;
+  Duration wcrt_observed = Duration::zero();
+  Duration bcrt_observed = Duration::infinite();
+  double avg_response_us = 0;
+  std::int64_t max_backlog = 0;  ///< Peak pending activations of this task.
+};
+
+struct EcuSimResult {
+  std::vector<TaskStats> tasks;  ///< Input order.
+  Duration simulated = Duration::zero();
+  Duration busy_time = Duration::zero();  ///< CPU non-idle time.
+
+  double utilization_observed() const {
+    return simulated > Duration::zero() ? busy_time.as_s() / simulated.as_s() : 0;
+  }
+  const TaskStats* find(const std::string& name) const;
+};
+
+/// Simulate `tasks` on one core. Validates the task set like EcuRta does.
+EcuSimResult simulate_ecu(const std::vector<Task>& tasks, const EcuSimConfig& cfg);
+
+}  // namespace symcan

@@ -1,0 +1,151 @@
+#include "symcan/supplychain/datasheet.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace symcan {
+
+namespace {
+
+bool all_schedulable_with_jitter(const KMatrix& km, const CanRtaConfig& rta, std::size_t index,
+                                 Duration jitter) {
+  KMatrix variant = km;
+  variant.messages()[index].jitter = jitter;
+  return CanRta{variant, rta}.analyze().all_schedulable();
+}
+
+std::size_t index_of(const KMatrix& km, const std::string& message) {
+  for (std::size_t i = 0; i < km.size(); ++i)
+    if (km.messages()[i].name == message) return i;
+  throw std::invalid_argument("unknown message '" + message + "'");
+}
+
+}  // namespace
+
+Duration max_own_jitter(const KMatrix& km, const CanRtaConfig& rta, const std::string& message,
+                        Duration tolerance) {
+  const std::size_t index = index_of(km, message);
+  const Duration period = km.messages()[index].period;
+  if (!all_schedulable_with_jitter(km, rta, index, Duration::zero())) return Duration::zero();
+  if (all_schedulable_with_jitter(km, rta, index, period)) return period;
+  Duration lo = Duration::zero(), hi = period;  // feasible at lo, infeasible at hi
+  while (hi - lo > tolerance) {
+    const Duration mid = lo + (hi - lo) / 2;
+    if (all_schedulable_with_jitter(km, rta, index, mid))
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+std::vector<SendJitterRequirement> derive_send_jitter_requirements(const KMatrix& km,
+                                                                   const CanRtaConfig& rta,
+                                                                   const std::string& ecu,
+                                                                   double safety_margin) {
+  if (safety_margin <= 0 || safety_margin > 1)
+    throw std::invalid_argument("derive_send_jitter_requirements: margin must be in (0,1]");
+  std::vector<SendJitterRequirement> out;
+  for (const auto& m : km.messages()) {
+    if (!ecu.empty() && m.sender != ecu) continue;
+    const Duration tolerable = max_own_jitter(km, rta, m.name);
+    SendJitterRequirement req;
+    req.message = m.name;
+    req.max_jitter = Duration::ns(static_cast<std::int64_t>(
+        safety_margin * static_cast<double>(tolerable.count_ns())));
+    out.push_back(std::move(req));
+  }
+  return out;
+}
+
+std::vector<ArrivalRequirement> derive_arrival_guarantees(const KMatrix& km,
+                                                          const CanRtaConfig& rta) {
+  const BusResult res = CanRta{km, rta}.analyze();
+  std::vector<ArrivalRequirement> out;
+  for (std::size_t i = 0; i < km.size(); ++i) {
+    const auto& m = km.messages()[i];
+    for (const auto& receiver : m.receivers) {
+      ArrivalRequirement g;
+      g.message = m.name;
+      g.receiver = receiver;
+      g.max_latency = res.messages[i].wcrt;
+      g.max_response_jitter = res.messages[i].wcrt.is_infinite()
+                                  ? Duration::infinite()
+                                  : res.messages[i].response_jitter();
+      out.push_back(std::move(g));
+    }
+  }
+  return out;
+}
+
+DualityReport check_duality(const KMatrix& km, const CanRtaConfig& rta,
+                            const std::vector<SendJitterRequirement>& oem_requirements,
+                            const std::vector<EcuDatasheet>& supplier_datasheets) {
+  DualityReport report;
+
+  // Requirement -> guarantee direction.
+  for (const auto& req : oem_requirements) {
+    const CanMessage* msg = km.find_message(req.message);
+    if (msg == nullptr) {
+      report.violations.push_back({DualityViolation::Kind::kMissingGuarantee, req.message,
+                                   "requirement references unknown message"});
+      continue;
+    }
+    const SendJitterGuarantee* found = nullptr;
+    for (const auto& ds : supplier_datasheets) {
+      if (ds.ecu != msg->sender) continue;
+      for (const auto& g : ds.send_guarantees)
+        if (g.message == req.message) found = &g;
+    }
+    if (found == nullptr) {
+      report.violations.push_back({DualityViolation::Kind::kMissingGuarantee, req.message,
+                                   "no supplier guarantee for sender " + msg->sender});
+    } else if (found->jitter > req.max_jitter) {
+      report.violations.push_back(
+          {DualityViolation::Kind::kSendJitterExceeded, req.message,
+           "guaranteed " + to_string(found->jitter) + " > required " + to_string(req.max_jitter)});
+    }
+  }
+
+  // Supplier arrival requirements vs what the bus analysis delivers. The
+  // analysis is run on the matrix *with guarantees substituted in* — the
+  // refinement step of Section 5.2.
+  KMatrix refined = km;
+  for (const auto& ds : supplier_datasheets) {
+    for (const auto& g : ds.send_guarantees) {
+      for (auto& m : refined.messages()) {
+        if (m.name != g.message) continue;
+        m.jitter = g.jitter;
+        m.jitter_known = true;
+      }
+    }
+  }
+  const std::vector<ArrivalRequirement> delivered = derive_arrival_guarantees(refined, rta);
+  for (const auto& ds : supplier_datasheets) {
+    for (const auto& need : ds.arrival_requirements) {
+      const ArrivalRequirement* got = nullptr;
+      for (const auto& d : delivered)
+        if (d.message == need.message && d.receiver == need.receiver) got = &d;
+      if (got == nullptr) {
+        report.violations.push_back({DualityViolation::Kind::kLatencyNotMet, need.message,
+                                     "receiver " + need.receiver + " is not in the K-Matrix"});
+        continue;
+      }
+      if (got->max_latency > need.max_latency) {
+        report.violations.push_back(
+            {DualityViolation::Kind::kLatencyNotMet, need.message,
+             "bus delivers " + to_string(got->max_latency) + " > needed " +
+                 to_string(need.max_latency)});
+      }
+      if (got->max_response_jitter > need.max_response_jitter) {
+        report.violations.push_back(
+            {DualityViolation::Kind::kArrivalJitterNotMet, need.message,
+             "bus jitter " + to_string(got->max_response_jitter) + " > needed " +
+                 to_string(need.max_response_jitter)});
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace symcan

@@ -1,0 +1,63 @@
+#pragma once
+
+// Iterative refinement (paper Section 5.2): "the analysis can be repeated
+// as new design details become available ... freezing certain design
+// parameters can result in new flexibility for other decisions and allows
+// trading the timing reserves and budgets for different components
+// against each other."
+//
+// A RefinementSession tracks a K-Matrix from early assumptions to
+// committed supplier guarantees, re-running the analysis after every
+// commitment and recording how the verdicts and the remaining slack
+// budget evolve.
+
+#include <string>
+#include <vector>
+
+#include "symcan/analysis/can_rta.hpp"
+#include "symcan/can/kmatrix.hpp"
+
+namespace symcan {
+
+class RefinementSession {
+ public:
+  RefinementSession(KMatrix baseline, CanRtaConfig rta);
+
+  /// Supplier commits a send-jitter guarantee: the assumption becomes a
+  /// known value and the analysis is re-run. Records a history step.
+  void commit_send_jitter(const std::string& message, Duration jitter);
+
+  /// OEM freezes a message's CAN ID (it may no longer be re-assigned by
+  /// optimization runs; informational for tooling built on top).
+  void freeze_priority(const std::string& message);
+  const std::vector<std::string>& frozen() const { return frozen_; }
+
+  /// Current analysis under the session's configuration.
+  BusResult analyze() const;
+
+  /// Remaining slack of one message (deadline - wcrt) — the "timing
+  /// budget" that freezing and trading operates on.
+  Duration slack_budget(const std::string& message) const;
+
+  /// Share of messages whose jitter is still an assumption.
+  double unknown_fraction() const;
+
+  struct Step {
+    std::string what;
+    std::size_t miss_count = 0;
+    double unknown_fraction = 0;
+  };
+  const std::vector<Step>& history() const { return history_; }
+
+  const KMatrix& matrix() const { return km_; }
+
+ private:
+  void record(std::string what);
+
+  KMatrix km_;
+  CanRtaConfig rta_;
+  std::vector<std::string> frozen_;
+  std::vector<Step> history_;
+};
+
+}  // namespace symcan

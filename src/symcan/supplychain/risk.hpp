@@ -1,0 +1,72 @@
+#pragma once
+
+// Multi-supplier risk management (paper Section 6: "The ability to
+// perform what-if analysis in rapid cycles even enables a multi-supplier
+// risk-management, possibly in combination with a penalty-reward model,
+// that allows reacting to bottlenecks earlier than ever" — following
+// Kruse, Volling, Thomsen, Ernst & Spengler, AAET 2005 [14]).
+//
+// Each supplier has committed send jitters for its ECU's messages, but
+// may overrun (deliver worse timing) with some probability. Enumerating
+// (or sampling) the overrun scenarios and re-running the schedulability
+// analysis per scenario yields:
+//
+//  * the expected contractual penalty (missed messages x penalty rate),
+//  * the worst-case scenario and its probability,
+//  * per-supplier criticality: how much expected penalty this supplier's
+//    overrun adds — the quantity a penalty-reward contract prices.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "symcan/analysis/can_rta.hpp"
+#include "symcan/can/kmatrix.hpp"
+
+namespace symcan {
+
+/// One supplier's delivery uncertainty.
+struct SupplierRisk {
+  std::string ecu;                    ///< The ECU (sender) this supplier delivers.
+  double overrun_probability = 0.1;   ///< P(timing worse than committed).
+  double overrun_jitter_factor = 2.0; ///< Jitter multiplier when overrunning.
+};
+
+struct RiskConfig {
+  CanRtaConfig rta;
+  /// Contractual penalty per message that can be lost, per scenario.
+  double penalty_per_miss = 1.0;
+  /// Exhaustive enumeration up to this many scenarios (2^suppliers);
+  /// beyond it, Monte Carlo sampling with `samples` draws.
+  std::size_t max_enumeration = 4096;
+  std::size_t samples = 2000;
+  std::uint64_t seed = 99;
+};
+
+/// One evaluated overrun scenario.
+struct RiskScenario {
+  std::vector<bool> overruns;  ///< Per supplier (RiskReport::suppliers order).
+  double probability = 0;
+  std::size_t misses = 0;
+  double penalty = 0;
+};
+
+struct RiskReport {
+  std::vector<std::string> suppliers;  ///< ECU names, input order.
+  double expected_penalty = 0;
+  RiskScenario worst;                  ///< Highest-penalty scenario found.
+  /// criticality[i] = E[penalty | supplier i overruns] -
+  ///                  E[penalty | supplier i on time].
+  std::vector<double> criticality;
+  std::size_t scenarios_evaluated = 0;
+  bool exhaustive = false;
+};
+
+/// Assess the risk. The matrix's current jitters are the *committed*
+/// values; in an overrun scenario every message of that supplier's ECU
+/// gets its jitter multiplied (capped at the period). Deterministic in
+/// cfg.seed when sampling.
+RiskReport assess_supplier_risk(const KMatrix& km, const std::vector<SupplierRisk>& risks,
+                                const RiskConfig& cfg);
+
+}  // namespace symcan

@@ -1,0 +1,101 @@
+#include "symcan/util/csv.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace symcan {
+
+CsvRow parse_csv_line(std::string_view line) {
+  CsvRow out;
+  std::string field;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      out.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\r') {
+      // Tolerate CRLF line endings.
+    } else {
+      field.push_back(c);
+    }
+  }
+  out.push_back(std::move(field));
+  return out;
+}
+
+std::vector<CsvRow> parse_csv(std::string_view text) {
+  std::vector<CsvRow> rows;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (!line.empty() && line.front() != '#') rows.push_back(parse_csv_line(line));
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  return rows;
+}
+
+namespace {
+bool needs_quoting(const std::string& f) {
+  if (f.empty()) return false;
+  if (std::isspace(static_cast<unsigned char>(f.front())) ||
+      std::isspace(static_cast<unsigned char>(f.back())))
+    return true;
+  return f.find_first_of(",\"") != std::string::npos;
+}
+}  // namespace
+
+std::string format_csv_row(const CsvRow& row) {
+  std::string out;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i) out.push_back(',');
+    const std::string& f = row[i];
+    if (needs_quoting(f)) {
+      out.push_back('"');
+      for (char c : f) {
+        if (c == '"') out.push_back('"');
+        out.push_back(c);
+      }
+      out.push_back('"');
+    } else {
+      out += f;
+    }
+  }
+  return out;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) throw std::runtime_error("cannot open file for reading: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file(const std::string& path, std::string_view content) {
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  if (!out) throw std::runtime_error("cannot open file for writing: " + path);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace symcan

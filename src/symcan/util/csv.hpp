@@ -1,0 +1,35 @@
+#pragma once
+
+// Minimal CSV reading/writing used for K-Matrix import/export and for
+// dumping benchmark series. Supports quoted fields with embedded commas
+// and quotes; does not support embedded newlines (K-Matrices never
+// contain them).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace symcan {
+
+/// One parsed CSV row.
+using CsvRow = std::vector<std::string>;
+
+/// Parse a single CSV line into fields. Handles "quoted, fields" and
+/// doubled quotes ("") as an escaped quote.
+CsvRow parse_csv_line(std::string_view line);
+
+/// Parse a whole CSV document. Blank lines and lines starting with '#'
+/// are skipped.
+std::vector<CsvRow> parse_csv(std::string_view text);
+
+/// Render one row, quoting any field that contains a comma, quote, or
+/// leading/trailing whitespace.
+std::string format_csv_row(const CsvRow& row);
+
+/// Read an entire file into a string. Throws std::runtime_error on failure.
+std::string read_file(const std::string& path);
+
+/// Write a string to a file, truncating. Throws std::runtime_error on failure.
+void write_file(const std::string& path, std::string_view content);
+
+}  // namespace symcan

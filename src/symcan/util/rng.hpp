@@ -1,0 +1,67 @@
+#pragma once
+
+// Deterministic, seedable random number generation.
+//
+// Every stochastic component in symcan (workload generation, the genetic
+// optimizer, simulator jitter/error sampling) draws from this engine so
+// that whole experiments replay bit-identically from a single seed.
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+
+#include "symcan/util/time.hpp"
+
+namespace symcan {
+
+/// Thin wrapper around std::mt19937_64 with convenience samplers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_{seed} {}
+
+  /// Uniform integer in [lo, hi], inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>{lo, hi}(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    return std::uniform_real_distribution<double>{lo, hi}(engine_);
+  }
+
+  /// Uniform duration in [lo, hi], inclusive, at nanosecond granularity.
+  Duration uniform_duration(Duration lo, Duration hi) {
+    return Duration::ns(uniform_int(lo.count_ns(), hi.count_ns()));
+  }
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool chance(double p) { return std::bernoulli_distribution{p}(engine_); }
+
+  /// Index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n) {
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  }
+
+  /// Exponentially distributed duration with the given mean (> 0).
+  Duration exponential(Duration mean) {
+    const double lambda = 1.0 / static_cast<double>(mean.count_ns());
+    const double v = std::exponential_distribution<double>{lambda}(engine_);
+    return Duration::ns(static_cast<std::int64_t>(v));
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename Container>
+  void shuffle(Container& c) {
+    std::shuffle(c.begin(), c.end(), engine_);
+  }
+
+  /// Derive an independent child generator (for parallel components).
+  Rng fork() { return Rng{engine_()}; }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace symcan

@@ -1,0 +1,27 @@
+#include "symcan/util/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace symcan {
+
+std::string to_string(Duration d) {
+  if (d.is_infinite()) return "inf";
+  const std::int64_t n = d.count_ns();
+  const std::int64_t a = n < 0 ? -n : n;
+  char buf[64];
+  if (a >= 1'000'000'000) {
+    std::snprintf(buf, sizeof buf, "%.6g s", d.as_s());
+  } else if (a >= 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.6g ms", d.as_ms());
+  } else if (a >= 1'000) {
+    std::snprintf(buf, sizeof buf, "%.6g us", d.as_us());
+  } else {
+    std::snprintf(buf, sizeof buf, "%lld ns", static_cast<long long>(n));
+  }
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, Duration d) { return os << to_string(d); }
+
+}  // namespace symcan

@@ -1,0 +1,110 @@
+#pragma once
+
+// Strong time types for schedulability analysis.
+//
+// All analysis code works on integer nanoseconds to keep fixed-point
+// iterations exact and platform-independent. A CAN bit at 1 Mbit/s is
+// 1000 ns, at 500 kbit/s it is 2000 ns, so int64 nanoseconds comfortably
+// cover every window length the analyses iterate over (hours of bus time)
+// without rounding drift.
+
+#include <cassert>
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+
+namespace symcan {
+
+/// A signed time span with nanosecond resolution.
+///
+/// Value type; totally ordered; arithmetic is checked by assertions in
+/// debug builds. Negative durations are representable (they arise as
+/// intermediate slack values) but most APIs document non-negative inputs.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  /// Named constructors. Prefer these over the raw-count constructor.
+  static constexpr Duration ns(std::int64_t v) { return Duration{v}; }
+  static constexpr Duration us(std::int64_t v) { return Duration{v * 1000}; }
+  static constexpr Duration ms(std::int64_t v) { return Duration{v * 1'000'000}; }
+  static constexpr Duration s(std::int64_t v) { return Duration{v * 1'000'000'000}; }
+
+  /// Largest representable duration; used as "unbounded / not schedulable".
+  static constexpr Duration infinite() {
+    return Duration{std::numeric_limits<std::int64_t>::max()};
+  }
+  static constexpr Duration zero() { return Duration{0}; }
+
+  constexpr std::int64_t count_ns() const { return ns_; }
+  constexpr double as_us() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double as_ms() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double as_s() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr bool is_infinite() const { return *this == infinite(); }
+
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+  constexpr Duration operator+(Duration o) const { return Duration{ns_ + o.ns_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{ns_ - o.ns_}; }
+  constexpr Duration operator-() const { return Duration{-ns_}; }
+  constexpr Duration operator*(std::int64_t k) const { return Duration{ns_ * k}; }
+  friend constexpr Duration operator*(std::int64_t k, Duration d) { return d * k; }
+
+  constexpr Duration& operator+=(Duration o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+
+  /// Truncating integer division by another duration (how many `o` fit).
+  constexpr std::int64_t operator/(Duration o) const {
+    assert(o.ns_ != 0);
+    return ns_ / o.ns_;
+  }
+  /// Scalar division, truncating toward zero.
+  constexpr Duration operator/(std::int64_t k) const {
+    assert(k != 0);
+    return Duration{ns_ / k};
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, Duration d);
+
+ private:
+  constexpr explicit Duration(std::int64_t v) : ns_{v} {}
+  std::int64_t ns_ = 0;
+};
+
+/// ceil(a / b) for positive durations. Core operation of every
+/// response-time fixed point: the number of activations of a periodic
+/// source within a half-open window.
+constexpr std::int64_t ceil_div(Duration a, Duration b) {
+  assert(b > Duration::zero());
+  const std::int64_t an = a.count_ns();
+  const std::int64_t bn = b.count_ns();
+  if (an <= 0) return 0;
+  return (an + bn - 1) / bn;
+}
+
+/// floor(a / b) for b > 0; negative a floors toward -infinity.
+constexpr std::int64_t floor_div(Duration a, Duration b) {
+  assert(b > Duration::zero());
+  const std::int64_t an = a.count_ns();
+  const std::int64_t bn = b.count_ns();
+  std::int64_t q = an / bn;
+  if ((an % bn != 0) && (an < 0)) --q;
+  return q;
+}
+
+constexpr Duration min(Duration a, Duration b) { return a < b ? a : b; }
+constexpr Duration max(Duration a, Duration b) { return a > b ? a : b; }
+
+/// Human-readable rendering with an adaptive unit ("1.25 ms", "500 ns").
+std::string to_string(Duration d);
+
+}  // namespace symcan

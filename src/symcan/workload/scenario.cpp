@@ -1,0 +1,49 @@
+#include "symcan/workload/scenario.hpp"
+
+#include <stdexcept>
+
+namespace symcan {
+
+std::vector<std::string> add_diagnosis_traffic(KMatrix& km, const DiagnosisConfig& cfg) {
+  if (km.find_node(cfg.tester_node) == nullptr)
+    throw std::invalid_argument("add_diagnosis_traffic: unknown tester node " + cfg.tester_node);
+  if (km.find_node(cfg.target_node) == nullptr)
+    throw std::invalid_argument("add_diagnosis_traffic: unknown target node " + cfg.target_node);
+
+  std::vector<std::string> added;
+  auto mk = [&](const char* name, CanId id, const std::string& from, const std::string& to) {
+    CanMessage m;
+    m.name = name;
+    m.id = id;
+    m.payload_bytes = 8;
+    // ISO-TP block transfer: long-term rate one frame per spacing, with
+    // bursts of up to cfg.burst consecutive frames.
+    m.period = cfg.frame_spacing;
+    m.jitter = (cfg.burst - 1) * cfg.frame_spacing;
+    m.min_distance = Duration::us(200);  // driver pacing between frames
+    m.deadline_policy = DeadlinePolicy::kExplicit;
+    m.explicit_deadline = cfg.stream_deadline;
+    m.sender = from;
+    m.receivers = {to};
+    m.jitter_known = true;
+    km.add_message(m);
+    added.push_back(m.name);
+  };
+  mk("DIAG_REQ", cfg.request_id, cfg.tester_node, cfg.target_node);
+  mk("FLASH_DATA", cfg.response_id, cfg.target_node, cfg.tester_node);
+  km.validate();
+  return added;
+}
+
+void apply_n_out_of_m(KMatrix& km, std::int64_t m_factor,
+                      const std::function<bool(const CanMessage&)>& pick) {
+  if (m_factor < 1) throw std::invalid_argument("apply_n_out_of_m: m_factor must be >= 1");
+  for (auto& m : km.messages()) {
+    if (!pick(m)) continue;
+    m.period = m.period / m_factor;
+    m.jitter = m.jitter / m_factor;
+  }
+  km.validate();
+}
+
+}  // namespace symcan

@@ -1,0 +1,45 @@
+#pragma once
+
+// Scenario mutations on top of a base K-Matrix: diagnosis / ECU-flashing
+// traffic and the naive "N out of M" redundancy pattern the paper calls
+// out as counterproductive common practice (Section 2).
+
+#include <functional>
+#include <string>
+
+#include "symcan/can/kmatrix.hpp"
+
+namespace symcan {
+
+struct DiagnosisConfig {
+  /// Spacing of consecutive flash/diagnosis data frames (ISO-TP style
+  /// block transfer with flow control); 2 ms sustains ~64 kbit/s of
+  /// payload on a 500 kbit/s bus.
+  Duration frame_spacing = Duration::ms(2);
+  /// Burstiness: frames may bunch up to this many back-to-back.
+  std::int64_t burst = 4;
+  /// Diagnostic IDs sit at the top of the ID space (lowest priority).
+  CanId request_id = 0x700;
+  CanId response_id = 0x708;
+  /// Deadline of the diagnostic stream itself: ISO-TP flow-control
+  /// timeouts are generous (the tool retries); 250 ms matches typical
+  /// N_Bs/N_Cr defaults.
+  Duration stream_deadline = Duration::ms(250);
+  std::string tester_node = "GW";  ///< Node injecting the tester traffic.
+  std::string target_node = "ENG";
+};
+
+/// Add a flashing/diagnosis session to the matrix: a request stream from
+/// the tester (via gateway) and a response/data stream from the target.
+/// Both are low-priority and bursty. Returns names of the added messages.
+std::vector<std::string> add_diagnosis_traffic(KMatrix& km, const DiagnosisConfig& cfg);
+
+/// Apply the naive "N out of M" robustness pattern: every message
+/// selected by `pick` is sent `m_factor` times as often (period divided),
+/// so that N of the M copies per original period survive loss. The paper:
+/// "sending significantly more messages than actually required further
+/// increases bus load and should be avoided".
+void apply_n_out_of_m(KMatrix& km, std::int64_t m_factor,
+                      const std::function<bool(const CanMessage&)>& pick);
+
+}  // namespace symcan

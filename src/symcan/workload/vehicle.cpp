@@ -1,0 +1,216 @@
+#include "symcan/workload/vehicle.hpp"
+
+#include <stdexcept>
+
+#include "symcan/util/rng.hpp"
+
+namespace symcan {
+
+namespace {
+
+/// Body/comfort bus: slower rates, smaller frames, basicCAN controllers
+/// are common on cost-driven nodes.
+KMatrix generate_body_bus(const VehicleConfig& cfg, Rng& rng) {
+  KMatrix km{"body", BitTiming{cfg.body_bitrate_bps}};
+  static const char* names[] = {"DOOR", "SEAT", "CLIM", "LIGHT", "WIPER", "MIRROR", "ROOF"};
+  std::vector<std::string> nodes;
+  for (int i = 0; i < cfg.body_ecu_count; ++i) {
+    std::string n = i < static_cast<int>(std::size(names)) ? names[i]
+                                                           : "BODY" + std::to_string(i);
+    nodes.push_back(n);
+    EcuNode node;
+    node.name = n;
+    node.controller = rng.chance(0.5) ? ControllerType::kBasicCan : ControllerType::kFullCan;
+    node.tx_buffers = node.controller == ControllerType::kBasicCan
+                          ? static_cast<int>(rng.uniform_int(1, 3))
+                          : 1;
+    km.add_node(std::move(node));
+  }
+  EcuNode gw;
+  gw.name = "GW";
+  gw.is_gateway = true;
+  km.add_node(std::move(gw));
+
+  // Draw rows and scale to the target utilization, mirroring the
+  // power-train generator's approach with a body-typical period grid.
+  struct Row {
+    std::int64_t period_ms;
+    int payload;
+    std::size_t sender;
+  };
+  std::vector<Row> rows;
+  for (int i = 0; i < cfg.body_message_count; ++i) {
+    static const std::int64_t grid[] = {20, 50, 100, 200, 500, 1000};
+    Row r;
+    r.period_ms = grid[rng.index(std::size(grid))];
+    r.payload = static_cast<int>(rng.uniform_int(1, 8));
+    r.sender = rng.index(nodes.size());
+    rows.push_back(r);
+  }
+  double util = 0;
+  for (const auto& r : rows) {
+    const auto bits = frame_bits_worst_case(FrameFormat::kStandard, r.payload);
+    util += static_cast<double>(bits) * km.timing().bit_time().as_s() /
+            (static_cast<double>(r.period_ms) * 1e-3);
+  }
+  const double scale = util / cfg.body_target_utilization;
+
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    CanMessage m;
+    m.name = "B" + std::to_string(i);
+    m.id = static_cast<CanId>(0x200 + i * 8 + static_cast<std::size_t>(rng.uniform_int(0, 5)));
+    m.payload_bytes = rows[i].payload;
+    m.period = Duration::ns(static_cast<std::int64_t>(
+        static_cast<double>(rows[i].period_ms) * 1e6 * scale));
+    m.sender = nodes[rows[i].sender];
+    m.receivers = {nodes[(rows[i].sender + 1) % nodes.size()]};
+    km.add_message(std::move(m));
+  }
+  km.validate();
+  return km;
+}
+
+/// A plausible OSEK task set for one ECU: a fast control task, a medium
+/// worker, and a cooperative background task; ISR on some nodes.
+std::vector<Task> generate_tasks(const std::string& ecu, int count, Rng& rng) {
+  std::vector<Task> tasks;
+  for (int i = 0; i < count; ++i) {
+    Task t;
+    t.name = ecu + "_task" + std::to_string(i);
+    t.priority = 10 + i;
+    const std::int64_t period_ms = (i + 1) * static_cast<std::int64_t>(rng.uniform_int(5, 20));
+    t.activation = EventModel::periodic(Duration::ms(period_ms));
+    const std::int64_t wcet_us = rng.uniform_int(100, 400) * (i + 1);
+    t.wcet = Duration::us(wcet_us);
+    t.bcet = t.wcet / 2;
+    t.os_overhead = Duration::us(20);
+    t.deadline = t.activation.period();
+    if (i == count - 1 && count >= 3) {
+      t.sched = SchedClass::kCooperativeTask;
+      t.max_segment = t.wcet / 3;
+    }
+    tasks.push_back(std::move(t));
+  }
+  if (rng.chance(0.4)) {
+    Task isr;
+    isr.name = ecu + "_isr";
+    isr.sched = SchedClass::kInterrupt;
+    isr.priority = 1;
+    isr.activation = EventModel::periodic(Duration::ms(1));
+    isr.wcet = Duration::us(40);
+    isr.bcet = Duration::us(10);
+    tasks.push_back(std::move(isr));
+  }
+  return tasks;
+}
+
+}  // namespace
+
+System generate_vehicle(const VehicleConfig& cfg) {
+  if (cfg.gateway_streams_per_direction < 0)
+    throw std::invalid_argument("generate_vehicle: negative stream count");
+  if (cfg.tasks_per_ecu < 1)
+    throw std::invalid_argument("generate_vehicle: tasks_per_ecu must be >= 1");
+
+  Rng rng{cfg.seed};
+  System sys;
+
+  PowertrainConfig pt_cfg = cfg.powertrain;
+  pt_cfg.seed = cfg.seed;
+  KMatrix powertrain = generate_powertrain(pt_cfg);
+  KMatrix body = generate_body_bus(cfg, rng);
+
+  // Cross-bus messages: pt -> body and body -> pt, carried by the
+  // gateway. High-ish priority on the destination bus (control data).
+  struct Stream {
+    std::string name;
+    Duration period;
+    bool pt_to_body;
+  };
+  std::vector<Stream> streams;
+  for (int i = 0; i < cfg.gateway_streams_per_direction; ++i) {
+    const Duration period = Duration::ms(rng.uniform_int(2, 10) * 10);
+    streams.push_back({"xpt" + std::to_string(i), period, true});
+    streams.push_back({"xbd" + std::to_string(i), period, false});
+  }
+  CanId pt_id = 0x0A0;
+  CanId body_id = 0x0A0;
+  for (const auto& s : streams) {
+    CanMessage src;
+    src.name = s.name + "_src";
+    src.payload_bytes = 8;
+    src.period = s.period;
+    CanMessage fwd = src;
+    fwd.name = s.name + "_fwd";
+    if (s.pt_to_body) {
+      src.id = pt_id++;
+      src.sender = powertrain.nodes().front().name;
+      src.receivers = {"GW"};
+      powertrain.add_message(src);
+      fwd.id = body_id++;
+      fwd.sender = "GW";
+      fwd.receivers = {body.nodes().front().name};
+      body.add_message(fwd);
+    } else {
+      src.id = body_id++;
+      src.sender = body.nodes().front().name;
+      src.receivers = {"GW"};
+      body.add_message(src);
+      fwd.id = pt_id++;
+      fwd.sender = "GW";
+      fwd.receivers = {powertrain.nodes().front().name};
+      powertrain.add_message(fwd);
+    }
+  }
+  powertrain.validate();
+  body.validate();
+
+  // ECU task sets: every node of either bus, gateway last (it hosts the
+  // forwarding tasks).
+  std::vector<std::string> ecu_names;
+  for (const auto& n : powertrain.nodes())
+    if (!n.is_gateway) ecu_names.push_back(n.name);
+  for (const auto& n : body.nodes())
+    if (!n.is_gateway) ecu_names.push_back(n.name);
+  for (const auto& name : ecu_names) sys.add_ecu(name, generate_tasks(name, cfg.tasks_per_ecu, rng));
+
+  std::vector<Task> gw_tasks;
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    Task t;
+    t.name = "fwd_" + streams[i].name;
+    t.priority = static_cast<int>(10 + i);
+    t.wcet = Duration::us(150);
+    t.bcet = Duration::us(40);
+    t.os_overhead = Duration::us(10);
+    t.activation = EventModel::periodic(streams[i].period);  // overwritten by engine
+    gw_tasks.push_back(std::move(t));
+  }
+  sys.add_ecu("GW", std::move(gw_tasks));
+
+  const std::string pt_bus = powertrain.bus_name();
+  const std::string body_bus = body.bus_name();
+  sys.add_bus(std::move(powertrain));
+  sys.add_bus(std::move(body));
+
+  // Paths: source message -> gateway forwarding task -> forwarded message.
+  int pt_i = 0, bd_i = 0;
+  for (const auto& s : streams) {
+    Path p;
+    p.name = (s.pt_to_body ? "pt_to_body_" + std::to_string(pt_i++)
+                           : "body_to_pt_" + std::to_string(bd_i++));
+    p.source = EventModel::periodic(s.period);
+    const std::string src_bus = s.pt_to_body ? pt_bus : body_bus;
+    const std::string dst_bus = s.pt_to_body ? body_bus : pt_bus;
+    p.elements = {{PathElement::Kind::kMessage, src_bus, s.name + "_src"},
+                  {PathElement::Kind::kTask, "GW", "fwd_" + s.name},
+                  {PathElement::Kind::kMessage, dst_bus, s.name + "_fwd"}};
+    p.deadline = Duration::ns(static_cast<std::int64_t>(
+        cfg.path_deadline_periods * static_cast<double>(s.period.count_ns())));
+    sys.add_path(std::move(p));
+  }
+
+  sys.validate();
+  return sys;
+}
+
+}  // namespace symcan

@@ -1,0 +1,44 @@
+#pragma once
+
+// Vehicle-level synthetic workload: two CAN buses (power train at
+// 500 kbit/s, body/comfort at 125 kbit/s) joined by a gateway, ECU task
+// sets on every node, and cross-bus event paths routed through gateway
+// forwarding tasks. This is the full System the compositional engine
+// (core::Engine) analyzes — the "network integration" object of the
+// paper, one level above a single K-Matrix.
+
+#include "symcan/core/system.hpp"
+#include "symcan/workload/powertrain.hpp"
+
+namespace symcan {
+
+struct VehicleConfig {
+  std::uint64_t seed = 42;
+
+  /// Power-train bus (reuses the case-study generator).
+  PowertrainConfig powertrain = PowertrainConfig::case_study();
+
+  /// Body/comfort bus.
+  int body_message_count = 28;
+  int body_ecu_count = 5;  ///< Excluding the shared gateway.
+  std::int64_t body_bitrate_bps = 125'000;
+  double body_target_utilization = 0.35;
+
+  /// Cross-bus streams routed through the gateway (each direction).
+  int gateway_streams_per_direction = 3;
+
+  /// Local control tasks generated per ECU (plus one sender task per
+  /// cross-bus stream on its source ECU and forwarding tasks on GW).
+  int tasks_per_ecu = 3;
+
+  /// End-to-end deadline granted to each cross-bus path, as a multiple of
+  /// the stream period.
+  double path_deadline_periods = 2.0;
+};
+
+/// Deterministically build the vehicle System: buses named "powertrain"
+/// and "body", gateway node "GW" on both, ECU task sets, and named paths
+/// "pt_to_body_<i>" / "body_to_pt_<i>".
+System generate_vehicle(const VehicleConfig& cfg);
+
+}  // namespace symcan

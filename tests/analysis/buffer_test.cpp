@@ -1,0 +1,96 @@
+#include "symcan/analysis/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "symcan/workload/powertrain.hpp"
+
+namespace symcan {
+namespace {
+
+TEST(MaxBacklog, EmptyArrivalsNeedNoQueue) {
+  const auto b = max_backlog({}, EventModel::periodic(Duration::ms(1)));
+  ASSERT_TRUE(b);
+  EXPECT_EQ(*b, 0);
+}
+
+TEST(MaxBacklog, MatchedRatesNeedOneSlot) {
+  // One 10 ms stream into a 10 ms server: at most one pending.
+  const auto b = max_backlog({EventModel::periodic(Duration::ms(10))},
+                             EventModel::periodic(Duration::ms(10)));
+  ASSERT_TRUE(b);
+  EXPECT_EQ(*b, 1);
+}
+
+TEST(MaxBacklog, FastServerStaysAtOne) {
+  const auto b = max_backlog({EventModel::periodic(Duration::ms(10))},
+                             EventModel::periodic(Duration::ms(1)));
+  ASSERT_TRUE(b);
+  EXPECT_EQ(*b, 1);
+}
+
+TEST(MaxBacklog, BurstFillsTheQueue) {
+  // Bursty arrivals: J = 3 periods, min distance 1 ms -> bursts of 4.
+  const EventModel bursty =
+      EventModel::periodic_burst(Duration::ms(10), Duration::ms(30), Duration::ms(1));
+  const auto b = max_backlog({bursty}, EventModel::periodic(Duration::ms(10)));
+  ASSERT_TRUE(b);
+  EXPECT_GE(*b, 4);
+}
+
+TEST(MaxBacklog, MultiplexedStreamsAddUp) {
+  std::vector<EventModel> arrivals(3, EventModel::periodic(Duration::ms(10)));
+  const auto b = max_backlog(arrivals, EventModel::periodic(Duration::ms(3)));
+  ASSERT_TRUE(b);
+  // Three simultaneous arrivals, server removes one per 3 ms.
+  EXPECT_EQ(*b, 3);
+}
+
+TEST(MaxBacklog, OverloadIsUnbounded) {
+  std::vector<EventModel> arrivals(3, EventModel::periodic(Duration::ms(10)));
+  EXPECT_FALSE(max_backlog(arrivals, EventModel::periodic(Duration::ms(5))));
+}
+
+TEST(MaxBacklog, ServiceJitterGrowsTheBound) {
+  const EventModel arrivals = EventModel::periodic(Duration::ms(10));
+  const auto crisp = max_backlog({arrivals}, EventModel::periodic(Duration::ms(5)));
+  const auto sloppy = max_backlog(
+      {arrivals}, EventModel::periodic_jitter(Duration::ms(5), Duration::ms(22)));
+  ASSERT_TRUE(crisp);
+  ASSERT_TRUE(sloppy);
+  EXPECT_GT(*sloppy, *crisp);
+}
+
+TEST(SizeReceiveQueue, CountsOnlyThisNodesSubscriptions) {
+  const KMatrix km = generate_powertrain(PowertrainConfig::case_study());
+  const EventModel service = EventModel::periodic(Duration::us(500));
+  const QueueReport r = size_receive_queue(km, km.nodes().front().name, service);
+  std::int64_t expected = 0;
+  for (const auto& m : km.messages())
+    for (const auto& rx : m.receivers)
+      if (rx == km.nodes().front().name) ++expected;
+  EXPECT_EQ(r.messages_multiplexed, expected);
+  ASSERT_TRUE(r.backlog);
+  EXPECT_GE(*r.backlog, 1);
+  EXPECT_EQ(r.recommended_depth(), *r.backlog + 1);
+  EXPECT_FALSE(r.overflows(r.recommended_depth()));
+  EXPECT_TRUE(r.overflows(0));
+}
+
+TEST(SizeReceiveQueue, UnknownNodeThrows) {
+  const KMatrix km = generate_powertrain(PowertrainConfig::case_study());
+  EXPECT_THROW(size_receive_queue(km, "NOPE", EventModel::periodic(Duration::ms(1))),
+               std::invalid_argument);
+}
+
+TEST(SizeReceiveQueue, SlowDriverOverflowsSmallQueue) {
+  const KMatrix km = generate_powertrain(PowertrainConfig::case_study());
+  // A 20 ms polling driver cannot keep up with dozens of fast streams.
+  const QueueReport r =
+      size_receive_queue(km, km.nodes().front().name, EventModel::periodic(Duration::ms(20)));
+  EXPECT_TRUE(r.overflows(2));
+}
+
+}  // namespace
+}  // namespace symcan

@@ -1,0 +1,166 @@
+#include "symcan/analysis/ecu_rta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace symcan {
+namespace {
+
+Task mk(const char* name, int prio, Duration wcet, Duration period,
+        SchedClass sched = SchedClass::kPreemptiveTask) {
+  Task t;
+  t.name = name;
+  t.priority = prio;
+  t.wcet = wcet;
+  t.bcet = wcet / 2;
+  t.sched = sched;
+  t.activation = EventModel::periodic(period);
+  t.deadline = period;
+  return t;
+}
+
+TEST(EcuRta, ClassicPreemptiveExample) {
+  // The textbook response-time example: C=(1,2,3) ms, T=(4,6,12) ms.
+  const EcuRta rta{{mk("t1", 1, Duration::ms(1), Duration::ms(4)),
+                    mk("t2", 2, Duration::ms(2), Duration::ms(6)),
+                    mk("t3", 3, Duration::ms(3), Duration::ms(12))}};
+  const EcuResult res = rta.analyze();
+  ASSERT_EQ(res.tasks.size(), 3u);
+  EXPECT_EQ(res.tasks[0].wcrt, Duration::ms(1));
+  EXPECT_EQ(res.tasks[1].wcrt, Duration::ms(3));
+  EXPECT_EQ(res.tasks[2].wcrt, Duration::ms(10));
+  EXPECT_TRUE(res.all_schedulable());
+  EXPECT_NEAR(res.utilization, 1.0 / 4 + 2.0 / 6 + 3.0 / 12, 1e-9);
+}
+
+TEST(EcuRta, CooperativeSegmentBlocksHigherPriority) {
+  Task coop = mk("coop", 9, Duration::ms(6), Duration::ms(50), SchedClass::kCooperativeTask);
+  coop.max_segment = Duration::ms(2);
+  const EcuRta rta{{mk("hi", 1, Duration::ms(1), Duration::ms(10)), coop}};
+  const TaskResult hi = rta.analyze_task(0);
+  // One non-preemptible 2 ms segment of the cooperative task.
+  EXPECT_EQ(hi.blocking, Duration::ms(2));
+  EXPECT_EQ(hi.wcrt, Duration::ms(3));
+}
+
+TEST(EcuRta, CooperativeWithoutSegmentsBlocksWholeWcet) {
+  Task coop = mk("coop", 9, Duration::ms(6), Duration::ms(50), SchedClass::kCooperativeTask);
+  const EcuRta rta{{mk("hi", 1, Duration::ms(1), Duration::ms(10)), coop}};
+  EXPECT_EQ(rta.analyze_task(0).blocking, Duration::ms(6));
+}
+
+TEST(EcuRta, InterruptPreemptsAnyTaskPriority) {
+  // ISR has a numerically *larger* priority value but still preempts.
+  const EcuRta rta{{mk("task", 1, Duration::ms(5), Duration::ms(20)),
+                    mk("isr", 99, Duration::ms(1), Duration::ms(10), SchedClass::kInterrupt)}};
+  const EcuResult res = rta.analyze();
+  EXPECT_EQ(res.tasks[1].wcrt, Duration::ms(1));      // ISR runs immediately
+  EXPECT_EQ(res.tasks[0].wcrt, Duration::ms(6));      // task suffers one ISR
+}
+
+TEST(EcuRta, InterruptsUnaffectedByCooperativeSegments) {
+  Task coop = mk("coop", 1, Duration::ms(6), Duration::ms(50), SchedClass::kCooperativeTask);
+  const EcuRta rta{
+      {coop, mk("isr", 5, Duration::ms(1), Duration::ms(10), SchedClass::kInterrupt)}};
+  EXPECT_EQ(rta.analyze_task(1).blocking, Duration::zero());
+  EXPECT_EQ(rta.analyze_task(1).wcrt, Duration::ms(1));
+}
+
+TEST(EcuRta, OsOverheadChargedPerActivation) {
+  Task t1 = mk("t1", 1, Duration::ms(1), Duration::ms(4));
+  t1.os_overhead = Duration::us(100);
+  Task t2 = mk("t2", 2, Duration::ms(2), Duration::ms(8));
+  const EcuRta rta{{t1, t2}};
+  EXPECT_EQ(rta.analyze_task(0).wcrt, Duration::us(1100));
+  // t2 sees t1's overhead as extra interference.
+  EXPECT_EQ(rta.analyze_task(1).wcrt, Duration::us(3100));
+}
+
+TEST(EcuRta, ActivationJitterAddsInterference) {
+  Task hp = mk("hp", 1, Duration::ms(2), Duration::ms(10));
+  hp.activation = EventModel::periodic_jitter(Duration::ms(10), Duration::ms(9));
+  const EcuRta rta{{hp, mk("lp", 2, Duration::ms(4), Duration::ms(20))}};
+  // Window of 6 ms sees 2 hp activations (ceil((6+9)/10)): 4 + 2*2 = 8 ms.
+  EXPECT_EQ(rta.analyze_task(1).wcrt, Duration::ms(8));
+}
+
+TEST(EcuRta, MultiInstanceBusyWindow) {
+  // Task with deadline > period: its own backlog matters.
+  Task t1 = mk("t1", 1, Duration::ms(3), Duration::ms(4));
+  t1.deadline = Duration::ms(20);
+  Task t2 = mk("t2", 2, Duration::ms(2), Duration::ms(16));
+  t2.deadline = Duration::ms(20);
+  const EcuRta rta{{t1, t2}};
+  const TaskResult r2 = rta.analyze_task(1);
+  // Hand value: w = 2 + ceil(w/4)*3 converges at w = 8 ms.
+  EXPECT_EQ(r2.wcrt, Duration::ms(8));
+  EXPECT_GE(rta.analyze_task(0).instances, 1);
+}
+
+TEST(EcuRta, OverloadDiverges) {
+  const EcuRta rta{{mk("a", 1, Duration::ms(6), Duration::ms(10)),
+                    mk("b", 2, Duration::ms(6), Duration::ms(10))},
+                   Duration::ms(200)};
+  const EcuResult res = rta.analyze();
+  EXPECT_GT(res.utilization, 1.0);
+  EXPECT_TRUE(res.tasks[1].diverged);
+  EXPECT_FALSE(res.all_schedulable());
+  EXPECT_EQ(res.miss_count(), 1u);
+}
+
+TEST(EcuRta, ValidationRejectsBadTasks) {
+  Task bad = mk("x", 1, Duration::ms(1), Duration::ms(5));
+  bad.wcet = Duration::zero();
+  EXPECT_THROW(EcuRta{{bad}}, std::invalid_argument);
+
+  Task inverted = mk("y", 1, Duration::ms(1), Duration::ms(5));
+  inverted.bcet = Duration::ms(2);
+  EXPECT_THROW(EcuRta{{inverted}}, std::invalid_argument);
+
+  EXPECT_THROW(EcuRta({mk("a", 1, Duration::ms(1), Duration::ms(5)),
+                       mk("b", 1, Duration::ms(1), Duration::ms(5))}),
+               std::invalid_argument);
+}
+
+TEST(EcuRta, DuplicatePrioritiesAllowedAcrossClassSpaces) {
+  // An ISR and a task may share the numeric priority value.
+  EXPECT_NO_THROW(EcuRta({mk("a", 1, Duration::ms(1), Duration::ms(5)),
+                          mk("b", 1, Duration::ms(1), Duration::ms(5),
+                             SchedClass::kInterrupt)}));
+}
+
+TEST(EcuRta, BadIndexThrows) {
+  const EcuRta rta{{mk("a", 1, Duration::ms(1), Duration::ms(5))}};
+  EXPECT_THROW(rta.analyze_task(1), std::out_of_range);
+}
+
+TEST(EcuRta, ResponseJitterFeedsComposition) {
+  const EcuRta rta{{mk("a", 1, Duration::ms(1), Duration::ms(4)),
+                    mk("b", 2, Duration::ms(2), Duration::ms(6))}};
+  const TaskResult b = rta.analyze_task(1);
+  EXPECT_EQ(b.response_jitter(), b.wcrt - b.bcrt);
+  EXPECT_EQ(b.bcrt, Duration::ms(1));  // bcet = wcet/2
+}
+
+/// Property: responses are monotone in a uniform WCET scale factor.
+class EcuRtaScale : public ::testing::TestWithParam<double> {};
+
+TEST_P(EcuRtaScale, MonotoneInWcet) {
+  const double scale = GetParam();
+  auto build = [&](double s) {
+    return EcuRta{{mk("t1", 1, Duration::us(static_cast<std::int64_t>(1000 * s)), Duration::ms(4)),
+                   mk("t2", 2, Duration::us(static_cast<std::int64_t>(2000 * s)), Duration::ms(6)),
+                   mk("t3", 3, Duration::us(static_cast<std::int64_t>(3000 * s)),
+                      Duration::ms(12))}};
+  };
+  const EcuResult base = build(1.0).analyze();
+  const EcuResult scaled = build(scale).analyze();
+  for (std::size_t i = 0; i < base.tasks.size(); ++i)
+    EXPECT_GE(scaled.tasks[i].wcrt, base.tasks[i].wcrt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, EcuRtaScale, ::testing::Values(1.0, 1.1, 1.25, 1.5));
+
+}  // namespace
+}  // namespace symcan

@@ -1,0 +1,136 @@
+#include "symcan/analysis/error_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace symcan {
+namespace {
+
+const BitTiming timing{500'000};  // 2 us per bit
+
+TEST(NoErrors, AlwaysZero) {
+  NoErrors e;
+  EXPECT_EQ(e.max_faults(Duration::s(100)), 0);
+  EXPECT_EQ(e.overhead(Duration::s(100), Duration::ms(1), timing), Duration::zero());
+  EXPECT_EQ(e.name(), "no-errors");
+}
+
+TEST(SporadicErrors, CountsCeilOfWindow) {
+  SporadicErrors e{Duration::ms(10)};
+  EXPECT_EQ(e.max_faults(Duration::zero()), 0);
+  EXPECT_EQ(e.max_faults(Duration::ms(1)), 1);
+  EXPECT_EQ(e.max_faults(Duration::ms(10)), 1);
+  EXPECT_EQ(e.max_faults(Duration::ms(10) + Duration::ns(1)), 2);
+  EXPECT_EQ(e.max_faults(Duration::ms(95)), 10);
+}
+
+TEST(SporadicErrors, InitialErrorsAddConstant) {
+  SporadicErrors e{Duration::ms(10), 3};
+  EXPECT_EQ(e.max_faults(Duration::ms(1)), 4);
+  EXPECT_EQ(e.max_faults(Duration::zero()), 0);
+}
+
+TEST(SporadicErrors, OverheadIsFaultsTimesRecoveryPlusRetx) {
+  SporadicErrors e{Duration::ms(10)};
+  // 1 fault in 5 ms: 31 bits * 2 us + 270 us retransmission = 332 us.
+  EXPECT_EQ(e.overhead(Duration::ms(5), Duration::us(270), timing), Duration::us(332));
+  // 2 faults in 15 ms.
+  EXPECT_EQ(e.overhead(Duration::ms(15), Duration::us(270), timing), Duration::us(664));
+}
+
+TEST(SporadicErrors, RejectsBadParameters) {
+  EXPECT_THROW(SporadicErrors(Duration::zero()), std::invalid_argument);
+  EXPECT_THROW(SporadicErrors(Duration::ms(1), -1), std::invalid_argument);
+}
+
+TEST(SporadicErrors, NameMentionsInterval) {
+  EXPECT_NE(SporadicErrors{Duration::ms(10)}.name().find("10 ms"), std::string::npos);
+}
+
+TEST(BurstErrors, InstantaneousCountPerBurst) {
+  BurstErrors e{Duration::ms(50), 4};
+  EXPECT_EQ(e.max_faults(Duration::ms(1)), 4);
+  EXPECT_EQ(e.max_faults(Duration::ms(50) + Duration::ns(1)), 8);
+  EXPECT_EQ(e.max_faults(Duration::zero()), 0);
+}
+
+TEST(BurstErrors, IntraBurstGapLimitsTrailingBurst) {
+  BurstErrors e{Duration::ms(50), 4, Duration::ms(1)};
+  // Window of 2 ms: one burst started, but only ceil(2/1)=2 of its faults
+  // fit the window.
+  EXPECT_EQ(e.max_faults(Duration::ms(2)), 2);
+  // Window of 10 ms: whole burst of 4 (capped by burst size).
+  EXPECT_EQ(e.max_faults(Duration::ms(10)), 4);
+}
+
+TEST(BurstErrors, OverheadExtendsWindowByBurstExtent) {
+  BurstErrors e{Duration::ms(50), 4};
+  const Duration per_fault = timing.duration_of(error_frame_bits) + Duration::us(270);  // 332 us
+  // Extent = 3 * 332 us = 996 us. Window 49.1 ms + extent > 50 ms -> 2 bursts.
+  const Duration w = Duration::us(49'100);
+  EXPECT_EQ(e.overhead(w, Duration::us(270), timing), 8 * per_fault);
+  // Small window: one burst's worth.
+  EXPECT_EQ(e.overhead(Duration::ms(1), Duration::us(270), timing), 4 * per_fault);
+}
+
+TEST(BurstErrors, SingleErrorBurstEqualsSporadicOverhead) {
+  BurstErrors b{Duration::ms(10), 1};
+  SporadicErrors s{Duration::ms(10)};
+  for (const Duration w : {Duration::ms(1), Duration::ms(10), Duration::ms(33)})
+    EXPECT_EQ(b.overhead(w, Duration::us(270), timing), s.overhead(w, Duration::us(270), timing));
+}
+
+TEST(BurstErrors, RejectsBadParameters) {
+  EXPECT_THROW(BurstErrors(Duration::zero(), 2), std::invalid_argument);
+  EXPECT_THROW(BurstErrors(Duration::ms(1), 0), std::invalid_argument);
+  EXPECT_THROW(BurstErrors(Duration::ms(1), 2, -Duration::ms(1)), std::invalid_argument);
+}
+
+TEST(ErrorModelClone, PreservesBehaviour) {
+  BurstErrors b{Duration::ms(25), 4};
+  auto c = b.clone();
+  EXPECT_EQ(c->max_faults(Duration::ms(30)), b.max_faults(Duration::ms(30)));
+  EXPECT_EQ(c->name(), b.name());
+}
+
+/// Property: overhead is monotone non-decreasing in the window for all
+/// model families (required for fixed-point convergence).
+class ErrorMonotonicity : public ::testing::TestWithParam<int> {
+ protected:
+  std::unique_ptr<ErrorModel> model() const {
+    switch (GetParam()) {
+      case 0:
+        return std::make_unique<NoErrors>();
+      case 1:
+        return std::make_unique<SporadicErrors>(Duration::ms(7));
+      case 2:
+        return std::make_unique<SporadicErrors>(Duration::ms(7), 2);
+      case 3:
+        return std::make_unique<BurstErrors>(Duration::ms(31), 5);
+      default:
+        return std::make_unique<BurstErrors>(Duration::ms(31), 5, Duration::us(700));
+    }
+  }
+};
+
+TEST_P(ErrorMonotonicity, OverheadMonotoneInWindow) {
+  const auto m = model();
+  Duration prev = Duration::zero();
+  for (Duration w = Duration::zero(); w <= Duration::ms(200); w += Duration::us(913)) {
+    const Duration v = m->overhead(w, Duration::us(270), timing);
+    EXPECT_GE(v, prev) << "at " << to_string(w);
+    prev = v;
+  }
+}
+
+TEST_P(ErrorMonotonicity, OverheadMonotoneInRetxFrame) {
+  const auto m = model();
+  EXPECT_LE(m->overhead(Duration::ms(40), Duration::us(100), timing),
+            m->overhead(Duration::ms(40), Duration::us(270), timing));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ErrorMonotonicity, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace symcan

@@ -1,0 +1,81 @@
+#include "symcan/analysis/load.hpp"
+
+#include <gtest/gtest.h>
+
+namespace symcan {
+namespace {
+
+/// Build a matrix whose per-node raw traffic reproduces Figure 1 of the
+/// paper: four ECUs producing 100/50/20/10 kbit/s on a 500 kbit/s CAN,
+/// for a total of 180 kbit/s = 36 % utilization. We use unstuffed 8-byte
+/// frames (111 bits) and pick periods so each node's bit rate is exact.
+KMatrix figure1_matrix() {
+  KMatrix km{"fig1", BitTiming{500'000}};
+  const struct {
+    const char* name;
+    double kbps;
+  } nodes[] = {{"ECU1", 100}, {"ECU2", 50}, {"ECU3", 20}, {"ECU4", 10}};
+  for (const auto& n : nodes) {
+    EcuNode node;
+    node.name = n.name;
+    km.add_node(node);
+  }
+  CanId id = 0x100;
+  for (const auto& n : nodes) {
+    // One 111-bit message per node; period = 111 bits / rate.
+    CanMessage m;
+    m.name = std::string(n.name) + "_tx";
+    m.id = id++;
+    m.payload_bytes = 8;
+    const double period_s = 111.0 / (n.kbps * 1000.0);
+    m.period = Duration::ns(static_cast<std::int64_t>(period_s * 1e9));
+    m.sender = n.name;
+    m.receivers = {"ECU1"};
+    km.add_message(m);
+  }
+  return km;
+}
+
+TEST(LoadAnalysis, Figure1TotalsAndUtilization) {
+  const LoadReport r = analyze_load(figure1_matrix(), /*worst_case_stuffing=*/false);
+  EXPECT_NEAR(r.total_traffic_bps, 180'000, 100);
+  EXPECT_EQ(r.bandwidth_bps, 500'000);
+  EXPECT_NEAR(r.utilization, 0.36, 0.001);
+}
+
+TEST(LoadAnalysis, PerNodeBreakdownSortedDescending) {
+  const LoadReport r = analyze_load(figure1_matrix(), false);
+  ASSERT_EQ(r.by_node.size(), 4u);
+  EXPECT_EQ(r.by_node[0].node, "ECU1");
+  EXPECT_NEAR(r.by_node[0].traffic_bps, 100'000, 100);
+  EXPECT_NEAR(r.by_node[0].share, 100.0 / 180.0, 0.001);
+  EXPECT_EQ(r.by_node[3].node, "ECU4");
+  for (std::size_t i = 1; i < r.by_node.size(); ++i)
+    EXPECT_GE(r.by_node[i - 1].traffic_bps, r.by_node[i].traffic_bps);
+}
+
+TEST(LoadAnalysis, WorstCaseStuffingInflatesLoad) {
+  const KMatrix km = figure1_matrix();
+  EXPECT_GT(analyze_load(km, true).utilization, analyze_load(km, false).utilization);
+}
+
+TEST(LoadAnalysis, LoadLimitVerdicts) {
+  const LoadReport r = analyze_load(figure1_matrix(), false);
+  // The two OEM camps of Section 3.1: 36 % passes both 40 % and 60 %.
+  EXPECT_TRUE(within_load_limit(r, 0.40));
+  EXPECT_TRUE(within_load_limit(r, 0.60));
+  EXPECT_FALSE(within_load_limit(r, 0.30));
+}
+
+TEST(LoadAnalysis, EmptyMatrixIsZeroLoad) {
+  KMatrix km{"empty", BitTiming{500'000}};
+  EcuNode n;
+  n.name = "A";
+  km.add_node(n);
+  const LoadReport r = analyze_load(km, false);
+  EXPECT_EQ(r.total_traffic_bps, 0);
+  EXPECT_EQ(r.utilization, 0);
+}
+
+}  // namespace
+}  // namespace symcan

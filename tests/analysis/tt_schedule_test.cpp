@@ -1,0 +1,249 @@
+#include "symcan/analysis/tt_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "symcan/analysis/can_rta.hpp"
+#include "symcan/can/kmatrix_io.hpp"
+#include "symcan/analysis/presets.hpp"
+#include "symcan/sim/simulator.hpp"
+#include "symcan/workload/powertrain.hpp"
+
+namespace symcan {
+namespace {
+
+TtGroup::Member member(std::int64_t period_ms, std::int64_t offset_ms, std::int64_t cost_us,
+                       std::int64_t jitter_us = 0) {
+  return {Duration::ms(period_ms), Duration::ms(offset_ms), Duration::us(jitter_us),
+          Duration::us(cost_us)};
+}
+
+TEST(TtGroup, SingleMemberMatchesPeriodicDemand) {
+  const auto g = TtGroup::build({member(10, 0, 270)});
+  ASSERT_TRUE(g);
+  EXPECT_EQ(g->hyperperiod(), Duration::ms(10));
+  EXPECT_EQ(g->interference(Duration::ms(10)), Duration::us(270));
+  EXPECT_EQ(g->interference(Duration::ms(10) + Duration::ns(1)), Duration::us(540));
+  EXPECT_EQ(g->interference(Duration::ms(95)), 10 * Duration::us(270));
+  EXPECT_EQ(g->interference(Duration::zero()), Duration::zero());
+}
+
+TEST(TtGroup, SpreadOffsetsHalveTheSmallWindowDemand) {
+  // Two 10 ms messages. Colliding offsets: any 1 ms window can catch
+  // both. Spread by 5 ms: a 1 ms window catches at most one.
+  const auto collide = TtGroup::build({member(10, 0, 270), member(10, 0, 270)});
+  const auto spread = TtGroup::build({member(10, 0, 270), member(10, 5, 270)});
+  ASSERT_TRUE(collide);
+  ASSERT_TRUE(spread);
+  EXPECT_EQ(collide->interference(Duration::ms(1)), Duration::us(540));
+  EXPECT_EQ(spread->interference(Duration::ms(1)), Duration::us(270));
+  // Over a full hyperperiod both schedules demand the same total.
+  EXPECT_EQ(collide->interference(Duration::ms(10)), spread->interference(Duration::ms(10)));
+  EXPECT_EQ(spread->interference(Duration::ms(10)), Duration::us(540));
+  // One ns beyond the hyperperiod admits one extra release.
+  EXPECT_EQ(spread->interference(Duration::ms(10) + Duration::ns(1)),
+            Duration::us(540) + Duration::us(270));
+}
+
+TEST(TtGroup, MixedPeriodsUseHyperperiod) {
+  const auto g = TtGroup::build({member(10, 0, 100), member(15, 5, 200)});
+  ASSERT_TRUE(g);
+  EXPECT_EQ(g->hyperperiod(), Duration::ms(30));
+  EXPECT_EQ(g->release_count(), 5u);  // 3 of the 10ms + 2 of the 15ms
+  // Whole hyperperiod: 3*100 + 2*200 = 700 us.
+  EXPECT_EQ(g->interference(Duration::ms(30)), Duration::us(700));
+  // One ns more admits the densest single instant again (t = 20 ms holds
+  // releases of both members: 100 + 200).
+  EXPECT_EQ(g->interference(Duration::ms(30) + Duration::ns(1)),
+            Duration::us(700) + Duration::us(300));
+}
+
+TEST(TtGroup, JitterWidensTheWindow) {
+  const auto crisp = TtGroup::build({member(10, 0, 270), member(10, 5, 270)});
+  const auto jittery = TtGroup::build({member(10, 0, 270, 4500), member(10, 5, 270, 4500)});
+  ASSERT_TRUE(crisp);
+  ASSERT_TRUE(jittery);
+  // With 4.5 ms jitter, a 1 ms window can catch both releases again.
+  EXPECT_EQ(crisp->interference(Duration::ms(1)), Duration::us(270));
+  EXPECT_EQ(jittery->interference(Duration::ms(1)), Duration::us(540));
+}
+
+TEST(TtGroup, BuildRejectsBadMembersAndHugeHyperperiods) {
+  EXPECT_FALSE(TtGroup::build({}));
+  EXPECT_FALSE(TtGroup::build({{Duration::ms(10), Duration::ms(12), Duration::zero(),
+                                Duration::us(1)}}));  // offset >= period
+  // Coprime large periods blow past the hyperperiod cap.
+  EXPECT_FALSE(TtGroup::build({member(9999, 0, 1), member(10007, 0, 1)},
+                              Duration::s(1)));
+}
+
+TEST(TtGroup, InterferenceIsMonotone) {
+  const auto g = TtGroup::build({member(10, 0, 270), member(15, 5, 130), member(30, 2, 80)});
+  ASSERT_TRUE(g);
+  Duration prev = Duration::zero();
+  for (Duration w = Duration::zero(); w <= Duration::ms(100); w += Duration::us(731)) {
+    const Duration v = g->interference(w);
+    EXPECT_GE(v, prev) << "at " << to_string(w);
+    prev = v;
+  }
+}
+
+TEST(TtGroup, NeverExceedsOffsetBlindBound) {
+  const auto g = TtGroup::build({member(10, 0, 270), member(10, 3, 270), member(20, 7, 130)});
+  ASSERT_TRUE(g);
+  const EventModel m1 = EventModel::periodic(Duration::ms(10));
+  const EventModel m3 = EventModel::periodic(Duration::ms(20));
+  for (Duration w = Duration::us(100); w <= Duration::ms(60); w += Duration::us(913)) {
+    const Duration blind =
+        m1.eta_plus(w) * Duration::us(270) + m1.eta_plus(w) * Duration::us(270) +
+        m3.eta_plus(w) * Duration::us(130);
+    EXPECT_LE(g->interference(w), blind) << "at " << to_string(w);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Offset-aware RTA end-to-end.
+
+KMatrix offset_matrix(bool with_offsets) {
+  KMatrix km{"tt", BitTiming{500'000}};
+  EcuNode a;
+  a.name = "A";
+  km.add_node(a);
+  EcuNode b;
+  b.name = "B";
+  km.add_node(b);
+  // Three same-period messages from A; victim from B at lowest priority.
+  for (int i = 0; i < 3; ++i) {
+    CanMessage m;
+    m.name = "tt" + std::to_string(i);
+    m.id = static_cast<CanId>(0x10 + i);
+    m.payload_bytes = 8;
+    m.period = Duration::ms(6);
+    if (with_offsets) m.tt_offset = Duration::ms(2 * i);
+    m.sender = "A";
+    m.receivers = {"B"};
+    km.add_message(m);
+  }
+  CanMessage v;
+  v.name = "victim";
+  v.id = 0x100;
+  v.payload_bytes = 8;
+  v.period = Duration::ms(6);
+  v.sender = "B";
+  v.receivers = {"A"};
+  km.add_message(v);
+  return km;
+}
+
+TEST(OffsetRta, OffsetsReduceTheVictimsResponse) {
+  CanRtaConfig cfg;
+  cfg.worst_case_stuffing = true;
+  cfg.deadline_override = DeadlinePolicy::kPeriod;
+  const MessageResult blind = CanRta{offset_matrix(false), cfg}.analyze_message(3);
+  const MessageResult aware = CanRta{offset_matrix(true), cfg}.analyze_message(3);
+  // Offset-blind: blocked by nothing (lowest prio has no lp) but all
+  // three TT frames ahead: 4*270 = 1080 us. Offset-aware: only one TT
+  // frame can precede the victim within a short window.
+  EXPECT_EQ(blind.wcrt, Duration::us(1080));
+  EXPECT_LT(aware.wcrt, blind.wcrt);
+  EXPECT_EQ(aware.wcrt, Duration::us(540));
+}
+
+TEST(OffsetRta, DisablingOffsetsRecoversBlindBound) {
+  CanRtaConfig cfg;
+  cfg.worst_case_stuffing = true;
+  cfg.deadline_override = DeadlinePolicy::kPeriod;
+  cfg.use_offsets = false;
+  const MessageResult r = CanRta{offset_matrix(true), cfg}.analyze_message(3);
+  EXPECT_EQ(r.wcrt, Duration::us(1080));
+}
+
+TEST(OffsetRta, AwareNeverExceedsBlindOnGeneratedMatrix) {
+  KMatrix km = generate_powertrain(PowertrainConfig::case_study());
+  snap_periods(km, Duration::ms(1));  // grid-align so TT groups build
+  assign_tt_offsets(km);
+  assume_jitter_fraction(km, 0.15, true);
+  CanRtaConfig aware = worst_case_assumptions();
+  CanRtaConfig blind = worst_case_assumptions();
+  blind.use_offsets = false;
+  const BusResult ra = CanRta{km, aware}.analyze();
+  const BusResult rb = CanRta{km, blind}.analyze();
+  for (std::size_t i = 0; i < ra.messages.size(); ++i)
+    EXPECT_LE(ra.messages[i].wcrt, rb.messages[i].wcrt) << ra.messages[i].name;
+  EXPECT_LE(ra.miss_count(), rb.miss_count());
+}
+
+TEST(OffsetRta, SimulationRespectsOffsetAwareBound) {
+  // The oracle, offset edition: simulated responses stay below the
+  // offset-aware bound when the simulator schedules by the same offsets.
+  KMatrix km = offset_matrix(true);
+  CanRtaConfig cfg;
+  cfg.worst_case_stuffing = true;
+  cfg.deadline_override = DeadlinePolicy::kPeriod;
+  const BusResult bound = CanRta{km, cfg}.analyze();
+
+  SimConfig sim;
+  sim.duration = Duration::s(5);
+  sim.seed = 21;
+  sim.stuffing = StuffingMode::kRandom;
+  const SimResult obs = simulate(km, sim);
+  for (std::size_t i = 0; i < km.size(); ++i)
+    EXPECT_LE(obs.messages[i].wcrt_observed, bound.messages[i].wcrt) << km.messages()[i].name;
+}
+
+TEST(AssignTtOffsets, CoversAllMessagesAndValidates) {
+  KMatrix km = generate_powertrain(PowertrainConfig::case_study());
+  const std::size_t n = assign_tt_offsets(km);
+  EXPECT_EQ(n, km.size());
+  for (const auto& m : km.messages()) {
+    ASSERT_TRUE(m.tt_offset.has_value());
+    EXPECT_GE(*m.tt_offset, Duration::zero());
+    EXPECT_LT(*m.tt_offset, m.period);
+  }
+  EXPECT_THROW(assign_tt_offsets(km, Duration::zero()), std::invalid_argument);
+}
+
+TEST(AssignTtOffsets, SpreadsSameSenderSamePeriodMessages) {
+  KMatrix km{"spread", BitTiming{500'000}};
+  EcuNode a;
+  a.name = "A";
+  km.add_node(a);
+  for (int i = 0; i < 4; ++i) {
+    CanMessage m;
+    m.name = "m" + std::to_string(i);
+    m.id = static_cast<CanId>(0x10 + i);
+    m.period = Duration::ms(10);
+    m.sender = "A";
+    m.receivers = {"A"};
+    km.add_message(m);
+  }
+  assign_tt_offsets(km, Duration::ms(1));
+  std::set<std::int64_t> offsets;
+  for (const auto& m : km.messages()) offsets.insert(m.tt_offset->count_ns());
+  EXPECT_EQ(offsets.size(), 4u);  // all distinct
+}
+
+TEST(KMatrixIoOffsets, OffsetSurvivesCsvRoundTrip) {
+  KMatrix km = offset_matrix(true);
+  const KMatrix back = kmatrix_from_csv(kmatrix_to_csv(km));
+  for (std::size_t i = 0; i < km.size(); ++i) {
+    ASSERT_EQ(km.messages()[i].tt_offset.has_value(), back.messages()[i].tt_offset.has_value());
+    if (km.messages()[i].tt_offset) {
+      EXPECT_EQ(*km.messages()[i].tt_offset, *back.messages()[i].tt_offset);
+    }
+  }
+}
+
+TEST(CanMessageOffsets, ValidateRejectsOffsetBeyondPeriod) {
+  CanMessage m;
+  m.name = "x";
+  m.id = 1;
+  m.period = Duration::ms(10);
+  m.sender = "A";
+  m.tt_offset = Duration::ms(10);
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m.tt_offset = Duration::ms(9);
+  EXPECT_NO_THROW(m.validate());
+}
+
+}  // namespace
+}  // namespace symcan

@@ -1,0 +1,129 @@
+#include "symcan/can/dbc_import.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace symcan {
+namespace {
+
+const char* kSampleDbc = R"(VERSION "1.0"
+
+NS_ :
+    BA_
+    BA_DEF_
+
+BS_:
+
+BU_: ENG TRANS ABS GW
+
+BO_ 256 EngineRpm: 8 ENG
+ SG_ Rpm : 0|16@1+ (0.25,0) [0|16383] "rpm" TRANS,ABS
+ SG_ Torque : 16|12@1+ (1,0) [0|4095] "Nm" TRANS
+
+BO_ 512 GearStatus: 4 TRANS
+ SG_ Gear : 0|4@1+ (1,0) [0|15] "" ENG
+
+BO_ 2147484416 DiagResponse: 8 GW
+ SG_ Data : 0|64@1+ (1,0) [0|0] "" Vector__XXX
+
+BO_ 768 WheelSpeed: 6 ABS
+ SG_ Fl : 0|16@1+ (0.01,0) [0|655] "km/h" ENG,GW
+
+BA_DEF_DEF_ "GenMsgCycleTime" 100;
+BA_ "Baudrate" 500000;
+BA_ "GenMsgCycleTime" BO_ 256 10;
+BA_ "GenMsgCycleTime" BO_ 512 20;
+BA_ "GenMsgDelayTime" BO_ 256 2;
+)";
+
+TEST(DbcImport, ParsesMessagesAndNodes) {
+  const KMatrix km = kmatrix_from_dbc(kSampleDbc);
+  EXPECT_EQ(km.size(), 4u);
+  EXPECT_NE(km.find_node("ENG"), nullptr);
+  EXPECT_NE(km.find_node("GW"), nullptr);
+  // The Vector__XXX placeholder receiver becomes a node so validation holds.
+  EXPECT_NE(km.find_node("Vector__XXX"), nullptr);
+  EXPECT_EQ(km.timing().bits_per_second(), 500'000);
+}
+
+TEST(DbcImport, MessageFieldsMapped) {
+  const KMatrix km = kmatrix_from_dbc(kSampleDbc);
+  const CanMessage* rpm = km.find_message("EngineRpm");
+  ASSERT_NE(rpm, nullptr);
+  EXPECT_EQ(rpm->id, 256u);
+  EXPECT_EQ(rpm->payload_bytes, 8);
+  EXPECT_EQ(rpm->period, Duration::ms(10));
+  EXPECT_EQ(rpm->min_distance, Duration::ms(2));
+  EXPECT_EQ(rpm->sender, "ENG");
+  EXPECT_EQ(rpm->format, FrameFormat::kStandard);
+  // Receivers are the union of the signals' receivers.
+  EXPECT_EQ(rpm->receivers.size(), 2u);
+}
+
+TEST(DbcImport, ExtendedIdBitDecoded) {
+  const KMatrix km = kmatrix_from_dbc(kSampleDbc);
+  const CanMessage* diag = km.find_message("DiagResponse");
+  ASSERT_NE(diag, nullptr);
+  EXPECT_EQ(diag->format, FrameFormat::kExtended);
+  EXPECT_EQ(diag->id, 0x300u);  // 2147484416 = 0x80000300
+}
+
+TEST(DbcImport, DefaultCycleTimeApplies) {
+  const KMatrix km = kmatrix_from_dbc(kSampleDbc);
+  // WheelSpeed has no GenMsgCycleTime: gets the BA_DEF_DEF_ default.
+  EXPECT_EQ(km.find_message("WheelSpeed")->period, Duration::ms(100));
+  EXPECT_EQ(km.find_message("GearStatus")->period, Duration::ms(20));
+}
+
+TEST(DbcImport, FallbackPeriodWithoutDefault) {
+  const std::string dbc =
+      "BU_: A\nBO_ 1 M: 8 A\n SG_ S : 0|8@1+ (1,0) [0|0] \"\" A\n";
+  DbcImportOptions opt;
+  opt.fallback_period = Duration::ms(250);
+  const KMatrix km = kmatrix_from_dbc(dbc, opt);
+  EXPECT_EQ(km.find_message("M")->period, Duration::ms(250));
+}
+
+TEST(DbcImport, AnalysisRunsOnImportedMatrix) {
+  // The imported matrix is a first-class citizen of the toolchain.
+  const KMatrix km = kmatrix_from_dbc(kSampleDbc);
+  EXPECT_NO_THROW(km.validate());
+  EXPECT_GT(km.utilization(true), 0.0);
+  EXPECT_LT(km.utilization(true), 1.0);
+}
+
+TEST(DbcImport, RejectsMalformedConstructs) {
+  EXPECT_THROW(kmatrix_from_dbc("BO_ x Name: 8 A\n"), std::runtime_error);
+  EXPECT_THROW(kmatrix_from_dbc("BO_ 1 Name:\n"), std::runtime_error);
+  EXPECT_THROW(kmatrix_from_dbc("BU_: A\nBO_ 1 M: 8 A\nBA_ \"GenMsgCycleTime\" BO_ 9 10;\n"),
+               std::runtime_error);
+  EXPECT_THROW(kmatrix_from_dbc("BU_: A\nBO_ 1 M: 8 A\nBO_ 1 N: 8 A\n"), std::runtime_error);
+}
+
+TEST(DbcImport, ErrorsNameTheLine) {
+  try {
+    kmatrix_from_dbc("VERSION \"x\"\nBO_ zz M: 8 A\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+  }
+}
+
+TEST(DbcImport, UnknownLinesIgnored) {
+  const std::string dbc =
+      "VERSION \"zz\"\nCM_ \"a comment\";\nVAL_ 1 Sig 0 \"off\" 1 \"on\";\n"
+      "BU_: A\nBO_ 5 M: 2 A\n";
+  const KMatrix km = kmatrix_from_dbc(dbc);
+  EXPECT_EQ(km.size(), 1u);
+}
+
+TEST(DbcImport, MessageWithoutSignalsReceivesItself) {
+  const std::string dbc = "BU_: A\nBO_ 7 Lonely: 1 A\n";
+  const KMatrix km = kmatrix_from_dbc(dbc);
+  ASSERT_EQ(km.find_message("Lonely")->receivers.size(), 1u);
+  EXPECT_EQ(km.find_message("Lonely")->receivers[0], "A");
+}
+
+}  // namespace
+}  // namespace symcan

@@ -1,0 +1,87 @@
+#include "symcan/can/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace symcan {
+namespace {
+
+// The classic closed forms: worst-case standard frame = 55 + 10*s bits,
+// extended = 80 + 10*s bits (Davis et al. 2007, eq. for C_m).
+TEST(FrameBits, WorstCaseMatchesClosedForm) {
+  for (int s = 0; s <= 8; ++s) {
+    EXPECT_EQ(frame_bits_worst_case(FrameFormat::kStandard, s), 55 + 10 * s) << "s=" << s;
+    EXPECT_EQ(frame_bits_worst_case(FrameFormat::kExtended, s), 80 + 10 * s) << "s=" << s;
+  }
+}
+
+TEST(FrameBits, UnstuffedLengths) {
+  // Standard: 34 + 8s + 13; e.g. 8 bytes -> 111 bits.
+  EXPECT_EQ(frame_bits_unstuffed(FrameFormat::kStandard, 8), 111);
+  EXPECT_EQ(frame_bits_unstuffed(FrameFormat::kStandard, 0), 47);
+  // Extended: 54 + 8s + 13; 8 bytes -> 131 bits.
+  EXPECT_EQ(frame_bits_unstuffed(FrameFormat::kExtended, 8), 131);
+}
+
+TEST(FrameBits, StuffedAlwaysExceedsUnstuffed) {
+  for (int s = 0; s <= 8; ++s)
+    for (FrameFormat f : {FrameFormat::kStandard, FrameFormat::kExtended})
+      EXPECT_GT(frame_bits_worst_case(f, s), frame_bits_unstuffed(f, s));
+}
+
+TEST(BitTiming, StandardRatesExact) {
+  EXPECT_EQ(BitTiming{1'000'000}.bit_time(), Duration::us(1));
+  EXPECT_EQ(BitTiming{500'000}.bit_time(), Duration::us(2));
+  EXPECT_EQ(BitTiming{250'000}.bit_time(), Duration::us(4));
+  EXPECT_EQ(BitTiming{125'000}.bit_time(), Duration::us(8));
+}
+
+TEST(BitTiming, RejectsNonPositiveAndAbsurdRates) {
+  EXPECT_THROW(BitTiming{0}, std::invalid_argument);
+  EXPECT_THROW(BitTiming{-5}, std::invalid_argument);
+  EXPECT_THROW(BitTiming{2'000'000'000}, std::invalid_argument);
+}
+
+TEST(BitTiming, DurationOfScalesLinearly) {
+  const BitTiming t{500'000};
+  EXPECT_EQ(t.duration_of(135), Duration::us(270));
+}
+
+TEST(FrameTime, EightBytePayloadAt500k) {
+  const BitTiming t{500'000};
+  // 135 bits * 2 us = 270 us worst case; 111 * 2 = 222 us best case.
+  EXPECT_EQ(frame_time_worst_case(t, FrameFormat::kStandard, 8), Duration::us(270));
+  EXPECT_EQ(frame_time_unstuffed(t, FrameFormat::kStandard, 8), Duration::us(222));
+}
+
+TEST(FrameTime, RejectsBadPayload) {
+  const BitTiming t{500'000};
+  EXPECT_THROW(frame_time_worst_case(t, FrameFormat::kStandard, 9), std::invalid_argument);
+  EXPECT_THROW(frame_time_unstuffed(t, FrameFormat::kStandard, -1), std::invalid_argument);
+}
+
+TEST(FrameFormatNames, ToString) {
+  EXPECT_STREQ(to_string(FrameFormat::kStandard), "standard");
+  EXPECT_STREQ(to_string(FrameFormat::kExtended), "extended");
+}
+
+TEST(ErrorFrame, ThirtyOneBits) { EXPECT_EQ(error_frame_bits, 31); }
+
+/// Property: frame time is monotone in payload size.
+class FramePayloadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FramePayloadSweep, MonotoneInPayload) {
+  const int s = GetParam();
+  if (s == 0) return;
+  const BitTiming t{500'000};
+  EXPECT_GT(frame_time_worst_case(t, FrameFormat::kStandard, s),
+            frame_time_worst_case(t, FrameFormat::kStandard, s - 1));
+  EXPECT_GT(frame_time_unstuffed(t, FrameFormat::kExtended, s),
+            frame_time_unstuffed(t, FrameFormat::kExtended, s - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizes, FramePayloadSweep, ::testing::Range(0, 9));
+
+}  // namespace
+}  // namespace symcan

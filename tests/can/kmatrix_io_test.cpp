@@ -1,0 +1,148 @@
+#include "symcan/can/kmatrix_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "symcan/workload/powertrain.hpp"
+
+namespace symcan {
+namespace {
+
+KMatrix sample() {
+  KMatrix km{"bus0", BitTiming{500'000}};
+  EcuNode a;
+  a.name = "ENG";
+  km.add_node(a);
+  EcuNode b;
+  b.name = "GW";
+  b.controller = ControllerType::kBasicCan;
+  b.tx_buffers = 3;
+  b.is_gateway = true;
+  km.add_node(b);
+
+  CanMessage m;
+  m.name = "rpm";
+  m.id = 0x101;
+  m.payload_bytes = 6;
+  m.period = Duration::ms(10);
+  m.jitter = Duration::ms(2);
+  m.min_distance = Duration::us(500);
+  m.deadline_policy = DeadlinePolicy::kMinReArrival;
+  m.sender = "ENG";
+  m.receivers = {"GW"};
+  m.jitter_known = true;
+  km.add_message(m);
+
+  CanMessage e;
+  e.name = "diag";
+  e.id = 0x1FFF'0000;
+  e.format = FrameFormat::kExtended;
+  e.payload_bytes = 8;
+  e.period = Duration::ms(500);
+  e.deadline_policy = DeadlinePolicy::kExplicit;
+  e.explicit_deadline = Duration::ms(250);
+  e.sender = "GW";
+  e.receivers = {"ENG"};
+  km.add_message(e);
+  return km;
+}
+
+void expect_same(const KMatrix& a, const KMatrix& b) {
+  EXPECT_EQ(a.bus_name(), b.bus_name());
+  EXPECT_EQ(a.timing().bits_per_second(), b.timing().bits_per_second());
+  ASSERT_EQ(a.nodes().size(), b.nodes().size());
+  for (std::size_t i = 0; i < a.nodes().size(); ++i) {
+    EXPECT_EQ(a.nodes()[i].name, b.nodes()[i].name);
+    EXPECT_EQ(a.nodes()[i].controller, b.nodes()[i].controller);
+    EXPECT_EQ(a.nodes()[i].tx_buffers, b.nodes()[i].tx_buffers);
+    EXPECT_EQ(a.nodes()[i].is_gateway, b.nodes()[i].is_gateway);
+  }
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& x = a.messages()[i];
+    const auto& y = b.messages()[i];
+    EXPECT_EQ(x.name, y.name);
+    EXPECT_EQ(x.id, y.id);
+    EXPECT_EQ(x.format, y.format);
+    EXPECT_EQ(x.payload_bytes, y.payload_bytes);
+    EXPECT_EQ(x.period, y.period);
+    EXPECT_EQ(x.jitter, y.jitter);
+    EXPECT_EQ(x.min_distance, y.min_distance);
+    EXPECT_EQ(x.deadline_policy, y.deadline_policy);
+    EXPECT_EQ(x.deadline(), y.deadline());
+    EXPECT_EQ(x.sender, y.sender);
+    EXPECT_EQ(x.receivers, y.receivers);
+    EXPECT_EQ(x.jitter_known, y.jitter_known);
+  }
+}
+
+TEST(KMatrixIo, RoundTrip) {
+  const KMatrix km = sample();
+  const std::string csv = kmatrix_to_csv(km);
+  const KMatrix back = kmatrix_from_csv(csv);
+  expect_same(km, back);
+}
+
+TEST(KMatrixIo, RoundTripPowertrain) {
+  const KMatrix km = generate_powertrain(PowertrainConfig::case_study());
+  const KMatrix back = kmatrix_from_csv(kmatrix_to_csv(km));
+  expect_same(km, back);
+}
+
+TEST(KMatrixIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/symcan_kmatrix_test.csv";
+  const KMatrix km = sample();
+  save_kmatrix(km, path);
+  expect_same(km, load_kmatrix(path));
+  std::remove(path.c_str());
+}
+
+TEST(KMatrixIo, MissingBusRecordThrows) {
+  EXPECT_THROW(kmatrix_from_csv("node,A,fullCAN,1,0\n"), std::runtime_error);
+  EXPECT_THROW(kmatrix_from_csv(""), std::runtime_error);
+}
+
+TEST(KMatrixIo, DuplicateBusRecordThrows) {
+  EXPECT_THROW(kmatrix_from_csv("bus,a,500000\nbus,b,500000\n"), std::runtime_error);
+}
+
+TEST(KMatrixIo, BadIntegerNamesLine) {
+  try {
+    kmatrix_from_csv("bus,a,fast\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("bad integer"), std::string::npos);
+  }
+}
+
+TEST(KMatrixIo, UnknownControllerThrows) {
+  EXPECT_THROW(kmatrix_from_csv("bus,a,500000\nnode,A,weirdCAN,1,0\n"), std::runtime_error);
+}
+
+TEST(KMatrixIo, UnknownRecordKindThrows) {
+  EXPECT_THROW(kmatrix_from_csv("bus,a,500000\nfrob,x\n"), std::runtime_error);
+}
+
+TEST(KMatrixIo, WrongFieldCountThrows) {
+  EXPECT_THROW(kmatrix_from_csv("bus,a\n"), std::runtime_error);
+  EXPECT_THROW(kmatrix_from_csv("bus,a,500000\nnode,A,fullCAN,1\n"), std::runtime_error);
+}
+
+TEST(KMatrixIo, CommentsAreIgnored) {
+  const std::string csv = "# hello\nbus,a,500000\n# another\nnode,A,fullCAN,1,0\n";
+  const KMatrix km = kmatrix_from_csv(csv);
+  EXPECT_EQ(km.nodes().size(), 1u);
+}
+
+TEST(KMatrixIo, ValidationRunsOnImport) {
+  // msg sent by a node that is never declared.
+  const std::string csv =
+      "bus,a,500000\nnode,A,fullCAN,1,0\n"
+      "msg,m,256,standard,8,10000,0,0,period,-,GHOST,A,0\n";
+  EXPECT_THROW(kmatrix_from_csv(csv), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace symcan

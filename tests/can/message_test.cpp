@@ -1,0 +1,125 @@
+#include "symcan/can/message.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace symcan {
+namespace {
+
+CanMessage valid_message() {
+  CanMessage m;
+  m.name = "M";
+  m.id = 0x100;
+  m.payload_bytes = 8;
+  m.period = Duration::ms(10);
+  m.sender = "ENG";
+  return m;
+}
+
+TEST(CanMessage, DeadlinePolicyPeriod) {
+  CanMessage m = valid_message();
+  m.jitter = Duration::ms(3);
+  m.deadline_policy = DeadlinePolicy::kPeriod;
+  EXPECT_EQ(m.deadline(), Duration::ms(10));
+}
+
+TEST(CanMessage, DeadlinePolicyMinReArrivalSubtractsJitter) {
+  CanMessage m = valid_message();
+  m.jitter = Duration::ms(3);
+  m.deadline_policy = DeadlinePolicy::kMinReArrival;
+  EXPECT_EQ(m.deadline(), Duration::ms(7));
+}
+
+TEST(CanMessage, MinReArrivalFloorsAtMinDistance) {
+  CanMessage m = valid_message();
+  m.jitter = Duration::ms(9);
+  m.min_distance = Duration::ms(2);
+  m.deadline_policy = DeadlinePolicy::kMinReArrival;
+  EXPECT_EQ(m.deadline(), Duration::ms(2));
+}
+
+TEST(CanMessage, ExplicitDeadline) {
+  CanMessage m = valid_message();
+  m.deadline_policy = DeadlinePolicy::kExplicit;
+  m.explicit_deadline = Duration::ms(42);
+  EXPECT_EQ(m.deadline(), Duration::ms(42));
+}
+
+TEST(CanMessage, ActivationReflectsFields) {
+  CanMessage m = valid_message();
+  m.jitter = Duration::ms(2);
+  m.min_distance = Duration::ms(1);
+  const EventModel em = m.activation();
+  EXPECT_EQ(em.period(), Duration::ms(10));
+  EXPECT_EQ(em.jitter(), Duration::ms(2));
+  EXPECT_EQ(em.min_distance(), Duration::ms(1));
+}
+
+TEST(CanMessage, WcetSelectsStuffingModel) {
+  const BitTiming t{500'000};
+  CanMessage m = valid_message();
+  EXPECT_EQ(m.wcet(t, true), Duration::us(270));
+  EXPECT_EQ(m.wcet(t, false), Duration::us(222));
+  EXPECT_EQ(m.bcet(t), Duration::us(222));
+}
+
+TEST(CanMessageValidate, AcceptsValid) { EXPECT_NO_THROW(valid_message().validate()); }
+
+TEST(CanMessageValidate, RejectsEmptyName) {
+  CanMessage m = valid_message();
+  m.name.clear();
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(CanMessageValidate, RejectsIdBeyondFormat) {
+  CanMessage m = valid_message();
+  m.id = 0x800;  // > 11-bit
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m.format = FrameFormat::kExtended;
+  EXPECT_NO_THROW(m.validate());
+  m.id = 0x2000'0000;  // > 29-bit
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(CanMessageValidate, RejectsBadPayload) {
+  CanMessage m = valid_message();
+  m.payload_bytes = 9;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m.payload_bytes = -1;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(CanMessageValidate, RejectsNonPositivePeriod) {
+  CanMessage m = valid_message();
+  m.period = Duration::zero();
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(CanMessageValidate, RejectsNegativeJitter) {
+  CanMessage m = valid_message();
+  m.jitter = -Duration::ms(1);
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(CanMessageValidate, RejectsMissingSender) {
+  CanMessage m = valid_message();
+  m.sender.clear();
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(CanMessageValidate, RejectsNonPositiveExplicitDeadline) {
+  CanMessage m = valid_message();
+  m.deadline_policy = DeadlinePolicy::kExplicit;
+  m.explicit_deadline = Duration::zero();
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(DeadlinePolicyNames, ToString) {
+  EXPECT_STREQ(to_string(DeadlinePolicy::kPeriod), "period");
+  EXPECT_STREQ(to_string(DeadlinePolicy::kMinReArrival), "min-re-arrival");
+  EXPECT_STREQ(to_string(DeadlinePolicy::kExplicit), "explicit");
+}
+
+}  // namespace
+}  // namespace symcan

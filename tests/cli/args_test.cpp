@@ -1,0 +1,59 @@
+#include "symcan/cli/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace symcan::cli {
+namespace {
+
+TEST(Args, PositionalsAndOptions) {
+  const Args a = Args::parse({"file.csv", "--seed", "42", "other.csv"});
+  ASSERT_EQ(a.positionals().size(), 2u);
+  EXPECT_EQ(a.positionals()[0], "file.csv");
+  EXPECT_EQ(a.positionals()[1], "other.csv");
+  EXPECT_EQ(a.option_or("seed", "0"), "42");
+}
+
+TEST(Args, FlagsConsumeNoValue) {
+  const Args a = Args::parse({"--worst-case", "file.csv"}, {"worst-case"});
+  EXPECT_TRUE(a.has_flag("worst-case"));
+  ASSERT_EQ(a.positionals().size(), 1u);
+  EXPECT_EQ(a.positionals()[0], "file.csv");
+}
+
+TEST(Args, MissingValueThrows) {
+  EXPECT_THROW(Args::parse({"--seed"}), std::invalid_argument);
+  EXPECT_THROW(Args::parse({"--"}), std::invalid_argument);
+}
+
+TEST(Args, IntOptionParsesOrThrows) {
+  const Args a = Args::parse({"--n", "17", "--bad", "x7"});
+  EXPECT_EQ(a.int_option_or("n", 0), 17);
+  EXPECT_EQ(a.int_option_or("absent", 5), 5);
+  EXPECT_THROW(a.int_option_or("bad", 0), std::invalid_argument);
+}
+
+TEST(Args, DoubleOptionParsesOrThrows) {
+  const Args a = Args::parse({"--f", "0.25", "--bad", "0.2x"});
+  EXPECT_DOUBLE_EQ(a.double_option_or("f", 0), 0.25);
+  EXPECT_DOUBLE_EQ(a.double_option_or("absent", 0.5), 0.5);
+  EXPECT_THROW(a.double_option_or("bad", 0), std::invalid_argument);
+}
+
+TEST(Args, UnusedTracksUnreadOptions) {
+  const Args a = Args::parse({"--used", "1", "--typo", "2"});
+  (void)a.option("used");
+  const auto unused = a.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Args, OptionReturnsNulloptWhenAbsent) {
+  const Args a = Args::parse({});
+  EXPECT_FALSE(a.option("nothing").has_value());
+  EXPECT_FALSE(a.has_flag("nothing"));
+}
+
+}  // namespace
+}  // namespace symcan::cli

@@ -1,0 +1,111 @@
+#include "symcan/core/gateway.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace symcan {
+namespace {
+
+GatewayConfig base_config(GatewayStrategy s) {
+  GatewayConfig cfg;
+  cfg.strategy = s;
+  cfg.forward_bcet = Duration::us(50);
+  cfg.forward_wcet = Duration::us(200);
+  return cfg;
+}
+
+const EventModel periodic_in = EventModel::periodic_jitter(Duration::ms(10), Duration::ms(1));
+const EventModel bursty_in =
+    EventModel::periodic_burst(Duration::ms(5), Duration::ms(20), Duration::us(300));
+
+TEST(GatewayImmediate, AddsOnlyHandlingLatency) {
+  const ForwardedStream f = forward_stream(periodic_in, base_config(GatewayStrategy::kImmediate));
+  EXPECT_EQ(f.min_delay, Duration::us(50));
+  EXPECT_EQ(f.max_delay, Duration::us(200));
+  EXPECT_EQ(f.output.period(), periodic_in.period());
+  EXPECT_EQ(f.output.jitter(), periodic_in.jitter() + Duration::us(150));
+  ASSERT_TRUE(f.queue_depth);
+  EXPECT_EQ(*f.queue_depth, 1);
+}
+
+TEST(GatewayFifo, QueueDelayScalesWithSiblings) {
+  GatewayConfig cfg = base_config(GatewayStrategy::kFifo);
+  cfg.fifo_service = EventModel::periodic(Duration::ms(1));
+  const ForwardedStream alone = forward_stream(periodic_in, cfg);
+  const ForwardedStream crowded = forward_stream(
+      periodic_in, cfg,
+      {EventModel::periodic(Duration::ms(10)), EventModel::periodic(Duration::ms(10)),
+       EventModel::periodic(Duration::ms(10))});
+  ASSERT_TRUE(alone.queue_depth);
+  ASSERT_TRUE(crowded.queue_depth);
+  EXPECT_GT(*crowded.queue_depth, *alone.queue_depth);
+  EXPECT_GT(crowded.max_delay, alone.max_delay);
+}
+
+TEST(GatewayFifo, OverloadedQueueReportedUnbounded) {
+  GatewayConfig cfg = base_config(GatewayStrategy::kFifo);
+  cfg.fifo_service = EventModel::periodic(Duration::ms(10));
+  std::vector<EventModel> siblings(3, EventModel::periodic(Duration::ms(10)));
+  const ForwardedStream f = forward_stream(periodic_in, cfg, siblings);
+  EXPECT_FALSE(f.queue_depth);
+  EXPECT_TRUE(f.max_delay.is_infinite());
+}
+
+TEST(GatewayShaped, EnforcesMinimumDistanceDownstream) {
+  GatewayConfig cfg = base_config(GatewayStrategy::kShaped);
+  cfg.shaping_distance = Duration::ms(2);
+  const ForwardedStream f = forward_stream(bursty_in, cfg);
+  EXPECT_EQ(f.output.min_distance(), Duration::ms(2));
+  EXPECT_EQ(f.output.period(), bursty_in.period());
+  // A 1 ms downstream window sees one frame instead of a 4-frame burst.
+  EXPECT_LE(f.output.eta_plus(Duration::ms(1)), 2);
+  EXPECT_GE(bursty_in.eta_plus(Duration::ms(1)), 4);
+}
+
+TEST(GatewayShaped, SmoothingDelayBoundsTheBurstFlattening) {
+  GatewayConfig cfg = base_config(GatewayStrategy::kShaped);
+  cfg.shaping_distance = Duration::ms(2);
+  const ForwardedStream f = forward_stream(bursty_in, cfg);
+  // A burst of b frames arriving back-to-back leaves over (b-1)*d: the
+  // last one waits roughly that long. Must be > 0 and finite.
+  EXPECT_GT(f.max_delay, cfg.forward_wcet);
+  EXPECT_FALSE(f.max_delay.is_infinite());
+  // Strictly periodic input needs no smoothing at all.
+  const ForwardedStream calm =
+      forward_stream(EventModel::periodic(Duration::ms(10)), cfg);
+  EXPECT_EQ(calm.max_delay, cfg.forward_wcet);
+}
+
+TEST(GatewayShaped, RejectsStarvingDistance) {
+  GatewayConfig cfg = base_config(GatewayStrategy::kShaped);
+  cfg.shaping_distance = Duration::ms(20);
+  EXPECT_THROW(forward_stream(periodic_in, cfg), std::invalid_argument);
+}
+
+TEST(GatewayShaped, DownstreamInterferenceNeverWorseThanImmediate) {
+  GatewayConfig shaped = base_config(GatewayStrategy::kShaped);
+  shaped.shaping_distance = Duration::ms(1);
+  const ForwardedStream s = forward_stream(bursty_in, shaped);
+  const ForwardedStream i = forward_stream(bursty_in, base_config(GatewayStrategy::kImmediate));
+  // For short windows (what lower-priority frames care about), shaping
+  // strictly reduces the admitted event count.
+  for (Duration w = Duration::us(100); w <= Duration::ms(4); w += Duration::us(331))
+    EXPECT_LE(s.output.eta_plus(w), i.output.eta_plus(w)) << to_string(w);
+}
+
+TEST(GatewayConfigValidation, RejectsBadExecutionTimes) {
+  GatewayConfig cfg = base_config(GatewayStrategy::kImmediate);
+  cfg.forward_bcet = Duration::ms(1);
+  cfg.forward_wcet = Duration::us(10);
+  EXPECT_THROW(forward_stream(periodic_in, cfg), std::invalid_argument);
+}
+
+TEST(GatewayStrategyNames, ToString) {
+  EXPECT_STREQ(to_string(GatewayStrategy::kImmediate), "immediate");
+  EXPECT_STREQ(to_string(GatewayStrategy::kFifo), "fifo");
+  EXPECT_STREQ(to_string(GatewayStrategy::kShaped), "shaped");
+}
+
+}  // namespace
+}  // namespace symcan

@@ -1,0 +1,117 @@
+#include "symcan/core/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace symcan {
+namespace {
+
+KMatrix tiny_bus(const std::string& name = "bus") {
+  KMatrix km{name, BitTiming{500'000}};
+  EcuNode a;
+  a.name = "A";
+  km.add_node(a);
+  CanMessage m;
+  m.name = "msg";
+  m.id = 0x100;
+  m.period = Duration::ms(10);
+  m.sender = "A";
+  m.receivers = {"A"};
+  km.add_message(m);
+  return km;
+}
+
+Task tiny_task(const char* name = "task") {
+  Task t;
+  t.name = name;
+  t.priority = 1;
+  t.wcet = Duration::ms(1);
+  t.bcet = Duration::us(500);
+  t.activation = EventModel::periodic(Duration::ms(10));
+  return t;
+}
+
+TEST(System, AddAndQueryResources) {
+  System sys;
+  sys.add_bus(tiny_bus());
+  sys.add_ecu("A", {tiny_task()});
+  EXPECT_EQ(sys.buses().size(), 1u);
+  EXPECT_EQ(sys.ecus().size(), 1u);
+  EXPECT_NO_THROW(sys.validate());
+}
+
+TEST(System, DuplicateBusRejected) {
+  System sys;
+  sys.add_bus(tiny_bus());
+  EXPECT_THROW(sys.add_bus(tiny_bus()), std::invalid_argument);
+}
+
+TEST(System, DuplicateEcuRejected) {
+  System sys;
+  sys.add_ecu("A", {});
+  EXPECT_THROW(sys.add_ecu("A", {}), std::invalid_argument);
+}
+
+TEST(System, EmptyPathRejected) {
+  System sys;
+  Path p;
+  p.name = "p";
+  EXPECT_THROW(sys.add_path(p), std::invalid_argument);
+  p.name.clear();
+  p.elements.push_back({PathElement::Kind::kTask, "A", "task"});
+  EXPECT_THROW(sys.add_path(p), std::invalid_argument);
+}
+
+TEST(SystemValidate, CatchesUnknownBusReference) {
+  System sys;
+  sys.add_bus(tiny_bus());
+  Path p;
+  p.name = "p";
+  p.elements.push_back({PathElement::Kind::kMessage, "nope", "msg"});
+  sys.add_path(p);
+  EXPECT_THROW(sys.validate(), std::invalid_argument);
+}
+
+TEST(SystemValidate, CatchesUnknownMessage) {
+  System sys;
+  sys.add_bus(tiny_bus());
+  Path p;
+  p.name = "p";
+  p.elements.push_back({PathElement::Kind::kMessage, "bus", "ghost"});
+  sys.add_path(p);
+  EXPECT_THROW(sys.validate(), std::invalid_argument);
+}
+
+TEST(SystemValidate, CatchesUnknownEcuAndTask) {
+  System sys;
+  sys.add_ecu("A", {tiny_task()});
+  Path p;
+  p.name = "p";
+  p.elements.push_back({PathElement::Kind::kTask, "B", "task"});
+  sys.add_path(p);
+  EXPECT_THROW(sys.validate(), std::invalid_argument);
+
+  System sys2;
+  sys2.add_ecu("A", {tiny_task()});
+  Path p2;
+  p2.name = "p2";
+  p2.elements.push_back({PathElement::Kind::kTask, "A", "ghost"});
+  sys2.add_path(p2);
+  EXPECT_THROW(sys2.validate(), std::invalid_argument);
+}
+
+TEST(SystemValidate, AcceptsResolvablePath) {
+  System sys;
+  sys.add_bus(tiny_bus());
+  sys.add_ecu("A", {tiny_task()});
+  Path p;
+  p.name = "p";
+  p.elements.push_back({PathElement::Kind::kTask, "A", "task"});
+  p.elements.push_back({PathElement::Kind::kMessage, "bus", "msg"});
+  sys.add_path(p);
+  EXPECT_NO_THROW(sys.validate());
+}
+
+}  // namespace
+}  // namespace symcan

@@ -1,0 +1,144 @@
+// End-to-end reproduction of the paper's Section 4 case study as a test:
+// import a power-train K-Matrix, run the what-if experiments, verify the
+// qualitative claims of Figures 4 and 5, and confirm the optimizer
+// reaches the paper's target ("does not loose a single message at 25 %
+// jitter, even in the presence of errors and bit stuffing").
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+
+#include "symcan/analysis/presets.hpp"
+#include "symcan/can/kmatrix_io.hpp"
+#include "symcan/opt/ga.hpp"
+#include "symcan/sensitivity/robustness.hpp"
+#include "symcan/sensitivity/sweep.hpp"
+#include "symcan/workload/powertrain.hpp"
+
+namespace symcan {
+namespace {
+
+class CaseStudy : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { km_ = new KMatrix(generate_powertrain(PowertrainConfig::case_study())); }
+  static void TearDownTestSuite() {
+    delete km_;
+    km_ = nullptr;
+  }
+  const KMatrix& km() const { return *km_; }
+  static KMatrix* km_;
+};
+
+KMatrix* CaseStudy::km_ = nullptr;
+
+TEST_F(CaseStudy, Experiment1ZeroJitterAllDeadlinesMet) {
+  // "In the first experiment, we assumed zero jitters and verified that
+  // all messages will meet their deadlines."
+  KMatrix zero = km();
+  assume_jitter_fraction(zero, 0.0, true);
+  CanRtaConfig cfg;
+  cfg.worst_case_stuffing = true;
+  cfg.deadline_override = DeadlinePolicy::kPeriod;
+  EXPECT_TRUE((CanRta{zero, cfg}.analyze().all_schedulable()));
+}
+
+TEST_F(CaseStudy, Figure5BestCaseLossStartsAbove25Percent) {
+  JitterSweepConfig cfg;
+  cfg.rta = best_case_assumptions();
+  const JitterSweepResult res = sweep_jitter(km(), cfg);
+  for (std::size_t i = 0; i < res.fractions.size(); ++i) {
+    if (res.fractions[i] <= 0.25 + 1e-9) {
+      EXPECT_EQ(res.results[i].miss_count(), 0u) << "at " << res.fractions[i];
+    }
+  }
+  // "then loss is slightly increasing": some loss by the end of the sweep.
+  EXPECT_GT(res.miss_fraction(res.results.size() - 1), 0.0);
+  EXPECT_LT(res.miss_fraction(res.results.size() - 1), 0.15);
+}
+
+TEST_F(CaseStudy, Figure5WorstCaseLossStartsEarlyAndGrowsFast) {
+  JitterSweepConfig cfg;
+  cfg.rta = worst_case_assumptions();
+  const JitterSweepResult res = sweep_jitter(km(), cfg);
+  // "deadline violations and message loss starting at very small jitters"
+  double at_15 = 0, at_60 = 0;
+  for (std::size_t i = 0; i < res.fractions.size(); ++i) {
+    if (std::abs(res.fractions[i] - 0.15) < 1e-9) at_15 = res.miss_fraction(i);
+    if (std::abs(res.fractions[i] - 0.60) < 1e-9) at_60 = res.miss_fraction(i);
+  }
+  EXPECT_GT(at_15, 0.0);
+  // "...and increasing rapidly" — the paper's worst case reaches ~40 %.
+  EXPECT_GT(at_60, 0.30);
+}
+
+TEST_F(CaseStudy, Figure4SensitivityClassesPresent) {
+  JitterSweepConfig cfg;
+  cfg.rta = best_case_assumptions();
+  const SensitivityReport rep = analyze_sensitivity(km(), cfg);
+  EXPECT_GT(rep.count(Robustness::kRobust), 0u);
+  const std::size_t sensitive = rep.count(Robustness::kSensitive) +
+                                rep.count(Robustness::kVerySensitive) +
+                                rep.count(Robustness::kMedium);
+  EXPECT_GT(sensitive, 0u);
+}
+
+TEST_F(CaseStudy, Section43OptimizerReachesZeroLossAt25) {
+  GaConfig cfg;
+  cfg.rta = worst_case_assumptions();
+  // Evaluate at the paper's 25 % target plus two stress points so the
+  // optimized matrix also behaves beyond the target (Figure 5 keeps the
+  // optimized curves below the originals across the sweep).
+  cfg.eval_fractions = {0.25, 0.40, 0.60};
+  cfg.population = 32;
+  cfg.archive = 16;
+  cfg.generations = 25;
+  cfg.seeds = {current_order(km()), deadline_monotonic_order(km())};
+  const GaResult res = optimize_priorities(km(), cfg);
+
+  const KMatrix opt = apply_priority_order(km(), res.best.order);
+  JitterSweepConfig sweep;
+  sweep.rta = worst_case_assumptions();
+  const auto orig = sweep_jitter(km(), sweep);
+  const auto optd = sweep_jitter(opt, sweep);
+  for (std::size_t i = 0; i < orig.results.size(); ++i) {
+    // "does not loose a single message at 25 % jitter, even in the
+    // presence of errors and bit stuffing."
+    if (orig.fractions[i] <= 0.25 + 1e-9)
+      EXPECT_EQ(optd.results[i].miss_count(), 0u) << "at " << orig.fractions[i];
+    // Dominance at the primary and first stress point; at the extreme
+    // 60 % tail the optimizer may trade a little (the paper's only hard
+    // quantitative claim is the 25 % target), but must not regress badly.
+    if (std::abs(orig.fractions[i] - 0.40) < 1e-9)
+      EXPECT_LE(optd.miss_fraction(i), orig.miss_fraction(i) + 1e-9)
+          << "at " << orig.fractions[i];
+    if (std::abs(orig.fractions[i] - 0.60) < 1e-9)
+      EXPECT_LE(optd.miss_fraction(i), orig.miss_fraction(i) + 0.15)
+          << "at " << orig.fractions[i];
+  }
+}
+
+TEST_F(CaseStudy, WhatIfRoundTripThroughCsv) {
+  // The OEM workflow starts from an imported K-Matrix; analysis results
+  // must be identical on the round-tripped matrix.
+  const KMatrix back = kmatrix_from_csv(kmatrix_to_csv(km()));
+  CanRtaConfig cfg = worst_case_assumptions();
+  const BusResult a = CanRta{km(), cfg}.analyze();
+  const BusResult b = CanRta{back, cfg}.analyze();
+  ASSERT_EQ(a.messages.size(), b.messages.size());
+  for (std::size_t i = 0; i < a.messages.size(); ++i)
+    EXPECT_EQ(a.messages[i].wcrt, b.messages[i].wcrt);
+}
+
+TEST_F(CaseStudy, AnalysisIsFastEnoughForWhatIfLoops) {
+  // "we could do such what-if observations within minutes" — on modern
+  // hardware a full-matrix analysis takes milliseconds; assert a generous
+  // bound so the property is regression-tested without flakiness.
+  const auto t0 = std::chrono::steady_clock::now();
+  CanRta{km(), worst_case_assumptions()}.analyze();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 2000);
+}
+
+}  // namespace
+}  // namespace symcan

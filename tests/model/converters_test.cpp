@@ -1,0 +1,137 @@
+#include "symcan/model/converters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace symcan {
+namespace {
+
+const EventModel periodic = EventModel::periodic(Duration::ms(10));
+const EventModel jittery = EventModel::periodic_jitter(Duration::ms(10), Duration::ms(4));
+const EventModel bursty =
+    EventModel::periodic_burst(Duration::ms(10), Duration::ms(25), Duration::ms(1));
+const EventModel sporadic = EventModel::sporadic(Duration::ms(5));
+
+TEST(ToSporadic, ContainsTheOriginal) {
+  for (const EventModel& em : {periodic, jittery, bursty, sporadic}) {
+    const EventModel s = to_sporadic(em);
+    EXPECT_TRUE(s.contains(em)) << em.to_string() << " -> " << s.to_string();
+  }
+}
+
+TEST(ToSporadic, LosslessForSporadicInput) {
+  const EventModel s = to_sporadic(sporadic);
+  EXPECT_EQ(s.period(), Duration::ms(5));
+  EXPECT_NEAR(adaptation_error(sporadic, s, Duration::ms(200)), 0.0, 1e-12);
+}
+
+TEST(ToSporadic, PreservesMinimumDistance) {
+  const EventModel s = to_sporadic(bursty);
+  EXPECT_EQ(s.period(), Duration::ms(1));  // d_min of the burst model
+}
+
+TEST(ToSporadic, CoincidentEventsGetNanosecondFloor) {
+  // J >= P with no d_min: events may coincide; the sporadic class floor.
+  const EventModel dense = EventModel::periodic_jitter(Duration::ms(10), Duration::ms(25));
+  EXPECT_EQ(to_sporadic(dense).period(), Duration::ns(1));
+}
+
+TEST(ToPeriodicJitter, ContainsTheOriginal) {
+  for (const EventModel& em : {periodic, jittery, bursty}) {
+    const EventModel p = to_periodic_jitter(em);
+    EXPECT_TRUE(p.contains(em)) << em.to_string();
+  }
+}
+
+TEST(ToPeriodicJitter, LosslessWithoutBurstLimit) {
+  EXPECT_NEAR(adaptation_error(jittery, to_periodic_jitter(jittery), Duration::ms(500)), 0.0,
+              1e-12);
+}
+
+TEST(ToPeriodicJitter, BurstLimitLossIsVisible) {
+  // Dropping d_min admits denser short windows: positive adaptation error.
+  EXPECT_GT(adaptation_error(bursty, to_periodic_jitter(bursty), Duration::ms(500)), 0.0);
+}
+
+TEST(AbstractionUnion, ContainsBothInputs) {
+  const struct {
+    EventModel a, b;
+  } cases[] = {{periodic, jittery},
+               {jittery, bursty},
+               {sporadic, periodic},
+               {bursty, sporadic},
+               {EventModel::periodic(Duration::ms(7)), EventModel::periodic(Duration::ms(13))}};
+  for (const auto& c : cases) {
+    const EventModel u = abstraction_union(c.a, c.b);
+    EXPECT_TRUE(u.contains(c.a)) << u.to_string() << " vs " << c.a.to_string();
+    EXPECT_TRUE(u.contains(c.b)) << u.to_string() << " vs " << c.b.to_string();
+  }
+}
+
+TEST(AbstractionUnion, IdempotentOnEqualInputs) {
+  const EventModel u = abstraction_union(jittery, jittery);
+  EXPECT_EQ(u.period(), jittery.period());
+  EXPECT_EQ(u.jitter(), jittery.jitter());
+  EXPECT_NEAR(adaptation_error(jittery, u, Duration::ms(500)), 0.0, 1e-12);
+}
+
+TEST(AbstractionUnion, CommutesOnParameters) {
+  const EventModel u1 = abstraction_union(jittery, bursty);
+  const EventModel u2 = abstraction_union(bursty, jittery);
+  EXPECT_EQ(u1.period(), u2.period());
+  EXPECT_EQ(u1.jitter(), u2.jitter());
+  EXPECT_EQ(u1.min_distance(), u2.min_distance());
+}
+
+TEST(AbstractionUnion, TakesTheFasterRate) {
+  const EventModel u = abstraction_union(EventModel::periodic(Duration::ms(7)),
+                                         EventModel::periodic(Duration::ms(13)));
+  // The 7 ms envelope alone dominates the 13 ms stream's eta+ everywhere,
+  // so the join needs no extra jitter.
+  EXPECT_EQ(u.period(), Duration::ms(7));
+  EXPECT_EQ(u.jitter(), Duration::zero());
+}
+
+TEST(AdaptationError, ZeroForIdentity) {
+  EXPECT_DOUBLE_EQ(adaptation_error(bursty, bursty, Duration::ms(300)), 0.0);
+}
+
+TEST(AdaptationError, GrowsWithLooseness) {
+  const EventModel loose1 = EventModel::periodic_jitter(Duration::ms(10), Duration::ms(6));
+  const EventModel loose2 = EventModel::periodic_jitter(Duration::ms(10), Duration::ms(30));
+  const double e1 = adaptation_error(periodic, loose1, Duration::ms(300));
+  const double e2 = adaptation_error(periodic, loose2, Duration::ms(300));
+  EXPECT_GT(e1, 0.0);
+  EXPECT_GT(e2, e1);
+}
+
+TEST(AdaptationError, RejectsBadHorizon) {
+  EXPECT_THROW(adaptation_error(periodic, jittery, Duration::zero()), std::invalid_argument);
+}
+
+/// Property sweep: unions over a model grid always contain both inputs
+/// and never report negative adaptation error.
+class UnionProperty
+    : public ::testing::TestWithParam<std::pair<std::int64_t, std::int64_t>> {};
+
+TEST_P(UnionProperty, ContainmentAndErrorSign) {
+  const auto [pa_ms, pb_ms] = GetParam();
+  const EventModel a = EventModel::periodic_jitter(Duration::ms(pa_ms), Duration::ms(pa_ms / 3));
+  const EventModel b =
+      EventModel::periodic_burst(Duration::ms(pb_ms), Duration::ms(pb_ms * 2), Duration::ms(1));
+  const EventModel u = abstraction_union(a, b);
+  EXPECT_TRUE(u.contains(a));
+  EXPECT_TRUE(u.contains(b));
+  EXPECT_GE(adaptation_error(a, u, Duration::ms(400)), 0.0);
+  EXPECT_GE(adaptation_error(b, u, Duration::ms(400)), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, UnionProperty,
+                         ::testing::Values(std::pair<std::int64_t, std::int64_t>{6, 6},
+                                           std::pair<std::int64_t, std::int64_t>{6, 15},
+                                           std::pair<std::int64_t, std::int64_t>{20, 5},
+                                           std::pair<std::int64_t, std::int64_t>{9, 100}));
+
+}  // namespace
+}  // namespace symcan

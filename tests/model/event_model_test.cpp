@@ -1,0 +1,201 @@
+#include "symcan/model/event_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace symcan {
+namespace {
+
+TEST(EventModel, StrictlyPeriodicCounts) {
+  const EventModel em = EventModel::periodic(Duration::ms(10));
+  EXPECT_EQ(em.eta_plus(Duration::zero()), 0);
+  EXPECT_EQ(em.eta_plus(Duration::ns(1)), 1);
+  EXPECT_EQ(em.eta_plus(Duration::ms(10)), 1);
+  EXPECT_EQ(em.eta_plus(Duration::ms(10) + Duration::ns(1)), 2);
+  EXPECT_EQ(em.eta_plus(Duration::ms(95)), 10);
+  EXPECT_EQ(em.eta_minus(Duration::ms(95)), 9);
+  EXPECT_EQ(em.eta_minus(Duration::ms(9)), 0);
+}
+
+TEST(EventModel, JitterInflatesEtaPlus) {
+  const EventModel em = EventModel::periodic_jitter(Duration::ms(10), Duration::ms(4));
+  // Window of 7 ms: ceil((7+4)/10) = 2 events possible.
+  EXPECT_EQ(em.eta_plus(Duration::ms(7)), 2);
+  // eta- shrinks: floor((7-4)/10) = 0.
+  EXPECT_EQ(em.eta_minus(Duration::ms(7)), 0);
+  EXPECT_EQ(em.eta_minus(Duration::ms(24)), 2);
+}
+
+TEST(EventModel, BurstyModelLimitedByMinDistance) {
+  // J = 25 ms >= P = 10 ms: bursts of up to 3 events, at least 1 ms apart.
+  const EventModel em = EventModel::periodic_burst(Duration::ms(10), Duration::ms(25),
+                                                   Duration::ms(1));
+  EXPECT_TRUE(em.is_bursty());
+  EXPECT_EQ(em.max_burst_size(), 4);  // ceil(25/10) + 1
+  // Tiny window: d_min limits to 2 events (one at each end of 1ms+).
+  EXPECT_EQ(em.eta_plus(Duration::ms(1)), 2);
+  EXPECT_EQ(em.eta_plus(Duration::us(500)), 2);
+  // Large window: periodic term dominates.
+  EXPECT_EQ(em.eta_plus(Duration::ms(100)), 13);
+}
+
+TEST(EventModel, SporadicIsPeriodicWithDminEqualsP) {
+  const EventModel em = EventModel::sporadic(Duration::ms(5));
+  EXPECT_FALSE(em.is_bursty());
+  EXPECT_EQ(em.eta_plus(Duration::ms(5)), 1);
+  EXPECT_EQ(em.eta_plus(Duration::ms(6)), 2);
+}
+
+TEST(EventModel, DeltaMinMax) {
+  const EventModel em = EventModel::periodic_jitter(Duration::ms(10), Duration::ms(3));
+  EXPECT_EQ(em.delta_min(0), Duration::zero());
+  EXPECT_EQ(em.delta_min(1), Duration::zero());
+  EXPECT_EQ(em.delta_min(2), Duration::ms(7));
+  EXPECT_EQ(em.delta_min(3), Duration::ms(17));
+  EXPECT_EQ(em.delta_max(2), Duration::ms(13));
+  EXPECT_EQ(em.delta_max(3), Duration::ms(23));
+}
+
+TEST(EventModel, DeltaMinClampedAtZeroForLargeJitter) {
+  const EventModel em = EventModel::periodic_jitter(Duration::ms(10), Duration::ms(25));
+  EXPECT_EQ(em.delta_min(2), Duration::zero());
+  EXPECT_EQ(em.delta_min(3), Duration::zero());
+  EXPECT_EQ(em.delta_min(4), Duration::ms(5));
+}
+
+TEST(EventModel, WithAddedJitterAccumulates) {
+  const EventModel em = EventModel::periodic_jitter(Duration::ms(10), Duration::ms(2));
+  const EventModel out = em.with_added_jitter(Duration::ms(3));
+  EXPECT_EQ(out.period(), Duration::ms(10));
+  EXPECT_EQ(out.jitter(), Duration::ms(5));
+}
+
+TEST(EventModel, DminClampedToPeriod) {
+  const EventModel em =
+      EventModel::periodic_burst(Duration::ms(10), Duration::zero(), Duration::ms(50));
+  EXPECT_EQ(em.min_distance(), Duration::ms(10));
+}
+
+TEST(EventModel, InvalidArgumentsThrow) {
+  EXPECT_THROW(EventModel::periodic(Duration::zero()), std::invalid_argument);
+  EXPECT_THROW(EventModel::periodic(-Duration::ms(1)), std::invalid_argument);
+  EXPECT_THROW(EventModel::periodic_jitter(Duration::ms(1), -Duration::ms(1)),
+               std::invalid_argument);
+  EXPECT_THROW(EventModel::periodic_burst(Duration::ms(1), Duration::zero(), -Duration::ms(1)),
+               std::invalid_argument);
+}
+
+TEST(EventModel, ContainsAcceptsSelfAndLooserJitter) {
+  const EventModel tight = EventModel::periodic_jitter(Duration::ms(10), Duration::ms(1));
+  const EventModel loose = EventModel::periodic_jitter(Duration::ms(10), Duration::ms(5));
+  EXPECT_TRUE(tight.contains(tight));
+  EXPECT_TRUE(loose.contains(tight));   // looser admits tighter traces
+  EXPECT_FALSE(tight.contains(loose));  // tighter cannot admit looser
+}
+
+TEST(EventModel, ContainsRejectsHigherRate) {
+  const EventModel slow = EventModel::periodic(Duration::ms(20));
+  const EventModel fast = EventModel::periodic(Duration::ms(10));
+  EXPECT_FALSE(slow.contains(fast));
+  EXPECT_TRUE(fast.contains(fast));
+}
+
+TEST(EventModel, ToStringMentionsParameters) {
+  const EventModel em = EventModel::periodic_jitter(Duration::ms(10), Duration::ms(2));
+  const std::string s = em.to_string();
+  EXPECT_NE(s.find("P="), std::string::npos);
+  EXPECT_NE(s.find("J="), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweeps over a grid of models.
+
+struct ModelParam {
+  std::int64_t period_us;
+  std::int64_t jitter_us;
+  std::int64_t dmin_us;
+};
+
+class EventModelProperty : public ::testing::TestWithParam<ModelParam> {
+ protected:
+  EventModel model() const {
+    const auto p = GetParam();
+    return EventModel::periodic_burst(Duration::us(p.period_us), Duration::us(p.jitter_us),
+                                      Duration::us(p.dmin_us));
+  }
+  std::vector<Duration> windows() const {
+    const auto p = GetParam();
+    std::vector<Duration> w;
+    for (std::int64_t k : {1, 2, 3, 5, 7, 10, 13, 20, 50})
+      w.push_back(Duration::us(p.period_us * k / 4 + k));
+    return w;
+  }
+};
+
+TEST_P(EventModelProperty, EtaPlusIsMonotone) {
+  const EventModel em = model();
+  std::int64_t prev = 0;
+  for (Duration w = Duration::zero(); w <= Duration::ms(50); w += Duration::us(173)) {
+    const std::int64_t v = em.eta_plus(w);
+    EXPECT_GE(v, prev) << "at window " << to_string(w);
+    prev = v;
+  }
+}
+
+TEST_P(EventModelProperty, EtaMinusNeverExceedsEtaPlus) {
+  const EventModel em = model();
+  for (const Duration w : windows()) EXPECT_LE(em.eta_minus(w), em.eta_plus(w));
+}
+
+TEST_P(EventModelProperty, DeltaMinIsPseudoInverseOfEtaPlus) {
+  const EventModel em = model();
+  // n events fit into any window marginally larger than delta_min(n).
+  for (std::int64_t n = 2; n <= 12; ++n) {
+    const Duration span = em.delta_min(n);
+    EXPECT_GE(em.eta_plus(span + Duration::ns(1)), n) << "n=" << n;
+    // And delta_min is the *minimum* span: a window strictly inside it
+    // cannot hold n events. Only exact when the periodic term determines
+    // delta_min — the standard ceil(dt/d_min)+1 burst bound is
+    // deliberately conservative for sub-d_min windows.
+    const Duration periodic_span = (n - 1) * em.period() - em.jitter();
+    const Duration burst_span = (n - 1) * em.min_distance();
+    if (span > Duration::ns(1) && periodic_span > burst_span)
+      EXPECT_LT(em.eta_plus(span - Duration::ns(1)), n) << "n=" << n;
+  }
+}
+
+TEST_P(EventModelProperty, DeltaMinMonotoneInN) {
+  const EventModel em = model();
+  for (std::int64_t n = 2; n <= 20; ++n) EXPECT_LE(em.delta_min(n - 1), em.delta_min(n));
+}
+
+TEST_P(EventModelProperty, DeltaMaxDominatesDeltaMin) {
+  const EventModel em = model();
+  for (std::int64_t n = 2; n <= 20; ++n) EXPECT_GE(em.delta_max(n), em.delta_min(n));
+}
+
+TEST_P(EventModelProperty, AddedJitterOnlyIncreasesEtaPlus) {
+  const EventModel em = model();
+  const EventModel inflated = em.with_added_jitter(Duration::us(500));
+  for (const Duration w : windows()) EXPECT_GE(inflated.eta_plus(w), em.eta_plus(w));
+}
+
+TEST_P(EventModelProperty, LongRunRateMatchesPeriod) {
+  const EventModel em = model();
+  const Duration horizon = em.period() * 1000;
+  const std::int64_t n = em.eta_plus(horizon);
+  // Rate over a long horizon approaches 1/P (within the jitter carryover).
+  EXPECT_NEAR(static_cast<double>(n), 1000.0, 3.0 + em.jitter().as_ms() / em.period().as_ms());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EventModelProperty,
+    ::testing::Values(ModelParam{10'000, 0, 0}, ModelParam{10'000, 3'000, 0},
+                      ModelParam{10'000, 12'000, 0}, ModelParam{10'000, 12'000, 1'000},
+                      ModelParam{5'000, 45'000, 500}, ModelParam{1'000, 0, 1'000},
+                      ModelParam{20'000, 6'000, 2'000}, ModelParam{100'000, 30'000, 0}));
+
+}  // namespace
+}  // namespace symcan

@@ -1,0 +1,42 @@
+#include "symcan/model/task.hpp"
+
+#include <gtest/gtest.h>
+
+namespace symcan {
+namespace {
+
+TEST(Task, EffectiveSegmentDefaultsToWcet) {
+  Task t;
+  t.wcet = Duration::ms(4);
+  EXPECT_EQ(t.effective_segment(), Duration::ms(4));
+}
+
+TEST(Task, EffectiveSegmentUsesMaxSegmentWhenSmaller) {
+  Task t;
+  t.wcet = Duration::ms(4);
+  t.max_segment = Duration::ms(1);
+  EXPECT_EQ(t.effective_segment(), Duration::ms(1));
+}
+
+TEST(Task, EffectiveSegmentClampedToWcet) {
+  Task t;
+  t.wcet = Duration::ms(4);
+  t.max_segment = Duration::ms(9);
+  EXPECT_EQ(t.effective_segment(), Duration::ms(4));
+}
+
+TEST(SchedClass, ToStringNames) {
+  EXPECT_STREQ(to_string(SchedClass::kInterrupt), "interrupt");
+  EXPECT_STREQ(to_string(SchedClass::kPreemptiveTask), "preemptive");
+  EXPECT_STREQ(to_string(SchedClass::kCooperativeTask), "cooperative");
+}
+
+TEST(Task, DefaultsAreSane) {
+  Task t;
+  EXPECT_EQ(t.sched, SchedClass::kPreemptiveTask);
+  EXPECT_TRUE(t.deadline.is_infinite());
+  EXPECT_EQ(t.os_overhead, Duration::zero());
+}
+
+}  // namespace
+}  // namespace symcan

@@ -1,0 +1,134 @@
+#include "symcan/opt/ga.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "symcan/analysis/presets.hpp"
+#include "symcan/workload/powertrain.hpp"
+
+namespace symcan {
+namespace {
+
+KMatrix small_matrix() {
+  PowertrainConfig cfg = PowertrainConfig::case_study();
+  cfg.message_count = 20;
+  cfg.ecu_count = 4;
+  return generate_powertrain(cfg);
+}
+
+GaConfig quick_config() {
+  GaConfig cfg;
+  cfg.population = 16;
+  cfg.archive = 8;
+  cfg.generations = 8;
+  cfg.rta = worst_case_assumptions();
+  cfg.eval_fractions = {0.25};
+  return cfg;
+}
+
+TEST(EvaluateOrder, CountsMissesAndCost) {
+  const KMatrix km = small_matrix();
+  const GaIndividual ind = evaluate_order(km, current_order(km), quick_config());
+  EXPECT_GE(ind.misses, 0);
+  EXPECT_GT(ind.robustness_cost, 0);
+  EXPECT_LE(ind.robustness_cost, quick_config().ratio_cap);
+}
+
+TEST(EvaluateOrder, MoreEvalPointsAccumulateMisses) {
+  const KMatrix km = small_matrix();
+  GaConfig one = quick_config();
+  one.eval_fractions = {0.5};
+  GaConfig two = quick_config();
+  two.eval_fractions = {0.5, 0.6};
+  const double m1 = evaluate_order(km, current_order(km), one).misses;
+  const double m2 = evaluate_order(km, current_order(km), two).misses;
+  EXPECT_GE(m2, m1);
+}
+
+TEST(Ga, DeterministicForSameSeed) {
+  const KMatrix km = small_matrix();
+  const GaResult a = optimize_priorities(km, quick_config());
+  const GaResult b = optimize_priorities(km, quick_config());
+  EXPECT_EQ(a.best.order, b.best.order);
+  EXPECT_EQ(a.best.misses, b.best.misses);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST(Ga, NeverWorseThanSeeds) {
+  const KMatrix km = small_matrix();
+  GaConfig cfg = quick_config();
+  cfg.seeds = {current_order(km), deadline_monotonic_order(km)};
+  const GaResult res = optimize_priorities(km, cfg);
+  for (const auto& seed : cfg.seeds) {
+    const GaIndividual si = evaluate_order(km, seed, cfg);
+    EXPECT_LE(res.best.misses, si.misses);
+  }
+}
+
+TEST(Ga, ImprovesTheCaseStudyToZeroLossAt25) {
+  // The headline claim of Section 4.3.
+  const KMatrix km = generate_powertrain(PowertrainConfig::case_study());
+  GaConfig cfg = quick_config();
+  cfg.population = 32;
+  cfg.archive = 16;
+  cfg.generations = 25;
+  cfg.seeds = {current_order(km), deadline_monotonic_order(km)};
+  const GaResult res = optimize_priorities(km, cfg);
+  EXPECT_EQ(res.best.misses, 0);
+
+  KMatrix opt = apply_priority_order(km, res.best.order);
+  assume_jitter_fraction(opt, 0.25, true);
+  EXPECT_TRUE((CanRta{opt, worst_case_assumptions()}.analyze().all_schedulable()));
+}
+
+TEST(Ga, HistoryIsMonotoneNonIncreasing) {
+  // The archive keeps the best candidates, so the best archived miss
+  // count can only improve over generations.
+  const GaResult res = optimize_priorities(small_matrix(), quick_config());
+  ASSERT_FALSE(res.best_misses_history.empty());
+  for (std::size_t i = 1; i < res.best_misses_history.size(); ++i)
+    EXPECT_LE(res.best_misses_history[i], res.best_misses_history[i - 1]);
+}
+
+TEST(Ga, ParetoFrontIsNondominated) {
+  const GaResult res = optimize_priorities(small_matrix(), quick_config());
+  ASSERT_FALSE(res.pareto.empty());
+  for (const auto& a : res.pareto)
+    for (const auto& b : res.pareto) {
+      const bool dominates = (a.misses <= b.misses && a.robustness_cost <= b.robustness_cost) &&
+                             (a.misses < b.misses || a.robustness_cost < b.robustness_cost);
+      EXPECT_FALSE(dominates) << "front contains dominated point";
+    }
+}
+
+TEST(Ga, BestIsOnParetoFront) {
+  const GaResult res = optimize_priorities(small_matrix(), quick_config());
+  bool found = false;
+  for (const auto& p : res.pareto)
+    found = found || (p.misses == res.best.misses && p.robustness_cost == res.best.robustness_cost);
+  EXPECT_TRUE(found);
+}
+
+TEST(Ga, ResultIsPermutation) {
+  const GaResult res = optimize_priorities(small_matrix(), quick_config());
+  PriorityOrder sorted = res.best.order;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Ga, RejectsBadConfig) {
+  GaConfig cfg = quick_config();
+  cfg.population = 2;
+  EXPECT_THROW(optimize_priorities(small_matrix(), cfg), std::invalid_argument);
+  cfg = quick_config();
+  cfg.archive = 1;
+  EXPECT_THROW(optimize_priorities(small_matrix(), cfg), std::invalid_argument);
+  cfg = quick_config();
+  cfg.eval_fractions.clear();
+  EXPECT_THROW(optimize_priorities(small_matrix(), cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace symcan

@@ -1,0 +1,122 @@
+#include "symcan/sensitivity/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "symcan/analysis/presets.hpp"
+#include "symcan/workload/powertrain.hpp"
+
+namespace symcan {
+namespace {
+
+KMatrix case_matrix() { return generate_powertrain(PowertrainConfig::case_study()); }
+
+TEST(JitterSweep, ProducesOnePointPerFraction) {
+  JitterSweepConfig cfg;
+  cfg.from = 0.0;
+  cfg.to = 0.60;
+  cfg.step = 0.05;
+  cfg.rta = best_case_assumptions();
+  const JitterSweepResult res = sweep_jitter(case_matrix(), cfg);
+  EXPECT_EQ(res.fractions.size(), 13u);
+  EXPECT_EQ(res.results.size(), 13u);
+  EXPECT_DOUBLE_EQ(res.fractions.front(), 0.0);
+  EXPECT_NEAR(res.fractions.back(), 0.60, 1e-9);
+}
+
+TEST(JitterSweep, MissFractionMonotoneUnderFixedAssumptions) {
+  JitterSweepConfig cfg;
+  cfg.rta = worst_case_assumptions();
+  const JitterSweepResult res = sweep_jitter(case_matrix(), cfg);
+  // Deadline kMinReArrival shrinks with jitter while responses grow, so
+  // the miss fraction is monotone non-decreasing along the sweep.
+  for (std::size_t i = 1; i < res.results.size(); ++i)
+    EXPECT_GE(res.miss_fraction(i), res.miss_fraction(i - 1)) << "step " << i;
+}
+
+TEST(JitterSweep, ResponseCurvesMonotone) {
+  JitterSweepConfig cfg;
+  cfg.rta = best_case_assumptions();
+  const KMatrix km = case_matrix();
+  const JitterSweepResult res = sweep_jitter(km, cfg);
+  for (const auto& m : km.messages()) {
+    const auto curve = res.response_curve(m.name);
+    for (std::size_t i = 1; i < curve.size(); ++i)
+      EXPECT_GE(curve[i], curve[i - 1]) << m.name << " step " << i;
+  }
+}
+
+TEST(JitterSweep, WorstAssumptionsDominateBest) {
+  const KMatrix km = case_matrix();
+  JitterSweepConfig best;
+  best.rta = best_case_assumptions();
+  JitterSweepConfig worst;
+  worst.rta = worst_case_assumptions();
+  const auto rb = sweep_jitter(km, best);
+  const auto rw = sweep_jitter(km, worst);
+  for (std::size_t i = 0; i < rb.results.size(); ++i)
+    EXPECT_GE(rw.miss_fraction(i), rb.miss_fraction(i));
+}
+
+TEST(JitterSweep, RespectsKnownJitterFlag) {
+  KMatrix km = case_matrix();
+  JitterSweepConfig cfg;
+  cfg.override_known = false;
+  cfg.from = cfg.to = 0.30;
+  cfg.step = 0.05;
+  cfg.rta = best_case_assumptions();
+  sweep_jitter(km, cfg);  // must not throw; known jitters preserved
+  // Direct check of the underlying knob:
+  KMatrix keep = km;
+  assume_jitter_fraction(keep, 0.30, false);
+  for (std::size_t i = 0; i < km.size(); ++i)
+    if (km.messages()[i].jitter_known)
+      EXPECT_EQ(keep.messages()[i].jitter, km.messages()[i].jitter);
+}
+
+TEST(JitterSweep, RejectsBadBounds) {
+  JitterSweepConfig cfg;
+  cfg.step = 0.0;
+  EXPECT_THROW(sweep_jitter(case_matrix(), cfg), std::invalid_argument);
+  cfg.step = 0.05;
+  cfg.from = 0.5;
+  cfg.to = 0.1;
+  EXPECT_THROW(sweep_jitter(case_matrix(), cfg), std::invalid_argument);
+}
+
+TEST(JitterSweep, UnknownMessageCurveThrows) {
+  JitterSweepConfig cfg;
+  cfg.rta = best_case_assumptions();
+  const JitterSweepResult res = sweep_jitter(case_matrix(), cfg);
+  EXPECT_THROW(res.response_curve("nope"), std::invalid_argument);
+}
+
+TEST(ErrorSweep, MoreFrequentErrorsNeverReduceMisses) {
+  ErrorSweepConfig cfg;
+  cfg.rta = best_case_assumptions();
+  cfg.from = Duration::s(1);
+  cfg.to = Duration::ms(2);
+  cfg.points = 9;
+  KMatrix km = case_matrix();
+  assume_jitter_fraction(km, 0.2, true);
+  const ErrorSweepResult res = sweep_errors(km, cfg);
+  ASSERT_EQ(res.results.size(), 9u);
+  for (std::size_t i = 1; i < res.results.size(); ++i) {
+    EXPECT_LT(res.min_inter_error[i], res.min_inter_error[i - 1]);
+    EXPECT_GE(res.results[i].miss_fraction(), res.results[i - 1].miss_fraction());
+  }
+}
+
+TEST(ErrorSweep, RejectsBadConfig) {
+  ErrorSweepConfig cfg;
+  cfg.points = 1;
+  EXPECT_THROW(sweep_errors(case_matrix(), cfg), std::invalid_argument);
+  cfg.points = 5;
+  cfg.from = Duration::ms(1);
+  cfg.to = Duration::ms(10);
+  EXPECT_THROW(sweep_errors(case_matrix(), cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace symcan

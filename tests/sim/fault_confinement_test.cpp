@@ -1,0 +1,140 @@
+// Fault confinement (TEC / bus-off) and response percentiles in the bus
+// simulator.
+
+#include <gtest/gtest.h>
+
+#include "symcan/sim/simulator.hpp"
+
+namespace symcan {
+namespace {
+
+KMatrix two_node_bus() {
+  KMatrix km{"fc", BitTiming{500'000}};
+  EcuNode a;
+  a.name = "A";
+  km.add_node(a);
+  EcuNode b;
+  b.name = "B";
+  km.add_node(b);
+  const struct {
+    const char* name;
+    CanId id;
+    std::int64_t period_ms;
+    const char* sender;
+  } rows[] = {{"hp", 0x10, 5, "A"}, {"lp", 0x30, 10, "B"}};
+  for (const auto& r : rows) {
+    CanMessage m;
+    m.name = r.name;
+    m.id = r.id;
+    m.payload_bytes = 8;
+    m.period = Duration::ms(r.period_ms);
+    m.sender = r.sender;
+    m.receivers = {"A"};
+    km.add_message(m);
+  }
+  return km;
+}
+
+TEST(FaultConfinement, CleanBusNeverGoesBusOff) {
+  SimConfig cfg;
+  cfg.duration = Duration::s(2);
+  cfg.seed = 1;
+  const SimResult res = simulate(two_node_bus(), cfg);
+  ASSERT_EQ(res.nodes.size(), 2u);
+  for (const auto& n : res.nodes) {
+    EXPECT_EQ(n.bus_off_events, 0) << n.name;
+    EXPECT_EQ(n.peak_tec, 0) << n.name;
+    EXPECT_EQ(n.silent_time, Duration::zero()) << n.name;
+  }
+}
+
+TEST(FaultConfinement, SustainedErrorsDriveANodeBusOff) {
+  // Long error bursts corrupt 32 consecutive transmission attempts: the
+  // sender's TEC jumps 8 per hit with no successes in between -> bus-off
+  // within the first burst (8 * 32 = 256).
+  SimConfig cfg;
+  cfg.duration = Duration::s(5);
+  cfg.seed = 2;
+  cfg.errors = SimErrorProcess::burst(Duration::ms(50), 32);
+  // A fast message whose period (2 ms) is shorter than the 2.8 ms
+  // bus-off recovery: instances pending during the silence get
+  // overwritten.
+  KMatrix km = two_node_bus();
+  km.messages()[0].period = Duration::ms(2);
+  const SimResult res = simulate(km, cfg);
+  std::int64_t total_bus_off = 0;
+  for (const auto& n : res.nodes) total_bus_off += n.bus_off_events;
+  EXPECT_GT(total_bus_off, 0);
+  // The silent node lost instances while off the bus.
+  std::int64_t losses = 0;
+  for (const auto& m : res.messages) losses += m.losses;
+  EXPECT_GT(losses, 0);
+}
+
+TEST(FaultConfinement, DisablingTheModelKeepsNodesOn) {
+  SimConfig cfg;
+  cfg.duration = Duration::s(5);
+  cfg.seed = 2;
+  cfg.errors = SimErrorProcess::burst(Duration::ms(50), 32);
+  cfg.model_fault_confinement = false;
+  const SimResult res = simulate(two_node_bus(), cfg);
+  for (const auto& n : res.nodes) {
+    EXPECT_EQ(n.bus_off_events, 0) << n.name;
+    EXPECT_EQ(n.peak_tec, 0) << n.name;
+  }
+}
+
+TEST(FaultConfinement, SilentTimeMatchesEventsTimesRecovery) {
+  SimConfig cfg;
+  cfg.duration = Duration::s(5);
+  cfg.seed = 3;
+  cfg.errors = SimErrorProcess::burst(Duration::ms(50), 32);
+  const SimResult res = simulate(two_node_bus(), cfg);
+  const Duration recovery = BitTiming{500'000}.duration_of(128 * 11);
+  for (const auto& n : res.nodes)
+    EXPECT_EQ(n.silent_time, n.bus_off_events * recovery) << n.name;
+}
+
+TEST(Percentiles, SortedAndConsistent) {
+  SimConfig cfg;
+  cfg.duration = Duration::s(2);
+  cfg.seed = 4;
+  cfg.record_percentiles = true;
+  const SimResult res = simulate(two_node_bus(), cfg);
+  for (const auto& m : res.messages) {
+    ASSERT_EQ(static_cast<std::int64_t>(m.responses.size()), m.completions) << m.name;
+    EXPECT_TRUE(std::is_sorted(m.responses.begin(), m.responses.end())) << m.name;
+    EXPECT_EQ(m.percentile(1.0), m.wcrt_observed) << m.name;
+    EXPECT_EQ(m.percentile(0.0), m.bcrt_observed) << m.name;
+    EXPECT_LE(m.percentile(0.5), m.percentile(0.99)) << m.name;
+    EXPECT_GE(m.percentile(0.5), m.percentile(0.01)) << m.name;
+  }
+}
+
+TEST(Percentiles, EmptyWithoutRecording) {
+  SimConfig cfg;
+  cfg.duration = Duration::ms(100);
+  const SimResult res = simulate(two_node_bus(), cfg);
+  for (const auto& m : res.messages) {
+    EXPECT_TRUE(m.responses.empty());
+    EXPECT_EQ(m.percentile(0.5), Duration::zero());
+  }
+}
+
+TEST(Percentiles, MedianBelowMaxUnderContention) {
+  // With random stuffing and jitter, the tail should be strictly above
+  // the median for the lower-priority message.
+  KMatrix km = two_node_bus();
+  km.messages()[1].jitter = Duration::ms(2);
+  SimConfig cfg;
+  cfg.duration = Duration::s(5);
+  cfg.seed = 6;
+  cfg.record_percentiles = true;
+  const SimResult res = simulate(km, cfg);
+  const MessageStats* lp = res.find("lp");
+  ASSERT_NE(lp, nullptr);
+  EXPECT_LT(lp->percentile(0.5), lp->percentile(1.0));
+}
+
+}  // namespace
+}  // namespace symcan

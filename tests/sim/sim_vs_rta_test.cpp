@@ -1,0 +1,108 @@
+// Soundness oracle: simulated response times must never exceed the
+// analysis bound when the simulated jitter, stuffing and error processes
+// respect the analysis assumptions. This is the central cross-validation
+// between the two halves of the toolkit — a failure here means either the
+// analysis is optimistic (unsound) or the simulator violates its declared
+// event/error models.
+
+#include <gtest/gtest.h>
+
+#include "symcan/analysis/can_rta.hpp"
+#include "symcan/sim/simulator.hpp"
+#include "symcan/workload/powertrain.hpp"
+
+namespace symcan {
+namespace {
+
+struct OracleParam {
+  std::uint64_t seed;
+  double jitter_fraction;
+  bool errors;
+  const char* label;
+};
+
+void PrintTo(const OracleParam& p, std::ostream* os) { *os << p.label; }
+
+class SimVsRta : public ::testing::TestWithParam<OracleParam> {};
+
+TEST_P(SimVsRta, ObservedResponseNeverExceedsBound) {
+  const OracleParam p = GetParam();
+  PowertrainConfig wl;
+  wl.seed = p.seed;
+  wl.message_count = 24;
+  wl.ecu_count = 4;
+  wl.target_utilization = 0.55;
+  KMatrix km = generate_powertrain(wl);
+  assume_jitter_fraction(km, p.jitter_fraction, /*override_known=*/true);
+
+  CanRtaConfig rta;
+  rta.worst_case_stuffing = true;  // dominates the sampled stuffing
+  rta.deadline_override = DeadlinePolicy::kPeriod;
+  if (p.errors) rta.errors = std::make_shared<SporadicErrors>(Duration::ms(40));
+  const BusResult bound = CanRta{km, rta}.analyze();
+
+  SimConfig sim;
+  sim.duration = Duration::s(10);
+  sim.seed = p.seed * 1000 + 17;
+  sim.stuffing = StuffingMode::kRandom;  // <= worst case assumed above
+  sim.randomize_jitter = true;
+  if (p.errors) sim.errors = SimErrorProcess::sporadic(Duration::ms(40));
+  const SimResult observed = simulate(km, sim);
+
+  for (std::size_t i = 0; i < km.size(); ++i) {
+    const auto& b = bound.messages[i];
+    const auto& o = observed.messages[i];
+    if (b.diverged) continue;  // no bound claimed
+    EXPECT_LE(o.wcrt_observed, b.wcrt)
+        << km.messages()[i].name << ": observed " << to_string(o.wcrt_observed)
+        << " vs bound " << to_string(b.wcrt);
+    // Best-case bound is also a bound from below.
+    if (o.completions > 0)
+      EXPECT_GE(o.bcrt_observed, b.bcrt) << km.messages()[i].name;
+  }
+}
+
+TEST_P(SimVsRta, ScheduleVerdictImpliesNoSimLoss) {
+  // If the analysis declares every message schedulable under D = period,
+  // the simulator must not observe buffer-overwrite losses (no instance
+  // can still be pending when the next arrives).
+  const OracleParam p = GetParam();
+  PowertrainConfig wl;
+  wl.seed = p.seed;
+  wl.message_count = 24;
+  wl.ecu_count = 4;
+  wl.target_utilization = 0.55;
+  KMatrix km = generate_powertrain(wl);
+  assume_jitter_fraction(km, p.jitter_fraction, true);
+
+  CanRtaConfig rta;
+  rta.worst_case_stuffing = true;
+  rta.deadline_override = DeadlinePolicy::kPeriod;
+  if (p.errors) rta.errors = std::make_shared<SporadicErrors>(Duration::ms(40));
+  const BusResult bound = CanRta{km, rta}.analyze();
+  if (!bound.all_schedulable()) GTEST_SKIP() << "analysis does not claim schedulability";
+
+  SimConfig sim;
+  sim.duration = Duration::s(10);
+  sim.seed = p.seed + 4242;
+  sim.stuffing = StuffingMode::kRandom;
+  sim.randomize_jitter = true;
+  if (p.errors) sim.errors = SimErrorProcess::sporadic(Duration::ms(40));
+  const SimResult observed = simulate(km, sim);
+  for (const auto& m : observed.messages) EXPECT_EQ(m.losses, 0) << m.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SimVsRta,
+    ::testing::Values(OracleParam{1, 0.0, false, "s1_j0_clean"},
+                      OracleParam{2, 0.0, true, "s2_j0_errors"},
+                      OracleParam{3, 0.2, false, "s3_j20_clean"},
+                      OracleParam{4, 0.2, true, "s4_j20_errors"},
+                      OracleParam{5, 0.4, false, "s5_j40_clean"},
+                      OracleParam{6, 0.4, true, "s6_j40_errors"},
+                      OracleParam{7, 0.1, true, "s7_j10_errors"},
+                      OracleParam{8, 0.3, false, "s8_j30_clean"}),
+    [](const ::testing::TestParamInfo<OracleParam>& info) { return info.param.label; });
+
+}  // namespace
+}  // namespace symcan

@@ -1,0 +1,87 @@
+#include "symcan/sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace symcan {
+namespace {
+
+TEST(Trace, RecordsEventsInOrder) {
+  Trace t;
+  t.record(Duration::us(10), TraceEventType::kRelease, "m", 0);
+  t.record(Duration::us(20), TraceEventType::kTxStart, "m", 0);
+  t.record(Duration::us(290), TraceEventType::kTxEnd, "m", 0);
+  ASSERT_EQ(t.events().size(), 3u);
+  EXPECT_EQ(t.events()[0].type, TraceEventType::kRelease);
+  EXPECT_EQ(t.events()[2].time, Duration::us(290));
+}
+
+TEST(Trace, ToTextContainsAllEvents) {
+  Trace t;
+  t.record(Duration::us(10), TraceEventType::kRelease, "rpm", 3);
+  t.record(Duration::us(50), TraceEventType::kError, "rpm", 3);
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("release"), std::string::npos);
+  EXPECT_NE(text.find("error"), std::string::npos);
+  EXPECT_NE(text.find("rpm#3"), std::string::npos);
+}
+
+TEST(Trace, GanttPaintsTransmissionSpan) {
+  Trace t;
+  t.record(Duration::us(0), TraceEventType::kRelease, "m", 0);
+  t.record(Duration::us(100), TraceEventType::kTxStart, "m", 0);
+  t.record(Duration::us(300), TraceEventType::kTxEnd, "m", 0);
+  const std::string g = t.to_gantt(Duration::zero(), Duration::us(400), Duration::us(50));
+  // Queued dots before tx, then '=' for the transmission.
+  EXPECT_NE(g.find('='), std::string::npos);
+  EXPECT_NE(g.find('.'), std::string::npos);
+  EXPECT_NE(g.find("m |"), std::string::npos);
+}
+
+TEST(Trace, GanttMarksErrorAndLoss) {
+  Trace t;
+  t.record(Duration::us(0), TraceEventType::kRelease, "m", 0);
+  t.record(Duration::us(10), TraceEventType::kTxStart, "m", 0);
+  t.record(Duration::us(50), TraceEventType::kError, "m", 0);
+  t.record(Duration::us(60), TraceEventType::kRelease, "m", 1);
+  t.record(Duration::us(70), TraceEventType::kLoss, "m", 0);
+  const std::string g = t.to_gantt(Duration::zero(), Duration::us(200), Duration::us(10));
+  EXPECT_NE(g.find('!'), std::string::npos);
+  EXPECT_NE(g.find('X'), std::string::npos);
+}
+
+TEST(Trace, GanttOneRowPerMessage) {
+  Trace t;
+  t.record(Duration::us(0), TraceEventType::kRelease, "a", 0);
+  t.record(Duration::us(0), TraceEventType::kRelease, "b", 0);
+  t.record(Duration::us(0), TraceEventType::kRelease, "c", 0);
+  const std::string g = t.to_gantt(Duration::zero(), Duration::us(100), Duration::us(10));
+  int rows = 0;
+  for (char c : g)
+    if (c == '\n') ++rows;
+  EXPECT_EQ(rows, 4);  // header + 3 message rows
+}
+
+TEST(Trace, GanttHandlesDegenerateArguments) {
+  Trace t;
+  EXPECT_TRUE(t.to_gantt(Duration::zero(), Duration::zero(), Duration::us(1)).empty());
+  EXPECT_TRUE(t.to_gantt(Duration::zero(), Duration::us(10), Duration::zero()).empty());
+}
+
+TEST(Trace, ClearEmpties) {
+  Trace t;
+  t.record(Duration::us(1), TraceEventType::kRelease, "m", 0);
+  t.clear();
+  EXPECT_TRUE(t.events().empty());
+}
+
+TEST(TraceEventTypeNames, AllDistinct) {
+  EXPECT_STREQ(to_string(TraceEventType::kRelease), "release");
+  EXPECT_STREQ(to_string(TraceEventType::kTxStart), "tx-start");
+  EXPECT_STREQ(to_string(TraceEventType::kTxEnd), "tx-end");
+  EXPECT_STREQ(to_string(TraceEventType::kError), "error");
+  EXPECT_STREQ(to_string(TraceEventType::kRetransmit), "retransmit");
+  EXPECT_STREQ(to_string(TraceEventType::kLoss), "loss");
+}
+
+}  // namespace
+}  // namespace symcan

@@ -1,0 +1,78 @@
+#include "symcan/supplychain/refinement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "symcan/analysis/presets.hpp"
+#include "symcan/workload/powertrain.hpp"
+
+namespace symcan {
+namespace {
+
+KMatrix small_matrix() {
+  PowertrainConfig cfg = PowertrainConfig::case_study();
+  cfg.message_count = 16;
+  cfg.ecu_count = 4;
+  cfg.target_utilization = 0.5;
+  return generate_powertrain(cfg);
+}
+
+TEST(Refinement, BaselineRecordedInHistory) {
+  RefinementSession s{small_matrix(), best_case_assumptions()};
+  ASSERT_EQ(s.history().size(), 1u);
+  EXPECT_EQ(s.history()[0].what, "baseline");
+}
+
+TEST(Refinement, CommitMarksJitterKnownAndShrinksUnknownFraction) {
+  RefinementSession s{small_matrix(), best_case_assumptions()};
+  const double before = s.unknown_fraction();
+  std::string victim;
+  for (const auto& m : s.matrix().messages())
+    if (!m.jitter_known) victim = m.name;
+  ASSERT_FALSE(victim.empty());
+  s.commit_send_jitter(victim, Duration::us(300));
+  EXPECT_LT(s.unknown_fraction(), before);
+  EXPECT_TRUE(s.matrix().find_message(victim)->jitter_known);
+  EXPECT_EQ(s.matrix().find_message(victim)->jitter, Duration::us(300));
+  EXPECT_EQ(s.history().size(), 2u);
+}
+
+TEST(Refinement, CommitUnknownMessageThrows) {
+  RefinementSession s{small_matrix(), best_case_assumptions()};
+  EXPECT_THROW(s.commit_send_jitter("nope", Duration::us(1)), std::invalid_argument);
+  EXPECT_THROW(s.commit_send_jitter(s.matrix().messages()[0].name, -Duration::us(1)),
+               std::invalid_argument);
+}
+
+TEST(Refinement, FreezeTracksUniqueNames) {
+  RefinementSession s{small_matrix(), best_case_assumptions()};
+  const std::string m = s.matrix().messages()[0].name;
+  s.freeze_priority(m);
+  s.freeze_priority(m);
+  EXPECT_EQ(s.frozen().size(), 1u);
+  EXPECT_THROW(s.freeze_priority("nope"), std::invalid_argument);
+}
+
+TEST(Refinement, SlackBudgetMatchesAnalysis) {
+  RefinementSession s{small_matrix(), best_case_assumptions()};
+  const BusResult res = s.analyze();
+  for (std::size_t i = 0; i < res.messages.size(); ++i)
+    EXPECT_EQ(s.slack_budget(res.messages[i].name), res.messages[i].slack());
+  EXPECT_THROW(s.slack_budget("nope"), std::invalid_argument);
+}
+
+TEST(Refinement, CommittingLowerJitterCannotIncreaseMisses) {
+  KMatrix km = small_matrix();
+  assume_jitter_fraction(km, 0.5, true);  // pessimistic starting point
+  RefinementSession s{km, worst_case_assumptions()};
+  const std::size_t before = s.analyze().miss_count();
+  // Suppliers commit much tighter jitters for every message.
+  for (const auto& m : km.messages()) s.commit_send_jitter(m.name, Duration::zero());
+  EXPECT_LE(s.analyze().miss_count(), before);
+  // The history shows a step per commitment plus the baseline.
+  EXPECT_EQ(s.history().size(), 1u + km.size());
+}
+
+}  // namespace
+}  // namespace symcan

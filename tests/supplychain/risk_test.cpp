@@ -1,0 +1,127 @@
+#include "symcan/supplychain/risk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "symcan/analysis/presets.hpp"
+#include "symcan/workload/powertrain.hpp"
+
+namespace symcan {
+namespace {
+
+KMatrix committed_matrix() {
+  KMatrix km = generate_powertrain(PowertrainConfig::case_study());
+  // Suppliers committed tight jitters: 10 % of period across the board.
+  assume_jitter_fraction(km, 0.10, true);
+  return km;
+}
+
+std::vector<SupplierRisk> three_suppliers(const KMatrix& km, double p = 0.2, double factor = 3.0) {
+  std::vector<SupplierRisk> risks;
+  std::size_t added = 0;
+  for (const auto& n : km.nodes()) {
+    if (added >= 3) break;
+    risks.push_back({n.name, p, factor});
+    ++added;
+  }
+  return risks;
+}
+
+RiskConfig risk_config() {
+  RiskConfig cfg;
+  cfg.rta = worst_case_assumptions();
+  cfg.penalty_per_miss = 10.0;
+  return cfg;
+}
+
+TEST(SupplierRisk, ExhaustiveForFewSuppliers) {
+  const KMatrix km = committed_matrix();
+  const RiskReport r = assess_supplier_risk(km, three_suppliers(km), risk_config());
+  EXPECT_TRUE(r.exhaustive);
+  EXPECT_EQ(r.scenarios_evaluated, 8u);  // 2^3
+  EXPECT_EQ(r.suppliers.size(), 3u);
+  EXPECT_EQ(r.criticality.size(), 3u);
+}
+
+TEST(SupplierRisk, ZeroOverrunProbabilityMeansBaselineRisk) {
+  const KMatrix km = committed_matrix();
+  const RiskReport r = assess_supplier_risk(km, three_suppliers(km, 0.0), risk_config());
+  // All probability mass on the no-overrun scenario.
+  const BusResult base = CanRta{km, worst_case_assumptions()}.analyze();
+  EXPECT_NEAR(r.expected_penalty, 10.0 * static_cast<double>(base.miss_count()), 1e-9);
+}
+
+TEST(SupplierRisk, CertainOverrunMeansWorstScenario) {
+  const KMatrix km = committed_matrix();
+  const RiskReport r = assess_supplier_risk(km, three_suppliers(km, 1.0), risk_config());
+  // Only the all-overrun scenario has mass.
+  EXPECT_NEAR(r.expected_penalty, r.worst.penalty, 1e-9);
+  for (const bool o : r.worst.overruns) EXPECT_TRUE(o);
+}
+
+TEST(SupplierRisk, ExpectedPenaltyGrowsWithOverrunProbability) {
+  const KMatrix km = committed_matrix();
+  const RiskConfig cfg = risk_config();
+  const double p_low = assess_supplier_risk(km, three_suppliers(km, 0.1), cfg).expected_penalty;
+  const double p_high = assess_supplier_risk(km, three_suppliers(km, 0.6), cfg).expected_penalty;
+  EXPECT_LE(p_low, p_high);
+}
+
+TEST(SupplierRisk, WorstScenarioDominatesExpected) {
+  const KMatrix km = committed_matrix();
+  const RiskReport r = assess_supplier_risk(km, three_suppliers(km, 0.3), risk_config());
+  EXPECT_GE(r.worst.penalty, r.expected_penalty - 1e-9);
+}
+
+TEST(SupplierRisk, CriticalityIsNonNegativeUnderMonotonicity) {
+  // Overrunning only increases jitters, which only increases misses, so
+  // conditioning on an overrun can never reduce expected penalty.
+  const KMatrix km = committed_matrix();
+  const RiskReport r = assess_supplier_risk(km, three_suppliers(km, 0.25), risk_config());
+  for (const double c : r.criticality) EXPECT_GE(c, -1e-9);
+}
+
+TEST(SupplierRisk, SamplingPathIsDeterministic) {
+  const KMatrix km = committed_matrix();
+  // Force sampling by shrinking the enumeration budget.
+  RiskConfig cfg = risk_config();
+  cfg.max_enumeration = 2;
+  cfg.samples = 64;
+  const RiskReport a = assess_supplier_risk(km, three_suppliers(km, 0.3), cfg);
+  const RiskReport b = assess_supplier_risk(km, three_suppliers(km, 0.3), cfg);
+  EXPECT_FALSE(a.exhaustive);
+  EXPECT_EQ(a.scenarios_evaluated, 64u);
+  EXPECT_EQ(a.expected_penalty, b.expected_penalty);
+}
+
+TEST(SupplierRisk, SamplingApproximatesEnumeration) {
+  const KMatrix km = committed_matrix();
+  const auto risks = three_suppliers(km, 0.3);
+  RiskConfig exact_cfg = risk_config();
+  const RiskReport exact = assess_supplier_risk(km, risks, exact_cfg);
+  RiskConfig approx_cfg = risk_config();
+  approx_cfg.max_enumeration = 2;
+  approx_cfg.samples = 3000;
+  const RiskReport approx = assess_supplier_risk(km, risks, approx_cfg);
+  if (exact.expected_penalty > 0) {
+    EXPECT_NEAR(approx.expected_penalty / exact.expected_penalty, 1.0, 0.35);
+  } else {
+    EXPECT_NEAR(approx.expected_penalty, 0.0, 1e-9);
+  }
+}
+
+TEST(SupplierRisk, RejectsBadInputs) {
+  const KMatrix km = committed_matrix();
+  const RiskConfig cfg = risk_config();
+  EXPECT_THROW(assess_supplier_risk(km, {}, cfg), std::invalid_argument);
+  EXPECT_THROW(assess_supplier_risk(km, {{"NOPE", 0.1, 2.0}}, cfg), std::invalid_argument);
+  EXPECT_THROW(assess_supplier_risk(km, {{km.nodes()[0].name, 1.5, 2.0}}, cfg),
+               std::invalid_argument);
+  EXPECT_THROW(assess_supplier_risk(km, {{km.nodes()[0].name, 0.1, 0.5}}, cfg),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace symcan

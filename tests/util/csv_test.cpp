@@ -1,0 +1,82 @@
+#include "symcan/util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace symcan {
+namespace {
+
+TEST(ParseCsvLine, SimpleFields) {
+  const CsvRow row = parse_csv_line("a,b,c");
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], "a");
+  EXPECT_EQ(row[1], "b");
+  EXPECT_EQ(row[2], "c");
+}
+
+TEST(ParseCsvLine, EmptyFields) {
+  const CsvRow row = parse_csv_line("a,,c,");
+  ASSERT_EQ(row.size(), 4u);
+  EXPECT_EQ(row[1], "");
+  EXPECT_EQ(row[3], "");
+}
+
+TEST(ParseCsvLine, QuotedCommaAndQuote) {
+  const CsvRow row = parse_csv_line(R"("a,b","say ""hi""",c)");
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], "a,b");
+  EXPECT_EQ(row[1], "say \"hi\"");
+  EXPECT_EQ(row[2], "c");
+}
+
+TEST(ParseCsvLine, ToleratesCarriageReturn) {
+  const CsvRow row = parse_csv_line("a,b\r");
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[1], "b");
+}
+
+TEST(ParseCsv, SkipsCommentsAndBlankLines) {
+  const auto rows = parse_csv("# comment\na,b\n\nc,d\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "a");
+  EXPECT_EQ(rows[1][1], "d");
+}
+
+TEST(ParseCsv, HandlesMissingTrailingNewline) {
+  const auto rows = parse_csv("a,b\nc,d");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][0], "c");
+}
+
+TEST(FormatCsvRow, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(format_csv_row({"a", "b"}), "a,b");
+  EXPECT_EQ(format_csv_row({"a,b"}), "\"a,b\"");
+  EXPECT_EQ(format_csv_row({"say \"hi\""}), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(format_csv_row({" padded "}), "\" padded \"");
+}
+
+TEST(FormatCsvRow, RoundTripsThroughParse) {
+  const CsvRow original = {"plain", "with,comma", "with \"quote\"", ""};
+  const CsvRow parsed = parse_csv_line(format_csv_row(original));
+  EXPECT_EQ(parsed, original);
+}
+
+TEST(FileIo, WriteThenReadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/symcan_csv_test.txt";
+  write_file(path, "hello\nworld");
+  EXPECT_EQ(read_file(path), "hello\nworld");
+  std::remove(path.c_str());
+}
+
+TEST(FileIo, ReadMissingFileThrows) {
+  EXPECT_THROW(read_file("/nonexistent/definitely/missing.csv"), std::runtime_error);
+}
+
+TEST(FileIo, WriteToBadPathThrows) {
+  EXPECT_THROW(write_file("/nonexistent/dir/out.csv", "x"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace symcan

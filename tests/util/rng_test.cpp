@@ -1,0 +1,105 @@
+#include "symcan/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace symcan {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{123}, b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform_int(0, 1'000'000), b.uniform_int(0, 1'000'000));
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 50; ++i)
+    if (a.uniform_int(0, 1'000'000) == b.uniform_int(0, 1'000'000)) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng r{7};
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng r{7};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(r.uniform_int(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformRealStaysInRange) {
+  Rng r{9};
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform_real(0.25, 0.75);
+    EXPECT_GE(v, 0.25);
+    EXPECT_LT(v, 0.75);
+  }
+}
+
+TEST(Rng, UniformDurationInclusive) {
+  Rng r{11};
+  for (int i = 0; i < 500; ++i) {
+    const Duration d = r.uniform_duration(Duration::us(10), Duration::us(20));
+    EXPECT_GE(d, Duration::us(10));
+    EXPECT_LE(d, Duration::us(20));
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r{13};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, IndexBounds) {
+  Rng r{17};
+  for (int i = 0; i < 500; ++i) EXPECT_LT(r.index(7), 7u);
+}
+
+TEST(Rng, ExponentialIsNonNegativeAndRoughlyMean) {
+  Rng r{19};
+  double sum = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    const Duration d = r.exponential(Duration::ms(10));
+    EXPECT_GE(d, Duration::zero());
+    sum += d.as_ms();
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.5);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng r{23};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a{31};
+  Rng child = a.fork();
+  // The child should not replay the parent's stream.
+  Rng b{31};
+  b.fork();
+  int same = 0;
+  for (int i = 0; i < 50; ++i)
+    if (child.uniform_int(0, 1'000'000) == b.uniform_int(0, 1'000'000)) ++same;
+  EXPECT_LT(same, 50);
+}
+
+}  // namespace
+}  // namespace symcan

@@ -1,0 +1,57 @@
+#include "symcan/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace symcan {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t;
+  t.header({"name", "value"});
+  t.row({"a", "1"});
+  t.row({"longer", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Header, separator, two rows.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("------"), std::string::npos);
+  // Columns align: "a" padded to the width of "longer".
+  EXPECT_NE(out.find("a       1"), std::string::npos);
+}
+
+TEST(TextTable, HandlesRaggedRows) {
+  TextTable t;
+  t.row({"a"});
+  t.row({"b", "c", "d"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("d"), std::string::npos);
+}
+
+TEST(TextTable, RowCount) {
+  TextTable t;
+  EXPECT_EQ(t.row_count(), 0u);
+  t.row({"x"});
+  t.row({"y"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Strprintf, FormatsLikePrintf) {
+  EXPECT_EQ(strprintf("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(strprintf("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(strprintf("empty"), "empty");
+}
+
+TEST(AsciiBar, ScalesAndClamps) {
+  EXPECT_EQ(ascii_bar(5, 10, 10), "#####");
+  EXPECT_EQ(ascii_bar(10, 10, 4), "####");
+  EXPECT_EQ(ascii_bar(20, 10, 4), "####");  // clamped
+  EXPECT_EQ(ascii_bar(-1, 10, 4), "");
+  EXPECT_EQ(ascii_bar(1, 0, 4), "");  // degenerate max
+}
+
+}  // namespace
+}  // namespace symcan

@@ -1,0 +1,122 @@
+#include "symcan/util/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace symcan {
+namespace {
+
+TEST(Duration, NamedConstructorsScale) {
+  EXPECT_EQ(Duration::ns(1).count_ns(), 1);
+  EXPECT_EQ(Duration::us(1).count_ns(), 1'000);
+  EXPECT_EQ(Duration::ms(1).count_ns(), 1'000'000);
+  EXPECT_EQ(Duration::s(1).count_ns(), 1'000'000'000);
+}
+
+TEST(Duration, DefaultIsZero) {
+  Duration d;
+  EXPECT_EQ(d, Duration::zero());
+  EXPECT_EQ(d.count_ns(), 0);
+}
+
+TEST(Duration, ComparisonIsTotalOrder) {
+  EXPECT_LT(Duration::us(1), Duration::us(2));
+  EXPECT_LE(Duration::us(2), Duration::us(2));
+  EXPECT_GT(Duration::ms(1), Duration::us(999));
+  EXPECT_NE(Duration::ns(1), Duration::ns(2));
+}
+
+TEST(Duration, Arithmetic) {
+  EXPECT_EQ(Duration::ms(3) + Duration::ms(4), Duration::ms(7));
+  EXPECT_EQ(Duration::ms(3) - Duration::ms(4), -Duration::ms(1));
+  EXPECT_EQ(Duration::ms(3) * 4, Duration::ms(12));
+  EXPECT_EQ(5 * Duration::us(2), Duration::us(10));
+  Duration d = Duration::ms(1);
+  d += Duration::ms(2);
+  EXPECT_EQ(d, Duration::ms(3));
+  d -= Duration::ms(1);
+  EXPECT_EQ(d, Duration::ms(2));
+}
+
+TEST(Duration, DivisionByDurationTruncates) {
+  EXPECT_EQ(Duration::ms(7) / Duration::ms(2), 3);
+  EXPECT_EQ(Duration::ms(1) / Duration::ms(2), 0);
+}
+
+TEST(Duration, ScalarDivision) { EXPECT_EQ(Duration::ms(9) / 2, Duration::us(4500)); }
+
+TEST(Duration, InfiniteIsLargest) {
+  EXPECT_TRUE(Duration::infinite().is_infinite());
+  EXPECT_FALSE(Duration::s(100000).is_infinite());
+  EXPECT_GT(Duration::infinite(), Duration::s(1'000'000));
+}
+
+TEST(Duration, ConversionsToFloating) {
+  EXPECT_DOUBLE_EQ(Duration::us(1500).as_ms(), 1.5);
+  EXPECT_DOUBLE_EQ(Duration::ms(250).as_s(), 0.25);
+  EXPECT_DOUBLE_EQ(Duration::ns(500).as_us(), 0.5);
+}
+
+TEST(CeilDiv, ExactAndInexact) {
+  EXPECT_EQ(ceil_div(Duration::ms(10), Duration::ms(5)), 2);
+  EXPECT_EQ(ceil_div(Duration::ms(11), Duration::ms(5)), 3);
+  EXPECT_EQ(ceil_div(Duration::ns(1), Duration::ms(5)), 1);
+}
+
+TEST(CeilDiv, NonPositiveNumeratorIsZero) {
+  EXPECT_EQ(ceil_div(Duration::zero(), Duration::ms(5)), 0);
+  EXPECT_EQ(ceil_div(-Duration::ms(3), Duration::ms(5)), 0);
+}
+
+TEST(FloorDiv, RoundsTowardMinusInfinity) {
+  EXPECT_EQ(floor_div(Duration::ms(11), Duration::ms(5)), 2);
+  EXPECT_EQ(floor_div(Duration::ms(10), Duration::ms(5)), 2);
+  EXPECT_EQ(floor_div(-Duration::ms(1), Duration::ms(5)), -1);
+  EXPECT_EQ(floor_div(-Duration::ms(5), Duration::ms(5)), -1);
+  EXPECT_EQ(floor_div(-Duration::ms(6), Duration::ms(5)), -2);
+}
+
+TEST(MinMax, PickCorrectOperand) {
+  EXPECT_EQ(min(Duration::ms(1), Duration::ms(2)), Duration::ms(1));
+  EXPECT_EQ(max(Duration::ms(1), Duration::ms(2)), Duration::ms(2));
+}
+
+TEST(ToString, AdaptiveUnits) {
+  EXPECT_EQ(to_string(Duration::ns(500)), "500 ns");
+  EXPECT_EQ(to_string(Duration::us(2)), "2 us");
+  EXPECT_EQ(to_string(Duration::ms(3)), "3 ms");
+  EXPECT_EQ(to_string(Duration::s(4)), "4 s");
+  EXPECT_EQ(to_string(Duration::infinite()), "inf");
+  EXPECT_EQ(to_string(Duration::us(1500)), "1.5 ms");
+}
+
+TEST(ToString, StreamOperatorMatches) {
+  std::ostringstream os;
+  os << Duration::ms(7);
+  EXPECT_EQ(os.str(), "7 ms");
+}
+
+/// Property: for positive a and b, ceil_div*b >= a > (ceil_div-1)*b.
+class CeilDivProperty : public ::testing::TestWithParam<std::pair<std::int64_t, std::int64_t>> {};
+
+TEST_P(CeilDivProperty, BracketsQuotient) {
+  const auto [an, bn] = GetParam();
+  const Duration a = Duration::ns(an);
+  const Duration b = Duration::ns(bn);
+  const std::int64_t q = ceil_div(a, b);
+  EXPECT_GE(q * b, a);
+  if (q > 0) EXPECT_LT((q - 1) * b, a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CeilDivProperty,
+                         ::testing::Values(std::pair<std::int64_t, std::int64_t>{1, 1},
+                                           std::pair<std::int64_t, std::int64_t>{1000, 3},
+                                           std::pair<std::int64_t, std::int64_t>{999, 1000},
+                                           std::pair<std::int64_t, std::int64_t>{1000, 1000},
+                                           std::pair<std::int64_t, std::int64_t>{1001, 1000},
+                                           std::pair<std::int64_t, std::int64_t>{123456789, 97},
+                                           std::pair<std::int64_t, std::int64_t>{1, 1000000000}));
+
+}  // namespace
+}  // namespace symcan

@@ -1,0 +1,81 @@
+#include "symcan/workload/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "symcan/analysis/load.hpp"
+#include "symcan/workload/powertrain.hpp"
+
+namespace symcan {
+namespace {
+
+KMatrix base() { return generate_powertrain(PowertrainConfig::case_study()); }
+
+TEST(Diagnosis, AddsTwoLowPriorityStreams) {
+  KMatrix km = base();
+  const std::size_t before = km.size();
+  const auto added = add_diagnosis_traffic(km, DiagnosisConfig{});
+  EXPECT_EQ(added.size(), 2u);
+  EXPECT_EQ(km.size(), before + 2);
+  const CanMessage* req = km.find_message("DIAG_REQ");
+  const CanMessage* data = km.find_message("FLASH_DATA");
+  ASSERT_NE(req, nullptr);
+  ASSERT_NE(data, nullptr);
+  // Diagnostic IDs are the lowest priority on the bus.
+  for (const auto& m : km.messages()) {
+    if (m.name == "DIAG_REQ" || m.name == "FLASH_DATA") continue;
+    EXPECT_LT(m.id, req->id);
+  }
+  // Bursty activation.
+  EXPECT_GT(req->jitter, req->period);
+}
+
+TEST(Diagnosis, IncreasesBusLoadSubstantially) {
+  KMatrix km = base();
+  const double before = analyze_load(km, true).utilization;
+  add_diagnosis_traffic(km, DiagnosisConfig{});
+  const double after = analyze_load(km, true).utilization;
+  EXPECT_GT(after, before + 0.10);  // a flash session is heavy traffic
+}
+
+TEST(Diagnosis, RejectsUnknownNodes) {
+  KMatrix km = base();
+  DiagnosisConfig cfg;
+  cfg.tester_node = "NOPE";
+  EXPECT_THROW(add_diagnosis_traffic(km, cfg), std::invalid_argument);
+  cfg = DiagnosisConfig{};
+  cfg.target_node = "NOPE";
+  EXPECT_THROW(add_diagnosis_traffic(km, cfg), std::invalid_argument);
+}
+
+TEST(NOutOfM, DividesPeriodsOfSelectedMessages) {
+  KMatrix km = base();
+  const Duration p0 = km.messages()[0].period;
+  const std::string name = km.messages()[0].name;
+  apply_n_out_of_m(km, 3, [&](const CanMessage& m) { return m.name == name; });
+  EXPECT_EQ(km.messages()[0].period, p0 / 3);
+}
+
+TEST(NOutOfM, IncreasesUtilizationProportionally) {
+  KMatrix km = base();
+  const double before = km.utilization(true);
+  apply_n_out_of_m(km, 2, [](const CanMessage&) { return true; });
+  EXPECT_NEAR(km.utilization(true), 2 * before, 0.01);
+}
+
+TEST(NOutOfM, FactorOneIsIdentity) {
+  KMatrix km = base();
+  const double before = km.utilization(true);
+  apply_n_out_of_m(km, 1, [](const CanMessage&) { return true; });
+  EXPECT_DOUBLE_EQ(km.utilization(true), before);
+}
+
+TEST(NOutOfM, RejectsBadFactor) {
+  KMatrix km = base();
+  EXPECT_THROW(apply_n_out_of_m(km, 0, [](const CanMessage&) { return true; }),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace symcan

@@ -1,0 +1,109 @@
+#include "symcan/workload/vehicle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "symcan/analysis/presets.hpp"
+#include "symcan/core/engine.hpp"
+
+namespace symcan {
+namespace {
+
+TEST(Vehicle, StructureMatchesConfig) {
+  VehicleConfig cfg;
+  const System sys = generate_vehicle(cfg);
+  EXPECT_EQ(sys.buses().size(), 2u);
+  ASSERT_TRUE(sys.buses().contains("powertrain"));
+  ASSERT_TRUE(sys.buses().contains("body"));
+  // Gateway ECU exists and hosts one forwarding task per stream.
+  ASSERT_TRUE(sys.ecus().contains("GW"));
+  EXPECT_EQ(sys.ecus().at("GW").size(),
+            static_cast<std::size_t>(2 * cfg.gateway_streams_per_direction));
+  EXPECT_EQ(sys.paths().size(), static_cast<std::size_t>(2 * cfg.gateway_streams_per_direction));
+  EXPECT_NO_THROW(sys.validate());
+}
+
+TEST(Vehicle, DeterministicBySeed) {
+  const System a = generate_vehicle(VehicleConfig{});
+  const System b = generate_vehicle(VehicleConfig{});
+  ASSERT_EQ(a.buses().size(), b.buses().size());
+  for (const auto& [name, km] : a.buses()) {
+    const KMatrix& other = b.buses().at(name);
+    ASSERT_EQ(km.size(), other.size());
+    for (std::size_t i = 0; i < km.size(); ++i) {
+      EXPECT_EQ(km.messages()[i].id, other.messages()[i].id);
+      EXPECT_EQ(km.messages()[i].period, other.messages()[i].period);
+    }
+  }
+}
+
+TEST(Vehicle, BusesHitTheirUtilizationTargets) {
+  VehicleConfig cfg;
+  const System sys = generate_vehicle(cfg);
+  // The generators hit their targets; the cross-bus streams then add
+  // their own load on top (up to ~1.1 ms frame time per 20 ms period on
+  // the slow body bus), so the observed load sits in [target, target+slack].
+  const double pt = sys.buses().at("powertrain").utilization(true);
+  const double body = sys.buses().at("body").utilization(true);
+  EXPECT_GE(pt, cfg.powertrain.target_utilization - 0.01);
+  EXPECT_LE(pt, cfg.powertrain.target_utilization + 0.10);
+  EXPECT_GE(body, cfg.body_target_utilization - 0.01);
+  EXPECT_LE(body, cfg.body_target_utilization + 0.25);
+}
+
+TEST(Vehicle, EngineConvergesAndBoundsCrossBusPaths) {
+  VehicleConfig cfg;
+  // Lighter power-train bus so the cross-bus streams are schedulable.
+  cfg.powertrain.target_utilization = 0.45;
+  const System sys = generate_vehicle(cfg);
+  EngineConfig ecfg;
+  ecfg.bus.worst_case_stuffing = true;
+  ecfg.bus.deadline_override = DeadlinePolicy::kPeriod;
+  Engine engine{sys, ecfg};
+  const SystemResult res = engine.analyze();
+  EXPECT_TRUE(res.converged);
+  ASSERT_EQ(res.paths.size(), sys.paths().size());
+  for (const auto& p : res.paths) {
+    EXPECT_FALSE(p.latency_max.is_infinite()) << p.name;
+    EXPECT_GT(p.latency_max, p.latency_min) << p.name;
+    // Three hops: the latency covers at least source frame + forwarding
+    // task + forwarded frame best cases.
+    EXPECT_GT(p.latency_min, Duration::us(200)) << p.name;
+  }
+}
+
+TEST(Vehicle, GatewayTasksInheritStreamActivation) {
+  const System sys = generate_vehicle(VehicleConfig{});
+  EngineConfig ecfg;
+  ecfg.bus.deadline_override = DeadlinePolicy::kPeriod;
+  const SystemResult res = Engine{sys, ecfg}.analyze();
+  // Every forwarding task executed the analysis (finite wcrt on a lightly
+  // loaded gateway CPU).
+  const EcuResult& gw = res.ecus.at("GW");
+  for (const auto& t : gw.tasks) EXPECT_FALSE(t.wcrt.is_infinite()) << t.name;
+}
+
+TEST(Vehicle, RejectsBadConfig) {
+  VehicleConfig cfg;
+  cfg.gateway_streams_per_direction = -1;
+  EXPECT_THROW(generate_vehicle(cfg), std::invalid_argument);
+  cfg = VehicleConfig{};
+  cfg.tasks_per_ecu = 0;
+  EXPECT_THROW(generate_vehicle(cfg), std::invalid_argument);
+}
+
+TEST(Vehicle, MoreStreamsMoreLoad) {
+  VehicleConfig few;
+  few.gateway_streams_per_direction = 1;
+  VehicleConfig many;
+  many.gateway_streams_per_direction = 6;
+  const System a = generate_vehicle(few);
+  const System b = generate_vehicle(many);
+  EXPECT_LT(a.buses().at("powertrain").size(), b.buses().at("powertrain").size());
+  EXPECT_LT(a.buses().at("powertrain").utilization(true),
+            b.buses().at("powertrain").utilization(true));
+}
+
+}  // namespace
+}  // namespace symcan

@@ -1,0 +1,16 @@
+// The symcan command-line tool. All logic lives in symcan/cli (library)
+// so the commands are unit-tested; this translation unit only adapts
+// argv and the standard streams.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "symcan/cli/commands.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return symcan::cli::run_cli(args, std::cout, std::cerr);
+}
