@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_controller.dir/abl_controller.cpp.o"
+  "CMakeFiles/abl_controller.dir/abl_controller.cpp.o.d"
+  "abl_controller"
+  "abl_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

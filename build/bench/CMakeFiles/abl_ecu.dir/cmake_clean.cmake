@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ecu.dir/abl_ecu.cpp.o"
+  "CMakeFiles/abl_ecu.dir/abl_ecu.cpp.o.d"
+  "abl_ecu"
+  "abl_ecu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ecu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

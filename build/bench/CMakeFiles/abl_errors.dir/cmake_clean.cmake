@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_errors.dir/abl_errors.cpp.o"
+  "CMakeFiles/abl_errors.dir/abl_errors.cpp.o.d"
+  "abl_errors"
+  "abl_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

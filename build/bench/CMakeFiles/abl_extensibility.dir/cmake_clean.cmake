@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_extensibility.dir/abl_extensibility.cpp.o"
+  "CMakeFiles/abl_extensibility.dir/abl_extensibility.cpp.o.d"
+  "abl_extensibility"
+  "abl_extensibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_extensibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_flashing.dir/abl_flashing.cpp.o"
+  "CMakeFiles/abl_flashing.dir/abl_flashing.cpp.o.d"
+  "abl_flashing"
+  "abl_flashing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_flashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_gateway.dir/abl_gateway.cpp.o"
+  "CMakeFiles/abl_gateway.dir/abl_gateway.cpp.o.d"
+  "abl_gateway"
+  "abl_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_offsets.dir/abl_offsets.cpp.o"
+  "CMakeFiles/abl_offsets.dir/abl_offsets.cpp.o.d"
+  "abl_offsets"
+  "abl_offsets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_offsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

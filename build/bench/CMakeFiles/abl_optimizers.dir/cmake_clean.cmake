@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_optimizers.dir/abl_optimizers.cpp.o"
+  "CMakeFiles/abl_optimizers.dir/abl_optimizers.cpp.o.d"
+  "abl_optimizers"
+  "abl_optimizers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_optimizers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_risk.dir/abl_risk.cpp.o"
+  "CMakeFiles/abl_risk.dir/abl_risk.cpp.o.d"
+  "abl_risk"
+  "abl_risk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_risk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

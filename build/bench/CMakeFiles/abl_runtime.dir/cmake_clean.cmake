@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_runtime.dir/abl_runtime.cpp.o"
+  "CMakeFiles/abl_runtime.dir/abl_runtime.cpp.o.d"
+  "abl_runtime"
+  "abl_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

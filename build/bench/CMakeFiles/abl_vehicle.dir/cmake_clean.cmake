@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_vehicle.dir/abl_vehicle.cpp.o"
+  "CMakeFiles/abl_vehicle.dir/abl_vehicle.cpp.o.d"
+  "abl_vehicle"
+  "abl_vehicle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_vehicle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_load.dir/fig1_load.cpp.o"
+  "CMakeFiles/fig1_load.dir/fig1_load.cpp.o.d"
+  "fig1_load"
+  "fig1_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

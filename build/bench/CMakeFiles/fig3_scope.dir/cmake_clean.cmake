@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_scope.dir/fig3_scope.cpp.o"
+  "CMakeFiles/fig3_scope.dir/fig3_scope.cpp.o.d"
+  "fig3_scope"
+  "fig3_scope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_scope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

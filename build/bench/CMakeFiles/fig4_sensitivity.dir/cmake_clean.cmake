@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_sensitivity.dir/fig4_sensitivity.cpp.o"
+  "CMakeFiles/fig4_sensitivity.dir/fig4_sensitivity.cpp.o.d"
+  "fig4_sensitivity"
+  "fig4_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

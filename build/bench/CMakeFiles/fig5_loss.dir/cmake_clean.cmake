@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_loss.dir/fig5_loss.cpp.o"
+  "CMakeFiles/fig5_loss.dir/fig5_loss.cpp.o.d"
+  "fig5_loss"
+  "fig5_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

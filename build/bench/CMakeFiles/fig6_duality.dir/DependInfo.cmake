@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig6_duality.cpp" "bench/CMakeFiles/fig6_duality.dir/fig6_duality.cpp.o" "gcc" "bench/CMakeFiles/fig6_duality.dir/fig6_duality.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/symcan/cli/CMakeFiles/symcan_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/symcan/sim/CMakeFiles/symcan_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/symcan/sensitivity/CMakeFiles/symcan_sensitivity.dir/DependInfo.cmake"
+  "/root/repo/build/src/symcan/opt/CMakeFiles/symcan_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/symcan/supplychain/CMakeFiles/symcan_supplychain.dir/DependInfo.cmake"
+  "/root/repo/build/src/symcan/workload/CMakeFiles/symcan_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/symcan/core/CMakeFiles/symcan_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/symcan/analysis/CMakeFiles/symcan_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/symcan/can/CMakeFiles/symcan_can.dir/DependInfo.cmake"
+  "/root/repo/build/src/symcan/model/CMakeFiles/symcan_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/symcan/util/CMakeFiles/symcan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_duality.dir/fig6_duality.cpp.o"
+  "CMakeFiles/fig6_duality.dir/fig6_duality.cpp.o.d"
+  "fig6_duality"
+  "fig6_duality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_duality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_flashing_diagnosis.dir/flashing_diagnosis.cpp.o"
+  "CMakeFiles/example_flashing_diagnosis.dir/flashing_diagnosis.cpp.o.d"
+  "flashing_diagnosis"
+  "flashing_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_flashing_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_powertrain_whatif.dir/powertrain_whatif.cpp.o"
+  "CMakeFiles/example_powertrain_whatif.dir/powertrain_whatif.cpp.o.d"
+  "powertrain_whatif"
+  "powertrain_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_powertrain_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

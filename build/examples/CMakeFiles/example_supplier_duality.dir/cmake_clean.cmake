@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_supplier_duality.dir/supplier_duality.cpp.o"
+  "CMakeFiles/example_supplier_duality.dir/supplier_duality.cpp.o.d"
+  "supplier_duality"
+  "supplier_duality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_supplier_duality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

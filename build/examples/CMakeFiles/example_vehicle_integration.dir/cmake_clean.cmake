@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_vehicle_integration.dir/vehicle_integration.cpp.o"
+  "CMakeFiles/example_vehicle_integration.dir/vehicle_integration.cpp.o.d"
+  "vehicle_integration"
+  "vehicle_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_vehicle_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

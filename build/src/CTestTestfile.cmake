@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("symcan/util")
+subdirs("symcan/model")
+subdirs("symcan/can")
+subdirs("symcan/analysis")
+subdirs("symcan/core")
+subdirs("symcan/sim")
+subdirs("symcan/sensitivity")
+subdirs("symcan/opt")
+subdirs("symcan/supplychain")
+subdirs("symcan/workload")
+subdirs("symcan/cli")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/symcan/analysis/buffer.cpp" "src/symcan/analysis/CMakeFiles/symcan_analysis.dir/buffer.cpp.o" "gcc" "src/symcan/analysis/CMakeFiles/symcan_analysis.dir/buffer.cpp.o.d"
+  "/root/repo/src/symcan/analysis/can_rta.cpp" "src/symcan/analysis/CMakeFiles/symcan_analysis.dir/can_rta.cpp.o" "gcc" "src/symcan/analysis/CMakeFiles/symcan_analysis.dir/can_rta.cpp.o.d"
+  "/root/repo/src/symcan/analysis/ecu_rta.cpp" "src/symcan/analysis/CMakeFiles/symcan_analysis.dir/ecu_rta.cpp.o" "gcc" "src/symcan/analysis/CMakeFiles/symcan_analysis.dir/ecu_rta.cpp.o.d"
+  "/root/repo/src/symcan/analysis/error_model.cpp" "src/symcan/analysis/CMakeFiles/symcan_analysis.dir/error_model.cpp.o" "gcc" "src/symcan/analysis/CMakeFiles/symcan_analysis.dir/error_model.cpp.o.d"
+  "/root/repo/src/symcan/analysis/load.cpp" "src/symcan/analysis/CMakeFiles/symcan_analysis.dir/load.cpp.o" "gcc" "src/symcan/analysis/CMakeFiles/symcan_analysis.dir/load.cpp.o.d"
+  "/root/repo/src/symcan/analysis/tt_schedule.cpp" "src/symcan/analysis/CMakeFiles/symcan_analysis.dir/tt_schedule.cpp.o" "gcc" "src/symcan/analysis/CMakeFiles/symcan_analysis.dir/tt_schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/symcan/can/CMakeFiles/symcan_can.dir/DependInfo.cmake"
+  "/root/repo/build/src/symcan/model/CMakeFiles/symcan_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/symcan/util/CMakeFiles/symcan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symcan_analysis.dir/buffer.cpp.o"
+  "CMakeFiles/symcan_analysis.dir/buffer.cpp.o.d"
+  "CMakeFiles/symcan_analysis.dir/can_rta.cpp.o"
+  "CMakeFiles/symcan_analysis.dir/can_rta.cpp.o.d"
+  "CMakeFiles/symcan_analysis.dir/ecu_rta.cpp.o"
+  "CMakeFiles/symcan_analysis.dir/ecu_rta.cpp.o.d"
+  "CMakeFiles/symcan_analysis.dir/error_model.cpp.o"
+  "CMakeFiles/symcan_analysis.dir/error_model.cpp.o.d"
+  "CMakeFiles/symcan_analysis.dir/load.cpp.o"
+  "CMakeFiles/symcan_analysis.dir/load.cpp.o.d"
+  "CMakeFiles/symcan_analysis.dir/tt_schedule.cpp.o"
+  "CMakeFiles/symcan_analysis.dir/tt_schedule.cpp.o.d"
+  "libsymcan_analysis.a"
+  "libsymcan_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symcan_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

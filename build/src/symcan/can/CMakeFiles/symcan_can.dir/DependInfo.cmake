@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/symcan/can/controller.cpp" "src/symcan/can/CMakeFiles/symcan_can.dir/controller.cpp.o" "gcc" "src/symcan/can/CMakeFiles/symcan_can.dir/controller.cpp.o.d"
+  "/root/repo/src/symcan/can/dbc_import.cpp" "src/symcan/can/CMakeFiles/symcan_can.dir/dbc_import.cpp.o" "gcc" "src/symcan/can/CMakeFiles/symcan_can.dir/dbc_import.cpp.o.d"
+  "/root/repo/src/symcan/can/frame.cpp" "src/symcan/can/CMakeFiles/symcan_can.dir/frame.cpp.o" "gcc" "src/symcan/can/CMakeFiles/symcan_can.dir/frame.cpp.o.d"
+  "/root/repo/src/symcan/can/kmatrix.cpp" "src/symcan/can/CMakeFiles/symcan_can.dir/kmatrix.cpp.o" "gcc" "src/symcan/can/CMakeFiles/symcan_can.dir/kmatrix.cpp.o.d"
+  "/root/repo/src/symcan/can/kmatrix_io.cpp" "src/symcan/can/CMakeFiles/symcan_can.dir/kmatrix_io.cpp.o" "gcc" "src/symcan/can/CMakeFiles/symcan_can.dir/kmatrix_io.cpp.o.d"
+  "/root/repo/src/symcan/can/message.cpp" "src/symcan/can/CMakeFiles/symcan_can.dir/message.cpp.o" "gcc" "src/symcan/can/CMakeFiles/symcan_can.dir/message.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/symcan/model/CMakeFiles/symcan_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/symcan/util/CMakeFiles/symcan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symcan_can.dir/controller.cpp.o"
+  "CMakeFiles/symcan_can.dir/controller.cpp.o.d"
+  "CMakeFiles/symcan_can.dir/dbc_import.cpp.o"
+  "CMakeFiles/symcan_can.dir/dbc_import.cpp.o.d"
+  "CMakeFiles/symcan_can.dir/frame.cpp.o"
+  "CMakeFiles/symcan_can.dir/frame.cpp.o.d"
+  "CMakeFiles/symcan_can.dir/kmatrix.cpp.o"
+  "CMakeFiles/symcan_can.dir/kmatrix.cpp.o.d"
+  "CMakeFiles/symcan_can.dir/kmatrix_io.cpp.o"
+  "CMakeFiles/symcan_can.dir/kmatrix_io.cpp.o.d"
+  "CMakeFiles/symcan_can.dir/message.cpp.o"
+  "CMakeFiles/symcan_can.dir/message.cpp.o.d"
+  "libsymcan_can.a"
+  "libsymcan_can.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symcan_can.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsymcan_can.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symcan_cli.dir/args.cpp.o"
+  "CMakeFiles/symcan_cli.dir/args.cpp.o.d"
+  "CMakeFiles/symcan_cli.dir/commands.cpp.o"
+  "CMakeFiles/symcan_cli.dir/commands.cpp.o.d"
+  "libsymcan_cli.a"
+  "libsymcan_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symcan_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

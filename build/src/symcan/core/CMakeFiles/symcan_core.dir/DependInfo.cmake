@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/symcan/core/engine.cpp" "src/symcan/core/CMakeFiles/symcan_core.dir/engine.cpp.o" "gcc" "src/symcan/core/CMakeFiles/symcan_core.dir/engine.cpp.o.d"
+  "/root/repo/src/symcan/core/gateway.cpp" "src/symcan/core/CMakeFiles/symcan_core.dir/gateway.cpp.o" "gcc" "src/symcan/core/CMakeFiles/symcan_core.dir/gateway.cpp.o.d"
+  "/root/repo/src/symcan/core/system.cpp" "src/symcan/core/CMakeFiles/symcan_core.dir/system.cpp.o" "gcc" "src/symcan/core/CMakeFiles/symcan_core.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/symcan/analysis/CMakeFiles/symcan_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/symcan/can/CMakeFiles/symcan_can.dir/DependInfo.cmake"
+  "/root/repo/build/src/symcan/model/CMakeFiles/symcan_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/symcan/util/CMakeFiles/symcan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symcan_core.dir/engine.cpp.o"
+  "CMakeFiles/symcan_core.dir/engine.cpp.o.d"
+  "CMakeFiles/symcan_core.dir/gateway.cpp.o"
+  "CMakeFiles/symcan_core.dir/gateway.cpp.o.d"
+  "CMakeFiles/symcan_core.dir/system.cpp.o"
+  "CMakeFiles/symcan_core.dir/system.cpp.o.d"
+  "libsymcan_core.a"
+  "libsymcan_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symcan_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/symcan/model/converters.cpp" "src/symcan/model/CMakeFiles/symcan_model.dir/converters.cpp.o" "gcc" "src/symcan/model/CMakeFiles/symcan_model.dir/converters.cpp.o.d"
+  "/root/repo/src/symcan/model/event_model.cpp" "src/symcan/model/CMakeFiles/symcan_model.dir/event_model.cpp.o" "gcc" "src/symcan/model/CMakeFiles/symcan_model.dir/event_model.cpp.o.d"
+  "/root/repo/src/symcan/model/task.cpp" "src/symcan/model/CMakeFiles/symcan_model.dir/task.cpp.o" "gcc" "src/symcan/model/CMakeFiles/symcan_model.dir/task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/symcan/util/CMakeFiles/symcan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symcan_model.dir/converters.cpp.o"
+  "CMakeFiles/symcan_model.dir/converters.cpp.o.d"
+  "CMakeFiles/symcan_model.dir/event_model.cpp.o"
+  "CMakeFiles/symcan_model.dir/event_model.cpp.o.d"
+  "CMakeFiles/symcan_model.dir/task.cpp.o"
+  "CMakeFiles/symcan_model.dir/task.cpp.o.d"
+  "libsymcan_model.a"
+  "libsymcan_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symcan_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsymcan_model.a"
+)

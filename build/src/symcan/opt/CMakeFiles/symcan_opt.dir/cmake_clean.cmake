@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symcan_opt.dir/assignment.cpp.o"
+  "CMakeFiles/symcan_opt.dir/assignment.cpp.o.d"
+  "CMakeFiles/symcan_opt.dir/ga.cpp.o"
+  "CMakeFiles/symcan_opt.dir/ga.cpp.o.d"
+  "CMakeFiles/symcan_opt.dir/nsga2.cpp.o"
+  "CMakeFiles/symcan_opt.dir/nsga2.cpp.o.d"
+  "libsymcan_opt.a"
+  "libsymcan_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symcan_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/symcan/sensitivity/extensibility.cpp" "src/symcan/sensitivity/CMakeFiles/symcan_sensitivity.dir/extensibility.cpp.o" "gcc" "src/symcan/sensitivity/CMakeFiles/symcan_sensitivity.dir/extensibility.cpp.o.d"
+  "/root/repo/src/symcan/sensitivity/robustness.cpp" "src/symcan/sensitivity/CMakeFiles/symcan_sensitivity.dir/robustness.cpp.o" "gcc" "src/symcan/sensitivity/CMakeFiles/symcan_sensitivity.dir/robustness.cpp.o.d"
+  "/root/repo/src/symcan/sensitivity/sweep.cpp" "src/symcan/sensitivity/CMakeFiles/symcan_sensitivity.dir/sweep.cpp.o" "gcc" "src/symcan/sensitivity/CMakeFiles/symcan_sensitivity.dir/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/symcan/analysis/CMakeFiles/symcan_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/symcan/can/CMakeFiles/symcan_can.dir/DependInfo.cmake"
+  "/root/repo/build/src/symcan/workload/CMakeFiles/symcan_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/symcan/util/CMakeFiles/symcan_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/symcan/core/CMakeFiles/symcan_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/symcan/model/CMakeFiles/symcan_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

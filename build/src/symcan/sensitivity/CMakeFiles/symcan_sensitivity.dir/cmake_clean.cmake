@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symcan_sensitivity.dir/extensibility.cpp.o"
+  "CMakeFiles/symcan_sensitivity.dir/extensibility.cpp.o.d"
+  "CMakeFiles/symcan_sensitivity.dir/robustness.cpp.o"
+  "CMakeFiles/symcan_sensitivity.dir/robustness.cpp.o.d"
+  "CMakeFiles/symcan_sensitivity.dir/sweep.cpp.o"
+  "CMakeFiles/symcan_sensitivity.dir/sweep.cpp.o.d"
+  "libsymcan_sensitivity.a"
+  "libsymcan_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symcan_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

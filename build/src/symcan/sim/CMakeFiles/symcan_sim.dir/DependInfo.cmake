@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/symcan/sim/ecu_simulator.cpp" "src/symcan/sim/CMakeFiles/symcan_sim.dir/ecu_simulator.cpp.o" "gcc" "src/symcan/sim/CMakeFiles/symcan_sim.dir/ecu_simulator.cpp.o.d"
+  "/root/repo/src/symcan/sim/simulator.cpp" "src/symcan/sim/CMakeFiles/symcan_sim.dir/simulator.cpp.o" "gcc" "src/symcan/sim/CMakeFiles/symcan_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/symcan/sim/trace.cpp" "src/symcan/sim/CMakeFiles/symcan_sim.dir/trace.cpp.o" "gcc" "src/symcan/sim/CMakeFiles/symcan_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/symcan/can/CMakeFiles/symcan_can.dir/DependInfo.cmake"
+  "/root/repo/build/src/symcan/model/CMakeFiles/symcan_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/symcan/util/CMakeFiles/symcan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

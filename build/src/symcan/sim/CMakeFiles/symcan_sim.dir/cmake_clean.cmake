@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symcan_sim.dir/ecu_simulator.cpp.o"
+  "CMakeFiles/symcan_sim.dir/ecu_simulator.cpp.o.d"
+  "CMakeFiles/symcan_sim.dir/simulator.cpp.o"
+  "CMakeFiles/symcan_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/symcan_sim.dir/trace.cpp.o"
+  "CMakeFiles/symcan_sim.dir/trace.cpp.o.d"
+  "libsymcan_sim.a"
+  "libsymcan_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symcan_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

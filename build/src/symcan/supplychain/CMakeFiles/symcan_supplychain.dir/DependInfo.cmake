@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/symcan/supplychain/budget.cpp" "src/symcan/supplychain/CMakeFiles/symcan_supplychain.dir/budget.cpp.o" "gcc" "src/symcan/supplychain/CMakeFiles/symcan_supplychain.dir/budget.cpp.o.d"
+  "/root/repo/src/symcan/supplychain/datasheet.cpp" "src/symcan/supplychain/CMakeFiles/symcan_supplychain.dir/datasheet.cpp.o" "gcc" "src/symcan/supplychain/CMakeFiles/symcan_supplychain.dir/datasheet.cpp.o.d"
+  "/root/repo/src/symcan/supplychain/refinement.cpp" "src/symcan/supplychain/CMakeFiles/symcan_supplychain.dir/refinement.cpp.o" "gcc" "src/symcan/supplychain/CMakeFiles/symcan_supplychain.dir/refinement.cpp.o.d"
+  "/root/repo/src/symcan/supplychain/risk.cpp" "src/symcan/supplychain/CMakeFiles/symcan_supplychain.dir/risk.cpp.o" "gcc" "src/symcan/supplychain/CMakeFiles/symcan_supplychain.dir/risk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/symcan/analysis/CMakeFiles/symcan_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/symcan/can/CMakeFiles/symcan_can.dir/DependInfo.cmake"
+  "/root/repo/build/src/symcan/workload/CMakeFiles/symcan_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/symcan/util/CMakeFiles/symcan_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/symcan/core/CMakeFiles/symcan_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/symcan/model/CMakeFiles/symcan_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symcan_supplychain.dir/budget.cpp.o"
+  "CMakeFiles/symcan_supplychain.dir/budget.cpp.o.d"
+  "CMakeFiles/symcan_supplychain.dir/datasheet.cpp.o"
+  "CMakeFiles/symcan_supplychain.dir/datasheet.cpp.o.d"
+  "CMakeFiles/symcan_supplychain.dir/refinement.cpp.o"
+  "CMakeFiles/symcan_supplychain.dir/refinement.cpp.o.d"
+  "CMakeFiles/symcan_supplychain.dir/risk.cpp.o"
+  "CMakeFiles/symcan_supplychain.dir/risk.cpp.o.d"
+  "libsymcan_supplychain.a"
+  "libsymcan_supplychain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symcan_supplychain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symcan_util.dir/csv.cpp.o"
+  "CMakeFiles/symcan_util.dir/csv.cpp.o.d"
+  "CMakeFiles/symcan_util.dir/table.cpp.o"
+  "CMakeFiles/symcan_util.dir/table.cpp.o.d"
+  "CMakeFiles/symcan_util.dir/time.cpp.o"
+  "CMakeFiles/symcan_util.dir/time.cpp.o.d"
+  "libsymcan_util.a"
+  "libsymcan_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symcan_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symcan_workload.dir/powertrain.cpp.o"
+  "CMakeFiles/symcan_workload.dir/powertrain.cpp.o.d"
+  "CMakeFiles/symcan_workload.dir/scenario.cpp.o"
+  "CMakeFiles/symcan_workload.dir/scenario.cpp.o.d"
+  "CMakeFiles/symcan_workload.dir/vehicle.cpp.o"
+  "CMakeFiles/symcan_workload.dir/vehicle.cpp.o.d"
+  "libsymcan_workload.a"
+  "libsymcan_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symcan_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

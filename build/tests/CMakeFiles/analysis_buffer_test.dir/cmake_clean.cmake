@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_buffer_test.dir/analysis/buffer_test.cpp.o"
+  "CMakeFiles/analysis_buffer_test.dir/analysis/buffer_test.cpp.o.d"
+  "analysis_buffer_test"
+  "analysis_buffer_test.pdb"
+  "analysis_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

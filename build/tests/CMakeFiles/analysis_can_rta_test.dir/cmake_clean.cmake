@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_can_rta_test.dir/analysis/can_rta_test.cpp.o"
+  "CMakeFiles/analysis_can_rta_test.dir/analysis/can_rta_test.cpp.o.d"
+  "analysis_can_rta_test"
+  "analysis_can_rta_test.pdb"
+  "analysis_can_rta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_can_rta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_error_model_test.dir/analysis/error_model_test.cpp.o"
+  "CMakeFiles/analysis_error_model_test.dir/analysis/error_model_test.cpp.o.d"
+  "analysis_error_model_test"
+  "analysis_error_model_test.pdb"
+  "analysis_error_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_error_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

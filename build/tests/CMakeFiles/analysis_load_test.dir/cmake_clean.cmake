@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_load_test.dir/analysis/load_test.cpp.o"
+  "CMakeFiles/analysis_load_test.dir/analysis/load_test.cpp.o.d"
+  "analysis_load_test"
+  "analysis_load_test.pdb"
+  "analysis_load_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_load_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_tt_schedule_test.dir/analysis/tt_schedule_test.cpp.o"
+  "CMakeFiles/analysis_tt_schedule_test.dir/analysis/tt_schedule_test.cpp.o.d"
+  "analysis_tt_schedule_test"
+  "analysis_tt_schedule_test.pdb"
+  "analysis_tt_schedule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_tt_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

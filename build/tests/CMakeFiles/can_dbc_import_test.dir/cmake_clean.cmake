@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/can_dbc_import_test.dir/can/dbc_import_test.cpp.o"
+  "CMakeFiles/can_dbc_import_test.dir/can/dbc_import_test.cpp.o.d"
+  "can_dbc_import_test"
+  "can_dbc_import_test.pdb"
+  "can_dbc_import_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/can_dbc_import_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

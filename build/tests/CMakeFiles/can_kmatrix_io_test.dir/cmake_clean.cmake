@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/can_kmatrix_io_test.dir/can/kmatrix_io_test.cpp.o"
+  "CMakeFiles/can_kmatrix_io_test.dir/can/kmatrix_io_test.cpp.o.d"
+  "can_kmatrix_io_test"
+  "can_kmatrix_io_test.pdb"
+  "can_kmatrix_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/can_kmatrix_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/can_message_test.dir/can/message_test.cpp.o"
+  "CMakeFiles/can_message_test.dir/can/message_test.cpp.o.d"
+  "can_message_test"
+  "can_message_test.pdb"
+  "can_message_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/can_message_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

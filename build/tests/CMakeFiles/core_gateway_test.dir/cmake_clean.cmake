@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_gateway_test.dir/core/gateway_test.cpp.o"
+  "CMakeFiles/core_gateway_test.dir/core/gateway_test.cpp.o.d"
+  "core_gateway_test"
+  "core_gateway_test.pdb"
+  "core_gateway_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_gateway_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

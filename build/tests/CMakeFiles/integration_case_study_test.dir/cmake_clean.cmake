@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_case_study_test.dir/integration/case_study_test.cpp.o"
+  "CMakeFiles/integration_case_study_test.dir/integration/case_study_test.cpp.o.d"
+  "integration_case_study_test"
+  "integration_case_study_test.pdb"
+  "integration_case_study_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_case_study_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_converters_test.dir/model/converters_test.cpp.o"
+  "CMakeFiles/model_converters_test.dir/model/converters_test.cpp.o.d"
+  "model_converters_test"
+  "model_converters_test.pdb"
+  "model_converters_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_converters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_task_test.dir/model/task_test.cpp.o"
+  "CMakeFiles/model_task_test.dir/model/task_test.cpp.o.d"
+  "model_task_test"
+  "model_task_test.pdb"
+  "model_task_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_task_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

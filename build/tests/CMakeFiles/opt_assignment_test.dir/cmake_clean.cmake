@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_assignment_test.dir/opt/assignment_test.cpp.o"
+  "CMakeFiles/opt_assignment_test.dir/opt/assignment_test.cpp.o.d"
+  "opt_assignment_test"
+  "opt_assignment_test.pdb"
+  "opt_assignment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_assignment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_ga_test.dir/opt/ga_test.cpp.o"
+  "CMakeFiles/opt_ga_test.dir/opt/ga_test.cpp.o.d"
+  "opt_ga_test"
+  "opt_ga_test.pdb"
+  "opt_ga_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_ga_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

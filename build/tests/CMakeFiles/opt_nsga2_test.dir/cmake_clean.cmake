@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_nsga2_test.dir/opt/nsga2_test.cpp.o"
+  "CMakeFiles/opt_nsga2_test.dir/opt/nsga2_test.cpp.o.d"
+  "opt_nsga2_test"
+  "opt_nsga2_test.pdb"
+  "opt_nsga2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_nsga2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

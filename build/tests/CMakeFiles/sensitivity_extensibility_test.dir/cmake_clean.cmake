@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_extensibility_test.dir/sensitivity/extensibility_test.cpp.o"
+  "CMakeFiles/sensitivity_extensibility_test.dir/sensitivity/extensibility_test.cpp.o.d"
+  "sensitivity_extensibility_test"
+  "sensitivity_extensibility_test.pdb"
+  "sensitivity_extensibility_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_extensibility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

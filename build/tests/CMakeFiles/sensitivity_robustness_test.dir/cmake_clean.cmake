@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_robustness_test.dir/sensitivity/robustness_test.cpp.o"
+  "CMakeFiles/sensitivity_robustness_test.dir/sensitivity/robustness_test.cpp.o.d"
+  "sensitivity_robustness_test"
+  "sensitivity_robustness_test.pdb"
+  "sensitivity_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

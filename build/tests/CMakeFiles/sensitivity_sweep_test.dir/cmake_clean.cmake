@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_sweep_test.dir/sensitivity/sweep_test.cpp.o"
+  "CMakeFiles/sensitivity_sweep_test.dir/sensitivity/sweep_test.cpp.o.d"
+  "sensitivity_sweep_test"
+  "sensitivity_sweep_test.pdb"
+  "sensitivity_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_sim_vs_rta_test.dir/sim/sim_vs_rta_test.cpp.o"
+  "CMakeFiles/sim_sim_vs_rta_test.dir/sim/sim_vs_rta_test.cpp.o.d"
+  "sim_sim_vs_rta_test"
+  "sim_sim_vs_rta_test.pdb"
+  "sim_sim_vs_rta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_sim_vs_rta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

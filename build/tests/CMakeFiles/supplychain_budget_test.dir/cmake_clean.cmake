@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supplychain_budget_test.dir/supplychain/budget_test.cpp.o"
+  "CMakeFiles/supplychain_budget_test.dir/supplychain/budget_test.cpp.o.d"
+  "supplychain_budget_test"
+  "supplychain_budget_test.pdb"
+  "supplychain_budget_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supplychain_budget_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

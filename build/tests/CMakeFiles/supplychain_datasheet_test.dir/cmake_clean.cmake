@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supplychain_datasheet_test.dir/supplychain/datasheet_test.cpp.o"
+  "CMakeFiles/supplychain_datasheet_test.dir/supplychain/datasheet_test.cpp.o.d"
+  "supplychain_datasheet_test"
+  "supplychain_datasheet_test.pdb"
+  "supplychain_datasheet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supplychain_datasheet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

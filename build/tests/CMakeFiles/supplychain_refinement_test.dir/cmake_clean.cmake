@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supplychain_refinement_test.dir/supplychain/refinement_test.cpp.o"
+  "CMakeFiles/supplychain_refinement_test.dir/supplychain/refinement_test.cpp.o.d"
+  "supplychain_refinement_test"
+  "supplychain_refinement_test.pdb"
+  "supplychain_refinement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supplychain_refinement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supplychain_risk_test.dir/supplychain/risk_test.cpp.o"
+  "CMakeFiles/supplychain_risk_test.dir/supplychain/risk_test.cpp.o.d"
+  "supplychain_risk_test"
+  "supplychain_risk_test.pdb"
+  "supplychain_risk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supplychain_risk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_powertrain_test.dir/workload/powertrain_test.cpp.o"
+  "CMakeFiles/workload_powertrain_test.dir/workload/powertrain_test.cpp.o.d"
+  "workload_powertrain_test"
+  "workload_powertrain_test.pdb"
+  "workload_powertrain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_powertrain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

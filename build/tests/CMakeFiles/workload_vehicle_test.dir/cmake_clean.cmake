@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_vehicle_test.dir/workload/vehicle_test.cpp.o"
+  "CMakeFiles/workload_vehicle_test.dir/workload/vehicle_test.cpp.o.d"
+  "workload_vehicle_test"
+  "workload_vehicle_test.pdb"
+  "workload_vehicle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_vehicle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

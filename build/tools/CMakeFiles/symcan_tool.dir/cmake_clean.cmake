@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symcan_tool.dir/symcan_main.cpp.o"
+  "CMakeFiles/symcan_tool.dir/symcan_main.cpp.o.d"
+  "symcan"
+  "symcan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symcan_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
