@@ -9,13 +9,15 @@
 #include "symcan/opt/ga.hpp"
 #include "symcan/opt/nsga2.hpp"
 #include "symcan/sensitivity/sweep.hpp"
+#include "symcan/util/parallel.hpp"
 
 namespace symcan::bench {
 namespace {
 
-void reproduce() {
+void reproduce(int jobs) {
   const KMatrix km = case_study_matrix();
   const CanRtaConfig rta = worst_case_assumptions();
+  std::cout << "parallelism: " << ParallelExecutor::resolve(jobs) << " worker thread(s)\n";
 
   struct Candidate {
     std::string label;
@@ -57,6 +59,7 @@ void reproduce() {
     cfg.archive = 16;
     cfg.generations = 25;
     cfg.seeds = {current_order(km), deadline_monotonic_order(km)};
+    cfg.parallelism = jobs;
     auto [res, ms] = timed([&] { return optimize_priorities(km, cfg); });
     candidates.push_back({"SPEA2-style GA", apply_priority_order(km, res.best.order), ms});
   }
@@ -67,6 +70,7 @@ void reproduce() {
     cfg.population = 32;
     cfg.generations = 25;
     cfg.seeds = {current_order(km), deadline_monotonic_order(km)};
+    cfg.parallelism = jobs;
     auto [res, ms] = timed([&] { return optimize_priorities_nsga2(km, cfg); });
     candidates.push_back({"NSGA-II", apply_priority_order(km, res.best.order), ms});
   }
@@ -79,6 +83,7 @@ void reproduce() {
 
   JitterSweepConfig sweep;
   sweep.rta = rta;
+  sweep.parallelism = jobs;
   std::vector<JitterSweepResult> sweeps;
   for (const auto& c : candidates) sweeps.push_back(sweep_jitter(c.matrix, sweep));
   for (std::size_t i = 0; i < sweeps[0].fractions.size(); ++i) {
@@ -109,10 +114,23 @@ void BM_AudsleyAssignment(benchmark::State& state) {
 }
 BENCHMARK(BM_AudsleyAssignment);
 
+void BM_GaOptimize(benchmark::State& state) {
+  const KMatrix km = case_study_matrix();
+  GaConfig cfg;
+  cfg.rta = worst_case_assumptions();
+  cfg.eval_fractions = {0.25};
+  cfg.population = 16;
+  cfg.archive = 8;
+  cfg.generations = 4;
+  cfg.parallelism = static_cast<int>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(optimize_priorities(km, cfg));
+}
+BENCHMARK(BM_GaOptimize)->Arg(1)->Arg(4)->ArgName("jobs")->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace symcan::bench
 
 int main(int argc, char** argv) {
-  symcan::bench::reproduce();
+  symcan::bench::reproduce(symcan::bench::jobs_arg(argc, argv));
   return symcan::bench::run_benchmarks(argc, argv);
 }

@@ -7,6 +7,8 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 
@@ -25,6 +27,21 @@ inline void banner(const std::string& title) {
 }
 
 inline std::string pct(double v) { return strprintf("%5.1f%%", 100.0 * v); }
+
+/// Strip a "--jobs N" pair from argv before google-benchmark parses it;
+/// returns N (0 = hardware concurrency) or `fallback` when absent. Lets
+/// the reproduction section of a bench run at a chosen parallel width:
+///   ./abl_optimizers --jobs 4   vs   ./abl_optimizers --jobs 1
+inline int jobs_arg(int& argc, char** argv, int fallback = 0) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") != 0) continue;
+    const int jobs = std::atoi(argv[i + 1]);
+    for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+    argc -= 2;
+    return jobs;
+  }
+  return fallback;
+}
 
 /// Print data, then hand over to google-benchmark with the provided argv.
 inline int run_benchmarks(int argc, char** argv) {

@@ -11,10 +11,11 @@
 namespace symcan::bench {
 namespace {
 
-void reproduce() {
+void reproduce(int jobs) {
   const KMatrix km = case_study_matrix();
   JitterSweepConfig cfg;
   cfg.rta = best_case_assumptions();
+  cfg.parallelism = jobs;
   const JitterSweepResult sweep = sweep_jitter(km, cfg);
   const SensitivityReport rep = analyze_sensitivity(km, cfg);
 
@@ -76,9 +77,19 @@ void BM_JitterSweep13Points(benchmark::State& state) {
   const KMatrix km = case_study_matrix();
   JitterSweepConfig cfg;
   cfg.rta = best_case_assumptions();
+  cfg.parallelism = static_cast<int>(state.range(0));
   for (auto _ : state) benchmark::DoNotOptimize(sweep_jitter(km, cfg));
 }
-BENCHMARK(BM_JitterSweep13Points);
+BENCHMARK(BM_JitterSweep13Points)->Arg(1)->Arg(2)->Arg(4)->ArgName("jobs");
+
+void BM_SensitivityReport(benchmark::State& state) {
+  const KMatrix km = case_study_matrix();
+  JitterSweepConfig cfg;
+  cfg.rta = best_case_assumptions();
+  cfg.parallelism = static_cast<int>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(analyze_sensitivity(km, cfg));
+}
+BENCHMARK(BM_SensitivityReport)->Arg(1)->Arg(4)->ArgName("jobs")->Unit(benchmark::kMillisecond);
 
 void BM_MaxTolerableJitterSearch(benchmark::State& state) {
   const KMatrix km = case_study_matrix();
@@ -93,6 +104,6 @@ BENCHMARK(BM_MaxTolerableJitterSearch);
 }  // namespace symcan::bench
 
 int main(int argc, char** argv) {
-  symcan::bench::reproduce();
+  symcan::bench::reproduce(symcan::bench::jobs_arg(argc, argv));
   return symcan::bench::run_benchmarks(argc, argv);
 }

@@ -49,6 +49,13 @@ std::int64_t Args::int_option_or(const std::string& name, std::int64_t fallback)
   return parsed;
 }
 
+std::int64_t Args::count_option_or(const std::string& name, std::int64_t fallback) const {
+  const std::int64_t v = int_option_or(name, fallback);
+  if (v < 0)
+    throw std::invalid_argument("option --" + name + " must be >= 0");
+  return v;
+}
+
 double Args::double_option_or(const std::string& name, double fallback) const {
   const auto v = option(name);
   if (!v) return fallback;

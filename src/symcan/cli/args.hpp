@@ -33,6 +33,10 @@ class Args {
   std::int64_t int_option_or(const std::string& name, std::int64_t fallback) const;
   double double_option_or(const std::string& name, double fallback) const;
 
+  /// Like int_option_or but additionally rejects negative values (counts
+  /// such as --jobs, --population, --millis).
+  std::int64_t count_option_or(const std::string& name, std::int64_t fallback) const;
+
   /// Options that were provided but never read — surfaced as errors so
   /// typos do not silently change behaviour.
   std::vector<std::string> unused() const;

@@ -45,6 +45,14 @@ KMatrix load_matrix(const Args& args, std::size_t positional_index = 0) {
   return km;
 }
 
+/// --jobs N: worker threads for the parallel fan-out commands (sweep,
+/// sensitivity, optimize, extend, report). 0 = one per hardware thread,
+/// the default — results are bit-identical at any width, so there is no
+/// reason not to use the whole machine interactively. 1 = serial.
+int jobs_from(const Args& args) {
+  return static_cast<int>(args.count_option_or("jobs", 0));
+}
+
 void fail_on_unused(const Args& args) {
   const auto unused = args.unused();
   if (!unused.empty())
@@ -103,6 +111,7 @@ int cmd_sweep(const Args& args, std::ostream& out) {
   cfg.from = args.double_option_or("from", 0.0);
   cfg.to = args.double_option_or("to", 0.60);
   cfg.step = args.double_option_or("step", 0.05);
+  cfg.parallelism = jobs_from(args);
   fail_on_unused(args);
   const JitterSweepResult res = sweep_jitter(km, cfg);
   out << "jitter_fraction,miss_fraction,miss_count\n";
@@ -116,6 +125,7 @@ int cmd_sensitivity(const Args& args, std::ostream& out) {
   const KMatrix km = load_matrix(args);
   JitterSweepConfig cfg;
   cfg.rta = assumptions_from(args);
+  cfg.parallelism = jobs_from(args);
   fail_on_unused(args);
   const SensitivityReport rep = analyze_sensitivity(km, cfg);
   TextTable t;
@@ -137,6 +147,7 @@ int cmd_optimize(const Args& args, std::ostream& out) {
   cfg.archive = std::max(2, cfg.population / 2);
   cfg.eval_fractions = {args.double_option_or("target-jitter", 0.25)};
   cfg.seeds = {current_order(km), deadline_monotonic_order(km)};
+  cfg.parallelism = jobs_from(args);
   const std::string output = args.option_or("out", "");
   fail_on_unused(args);
 
@@ -206,6 +217,7 @@ int cmd_budget(const Args& args, std::ostream& out) {
 int cmd_report(const Args& args, std::ostream& out) {
   const KMatrix km = load_matrix(args);
   const CanRtaConfig cfg = assumptions_from(args);
+  const int jobs = jobs_from(args);
   fail_on_unused(args);
 
   out << "# Network integration report: " << km.bus_name() << "\n\n";
@@ -260,7 +272,7 @@ int cmd_report(const Args& args, std::ostream& out) {
     out << "\n## Extensibility (Section 2)\n\n";
     ExtensionProfile profile;
     profile.first_id = 0x600;
-    const ExtensibilityReport ext = max_additional_messages(km, cfg, profile, 64);
+    const ExtensibilityReport ext = max_additional_messages(km, cfg, profile, 64, jobs);
     out << strprintf("- %s%zu additional 20 ms / 8 B messages provable (load at max: %.0f%%)\n",
                      ext.capped ? ">= " : "", ext.max_additional_messages,
                      100 * ext.utilization_at_max);
@@ -293,8 +305,9 @@ int cmd_extend(const Args& args, std::ostream& out) {
   profile.jitter_fraction = args.double_option_or("profile-jitter", 0.25);
   profile.first_id = static_cast<CanId>(args.int_option_or("first-id", 0x600));
   const CanRtaConfig cfg = assumptions_from(args);
+  const int jobs = jobs_from(args);
   fail_on_unused(args);
-  const ExtensibilityReport r = max_additional_messages(km, cfg, profile, 128);
+  const ExtensibilityReport r = max_additional_messages(km, cfg, profile, 128, jobs);
   out << strprintf("headroom: %s%zu additional %lldms/%dB messages (util at max: %.1f%%)\n",
                    r.capped ? ">= " : "", r.max_additional_messages,
                    static_cast<long long>(profile.period.count_ns() / 1'000'000),
@@ -311,18 +324,22 @@ std::string usage() {
          "  generate    [--seed N] [--messages N] [--ecus N] [--util X] [--bitrate BPS]\n"
          "              [--tt-offsets] [--out FILE]      synthesize a K-Matrix CSV\n"
          "  analyze     FILE [--worst-case|--best-case] [--jitter F] [--override-known]\n"
-         "  sweep       FILE [--from F] [--to F] [--step F] [--worst-case|--best-case]\n"
+         "  sweep       FILE [--from F] [--to F] [--step F] [--jobs N]\n"
+         "              [--worst-case|--best-case]\n"
          "  import      FILE.dbc [--bitrate BPS] [--bus-name NAME] [--out FILE]\n"
          "  report      FILE [--worst-case|--best-case] [--jitter F]   markdown summary\n"
          "  budget      FILE [--worst-case|--best-case]   jitter budgets (Section 5.2)\n"
-         "  sensitivity FILE [--worst-case|--best-case]\n"
+         "  sensitivity FILE [--worst-case|--best-case] [--jobs N]\n"
          "  optimize    FILE [--generations N] [--population N] [--seed N]\n"
-         "              [--target-jitter F] [--out FILE]\n"
+         "              [--target-jitter F] [--jobs N] [--out FILE]\n"
          "  simulate    FILE [--millis N] [--seed N] [--errors none|sporadic|burst]\n"
          "              [--error-gap-ms N]\n"
          "  extend      FILE [--period-ms N] [--bytes N] [--profile-jitter F]\n"
-         "              [--first-id N] [--worst-case|--best-case]\n"
-         "  help\n";
+         "              [--first-id N] [--jobs N] [--worst-case|--best-case]\n"
+         "  help\n"
+         "--jobs N selects N worker threads for sweep/sensitivity/optimize/\n"
+         "extend/report (0 = all hardware threads, the default; results are\n"
+         "bit-identical at any width).\n";
 }
 
 int run_cli(const std::vector<std::string>& argv_tail, std::ostream& out, std::ostream& err) {

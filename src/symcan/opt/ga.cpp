@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "symcan/opt/permutation_ops.hpp"
+#include "symcan/util/parallel.hpp"
 #include "symcan/util/rng.hpp"
 #include "symcan/workload/powertrain.hpp"
 
@@ -96,20 +97,28 @@ GaResult optimize_priorities(const KMatrix& km, const GaConfig& cfg) {
   if (cfg.eval_fractions.empty())
     throw std::invalid_argument("optimize_priorities: need at least one evaluation fraction");
 
-  Rng rng{cfg.seed};
   const std::size_t n = km.size();
   GaResult result;
 
-  // Initial population: seeds first, then random permutations.
-  std::vector<GaIndividual> pop;
-  for (const auto& s : cfg.seeds) {
-    pop.push_back(evaluate_order(km, s, cfg));
-    ++result.evaluations;
+  // All fitness evaluation — the expensive part, each one a full RTA per
+  // eval fraction — fans out over the pool; variation stays serial and
+  // cheap, with every individual drawing from its own (seed, generation,
+  // slot) stream so results never depend on evaluation order.
+  ParallelExecutor exec{cfg.parallelism};
+  auto evaluate_all = [&](const std::vector<PriorityOrder>& orders) {
+    result.evaluations += static_cast<int>(orders.size());
+    return exec.parallel_map(
+        orders, [&](const PriorityOrder& o) { return evaluate_order(km, o, cfg); });
+  };
+
+  // Initial population (generation 0): seeds first, then random
+  // permutations, one stream per slot.
+  std::vector<PriorityOrder> init = cfg.seeds;
+  while (init.size() < static_cast<std::size_t>(cfg.population)) {
+    Rng slot_rng{stream_seed(cfg.seed, 0, init.size())};
+    init.push_back(opt_detail::random_order(n, slot_rng));
   }
-  while (pop.size() < static_cast<std::size_t>(cfg.population)) {
-    pop.push_back(evaluate_order(km, opt_detail::random_order(n, rng), cfg));
-    ++result.evaluations;
-  }
+  std::vector<GaIndividual> pop = evaluate_all(init);
 
   // Elitism: the lexicographically best individual ever evaluated is
   // re-injected into every archive so density truncation can never lose
@@ -147,25 +156,24 @@ GaResult optimize_priorities(const KMatrix& km, const GaConfig& cfg) {
     result.best_misses_history.push_back(champion.misses);
 
     // Variation: binary tournament on archive fitness rank (archive is
-    // sorted by fitness already).
-    std::vector<GaIndividual> next;
-    next.reserve(static_cast<std::size_t>(cfg.population));
-    auto tournament = [&]() -> const GaIndividual& {
-      const std::size_t a = rng.index(archive.size());
-      const std::size_t b = rng.index(archive.size());
-      return archive[std::min(a, b)];
-    };
-    while (next.size() < static_cast<std::size_t>(cfg.population)) {
+    // sorted by fitness already). One RNG stream per offspring slot.
+    std::vector<PriorityOrder> children(static_cast<std::size_t>(cfg.population));
+    for (std::size_t slot = 0; slot < children.size(); ++slot) {
+      Rng slot_rng{stream_seed(cfg.seed, static_cast<std::uint64_t>(gen) + 1, slot)};
+      auto tournament = [&]() -> const GaIndividual& {
+        const std::size_t a = slot_rng.index(archive.size());
+        const std::size_t b = slot_rng.index(archive.size());
+        return archive[std::min(a, b)];
+      };
       PriorityOrder child;
-      if (rng.chance(cfg.crossover_rate))
-        child = opt_detail::order_crossover(tournament().order, tournament().order, rng);
+      if (slot_rng.chance(cfg.crossover_rate))
+        child = opt_detail::order_crossover(tournament().order, tournament().order, slot_rng);
       else
         child = tournament().order;
-      if (rng.chance(cfg.mutation_rate)) opt_detail::swap_mutation(child, rng);
-      next.push_back(evaluate_order(km, child, cfg));
-      ++result.evaluations;
+      if (slot_rng.chance(cfg.mutation_rate)) opt_detail::swap_mutation(child, slot_rng);
+      children[slot] = std::move(child);
     }
-    pop = std::move(next);
+    pop = evaluate_all(children);
     update_champion(pop);
   }
 

@@ -55,6 +55,12 @@ struct GaConfig {
   /// current matrix order and the DM order); the GA result is therefore
   /// never worse than the best seed under the objectives.
   std::vector<PriorityOrder> seeds;
+
+  /// Worker threads for fitness evaluation (0 = hardware concurrency,
+  /// 1 = serial). Every individual draws from its own RNG stream seeded
+  /// by (seed, generation, slot), so the evolved populations are
+  /// bit-identical at any parallelism.
+  int parallelism = 1;
 };
 
 /// One evaluated candidate.

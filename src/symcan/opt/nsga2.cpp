@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "symcan/opt/permutation_ops.hpp"
+#include "symcan/util/parallel.hpp"
 #include "symcan/util/rng.hpp"
 
 namespace symcan {
@@ -95,20 +96,26 @@ GaResult optimize_priorities_nsga2(const KMatrix& km, const GaConfig& cfg) {
   if (cfg.eval_fractions.empty())
     throw std::invalid_argument("optimize_priorities_nsga2: need an evaluation fraction");
 
-  Rng rng{cfg.seed};
   const std::size_t n = km.size();
   const std::size_t mu = static_cast<std::size_t>(cfg.population);
   GaResult result;
 
-  std::vector<GaIndividual> parents;
-  for (const auto& s : cfg.seeds) {
-    parents.push_back(evaluate_order(km, s, cfg));
-    ++result.evaluations;
+  // Parallel fitness evaluation with per-slot RNG streams — see ga.cpp;
+  // the same scheme keeps NSGA-II's populations bit-identical at any
+  // worker count.
+  ParallelExecutor exec{cfg.parallelism};
+  auto evaluate_all = [&](const std::vector<PriorityOrder>& orders) {
+    result.evaluations += static_cast<int>(orders.size());
+    return exec.parallel_map(
+        orders, [&](const PriorityOrder& o) { return evaluate_order(km, o, cfg); });
+  };
+
+  std::vector<PriorityOrder> init = cfg.seeds;
+  while (init.size() < mu) {
+    Rng slot_rng{stream_seed(cfg.seed, 0, init.size())};
+    init.push_back(opt_detail::random_order(n, slot_rng));
   }
-  while (parents.size() < mu) {
-    parents.push_back(evaluate_order(km, opt_detail::random_order(n, rng), cfg));
-    ++result.evaluations;
-  }
+  std::vector<GaIndividual> parents = evaluate_all(init);
 
   GaIndividual champion = parents.front();
   for (const auto& p : parents)
@@ -121,25 +128,28 @@ GaResult optimize_priorities_nsga2(const KMatrix& km, const GaConfig& cfg) {
     for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
     const std::vector<double> crowd = crowding(parents, all);
 
-    auto tournament = [&]() -> const GaIndividual& {
-      const std::size_t a = rng.index(parents.size());
-      const std::size_t b = rng.index(parents.size());
-      if (rank[a] != rank[b]) return parents[rank[a] < rank[b] ? a : b];
-      return parents[crowd[a] > crowd[b] ? a : b];
-    };
-
-    // Offspring.
-    std::vector<GaIndividual> pool = parents;
-    while (pool.size() < 2 * mu) {
+    // Offspring: one RNG stream per slot, evaluated as one batch.
+    const std::size_t offspring =
+        2 * mu > parents.size() ? 2 * mu - parents.size() : 0;
+    std::vector<PriorityOrder> children(offspring);
+    for (std::size_t slot = 0; slot < children.size(); ++slot) {
+      Rng slot_rng{stream_seed(cfg.seed, static_cast<std::uint64_t>(gen) + 1, slot)};
+      auto tournament = [&]() -> const GaIndividual& {
+        const std::size_t a = slot_rng.index(parents.size());
+        const std::size_t b = slot_rng.index(parents.size());
+        if (rank[a] != rank[b]) return parents[rank[a] < rank[b] ? a : b];
+        return parents[crowd[a] > crowd[b] ? a : b];
+      };
       PriorityOrder child;
-      if (rng.chance(cfg.crossover_rate))
-        child = opt_detail::order_crossover(tournament().order, tournament().order, rng);
+      if (slot_rng.chance(cfg.crossover_rate))
+        child = opt_detail::order_crossover(tournament().order, tournament().order, slot_rng);
       else
         child = tournament().order;
-      if (rng.chance(cfg.mutation_rate)) opt_detail::swap_mutation(child, rng);
-      pool.push_back(evaluate_order(km, child, cfg));
-      ++result.evaluations;
+      if (slot_rng.chance(cfg.mutation_rate)) opt_detail::swap_mutation(child, slot_rng);
+      children[slot] = std::move(child);
     }
+    std::vector<GaIndividual> pool = parents;
+    for (auto& c : evaluate_all(children)) pool.push_back(std::move(c));
     for (const auto& p : pool)
       if (lex_better(p, champion)) champion = p;
 

@@ -1,6 +1,9 @@
 #include "symcan/sensitivity/extensibility.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "symcan/util/parallel.hpp"
 
 namespace symcan {
 
@@ -52,54 +55,74 @@ void check_profile(const ExtensionProfile& p) {
   if (p.id_stride == 0) throw std::invalid_argument("ExtensionProfile: zero id stride");
 }
 
-}  // namespace
-
-ExtensibilityReport max_additional_messages(const KMatrix& km, const CanRtaConfig& rta,
-                                            const ExtensionProfile& profile, std::size_t cap) {
-  check_profile(profile);
-  km.validate();
-  const std::string receiver = km.nodes().empty() ? profile.sender : km.nodes().front().name;
-
+/// Shared search driver: `grow` mutates the working matrix for candidate
+/// count n (1-based) and the verdicts for a batch of consecutive counts
+/// are evaluated in parallel on snapshots. The serial early-exit contract
+/// is preserved exactly — steps end at the first failure and verdicts
+/// beyond it are discarded — so the report does not depend on the worker
+/// count.
+template <typename Grow>
+ExtensibilityReport extension_search(const KMatrix& km, const CanRtaConfig& rta, std::size_t cap,
+                                     int parallelism, Grow&& grow) {
   ExtensibilityReport report;
   KMatrix work = km;
-  ensure_node(work, profile.sender);
-  for (std::size_t n = 1; n <= cap; ++n) {
-    work.add_message(extension_message(profile, n - 1, profile.sender, receiver));
-    const ExtensionStep step = verdict(work, rta, n);
-    report.steps.push_back(step);
-    if (!step.schedulable) return report;
-    report.max_additional_messages = n;
-    report.utilization_at_max = step.utilization;
+  ParallelExecutor exec{parallelism};
+  const std::size_t batch_size = static_cast<std::size_t>(std::max(1, exec.threads()));
+  std::size_t n = 0;
+  while (n < cap) {
+    const std::size_t batch = std::min(batch_size, cap - n);
+    std::vector<KMatrix> variants;
+    variants.reserve(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+      grow(work, n + b + 1);
+      variants.push_back(work);
+    }
+    const std::vector<ExtensionStep> steps = exec.parallel_map_indexed(
+        batch, [&](std::size_t b) { return verdict(variants[b], rta, n + b + 1); });
+    for (const ExtensionStep& step : steps) {
+      report.steps.push_back(step);
+      if (!step.schedulable) return report;
+      report.max_additional_messages = step.added;
+      report.utilization_at_max = step.utilization;
+    }
+    n += batch;
   }
   report.capped = true;
   return report;
 }
 
+}  // namespace
+
+ExtensibilityReport max_additional_messages(const KMatrix& km, const CanRtaConfig& rta,
+                                            const ExtensionProfile& profile, std::size_t cap,
+                                            int parallelism) {
+  check_profile(profile);
+  km.validate();
+  const std::string receiver = km.nodes().empty() ? profile.sender : km.nodes().front().name;
+
+  KMatrix base = km;
+  ensure_node(base, profile.sender);
+  return extension_search(base, rta, cap, parallelism, [&](KMatrix& work, std::size_t n) {
+    work.add_message(extension_message(profile, n - 1, profile.sender, receiver));
+  });
+}
+
 ExtensibilityReport max_additional_ecus(const KMatrix& km, const CanRtaConfig& rta,
                                         const ExtensionProfile& profile,
-                                        std::size_t messages_per_ecu, std::size_t cap) {
+                                        std::size_t messages_per_ecu, std::size_t cap,
+                                        int parallelism) {
   check_profile(profile);
   if (messages_per_ecu == 0)
     throw std::invalid_argument("max_additional_ecus: messages_per_ecu must be >= 1");
   km.validate();
   const std::string receiver = km.nodes().empty() ? profile.sender : km.nodes().front().name;
 
-  ExtensibilityReport report;
-  KMatrix work = km;
-  std::size_t msg_index = 0;
-  for (std::size_t e = 1; e <= cap; ++e) {
+  return extension_search(km, rta, cap, parallelism, [&](KMatrix& work, std::size_t e) {
     const std::string node = profile.sender + std::to_string(e - 1);
     ensure_node(work, node);
     for (std::size_t j = 0; j < messages_per_ecu; ++j)
-      work.add_message(extension_message(profile, msg_index++, node, receiver));
-    const ExtensionStep step = verdict(work, rta, e);
-    report.steps.push_back(step);
-    if (!step.schedulable) return report;
-    report.max_additional_messages = e;  // counts ECUs in this variant
-    report.utilization_at_max = step.utilization;
-  }
-  report.capped = true;
-  return report;
+      work.add_message(extension_message(profile, (e - 1) * messages_per_ecu + j, node, receiver));
+  });
 }
 
 }  // namespace symcan

@@ -58,14 +58,18 @@ struct ExtensibilityReport {
 
 /// How many additional `profile` messages fit. Exact under the
 /// monotonicity of the analysis (adding a message never helps anyone).
+/// With parallelism != 1 the per-count verdicts are evaluated in batches
+/// of the worker count; the report is bit-identical to the serial one
+/// (steps still stop at the first failure).
 ExtensibilityReport max_additional_messages(const KMatrix& km, const CanRtaConfig& rta,
                                             const ExtensionProfile& profile,
-                                            std::size_t cap = 128);
+                                            std::size_t cap = 128, int parallelism = 1);
 
 /// How many additional ECUs fit, each sending `messages_per_ecu` profile
 /// messages (ECUs named <sender>0, <sender>1, ...).
 ExtensibilityReport max_additional_ecus(const KMatrix& km, const CanRtaConfig& rta,
                                         const ExtensionProfile& profile,
-                                        std::size_t messages_per_ecu, std::size_t cap = 32);
+                                        std::size_t messages_per_ecu, std::size_t cap = 32,
+                                        int parallelism = 1);
 
 }  // namespace symcan

@@ -3,6 +3,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "symcan/util/parallel.hpp"
 #include "symcan/workload/powertrain.hpp"
 
 namespace symcan {
@@ -47,7 +48,10 @@ SensitivityReport analyze_sensitivity(const KMatrix& km, const JitterSweepConfig
   const BusResult& last = sweep.results.back();
 
   SensitivityReport report;
-  for (std::size_t i = 0; i < km.size(); ++i) {
+  // Each message's classification and tolerable-jitter search is
+  // independent of every other message's, so fan them out.
+  ParallelExecutor exec{cfg.parallelism};
+  report.messages = exec.parallel_map_indexed(km.size(), [&](std::size_t i) {
     MessageSensitivity s;
     s.name = km.messages()[i].name;
     s.id = km.messages()[i].id;
@@ -71,8 +75,8 @@ SensitivityReport analyze_sensitivity(const KMatrix& km, const JitterSweepConfig
     }
     s.max_tolerable_fraction =
         max_tolerable_jitter_fraction(km, cfg.rta, s.name, 1.0, 0.005, cfg.override_known);
-    report.messages.push_back(std::move(s));
-  }
+    return s;
+  });
   return report;
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "symcan/util/parallel.hpp"
 #include "symcan/workload/powertrain.hpp"
 
 namespace symcan {
@@ -29,12 +30,13 @@ JitterSweepResult sweep_jitter(const KMatrix& km, const JitterSweepConfig& cfg) 
     throw std::invalid_argument("sweep_jitter: bad sweep bounds");
   JitterSweepResult out;
   // Half-step epsilon keeps the endpoint inclusive despite FP accumulation.
-  for (double f = cfg.from; f <= cfg.to + cfg.step / 2; f += cfg.step) {
+  for (double f = cfg.from; f <= cfg.to + cfg.step / 2; f += cfg.step) out.fractions.push_back(f);
+  ParallelExecutor exec{cfg.parallelism};
+  out.results = exec.parallel_map(out.fractions, [&](double f) {
     KMatrix variant = km;
     assume_jitter_fraction(variant, f, cfg.override_known);
-    out.fractions.push_back(f);
-    out.results.push_back(CanRta{variant, cfg.rta}.analyze());
-  }
+    return CanRta{variant, cfg.rta}.analyze();
+  });
   return out;
 }
 
@@ -46,12 +48,14 @@ ErrorSweepResult sweep_errors(const KMatrix& km, const ErrorSweepConfig& cfg) {
   const double hi = std::log(static_cast<double>(cfg.from.count_ns()));
   for (int i = 0; i < cfg.points; ++i) {
     const double t = hi - (hi - lo) * static_cast<double>(i) / (cfg.points - 1);
-    const Duration gap = Duration::ns(static_cast<std::int64_t>(std::exp(t)));
+    out.min_inter_error.push_back(Duration::ns(static_cast<std::int64_t>(std::exp(t))));
+  }
+  ParallelExecutor exec{cfg.parallelism};
+  out.results = exec.parallel_map(out.min_inter_error, [&](Duration gap) {
     CanRtaConfig rta = cfg.rta;
     rta.errors = std::make_shared<SporadicErrors>(gap);
-    out.min_inter_error.push_back(gap);
-    out.results.push_back(CanRta{km, rta}.analyze());
-  }
+    return CanRta{km, rta}.analyze();
+  });
   return out;
 }
 

@@ -23,6 +23,9 @@ struct JitterSweepConfig {
   /// the whole matrix uniformly, so default true).
   bool override_known = true;
   CanRtaConfig rta;
+  /// Worker threads for evaluating sweep points (0 = hardware
+  /// concurrency, 1 = serial). Results are bit-identical either way.
+  int parallelism = 1;
 };
 
 /// Analysis results at each swept point.
@@ -49,6 +52,9 @@ struct ErrorSweepConfig {
   Duration to = Duration::ms(1);
   int points = 13;
   CanRtaConfig rta;  ///< Its error model is replaced at every point.
+  /// Worker threads for evaluating sweep points (0 = hardware
+  /// concurrency, 1 = serial). Results are bit-identical either way.
+  int parallelism = 1;
 };
 
 struct ErrorSweepResult {

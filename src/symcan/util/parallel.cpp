@@ -1,0 +1,87 @@
+#include "symcan/util/parallel.hpp"
+
+namespace symcan {
+
+int ParallelExecutor::resolve(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ParallelExecutor::ParallelExecutor(int threads) : threads_{resolve(threads)} {
+  // The calling thread participates in every run, so the pool holds one
+  // worker fewer than the requested width.
+  for (int i = 1; i < threads_; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+ParallelExecutor::~ParallelExecutor() {
+  {
+    std::lock_guard<std::mutex> lk{m_};
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ParallelExecutor::drain(std::size_t count, const std::function<void(std::size_t)>& body) {
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1);
+    if (i >= count) return;
+    body(i);
+    if (done_.fetch_add(1) + 1 == count) {
+      std::lock_guard<std::mutex> lk{m_};
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ParallelExecutor::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::size_t count = 0;
+    {
+      std::unique_lock<std::mutex> lk{m_};
+      work_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      body = body_;
+      count = count_;
+      ++active_;
+    }
+    drain(count, *body);
+    {
+      std::lock_guard<std::mutex> lk{m_};
+      --active_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ParallelExecutor::run(std::size_t count, const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lk{m_};
+    // A straggler from the previous run may still hold a reference to the
+    // old body and dispenser; wait until everyone is back in the waiting
+    // room before redirecting them.
+    done_cv_.wait(lk, [&] { return active_ == 0; });
+    body_ = &body;
+    count_ = count;
+    next_.store(0);
+    done_.store(0);
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  drain(count, body);
+  {
+    std::unique_lock<std::mutex> lk{m_};
+    done_cv_.wait(lk, [&] { return done_.load() >= count; });
+  }
+}
+
+}  // namespace symcan

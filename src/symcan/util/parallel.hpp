@@ -1,0 +1,95 @@
+#pragma once
+
+// Fixed-size thread pool for the embarrassingly parallel fan-out paths
+// (what-if sweeps, GA candidate evaluation, sensitivity probes). The one
+// primitive is parallel_map: apply a function to every item and collect
+// the results in input order, so callers observe bit-identical output
+// whether the work ran on one thread or many. Exceptions are captured per
+// item and the lowest-index one is rethrown after the batch completes —
+// again independent of scheduling. With threads <= 1 (or a single item)
+// everything runs inline on the calling thread and no pool exists.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace symcan {
+
+class ParallelExecutor {
+ public:
+  /// threads == 0 selects std::thread::hardware_concurrency(); threads == 1
+  /// degrades to inline execution (no worker threads are created).
+  explicit ParallelExecutor(int threads = 0);
+  ~ParallelExecutor();
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+
+  /// Effective parallel width, calling thread included (>= 1).
+  int threads() const { return threads_; }
+
+  /// Resolve a requested thread count (0 => hardware_concurrency, >= 1).
+  static int resolve(int requested);
+
+  /// fn(i) for every i in [0, count); results returned in index order.
+  /// If any invocations throw, the exception of the lowest failing index
+  /// is rethrown once all items have been attempted.
+  template <typename F>
+  auto parallel_map_indexed(std::size_t count, F&& fn)
+      -> std::vector<std::decay_t<std::invoke_result_t<F&, std::size_t>>> {
+    using R = std::decay_t<std::invoke_result_t<F&, std::size_t>>;
+    std::vector<std::optional<R>> slots(count);
+    std::vector<std::exception_ptr> errors(count);
+    run(count, [&](std::size_t i) {
+      try {
+        slots[i].emplace(fn(i));
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+    for (std::size_t i = 0; i < count; ++i)
+      if (errors[i]) std::rethrow_exception(errors[i]);
+    std::vector<R> out;
+    out.reserve(count);
+    for (auto& s : slots) out.push_back(std::move(*s));
+    return out;
+  }
+
+  /// Order-preserving map over a vector: out[i] == fn(items[i]).
+  template <typename T, typename F>
+  auto parallel_map(const std::vector<T>& items, F&& fn)
+      -> std::vector<std::decay_t<std::invoke_result_t<F&, const T&>>> {
+    return parallel_map_indexed(items.size(), [&](std::size_t i) { return fn(items[i]); });
+  }
+
+ private:
+  /// Dispatch body(i) over [0, count) to the pool and block until every
+  /// index has completed. body must not throw (the template layer wraps).
+  void run(std::size_t count, const std::function<void(std::size_t)>& body);
+  void worker_loop();
+  void drain(std::size_t count, const std::function<void(std::size_t)>& body);
+
+  int threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex m_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* body_ = nullptr;  ///< Guarded by m_.
+  std::size_t count_ = 0;                                   ///< Guarded by m_.
+  std::uint64_t generation_ = 0;                            ///< Guarded by m_.
+  int active_ = 0;  ///< Workers currently draining; guarded by m_.
+  bool stop_ = false;
+  std::atomic<std::size_t> next_{0};
+  std::atomic<std::size_t> done_{0};
+};
+
+}  // namespace symcan

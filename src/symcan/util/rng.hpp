@@ -64,4 +64,19 @@ class Rng {
   std::mt19937_64 engine_;
 };
 
+/// Derive a statistically independent stream seed from a base seed and up
+/// to two stream coordinates (e.g. generation and individual index), via
+/// the SplitMix64 finalizer. Components that evaluate work in parallel
+/// seed one Rng per work item from this, so the drawn numbers depend only
+/// on (base, a, b) — never on thread scheduling or evaluation order —
+/// and serial and parallel runs replay bit-identically.
+inline std::uint64_t stream_seed(std::uint64_t base, std::uint64_t a, std::uint64_t b = 0) {
+  std::uint64_t z = base;
+  z += 0x9e3779b97f4a7c15ULL * (a + 1);
+  z += 0xbf58476d1ce4e5b9ULL * (b + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace symcan

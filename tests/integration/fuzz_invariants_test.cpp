@@ -8,6 +8,7 @@
 #include "symcan/analysis/presets.hpp"
 #include "symcan/can/kmatrix_io.hpp"
 #include "symcan/opt/assignment.hpp"
+#include "symcan/sensitivity/sweep.hpp"
 #include "symcan/sim/simulator.hpp"
 #include "symcan/util/rng.hpp"
 #include "symcan/workload/powertrain.hpp"
@@ -132,6 +133,50 @@ TEST_P(FuzzInvariants, OffsetAssignmentKeepsAnalysisSound) {
   for (std::size_t i = 0; i < km.size(); ++i) {
     if (ra.messages[i].diverged) continue;
     EXPECT_LE(obs.messages[i].wcrt_observed, ra.messages[i].wcrt) << km.messages()[i].name;
+  }
+}
+
+TEST_P(FuzzInvariants, ParallelSweepInvariantsHold) {
+  // The parallel sweep path must preserve the analysis invariants on
+  // arbitrary generated matrices: more assumed jitter can only make
+  // worst-case response times worse (monotone non-decreasing per
+  // message), and the miss fraction is a true fraction.
+  const KMatrix km = matrix();
+  JitterSweepConfig cfg;
+  cfg.rta = worst_case_assumptions();
+  cfg.parallelism = 4;
+  const JitterSweepResult res = sweep_jitter(km, cfg);
+  ASSERT_FALSE(res.results.empty());
+  for (std::size_t i = 0; i < res.fractions.size(); ++i) {
+    EXPECT_GE(res.miss_fraction(i), 0.0);
+    EXPECT_LE(res.miss_fraction(i), 1.0);
+  }
+  for (std::size_t m = 0; m < km.size(); ++m)
+    for (std::size_t i = 1; i < res.results.size(); ++i)
+      EXPECT_GE(res.results[i].messages[m].wcrt, res.results[i - 1].messages[m].wcrt)
+          << km.messages()[m].name << " at fraction " << res.fractions[i];
+}
+
+TEST_P(FuzzInvariants, ParallelSweepMatchesSerialOnRandomMatrices) {
+  // Randomized determinism net behind the targeted suite: serial and
+  // parallel sweeps agree bit-exactly on every generated matrix.
+  const KMatrix km = matrix();
+  JitterSweepConfig serial;
+  serial.rta = worst_case_assumptions();
+  serial.parallelism = 1;
+  JitterSweepConfig parallel = serial;
+  parallel.parallelism = 3;
+  const JitterSweepResult a = sweep_jitter(km, serial);
+  const JitterSweepResult b = sweep_jitter(km, parallel);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    ASSERT_EQ(a.results[i].messages.size(), b.results[i].messages.size());
+    for (std::size_t m = 0; m < a.results[i].messages.size(); ++m) {
+      ASSERT_EQ(a.results[i].messages[m].wcrt, b.results[i].messages[m].wcrt)
+          << a.results[i].messages[m].name;
+      ASSERT_EQ(a.results[i].messages[m].schedulable, b.results[i].messages[m].schedulable)
+          << a.results[i].messages[m].name;
+    }
   }
 }
 

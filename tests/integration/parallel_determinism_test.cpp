@@ -1,0 +1,184 @@
+// Parallel-vs-serial determinism: the whole point of the execution
+// substrate is that parallelism is invisible in the results. Every fan-out
+// path (jitter sweep, error sweep, GA, NSGA-II, sensitivity report,
+// extensibility search) must produce bit-exact identical output at
+// parallelism = 1 and parallelism = 4 on the seeded powertrain K-Matrix.
+
+#include <gtest/gtest.h>
+
+#include "symcan/analysis/presets.hpp"
+#include "symcan/opt/ga.hpp"
+#include "symcan/opt/nsga2.hpp"
+#include "symcan/sensitivity/extensibility.hpp"
+#include "symcan/sensitivity/robustness.hpp"
+#include "symcan/sensitivity/sweep.hpp"
+#include "symcan/workload/powertrain.hpp"
+
+namespace symcan {
+namespace {
+
+KMatrix case_matrix() { return generate_powertrain(PowertrainConfig::case_study()); }
+
+void expect_same_bus_result(const BusResult& a, const BusResult& b, const std::string& where) {
+  ASSERT_EQ(a.messages.size(), b.messages.size()) << where;
+  EXPECT_EQ(a.utilization, b.utilization) << where;
+  for (std::size_t m = 0; m < a.messages.size(); ++m) {
+    const MessageResult& x = a.messages[m];
+    const MessageResult& y = b.messages[m];
+    EXPECT_EQ(x.name, y.name) << where;
+    EXPECT_EQ(x.wcrt, y.wcrt) << where << " " << x.name;
+    EXPECT_EQ(x.bcrt, y.bcrt) << where << " " << x.name;
+    EXPECT_EQ(x.deadline, y.deadline) << where << " " << x.name;
+    EXPECT_EQ(x.blocking, y.blocking) << where << " " << x.name;
+    EXPECT_EQ(x.busy_period, y.busy_period) << where << " " << x.name;
+    EXPECT_EQ(x.instances, y.instances) << where << " " << x.name;
+    EXPECT_EQ(x.schedulable, y.schedulable) << where << " " << x.name;
+    EXPECT_EQ(x.diverged, y.diverged) << where << " " << x.name;
+  }
+}
+
+void expect_same_individuals(const std::vector<GaIndividual>& a, const std::vector<GaIndividual>& b,
+                             const std::string& where) {
+  ASSERT_EQ(a.size(), b.size()) << where;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].order, b[i].order) << where << " #" << i;
+    EXPECT_EQ(a[i].misses, b[i].misses) << where << " #" << i;
+    EXPECT_EQ(a[i].robustness_cost, b[i].robustness_cost) << where << " #" << i;
+  }
+}
+
+TEST(ParallelDeterminism, JitterSweepBitExact) {
+  const KMatrix km = case_matrix();
+  JitterSweepConfig serial;
+  serial.rta = worst_case_assumptions();
+  serial.parallelism = 1;
+  JitterSweepConfig parallel = serial;
+  parallel.parallelism = 4;
+
+  const JitterSweepResult a = sweep_jitter(km, serial);
+  const JitterSweepResult b = sweep_jitter(km, parallel);
+  ASSERT_EQ(a.fractions, b.fractions);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t i = 0; i < a.results.size(); ++i)
+    expect_same_bus_result(a.results[i], b.results[i],
+                           "jitter point " + std::to_string(a.fractions[i]));
+}
+
+TEST(ParallelDeterminism, ErrorSweepBitExact) {
+  const KMatrix km = case_matrix();
+  ErrorSweepConfig serial;
+  serial.rta = worst_case_assumptions();
+  serial.parallelism = 1;
+  ErrorSweepConfig parallel = serial;
+  parallel.parallelism = 4;
+
+  const ErrorSweepResult a = sweep_errors(km, serial);
+  const ErrorSweepResult b = sweep_errors(km, parallel);
+  ASSERT_EQ(a.min_inter_error.size(), b.min_inter_error.size());
+  for (std::size_t i = 0; i < a.min_inter_error.size(); ++i) {
+    EXPECT_EQ(a.min_inter_error[i], b.min_inter_error[i]);
+    expect_same_bus_result(a.results[i], b.results[i], "error point " + std::to_string(i));
+  }
+}
+
+TEST(ParallelDeterminism, GaBitExact) {
+  const KMatrix km = case_matrix();
+  GaConfig serial;
+  serial.rta = worst_case_assumptions();
+  serial.population = 16;
+  serial.archive = 8;
+  serial.generations = 6;
+  serial.seeds = {current_order(km), deadline_monotonic_order(km)};
+  serial.parallelism = 1;
+  GaConfig parallel = serial;
+  parallel.parallelism = 4;
+
+  const GaResult a = optimize_priorities(km, serial);
+  const GaResult b = optimize_priorities(km, parallel);
+  EXPECT_EQ(a.best.order, b.best.order);
+  EXPECT_EQ(a.best.misses, b.best.misses);
+  EXPECT_EQ(a.best.robustness_cost, b.best.robustness_cost);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.best_misses_history, b.best_misses_history);
+  expect_same_individuals(a.pareto, b.pareto, "GA pareto");
+}
+
+TEST(ParallelDeterminism, Nsga2FrontBitExact) {
+  const KMatrix km = case_matrix();
+  GaConfig serial;
+  serial.rta = worst_case_assumptions();
+  serial.population = 16;
+  serial.generations = 6;
+  serial.seeds = {current_order(km), deadline_monotonic_order(km)};
+  serial.parallelism = 1;
+  GaConfig parallel = serial;
+  parallel.parallelism = 4;
+
+  const GaResult a = optimize_priorities_nsga2(km, serial);
+  const GaResult b = optimize_priorities_nsga2(km, parallel);
+  EXPECT_EQ(a.best.order, b.best.order);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.best_misses_history, b.best_misses_history);
+  expect_same_individuals(a.pareto, b.pareto, "NSGA-II front");
+}
+
+TEST(ParallelDeterminism, SensitivityReportBitExact) {
+  const KMatrix km = case_matrix();
+  JitterSweepConfig serial;
+  serial.rta = best_case_assumptions();
+  serial.parallelism = 1;
+  JitterSweepConfig parallel = serial;
+  parallel.parallelism = 4;
+
+  const SensitivityReport a = analyze_sensitivity(km, serial);
+  const SensitivityReport b = analyze_sensitivity(km, parallel);
+  ASSERT_EQ(a.messages.size(), b.messages.size());
+  for (std::size_t i = 0; i < a.messages.size(); ++i) {
+    EXPECT_EQ(a.messages[i].name, b.messages[i].name);
+    EXPECT_EQ(a.messages[i].cls, b.messages[i].cls) << a.messages[i].name;
+    EXPECT_EQ(a.messages[i].wcrt_at_zero, b.messages[i].wcrt_at_zero) << a.messages[i].name;
+    EXPECT_EQ(a.messages[i].wcrt_at_max, b.messages[i].wcrt_at_max) << a.messages[i].name;
+    EXPECT_EQ(a.messages[i].relative_growth, b.messages[i].relative_growth) << a.messages[i].name;
+    EXPECT_EQ(a.messages[i].max_tolerable_fraction, b.messages[i].max_tolerable_fraction)
+        << a.messages[i].name;
+  }
+}
+
+TEST(ParallelDeterminism, ExtensibilityBitExact) {
+  const KMatrix km = case_matrix();
+  const CanRtaConfig rta = worst_case_assumptions();
+  ExtensionProfile profile;
+  profile.first_id = 0x600;
+
+  const ExtensibilityReport a = max_additional_messages(km, rta, profile, 64, 1);
+  const ExtensibilityReport b = max_additional_messages(km, rta, profile, 64, 4);
+  EXPECT_EQ(a.max_additional_messages, b.max_additional_messages);
+  EXPECT_EQ(a.utilization_at_max, b.utilization_at_max);
+  EXPECT_EQ(a.capped, b.capped);
+  ASSERT_EQ(a.steps.size(), b.steps.size());
+  for (std::size_t i = 0; i < a.steps.size(); ++i) {
+    EXPECT_EQ(a.steps[i].added, b.steps[i].added);
+    EXPECT_EQ(a.steps[i].utilization, b.steps[i].utilization);
+    EXPECT_EQ(a.steps[i].schedulable, b.steps[i].schedulable);
+    EXPECT_EQ(a.steps[i].first_miss, b.steps[i].first_miss);
+  }
+}
+
+TEST(ParallelDeterminism, HardwareWidthMatchesSerialToo) {
+  // parallelism = 0 (hardware concurrency) is the CLI default; it must
+  // agree with serial exactly like any explicit width.
+  const KMatrix km = case_matrix();
+  JitterSweepConfig serial;
+  serial.rta = worst_case_assumptions();
+  serial.parallelism = 1;
+  JitterSweepConfig hardware = serial;
+  hardware.parallelism = 0;
+  const JitterSweepResult a = sweep_jitter(km, serial);
+  const JitterSweepResult b = sweep_jitter(km, hardware);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t i = 0; i < a.results.size(); ++i)
+    expect_same_bus_result(a.results[i], b.results[i], "hw point " + std::to_string(i));
+}
+
+}  // namespace
+}  // namespace symcan
