@@ -85,6 +85,7 @@ BENCHMARK(BM_ErrorSweep);
 }  // namespace symcan::bench
 
 int main(int argc, char** argv) {
+  symcan::bench::json_arg(argc, argv);
   symcan::bench::reproduce();
   return symcan::bench::run_benchmarks(argc, argv);
 }

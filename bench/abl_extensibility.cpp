@@ -99,6 +99,7 @@ BENCHMARK(BM_ExtensibilitySearch);
 }  // namespace symcan::bench
 
 int main(int argc, char** argv) {
+  symcan::bench::json_arg(argc, argv);
   symcan::bench::reproduce();
   return symcan::bench::run_benchmarks(argc, argv);
 }

@@ -131,6 +131,7 @@ BENCHMARK(BM_GaOptimize)->Arg(1)->Arg(4)->ArgName("jobs")->Unit(benchmark::kMill
 }  // namespace symcan::bench
 
 int main(int argc, char** argv) {
+  symcan::bench::json_arg(argc, argv);
   symcan::bench::reproduce(symcan::bench::jobs_arg(argc, argv));
   return symcan::bench::run_benchmarks(argc, argv);
 }

@@ -78,6 +78,7 @@ BENCHMARK(BM_LoadAnalysisPowertrain);
 }  // namespace symcan::bench
 
 int main(int argc, char** argv) {
+  symcan::bench::json_arg(argc, argv);
   symcan::bench::reproduce();
   return symcan::bench::run_benchmarks(argc, argv);
 }

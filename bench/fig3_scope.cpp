@@ -103,6 +103,7 @@ BENCHMARK(BM_FullScopeAnalysis);
 }  // namespace symcan::bench
 
 int main(int argc, char** argv) {
+  symcan::bench::json_arg(argc, argv);
   symcan::bench::reproduce();
   return symcan::bench::run_benchmarks(argc, argv);
 }

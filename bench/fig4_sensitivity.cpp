@@ -104,6 +104,7 @@ BENCHMARK(BM_MaxTolerableJitterSearch);
 }  // namespace symcan::bench
 
 int main(int argc, char** argv) {
+  symcan::bench::json_arg(argc, argv);
   symcan::bench::reproduce(symcan::bench::jobs_arg(argc, argv));
   return symcan::bench::run_benchmarks(argc, argv);
 }

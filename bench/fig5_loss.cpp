@@ -95,6 +95,7 @@ BENCHMARK(BM_GaGeneration);
 }  // namespace symcan::bench
 
 int main(int argc, char** argv) {
+  symcan::bench::json_arg(argc, argv);
   symcan::bench::reproduce();
   return symcan::bench::run_benchmarks(argc, argv);
 }

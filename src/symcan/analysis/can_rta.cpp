@@ -5,16 +5,22 @@
 #include <map>
 #include <stdexcept>
 
+#include "symcan/obs/obs.hpp"
+
 namespace symcan {
 
 namespace {
 
 /// Iterate a monotone fixed point x = f(x) starting from x0, bounded by
 /// `horizon`. Returns the fixed point, or infinite() when it diverges.
+/// `iterations` accumulates the number of evaluations of f — counted
+/// locally and flushed to obs by the caller so the hot loop stays free of
+/// atomics.
 template <typename F>
-Duration fixed_point(Duration x0, Duration horizon, F&& f) {
+Duration fixed_point(Duration x0, Duration horizon, std::int64_t& iterations, F&& f) {
   Duration x = x0;
   for (;;) {
+    ++iterations;
     const Duration next = f(x);
     if (next == x) return x;
     if (next > horizon) return Duration::infinite();
@@ -188,9 +194,11 @@ MessageResult CanRta::analyze_message(std::size_t index) const {
 
   // Length of the level-m busy period: processor demand of m itself, all
   // higher-priority traffic, blocking, and fault recovery.
-  const Duration busy = fixed_point(blocking + c_m, cfg_.horizon, [&](Duration t) {
+  std::int64_t iterations = 0;
+  const Duration busy = fixed_point(blocking + c_m, cfg_.horizon, iterations, [&](Duration t) {
     return blocking + em_m.eta_plus(t) * c_m + hp_interference(t) + error_overhead(t, index);
   });
+  res.fixedpoint_iterations = iterations;
   if (busy.is_infinite()) {
     res.wcrt = Duration::infinite();
     res.busy_period = Duration::infinite();
@@ -209,9 +217,12 @@ MessageResult CanRta::analyze_message(std::size_t index) const {
     // instance q gets the bus (a frame queued up to one bit time after
     // the arbitration decision still wins), and fault recovery covering
     // the window up to the end of instance q's transmission.
-    const Duration w = fixed_point(blocking + q * c_m, cfg_.horizon, [&](Duration t) {
-      return blocking + q * c_m + hp_interference(t + tau_bit) + error_overhead(t + c_m, index);
-    });
+    const Duration w =
+        fixed_point(blocking + q * c_m, cfg_.horizon, iterations, [&](Duration t) {
+          return blocking + q * c_m + hp_interference(t + tau_bit) +
+                 error_overhead(t + c_m, index);
+        });
+    res.fixedpoint_iterations = iterations;
     if (w.is_infinite()) {
       res.wcrt = Duration::infinite();
       res.diverged = true;
@@ -236,10 +247,28 @@ MessageResult CanRta::analyze_message(std::size_t index) const {
 }
 
 BusResult CanRta::analyze() const {
+  SYMCAN_OBS_SPAN("rta.can.analyze");
   BusResult out;
   out.utilization = km_.utilization(cfg_.worst_case_stuffing);
   out.messages.reserve(km_.size());
   for (std::size_t i = 0; i < km_.size(); ++i) out.messages.push_back(analyze_message(i));
+  if (obs::enabled()) {
+    // Convergence cost was counted locally per message; flush it in one
+    // pass so the fixed-point loops themselves stay atomic-free.
+    auto& m = obs::metrics();
+    std::int64_t total_iters = 0;
+    std::int64_t diverged = 0;
+    auto& per_message = m.histogram("rta.can.iterations_per_message");
+    for (const auto& r : out.messages) {
+      total_iters += r.fixedpoint_iterations;
+      diverged += r.diverged ? 1 : 0;
+      per_message.observe(static_cast<double>(r.fixedpoint_iterations));
+    }
+    m.counter("rta.can.analyses").add(1);
+    m.counter("rta.can.messages").add(static_cast<std::int64_t>(out.messages.size()));
+    m.counter("rta.can.fixedpoint_iterations").add(total_iters);
+    m.counter("rta.can.diverged").add(diverged);
+  }
   return out;
 }
 

@@ -77,6 +77,10 @@ struct MessageResult {
   Duration busy_period = Duration::zero();
   std::int64_t instances = 1;
 
+  /// Total fixed-point iterations spent on this message (busy period plus
+  /// all per-instance windows) — the convergence cost profilers care about.
+  std::int64_t fixedpoint_iterations = 0;
+
   bool schedulable = false;  ///< wcrt <= deadline (a lost message otherwise).
   bool diverged = false;     ///< Fixed point hit the horizon.
 

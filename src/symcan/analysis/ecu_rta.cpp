@@ -4,14 +4,17 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "symcan/obs/obs.hpp"
+
 namespace symcan {
 
 namespace {
 
 template <typename F>
-Duration fixed_point(Duration x0, Duration horizon, F&& f) {
+Duration fixed_point(Duration x0, Duration horizon, std::int64_t& iterations, F&& f) {
   Duration x = x0;
   for (;;) {
+    ++iterations;
     const Duration next = f(x);
     if (next == x) return x;
     if (next > horizon) return Duration::infinite();
@@ -108,9 +111,11 @@ TaskResult EcuRta::analyze_task(std::size_t index) const {
   };
 
   const EventModel& em_me = me.activation;
-  const Duration busy = fixed_point(blocking + c_me, horizon_, [&](Duration t) {
+  std::int64_t iterations = 0;
+  const Duration busy = fixed_point(blocking + c_me, horizon_, iterations, [&](Duration t) {
     return blocking + em_me.eta_plus(t) * c_me + hp_interference(t);
   });
+  res.fixedpoint_iterations = iterations;
   if (busy.is_infinite()) {
     res.diverged = true;
     res.schedulable = false;
@@ -126,9 +131,11 @@ TaskResult EcuRta::analyze_task(std::size_t index) const {
     // Preemptive completion-time analysis: instance q completes when
     // blocking + (q+1) own demands + all higher-priority demand released
     // up to that point has been served.
-    const Duration w = fixed_point(blocking + (q + 1) * c_me, horizon_, [&](Duration t) {
-      return blocking + (q + 1) * c_me + hp_interference(t);
-    });
+    const Duration w =
+        fixed_point(blocking + (q + 1) * c_me, horizon_, iterations, [&](Duration t) {
+          return blocking + (q + 1) * c_me + hp_interference(t);
+        });
+    res.fixedpoint_iterations = iterations;
     if (w.is_infinite()) {
       res.diverged = true;
       res.schedulable = false;
@@ -144,12 +151,28 @@ TaskResult EcuRta::analyze_task(std::size_t index) const {
 }
 
 EcuResult EcuRta::analyze() const {
+  SYMCAN_OBS_SPAN("rta.ecu.analyze");
   EcuResult out;
   out.tasks.reserve(tasks_.size());
   double u = 0;
   for (const auto& t : tasks_) u += demand(t).as_s() / t.activation.period().as_s();
   out.utilization = u;
   for (std::size_t i = 0; i < tasks_.size(); ++i) out.tasks.push_back(analyze_task(i));
+  if (obs::enabled()) {
+    auto& m = obs::metrics();
+    std::int64_t total_iters = 0;
+    std::int64_t diverged = 0;
+    auto& per_task = m.histogram("rta.ecu.iterations_per_task");
+    for (const auto& r : out.tasks) {
+      total_iters += r.fixedpoint_iterations;
+      diverged += r.diverged ? 1 : 0;
+      per_task.observe(static_cast<double>(r.fixedpoint_iterations));
+    }
+    m.counter("rta.ecu.analyses").add(1);
+    m.counter("rta.ecu.tasks").add(static_cast<std::int64_t>(out.tasks.size()));
+    m.counter("rta.ecu.fixedpoint_iterations").add(total_iters);
+    m.counter("rta.ecu.diverged").add(diverged);
+  }
   return out;
 }
 

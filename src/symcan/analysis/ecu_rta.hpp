@@ -35,6 +35,8 @@ struct TaskResult {
   Duration blocking = Duration::zero();
   Duration busy_period = Duration::zero();
   std::int64_t instances = 1;
+  /// Total fixed-point iterations spent on this task (see MessageResult).
+  std::int64_t fixedpoint_iterations = 0;
   bool schedulable = false;
   bool diverged = false;
 

@@ -56,6 +56,23 @@ std::int64_t Args::count_option_or(const std::string& name, std::int64_t fallbac
   return v;
 }
 
+std::int64_t Args::positive_option_or(const std::string& name, std::int64_t fallback) const {
+  const std::int64_t v = int_option_or(name, fallback);
+  if (v <= 0)
+    throw std::invalid_argument("option --" + name + " must be > 0");
+  return v;
+}
+
+std::optional<std::string> Args::path_option(const std::string& name) const {
+  const auto v = option(name);
+  if (!v) return std::nullopt;
+  if (v->empty())
+    throw std::invalid_argument("option --" + name + " expects a non-empty path");
+  if (v->rfind("--", 0) == 0)
+    throw std::invalid_argument("option --" + name + " expects a path, got '" + *v + "'");
+  return v;
+}
+
 double Args::double_option_or(const std::string& name, double fallback) const {
   const auto v = option(name);
   if (!v) return fallback;

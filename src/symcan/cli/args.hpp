@@ -37,6 +37,15 @@ class Args {
   /// such as --jobs, --population, --millis).
   std::int64_t count_option_or(const std::string& name, std::int64_t fallback) const;
 
+  /// Like count_option_or but additionally rejects zero (sizes such as
+  /// --messages or --generations where 0 is meaningless).
+  std::int64_t positive_option_or(const std::string& name, std::int64_t fallback) const;
+
+  /// Output-file path option: rejects empty values and values that look
+  /// like another option ("--trace-out --metrics-out m.json" is a missing
+  /// value, not a file named "--metrics-out"). nullopt when absent.
+  std::optional<std::string> path_option(const std::string& name) const;
+
   /// Options that were provided but never read — surfaced as errors so
   /// typos do not silently change behaviour.
   std::vector<std::string> unused() const;

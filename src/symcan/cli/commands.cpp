@@ -9,6 +9,8 @@
 #include "symcan/can/dbc_import.hpp"
 #include "symcan/can/kmatrix_io.hpp"
 #include "symcan/cli/args.hpp"
+#include "symcan/obs/export.hpp"
+#include "symcan/obs/obs.hpp"
 #include "symcan/opt/ga.hpp"
 #include "symcan/sensitivity/extensibility.hpp"
 #include "symcan/supplychain/budget.hpp"
@@ -62,10 +64,10 @@ void fail_on_unused(const Args& args) {
 int cmd_generate(const Args& args, std::ostream& out) {
   PowertrainConfig cfg = PowertrainConfig::case_study();
   cfg.seed = static_cast<std::uint64_t>(args.int_option_or("seed", 42));
-  cfg.message_count = static_cast<int>(args.int_option_or("messages", cfg.message_count));
-  cfg.ecu_count = static_cast<int>(args.int_option_or("ecus", cfg.ecu_count));
+  cfg.message_count = static_cast<int>(args.positive_option_or("messages", cfg.message_count));
+  cfg.ecu_count = static_cast<int>(args.positive_option_or("ecus", cfg.ecu_count));
   cfg.target_utilization = args.double_option_or("util", cfg.target_utilization);
-  cfg.bitrate_bps = args.int_option_or("bitrate", cfg.bitrate_bps);
+  cfg.bitrate_bps = args.positive_option_or("bitrate", cfg.bitrate_bps);
   const std::string output = args.option_or("out", "");
   KMatrix km = generate_powertrain(cfg);
   if (args.has_flag("tt-offsets")) {
@@ -142,8 +144,8 @@ int cmd_optimize(const Args& args, std::ostream& out) {
   GaConfig cfg;
   cfg.rta = args.has_flag("best-case") ? best_case_assumptions() : worst_case_assumptions();
   cfg.seed = static_cast<std::uint64_t>(args.int_option_or("seed", 7));
-  cfg.generations = static_cast<int>(args.int_option_or("generations", 25));
-  cfg.population = static_cast<int>(args.int_option_or("population", 32));
+  cfg.generations = static_cast<int>(args.positive_option_or("generations", 25));
+  cfg.population = static_cast<int>(args.positive_option_or("population", 32));
   cfg.archive = std::max(2, cfg.population / 2);
   cfg.eval_fractions = {args.double_option_or("target-jitter", 0.25)};
   cfg.seeds = {current_order(km), deadline_monotonic_order(km)};
@@ -167,14 +169,15 @@ int cmd_optimize(const Args& args, std::ostream& out) {
 int cmd_simulate(const Args& args, std::ostream& out) {
   const KMatrix km = load_matrix(args);
   SimConfig cfg;
-  cfg.duration = Duration::ms(args.int_option_or("millis", 2000));
+  cfg.duration = Duration::ms(args.positive_option_or("millis", 2000));
   cfg.seed = static_cast<std::uint64_t>(args.int_option_or("seed", 1));
   const std::string errors = args.option_or("errors", "none");
   if (errors == "sporadic")
-    cfg.errors = SimErrorProcess::sporadic(Duration::ms(args.int_option_or("error-gap-ms", 40)));
+    cfg.errors =
+        SimErrorProcess::sporadic(Duration::ms(args.positive_option_or("error-gap-ms", 40)));
   else if (errors == "burst")
     cfg.errors =
-        SimErrorProcess::burst(Duration::ms(args.int_option_or("error-gap-ms", 25)), 4);
+        SimErrorProcess::burst(Duration::ms(args.positive_option_or("error-gap-ms", 25)), 4);
   else if (errors != "none")
     throw std::invalid_argument("--errors must be none|sporadic|burst");
   fail_on_unused(args);
@@ -300,8 +303,8 @@ int cmd_import(const Args& args, std::ostream& out) {
 int cmd_extend(const Args& args, std::ostream& out) {
   const KMatrix km = load_matrix(args);
   ExtensionProfile profile;
-  profile.period = Duration::ms(args.int_option_or("period-ms", 20));
-  profile.payload_bytes = static_cast<int>(args.int_option_or("bytes", 8));
+  profile.period = Duration::ms(args.positive_option_or("period-ms", 20));
+  profile.payload_bytes = static_cast<int>(args.count_option_or("bytes", 8));
   profile.jitter_fraction = args.double_option_or("profile-jitter", 0.25);
   profile.first_id = static_cast<CanId>(args.int_option_or("first-id", 0x600));
   const CanRtaConfig cfg = assumptions_from(args);
@@ -318,6 +321,21 @@ int cmd_extend(const Args& args, std::ostream& out) {
 }
 
 }  // namespace
+
+std::string version_string() {
+#ifndef SYMCAN_VERSION
+#define SYMCAN_VERSION "0.0.0"
+#endif
+#ifndef SYMCAN_BUILD_TYPE
+#define SYMCAN_BUILD_TYPE "unspecified"
+#endif
+#ifndef SYMCAN_SANITIZE_NAME
+#define SYMCAN_SANITIZE_NAME "none"
+#endif
+  return std::string("symcan ") + SYMCAN_VERSION + " (build: " + SYMCAN_BUILD_TYPE +
+         ", sanitizer: " + SYMCAN_SANITIZE_NAME + ", C++" +
+         std::to_string(__cplusplus / 100 % 100) + ")";
+}
 
 std::string usage() {
   return "usage: symcan <command> [options]\n"
@@ -336,10 +354,15 @@ std::string usage() {
          "              [--error-gap-ms N]\n"
          "  extend      FILE [--period-ms N] [--bytes N] [--profile-jitter F]\n"
          "              [--first-id N] [--jobs N] [--worst-case|--best-case]\n"
+         "  version     print version and build configuration\n"
          "  help\n"
          "--jobs N selects N worker threads for sweep/sensitivity/optimize/\n"
          "extend/report (0 = all hardware threads, the default; results are\n"
-         "bit-identical at any width).\n";
+         "bit-identical at any width).\n"
+         "--trace-out FILE / --metrics-out FILE work with every command:\n"
+         "they record spans (chrome://tracing JSON) and metrics (counters,\n"
+         "histograms, per-iteration series) for the run and write them on\n"
+         "exit.\n";
 }
 
 int run_cli(const std::vector<std::string>& argv_tail, std::ostream& out, std::ostream& err) {
@@ -347,25 +370,51 @@ int run_cli(const std::vector<std::string>& argv_tail, std::ostream& out, std::o
     out << usage();
     return argv_tail.empty() ? 2 : 0;
   }
+  if (argv_tail[0] == "version" || argv_tail[0] == "--version") {
+    out << version_string() << "\n";
+    return 0;
+  }
   const std::string command = argv_tail[0];
   const std::vector<std::string> rest(argv_tail.begin() + 1, argv_tail.end());
   try {
     const std::vector<std::string> flags = {"worst-case", "best-case", "override-known",
                                             "tt-offsets", "dbc"};
     const Args args = Args::parse(rest, flags);
-    if (command == "generate") return cmd_generate(args, out);
-    if (command == "analyze") return cmd_analyze(args, out);
-    if (command == "sweep") return cmd_sweep(args, out);
-    if (command == "import") return cmd_import(args, out);
-    if (command == "report") return cmd_report(args, out);
-    if (command == "budget") return cmd_budget(args, out);
-    if (command == "sensitivity") return cmd_sensitivity(args, out);
-    if (command == "optimize") return cmd_optimize(args, out);
-    if (command == "simulate") return cmd_simulate(args, out);
-    if (command == "extend") return cmd_extend(args, out);
-    err << "symcan: unknown command '" << command << "'\n" << usage();
-    return 2;
+
+    // Observability exports apply to every command: validate the paths up
+    // front (so a bad path fails before a long run) and enable recording
+    // only when at least one export was requested.
+    const std::optional<std::string> trace_out = args.path_option("trace-out");
+    const std::optional<std::string> metrics_out = args.path_option("metrics-out");
+    if (trace_out || metrics_out) {
+      obs::reset();
+      obs::set_enabled(true);
+    }
+
+    const auto dispatch = [&]() -> int {
+      if (command == "generate") return cmd_generate(args, out);
+      if (command == "analyze") return cmd_analyze(args, out);
+      if (command == "sweep") return cmd_sweep(args, out);
+      if (command == "import") return cmd_import(args, out);
+      if (command == "report") return cmd_report(args, out);
+      if (command == "budget") return cmd_budget(args, out);
+      if (command == "sensitivity") return cmd_sensitivity(args, out);
+      if (command == "optimize") return cmd_optimize(args, out);
+      if (command == "simulate") return cmd_simulate(args, out);
+      if (command == "extend") return cmd_extend(args, out);
+      err << "symcan: unknown command '" << command << "'\n" << usage();
+      return 2;
+    };
+    const int rc = dispatch();
+
+    if (trace_out || metrics_out) {
+      obs::set_enabled(false);
+      if (metrics_out) obs::write_file(*metrics_out, obs::metrics_to_json(obs::metrics()));
+      if (trace_out) obs::write_file(*trace_out, obs::trace_to_chrome_json(obs::tracer()));
+    }
+    return rc;
   } catch (const std::exception& e) {
+    obs::set_enabled(false);
     err << "symcan " << command << ": " << e.what() << "\n";
     return 2;
   }

@@ -28,4 +28,8 @@ int run_cli(const std::vector<std::string>& argv_tail, std::ostream& out, std::o
 /// One-line summary per command, used by `symcan help`.
 std::string usage();
 
+/// "symcan <version> (build: ..., sanitizer: ..., C++20)" — printed by
+/// `symcan version` / `symcan --version`.
+std::string version_string();
+
 }  // namespace symcan::cli

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "symcan/obs/obs.hpp"
+
 namespace symcan {
 
 bool SystemResult::all_schedulable() const {
@@ -43,6 +45,7 @@ Engine::Engine(System sys, EngineConfig cfg) : sys_{std::move(sys)}, cfg_{std::m
 }
 
 SystemResult Engine::analyze_all_resources() {
+  SYMCAN_OBS_SPAN("engine.analyze_resources");
   SystemResult r;
   for (const auto& [name, km] : buses_) r.buses.emplace(name, CanRta{km, cfg_.bus}.analyze());
   for (const auto& [name, tasks] : ecus_) {
@@ -78,6 +81,7 @@ Engine::ElementState Engine::lookup(const SystemResult& r, const PathElement& el
 }
 
 bool Engine::propagate(const SystemResult& r) {
+  SYMCAN_OBS_SPAN("engine.propagate");
   bool changed = false;
   for (const auto& p : sys_.paths()) {
     EventModel m = p.source;
@@ -116,6 +120,7 @@ bool Engine::propagate(const SystemResult& r) {
 }
 
 SystemResult Engine::analyze() {
+  SYMCAN_OBS_SPAN("engine.analyze");
   SystemResult result;
   for (int iter = 1; iter <= cfg_.max_iterations; ++iter) {
     result = analyze_all_resources();
@@ -124,6 +129,12 @@ SystemResult Engine::analyze() {
       result.converged = true;
       break;
     }
+  }
+  if (obs::enabled()) {
+    auto& m = obs::metrics();
+    m.counter("engine.analyses").add(1);
+    m.counter("engine.iterations").add(result.iterations);
+    if (!result.converged) m.counter("engine.unconverged").add(1);
   }
   // End-to-end path latencies from the final resource results.
   for (const auto& p : sys_.paths()) {

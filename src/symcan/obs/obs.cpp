@@ -1,0 +1,26 @@
+#include "symcan/obs/obs.hpp"
+
+namespace symcan::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+void set_enabled(bool on) { detail::g_enabled.store(on, std::memory_order_relaxed); }
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Tracer& tracer() {
+  static Tracer t;
+  return t;
+}
+
+void reset() {
+  metrics().reset();
+  tracer().reset();
+}
+
+}  // namespace symcan::obs

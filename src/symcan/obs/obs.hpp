@@ -1,0 +1,94 @@
+#pragma once
+
+// symcan::obs — tracing, metrics & profiling for the analysis pipeline.
+//
+// One global switch gates everything:
+//
+//   symcan::obs::set_enabled(true);
+//   ... run analyses ...
+//   write_file("m.json", metrics_to_json(symcan::obs::metrics()));
+//   write_file("t.json", trace_to_chrome_json(symcan::obs::tracer()));
+//
+// Overhead contract: when disabled, every instrumentation point costs a
+// single relaxed atomic load and performs no allocation — enforced by
+// tests/obs/obs_overhead_test.cpp. Instrumented layers therefore guard
+// with obs::enabled() (or use the helpers below, which do) before
+// touching the registry or tracer.
+
+#include <cstdint>
+
+#include "symcan/obs/metrics.hpp"
+#include "symcan/obs/trace.hpp"
+
+namespace symcan::obs {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// The single gate every instrumentation point checks first.
+inline bool enabled() { return detail::g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on);
+
+/// Process-wide registry / tracer (lazily constructed on first use, which
+/// only happens once observation is enabled or an export is requested).
+MetricsRegistry& metrics();
+Tracer& tracer();
+
+/// Clear all recorded data (counters, histograms, series, trace events).
+/// The enabled flag is left unchanged; cached handles stay valid.
+void reset();
+
+/// No-ops when disabled; never allocate on the disabled path.
+inline void count(const char* name, std::int64_t delta = 1) {
+  if (!enabled()) return;
+  metrics().counter(name).add(delta);
+}
+
+inline void gauge_set(const char* name, double v) {
+  if (!enabled()) return;
+  metrics().gauge(name).set(v);
+}
+
+/// Observe into a default-bucket (microsecond-scale) histogram.
+inline void observe(const char* name, double v) {
+  if (!enabled()) return;
+  metrics().histogram(name).observe(v);
+}
+
+inline void instant(const char* name) {
+  if (!enabled()) return;
+  tracer().record_instant(name);
+}
+
+/// RAII span: records [construction, destruction) into the tracer when
+/// observation was enabled at construction. `name` must outlive the
+/// guard (string literals at every call site).
+class SpanGuard {
+ public:
+  explicit SpanGuard(const char* name) {
+    if (!enabled()) return;
+    name_ = name;
+    start_us_ = tracer().now_us();
+  }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+  ~SpanGuard() {
+    if (name_ == nullptr) return;
+    Tracer& t = tracer();
+    t.record_span(name_, start_us_, t.now_us());
+  }
+
+ private:
+  const char* name_ = nullptr;
+  std::int64_t start_us_ = 0;
+};
+
+}  // namespace symcan::obs
+
+#define SYMCAN_OBS_CONCAT2(a, b) a##b
+#define SYMCAN_OBS_CONCAT(a, b) SYMCAN_OBS_CONCAT2(a, b)
+/// Scoped span covering the rest of the enclosing block.
+#define SYMCAN_OBS_SPAN(name) \
+  ::symcan::obs::SpanGuard SYMCAN_OBS_CONCAT(symcan_obs_span_, __LINE__) { name }

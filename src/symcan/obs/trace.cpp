@@ -1,0 +1,87 @@
+#include "symcan/obs/trace.hpp"
+
+#include <algorithm>
+
+namespace symcan::obs {
+
+namespace {
+
+/// Epoch ids are unique across all Tracer instances and resets, so a
+/// thread-local buffer pointer from a previous epoch (or another tracer)
+/// is never mistaken for a current one.
+std::atomic<std::uint64_t> g_next_epoch{1};
+
+struct Tls {
+  const void* owner = nullptr;
+  std::uint64_t epoch = 0;
+  void* buffer = nullptr;
+};
+
+thread_local Tls tls;
+
+}  // namespace
+
+Tracer::Tracer()
+    : epoch_{g_next_epoch.fetch_add(1, std::memory_order_relaxed)},
+      epoch_time_{std::chrono::steady_clock::now()} {}
+
+std::int64_t Tracer::now_us() const {
+  const auto d = std::chrono::steady_clock::now() - epoch_time_;
+  return std::chrono::duration_cast<std::chrono::microseconds>(d).count();
+}
+
+Tracer::Buffer& Tracer::local_buffer() {
+  const std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
+  if (tls.owner != this || tls.epoch != epoch) {
+    std::lock_guard<std::mutex> lk{m_};
+    buffers_.push_back(std::make_unique<Buffer>());
+    buffers_.back()->tid = next_tid_++;
+    tls.owner = this;
+    tls.epoch = epoch_.load(std::memory_order_relaxed);
+    tls.buffer = buffers_.back().get();
+  }
+  return *static_cast<Buffer*>(tls.buffer);
+}
+
+void Tracer::record_span(const char* name, std::int64_t start_us, std::int64_t end_us) {
+  Buffer& b = local_buffer();
+  if (b.events.size() >= kMaxEventsPerBuffer) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  b.events.push_back(TraceEvent{name, start_us, end_us - start_us, b.tid});
+}
+
+void Tracer::record_instant(const char* name) {
+  Buffer& b = local_buffer();
+  if (b.events.size() >= kMaxEventsPerBuffer) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  b.events.push_back(TraceEvent{name, now_us(), -1, b.tid});
+}
+
+std::vector<TraceEvent> Tracer::collect() const {
+  std::lock_guard<std::mutex> lk{m_};
+  std::vector<TraceEvent> out;
+  std::size_t total = 0;
+  for (const auto& b : buffers_) total += b->events.size();
+  out.reserve(total);
+  for (const auto& b : buffers_) out.insert(out.end(), b->events.begin(), b->events.end());
+  std::stable_sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.start_us != b.start_us) return a.start_us < b.start_us;
+    return a.tid < b.tid;
+  });
+  return out;
+}
+
+void Tracer::reset() {
+  std::lock_guard<std::mutex> lk{m_};
+  buffers_.clear();
+  next_tid_ = 0;
+  dropped_.store(0, std::memory_order_relaxed);
+  epoch_time_ = std::chrono::steady_clock::now();
+  epoch_.store(g_next_epoch.fetch_add(1, std::memory_order_relaxed), std::memory_order_release);
+}
+
+}  // namespace symcan::obs

@@ -1,0 +1,66 @@
+#pragma once
+
+// symcan::obs tracing: scoped spans collected into per-thread event
+// buffers and exported in Chrome `chrome://tracing` format (export.hpp).
+//
+// Threading model: each recording thread appends to its own buffer, so
+// recording never contends on a lock (the tracer mutex is taken once per
+// thread to register the buffer, and by collect()/reset()). collect()
+// must not race recording — the CLI and benches export after all worker
+// fan-outs have joined, which ParallelExecutor::run guarantees.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace symcan::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::int64_t start_us = 0;  ///< Microseconds since the tracer epoch.
+  std::int64_t dur_us = 0;    ///< Span duration; 0 allowed, -1 = instant event.
+  int tid = 0;                ///< Small sequential id per recording thread.
+};
+
+class Tracer {
+ public:
+  Tracer();
+
+  /// Microseconds since the tracer epoch (construction or last reset).
+  std::int64_t now_us() const;
+
+  void record_span(const char* name, std::int64_t start_us, std::int64_t end_us);
+  void record_instant(const char* name);
+
+  /// Merge every thread buffer, sorted by start time. Events dropped by
+  /// the per-buffer cap (guards unbounded growth on very long runs) are
+  /// reported via dropped().
+  std::vector<TraceEvent> collect() const;
+  std::int64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// Discard all buffers and restart the epoch clock.
+  void reset();
+
+ private:
+  struct Buffer {
+    int tid = 0;
+    std::vector<TraceEvent> events;
+  };
+
+  Buffer& local_buffer();
+
+  static constexpr std::size_t kMaxEventsPerBuffer = 1 << 22;  // ~4M spans
+
+  mutable std::mutex m_;
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+  int next_tid_ = 0;
+  std::atomic<std::uint64_t> epoch_;
+  std::chrono::steady_clock::time_point epoch_time_;
+  std::atomic<std::int64_t> dropped_{0};
+};
+
+}  // namespace symcan::obs

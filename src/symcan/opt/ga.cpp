@@ -1,9 +1,11 @@
 #include "symcan/opt/ga.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
+#include "symcan/obs/obs.hpp"
 #include "symcan/opt/permutation_ops.hpp"
 #include "symcan/util/parallel.hpp"
 #include "symcan/util/rng.hpp"
@@ -99,16 +101,27 @@ GaResult optimize_priorities(const KMatrix& km, const GaConfig& cfg) {
 
   const std::size_t n = km.size();
   GaResult result;
+  SYMCAN_OBS_SPAN("ga.optimize");
 
   // All fitness evaluation — the expensive part, each one a full RTA per
   // eval fraction — fans out over the pool; variation stays serial and
   // cheap, with every individual drawing from its own (seed, generation,
   // slot) stream so results never depend on evaluation order.
   ParallelExecutor exec{cfg.parallelism};
+  double last_eval_ms = 0;
   auto evaluate_all = [&](const std::vector<PriorityOrder>& orders) {
     result.evaluations += static_cast<int>(orders.size());
-    return exec.parallel_map(
+    const auto t0 = std::chrono::steady_clock::now();
+    auto evaluated = exec.parallel_map(
         orders, [&](const PriorityOrder& o) { return evaluate_order(km, o, cfg); });
+    last_eval_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+    if (obs::enabled()) {
+      auto& m = obs::metrics();
+      m.counter("ga.evaluations").add(static_cast<std::int64_t>(orders.size()));
+      m.histogram("ga.eval_batch_ms").observe(last_eval_ms);
+    }
+    return evaluated;
   };
 
   // Initial population (generation 0): seeds first, then random
@@ -175,6 +188,17 @@ GaResult optimize_priorities(const KMatrix& km, const GaConfig& cfg) {
     }
     pop = evaluate_all(children);
     update_champion(pop);
+
+    if (obs::enabled()) {
+      obs::count("ga.generations");
+      obs::metrics().series("ga.generations").append({
+          {"generation", static_cast<double>(gen)},
+          {"best_misses", champion.misses},
+          {"best_robustness_cost", champion.robustness_cost},
+          {"evaluations", static_cast<double>(result.evaluations)},
+          {"eval_ms", last_eval_ms},
+      });
+    }
   }
 
   // Final archive update and champion extraction.

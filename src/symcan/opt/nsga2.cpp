@@ -1,9 +1,11 @@
 #include "symcan/opt/nsga2.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <stdexcept>
 
+#include "symcan/obs/obs.hpp"
 #include "symcan/opt/permutation_ops.hpp"
 #include "symcan/util/parallel.hpp"
 #include "symcan/util/rng.hpp"
@@ -99,15 +101,26 @@ GaResult optimize_priorities_nsga2(const KMatrix& km, const GaConfig& cfg) {
   const std::size_t n = km.size();
   const std::size_t mu = static_cast<std::size_t>(cfg.population);
   GaResult result;
+  SYMCAN_OBS_SPAN("nsga2.optimize");
 
   // Parallel fitness evaluation with per-slot RNG streams — see ga.cpp;
   // the same scheme keeps NSGA-II's populations bit-identical at any
   // worker count.
   ParallelExecutor exec{cfg.parallelism};
+  double last_eval_ms = 0;
   auto evaluate_all = [&](const std::vector<PriorityOrder>& orders) {
     result.evaluations += static_cast<int>(orders.size());
-    return exec.parallel_map(
+    const auto t0 = std::chrono::steady_clock::now();
+    auto evaluated = exec.parallel_map(
         orders, [&](const PriorityOrder& o) { return evaluate_order(km, o, cfg); });
+    last_eval_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+    if (obs::enabled()) {
+      auto& m = obs::metrics();
+      m.counter("nsga2.evaluations").add(static_cast<std::int64_t>(orders.size()));
+      m.histogram("nsga2.eval_batch_ms").observe(last_eval_ms);
+    }
+    return evaluated;
   };
 
   std::vector<PriorityOrder> init = cfg.seeds;
@@ -168,6 +181,17 @@ GaResult optimize_priorities_nsga2(const KMatrix& km, const GaConfig& cfg) {
     for (std::size_t i = 0; i < mu && i < order.size(); ++i) next.push_back(pool[order[i]]);
     parents = std::move(next);
     result.best_misses_history.push_back(champion.misses);
+
+    if (obs::enabled()) {
+      obs::count("nsga2.generations");
+      obs::metrics().series("nsga2.generations").append({
+          {"generation", static_cast<double>(gen)},
+          {"best_misses", champion.misses},
+          {"best_robustness_cost", champion.robustness_cost},
+          {"evaluations", static_cast<double>(result.evaluations)},
+          {"eval_ms", last_eval_ms},
+      });
+    }
   }
 
   // Final front (dedup by objectives), champion guaranteed present.

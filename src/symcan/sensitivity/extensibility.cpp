@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "symcan/obs/obs.hpp"
 #include "symcan/util/parallel.hpp"
 
 namespace symcan {
@@ -64,6 +65,7 @@ void check_profile(const ExtensionProfile& p) {
 template <typename Grow>
 ExtensibilityReport extension_search(const KMatrix& km, const CanRtaConfig& rta, std::size_t cap,
                                      int parallelism, Grow&& grow) {
+  SYMCAN_OBS_SPAN("extensibility.search");
   ExtensibilityReport report;
   KMatrix work = km;
   ParallelExecutor exec{parallelism};
@@ -79,6 +81,7 @@ ExtensibilityReport extension_search(const KMatrix& km, const CanRtaConfig& rta,
     }
     const std::vector<ExtensionStep> steps = exec.parallel_map_indexed(
         batch, [&](std::size_t b) { return verdict(variants[b], rta, n + b + 1); });
+    obs::count("extensibility.verdicts", static_cast<std::int64_t>(steps.size()));
     for (const ExtensionStep& step : steps) {
       report.steps.push_back(step);
       if (!step.schedulable) return report;

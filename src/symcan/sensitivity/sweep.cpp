@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "symcan/obs/obs.hpp"
 #include "symcan/util/parallel.hpp"
 #include "symcan/workload/powertrain.hpp"
 
@@ -32,11 +33,22 @@ JitterSweepResult sweep_jitter(const KMatrix& km, const JitterSweepConfig& cfg) 
   // Half-step epsilon keeps the endpoint inclusive despite FP accumulation.
   for (double f = cfg.from; f <= cfg.to + cfg.step / 2; f += cfg.step) out.fractions.push_back(f);
   ParallelExecutor exec{cfg.parallelism};
-  out.results = exec.parallel_map(out.fractions, [&](double f) {
-    KMatrix variant = km;
-    assume_jitter_fraction(variant, f, cfg.override_known);
-    return CanRta{variant, cfg.rta}.analyze();
-  });
+  {
+    SYMCAN_OBS_SPAN("sweep.jitter");
+    out.results = exec.parallel_map(out.fractions, [&](double f) {
+      KMatrix variant = km;
+      assume_jitter_fraction(variant, f, cfg.override_known);
+      return CanRta{variant, cfg.rta}.analyze();
+    });
+  }
+  if (obs::enabled()) {
+    obs::count("sweep.jitter.points", static_cast<std::int64_t>(out.fractions.size()));
+    auto& series = obs::metrics().series("sweep.jitter");
+    for (std::size_t i = 0; i < out.results.size(); ++i)
+      series.append({{"fraction", out.fractions[i]},
+                     {"miss_fraction", out.results[i].miss_fraction()},
+                     {"utilization", out.results[i].utilization}});
+  }
   return out;
 }
 
@@ -51,11 +63,22 @@ ErrorSweepResult sweep_errors(const KMatrix& km, const ErrorSweepConfig& cfg) {
     out.min_inter_error.push_back(Duration::ns(static_cast<std::int64_t>(std::exp(t))));
   }
   ParallelExecutor exec{cfg.parallelism};
-  out.results = exec.parallel_map(out.min_inter_error, [&](Duration gap) {
-    CanRtaConfig rta = cfg.rta;
-    rta.errors = std::make_shared<SporadicErrors>(gap);
-    return CanRta{km, rta}.analyze();
-  });
+  {
+    SYMCAN_OBS_SPAN("sweep.errors");
+    out.results = exec.parallel_map(out.min_inter_error, [&](Duration gap) {
+      CanRtaConfig rta = cfg.rta;
+      rta.errors = std::make_shared<SporadicErrors>(gap);
+      return CanRta{km, rta}.analyze();
+    });
+  }
+  if (obs::enabled()) {
+    obs::count("sweep.errors.points", static_cast<std::int64_t>(out.min_inter_error.size()));
+    auto& series = obs::metrics().series("sweep.errors");
+    for (std::size_t i = 0; i < out.results.size(); ++i)
+      series.append({{"min_inter_error_ms", out.min_inter_error[i].as_ms()},
+                     {"miss_fraction", out.results[i].miss_fraction()},
+                     {"utilization", out.results[i].utilization}});
+  }
   return out;
 }
 

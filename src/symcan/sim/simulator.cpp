@@ -1,6 +1,7 @@
 #include "symcan/sim/simulator.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <optional>
@@ -8,6 +9,7 @@
 #include <stdexcept>
 
 #include "symcan/can/frame.hpp"
+#include "symcan/obs/obs.hpp"
 
 namespace symcan {
 
@@ -124,12 +126,28 @@ class Simulation {
         break;
     }
 
-    while (!events_.empty()) {
-      Event ev = events_.top();
-      if (ev.time > cfg_.duration) break;
-      events_.pop();
-      now_ = ev.time;
-      dispatch(ev);
+    std::int64_t dispatched = 0;
+    const auto wall0 = std::chrono::steady_clock::now();
+    {
+      SYMCAN_OBS_SPAN("sim.run");
+      while (!events_.empty()) {
+        Event ev = events_.top();
+        if (ev.time > cfg_.duration) break;
+        events_.pop();
+        now_ = ev.time;
+        dispatch(ev);
+        ++dispatched;
+      }
+    }
+    if (obs::enabled()) {
+      const double wall_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0).count();
+      auto& m = obs::metrics();
+      m.counter("sim.runs").add(1);
+      m.counter("sim.events").add(dispatched);
+      m.counter("sim.errors_injected").add(total_errors_);
+      if (wall_s > 0)
+        m.gauge("sim.events_per_sec").set(static_cast<double>(dispatched) / wall_s);
     }
 
     SimResult out;

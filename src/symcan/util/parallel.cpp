@@ -1,5 +1,9 @@
 #include "symcan/util/parallel.hpp"
 
+#include <chrono>
+
+#include "symcan/obs/obs.hpp"
+
 namespace symcan {
 
 int ParallelExecutor::resolve(int requested) {
@@ -60,8 +64,31 @@ void ParallelExecutor::worker_loop() {
 
 void ParallelExecutor::run(std::size_t count, const std::function<void(std::size_t)>& body) {
   if (count == 0) return;
+
+  // Observability: when enabled, dispatch a wrapper that times each task.
+  // Handles are fetched once per batch (registry lock), recording inside
+  // the wrapper is wait-free; when disabled this whole block is one
+  // relaxed load and `effective` aliases `body` untouched.
+  const std::function<void(std::size_t)>* effective = &body;
+  std::function<void(std::size_t)> timed;
+  if (obs::enabled()) {
+    auto& m = obs::metrics();
+    m.counter("parallel.batches").add(1);
+    m.counter("parallel.tasks").add(static_cast<std::int64_t>(count));
+    m.gauge("parallel.queue_depth").set(static_cast<double>(count));
+    m.gauge("parallel.width").set(static_cast<double>(threads_));
+    obs::Histogram& task_us = m.histogram("parallel.task_us");
+    timed = [&body, &task_us](std::size_t i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      body(i);
+      const auto dt = std::chrono::steady_clock::now() - t0;
+      task_us.observe(std::chrono::duration<double, std::micro>(dt).count());
+    };
+    effective = &timed;
+  }
+
   if (workers_.empty() || count == 1) {
-    for (std::size_t i = 0; i < count; ++i) body(i);
+    for (std::size_t i = 0; i < count; ++i) (*effective)(i);
     return;
   }
   {
@@ -70,14 +97,14 @@ void ParallelExecutor::run(std::size_t count, const std::function<void(std::size
     // old body and dispenser; wait until everyone is back in the waiting
     // room before redirecting them.
     done_cv_.wait(lk, [&] { return active_ == 0; });
-    body_ = &body;
+    body_ = effective;
     count_ = count;
     next_.store(0);
     done_.store(0);
     ++generation_;
   }
   work_cv_.notify_all();
-  drain(count, body);
+  drain(count, *effective);
   {
     std::unique_lock<std::mutex> lk{m_};
     done_cv_.wait(lk, [&] { return done_.load() >= count; });

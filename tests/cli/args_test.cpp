@@ -55,5 +55,32 @@ TEST(Args, OptionReturnsNulloptWhenAbsent) {
   EXPECT_FALSE(a.has_flag("nothing"));
 }
 
+TEST(Args, CountOptionRejectsNegativesAndGarbage) {
+  const Args a = Args::parse({"--jobs", "-3", "--ok", "4", "--bad", "2x", "--huge",
+                              "99999999999999999999"});
+  EXPECT_THROW(a.count_option_or("jobs", 0), std::invalid_argument);
+  EXPECT_EQ(a.count_option_or("ok", 0), 4);
+  EXPECT_EQ(a.count_option_or("absent", 2), 2);
+  EXPECT_THROW(a.count_option_or("bad", 0), std::invalid_argument);
+  EXPECT_THROW(a.count_option_or("huge", 0), std::invalid_argument);  // out of range
+}
+
+TEST(Args, PositiveOptionRejectsZeroAndNegatives) {
+  const Args a = Args::parse({"--n", "0", "--m", "-1", "--ok", "7"});
+  EXPECT_THROW(a.positive_option_or("n", 1), std::invalid_argument);
+  EXPECT_THROW(a.positive_option_or("m", 1), std::invalid_argument);
+  EXPECT_EQ(a.positive_option_or("ok", 1), 7);
+  EXPECT_EQ(a.positive_option_or("absent", 9), 9);
+}
+
+TEST(Args, PathOptionRejectsEmptyAndOptionLikeValues) {
+  const Args a = Args::parse({"--trace-out", "--metrics-out", "--empty", "", "--ok", "t.json"});
+  EXPECT_THROW(a.path_option("trace-out"), std::invalid_argument);
+  EXPECT_THROW(a.path_option("empty"), std::invalid_argument);
+  ASSERT_TRUE(a.path_option("ok").has_value());
+  EXPECT_EQ(*a.path_option("ok"), "t.json");
+  EXPECT_FALSE(a.path_option("absent").has_value());
+}
+
 }  // namespace
 }  // namespace symcan::cli

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "symcan/can/kmatrix_io.hpp"
@@ -28,6 +29,13 @@ class CliTest : public ::testing::Test {
     out_.str("");
     err_.str("");
     return run_cli(args, out_, err_);
+  }
+
+  static std::string slurp(const std::string& file) {
+    std::ifstream f{file};
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
   }
 
   std::string path_;
@@ -170,6 +178,80 @@ TEST_F(CliTest, BudgetFailsOnUnschedulableBaseline) {
 TEST_F(CliTest, UnknownOptionIsRejected) {
   EXPECT_EQ(run({"analyze", path_, "--tpyo", "3"}), 2);
   EXPECT_NE(err_.str().find("unknown option --tpyo"), std::string::npos);
+}
+
+TEST_F(CliTest, VersionPrintsProjectAndBuildConfiguration) {
+  EXPECT_EQ(run({"version"}), 0);
+  EXPECT_NE(out_.str().find("symcan "), std::string::npos);
+  EXPECT_NE(out_.str().find("sanitizer:"), std::string::npos);
+  EXPECT_NE(out_.str().find("build:"), std::string::npos);
+  EXPECT_EQ(run({"--version"}), 0);
+  EXPECT_EQ(out_.str(), version_string() + "\n");
+}
+
+TEST_F(CliTest, JobsRejectsNegativeAndGarbage) {
+  EXPECT_EQ(run({"sweep", path_, "--jobs", "-2"}), 2);
+  EXPECT_NE(err_.str().find("--jobs"), std::string::npos);
+  EXPECT_EQ(run({"sweep", path_, "--jobs", "two"}), 2);
+  EXPECT_NE(err_.str().find("not an integer"), std::string::npos);
+}
+
+TEST_F(CliTest, GenerateRejectsNonPositiveSizes) {
+  EXPECT_EQ(run({"generate", "--messages", "0"}), 2);
+  EXPECT_NE(err_.str().find("--messages"), std::string::npos);
+  EXPECT_EQ(run({"generate", "--ecus", "-1"}), 2);
+  EXPECT_NE(err_.str().find("--ecus"), std::string::npos);
+}
+
+TEST_F(CliTest, AnalyzeExportsTraceAndMetrics) {
+  const std::string trace = ::testing::TempDir() + "/symcan_cli_trace.json";
+  const std::string metrics = ::testing::TempDir() + "/symcan_cli_metrics.json";
+  EXPECT_EQ(run({"analyze", path_, "--trace-out", trace, "--metrics-out", metrics}), 0);
+  const std::string t = slurp(trace);
+  EXPECT_NE(t.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(t.find("rta.can.analyze"), std::string::npos);
+  EXPECT_NE(t.find("\"ph\": \"X\""), std::string::npos);
+  const std::string m = slurp(metrics);
+  EXPECT_NE(m.find("rta.can.fixedpoint_iterations"), std::string::npos);
+  EXPECT_NE(m.find("rta.can.iterations_per_message"), std::string::npos);
+  std::remove(trace.c_str());
+  std::remove(metrics.c_str());
+}
+
+TEST_F(CliTest, SweepWithJobsExportsParallelMetrics) {
+  const std::string metrics = ::testing::TempDir() + "/symcan_cli_sweep_metrics.json";
+  EXPECT_EQ(run({"sweep", path_, "--jobs", "2", "--from", "0", "--to", "0.1", "--step", "0.05",
+                 "--metrics-out", metrics}),
+            0);
+  const std::string m = slurp(metrics);
+  EXPECT_NE(m.find("parallel.tasks"), std::string::npos);
+  EXPECT_NE(m.find("parallel.task_us"), std::string::npos);
+  EXPECT_NE(m.find("\"sweep.jitter\""), std::string::npos);
+  std::remove(metrics.c_str());
+}
+
+TEST_F(CliTest, OptimizeExportsPerGenerationSeries) {
+  const std::string metrics = ::testing::TempDir() + "/symcan_cli_opt_metrics.json";
+  const int rc = run({"optimize", path_, "--generations", "2", "--population", "8",
+                      "--metrics-out", metrics, "--out",
+                      ::testing::TempDir() + "/symcan_cli_opt2.csv"});
+  EXPECT_TRUE(rc == 0 || rc == 1);
+  const std::string m = slurp(metrics);
+  EXPECT_NE(m.find("\"ga.generations\""), std::string::npos);
+  EXPECT_NE(m.find("best_misses"), std::string::npos);
+  EXPECT_NE(m.find("eval_ms"), std::string::npos);
+  std::remove(metrics.c_str());
+  std::remove((::testing::TempDir() + "/symcan_cli_opt2.csv").c_str());
+}
+
+TEST_F(CliTest, TraceOutRejectsOptionLikePath) {
+  EXPECT_EQ(run({"analyze", path_, "--trace-out", "--metrics-out", "m.json"}), 2);
+  EXPECT_NE(err_.str().find("--trace-out"), std::string::npos);
+}
+
+TEST_F(CliTest, MetricsOutFailsCleanlyOnUnwritablePath) {
+  EXPECT_EQ(run({"analyze", path_, "--metrics-out", "/no/such/dir/m.json"}), 2);
+  EXPECT_NE(err_.str().find("cannot open"), std::string::npos);
 }
 
 }  // namespace
