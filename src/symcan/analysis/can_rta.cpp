@@ -1,38 +1,11 @@
 #include "symcan/analysis/can_rta.hpp"
 
-#include <algorithm>
-#include <cassert>
-#include <map>
 #include <stdexcept>
 
+#include "symcan/analysis/rta_context.hpp"
 #include "symcan/obs/obs.hpp"
 
 namespace symcan {
-
-namespace {
-
-/// Iterate a monotone fixed point x = f(x) starting from x0, bounded by
-/// `horizon`. Returns the fixed point, or infinite() when it diverges.
-/// `iterations` accumulates the number of evaluations of f — counted
-/// locally and flushed to obs by the caller so the hot loop stays free of
-/// atomics.
-template <typename F>
-Duration fixed_point(Duration x0, Duration horizon, std::int64_t& iterations, F&& f) {
-  Duration x = x0;
-  for (;;) {
-    ++iterations;
-    const Duration next = f(x);
-    if (next == x) return x;
-    if (next > horizon) return Duration::infinite();
-    // f is non-decreasing in x for all our interference terms, so the
-    // iteration is non-decreasing; a decrease would indicate a modelling
-    // bug, which we guard in debug builds.
-    assert(next > x);
-    x = next;
-  }
-}
-
-}  // namespace
 
 std::size_t BusResult::miss_count() const {
   std::size_t n = 0;
@@ -46,204 +19,35 @@ double BusResult::miss_fraction() const {
   return static_cast<double>(miss_count()) / static_cast<double>(messages.size());
 }
 
+void flush_rta_observations(const BusResult& out) {
+  if (!obs::enabled()) return;
+  // Convergence cost was counted locally per message; flush it in one
+  // pass so the fixed-point loops themselves stay atomic-free.
+  auto& m = obs::metrics();
+  std::int64_t total_iters = 0;
+  std::int64_t diverged = 0;
+  auto& per_message = m.histogram("rta.can.iterations_per_message");
+  for (const auto& r : out.messages) {
+    total_iters += r.fixedpoint_iterations;
+    diverged += r.diverged ? 1 : 0;
+    per_message.observe(static_cast<double>(r.fixedpoint_iterations));
+  }
+  m.counter("rta.can.analyses").add(1);
+  m.counter("rta.can.messages").add(static_cast<std::int64_t>(out.messages.size()));
+  m.counter("rta.can.fixedpoint_iterations").add(total_iters);
+  m.counter("rta.can.diverged").add(diverged);
+}
+
 CanRta::CanRta(KMatrix km, CanRtaConfig cfg) : km_{std::move(km)}, cfg_{std::move(cfg)} {
   if (!cfg_.errors) throw std::invalid_argument("CanRta: error model must not be null");
   km_.validate();
 }
 
-Duration CanRta::frame_time(const CanMessage& m) const {
-  return m.wcet(km_.timing(), cfg_.worst_case_stuffing);
-}
-
-std::uint64_t CanRta::effective_rank(std::size_t index) const {
-  // basicCAN FIFO degradation: once a frame sits in the hardware transmit
-  // FIFO behind committed same-node lower-priority frames, it cannot reach
-  // the bus before they do — so until it does, it competes at the rank of
-  // the worst frame that can be committed ahead of it. Everything with a
-  // priority above that rank can interfere (Davis et al.'s treatment of
-  // CAN with FIFO queues). fullCAN nodes keep their own rank.
-  const CanMessage& m = km_.messages()[index];
-  std::uint64_t rank = m.arbitration_rank();
-  if (!cfg_.model_controller_queues) return rank;
-  const EcuNode* node = km_.find_node(m.sender);
-  if (node == nullptr || node->controller != ControllerType::kBasicCan) return rank;
-  for (const auto& k : km_.messages())
-    if (k.sender == m.sender) rank = std::max(rank, k.arbitration_rank());
-  return rank;
-}
-
-Duration CanRta::blocking_for(std::size_t index) const {
-  // Non-preemptive bus: one already-started frame below the (effective)
-  // priority level.
-  const std::uint64_t rank = effective_rank(index);
-  Duration b = Duration::zero();
-  for (const auto& k : km_.messages())
-    if (k.arbitration_rank() > rank) b = max(b, frame_time(k));
-  return b;
-}
-
-Duration CanRta::intra_node_blocking(std::size_t index) const {
-  // basicCAN: frames already committed to the controller's transmit
-  // buffers cannot be aborted, so a newly queued high-priority frame can
-  // additionally wait for up to tx_buffers same-node lower-priority
-  // frames (beyond the one possibly occupying the bus, which
-  // blocking_for() already charges). fullCAN buffers arbitrate internally
-  // by ID and are assumed abortable: no intra-node inversion.
-  if (!cfg_.model_controller_queues) return Duration::zero();
-  const CanMessage& m = km_.messages()[index];
-  const EcuNode* node = km_.find_node(m.sender);
-  if (node == nullptr || node->controller != ControllerType::kBasicCan) return Duration::zero();
-
-  std::vector<Duration> lp_frames;
-  for (const auto& k : km_.messages())
-    if (k.sender == m.sender && k.arbitration_rank() > m.arbitration_rank())
-      lp_frames.push_back(frame_time(k));
-  std::sort(lp_frames.begin(), lp_frames.end(), std::greater<>{});
-
-  const std::size_t committed =
-      std::min<std::size_t>(lp_frames.size(), static_cast<std::size_t>(node->tx_buffers));
-  Duration b = Duration::zero();
-  for (std::size_t i = 0; i < committed; ++i) b += lp_frames[i];
-  return b;
-}
-
-Duration CanRta::max_retx_frame(std::size_t index) const {
-  // A fault can force retransmission of any frame at or above m's
-  // effective priority level, or of the blocking lower-priority frame.
-  const CanMessage& m = km_.messages()[index];
-  const std::uint64_t rank = effective_rank(index);
-  Duration c = frame_time(m);
-  for (const auto& k : km_.messages())
-    if (k.arbitration_rank() <= rank) c = max(c, frame_time(k));
-  return max(c, blocking_for(index));
-}
-
-Duration CanRta::error_overhead(Duration window, std::size_t index) const {
-  if (window <= Duration::zero()) return Duration::zero();
-  return cfg_.errors->overhead(window, max_retx_frame(index), km_.timing());
-}
-
 MessageResult CanRta::analyze_message(std::size_t index) const {
-  const auto& msgs = km_.messages();
-  if (index >= msgs.size()) throw std::out_of_range("CanRta::analyze_message: bad index");
-  const CanMessage& m = msgs[index];
-  const Duration tau_bit = km_.timing().bit_time();
-  const Duration c_m = frame_time(m);
-  const EventModel em_m = m.activation();
-
-  MessageResult res;
-  res.name = m.name;
-  res.id = m.id;
-  res.bcrt = m.bcet(km_.timing());
-  res.deadline = [&] {
-    if (!cfg_.deadline_override || m.deadline_policy == DeadlinePolicy::kExplicit)
-      return m.deadline();
-    CanMessage tmp = m;
-    tmp.deadline_policy = *cfg_.deadline_override;
-    return tmp.deadline();
-  }();
-
-  const Duration blocking = blocking_for(index) + intra_node_blocking(index);
-  res.blocking = blocking;
-
-  // Higher-priority interferers: offset-scheduled messages of one sender
-  // form a TtGroup (bounded over the schedule's hyperperiod); everything
-  // else interferes through its individual event model.
-  // Interference set at the effective priority level: other-node frames
-  // above the effective rank (they beat the committed FIFO entries m sits
-  // behind), plus same-node frames above m's own rank (same-node frames
-  // between m and the committed entries queue *behind* m in the FIFO and
-  // cannot interfere; their possible head start is the committed-blocking
-  // term instead).
-  const std::uint64_t eff_rank = effective_rank(index);
-  std::vector<std::pair<EventModel, Duration>> hp;
-  std::vector<TtGroup> groups;
-  {
-    std::map<std::string, std::vector<TtGroup::Member>> by_sender;
-    for (const auto& k : msgs) {
-      if (&k == &m) continue;
-      const bool interferes = k.sender == m.sender
-                                  ? k.arbitration_rank() < m.arbitration_rank()
-                                  : k.arbitration_rank() < eff_rank;
-      if (!interferes) continue;
-      if (cfg_.use_offsets && k.tt_offset) {
-        by_sender[k.sender].push_back(
-            TtGroup::Member{k.period, *k.tt_offset, k.jitter, frame_time(k)});
-      } else {
-        hp.emplace_back(k.activation(), frame_time(k));
-      }
-    }
-    for (const auto& [sender, members] : by_sender) {
-      if (auto g = TtGroup::build(members)) {
-        groups.push_back(std::move(*g));
-      } else {
-        // Hyperperiod too large: fall back to offset-blind event models.
-        for (const auto& member : members)
-          hp.emplace_back(
-              EventModel::periodic_jitter(member.period, member.jitter), member.cost);
-      }
-    }
-  }
-
-  const auto hp_interference = [&](Duration window) {
-    Duration total = Duration::zero();
-    for (const auto& [em, c] : hp) total += em.eta_plus(window) * c;
-    for (const auto& g : groups) total += g.interference(window);
-    return total;
-  };
-
-  // Length of the level-m busy period: processor demand of m itself, all
-  // higher-priority traffic, blocking, and fault recovery.
-  std::int64_t iterations = 0;
-  const Duration busy = fixed_point(blocking + c_m, cfg_.horizon, iterations, [&](Duration t) {
-    return blocking + em_m.eta_plus(t) * c_m + hp_interference(t) + error_overhead(t, index);
-  });
-  res.fixedpoint_iterations = iterations;
-  if (busy.is_infinite()) {
-    res.wcrt = Duration::infinite();
-    res.busy_period = Duration::infinite();
-    res.diverged = true;
-    res.schedulable = false;
-    return res;
-  }
-  res.busy_period = busy;
-
-  const std::int64_t q_max = em_m.eta_plus(busy);
-  res.instances = q_max;
-  Duration wcrt = Duration::zero();
-  for (std::int64_t q = 0; q < q_max; ++q) {
-    // Queueing delay of instance q (0-based): blocking, q earlier
-    // instances of m, higher-priority frames that win arbitration before
-    // instance q gets the bus (a frame queued up to one bit time after
-    // the arbitration decision still wins), and fault recovery covering
-    // the window up to the end of instance q's transmission.
-    const Duration w =
-        fixed_point(blocking + q * c_m, cfg_.horizon, iterations, [&](Duration t) {
-          return blocking + q * c_m + hp_interference(t + tau_bit) +
-                 error_overhead(t + c_m, index);
-        });
-    res.fixedpoint_iterations = iterations;
-    if (w.is_infinite()) {
-      res.wcrt = Duration::infinite();
-      res.diverged = true;
-      res.schedulable = false;
-      return res;
-    }
-    // Instance q arrives no earlier than delta_min(q+1) after the busy
-    // period starts; its response time is measured from its own arrival.
-    const Duration response = w + c_m - em_m.delta_min(q + 1);
-    wcrt = max(wcrt, response);
-    // Early exit: once the busy period drains before the next arrival,
-    // later instances cannot be worse.
-    if (w + c_m <= em_m.delta_min(q + 2)) {
-      // Remaining instances start in an idle bus: response == blocking
-      // path already covered by q = 0 shape; safe to stop.
-      break;
-    }
-  }
-  res.wcrt = wcrt;
-  res.schedulable = !res.deadline.is_infinite() ? wcrt <= res.deadline : true;
-  return res;
+  // The two halves of the shared busy-period core (rta_context.hpp):
+  // resolve the message's interference context, then run the fixed point
+  // on it. IncrementalRta memoizes between exactly these two calls.
+  return analysis::solve_message(analysis::build_message_context(km_, cfg_, index));
 }
 
 BusResult CanRta::analyze() const {
@@ -252,23 +56,7 @@ BusResult CanRta::analyze() const {
   out.utilization = km_.utilization(cfg_.worst_case_stuffing);
   out.messages.reserve(km_.size());
   for (std::size_t i = 0; i < km_.size(); ++i) out.messages.push_back(analyze_message(i));
-  if (obs::enabled()) {
-    // Convergence cost was counted locally per message; flush it in one
-    // pass so the fixed-point loops themselves stay atomic-free.
-    auto& m = obs::metrics();
-    std::int64_t total_iters = 0;
-    std::int64_t diverged = 0;
-    auto& per_message = m.histogram("rta.can.iterations_per_message");
-    for (const auto& r : out.messages) {
-      total_iters += r.fixedpoint_iterations;
-      diverged += r.diverged ? 1 : 0;
-      per_message.observe(static_cast<double>(r.fixedpoint_iterations));
-    }
-    m.counter("rta.can.analyses").add(1);
-    m.counter("rta.can.messages").add(static_cast<std::int64_t>(out.messages.size()));
-    m.counter("rta.can.fixedpoint_iterations").add(total_iters);
-    m.counter("rta.can.diverged").add(diverged);
-  }
+  flush_rta_observations(out);
   return out;
 }
 

@@ -102,9 +102,21 @@ struct BusResult {
   bool all_schedulable() const { return miss_count() == 0; }
 };
 
+/// Flush the per-message convergence counters of one whole-bus result to
+/// the obs registry (no-op when observation is disabled). Shared between
+/// CanRta::analyze() and IncrementalRta::analyze() so cached and fresh
+/// runs surface comparable metrics.
+void flush_rta_observations(const BusResult& out);
+
 /// Analyzer bound to one K-Matrix and one configuration. Stateless after
 /// construction; cheap to copy the config and re-run for what-if sweeps.
 /// The matrix is stored by value so temporaries are safe to pass.
+///
+/// The per-message computation is build_message_context() + solve_message()
+/// from rta_context.hpp — the shared busy-period core that
+/// IncrementalRta memoizes. Use CanRta directly for one-shot analyses;
+/// prefer IncrementalRta in hot loops that re-analyze edited matrices
+/// (optimizers, sweeps, extensibility searches).
 class CanRta {
  public:
   CanRta(KMatrix km, CanRtaConfig cfg);
@@ -118,16 +130,6 @@ class CanRta {
   const CanRtaConfig& config() const { return cfg_; }
 
  private:
-  Duration frame_time(const CanMessage& m) const;
-  /// Arbitration rank the message effectively competes at: its own rank,
-  /// degraded to the node's worst same-node rank on basicCAN controllers
-  /// (committed FIFO entries cannot be overtaken).
-  std::uint64_t effective_rank(std::size_t index) const;
-  Duration blocking_for(std::size_t index) const;
-  Duration intra_node_blocking(std::size_t index) const;
-  Duration error_overhead(Duration window, std::size_t index) const;
-  Duration max_retx_frame(std::size_t index) const;
-
   KMatrix km_;
   CanRtaConfig cfg_;
 };

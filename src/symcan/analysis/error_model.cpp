@@ -6,6 +6,24 @@
 
 namespace symcan {
 
+namespace {
+
+/// SplitMix64-style chain for the parameter fingerprints.
+std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
+  h += v + 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+}  // namespace
+
+std::uint64_t ErrorModel::fingerprint() const {
+  std::uint64_t h = 0xe7037ed1a0b428dbULL;
+  for (const char c : name()) h = mix64(h, static_cast<std::uint64_t>(c));
+  return h;
+}
+
 SporadicErrors::SporadicErrors(Duration min_inter_error, std::int64_t initial_errors)
     : min_inter_error_{min_inter_error}, initial_errors_{initial_errors} {
   if (min_inter_error <= Duration::zero())
@@ -25,6 +43,11 @@ std::string SporadicErrors::name() const {
   if (initial_errors_ > 0) os << ", n0=" << initial_errors_;
   os << ")";
   return os.str();
+}
+
+std::uint64_t SporadicErrors::fingerprint() const {
+  std::uint64_t h = mix64(0x2, static_cast<std::uint64_t>(min_inter_error_.count_ns()));
+  return mix64(h, static_cast<std::uint64_t>(initial_errors_));
 }
 
 BurstErrors::BurstErrors(Duration min_inter_burst, std::int64_t errors_per_burst,
@@ -63,6 +86,13 @@ Duration BurstErrors::overhead(Duration t, Duration max_retx_frame,
   const Duration burst_extent = (errors_per_burst_ - 1) * per_fault;
   const std::int64_t bursts = ceil_div(t + burst_extent, min_inter_burst_);
   return bursts * errors_per_burst_ * per_fault;
+}
+
+std::uint64_t BurstErrors::fingerprint() const {
+  // name() omits intra_burst_gap, so hash all three parameters explicitly.
+  std::uint64_t h = mix64(0x3, static_cast<std::uint64_t>(min_inter_burst_.count_ns()));
+  h = mix64(h, static_cast<std::uint64_t>(errors_per_burst_));
+  return mix64(h, static_cast<std::uint64_t>(intra_burst_gap_.count_ns()));
 }
 
 std::string BurstErrors::name() const {

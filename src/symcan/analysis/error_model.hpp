@@ -50,6 +50,13 @@ class ErrorModel {
 
   virtual std::string name() const = 0;
   virtual std::unique_ptr<ErrorModel> clone() const = 0;
+
+  /// Stable identity of the model *including every parameter that can
+  /// change overhead()* — the incremental-RTA cache folds this into its
+  /// per-message key, so two models with equal fingerprints must be
+  /// behaviourally identical. The default hashes name(); override it
+  /// whenever name() does not encode all parameters.
+  virtual std::uint64_t fingerprint() const;
 };
 
 /// Fault-free bus.
@@ -58,6 +65,7 @@ class NoErrors final : public ErrorModel {
   std::int64_t max_faults(Duration) const override { return 0; }
   std::string name() const override { return "no-errors"; }
   std::unique_ptr<ErrorModel> clone() const override { return std::make_unique<NoErrors>(); }
+  std::uint64_t fingerprint() const override { return 0x1; }
 };
 
 /// Tindell-Burns sporadic error model: `initial_errors` faults may occur
@@ -71,6 +79,7 @@ class SporadicErrors final : public ErrorModel {
   std::unique_ptr<ErrorModel> clone() const override {
     return std::make_unique<SporadicErrors>(*this);
   }
+  std::uint64_t fingerprint() const override;
 
   Duration min_inter_error() const { return min_inter_error_; }
 
@@ -101,6 +110,7 @@ class BurstErrors final : public ErrorModel {
   std::unique_ptr<ErrorModel> clone() const override {
     return std::make_unique<BurstErrors>(*this);
   }
+  std::uint64_t fingerprint() const override;
 
   Duration min_inter_burst() const { return min_inter_burst_; }
   std::int64_t errors_per_burst() const { return errors_per_burst_; }

@@ -1,0 +1,128 @@
+#include "symcan/analysis/incremental_rta.hpp"
+
+#include <stdexcept>
+
+#include "symcan/can/kmatrix.hpp"
+#include "symcan/obs/obs.hpp"
+
+namespace symcan::analysis {
+
+IncrementalRta::IncrementalRta(RtaCacheConfig cfg) : cfg_{cfg} {
+  if (cfg_.capacity == 0) throw std::invalid_argument("IncrementalRta: capacity must be >= 1");
+}
+
+MessageResult IncrementalRta::analyze_one(const KMatrix& km, const CanRtaConfig& cfg,
+                                          std::size_t index, RtaCacheStats& delta) {
+  // The fingerprint is computed straight from the matrix — a hit never
+  // pays for context construction (the allocating part of an analysis).
+  return analyze_keyed(message_fingerprint(km, cfg, index), km, cfg, index, delta);
+}
+
+MessageResult IncrementalRta::analyze_keyed(const ContextKey& key, const KMatrix& km,
+                                            const CanRtaConfig& cfg, std::size_t index,
+                                            RtaCacheStats& delta) {
+  {
+    std::lock_guard<std::mutex> lock{m_};
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++delta.hits;
+      MessageResult res = it->second->second;
+      // Identity is not part of the key: a structurally equal message in
+      // another matrix (e.g. a GA neighbour after an ID swap) reuses the
+      // verdict under its own name and ID.
+      res.name = km.messages()[index].name;
+      res.id = km.messages()[index].id;
+      return res;
+    }
+  }
+
+  // Miss: build the context and solve outside the lock. Two workers may
+  // race on the same key and both solve; the results are bit-identical,
+  // so the duplicate insert below is harmless (the second becomes a
+  // refresh).
+  MessageResult res = solve_message(build_message_context(km, cfg, index));
+  ++delta.misses;
+  {
+    std::lock_guard<std::mutex> lock{m_};
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+    } else {
+      lru_.emplace_front(key, res);
+      map_.emplace(key, lru_.begin());
+      if (lru_.size() > cfg_.capacity) {
+        map_.erase(lru_.back().first);
+        lru_.pop_back();
+        ++delta.evictions;
+      }
+    }
+  }
+  return res;
+}
+
+void IncrementalRta::flush_cache_observations(const RtaCacheStats& delta) {
+  {
+    std::lock_guard<std::mutex> lock{m_};
+    stats_.hits += delta.hits;
+    stats_.misses += delta.misses;
+    stats_.evictions += delta.evictions;
+  }
+  if (!obs::enabled()) return;
+  auto& m = obs::metrics();
+  m.counter("rta.cache.hits").add(delta.hits);
+  m.counter("rta.cache.misses").add(delta.misses);
+  m.counter("rta.cache.evictions").add(delta.evictions);
+  m.gauge("rta.cache.size").set(static_cast<double>(size()));
+}
+
+BusResult IncrementalRta::analyze(const KMatrix& km, const CanRtaConfig& cfg) {
+  if (!cfg.errors) throw std::invalid_argument("IncrementalRta: error model must not be null");
+  km.validate();
+  SYMCAN_OBS_SPAN("rta.can.analyze");
+  BusResult out;
+  out.utilization = km.utilization(cfg.worst_case_stuffing);
+  out.messages.reserve(km.size());
+  RtaCacheStats delta;
+  if (cfg_.enabled) {
+    // Whole-bus lookup path: one pre-hashed pass over the matrix yields
+    // every message's key at a fraction of n independent fingerprints.
+    const std::vector<ContextKey> keys = bus_fingerprints(km, cfg);
+    for (std::size_t i = 0; i < km.size(); ++i)
+      out.messages.push_back(analyze_keyed(keys[i], km, cfg, i, delta));
+  } else {
+    for (std::size_t i = 0; i < km.size(); ++i)
+      out.messages.push_back(solve_message(build_message_context(km, cfg, i)));
+  }
+  flush_rta_observations(out);
+  flush_cache_observations(delta);
+  return out;
+}
+
+MessageResult IncrementalRta::analyze_message(const KMatrix& km, const CanRtaConfig& cfg,
+                                              std::size_t index) {
+  if (!cfg.errors) throw std::invalid_argument("IncrementalRta: error model must not be null");
+  RtaCacheStats delta;
+  MessageResult res = cfg_.enabled ? analyze_one(km, cfg, index, delta)
+                                   : solve_message(build_message_context(km, cfg, index));
+  flush_cache_observations(delta);
+  return res;
+}
+
+RtaCacheStats IncrementalRta::stats() const {
+  std::lock_guard<std::mutex> lock{m_};
+  return stats_;
+}
+
+std::size_t IncrementalRta::size() const {
+  std::lock_guard<std::mutex> lock{m_};
+  return map_.size();
+}
+
+void IncrementalRta::clear() {
+  std::lock_guard<std::mutex> lock{m_};
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace symcan::analysis

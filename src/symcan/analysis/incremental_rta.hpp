@@ -1,0 +1,109 @@
+#pragma once
+
+// Incremental CAN response-time analysis: a memoizing layer over the
+// shared busy-period core (rta_context.hpp) for the hot loops that
+// re-analyze *edited* matrices thousands of times — GA/NSGA-II fitness
+// evaluation, jitter/error sweeps, sensitivity probes and extensibility
+// searches.
+//
+// A CAN message's verdict depends only on its effective interference
+// context: the higher-priority message set (event models + frame times,
+// offset groups per sender), the blocking maxima contributed by
+// lower-priority and same-node traffic, the error model, and the
+// analysis configuration. IncrementalRta resolves that context per
+// message, fingerprints it (128 bits), and looks the fingerprint up in a
+// bounded LRU map of solved MessageResults. Two GA neighbours that
+// differ in one ID swap therefore only re-solve the messages inside the
+// swapped priority span; a jitter sweep re-solves only the messages the
+// swept jitter actually reaches.
+//
+// Soundness: the solver reads nothing but the context, and the
+// fingerprint covers every context field, so a hit is bit-identical to a
+// fresh solve (iteration counts included) — locked down by
+// tests/analysis/incremental_rta_test.cpp and the fuzzed differential
+// harness in tests/integration/rta_cache_differential_test.cpp.
+//
+// Thread safety: one IncrementalRta may be shared by every worker of a
+// ParallelExecutor fan-out. Lookups and inserts take a mutex; solving
+// happens outside the lock. Because cached and fresh results are
+// bit-identical, sharing the cache cannot perturb parallel determinism.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "symcan/analysis/can_rta.hpp"
+#include "symcan/analysis/rta_context.hpp"
+
+namespace symcan::analysis {
+
+/// Cache policy. `enabled = false` degrades to plain context + solve
+/// (still avoiding the per-call KMatrix/config copies of CanRta), which
+/// is what the --rta-cache off ablation measures.
+struct RtaCacheConfig {
+  bool enabled = true;
+  /// Maximum number of cached per-message results. The case-study matrix
+  /// has ~56 messages, so the default holds ~1000 distinct interference
+  /// contexts — plenty for a GA population while bounding memory.
+  std::size_t capacity = 65536;
+};
+
+/// Lifetime counters (monotonic; survive clear()).
+struct RtaCacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t evictions = 0;
+
+  std::int64_t lookups() const { return hits + misses; }
+  double hit_rate() const {
+    return lookups() > 0 ? static_cast<double>(hits) / static_cast<double>(lookups()) : 0.0;
+  }
+};
+
+class IncrementalRta {
+ public:
+  explicit IncrementalRta(RtaCacheConfig cfg = {});
+
+  /// Analyze every message of `km` under `cfg`, reusing cached verdicts
+  /// for unchanged interference contexts. Bit-identical to
+  /// CanRta{km, cfg}.analyze() in every field.
+  BusResult analyze(const KMatrix& km, const CanRtaConfig& cfg);
+
+  /// Analyze one message (index into km.messages()); the single-message
+  /// entry point the sensitivity binary searches iterate on.
+  MessageResult analyze_message(const KMatrix& km, const CanRtaConfig& cfg, std::size_t index);
+
+  const RtaCacheConfig& config() const { return cfg_; }
+  RtaCacheStats stats() const;
+  std::size_t size() const;
+
+  /// Drop all cached entries (stats are kept).
+  void clear();
+
+ private:
+  MessageResult analyze_one(const KMatrix& km, const CanRtaConfig& cfg, std::size_t index,
+                            RtaCacheStats& delta);
+  MessageResult analyze_keyed(const ContextKey& key, const KMatrix& km, const CanRtaConfig& cfg,
+                              std::size_t index, RtaCacheStats& delta);
+  void flush_cache_observations(const RtaCacheStats& delta);
+
+  using Entry = std::pair<ContextKey, MessageResult>;
+
+  RtaCacheConfig cfg_;
+
+  mutable std::mutex m_;
+  std::list<Entry> lru_;  ///< Front = most recently used; guarded by m_.
+  std::unordered_map<ContextKey, std::list<Entry>::iterator, ContextKeyHash> map_;
+  RtaCacheStats stats_;  ///< Guarded by m_.
+};
+
+}  // namespace symcan::analysis
+
+namespace symcan {
+using analysis::IncrementalRta;
+using analysis::RtaCacheConfig;
+using analysis::RtaCacheStats;
+}  // namespace symcan

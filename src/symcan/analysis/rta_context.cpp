@@ -1,0 +1,544 @@
+#include "symcan/analysis/rta_context.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+
+#include "symcan/analysis/can_rta.hpp"
+#include "symcan/can/kmatrix.hpp"
+
+namespace symcan::analysis {
+
+namespace {
+
+/// Iterate a monotone fixed point x = f(x) starting from x0, bounded by
+/// `horizon`. Returns the fixed point, or infinite() when it diverges.
+/// `iterations` accumulates the number of evaluations of f — counted
+/// locally and flushed to obs by the caller so the hot loop stays free of
+/// atomics.
+template <typename F>
+Duration fixed_point(Duration x0, Duration horizon, std::int64_t& iterations, F&& f) {
+  Duration x = x0;
+  for (;;) {
+    ++iterations;
+    const Duration next = f(x);
+    if (next == x) return x;
+    if (next > horizon) return Duration::infinite();
+    // f is non-decreasing in x for all our interference terms, so the
+    // iteration is non-decreasing; a decrease would indicate a modelling
+    // bug, which we guard in debug builds.
+    assert(next > x);
+    x = next;
+  }
+}
+
+Duration frame_time(const KMatrix& km, const CanRtaConfig& cfg, const CanMessage& m) {
+  return m.wcet(km.timing(), cfg.worst_case_stuffing);
+}
+
+/// Arbitration rank the message effectively competes at: its own rank,
+/// degraded to the node's worst same-node rank on basicCAN controllers
+/// (committed FIFO entries cannot be overtaken).
+std::uint64_t effective_rank(const KMatrix& km, const CanRtaConfig& cfg, std::size_t index) {
+  const CanMessage& m = km.messages()[index];
+  std::uint64_t rank = m.arbitration_rank();
+  if (!cfg.model_controller_queues) return rank;
+  const EcuNode* node = km.find_node(m.sender);
+  if (node == nullptr || node->controller != ControllerType::kBasicCan) return rank;
+  for (const auto& k : km.messages())
+    if (k.sender == m.sender) rank = std::max(rank, k.arbitration_rank());
+  return rank;
+}
+
+/// Non-preemptive bus: one already-started frame below the (effective)
+/// priority level.
+Duration blocking_for(const KMatrix& km, const CanRtaConfig& cfg, std::size_t index) {
+  const std::uint64_t rank = effective_rank(km, cfg, index);
+  Duration b = Duration::zero();
+  for (const auto& k : km.messages())
+    if (k.arbitration_rank() > rank) b = max(b, frame_time(km, cfg, k));
+  return b;
+}
+
+/// basicCAN: frames already committed to the controller's transmit
+/// buffers cannot be aborted, so a newly queued high-priority frame can
+/// additionally wait for up to tx_buffers same-node lower-priority
+/// frames (beyond the one possibly occupying the bus, which
+/// blocking_for() already charges). fullCAN buffers arbitrate internally
+/// by ID and are assumed abortable: no intra-node inversion.
+Duration intra_node_blocking(const KMatrix& km, const CanRtaConfig& cfg, std::size_t index) {
+  if (!cfg.model_controller_queues) return Duration::zero();
+  const CanMessage& m = km.messages()[index];
+  const EcuNode* node = km.find_node(m.sender);
+  if (node == nullptr || node->controller != ControllerType::kBasicCan) return Duration::zero();
+
+  std::vector<Duration> lp_frames;
+  for (const auto& k : km.messages())
+    if (k.sender == m.sender && k.arbitration_rank() > m.arbitration_rank())
+      lp_frames.push_back(frame_time(km, cfg, k));
+  std::sort(lp_frames.begin(), lp_frames.end(), std::greater<>{});
+
+  const std::size_t committed =
+      std::min<std::size_t>(lp_frames.size(), static_cast<std::size_t>(node->tx_buffers));
+  Duration b = Duration::zero();
+  for (std::size_t i = 0; i < committed; ++i) b += lp_frames[i];
+  return b;
+}
+
+/// A fault can force retransmission of any frame at or above m's
+/// effective priority level, or of the blocking lower-priority frame.
+Duration max_retx_frame(const KMatrix& km, const CanRtaConfig& cfg, std::size_t index) {
+  const CanMessage& m = km.messages()[index];
+  const std::uint64_t rank = effective_rank(km, cfg, index);
+  Duration c = frame_time(km, cfg, m);
+  for (const auto& k : km.messages())
+    if (k.arbitration_rank() <= rank) c = max(c, frame_time(km, cfg, k));
+  return max(c, blocking_for(km, cfg, index));
+}
+
+/// Deadline under cfg's override policy, without copying the message.
+/// Must mirror CanMessage::deadline() per policy exactly.
+Duration effective_deadline(const CanMessage& m, const CanRtaConfig& cfg) {
+  const DeadlinePolicy policy =
+      (!cfg.deadline_override || m.deadline_policy == DeadlinePolicy::kExplicit)
+          ? m.deadline_policy
+          : *cfg.deadline_override;
+  switch (policy) {
+    case DeadlinePolicy::kPeriod:
+      return m.period;
+    case DeadlinePolicy::kMinReArrival:
+      return max(m.period - m.jitter, m.min_distance);
+    case DeadlinePolicy::kExplicit:
+      return m.explicit_deadline;
+  }
+  return Duration::infinite();
+}
+
+auto member_order_key(const TtGroup::Member& m) {
+  return std::make_tuple(m.period.count_ns(), m.offset.count_ns(), m.jitter.count_ns(),
+                         m.cost.count_ns());
+}
+
+auto hp_order_key(const std::pair<EventModel, Duration>& e) {
+  return std::make_tuple(e.first.period().count_ns(), e.first.jitter().count_ns(),
+                         e.first.min_distance().count_ns(), e.second.count_ns());
+}
+
+}  // namespace
+
+MessageContext build_message_context(const KMatrix& km, const CanRtaConfig& cfg,
+                                     std::size_t index) {
+  const auto& msgs = km.messages();
+  if (index >= msgs.size())
+    throw std::out_of_range("build_message_context: bad index");
+  const CanMessage& m = msgs[index];
+
+  MessageContext ctx;
+  ctx.name = m.name;
+  ctx.id = m.id;
+  ctx.timing = km.timing();
+  ctx.cost = frame_time(km, cfg, m);
+  ctx.bcrt = m.bcet(km.timing());
+  ctx.activation = m.activation();
+  ctx.deadline = effective_deadline(m, cfg);
+  ctx.blocking = blocking_for(km, cfg, index) + intra_node_blocking(km, cfg, index);
+  ctx.max_retx = max_retx_frame(km, cfg, index);
+  ctx.horizon = cfg.horizon;
+  ctx.errors = cfg.errors;
+
+  // Higher-priority interferers: offset-scheduled messages of one sender
+  // form a TtGroup (bounded over the schedule's hyperperiod); everything
+  // else interferes through its individual event model.
+  // Interference set at the effective priority level: other-node frames
+  // above the effective rank (they beat the committed FIFO entries m sits
+  // behind), plus same-node frames above m's own rank (same-node frames
+  // between m and the committed entries queue *behind* m in the FIFO and
+  // cannot interfere; their possible head start is the committed-blocking
+  // term instead).
+  const std::uint64_t eff_rank = effective_rank(km, cfg, index);
+  std::map<std::string, std::vector<TtGroup::Member>> by_sender;
+  for (const auto& k : msgs) {
+    if (&k == &m) continue;
+    const bool interferes = k.sender == m.sender
+                                ? k.arbitration_rank() < m.arbitration_rank()
+                                : k.arbitration_rank() < eff_rank;
+    if (!interferes) continue;
+    if (cfg.use_offsets && k.tt_offset) {
+      by_sender[k.sender].push_back(
+          TtGroup::Member{k.period, *k.tt_offset, k.jitter, frame_time(km, cfg, k)});
+    } else {
+      ctx.hp.emplace_back(k.activation(), frame_time(km, cfg, k));
+    }
+  }
+
+  // Canonical order: interference (and the group-build fallback) depend
+  // only on the *sets*, all sums being exact integer arithmetic, so
+  // sorting loses nothing and buys context reuse across priority
+  // permutations and sender renames.
+  std::sort(ctx.hp.begin(), ctx.hp.end(), [](const auto& x, const auto& y) {
+    return hp_order_key(x) < hp_order_key(y);
+  });
+  ctx.tt.reserve(by_sender.size());
+  for (auto& [sender, members] : by_sender) {
+    std::sort(members.begin(), members.end(), [](const auto& x, const auto& y) {
+      return member_order_key(x) < member_order_key(y);
+    });
+    ctx.tt.push_back(std::move(members));
+  }
+  std::sort(ctx.tt.begin(), ctx.tt.end(), [](const auto& x, const auto& y) {
+    return std::lexicographical_compare(
+        x.begin(), x.end(), y.begin(), y.end(),
+        [](const auto& a, const auto& b) { return member_order_key(a) < member_order_key(b); });
+  });
+  return ctx;
+}
+
+MessageResult solve_message(const MessageContext& ctx) {
+  const Duration tau_bit = ctx.timing.bit_time();
+  const Duration c_m = ctx.cost;
+  const EventModel& em_m = ctx.activation;
+
+  MessageResult res;
+  res.name = ctx.name;
+  res.id = ctx.id;
+  res.bcrt = ctx.bcrt;
+  res.deadline = ctx.deadline;
+  res.blocking = ctx.blocking;
+  const Duration blocking = ctx.blocking;
+
+  std::vector<std::pair<EventModel, Duration>> hp = ctx.hp;
+  std::vector<TtGroup> groups;
+  groups.reserve(ctx.tt.size());
+  for (const auto& members : ctx.tt) {
+    if (auto g = TtGroup::build(members)) {
+      groups.push_back(std::move(*g));
+    } else {
+      // Hyperperiod too large: fall back to offset-blind event models.
+      for (const auto& member : members)
+        hp.emplace_back(EventModel::periodic_jitter(member.period, member.jitter), member.cost);
+    }
+  }
+
+  const auto hp_interference = [&](Duration window) {
+    Duration total = Duration::zero();
+    for (const auto& [em, c] : hp) total += em.eta_plus(window) * c;
+    for (const auto& g : groups) total += g.interference(window);
+    return total;
+  };
+  const auto error_overhead = [&](Duration window) {
+    if (window <= Duration::zero()) return Duration::zero();
+    return ctx.errors->overhead(window, ctx.max_retx, ctx.timing);
+  };
+
+  // Length of the level-m busy period: processor demand of m itself, all
+  // higher-priority traffic, blocking, and fault recovery.
+  std::int64_t iterations = 0;
+  const Duration busy = fixed_point(blocking + c_m, ctx.horizon, iterations, [&](Duration t) {
+    return blocking + em_m.eta_plus(t) * c_m + hp_interference(t) + error_overhead(t);
+  });
+  res.fixedpoint_iterations = iterations;
+  if (busy.is_infinite()) {
+    res.wcrt = Duration::infinite();
+    res.busy_period = Duration::infinite();
+    res.diverged = true;
+    res.schedulable = false;
+    return res;
+  }
+  res.busy_period = busy;
+
+  const std::int64_t q_max = em_m.eta_plus(busy);
+  res.instances = q_max;
+  Duration wcrt = Duration::zero();
+  for (std::int64_t q = 0; q < q_max; ++q) {
+    // Queueing delay of instance q (0-based): blocking, q earlier
+    // instances of m, higher-priority frames that win arbitration before
+    // instance q gets the bus (a frame queued up to one bit time after
+    // the arbitration decision still wins), and fault recovery covering
+    // the window up to the end of instance q's transmission.
+    const Duration w = fixed_point(blocking + q * c_m, ctx.horizon, iterations, [&](Duration t) {
+      return blocking + q * c_m + hp_interference(t + tau_bit) + error_overhead(t + c_m);
+    });
+    res.fixedpoint_iterations = iterations;
+    if (w.is_infinite()) {
+      res.wcrt = Duration::infinite();
+      res.diverged = true;
+      res.schedulable = false;
+      return res;
+    }
+    // Instance q arrives no earlier than delta_min(q+1) after the busy
+    // period starts; its response time is measured from its own arrival.
+    const Duration response = w + c_m - em_m.delta_min(q + 1);
+    wcrt = max(wcrt, response);
+    // Early exit: once the busy period drains before the next arrival,
+    // later instances cannot be worse.
+    if (w + c_m <= em_m.delta_min(q + 2)) {
+      // Remaining instances start in an idle bus: response == blocking
+      // path already covered by q = 0 shape; safe to stop.
+      break;
+    }
+  }
+  res.wcrt = wcrt;
+  res.schedulable = !res.deadline.is_infinite() ? wcrt <= res.deadline : true;
+  return res;
+}
+
+namespace {
+
+/// Two-lane 128-bit mixer: lane a is FNV-1a, lane b a SplitMix-style
+/// add-xor-multiply chain. Both lanes see every word, with different
+/// diffusion, so a collision requires defeating both simultaneously.
+class KeyMixer {
+ public:
+  KeyMixer() = default;
+  explicit KeyMixer(std::uint64_t seed) { mix(seed); }
+  void mix(std::uint64_t v) {
+    a_ = (a_ ^ v) * 0x100000001b3ULL;
+    b_ += v + 0x9e3779b97f4a7c15ULL;
+    b_ = (b_ ^ (b_ >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    b_ ^= b_ >> 27;
+  }
+  void mix(Duration d) { mix(static_cast<std::uint64_t>(d.count_ns())); }
+  void mix(const EventModel& em) {
+    mix(em.period());
+    mix(em.jitter());
+    mix(em.min_distance());
+  }
+  ContextKey key() const { return ContextKey{a_, b_}; }
+
+ private:
+  std::uint64_t a_ = 0xcbf29ce484222325ULL;
+  std::uint64_t b_ = 0x58a3f9e1d2c4b605ULL;
+};
+
+/// Multiset accumulator: elements are hashed individually through a
+/// seeded KeyMixer and combined with wrapping addition per lane, so the
+/// accumulated value is independent of element order. This is what lets
+/// message_fingerprint() hash the interference sets in raw matrix order
+/// while context_fingerprint() sees them canonically sorted — both
+/// produce the same key for the same multiset.
+struct MultisetAcc {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t n = 0;
+
+  void add(const ContextKey& k) {
+    a += k.a;
+    b += k.b;
+    ++n;
+  }
+};
+
+ContextKey hp_entry_hash(const EventModel& em, Duration cost) {
+  KeyMixer h{0x68702d656e747279ULL};  // "hp-entry"
+  h.mix(em);
+  h.mix(cost);
+  return h.key();
+}
+
+ContextKey tt_member_hash(Duration period, Duration offset, Duration jitter, Duration cost) {
+  KeyMixer h{0x74742d6d656d6265ULL};  // "tt-membe"
+  h.mix(period);
+  h.mix(offset);
+  h.mix(jitter);
+  h.mix(cost);
+  return h.key();
+}
+
+ContextKey tt_group_hash(const MultisetAcc& members) {
+  KeyMixer h{0x74742d67726f7570ULL};  // "tt-group"
+  h.mix(members.a);
+  h.mix(members.b);
+  h.mix(members.n);
+  return h.key();
+}
+
+/// Final key over the resolved scalar inputs and the two set
+/// accumulators. Shared by both fingerprint entry points so they agree
+/// field for field.
+ContextKey assemble_key(const CanRtaConfig& cfg, std::uint64_t errors_fp, const BitTiming& timing,
+                        Duration cost, Duration bcrt, Duration deadline,
+                        const EventModel& activation, Duration blocking, Duration max_retx,
+                        Duration horizon, const MultisetAcc& hp, const MultisetAcc& tt) {
+  KeyMixer h;
+  // Raw config switches. Strictly redundant — every switch is already
+  // resolved into the values below — but hashed anyway so a future
+  // config field that leaks into the solver without being folded into
+  // the context shows up as a differential-test failure, not a stale hit.
+  h.mix(static_cast<std::uint64_t>(cfg.worst_case_stuffing) |
+        (static_cast<std::uint64_t>(cfg.model_controller_queues) << 1) |
+        (static_cast<std::uint64_t>(cfg.use_offsets) << 2) |
+        (cfg.deadline_override
+             ? 0x10ULL + static_cast<std::uint64_t>(*cfg.deadline_override)
+             : 0x8ULL));
+  h.mix(errors_fp);
+
+  h.mix(static_cast<std::uint64_t>(timing.bits_per_second()));
+  h.mix(timing.bit_time());
+  h.mix(cost);
+  h.mix(bcrt);
+  h.mix(deadline);
+  h.mix(activation);
+  h.mix(blocking);
+  h.mix(max_retx);
+  h.mix(horizon);
+
+  h.mix(hp.a);
+  h.mix(hp.b);
+  h.mix(hp.n);
+  h.mix(tt.a);
+  h.mix(tt.b);
+  h.mix(tt.n);
+  return h.key();
+}
+
+}  // namespace
+
+ContextKey context_fingerprint(const MessageContext& ctx, const CanRtaConfig& cfg) {
+  MultisetAcc hp;
+  for (const auto& [em, cost] : ctx.hp) hp.add(hp_entry_hash(em, cost));
+  MultisetAcc tt;
+  for (const auto& members : ctx.tt) {
+    MultisetAcc group;
+    for (const auto& m : members) group.add(tt_member_hash(m.period, m.offset, m.jitter, m.cost));
+    tt.add(tt_group_hash(group));
+  }
+  return assemble_key(cfg, ctx.errors->fingerprint(), ctx.timing, ctx.cost, ctx.bcrt, ctx.deadline,
+                      ctx.activation, ctx.blocking, ctx.max_retx, ctx.horizon, hp, tt);
+}
+
+ContextKey message_fingerprint(const KMatrix& km, const CanRtaConfig& cfg, std::size_t index) {
+  const auto& msgs = km.messages();
+  if (index >= msgs.size()) throw std::out_of_range("message_fingerprint: bad index");
+  const CanMessage& m = msgs[index];
+  const std::uint64_t own_rank = m.arbitration_rank();
+  const std::uint64_t eff_rank = effective_rank(km, cfg, index);
+  const Duration c_m = frame_time(km, cfg, m);
+
+  // One pass over the matrix gathers the blocking and retransmission
+  // maxima and the interference multisets — the same values
+  // build_message_context() resolves, minus the vectors.
+  Duration bus_blocking = Duration::zero();
+  Duration max_retx = c_m;
+  MultisetAcc hp;
+  // Per-sender accumulators for offset groups; sender counts are small,
+  // so a linear-scan vector beats a map.
+  std::vector<std::pair<const std::string*, MultisetAcc>> groups;
+  for (const auto& k : msgs) {
+    if (&k == &m) continue;
+    const std::uint64_t kr = k.arbitration_rank();
+    const Duration ck = frame_time(km, cfg, k);
+    if (kr > eff_rank) bus_blocking = max(bus_blocking, ck);
+    if (kr <= eff_rank) max_retx = max(max_retx, ck);
+    const bool interferes = k.sender == m.sender ? kr < own_rank : kr < eff_rank;
+    if (!interferes) continue;
+    if (cfg.use_offsets && k.tt_offset) {
+      MultisetAcc* acc = nullptr;
+      for (auto& [sender, a] : groups)
+        if (*sender == k.sender) {
+          acc = &a;
+          break;
+        }
+      if (acc == nullptr) acc = &groups.emplace_back(&k.sender, MultisetAcc{}).second;
+      acc->add(tt_member_hash(k.period, *k.tt_offset, k.jitter, ck));
+    } else {
+      hp.add(hp_entry_hash(k.activation(), ck));
+    }
+  }
+  max_retx = max(max_retx, bus_blocking);
+  const Duration blocking = bus_blocking + intra_node_blocking(km, cfg, index);
+
+  MultisetAcc tt;
+  for (const auto& [sender, group] : groups) tt.add(tt_group_hash(group));
+
+  return assemble_key(cfg, cfg.errors->fingerprint(), km.timing(), c_m, m.bcet(km.timing()),
+                      effective_deadline(m, cfg), m.activation(), blocking, max_retx, cfg.horizon,
+                      hp, tt);
+}
+
+std::vector<ContextKey> bus_fingerprints(const KMatrix& km, const CanRtaConfig& cfg) {
+  const auto& msgs = km.messages();
+  const std::size_t n = msgs.size();
+  const std::uint64_t errors_fp = cfg.errors->fingerprint();
+
+  // Pre-pass: per message, its rank, frame time, sender index and its
+  // one-time element hashes. Every pairwise step below is then a compare
+  // plus a few additions.
+  std::vector<const std::string*> senders;
+  std::vector<std::uint64_t> rank(n);
+  std::vector<Duration> cost(n);
+  std::vector<std::size_t> sender_of(n);
+  std::vector<ContextKey> hp_hash(n);
+  std::vector<ContextKey> tt_hash(n);
+  std::vector<char> is_tt(n, 0);
+  for (std::size_t k = 0; k < n; ++k) {
+    rank[k] = msgs[k].arbitration_rank();
+    cost[k] = frame_time(km, cfg, msgs[k]);
+    std::size_t s = senders.size();
+    for (std::size_t j = 0; j < senders.size(); ++j)
+      if (*senders[j] == msgs[k].sender) {
+        s = j;
+        break;
+      }
+    if (s == senders.size()) senders.push_back(&msgs[k].sender);
+    sender_of[k] = s;
+    if (cfg.use_offsets && msgs[k].tt_offset) {
+      is_tt[k] = 1;
+      tt_hash[k] = tt_member_hash(msgs[k].period, *msgs[k].tt_offset, msgs[k].jitter, cost[k]);
+    } else {
+      hp_hash[k] = hp_entry_hash(msgs[k].activation(), cost[k]);
+    }
+  }
+
+  // Effective rank: basicCAN senders degrade every message to the node's
+  // worst rank (same resolution effective_rank() does one message at a
+  // time).
+  std::vector<std::uint64_t> sender_max_rank(senders.size(), 0);
+  std::vector<char> sender_basic(senders.size(), 0);
+  for (std::size_t s = 0; s < senders.size(); ++s) {
+    const EcuNode* node = km.find_node(*senders[s]);
+    sender_basic[s] = cfg.model_controller_queues && node != nullptr &&
+                      node->controller == ControllerType::kBasicCan;
+  }
+  for (std::size_t k = 0; k < n; ++k)
+    sender_max_rank[sender_of[k]] = std::max(sender_max_rank[sender_of[k]], rank[k]);
+
+  std::vector<ContextKey> keys(n);
+  std::vector<MultisetAcc> group_acc(senders.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const CanMessage& m = msgs[i];
+    const std::uint64_t eff_rank =
+        sender_basic[sender_of[i]] ? sender_max_rank[sender_of[i]] : rank[i];
+
+    Duration bus_blocking = Duration::zero();
+    Duration max_retx = cost[i];
+    MultisetAcc hp;
+    for (auto& g : group_acc) g = MultisetAcc{};
+    for (std::size_t k = 0; k < n; ++k) {
+      if (k == i) continue;
+      if (rank[k] > eff_rank) bus_blocking = max(bus_blocking, cost[k]);
+      if (rank[k] <= eff_rank) max_retx = max(max_retx, cost[k]);
+      const bool interferes =
+          sender_of[k] == sender_of[i] ? rank[k] < rank[i] : rank[k] < eff_rank;
+      if (!interferes) continue;
+      if (is_tt[k])
+        group_acc[sender_of[k]].add(tt_hash[k]);
+      else
+        hp.add(hp_hash[k]);
+    }
+    max_retx = max(max_retx, bus_blocking);
+    const Duration blocking = bus_blocking + intra_node_blocking(km, cfg, i);
+
+    MultisetAcc tt;
+    for (const auto& g : group_acc)
+      if (g.n > 0) tt.add(tt_group_hash(g));
+
+    keys[i] = assemble_key(cfg, errors_fp, km.timing(), cost[i], m.bcet(km.timing()),
+                           effective_deadline(m, cfg), m.activation(), blocking, max_retx,
+                           cfg.horizon, hp, tt);
+  }
+  return keys;
+}
+
+}  // namespace symcan::analysis

@@ -1,0 +1,134 @@
+#pragma once
+
+// The shared busy-period core of the CAN response-time analysis, split
+// into two halves:
+//
+//   build_message_context(km, cfg, i)  — resolve everything message i's
+//       verdict can depend on into a self-contained MessageContext: its
+//       own cost/deadline/event model, the blocking terms, the
+//       higher-priority interference set (event models + frame times),
+//       the offset-scheduled sender groups, and the error model.
+//
+//   solve_message(ctx)                 — run the Davis/Tindell busy-period
+//       fixed point on that context alone. Deterministic: two equal
+//       contexts always produce bit-identical MessageResults.
+//
+// CanRta::analyze_message() is exactly build + solve; IncrementalRta
+// inserts a memo table between the two halves, keyed by
+// context_fingerprint(). The split is what makes the cache sound: the
+// fingerprint covers every field the solver reads, and nothing else
+// reaches the solver, so a fingerprint hit *is* a proof that the fresh
+// analysis would produce the same bits.
+//
+// The context is deliberately *resolved*, not raw: lower-priority
+// messages enter only through the blocking/retransmission maxima, the
+// interference set is canonically sorted (CAN interference is a set
+// property — arbitration order among higher-priority frames does not
+// change the busy-window sum), and config switches (stuffing, deadline
+// override, controller queue modelling, offset use) are already folded
+// into the values they influence. Two GA neighbours that differ in one
+// ID swap therefore share contexts for every message outside the swapped
+// priority span, and a jitter sweep reuses every message whose
+// interference set the sweep does not touch.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "symcan/analysis/error_model.hpp"
+#include "symcan/analysis/tt_schedule.hpp"
+#include "symcan/model/event_model.hpp"
+#include "symcan/util/time.hpp"
+
+namespace symcan {
+
+struct CanRtaConfig;
+struct MessageResult;
+class KMatrix;
+
+namespace analysis {
+
+/// Everything the busy-period solver may read about one message.
+struct MessageContext {
+  /// Output identity only — patched into the result, never hashed, so a
+  /// cached result can be re-labelled for a structurally equal message.
+  std::string name;
+  std::uint32_t id = 0;
+
+  // --- Solver inputs; all of these are covered by the fingerprint. ---
+  BitTiming timing{500'000};
+  Duration cost = Duration::zero();      ///< C_m under the configured stuffing.
+  Duration bcrt = Duration::zero();      ///< Unstuffed frame time.
+  Duration deadline = Duration::infinite();  ///< Resolved against any override.
+  EventModel activation = EventModel::periodic(Duration::ms(10));
+  /// Total blocking: one lower-priority frame on the bus plus committed
+  /// same-node basicCAN FIFO entries.
+  Duration blocking = Duration::zero();
+  /// Largest frame a fault can force to retransmit at this level.
+  Duration max_retx = Duration::zero();
+  Duration horizon = Duration::s(10);
+
+  /// Higher-priority interferers analyzed through their event models,
+  /// sorted canonically (period, jitter, min distance, cost).
+  std::vector<std::pair<EventModel, Duration>> hp;
+
+  /// Offset-scheduled higher-priority interferers, one member list per
+  /// sending node; members and lists sorted canonically. The solver
+  /// builds TtGroups from these (falling back to offset-blind event
+  /// models when a hyperperiod is unbounded — a deterministic function
+  /// of the members, so the members are what the fingerprint covers).
+  std::vector<std::vector<TtGroup::Member>> tt;
+
+  std::shared_ptr<const ErrorModel> errors;
+};
+
+/// 128-bit context key. Two lanes of independent mixing make accidental
+/// collisions (which would silently corrupt cached results) vanishingly
+/// unlikely at any realistic cache size.
+struct ContextKey {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  friend bool operator==(const ContextKey&, const ContextKey&) = default;
+};
+
+struct ContextKeyHash {
+  std::size_t operator()(const ContextKey& k) const noexcept {
+    return static_cast<std::size_t>(k.a ^ (k.b * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// Resolve message `index` of `km` under `cfg` into a solver context.
+/// Mirrors CanRta's interference-set construction exactly.
+MessageContext build_message_context(const KMatrix& km, const CanRtaConfig& cfg,
+                                     std::size_t index);
+
+/// Run the busy-period fixed point on one context. Pure: equal contexts
+/// give bit-identical results (iteration counts included).
+MessageResult solve_message(const MessageContext& ctx);
+
+/// Stable 128-bit fingerprint over every solver input of `ctx` plus the
+/// raw config switches (redundant with the resolved values, kept as
+/// cheap insurance against future fields bypassing the context). The
+/// interference sets are hashed as multisets (commutative combine), so
+/// the key is independent of element order.
+ContextKey context_fingerprint(const MessageContext& ctx, const CanRtaConfig& cfg);
+
+/// Fingerprint of message `index` computed directly from the matrix in
+/// one allocation-light pass, without materializing a MessageContext.
+/// Guaranteed equal to context_fingerprint(build_message_context(km,
+/// cfg, index), cfg) — the cheap lookup path of IncrementalRta, which
+/// only pays for context construction on a miss.
+ContextKey message_fingerprint(const KMatrix& km, const CanRtaConfig& cfg, std::size_t index);
+
+/// All message fingerprints of `km` at once, equal element-wise to
+/// message_fingerprint(km, cfg, i). Hashes every message's interference
+/// contribution once and combines per message by commutative addition,
+/// so the whole-bus pass does O(n^2) additions instead of O(n^2) hash
+/// mixes — the lookup path of IncrementalRta::analyze().
+std::vector<ContextKey> bus_fingerprints(const KMatrix& km, const CanRtaConfig& cfg);
+
+}  // namespace analysis
+}  // namespace symcan

@@ -55,6 +55,17 @@ int jobs_from(const Args& args) {
   return static_cast<int>(args.count_option_or("jobs", 0));
 }
 
+/// --rta-cache on|off: RTA memoization for the commands that re-analyze
+/// edited matrices. Default on — cached verdicts are bit-identical to
+/// fresh ones, so off exists only to measure the cache's effect.
+RtaCacheConfig rta_cache_from(const Args& args) {
+  const std::string v = args.option_or("rta-cache", "on");
+  if (v != "on" && v != "off") throw std::invalid_argument("--rta-cache must be on|off");
+  RtaCacheConfig cache;
+  cache.enabled = v == "on";
+  return cache;
+}
+
 void fail_on_unused(const Args& args) {
   const auto unused = args.unused();
   if (!unused.empty())
@@ -114,6 +125,7 @@ int cmd_sweep(const Args& args, std::ostream& out) {
   cfg.to = args.double_option_or("to", 0.60);
   cfg.step = args.double_option_or("step", 0.05);
   cfg.parallelism = jobs_from(args);
+  cfg.cache = rta_cache_from(args);
   fail_on_unused(args);
   const JitterSweepResult res = sweep_jitter(km, cfg);
   out << "jitter_fraction,miss_fraction,miss_count\n";
@@ -128,6 +140,7 @@ int cmd_sensitivity(const Args& args, std::ostream& out) {
   JitterSweepConfig cfg;
   cfg.rta = assumptions_from(args);
   cfg.parallelism = jobs_from(args);
+  cfg.cache = rta_cache_from(args);
   fail_on_unused(args);
   const SensitivityReport rep = analyze_sensitivity(km, cfg);
   TextTable t;
@@ -150,6 +163,7 @@ int cmd_optimize(const Args& args, std::ostream& out) {
   cfg.eval_fractions = {args.double_option_or("target-jitter", 0.25)};
   cfg.seeds = {current_order(km), deadline_monotonic_order(km)};
   cfg.parallelism = jobs_from(args);
+  cfg.cache = rta_cache_from(args);
   const std::string output = args.option_or("out", "");
   fail_on_unused(args);
 
@@ -221,6 +235,7 @@ int cmd_report(const Args& args, std::ostream& out) {
   const KMatrix km = load_matrix(args);
   const CanRtaConfig cfg = assumptions_from(args);
   const int jobs = jobs_from(args);
+  const RtaCacheConfig cache = rta_cache_from(args);
   fail_on_unused(args);
 
   out << "# Network integration report: " << km.bus_name() << "\n\n";
@@ -275,7 +290,7 @@ int cmd_report(const Args& args, std::ostream& out) {
     out << "\n## Extensibility (Section 2)\n\n";
     ExtensionProfile profile;
     profile.first_id = 0x600;
-    const ExtensibilityReport ext = max_additional_messages(km, cfg, profile, 64, jobs);
+    const ExtensibilityReport ext = max_additional_messages(km, cfg, profile, 64, jobs, cache);
     out << strprintf("- %s%zu additional 20 ms / 8 B messages provable (load at max: %.0f%%)\n",
                      ext.capped ? ">= " : "", ext.max_additional_messages,
                      100 * ext.utilization_at_max);
@@ -309,8 +324,9 @@ int cmd_extend(const Args& args, std::ostream& out) {
   profile.first_id = static_cast<CanId>(args.int_option_or("first-id", 0x600));
   const CanRtaConfig cfg = assumptions_from(args);
   const int jobs = jobs_from(args);
+  const RtaCacheConfig cache = rta_cache_from(args);
   fail_on_unused(args);
-  const ExtensibilityReport r = max_additional_messages(km, cfg, profile, 128, jobs);
+  const ExtensibilityReport r = max_additional_messages(km, cfg, profile, 128, jobs, cache);
   out << strprintf("headroom: %s%zu additional %lldms/%dB messages (util at max: %.1f%%)\n",
                    r.capped ? ">= " : "", r.max_additional_messages,
                    static_cast<long long>(profile.period.count_ns() / 1'000'000),
@@ -359,6 +375,9 @@ std::string usage() {
          "--jobs N selects N worker threads for sweep/sensitivity/optimize/\n"
          "extend/report (0 = all hardware threads, the default; results are\n"
          "bit-identical at any width).\n"
+         "--rta-cache on|off (default on) memoizes per-message RTA verdicts\n"
+         "across the re-analyses those same commands perform; cached results\n"
+         "are bit-identical to fresh ones, so 'off' exists only to measure.\n"
          "--trace-out FILE / --metrics-out FILE work with every command:\n"
          "they record spans (chrome://tracing JSON) and metrics (counters,\n"
          "histograms, per-iteration series) for the run and write them on\n"

@@ -61,10 +61,10 @@ bool lex_better(const GaIndividual& a, const GaIndividual& b) {
 
 }  // namespace
 
-GaIndividual evaluate_order(const KMatrix& km, const PriorityOrder& order, const GaConfig& cfg) {
+GaIndividual evaluate_order(const KMatrix& km, const PriorityOrder& order, const GaConfig& cfg,
+                            IncrementalRta& rta) {
   GaIndividual ind;
   ind.order = order;
-  const KMatrix candidate = apply_priority_order(km, order);
   double misses = 0;
   double cost = 0;
   std::size_t samples = 0;
@@ -73,9 +73,14 @@ GaIndividual evaluate_order(const KMatrix& km, const PriorityOrder& order, const
   double weight = 1.0;
   for (std::size_t k = 1; k < cfg.eval_fractions.size(); ++k) weight *= 1000.0;
   for (const double f : cfg.eval_fractions) {
-    KMatrix variant = candidate;
+    // One matrix copy per evaluation point — reorder and jitter-edit in
+    // place rather than copying a reordered intermediate.
+    KMatrix variant = apply_priority_order(km, order);
     assume_jitter_fraction(variant, f, cfg.override_known);
-    const BusResult res = CanRta{variant, cfg.rta}.analyze();
+    // The config (and its ErrorModel shared_ptr) stays by const reference
+    // all the way down — no per-individual CanRtaConfig copies on the hot
+    // path, and cached verdicts short-circuit the fixed point entirely.
+    const BusResult res = rta.analyze(variant, cfg.rta);
     misses += weight * static_cast<double>(res.miss_count());
     weight /= 1000.0;
     for (const auto& m : res.messages) {
@@ -93,6 +98,11 @@ GaIndividual evaluate_order(const KMatrix& km, const PriorityOrder& order, const
   return ind;
 }
 
+GaIndividual evaluate_order(const KMatrix& km, const PriorityOrder& order, const GaConfig& cfg) {
+  IncrementalRta scratch{RtaCacheConfig{false, 1}};
+  return evaluate_order(km, order, cfg, scratch);
+}
+
 GaResult optimize_priorities(const KMatrix& km, const GaConfig& cfg) {
   if (cfg.population < 4) throw std::invalid_argument("optimize_priorities: population too small");
   if (cfg.archive < 2) throw std::invalid_argument("optimize_priorities: archive too small");
@@ -108,12 +118,17 @@ GaResult optimize_priorities(const KMatrix& km, const GaConfig& cfg) {
   // cheap, with every individual drawing from its own (seed, generation,
   // slot) stream so results never depend on evaluation order.
   ParallelExecutor exec{cfg.parallelism};
+  // One memo shared by all workers across all generations: neighbouring
+  // candidates differ in a few swapped ranks, so most per-message
+  // contexts recur and only the edited span re-solves. Safe because a
+  // cache hit is bit-identical to a fresh solve.
+  IncrementalRta rta{cfg.cache};
   double last_eval_ms = 0;
   auto evaluate_all = [&](const std::vector<PriorityOrder>& orders) {
     result.evaluations += static_cast<int>(orders.size());
     const auto t0 = std::chrono::steady_clock::now();
     auto evaluated = exec.parallel_map(
-        orders, [&](const PriorityOrder& o) { return evaluate_order(km, o, cfg); });
+        orders, [&](const PriorityOrder& o) { return evaluate_order(km, o, cfg, rta); });
     last_eval_ms =
         std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
     if (obs::enabled()) {

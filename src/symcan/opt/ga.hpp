@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "symcan/analysis/can_rta.hpp"
+#include "symcan/analysis/incremental_rta.hpp"
 #include "symcan/can/kmatrix.hpp"
 #include "symcan/opt/assignment.hpp"
 
@@ -61,6 +62,13 @@ struct GaConfig {
   /// by (seed, generation, slot), so the evolved populations are
   /// bit-identical at any parallelism.
   int parallelism = 1;
+
+  /// RTA memoization across fitness evaluations. Neighbouring candidates
+  /// share most of their interference contexts, so the optimizer's
+  /// dominant cost collapses to the messages each edit actually touches.
+  /// Cached verdicts are bit-identical to fresh ones, so this never
+  /// changes the evolved populations — disable only to measure.
+  RtaCacheConfig cache;
 };
 
 /// One evaluated candidate.
@@ -77,7 +85,12 @@ struct GaResult {
   int evaluations = 0;
 };
 
-/// Evaluate one order under the GA's objective definition.
+/// Evaluate one order under the GA's objective definition, reusing cached
+/// RTA verdicts from `rta` (which may be shared across threads and calls).
+GaIndividual evaluate_order(const KMatrix& km, const PriorityOrder& order, const GaConfig& cfg,
+                            IncrementalRta& rta);
+
+/// Convenience overload with a private, cache-disabled analyzer.
 GaIndividual evaluate_order(const KMatrix& km, const PriorityOrder& order, const GaConfig& cfg);
 
 /// Run the optimizer. Deterministic in cfg.seed.

@@ -107,12 +107,15 @@ GaResult optimize_priorities_nsga2(const KMatrix& km, const GaConfig& cfg) {
   // the same scheme keeps NSGA-II's populations bit-identical at any
   // worker count.
   ParallelExecutor exec{cfg.parallelism};
+  // Shared RTA memo, as in ga.cpp: bit-identical hits keep populations
+  // deterministic at any worker count.
+  IncrementalRta rta{cfg.cache};
   double last_eval_ms = 0;
   auto evaluate_all = [&](const std::vector<PriorityOrder>& orders) {
     result.evaluations += static_cast<int>(orders.size());
     const auto t0 = std::chrono::steady_clock::now();
     auto evaluated = exec.parallel_map(
-        orders, [&](const PriorityOrder& o) { return evaluate_order(km, o, cfg); });
+        orders, [&](const PriorityOrder& o) { return evaluate_order(km, o, cfg, rta); });
     last_eval_ms =
         std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
     if (obs::enabled()) {

@@ -31,11 +31,12 @@ CanMessage extension_message(const ExtensionProfile& p, std::size_t index,
   return m;
 }
 
-ExtensionStep verdict(const KMatrix& km, const CanRtaConfig& rta, std::size_t added) {
+ExtensionStep verdict(const KMatrix& km, const CanRtaConfig& rta, IncrementalRta& cache,
+                      std::size_t added) {
   ExtensionStep step;
   step.added = added;
   step.utilization = km.utilization(true);
-  const BusResult res = CanRta{km, rta}.analyze();
+  const BusResult res = cache.analyze(km, rta);
   step.schedulable = res.all_schedulable();
   for (const auto& m : res.messages)
     if (!m.schedulable) {
@@ -64,11 +65,12 @@ void check_profile(const ExtensionProfile& p) {
 /// count.
 template <typename Grow>
 ExtensibilityReport extension_search(const KMatrix& km, const CanRtaConfig& rta, std::size_t cap,
-                                     int parallelism, Grow&& grow) {
+                                     int parallelism, RtaCacheConfig cache_cfg, Grow&& grow) {
   SYMCAN_OBS_SPAN("extensibility.search");
   ExtensibilityReport report;
   KMatrix work = km;
   ParallelExecutor exec{parallelism};
+  IncrementalRta cache{cache_cfg};
   const std::size_t batch_size = static_cast<std::size_t>(std::max(1, exec.threads()));
   std::size_t n = 0;
   while (n < cap) {
@@ -80,7 +82,7 @@ ExtensibilityReport extension_search(const KMatrix& km, const CanRtaConfig& rta,
       variants.push_back(work);
     }
     const std::vector<ExtensionStep> steps = exec.parallel_map_indexed(
-        batch, [&](std::size_t b) { return verdict(variants[b], rta, n + b + 1); });
+        batch, [&](std::size_t b) { return verdict(variants[b], rta, cache, n + b + 1); });
     obs::count("extensibility.verdicts", static_cast<std::int64_t>(steps.size()));
     for (const ExtensionStep& step : steps) {
       report.steps.push_back(step);
@@ -98,14 +100,14 @@ ExtensibilityReport extension_search(const KMatrix& km, const CanRtaConfig& rta,
 
 ExtensibilityReport max_additional_messages(const KMatrix& km, const CanRtaConfig& rta,
                                             const ExtensionProfile& profile, std::size_t cap,
-                                            int parallelism) {
+                                            int parallelism, RtaCacheConfig cache) {
   check_profile(profile);
   km.validate();
   const std::string receiver = km.nodes().empty() ? profile.sender : km.nodes().front().name;
 
   KMatrix base = km;
   ensure_node(base, profile.sender);
-  return extension_search(base, rta, cap, parallelism, [&](KMatrix& work, std::size_t n) {
+  return extension_search(base, rta, cap, parallelism, cache, [&](KMatrix& work, std::size_t n) {
     work.add_message(extension_message(profile, n - 1, profile.sender, receiver));
   });
 }
@@ -113,14 +115,14 @@ ExtensibilityReport max_additional_messages(const KMatrix& km, const CanRtaConfi
 ExtensibilityReport max_additional_ecus(const KMatrix& km, const CanRtaConfig& rta,
                                         const ExtensionProfile& profile,
                                         std::size_t messages_per_ecu, std::size_t cap,
-                                        int parallelism) {
+                                        int parallelism, RtaCacheConfig cache) {
   check_profile(profile);
   if (messages_per_ecu == 0)
     throw std::invalid_argument("max_additional_ecus: messages_per_ecu must be >= 1");
   km.validate();
   const std::string receiver = km.nodes().empty() ? profile.sender : km.nodes().front().name;
 
-  return extension_search(km, rta, cap, parallelism, [&](KMatrix& work, std::size_t e) {
+  return extension_search(km, rta, cap, parallelism, cache, [&](KMatrix& work, std::size_t e) {
     const std::string node = profile.sender + std::to_string(e - 1);
     ensure_node(work, node);
     for (std::size_t j = 0; j < messages_per_ecu; ++j)

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "symcan/analysis/can_rta.hpp"
+#include "symcan/analysis/incremental_rta.hpp"
 #include "symcan/can/kmatrix.hpp"
 
 namespace symcan {
@@ -60,16 +61,20 @@ struct ExtensibilityReport {
 /// monotonicity of the analysis (adding a message never helps anyone).
 /// With parallelism != 1 the per-count verdicts are evaluated in batches
 /// of the worker count; the report is bit-identical to the serial one
-/// (steps still stop at the first failure).
+/// (steps still stop at the first failure). The search re-analyzes the
+/// whole matrix at every count, but existing messages at higher priority
+/// than the extension region keep their interference context, so their
+/// verdicts come from the shared RTA memo (`cache`).
 ExtensibilityReport max_additional_messages(const KMatrix& km, const CanRtaConfig& rta,
                                             const ExtensionProfile& profile,
-                                            std::size_t cap = 128, int parallelism = 1);
+                                            std::size_t cap = 128, int parallelism = 1,
+                                            RtaCacheConfig cache = {});
 
 /// How many additional ECUs fit, each sending `messages_per_ecu` profile
 /// messages (ECUs named <sender>0, <sender>1, ...).
 ExtensibilityReport max_additional_ecus(const KMatrix& km, const CanRtaConfig& rta,
                                         const ExtensionProfile& profile,
                                         std::size_t messages_per_ecu, std::size_t cap = 32,
-                                        int parallelism = 1);
+                                        int parallelism = 1, RtaCacheConfig cache = {});
 
 }  // namespace symcan

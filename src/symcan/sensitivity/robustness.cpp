@@ -32,9 +32,10 @@ std::size_t SensitivityReport::count(Robustness r) const {
 namespace {
 
 bool message_schedulable_at(const KMatrix& km, const CanRtaConfig& rta, std::size_t index,
-                            double fraction, bool override_known) {
+                            double fraction, bool override_known, IncrementalRta* cache) {
   KMatrix variant = km;
   assume_jitter_fraction(variant, fraction, override_known);
+  if (cache) return cache->analyze_message(variant, rta, index).schedulable;
   return CanRta{variant, rta}.analyze_message(index).schedulable;
 }
 
@@ -49,8 +50,10 @@ SensitivityReport analyze_sensitivity(const KMatrix& km, const JitterSweepConfig
 
   SensitivityReport report;
   // Each message's classification and tolerable-jitter search is
-  // independent of every other message's, so fan them out.
+  // independent of every other message's, so fan them out. The searches
+  // probe overlapping jitter fractions, so they share one RTA memo.
   ParallelExecutor exec{cfg.parallelism};
+  IncrementalRta cache{cfg.cache};
   report.messages = exec.parallel_map_indexed(km.size(), [&](std::size_t i) {
     MessageSensitivity s;
     s.name = km.messages()[i].name;
@@ -74,7 +77,7 @@ SensitivityReport analyze_sensitivity(const KMatrix& km, const JitterSweepConfig
         s.cls = Robustness::kVerySensitive;
     }
     s.max_tolerable_fraction =
-        max_tolerable_jitter_fraction(km, cfg.rta, s.name, 1.0, 0.005, cfg.override_known);
+        max_tolerable_jitter_fraction(km, cfg.rta, s.name, 1.0, 0.005, cfg.override_known, &cache);
     return s;
   });
   return report;
@@ -82,20 +85,20 @@ SensitivityReport analyze_sensitivity(const KMatrix& km, const JitterSweepConfig
 
 double max_tolerable_jitter_fraction(const KMatrix& km, const CanRtaConfig& rta,
                                      const std::string& message, double cap, double tolerance,
-                                     bool override_known) {
+                                     bool override_known, IncrementalRta* cache) {
   std::size_t index = km.size();
   for (std::size_t i = 0; i < km.size(); ++i)
     if (km.messages()[i].name == message) index = i;
   if (index == km.size())
     throw std::invalid_argument("max_tolerable_jitter_fraction: unknown message " + message);
 
-  if (!message_schedulable_at(km, rta, index, 0.0, override_known)) return 0.0;
-  if (message_schedulable_at(km, rta, index, cap, override_known)) return cap;
+  if (!message_schedulable_at(km, rta, index, 0.0, override_known, cache)) return 0.0;
+  if (message_schedulable_at(km, rta, index, cap, override_known, cache)) return cap;
 
   double lo = 0.0, hi = cap;  // schedulable at lo, not at hi
   while (hi - lo > tolerance) {
     const double mid = (lo + hi) / 2;
-    if (message_schedulable_at(km, rta, index, mid, override_known))
+    if (message_schedulable_at(km, rta, index, mid, override_known, cache))
       lo = mid;
     else
       hi = mid;

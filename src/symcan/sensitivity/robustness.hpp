@@ -62,8 +62,13 @@ SensitivityReport analyze_sensitivity(const KMatrix& km, const JitterSweepConfig
 /// messages, unknown-jitter only unless override_known) at which
 /// `message` still meets its deadline. Searches [0, cap]; returns cap if
 /// schedulable everywhere, 0 if unschedulable at zero jitter.
+///
+/// When `cache` is non-null, single-message probes are memoized through
+/// it — the searches for different messages revisit the same jitter
+/// fractions, so a shared cache collapses most probes to lookups.
 double max_tolerable_jitter_fraction(const KMatrix& km, const CanRtaConfig& rta,
                                      const std::string& message, double cap = 1.0,
-                                     double tolerance = 0.005, bool override_known = true);
+                                     double tolerance = 0.005, bool override_known = true,
+                                     IncrementalRta* cache = nullptr);
 
 }  // namespace symcan

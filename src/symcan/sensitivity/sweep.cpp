@@ -33,12 +33,13 @@ JitterSweepResult sweep_jitter(const KMatrix& km, const JitterSweepConfig& cfg) 
   // Half-step epsilon keeps the endpoint inclusive despite FP accumulation.
   for (double f = cfg.from; f <= cfg.to + cfg.step / 2; f += cfg.step) out.fractions.push_back(f);
   ParallelExecutor exec{cfg.parallelism};
+  IncrementalRta rta{cfg.cache};
   {
     SYMCAN_OBS_SPAN("sweep.jitter");
     out.results = exec.parallel_map(out.fractions, [&](double f) {
       KMatrix variant = km;
       assume_jitter_fraction(variant, f, cfg.override_known);
-      return CanRta{variant, cfg.rta}.analyze();
+      return rta.analyze(variant, cfg.rta);
     });
   }
   if (obs::enabled()) {
@@ -63,12 +64,13 @@ ErrorSweepResult sweep_errors(const KMatrix& km, const ErrorSweepConfig& cfg) {
     out.min_inter_error.push_back(Duration::ns(static_cast<std::int64_t>(std::exp(t))));
   }
   ParallelExecutor exec{cfg.parallelism};
+  IncrementalRta rta{cfg.cache};
   {
     SYMCAN_OBS_SPAN("sweep.errors");
     out.results = exec.parallel_map(out.min_inter_error, [&](Duration gap) {
-      CanRtaConfig rta = cfg.rta;
-      rta.errors = std::make_shared<SporadicErrors>(gap);
-      return CanRta{km, rta}.analyze();
+      CanRtaConfig point = cfg.rta;
+      point.errors = std::make_shared<SporadicErrors>(gap);
+      return rta.analyze(km, point);
     });
   }
   if (obs::enabled()) {

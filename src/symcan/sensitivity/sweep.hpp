@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "symcan/analysis/can_rta.hpp"
+#include "symcan/analysis/incremental_rta.hpp"
 #include "symcan/can/kmatrix.hpp"
 
 namespace symcan {
@@ -26,6 +27,9 @@ struct JitterSweepConfig {
   /// Worker threads for evaluating sweep points (0 = hardware
   /// concurrency, 1 = serial). Results are bit-identical either way.
   int parallelism = 1;
+  /// RTA memoization across sweep points: messages the swept jitter does
+  /// not reach keep their interference context and are served from cache.
+  RtaCacheConfig cache;
 };
 
 /// Analysis results at each swept point.
@@ -55,6 +59,9 @@ struct ErrorSweepConfig {
   /// Worker threads for evaluating sweep points (0 = hardware
   /// concurrency, 1 = serial). Results are bit-identical either way.
   int parallelism = 1;
+  /// RTA memoization across sweep points (the error model is part of the
+  /// cache key, so each point only reuses what it legitimately can).
+  RtaCacheConfig cache;
 };
 
 struct ErrorSweepResult {

@@ -1,0 +1,244 @@
+// Differential fuzz harness for the incremental RTA cache: starting from
+// seeded random K-matrices, apply long random sequences of the edits the
+// optimizer/sweep hot loops actually perform — priority swaps, jitter
+// edits, error-model swaps, config-flag flips — and after *every* edit
+// demand that a shared IncrementalRta agrees with a from-scratch CanRta
+// in every result field, bit for bit. One surviving stale or collided
+// cache entry anywhere in the edit space fails this suite.
+//
+// The shared-cache variants run the same discipline from four worker
+// threads against one cache instance; the suite carries the `determinism`
+// ctest label so it runs under TSan alongside the other concurrency
+// suites (see tests/CMakeLists.txt).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "symcan/analysis/incremental_rta.hpp"
+#include "symcan/analysis/presets.hpp"
+#include "symcan/opt/assignment.hpp"
+#include "symcan/util/parallel.hpp"
+#include "symcan/util/rng.hpp"
+#include "symcan/workload/powertrain.hpp"
+
+namespace symcan {
+namespace {
+
+struct DiffParam {
+  std::uint64_t seed;
+  int messages;
+  double util;
+  bool offsets;
+  const char* label;
+};
+void PrintTo(const DiffParam& p, std::ostream* os) { *os << p.label; }
+
+/// One evolving analysis problem: the matrix being edited plus the
+/// assumption set it is analyzed under.
+struct Problem {
+  KMatrix km;
+  CanRtaConfig cfg;
+};
+
+Problem initial_problem(const DiffParam& p) {
+  PowertrainConfig wl;
+  wl.seed = p.seed;
+  wl.message_count = p.messages;
+  wl.ecu_count = 3 + static_cast<int>(p.seed % 4);
+  wl.target_utilization = p.util;
+  Problem prob{generate_powertrain(wl), worst_case_assumptions()};
+  if (p.offsets) {
+    snap_periods(prob.km, Duration::ms(1));
+    assign_tt_offsets(prob.km);
+  }
+  return prob;
+}
+
+/// Apply one random edit drawn from the moves the hot loops make.
+void mutate(Problem& p, Rng& rng) {
+  switch (rng.index(7)) {
+    case 0: {  // random priority swap (a GA mutation step)
+      PriorityOrder order = current_order(p.km);
+      const std::size_t a = rng.index(order.size());
+      const std::size_t b = rng.index(order.size());
+      std::swap(order[a], order[b]);
+      p.km = apply_priority_order(p.km, order);
+      break;
+    }
+    case 1:  // uniform jitter edit (a sweep step)
+      assume_jitter_fraction(p.km, rng.uniform_real(0.0, 0.6), rng.chance(0.5));
+      break;
+    case 2:  // error-model swap
+      switch (rng.index(3)) {
+        case 0:
+          p.cfg.errors = std::make_shared<NoErrors>();
+          break;
+        case 1:
+          p.cfg.errors = std::make_shared<SporadicErrors>(
+              Duration::ms(rng.uniform_int(10, 80)), rng.uniform_int(0, 2));
+          break;
+        default:
+          p.cfg.errors = std::make_shared<BurstErrors>(
+              Duration::ms(rng.uniform_int(15, 60)), rng.uniform_int(1, 4));
+          break;
+      }
+      break;
+    case 3:
+      p.cfg.worst_case_stuffing = !p.cfg.worst_case_stuffing;
+      break;
+    case 4:
+      p.cfg.model_controller_queues = !p.cfg.model_controller_queues;
+      break;
+    case 5:
+      p.cfg.use_offsets = !p.cfg.use_offsets;
+      break;
+    default: {
+      const std::size_t k = rng.index(3);
+      if (k == 0)
+        p.cfg.deadline_override.reset();
+      else
+        p.cfg.deadline_override =
+            k == 1 ? DeadlinePolicy::kPeriod : DeadlinePolicy::kMinReArrival;
+      break;
+    }
+  }
+}
+
+/// Field-by-field comparison collected as text, so worker threads can
+/// report mismatches without touching gtest state concurrently.
+std::vector<std::string> diff_results(const BusResult& cached, const BusResult& fresh) {
+  std::vector<std::string> out;
+  auto mismatch = [&](const std::string& name, const char* field, auto a, auto b) {
+    std::ostringstream ss;
+    ss << name << "." << field << ": cached " << a << " vs fresh " << b;
+    out.push_back(ss.str());
+  };
+  if (cached.messages.size() != fresh.messages.size()) {
+    mismatch("<bus>", "messages.size", cached.messages.size(), fresh.messages.size());
+    return out;
+  }
+  if (cached.utilization != fresh.utilization)
+    mismatch("<bus>", "utilization", cached.utilization, fresh.utilization);
+  for (std::size_t i = 0; i < fresh.messages.size(); ++i) {
+    const MessageResult& c = cached.messages[i];
+    const MessageResult& f = fresh.messages[i];
+    if (c.name != f.name) mismatch(f.name, "name", c.name, f.name);
+    if (c.id != f.id) mismatch(f.name, "id", c.id, f.id);
+    if (c.wcrt != f.wcrt) mismatch(f.name, "wcrt", c.wcrt.count_ns(), f.wcrt.count_ns());
+    if (c.bcrt != f.bcrt) mismatch(f.name, "bcrt", c.bcrt.count_ns(), f.bcrt.count_ns());
+    if (c.deadline != f.deadline)
+      mismatch(f.name, "deadline", c.deadline.count_ns(), f.deadline.count_ns());
+    if (c.blocking != f.blocking)
+      mismatch(f.name, "blocking", c.blocking.count_ns(), f.blocking.count_ns());
+    if (c.busy_period != f.busy_period)
+      mismatch(f.name, "busy_period", c.busy_period.count_ns(), f.busy_period.count_ns());
+    if (c.instances != f.instances) mismatch(f.name, "instances", c.instances, f.instances);
+    if (c.fixedpoint_iterations != f.fixedpoint_iterations)
+      mismatch(f.name, "fixedpoint_iterations", c.fixedpoint_iterations,
+               f.fixedpoint_iterations);
+    if (c.schedulable != f.schedulable)
+      mismatch(f.name, "schedulable", c.schedulable, f.schedulable);
+    if (c.diverged != f.diverged) mismatch(f.name, "diverged", c.diverged, f.diverged);
+  }
+  return out;
+}
+
+/// Run one edit sequence against a (possibly shared) cache; returns every
+/// mismatch found, tagged with the step that produced it.
+std::vector<std::string> run_sequence(Problem prob, IncrementalRta& rta, std::uint64_t seed,
+                                      int steps) {
+  Rng rng{seed};
+  std::vector<std::string> failures;
+  for (int step = 0; step < steps; ++step) {
+    mutate(prob, rng);
+    const BusResult cached = rta.analyze(prob.km, prob.cfg);
+    const BusResult fresh = CanRta{prob.km, prob.cfg}.analyze();
+    for (const std::string& d : diff_results(cached, fresh))
+      failures.push_back("step " + std::to_string(step) + ": " + d);
+  }
+  return failures;
+}
+
+class RtaCacheDifferential : public ::testing::TestWithParam<DiffParam> {};
+
+TEST_P(RtaCacheDifferential, SerialEditSequencesStayBitIdentical) {
+  const DiffParam p = GetParam();
+  IncrementalRta rta;  // one cache across both sequences: cross-matrix reuse
+  for (int seq = 0; seq < 2; ++seq) {
+    const std::vector<std::string> failures =
+        run_sequence(initial_problem(p), rta, stream_seed(p.seed, static_cast<std::uint64_t>(seq)),
+                     /*steps=*/15);
+    for (const std::string& f : failures) ADD_FAILURE() << f;
+  }
+  EXPECT_GT(rta.stats().hits, 0) << "fuzz ran without ever exercising the hit path";
+}
+
+TEST_P(RtaCacheDifferential, SharedCacheUnderParallelEditSequencesStaysBitIdentical) {
+  // Four workers fuzz four independent edit sequences against ONE cache:
+  // every lookup races with inserts and evictions from the other three.
+  const DiffParam p = GetParam();
+  IncrementalRta rta;
+  ParallelExecutor pool{4};
+  const auto failures = pool.parallel_map_indexed(4, [&](std::size_t worker) {
+    return run_sequence(initial_problem(p), rta,
+                        stream_seed(p.seed, 100 + static_cast<std::uint64_t>(worker)),
+                        /*steps=*/8);
+  });
+  for (const auto& per_worker : failures)
+    for (const std::string& f : per_worker) ADD_FAILURE() << f;
+  EXPECT_GT(rta.stats().hits, 0);
+}
+
+TEST_P(RtaCacheDifferential, SharedCachePerMessageFanOutMatchesFresh) {
+  // The analyze_message() path the sensitivity searches use, fanned out
+  // across a pool with the whole-bus path interleaved.
+  const DiffParam p = GetParam();
+  Problem prob = initial_problem(p);
+  IncrementalRta rta;
+  ParallelExecutor pool{4};
+  Rng rng{stream_seed(p.seed, 7)};
+  for (int step = 0; step < 4; ++step) {
+    mutate(prob, rng);
+    const BusResult fresh = CanRta{prob.km, prob.cfg}.analyze();
+    const std::vector<MessageResult> per_message = pool.parallel_map_indexed(
+        prob.km.size(), [&](std::size_t i) { return rta.analyze_message(prob.km, prob.cfg, i); });
+    BusResult assembled;
+    assembled.utilization = fresh.utilization;  // not produced by the per-message path
+    assembled.messages = per_message;
+    for (const std::string& d : diff_results(assembled, fresh))
+      ADD_FAILURE() << "step " << step << ": " << d;
+  }
+}
+
+TEST_P(RtaCacheDifferential, TinyCapacityThrashingStaysBitIdentical) {
+  // Eviction pressure: a capacity far below the working set forces the
+  // replacement path on nearly every analysis.
+  const DiffParam p = GetParam();
+  RtaCacheConfig cache;
+  cache.capacity = 5;
+  IncrementalRta rta{cache};
+  const std::vector<std::string> failures =
+      run_sequence(initial_problem(p), rta, stream_seed(p.seed, 9), /*steps=*/8);
+  for (const std::string& f : failures) ADD_FAILURE() << f;
+  EXPECT_GT(rta.stats().evictions, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, RtaCacheDifferential,
+    ::testing::Values(DiffParam{11, 16, 0.40, false, "s11_m16"},
+                      DiffParam{23, 24, 0.55, false, "s23_m24"},
+                      DiffParam{37, 32, 0.62, false, "s37_m32"},
+                      DiffParam{51, 12, 0.35, true, "s51_m12_tt"},
+                      DiffParam{64, 24, 0.50, true, "s64_m24_tt"},
+                      DiffParam{77, 40, 0.58, false, "s77_m40"},
+                      DiffParam{89, 20, 0.45, true, "s89_m20_tt"},
+                      DiffParam{101, 28, 0.66, false, "s101_m28"}),
+    [](const ::testing::TestParamInfo<DiffParam>& info) { return info.param.label; });
+
+}  // namespace
+}  // namespace symcan

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "symcan/analysis/can_rta.hpp"
+#include "symcan/analysis/incremental_rta.hpp"
 #include "symcan/sim/simulator.hpp"
 #include "symcan/workload/powertrain.hpp"
 
@@ -90,6 +91,63 @@ TEST_P(SimVsRta, ScheduleVerdictImpliesNoSimLoss) {
   if (p.errors) sim.errors = SimErrorProcess::sporadic(Duration::ms(40));
   const SimResult observed = simulate(km, sim);
   for (const auto& m : observed.messages) EXPECT_EQ(m.losses, 0) << m.name;
+}
+
+TEST_P(SimVsRta, CachedAnalysisBoundsSimulationUnderSporadicErrors) {
+  // The incremental cache sits between the simulator and its oracle in
+  // every optimizer loop, so the soundness chain must close through it:
+  // cached bounds (cold, warm, and with the cache disabled) are
+  // bit-identical to the fresh analysis under a nonzero error model, and
+  // the simulated worst case respects all of them.
+  const OracleParam p = GetParam();
+  PowertrainConfig wl;
+  wl.seed = p.seed;
+  wl.message_count = 24;
+  wl.ecu_count = 4;
+  wl.target_utilization = 0.55;
+  KMatrix km = generate_powertrain(wl);
+  assume_jitter_fraction(km, p.jitter_fraction, true);
+
+  // Sporadic MTBF-style faults regardless of the param's error flag: this
+  // test exists to exercise the cache under error interference.
+  const Duration gap = Duration::ms(30 + static_cast<std::int64_t>(p.seed) * 5);
+  CanRtaConfig rta;
+  rta.worst_case_stuffing = true;
+  rta.deadline_override = DeadlinePolicy::kPeriod;
+  rta.errors = std::make_shared<SporadicErrors>(gap);
+  const BusResult fresh = CanRta{km, rta}.analyze();
+
+  IncrementalRta cached;
+  const BusResult cold = cached.analyze(km, rta);
+  const BusResult warm = cached.analyze(km, rta);
+  EXPECT_GT(cached.stats().hits, 0);
+  RtaCacheConfig off_cfg;
+  off_cfg.enabled = false;
+  IncrementalRta off{off_cfg};
+  const BusResult disabled = off.analyze(km, rta);
+  for (const BusResult* r : {&cold, &warm, &disabled}) {
+    ASSERT_EQ(r->messages.size(), fresh.messages.size());
+    for (std::size_t i = 0; i < fresh.messages.size(); ++i) {
+      ASSERT_EQ(r->messages[i].wcrt, fresh.messages[i].wcrt) << fresh.messages[i].name;
+      ASSERT_EQ(r->messages[i].bcrt, fresh.messages[i].bcrt) << fresh.messages[i].name;
+      ASSERT_EQ(r->messages[i].schedulable, fresh.messages[i].schedulable)
+          << fresh.messages[i].name;
+    }
+  }
+
+  SimConfig sim;
+  sim.duration = Duration::s(10);
+  sim.seed = p.seed * 77 + 5;
+  sim.stuffing = StuffingMode::kRandom;
+  sim.randomize_jitter = true;
+  sim.errors = SimErrorProcess::sporadic(gap);
+  const SimResult observed = simulate(km, sim);
+  for (std::size_t i = 0; i < km.size(); ++i) {
+    if (warm.messages[i].diverged) continue;
+    EXPECT_LE(observed.messages[i].wcrt_observed, warm.messages[i].wcrt)
+        << km.messages()[i].name << ": observed " << to_string(observed.messages[i].wcrt_observed)
+        << " vs cached bound " << to_string(warm.messages[i].wcrt);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
