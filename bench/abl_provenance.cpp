@@ -1,0 +1,85 @@
+// Ablation — the cost of explaining a bound. `symcan explain` re-runs
+// the exact solver through a tracing recorder and re-evaluates each
+// recurrence term at the fixed point; this bench quantifies that
+// overhead against the plain analysis (the NullSolveRecorder must inline
+// away, so analyze_message itself may not regress) and against a
+// whole-matrix explain sweep.
+
+#include "common.hpp"
+#include "symcan/analysis/provenance.hpp"
+
+namespace symcan::bench {
+namespace {
+
+KMatrix matrix_of(int messages) {
+  PowertrainConfig cfg = PowertrainConfig::case_study();
+  cfg.message_count = messages;
+  cfg.ecu_count = std::max(3, messages / 10);
+  return generate_powertrain(cfg);
+}
+
+void reproduce() {
+  banner("Provenance: every case-study bound decomposed and re-summed");
+  const KMatrix km = case_study_matrix();
+  const CanRtaConfig cfg = worst_case_assumptions();
+  TextTable t;
+  t.header({"message", "bound", "blocking", "interference", "errors", "share of bound"});
+  std::size_t shown = 0;
+  for (const std::size_t i : km.priority_order()) {
+    const analysis::Provenance p = analysis::explain_message(km, cfg, i);
+    if (p.result.diverged || !p.sum_check()) continue;
+    if (++shown > 8) continue;  // Table stays readable; all are checked.
+    const double bound = static_cast<double>(p.result.wcrt.count_ns());
+    const double interference = static_cast<double>(p.interference_total.count_ns());
+    t.row({p.name, to_string(p.result.wcrt), to_string(p.result.blocking),
+           to_string(p.interference_total), to_string(p.error_overhead),
+           pct(bound > 0 ? interference / bound : 0.0)});
+  }
+  t.print(std::cout);
+  std::cout << "Every breakdown above re-sums to its bound exactly (integer ns);\n"
+               "a failed sum_check would be a solver/provenance divergence bug.\n";
+}
+
+void BM_AnalyzeMessagePlain(benchmark::State& state) {
+  const KMatrix km = matrix_of(static_cast<int>(state.range(0)));
+  const CanRta rta{km, worst_case_assumptions()};
+  const std::size_t last = km.priority_order().back();
+  for (auto _ : state) benchmark::DoNotOptimize(rta.analyze_message(last));
+}
+BENCHMARK(BM_AnalyzeMessagePlain)->Arg(56)->Arg(200);
+
+void BM_ExplainMessage(benchmark::State& state) {
+  const KMatrix km = matrix_of(static_cast<int>(state.range(0)));
+  const CanRtaConfig cfg = worst_case_assumptions();
+  const std::size_t last = km.priority_order().back();
+  for (auto _ : state) benchmark::DoNotOptimize(analysis::explain_message(km, cfg, last));
+}
+BENCHMARK(BM_ExplainMessage)->Arg(56)->Arg(200);
+
+void BM_ExplainWholeMatrix(benchmark::State& state) {
+  const KMatrix km = matrix_of(static_cast<int>(state.range(0)));
+  const CanRtaConfig cfg = worst_case_assumptions();
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < km.size(); ++i)
+      benchmark::DoNotOptimize(analysis::explain_message(km, cfg, i));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ExplainWholeMatrix)->Arg(25)->Arg(56)->Arg(100)->Complexity();
+
+void BM_ProvenanceToJson(benchmark::State& state) {
+  const KMatrix km = matrix_of(56);
+  const analysis::Provenance p =
+      analysis::explain_message(km, worst_case_assumptions(), km.priority_order().back());
+  for (auto _ : state) benchmark::DoNotOptimize(analysis::provenance_to_json(p));
+}
+BENCHMARK(BM_ProvenanceToJson);
+
+}  // namespace
+}  // namespace symcan::bench
+
+int main(int argc, char** argv) {
+  symcan::bench::json_arg(argc, argv);
+  symcan::bench::reproduce();
+  return symcan::bench::run_benchmarks(argc, argv);
+}

@@ -17,11 +17,14 @@ namespace {
 /// `horizon`. Returns the fixed point, or infinite() when it diverges.
 /// `iterations` accumulates the number of evaluations of f — counted
 /// locally and flushed to obs by the caller so the hot loop stays free of
-/// atomics.
-template <typename F>
-Duration fixed_point(Duration x0, Duration horizon, std::int64_t& iterations, F&& f) {
+/// atomics. `rec(x)` observes each iterate (the inputs to f, ending with
+/// the fixed point itself); the no-op recorder of the plain solve path
+/// inlines away.
+template <typename F, typename R>
+Duration fixed_point(Duration x0, Duration horizon, std::int64_t& iterations, F&& f, R&& rec) {
   Duration x = x0;
   for (;;) {
+    rec(x);
     ++iterations;
     const Duration next = f(x);
     if (next == x) return x;
@@ -33,6 +36,39 @@ Duration fixed_point(Duration x0, Duration horizon, std::int64_t& iterations, F&
     x = next;
   }
 }
+
+/// Solver-trajectory recorders for solve_message_impl(). The null
+/// recorder keeps the hot path free of any bookkeeping; the tracing
+/// recorder fills a SolveTrace, keeping the window iterates of the
+/// instance that attains the WCRT.
+struct NullSolveRecorder {
+  void busy_iterate(Duration) {}
+  void begin_instance(std::int64_t) {}
+  void window_iterate(Duration) {}
+  void instance_result(std::int64_t, Duration, Duration) {}
+};
+
+struct TracingSolveRecorder {
+  explicit TracingSolveRecorder(SolveTrace& trace) : out(trace) {}
+
+  SolveTrace& out;
+  std::vector<Duration> scratch;  ///< Iterates of the instance in flight.
+  Duration best_response = -Duration::infinite();
+
+  void busy_iterate(Duration x) { out.busy_iterates.push_back(x); }
+  void begin_instance(std::int64_t) { scratch.clear(); }
+  void window_iterate(Duration x) { scratch.push_back(x); }
+  void instance_result(std::int64_t q, Duration w, Duration response) {
+    // Strict '>' mirrors wcrt = max(wcrt, response): the first instance
+    // attaining the maximum is the critical one.
+    if (response > best_response) {
+      best_response = response;
+      out.critical_instance = q;
+      out.critical_window = w;
+      out.window_iterates = scratch;
+    }
+  }
+};
 
 Duration frame_time(const KMatrix& km, const CanRtaConfig& cfg, const CanMessage& m) {
   return m.wcet(km.timing(), cfg.worst_case_stuffing);
@@ -129,7 +165,7 @@ auto hp_order_key(const std::pair<EventModel, Duration>& e) {
 }  // namespace
 
 MessageContext build_message_context(const KMatrix& km, const CanRtaConfig& cfg,
-                                     std::size_t index) {
+                                     std::size_t index, ContextLabels* labels) {
   const auto& msgs = km.messages();
   if (index >= msgs.size())
     throw std::out_of_range("build_message_context: bad index");
@@ -148,6 +184,22 @@ MessageContext build_message_context(const KMatrix& km, const CanRtaConfig& cfg,
   ctx.horizon = cfg.horizon;
   ctx.errors = cfg.errors;
 
+  if (labels != nullptr) {
+    labels->bus_blocking = blocking_for(km, cfg, index);
+    labels->intra_node_blocking = intra_node_blocking(km, cfg, index);
+    // Arg-max of blocking_for(): the largest already-started frame below
+    // the effective priority level. Ties resolve to the first in matrix
+    // order, which is what the maximum itself charges.
+    const std::uint64_t rank = effective_rank(km, cfg, index);
+    Duration b = Duration::zero();
+    for (const auto& k : msgs) {
+      if (k.arbitration_rank() > rank && frame_time(km, cfg, k) > b) {
+        b = frame_time(km, cfg, k);
+        labels->blocking_frame = k.name;
+      }
+    }
+  }
+
   // Higher-priority interferers: offset-scheduled messages of one sender
   // form a TtGroup (bounded over the schedule's hyperperiod); everything
   // else interferes through its individual event model.
@@ -158,7 +210,12 @@ MessageContext build_message_context(const KMatrix& km, const CanRtaConfig& cfg,
   // cannot interfere; their possible head start is the committed-blocking
   // term instead).
   const std::uint64_t eff_rank = effective_rank(km, cfg, index);
-  std::map<std::string, std::vector<TtGroup::Member>> by_sender;
+  std::vector<std::string> hp_names;
+  struct NamedMember {
+    TtGroup::Member member;
+    const std::string* name;
+  };
+  std::map<std::string, std::vector<NamedMember>> by_sender;
   for (const auto& k : msgs) {
     if (&k == &m) continue;
     const bool interferes = k.sender == m.sender
@@ -166,36 +223,103 @@ MessageContext build_message_context(const KMatrix& km, const CanRtaConfig& cfg,
                                 : k.arbitration_rank() < eff_rank;
     if (!interferes) continue;
     if (cfg.use_offsets && k.tt_offset) {
-      by_sender[k.sender].push_back(
-          TtGroup::Member{k.period, *k.tt_offset, k.jitter, frame_time(km, cfg, k)});
+      by_sender[k.sender].push_back(NamedMember{
+          TtGroup::Member{k.period, *k.tt_offset, k.jitter, frame_time(km, cfg, k)}, &k.name});
     } else {
       ctx.hp.emplace_back(k.activation(), frame_time(km, cfg, k));
+      if (labels != nullptr) hp_names.push_back(k.name);
     }
   }
 
   // Canonical order: interference (and the group-build fallback) depend
   // only on the *sets*, all sums being exact integer arithmetic, so
   // sorting loses nothing and buys context reuse across priority
-  // permutations and sender renames.
-  std::sort(ctx.hp.begin(), ctx.hp.end(), [](const auto& x, const auto& y) {
-    return hp_order_key(x) < hp_order_key(y);
-  });
+  // permutations and sender renames. With labels, ties break by name so
+  // the labelled order is deterministic (tied entries are identical to
+  // the solver, so results do not change).
+  if (labels == nullptr) {
+    std::sort(ctx.hp.begin(), ctx.hp.end(), [](const auto& x, const auto& y) {
+      return hp_order_key(x) < hp_order_key(y);
+    });
+  } else {
+    std::vector<std::size_t> order(ctx.hp.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+      const auto kx = hp_order_key(ctx.hp[x]);
+      const auto ky = hp_order_key(ctx.hp[y]);
+      if (kx != ky) return kx < ky;
+      return hp_names[x] < hp_names[y];
+    });
+    std::vector<std::pair<EventModel, Duration>> hp_sorted;
+    hp_sorted.reserve(ctx.hp.size());
+    labels->hp.reserve(ctx.hp.size());
+    for (const std::size_t i : order) {
+      hp_sorted.push_back(ctx.hp[i]);
+      labels->hp.push_back(std::move(hp_names[i]));
+    }
+    ctx.hp = std::move(hp_sorted);
+  }
+
   ctx.tt.reserve(by_sender.size());
   for (auto& [sender, members] : by_sender) {
-    std::sort(members.begin(), members.end(), [](const auto& x, const auto& y) {
-      return member_order_key(x) < member_order_key(y);
+    std::sort(members.begin(), members.end(), [](const NamedMember& x, const NamedMember& y) {
+      const auto kx = member_order_key(x.member);
+      const auto ky = member_order_key(y.member);
+      if (kx != ky) return kx < ky;
+      return *x.name < *y.name;  // deterministic among ties, never observable
     });
-    ctx.tt.push_back(std::move(members));
+    std::vector<TtGroup::Member> group;
+    group.reserve(members.size());
+    for (const auto& nm : members) group.push_back(nm.member);
+    ctx.tt.push_back(std::move(group));
+    if (labels != nullptr) {
+      labels->tt_sender.push_back(sender);
+      std::vector<std::string> names;
+      names.reserve(members.size());
+      for (const auto& nm : members) names.push_back(*nm.name);
+      labels->tt_members.push_back(std::move(names));
+    }
   }
-  std::sort(ctx.tt.begin(), ctx.tt.end(), [](const auto& x, const auto& y) {
-    return std::lexicographical_compare(
-        x.begin(), x.end(), y.begin(), y.end(),
-        [](const auto& a, const auto& b) { return member_order_key(a) < member_order_key(b); });
-  });
+  // Group order: by_sender already iterates sender-sorted; the canonical
+  // lexicographic member-key order must be re-established because sender
+  // order and member order differ. Sort indices so the labels follow.
+  {
+    std::vector<std::size_t> order(ctx.tt.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    const auto group_less = [&](std::size_t x, std::size_t y) {
+      return std::lexicographical_compare(
+          ctx.tt[x].begin(), ctx.tt[x].end(), ctx.tt[y].begin(), ctx.tt[y].end(),
+          [](const auto& a, const auto& b) { return member_order_key(a) < member_order_key(b); });
+    };
+    std::sort(order.begin(), order.end(), group_less);
+    std::vector<std::vector<TtGroup::Member>> tt_sorted;
+    tt_sorted.reserve(ctx.tt.size());
+    for (const std::size_t i : order) tt_sorted.push_back(std::move(ctx.tt[i]));
+    ctx.tt = std::move(tt_sorted);
+    if (labels != nullptr) {
+      std::vector<std::string> senders_sorted;
+      std::vector<std::vector<std::string>> members_sorted;
+      senders_sorted.reserve(order.size());
+      members_sorted.reserve(order.size());
+      for (const std::size_t i : order) {
+        senders_sorted.push_back(std::move(labels->tt_sender[i]));
+        members_sorted.push_back(std::move(labels->tt_members[i]));
+      }
+      labels->tt_sender = std::move(senders_sorted);
+      labels->tt_members = std::move(members_sorted);
+    }
+  }
   return ctx;
 }
 
-MessageResult solve_message(const MessageContext& ctx) {
+namespace {
+
+/// The single busy-period implementation behind both public overloads.
+/// `rec` only observes — with the null recorder every hook inlines to
+/// nothing, and the tracing overload is guaranteed bit-identical because
+/// it runs this exact code.
+template <typename Rec>
+MessageResult solve_message_impl(const MessageContext& ctx, Rec& rec) {
   const Duration tau_bit = ctx.timing.bit_time();
   const Duration c_m = ctx.cost;
   const EventModel& em_m = ctx.activation;
@@ -235,9 +359,12 @@ MessageResult solve_message(const MessageContext& ctx) {
   // Length of the level-m busy period: processor demand of m itself, all
   // higher-priority traffic, blocking, and fault recovery.
   std::int64_t iterations = 0;
-  const Duration busy = fixed_point(blocking + c_m, ctx.horizon, iterations, [&](Duration t) {
-    return blocking + em_m.eta_plus(t) * c_m + hp_interference(t) + error_overhead(t);
-  });
+  const Duration busy = fixed_point(
+      blocking + c_m, ctx.horizon, iterations,
+      [&](Duration t) {
+        return blocking + em_m.eta_plus(t) * c_m + hp_interference(t) + error_overhead(t);
+      },
+      [&](Duration x) { rec.busy_iterate(x); });
   res.fixedpoint_iterations = iterations;
   if (busy.is_infinite()) {
     res.wcrt = Duration::infinite();
@@ -257,9 +384,13 @@ MessageResult solve_message(const MessageContext& ctx) {
     // instance q gets the bus (a frame queued up to one bit time after
     // the arbitration decision still wins), and fault recovery covering
     // the window up to the end of instance q's transmission.
-    const Duration w = fixed_point(blocking + q * c_m, ctx.horizon, iterations, [&](Duration t) {
-      return blocking + q * c_m + hp_interference(t + tau_bit) + error_overhead(t + c_m);
-    });
+    rec.begin_instance(q);
+    const Duration w = fixed_point(
+        blocking + q * c_m, ctx.horizon, iterations,
+        [&](Duration t) {
+          return blocking + q * c_m + hp_interference(t + tau_bit) + error_overhead(t + c_m);
+        },
+        [&](Duration x) { rec.window_iterate(x); });
     res.fixedpoint_iterations = iterations;
     if (w.is_infinite()) {
       res.wcrt = Duration::infinite();
@@ -270,6 +401,7 @@ MessageResult solve_message(const MessageContext& ctx) {
     // Instance q arrives no earlier than delta_min(q+1) after the busy
     // period starts; its response time is measured from its own arrival.
     const Duration response = w + c_m - em_m.delta_min(q + 1);
+    rec.instance_result(q, w, response);
     wcrt = max(wcrt, response);
     // Early exit: once the busy period drains before the next arrival,
     // later instances cannot be worse.
@@ -282,6 +414,19 @@ MessageResult solve_message(const MessageContext& ctx) {
   res.wcrt = wcrt;
   res.schedulable = !res.deadline.is_infinite() ? wcrt <= res.deadline : true;
   return res;
+}
+
+}  // namespace
+
+MessageResult solve_message(const MessageContext& ctx) {
+  NullSolveRecorder rec;
+  return solve_message_impl(ctx, rec);
+}
+
+MessageResult solve_message(const MessageContext& ctx, SolveTrace& trace) {
+  trace = SolveTrace{};
+  TracingSolveRecorder rec{trace};
+  return solve_message_impl(ctx, rec);
 }
 
 namespace {

@@ -100,14 +100,50 @@ struct ContextKeyHash {
   }
 };
 
+/// Human-readable identities of a context's solver inputs, filled by
+/// build_message_context() on request. Pure output identity — never
+/// hashed, never read by the solver — consumed by the provenance layer
+/// (analysis/provenance.hpp) to name the terms of a breakdown. When
+/// labels are requested, ties in the canonical interference order are
+/// broken by name so the labelled order is deterministic; tied entries
+/// are identical to the solver, so results are unaffected.
+struct ContextLabels {
+  std::vector<std::string> hp;  ///< Parallel to MessageContext::hp.
+  /// Parallel to MessageContext::tt: the sending node of each offset
+  /// group and the names of its members.
+  std::vector<std::string> tt_sender;
+  std::vector<std::vector<std::string>> tt_members;
+  std::string blocking_frame;  ///< Largest lower-priority bus frame; "" if none.
+  Duration bus_blocking = Duration::zero();
+  Duration intra_node_blocking = Duration::zero();
+};
+
 /// Resolve message `index` of `km` under `cfg` into a solver context.
-/// Mirrors CanRta's interference-set construction exactly.
+/// Mirrors CanRta's interference-set construction exactly. `labels`,
+/// when non-null, receives the human-readable identity of every
+/// resolved input (see ContextLabels).
 MessageContext build_message_context(const KMatrix& km, const CanRtaConfig& cfg,
-                                     std::size_t index);
+                                     std::size_t index, ContextLabels* labels = nullptr);
+
+/// Everything the solver visited on the way to one verdict, recorded by
+/// the explaining overload of solve_message(). The iterate sequences are
+/// the successive window values of the monotone fixed points — the
+/// convergence trajectory `symcan explain` renders.
+struct SolveTrace {
+  std::vector<Duration> busy_iterates;  ///< Busy-period fixed-point iterates.
+  std::int64_t critical_instance = 0;   ///< 0-based q attaining the WCRT.
+  Duration critical_window = Duration::zero();  ///< Fixed point w(q*).
+  std::vector<Duration> window_iterates;        ///< Iterates of w(q*).
+};
 
 /// Run the busy-period fixed point on one context. Pure: equal contexts
 /// give bit-identical results (iteration counts included).
 MessageResult solve_message(const MessageContext& ctx);
+
+/// Same computation, additionally recording the solver's trajectory.
+/// Guaranteed bit-identical to the plain overload (same code path; the
+/// recorder only observes), so an explained verdict *is* the verdict.
+MessageResult solve_message(const MessageContext& ctx, SolveTrace& trace);
 
 /// Stable 128-bit fingerprint over every solver input of `ctx` plus the
 /// raw config switches (redundant with the resolved values, kept as

@@ -6,6 +6,7 @@
 
 #include "symcan/analysis/load.hpp"
 #include "symcan/analysis/presets.hpp"
+#include "symcan/analysis/provenance.hpp"
 #include "symcan/can/dbc_import.hpp"
 #include "symcan/can/kmatrix_io.hpp"
 #include "symcan/cli/args.hpp"
@@ -16,6 +17,9 @@
 #include "symcan/supplychain/budget.hpp"
 #include "symcan/sensitivity/robustness.hpp"
 #include "symcan/sim/simulator.hpp"
+#include "symcan/sim/trace_export.hpp"
+#include "symcan/sim/trace_stats.hpp"
+#include "symcan/sim/validation.hpp"
 #include "symcan/util/table.hpp"
 #include "symcan/workload/powertrain.hpp"
 
@@ -180,23 +184,52 @@ int cmd_optimize(const Args& args, std::ostream& out) {
   return res.best.misses == 0 ? 0 : 1;
 }
 
+/// Shared --errors none|sporadic|burst [--error-gap-ms N] parsing for the
+/// simulation commands.
+SimErrorProcess sim_errors_from(const Args& args) {
+  const std::string errors = args.option_or("errors", "none");
+  if (errors == "sporadic")
+    return SimErrorProcess::sporadic(Duration::ms(args.positive_option_or("error-gap-ms", 40)));
+  if (errors == "burst")
+    return SimErrorProcess::burst(Duration::ms(args.positive_option_or("error-gap-ms", 25)), 4);
+  if (errors != "none") throw std::invalid_argument("--errors must be none|sporadic|burst");
+  return SimErrorProcess::none();
+}
+
+/// Analysis error model dominating the given simulated error process —
+/// the pairing that keeps RTA bounds valid simulation oracles.
+std::shared_ptr<const ErrorModel> matching_error_model(const SimErrorProcess& p) {
+  switch (p.kind) {
+    case SimErrorProcess::Kind::kSporadic: return std::make_shared<SporadicErrors>(p.min_gap);
+    case SimErrorProcess::Kind::kBurst:
+      return std::make_shared<BurstErrors>(p.min_gap, p.burst_len);
+    case SimErrorProcess::Kind::kNone: break;
+  }
+  return std::make_shared<NoErrors>();
+}
+
 int cmd_simulate(const Args& args, std::ostream& out) {
   const KMatrix km = load_matrix(args);
   SimConfig cfg;
   cfg.duration = Duration::ms(args.positive_option_or("millis", 2000));
   cfg.seed = static_cast<std::uint64_t>(args.int_option_or("seed", 1));
-  const std::string errors = args.option_or("errors", "none");
-  if (errors == "sporadic")
-    cfg.errors =
-        SimErrorProcess::sporadic(Duration::ms(args.positive_option_or("error-gap-ms", 40)));
-  else if (errors == "burst")
-    cfg.errors =
-        SimErrorProcess::burst(Duration::ms(args.positive_option_or("error-gap-ms", 25)), 4);
-  else if (errors != "none")
-    throw std::invalid_argument("--errors must be none|sporadic|burst");
+  cfg.errors = sim_errors_from(args);
+  const std::optional<std::string> jsonl_out = args.path_option("trace-jsonl");
+  const std::optional<std::string> chrome_out = args.path_option("trace-chrome");
+  const std::optional<std::string> stats_json_out = args.path_option("stats-json");
+  const bool print_stats = args.has_flag("stats");
+  const Duration stats_window = Duration::ms(args.positive_option_or("window-ms", 100));
+  cfg.record_trace = jsonl_out || chrome_out || stats_json_out || print_stats;
   fail_on_unused(args);
 
   const SimResult res = simulate(km, cfg);
+  if (jsonl_out) obs::write_file(*jsonl_out, trace_to_jsonl(res.trace));
+  if (chrome_out) obs::write_file(*chrome_out, sim_trace_to_chrome_json(res.trace, km));
+  if (stats_json_out || print_stats) {
+    const TraceStats stats = compute_trace_stats(res.trace, res.simulated, stats_window);
+    if (stats_json_out) obs::write_file(*stats_json_out, trace_stats_to_json(stats) + "\n");
+    if (print_stats) out << trace_stats_to_text(stats);
+  }
   TextTable t;
   t.header({"message", "activations", "completed", "lost", "retx", "wcrt obs", "avg"});
   for (const auto& m : res.messages)
@@ -213,6 +246,56 @@ int cmd_simulate(const Args& args, std::ostream& out) {
                    static_cast<long long>(res.total_errors_injected),
                    static_cast<long long>(losses));
   return losses == 0 ? 0 : 1;
+}
+
+int cmd_explain(const Args& args, std::ostream& out) {
+  const KMatrix km = load_matrix(args);
+  if (args.positionals().size() < 2)
+    throw std::invalid_argument("usage: explain FILE MESSAGE [--worst-case|--best-case] [--json]");
+  const std::string& name = args.positionals()[1];
+  const CanRtaConfig cfg = assumptions_from(args);
+  const bool json = args.has_flag("json");
+  fail_on_unused(args);
+  const std::optional<std::size_t> index = analysis::find_message(km, name);
+  if (!index)
+    throw std::invalid_argument("no message named '" + name + "' in " + km.bus_name());
+  const analysis::Provenance p = analysis::explain_message(km, cfg, *index);
+  if (json)
+    out << analysis::provenance_to_json(p) << "\n";
+  else
+    out << analysis::provenance_to_text(p);
+  return p.result.schedulable ? 0 : 1;
+}
+
+int cmd_validate(const Args& args, std::ostream& out) {
+  const KMatrix km = load_matrix(args);
+  SimConfig sim;
+  sim.duration = Duration::ms(args.positive_option_or("millis", 2000));
+  sim.seed = static_cast<std::uint64_t>(args.int_option_or("seed", 1));
+  sim.errors = sim_errors_from(args);
+  sim.stuffing = StuffingMode::kRandom;
+  sim.randomize_jitter = true;
+  sim.record_percentiles = true;
+  const bool json = args.has_flag("json");
+  fail_on_unused(args);
+
+  // The analysis must dominate the simulation for its bounds to be valid
+  // oracles: worst-case stuffing over sampled stuffing, and an error
+  // model admitting every injected fault. Assumption presets are
+  // deliberately not offered here — --best-case would make a reported
+  // "violation" meaningless.
+  CanRtaConfig rta;
+  rta.worst_case_stuffing = true;
+  rta.deadline_override = DeadlinePolicy::kPeriod;
+  rta.errors = matching_error_model(sim.errors);
+
+  const BusResult bounds = CanRta{km, rta}.analyze();
+  const BoundValidation v = compare_bound_vs_observed(bounds, simulate(km, sim));
+  if (json)
+    out << validation_to_json(v) << "\n";
+  else
+    out << validation_to_text(v);
+  return v.ok() ? 0 : 1;
 }
 
 int cmd_budget(const Args& args, std::ostream& out) {
@@ -367,7 +450,14 @@ std::string usage() {
          "  optimize    FILE [--generations N] [--population N] [--seed N]\n"
          "              [--target-jitter F] [--jobs N] [--out FILE]\n"
          "  simulate    FILE [--millis N] [--seed N] [--errors none|sporadic|burst]\n"
-         "              [--error-gap-ms N]\n"
+         "              [--error-gap-ms N] [--stats] [--window-ms N] [--stats-json FILE]\n"
+         "              [--trace-jsonl FILE] [--trace-chrome FILE]\n"
+         "  explain     FILE MESSAGE [--worst-case|--best-case] [--json]\n"
+         "              why the RTA bound is what it is: blocking frame, per-\n"
+         "              interferer shares, error overhead, fixed-point trajectory\n"
+         "  validate    FILE [--millis N] [--seed N] [--errors none|sporadic|burst]\n"
+         "              [--error-gap-ms N] [--json]    bound-vs-observed report;\n"
+         "              exit 1 if any simulated response exceeds its RTA bound\n"
          "  extend      FILE [--period-ms N] [--bytes N] [--profile-jitter F]\n"
          "              [--first-id N] [--jobs N] [--worst-case|--best-case]\n"
          "  version     print version and build configuration\n"
@@ -397,7 +487,8 @@ int run_cli(const std::vector<std::string>& argv_tail, std::ostream& out, std::o
   const std::vector<std::string> rest(argv_tail.begin() + 1, argv_tail.end());
   try {
     const std::vector<std::string> flags = {"worst-case", "best-case", "override-known",
-                                            "tt-offsets", "dbc"};
+                                            "tt-offsets", "dbc",      "json",
+                                            "stats"};
     const Args args = Args::parse(rest, flags);
 
     // Observability exports apply to every command: validate the paths up
@@ -420,6 +511,8 @@ int run_cli(const std::vector<std::string>& argv_tail, std::ostream& out, std::o
       if (command == "sensitivity") return cmd_sensitivity(args, out);
       if (command == "optimize") return cmd_optimize(args, out);
       if (command == "simulate") return cmd_simulate(args, out);
+      if (command == "explain") return cmd_explain(args, out);
+      if (command == "validate") return cmd_validate(args, out);
       if (command == "extend") return cmd_extend(args, out);
       err << "symcan: unknown command '" << command << "'\n" << usage();
       return 2;

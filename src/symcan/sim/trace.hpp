@@ -36,6 +36,9 @@ class Trace {
   void record(Duration time, TraceEventType type, std::string message, std::int64_t instance);
 
   const std::vector<TraceEvent>& events() const { return events_; }
+  /// Drops all events but retains the allocated capacity, so a Trace
+  /// reused across simulation runs stops allocating once it has seen the
+  /// largest run (std::vector::clear() never shrinks).
   void clear() { events_.clear(); }
 
   /// Plain chronological listing.

@@ -1,0 +1,137 @@
+#include "symcan/sim/trace_export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "symcan/obs/export.hpp"
+
+namespace symcan {
+
+namespace {
+
+const char* type_slug(TraceEventType t) {
+  switch (t) {
+    case TraceEventType::kRelease: return "release";
+    case TraceEventType::kTxStart: return "tx_start";
+    case TraceEventType::kTxEnd: return "tx_end";
+    case TraceEventType::kError: return "error";
+    case TraceEventType::kRetransmit: return "retransmit";
+    case TraceEventType::kLoss: return "loss";
+  }
+  return "?";
+}
+
+double to_us(Duration d) { return static_cast<double>(d.count_ns()) / 1000.0; }
+
+}  // namespace
+
+std::string trace_to_jsonl(const Trace& trace) {
+  std::string out;
+  char buf[64];
+  for (const TraceEvent& e : trace.events()) {
+    out += "{\"t_ns\":";
+    std::snprintf(buf, sizeof buf, "%" PRId64, e.time.count_ns());
+    out += buf;
+    out += ",\"type\":\"";
+    out += type_slug(e.type);
+    out += "\",\"message\":\"";
+    out += obs::json_escape(e.message);
+    out += "\",\"instance\":";
+    std::snprintf(buf, sizeof buf, "%" PRId64, e.instance);
+    out += buf;
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string sim_trace_to_chrome_json(const Trace& trace, const KMatrix& km) {
+  // Track layout: tid 0 is the bus; each ECU (in KMatrix node order) gets
+  // the next tid; names that resolve to no sender share a "?" track.
+  std::map<std::string, int> ecu_tid;          // ECU name -> tid
+  std::map<std::string, int> sender_of;        // message name -> tid
+  std::string out = "{\"traceEvents\": [\n  "
+                    "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, "
+                    "\"args\": {\"name\": \"bus\"}}";
+  int next_tid = 1;
+  for (const auto& m : km.messages()) {
+    auto [it, inserted] = ecu_tid.emplace(m.sender, next_tid);
+    if (inserted) {
+      char buf[32];
+      out += ",\n  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": ";
+      std::snprintf(buf, sizeof buf, "%d", next_tid);
+      out += buf;
+      out += ", \"args\": {\"name\": \"";
+      out += obs::json_escape(m.sender);
+      out += "\"}}";
+      ++next_tid;
+    }
+    sender_of.emplace(m.name, it->second);
+  }
+  const int unknown_tid = next_tid;
+  bool unknown_used = false;
+
+  const auto tid_of = [&](const std::string& message) {
+    const auto it = sender_of.find(message);
+    if (it != sender_of.end()) return it->second;
+    unknown_used = true;
+    return unknown_tid;
+  };
+
+  // The bus is serial, so each kTxStart terminates at the next
+  // kTxEnd/kError; a following kTxStart first means the trace was cut
+  // mid-transmission.
+  const auto& events = trace.events();
+  std::string body;
+  char buf[128];
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (e.type == TraceEventType::kTxStart) {
+      Duration end = e.time;
+      const char* outcome = "cut";  // Trace ended mid-transmission.
+      for (std::size_t j = i + 1; j < events.size(); ++j) {
+        if (events[j].type == TraceEventType::kTxStart) break;
+        if (events[j].type == TraceEventType::kTxEnd || events[j].type == TraceEventType::kError) {
+          end = events[j].time;
+          outcome = events[j].type == TraceEventType::kTxEnd ? "ok" : "error";
+          break;
+        }
+      }
+      body += ",\n  {\"name\": \"";
+      body += obs::json_escape(e.message);
+      body += "\", \"cat\": \"tx\", \"ph\": \"X\", \"ts\": ";
+      body += obs::json_number(to_us(e.time));
+      body += ", \"dur\": ";
+      body += obs::json_number(to_us(end - e.time));
+      std::snprintf(buf, sizeof buf,
+                    ", \"pid\": 1, \"tid\": 0, \"args\": {\"instance\": %" PRId64
+                    ", \"outcome\": \"%s\"}}",
+                    e.instance, outcome);
+      body += buf;
+    } else if (e.type == TraceEventType::kRelease || e.type == TraceEventType::kLoss ||
+               e.type == TraceEventType::kRetransmit) {
+      body += ",\n  {\"name\": \"";
+      body += obs::json_escape(e.message);
+      body += "\", \"cat\": \"";
+      body += type_slug(e.type);
+      body += "\", \"ph\": \"i\", \"s\": \"t\", \"ts\": ";
+      body += obs::json_number(to_us(e.time));
+      std::snprintf(buf, sizeof buf, ", \"pid\": 1, \"tid\": %d, \"args\": {\"instance\": %" PRId64 "}}",
+                    tid_of(e.message), e.instance);
+      body += buf;
+    }
+  }
+  if (unknown_used) {
+    char tbuf[32];
+    out += ",\n  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": ";
+    std::snprintf(tbuf, sizeof tbuf, "%d", unknown_tid);
+    out += tbuf;
+    out += ", \"args\": {\"name\": \"?\"}}";
+  }
+  out += body;
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+}  // namespace symcan

@@ -1,7 +1,10 @@
 #include "symcan/supplychain/datasheet.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
+
+#include "symcan/analysis/provenance.hpp"
 
 namespace symcan {
 
@@ -121,6 +124,29 @@ DualityReport check_duality(const KMatrix& km, const CanRtaConfig& rta,
     }
   }
   const std::vector<ArrivalRequirement> delivered = derive_arrival_guarantees(refined, rta);
+
+  // A failed guarantee should name its dominant interferers: the
+  // provenance of the refined-matrix bound tells the supplier *which*
+  // traffic to renegotiate, without exposing anyone's internals beyond
+  // the K-Matrix they already share.
+  const auto blame = [&](const std::string& message) -> std::string {
+    const std::optional<std::size_t> idx = analysis::find_message(refined, message);
+    if (!idx) return "";
+    const analysis::Provenance p = analysis::explain_message(refined, rta, *idx);
+    std::string out;
+    std::size_t named = 0;
+    for (const auto& s : p.interference) {
+      if (named == 3 || s.contribution <= Duration::zero()) break;
+      out += out.empty() ? "; dominant interferers: " : ", ";
+      out += s.name + (s.offset_group ? " (offset group, " : " (") +
+             to_string(s.contribution) + ")";
+      ++named;
+    }
+    if (!p.blocking_frame.empty() && p.bus_blocking > Duration::zero())
+      out += "; blocked by " + p.blocking_frame + " (" + to_string(p.bus_blocking) + ")";
+    return out;
+  };
+
   for (const auto& ds : supplier_datasheets) {
     for (const auto& need : ds.arrival_requirements) {
       const ArrivalRequirement* got = nullptr;
@@ -135,13 +161,13 @@ DualityReport check_duality(const KMatrix& km, const CanRtaConfig& rta,
         report.violations.push_back(
             {DualityViolation::Kind::kLatencyNotMet, need.message,
              "bus delivers " + to_string(got->max_latency) + " > needed " +
-                 to_string(need.max_latency)});
+                 to_string(need.max_latency) + blame(need.message)});
       }
       if (got->max_response_jitter > need.max_response_jitter) {
         report.violations.push_back(
             {DualityViolation::Kind::kArrivalJitterNotMet, need.message,
              "bus jitter " + to_string(got->max_response_jitter) + " > needed " +
-                 to_string(need.max_response_jitter)});
+                 to_string(need.max_response_jitter) + blame(need.message)});
       }
     }
   }

@@ -244,6 +244,61 @@ TEST_F(CliTest, OptimizeExportsPerGenerationSeries) {
   std::remove((::testing::TempDir() + "/symcan_cli_opt2.csv").c_str());
 }
 
+TEST_F(CliTest, ExplainDecomposesOneMessage) {
+  const KMatrix km = load_kmatrix(path_);
+  const std::string name = km.messages().back().name;
+  EXPECT_EQ(run({"explain", path_, name, "--worst-case"}), 0);
+  const std::string text = out_.str();
+  EXPECT_NE(text.find("message " + name), std::string::npos);
+  EXPECT_NE(text.find("breakdown of the bound"), std::string::npos);
+  EXPECT_NE(text.find("sum of parts == wcrt"), std::string::npos);
+}
+
+TEST_F(CliTest, ExplainJsonCarriesTheSumCheck) {
+  const KMatrix km = load_kmatrix(path_);
+  EXPECT_EQ(run({"explain", path_, km.messages().front().name, "--json"}), 0);
+  const std::string json = out_.str();
+  EXPECT_NE(json.find("\"sum_check\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"wcrt_ns\":"), std::string::npos);
+  EXPECT_NE(json.find("\"interference\":["), std::string::npos);
+}
+
+TEST_F(CliTest, ExplainUnknownMessageFails) {
+  EXPECT_EQ(run({"explain", path_, "no-such-message"}), 2);
+  EXPECT_NE(err_.str().find("no-such-message"), std::string::npos);
+}
+
+TEST_F(CliTest, ValidateFindsNoViolationsOnSoundPairing) {
+  EXPECT_EQ(run({"validate", path_, "--millis", "200", "--errors", "sporadic"}), 0);
+  EXPECT_NE(out_.str().find("0 violations"), std::string::npos);
+  EXPECT_EQ(out_.str().find("<-- VIOLATION"), std::string::npos);
+}
+
+TEST_F(CliTest, SimulateExportsTraceAndStats) {
+  const std::string jsonl = ::testing::TempDir() + "/symcan_cli_sim.jsonl";
+  const std::string chrome = ::testing::TempDir() + "/symcan_cli_sim_chrome.json";
+  const std::string stats = ::testing::TempDir() + "/symcan_cli_sim_stats.json";
+  EXPECT_EQ(run({"simulate", path_, "--millis", "100", "--trace-jsonl", jsonl, "--trace-chrome",
+                 chrome, "--stats-json", stats}),
+            0);
+  const std::string l = slurp(jsonl);
+  EXPECT_NE(l.find("\"type\":\"tx_end\""), std::string::npos);
+  const std::string c = slurp(chrome);
+  EXPECT_NE(c.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(c.find("\"name\": \"bus\""), std::string::npos);
+  const std::string s = slurp(stats);
+  EXPECT_NE(s.find("\"average_utilization\""), std::string::npos);
+  EXPECT_NE(s.find("\"messages\":["), std::string::npos);
+  std::remove(jsonl.c_str());
+  std::remove(chrome.c_str());
+  std::remove(stats.c_str());
+}
+
+TEST_F(CliTest, SimulateStatsTableOnStdout) {
+  EXPECT_EQ(run({"simulate", path_, "--millis", "100", "--stats", "--window-ms", "20"}), 0);
+  EXPECT_NE(out_.str().find("bus utilization avg"), std::string::npos);
+}
+
 TEST_F(CliTest, TraceOutRejectsOptionLikePath) {
   EXPECT_EQ(run({"analyze", path_, "--trace-out", "--metrics-out", "m.json"}), 2);
   EXPECT_NE(err_.str().find("--trace-out"), std::string::npos);

@@ -323,6 +323,19 @@ TEST_F(GoldenTest, ReportMarkdown) {
   check_text("report.md", out_.str());
 }
 
+TEST_F(GoldenTest, ExplainText) {
+  // M16 is the lowest-priority case-study message: richest interference
+  // breakdown. Text derives from integer-exact analysis only, so it is
+  // pinned byte for byte.
+  ASSERT_EQ(run({"explain", matrix_, "M16", "--worst-case"}), 0) << err_.str();
+  check_text("explain.txt", out_.str());
+}
+
+TEST_F(GoldenTest, ExplainJson) {
+  ASSERT_EQ(run({"explain", matrix_, "M16", "--worst-case", "--json"}), 0) << err_.str();
+  check_json("explain.json", out_.str());
+}
+
 TEST_F(GoldenTest, ReportMarkdownIdenticalWithCacheOff) {
   // The report must not depend on whether the memo layer is active.
   const int rc = run({"report", matrix_, "--jitter", "0.25", "--jobs", "2", "--rta-cache", "off"});
