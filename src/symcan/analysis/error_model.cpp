@@ -34,7 +34,7 @@ SporadicErrors::SporadicErrors(Duration min_inter_error, std::int64_t initial_er
 
 std::int64_t SporadicErrors::max_faults(Duration t) const {
   if (t <= Duration::zero()) return 0;
-  return initial_errors_ + ceil_div(t, min_inter_error_);
+  return sat_add_i64(initial_errors_, ceil_div(t, min_inter_error_));
 }
 
 std::string SporadicErrors::name() const {
@@ -67,14 +67,15 @@ std::int64_t BurstErrors::max_faults(Duration t) const {
   if (t <= Duration::zero()) return 0;
   // Whole bursts that can start within the window...
   const std::int64_t bursts = ceil_div(t, min_inter_burst_);
-  std::int64_t faults = bursts * errors_per_burst_;
+  std::int64_t faults = sat_mul_i64(bursts, errors_per_burst_);
   // ...but a trailing partial burst cannot land more faults than the
   // intra-burst spacing admits inside the remaining window.
   if (intra_burst_gap_ > Duration::zero()) {
     const Duration into_last = t - (bursts - 1) * min_inter_burst_;
     const std::int64_t in_last =
         std::min<std::int64_t>(errors_per_burst_, ceil_div(into_last, intra_burst_gap_));
-    faults = (bursts - 1) * errors_per_burst_ + std::max<std::int64_t>(in_last, 1);
+    faults = sat_add_i64(sat_mul_i64(bursts - 1, errors_per_burst_),
+                         std::max<std::int64_t>(in_last, 1));
   }
   return faults;
 }
@@ -85,7 +86,7 @@ Duration BurstErrors::overhead(Duration t, Duration max_retx_frame,
   const Duration per_fault = timing.duration_of(error_frame_bits) + max_retx_frame;
   const Duration burst_extent = (errors_per_burst_ - 1) * per_fault;
   const std::int64_t bursts = ceil_div(t + burst_extent, min_inter_burst_);
-  return bursts * errors_per_burst_ * per_fault;
+  return sat_mul_i64(bursts, errors_per_burst_) * per_fault;
 }
 
 std::uint64_t BurstErrors::fingerprint() const {

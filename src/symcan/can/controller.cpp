@@ -10,6 +10,8 @@ const char* to_string(ControllerType t) {
 
 void EcuNode::validate() const {
   if (name.empty()) throw std::invalid_argument("EcuNode: empty name");
+  if (name.find_first_of(";\n\r") != std::string::npos)
+    throw std::invalid_argument("EcuNode '" + name + "': name contains ';' or a line break");
   if (tx_buffers < 1)
     throw std::invalid_argument("EcuNode '" + name + "': tx_buffers must be >= 1");
 }

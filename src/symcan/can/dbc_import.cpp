@@ -14,12 +14,6 @@ namespace {
 
 constexpr std::uint32_t kExtendedBit = 0x8000'0000u;
 
-[[noreturn]] void fail(std::size_t line_no, const std::string& msg) {
-  std::ostringstream os;
-  os << "DBC line " << line_no << ": " << msg;
-  throw std::runtime_error(os.str());
-}
-
 std::vector<std::string> tokenize(const std::string& line) {
   std::vector<std::string> out;
   std::string cur;
@@ -40,34 +34,91 @@ std::string strip_trailing(std::string s, char c) {
   return s;
 }
 
-std::int64_t parse_int(const std::string& s, std::size_t line_no, const char* what) {
+/// Parse an integer token, reporting malformed/out-of-range values as a
+/// line diagnostic instead of throwing.
+std::optional<std::int64_t> parse_int(const std::string& s, std::size_t line_no, const char* what,
+                                      Diagnostics& diags) {
   try {
     std::size_t pos = 0;
     const long long v = std::stoll(s, &pos);
-    if (pos != s.size()) fail(line_no, std::string("malformed ") + what + " '" + s + "'");
+    if (pos != s.size()) {
+      diags.error(line_no, std::string("malformed ") + what + " '" + s + "'");
+      return std::nullopt;
+    }
     return v;
   } catch (const std::invalid_argument&) {
-    fail(line_no, std::string("malformed ") + what + " '" + s + "'");
+    diags.error(line_no, std::string("malformed ") + what + " '" + s + "'");
   } catch (const std::out_of_range&) {
-    fail(line_no, std::string("out-of-range ") + what + " '" + s + "'");
+    diags.error(line_no, std::string("out-of-range ") + what + " '" + s + "'");
   }
+  return std::nullopt;
 }
 
 struct RawMessage {
   std::string name;
-  std::uint32_t raw_id = 0;
+  CanId id = 0;
+  FrameFormat format = FrameFormat::kStandard;
   int dlc = 0;
   std::string sender;
   std::set<std::string> receivers;
   std::optional<Duration> cycle_time;
   std::optional<Duration> delay_time;
+  std::size_t line_no = 0;
 };
+
+/// Decode the raw 32-bit DBC id field: bit 31 flags an extended (29-bit)
+/// identifier; the id must fit its format's range and must not be
+/// negative. Returns nullopt (with a diagnostic) on violation.
+std::optional<std::pair<CanId, FrameFormat>> decode_dbc_id(std::int64_t raw, std::size_t line_no,
+                                                           Diagnostics& diags) {
+  if (raw < 0) {
+    diags.error(line_no, "negative message id " + std::to_string(raw));
+    return std::nullopt;
+  }
+  if (raw > 0xFFFF'FFFFll) {
+    diags.error(line_no, "message id " + std::to_string(raw) + " exceeds 32 bits");
+    return std::nullopt;
+  }
+  const auto raw32 = static_cast<std::uint32_t>(raw);
+  if (raw32 & kExtendedBit) {
+    const std::uint32_t id = raw32 & ~kExtendedBit;
+    if (id > max_extended_id) {
+      diags.error(line_no, "extended message id exceeds 29 bits: " + std::to_string(id));
+      return std::nullopt;
+    }
+    return std::make_pair(id, FrameFormat::kExtended);
+  }
+  if (raw32 > max_standard_id) {
+    diags.error(line_no, "standard message id " + std::to_string(raw32) +
+                             " exceeds 11 bits (extended ids must set bit 31)");
+    return std::nullopt;
+  }
+  return std::make_pair(raw32, FrameFormat::kStandard);
+}
+
+/// Positive millisecond attribute (cycle/delay/default cycle). Negative
+/// values are always an error; zero is the conventional DBC way of
+/// saying "not cyclic", so it maps to "unset" with a lenient warning.
+std::optional<Duration> decode_time_ms(std::int64_t ms, std::size_t line_no, const char* what,
+                                       Diagnostics& diags) {
+  if (ms < 0) {
+    diags.error(line_no, std::string("negative ") + what + " " + std::to_string(ms) + " ms");
+    return std::nullopt;
+  }
+  if (ms == 0) {
+    diags.warning(line_no, std::string(what) + " of 0 ms treated as unset");
+    return std::nullopt;
+  }
+  return Duration::ms(ms);
+}
 
 }  // namespace
 
-KMatrix kmatrix_from_dbc(const std::string& text, const DbcImportOptions& options) {
+std::optional<KMatrix> kmatrix_from_dbc(const std::string& text, const DbcImportOptions& options,
+                                        Diagnostics& diags) {
+  diags.set_source("DBC");
   std::vector<std::string> node_names;
-  std::map<std::uint32_t, RawMessage> messages;  // keyed by raw id
+  std::map<std::uint64_t, RawMessage> messages;  // keyed by arbitration key (format, id)
   RawMessage* current = nullptr;                 // receiver lines attach here
   std::optional<Duration> default_cycle;
   std::int64_t bitrate = options.default_bitrate_bps;
@@ -77,6 +128,10 @@ KMatrix kmatrix_from_dbc(const std::string& text, const DbcImportOptions& option
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
+    if (diags.exhausted()) {
+      diags.error(0, "too many problems; giving up");
+      break;
+    }
     const auto tok = tokenize(line);
     if (tok.empty()) continue;
 
@@ -86,20 +141,47 @@ KMatrix kmatrix_from_dbc(const std::string& text, const DbcImportOptions& option
     }
     if (tok[0] == "BO_") {
       // BO_ <id> <Name>: <dlc> <sender>
-      if (tok.size() < 5) fail(line_no, "BO_ needs id, name, dlc and sender");
+      current = nullptr;  // a malformed BO_ must not adopt following SG_ lines
+      if (tok.size() < 5) {
+        diags.error(line_no, "BO_ needs id, name, dlc and sender");
+        continue;
+      }
+      const auto raw_id = parse_int(tok[1], line_no, "message id", diags);
+      const auto raw_dlc = parse_int(tok[3], line_no, "dlc", diags);
+      if (!raw_id || !raw_dlc) continue;
+      const auto decoded = decode_dbc_id(*raw_id, line_no, diags);
+      if (!decoded) continue;
+      if (*raw_dlc < 0 || *raw_dlc > 8) {
+        diags.error(line_no, "dlc " + std::to_string(*raw_dlc) + " outside 0..8");
+        continue;
+      }
       RawMessage m;
-      m.raw_id = static_cast<std::uint32_t>(parse_int(tok[1], line_no, "message id"));
+      m.id = decoded->first;
+      m.format = decoded->second;
+      m.dlc = static_cast<int>(*raw_dlc);
       m.name = strip_trailing(tok[2], ':');
-      m.dlc = static_cast<int>(parse_int(tok[3], line_no, "dlc"));
       m.sender = tok[4];
-      const auto [it, inserted] = messages.emplace(m.raw_id, std::move(m));
-      if (!inserted) fail(line_no, "duplicate message id " + tok[1]);
+      m.line_no = line_no;
+      if (m.name.empty()) {
+        diags.error(line_no, "empty message name");
+        continue;
+      }
+      const std::uint64_t key =
+          (m.format == FrameFormat::kExtended ? (std::uint64_t{1} << 32) : 0) | m.id;
+      const auto [it, inserted] = messages.emplace(key, std::move(m));
+      if (!inserted) {
+        diags.error(line_no, "duplicate message id " + tok[1]);
+        continue;
+      }
       current = &it->second;
       continue;
     }
     if (tok[0] == "SG_") {
       // SG_ <name> : <bits...> <unit> <receivers comma-separated>
-      if (current == nullptr) continue;  // stray signal, tolerate
+      if (current == nullptr) {
+        diags.warning(line_no, "signal line outside any message definition ignored");
+        continue;
+      }
       const std::string& rx = tok.back();
       std::string cur;
       for (char c : rx) {
@@ -114,56 +196,91 @@ KMatrix kmatrix_from_dbc(const std::string& text, const DbcImportOptions& option
       continue;
     }
     if (tok[0] == "BA_DEF_DEF_" && tok.size() >= 3 && tok[1] == "\"GenMsgCycleTime\"") {
-      default_cycle =
-          Duration::ms(parse_int(strip_trailing(tok[2], ';'), line_no, "default cycle time"));
+      const auto ms = parse_int(strip_trailing(tok[2], ';'), line_no, "default cycle time", diags);
+      if (ms) default_cycle = decode_time_ms(*ms, line_no, "default cycle time", diags);
       continue;
     }
     if (tok[0] == "BA_" && tok.size() >= 3) {
       if (tok[1] == "\"Baudrate\"") {
-        bitrate = parse_int(strip_trailing(tok[2], ';'), line_no, "baudrate");
+        const auto bps = parse_int(strip_trailing(tok[2], ';'), line_no, "baudrate", diags);
+        if (!bps) continue;
+        if (*bps <= 0 || *bps > 1'000'000'000) {
+          diags.error(line_no, "baudrate " + std::to_string(*bps) + " outside (0, 1e9] bit/s");
+          continue;
+        }
+        bitrate = *bps;
         continue;
       }
       if (tok.size() >= 5 && tok[2] == "BO_" &&
           (tok[1] == "\"GenMsgCycleTime\"" || tok[1] == "\"GenMsgDelayTime\"")) {
-        const auto id = static_cast<std::uint32_t>(parse_int(tok[3], line_no, "message id"));
-        const auto it = messages.find(id);
-        if (it == messages.end()) fail(line_no, "attribute for unknown message id " + tok[3]);
-        const Duration value =
-            Duration::ms(parse_int(strip_trailing(tok[4], ';'), line_no, "attribute value"));
-        if (tok[1] == "\"GenMsgCycleTime\"")
-          it->second.cycle_time = value;
-        else
-          it->second.delay_time = value;
+        const auto raw_id = parse_int(tok[3], line_no, "message id", diags);
+        if (!raw_id) continue;
+        const auto decoded = decode_dbc_id(*raw_id, line_no, diags);
+        if (!decoded) continue;
+        const std::uint64_t key =
+            (decoded->second == FrameFormat::kExtended ? (std::uint64_t{1} << 32) : 0) |
+            decoded->first;
+        const auto it = messages.find(key);
+        if (it == messages.end()) {
+          diags.error(line_no, "attribute for unknown message id " + tok[3]);
+          continue;
+        }
+        const bool is_cycle = tok[1] == "\"GenMsgCycleTime\"";
+        const auto ms = parse_int(strip_trailing(tok[4], ';'), line_no, "attribute value", diags);
+        if (!ms) continue;
+        if (is_cycle) {
+          it->second.cycle_time = decode_time_ms(*ms, line_no, "cycle time", diags);
+        } else {
+          // A delay (minimum distance) of 0 is a valid "no limitation".
+          if (*ms < 0) {
+            diags.error(line_no, "negative delay time " + std::to_string(*ms) + " ms");
+            continue;
+          }
+          it->second.delay_time = Duration::ms(*ms);
+        }
         continue;
       }
     }
     // Everything else: ignored (comments, version, value tables, ...).
   }
 
+  if (!diags.ok()) return std::nullopt;
+  if (bitrate == options.default_bitrate_bps &&
+      (bitrate <= 0 || bitrate > 1'000'000'000)) {
+    diags.error(0, "default bitrate " + std::to_string(bitrate) + " outside (0, 1e9] bit/s");
+    return std::nullopt;
+  }
+
   KMatrix km{options.bus_name, BitTiming{bitrate}};
   std::set<std::string> declared(node_names.begin(), node_names.end());
   // Senders/receivers not in BU_ (e.g. the conventional "Vector__XXX"
   // placeholder) become nodes too, so the matrix always validates.
-  for (const auto& [id, m] : messages) {
+  for (const auto& [key, m] : messages) {
     declared.insert(m.sender);
     for (const auto& r : m.receivers) declared.insert(r);
   }
   for (const auto& n : declared) {
     EcuNode node;
     node.name = n;
+    try {
+      node.validate();
+    } catch (const std::invalid_argument& e) {
+      diags.error(0, e.what());
+      continue;
+    }
     km.add_node(std::move(node));
   }
 
-  for (const auto& [raw_id, m] : messages) {
+  for (const auto& [key, m] : messages) {
     CanMessage out;
     out.name = m.name;
-    out.format = (raw_id & kExtendedBit) ? FrameFormat::kExtended : FrameFormat::kStandard;
-    out.id = raw_id & ~kExtendedBit;
-    out.payload_bytes = std::clamp(m.dlc, 0, 8);
-    if (m.cycle_time && *m.cycle_time > Duration::zero()) {
+    out.format = m.format;
+    out.id = m.id;
+    out.payload_bytes = m.dlc;
+    if (m.cycle_time) {
       out.period = *m.cycle_time;
       out.jitter_known = false;
-    } else if (default_cycle && *default_cycle > Duration::zero()) {
+    } else if (default_cycle) {
       out.period = *default_cycle;
     } else {
       out.period = options.fallback_period;
@@ -172,10 +289,30 @@ KMatrix kmatrix_from_dbc(const std::string& text, const DbcImportOptions& option
     out.sender = m.sender;
     out.receivers.assign(m.receivers.begin(), m.receivers.end());
     if (out.receivers.empty()) out.receivers.push_back(m.sender);
+    try {
+      out.validate();
+    } catch (const std::invalid_argument& e) {
+      diags.error(m.line_no, e.what());
+      continue;
+    }
     km.add_message(std::move(out));
   }
-  km.validate();
+  if (!diags.ok()) return std::nullopt;
+  try {
+    km.validate();
+  } catch (const std::invalid_argument& e) {
+    diags.error(0, e.what());
+    return std::nullopt;
+  }
   return km;
+}
+
+KMatrix kmatrix_from_dbc(const std::string& text, const DbcImportOptions& options) {
+  Diagnostics diags{DiagnosticPolicy::kLenient, "DBC"};
+  auto km = kmatrix_from_dbc(text, options, diags);
+  diags.throw_if_failed();
+  if (!km) throw ParseError{diags};  // unreachable unless diags/ok desynchronize
+  return std::move(*km);
 }
 
 KMatrix load_dbc(const std::string& path, const DbcImportOptions& options) {

@@ -18,9 +18,11 @@
 // diagnostics etc.) get `options.fallback_period` and are marked
 // jitter-unknown.
 
+#include <optional>
 #include <string>
 
 #include "symcan/can/kmatrix.hpp"
+#include "symcan/util/diagnostics.hpp"
 
 namespace symcan {
 
@@ -33,8 +35,19 @@ struct DbcImportOptions {
   std::string bus_name = "dbc";
 };
 
-/// Parse DBC text. Throws std::runtime_error with a line reference on
-/// malformed supported constructs; unknown lines are skipped.
+/// Parse DBC text, reporting every malformed construct through `diags`
+/// (line-numbered; see util/diagnostics.hpp for the strict/lenient
+/// policy). Identifier hygiene is enforced here, at the trust boundary:
+/// negative ids/DLCs, DLC > 8, standard ids above 11 bits and extended
+/// ids (bit 31 of the raw DBC id) above 29 bits are all rejected, as are
+/// negative cycle/delay times and out-of-range bit rates. Does not throw
+/// on malformed input; returns nullopt when any error was recorded, and a
+/// fully validated matrix otherwise.
+std::optional<KMatrix> kmatrix_from_dbc(const std::string& text, const DbcImportOptions& options,
+                                        Diagnostics& diags);
+
+/// Throwing convenience wrapper (lenient policy): throws ParseError — a
+/// std::runtime_error whose what() carries the line-numbered diagnostics.
 KMatrix kmatrix_from_dbc(const std::string& text, const DbcImportOptions& options = {});
 
 /// File convenience wrapper.

@@ -19,35 +19,60 @@ std::string join(const std::vector<std::string>& parts, char sep) {
   return out;
 }
 
+/// Split preserving empty fields: "a;;b" -> {"a", "", "b"}, so a stray
+/// separator is visible to the caller as an empty entry (and can be
+/// diagnosed) instead of silently shifting every following value. The
+/// empty string yields no fields (the receivers column may be empty).
 std::vector<std::string> split(const std::string& s, char sep) {
   std::vector<std::string> out;
+  if (s.empty()) return out;
   std::string cur;
   for (char c : s) {
     if (c == sep) {
-      if (!cur.empty()) out.push_back(cur);
+      out.push_back(cur);
       cur.clear();
     } else {
       cur.push_back(c);
     }
   }
-  if (!cur.empty()) out.push_back(cur);
+  out.push_back(cur);
   return out;
 }
 
-std::int64_t to_i64(const std::string& s, const char* what) {
+std::optional<std::int64_t> to_i64(const std::string& s, std::size_t line_no, const char* what,
+                                   Diagnostics& diags) {
   std::int64_t v = 0;
   const auto* begin = s.data();
   const auto* end = s.data() + s.size();
   const auto res = std::from_chars(begin, end, v);
-  if (res.ec != std::errc{} || res.ptr != end)
-    throw std::runtime_error(std::string("K-Matrix CSV: bad integer for ") + what + ": '" + s + "'");
+  if (res.ec != std::errc{} || res.ptr != end) {
+    diags.error(line_no, std::string("bad integer for ") + what + ": '" + s + "'");
+    return std::nullopt;
+  }
   return v;
 }
 
-[[noreturn]] void fail(std::size_t line_no, const std::string& msg) {
-  std::ostringstream os;
-  os << "K-Matrix CSV line " << line_no << ": " << msg;
-  throw std::runtime_error(os.str());
+/// Integer field with an inclusive range; out-of-range values are
+/// diagnosed at the trust boundary instead of being cast into narrower
+/// types downstream.
+std::optional<std::int64_t> to_i64_in(const std::string& s, std::size_t line_no, const char* what,
+                                      std::int64_t lo, std::int64_t hi, Diagnostics& diags) {
+  const auto v = to_i64(s, line_no, what, diags);
+  if (!v) return std::nullopt;
+  if (*v < lo || *v > hi) {
+    diags.error(line_no, std::string(what) + " " + s + " outside [" + std::to_string(lo) + ", " +
+                             std::to_string(hi) + "]");
+    return std::nullopt;
+  }
+  return v;
+}
+
+/// 0/1 boolean column. Anything else is recoverable (treated as 0) under
+/// the lenient policy, an error under strict.
+bool to_bool01(const std::string& s, std::size_t line_no, const char* what, Diagnostics& diags) {
+  if (s == "1") return true;
+  if (s != "0") diags.warning(line_no, std::string(what) + " '" + s + "' is not 0|1; treated as 0");
+  return false;
 }
 
 }  // namespace
@@ -77,71 +102,170 @@ std::string kmatrix_to_csv(const KMatrix& km) {
   return os.str();
 }
 
-KMatrix kmatrix_from_csv(const std::string& text) {
+std::optional<KMatrix> kmatrix_from_csv(const std::string& text, Diagnostics& diags) {
+  diags.set_source("K-Matrix CSV");
   std::optional<KMatrix> km;
-  const auto rows = parse_csv(text);
-  std::size_t line_no = 0;
-  for (const auto& row : rows) {
-    ++line_no;
+  for (const auto& [line_no, row] : parse_csv_numbered(text)) {
+    if (diags.exhausted()) {
+      diags.error(0, "too many problems; giving up");
+      break;
+    }
     if (row.empty() || row[0].empty()) continue;
     const std::string& kind = row[0];
     if (kind == "bus") {
-      if (row.size() != 3) fail(line_no, "bus record needs 3 fields");
-      if (km) fail(line_no, "duplicate bus record");
-      km.emplace(row[1], BitTiming{to_i64(row[2], "bitrate")});
+      if (row.size() != 3) {
+        diags.error(line_no,
+                    "bus record needs 3 fields, got " + std::to_string(row.size()));
+        continue;
+      }
+      if (km) {
+        diags.error(line_no, "duplicate bus record");
+        continue;
+      }
+      const auto bps = to_i64_in(row[2], line_no, "bitrate", 1, 1'000'000'000, diags);
+      if (!bps) continue;
+      km.emplace(row[1], BitTiming{*bps});
     } else if (kind == "node") {
-      if (!km) fail(line_no, "node record before bus record");
-      if (row.size() != 5) fail(line_no, "node record needs 5 fields");
+      if (!km) {
+        diags.error(line_no, "node record before bus record");
+        continue;
+      }
+      if (row.size() != 5) {
+        diags.error(line_no,
+                    "node record needs 5 fields, got " + std::to_string(row.size()));
+        continue;
+      }
       EcuNode n;
       n.name = row[1];
-      if (row[2] == "fullCAN")
+      if (row[2] == "fullCAN") {
         n.controller = ControllerType::kFullCan;
-      else if (row[2] == "basicCAN")
+      } else if (row[2] == "basicCAN") {
         n.controller = ControllerType::kBasicCan;
-      else
-        fail(line_no, "unknown controller type '" + row[2] + "'");
-      n.tx_buffers = static_cast<int>(to_i64(row[3], "tx_buffers"));
-      n.is_gateway = row[4] == "1";
-      km->add_node(std::move(n));
+      } else {
+        diags.error(line_no, "unknown controller type '" + row[2] + "'");
+        continue;
+      }
+      const auto bufs = to_i64_in(row[3], line_no, "tx_buffers", 1, 1'000'000, diags);
+      if (!bufs) continue;
+      n.tx_buffers = static_cast<int>(*bufs);
+      n.is_gateway = to_bool01(row[4], line_no, "gateway flag", diags);
+      try {
+        n.validate();
+        km->add_node(std::move(n));
+      } catch (const std::invalid_argument& e) {
+        diags.error(line_no, e.what());
+      }
     } else if (kind == "msg") {
-      if (!km) fail(line_no, "msg record before bus record");
+      if (!km) {
+        diags.error(line_no, "msg record before bus record");
+        continue;
+      }
       // 13 fields = legacy (no TimeTable offset column), 14 = current.
-      if (row.size() != 13 && row.size() != 14) fail(line_no, "msg record needs 13 or 14 fields");
+      if (row.size() != 13 && row.size() != 14) {
+        diags.error(line_no,
+                    "msg record needs 13 or 14 fields, got " + std::to_string(row.size()));
+        continue;
+      }
       CanMessage m;
       m.name = row[1];
-      m.id = static_cast<CanId>(to_i64(row[2], "id"));
-      if (row[3] == "standard")
+      if (row[3] == "standard") {
         m.format = FrameFormat::kStandard;
-      else if (row[3] == "extended")
+      } else if (row[3] == "extended") {
         m.format = FrameFormat::kExtended;
-      else
-        fail(line_no, "unknown frame format '" + row[3] + "'");
-      m.payload_bytes = static_cast<int>(to_i64(row[4], "bytes"));
-      m.period = Duration::ns(to_i64(row[5], "period_ns"));
-      m.jitter = Duration::ns(to_i64(row[6], "jitter_ns"));
-      m.min_distance = Duration::ns(to_i64(row[7], "dmin_ns"));
-      if (row[8] == "period")
+      } else {
+        diags.error(line_no, "unknown frame format '" + row[3] + "'");
+        continue;
+      }
+      const CanId max_id =
+          m.format == FrameFormat::kStandard ? max_standard_id : max_extended_id;
+      const auto id = to_i64_in(row[2], line_no, "id", 0, max_id, diags);
+      const auto bytes = to_i64_in(row[4], line_no, "bytes", 0, 8, diags);
+      const auto period_ns = to_i64(row[5], line_no, "period_ns", diags);
+      const auto jitter_ns = to_i64(row[6], line_no, "jitter_ns", diags);
+      const auto dmin_ns = to_i64(row[7], line_no, "dmin_ns", diags);
+      if (!id || !bytes || !period_ns || !jitter_ns || !dmin_ns) continue;
+      m.id = static_cast<CanId>(*id);
+      m.payload_bytes = static_cast<int>(*bytes);
+      if (*period_ns <= 0) {
+        diags.error(line_no, "period_ns must be > 0, got " + row[5]);
+        continue;
+      }
+      if (*jitter_ns < 0 || *dmin_ns < 0) {
+        diags.error(line_no, "jitter_ns and dmin_ns must be >= 0");
+        continue;
+      }
+      m.period = Duration::ns(*period_ns);
+      m.jitter = Duration::ns(*jitter_ns);
+      m.min_distance = Duration::ns(*dmin_ns);
+      if (row[8] == "period") {
         m.deadline_policy = DeadlinePolicy::kPeriod;
-      else if (row[8] == "min-re-arrival")
+      } else if (row[8] == "min-re-arrival") {
         m.deadline_policy = DeadlinePolicy::kMinReArrival;
-      else if (row[8] == "explicit")
+      } else if (row[8] == "explicit") {
         m.deadline_policy = DeadlinePolicy::kExplicit;
-      else
-        fail(line_no, "unknown deadline policy '" + row[8] + "'");
-      if (m.deadline_policy == DeadlinePolicy::kExplicit)
-        m.explicit_deadline = Duration::ns(to_i64(row[9], "deadline_ns"));
+      } else {
+        diags.error(line_no, "unknown deadline policy '" + row[8] + "'");
+        continue;
+      }
+      if (m.deadline_policy == DeadlinePolicy::kExplicit) {
+        const auto deadline_ns = to_i64(row[9], line_no, "deadline_ns", diags);
+        if (!deadline_ns) continue;
+        if (*deadline_ns <= 0) {
+          diags.error(line_no, "deadline_ns must be > 0, got " + row[9]);
+          continue;
+        }
+        m.explicit_deadline = Duration::ns(*deadline_ns);
+      }
       m.sender = row[10];
       m.receivers = split(row[11], ';');
-      m.jitter_known = row[12] == "1";
-      if (row.size() == 14 && row[13] != "-")
-        m.tt_offset = Duration::ns(to_i64(row[13], "offset_ns"));
-      km->add_message(std::move(m));
+      bool receivers_ok = true;
+      for (const auto& r : m.receivers) {
+        if (r.empty()) {
+          diags.error(line_no, "empty receiver name in '" + row[11] + "' (stray ';')");
+          receivers_ok = false;
+          break;
+        }
+      }
+      if (!receivers_ok) continue;
+      m.jitter_known = to_bool01(row[12], line_no, "jitter_known flag", diags);
+      if (row.size() == 14 && row[13] != "-") {
+        const auto offset_ns = to_i64(row[13], line_no, "offset_ns", diags);
+        if (!offset_ns) continue;
+        if (*offset_ns < 0 || *offset_ns >= *period_ns) {
+          diags.error(line_no, "offset_ns must be in [0, period_ns), got " + row[13]);
+          continue;
+        }
+        m.tt_offset = Duration::ns(*offset_ns);
+      }
+      try {
+        m.validate();
+        km->add_message(std::move(m));
+      } catch (const std::invalid_argument& e) {
+        diags.error(line_no, e.what());
+      }
     } else {
-      fail(line_no, "unknown record kind '" + kind + "'");
+      diags.error(line_no, "unknown record kind '" + kind + "'");
     }
   }
-  if (!km) throw std::runtime_error("K-Matrix CSV: missing bus record");
-  km->validate();
+  if (!km) {
+    diags.error(0, "missing bus record");
+    return std::nullopt;
+  }
+  if (!diags.ok()) return std::nullopt;
+  try {
+    km->validate();
+  } catch (const std::invalid_argument& e) {
+    diags.error(0, e.what());
+    return std::nullopt;
+  }
+  return km;
+}
+
+KMatrix kmatrix_from_csv(const std::string& text) {
+  Diagnostics diags{DiagnosticPolicy::kLenient, "K-Matrix CSV"};
+  auto km = kmatrix_from_csv(text, diags);
+  diags.throw_if_failed();
+  if (!km) throw ParseError{diags};  // unreachable unless diags/ok desynchronize
   return std::move(*km);
 }
 

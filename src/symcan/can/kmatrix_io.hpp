@@ -18,17 +18,28 @@
 //
 // Lines starting with '#' are comments.
 
+#include <optional>
 #include <string>
 
 #include "symcan/can/kmatrix.hpp"
+#include "symcan/util/diagnostics.hpp"
 
 namespace symcan {
 
 /// Serialize a K-Matrix to the CSV format above.
 std::string kmatrix_to_csv(const KMatrix& km);
 
-/// Parse the CSV format above. Throws std::runtime_error with a
-/// line-numbered message on malformed input; runs KMatrix::validate().
+/// Parse the CSV format above, reporting every malformed record through
+/// `diags` (line-numbered; strict/lenient policy in util/diagnostics.hpp).
+/// All numeric fields are range-checked at this trust boundary: ids must
+/// fit their frame format, payloads 0..8 bytes, periods positive, empty
+/// receiver entries (a stray ';') are diagnosed instead of silently
+/// dropped. Does not throw on malformed input; returns nullopt when any
+/// error was recorded, and a fully validated matrix otherwise.
+std::optional<KMatrix> kmatrix_from_csv(const std::string& text, Diagnostics& diags);
+
+/// Throwing convenience wrapper (lenient policy): throws ParseError — a
+/// std::runtime_error whose what() carries the line-numbered diagnostics.
 KMatrix kmatrix_from_csv(const std::string& text);
 
 /// File convenience wrappers.

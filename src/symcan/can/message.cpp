@@ -31,8 +31,21 @@ Duration CanMessage::deadline() const {
   return Duration::infinite();
 }
 
+namespace {
+
+/// The CSV round-trip joins receiver names with ';' and has no escape for
+/// line breaks, so those characters in an identifier could not be parsed
+/// back. Reject them here so serialization stays invertible.
+bool name_roundtrips(const std::string& s) {
+  return s.find_first_of(";\n\r") == std::string::npos;
+}
+
+}  // namespace
+
 void CanMessage::validate() const {
   if (name.empty()) throw std::invalid_argument("CanMessage: empty name");
+  if (!name_roundtrips(name))
+    throw std::invalid_argument("CanMessage '" + name + "': name contains ';' or a line break");
   const CanId max_id = format == FrameFormat::kStandard ? max_standard_id : max_extended_id;
   if (id > max_id)
     throw std::invalid_argument("CanMessage '" + name + "': id exceeds format range");
@@ -50,6 +63,15 @@ void CanMessage::validate() const {
     throw std::invalid_argument("CanMessage '" + name + "': tt_offset must be in [0, period)");
   if (sender.empty())
     throw std::invalid_argument("CanMessage '" + name + "': sender ECU missing");
+  if (!name_roundtrips(sender))
+    throw std::invalid_argument("CanMessage '" + name + "': sender contains ';' or a line break");
+  for (const auto& r : receivers) {
+    if (r.empty())
+      throw std::invalid_argument("CanMessage '" + name + "': empty receiver name");
+    if (!name_roundtrips(r))
+      throw std::invalid_argument("CanMessage '" + name +
+                                  "': receiver contains ';' or a line break");
+  }
 }
 
 }  // namespace symcan

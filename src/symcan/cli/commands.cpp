@@ -20,6 +20,8 @@
 #include "symcan/sim/trace_export.hpp"
 #include "symcan/sim/trace_stats.hpp"
 #include "symcan/sim/validation.hpp"
+#include "symcan/util/csv.hpp"
+#include "symcan/util/diagnostics.hpp"
 #include "symcan/util/table.hpp"
 #include "symcan/workload/powertrain.hpp"
 
@@ -39,13 +41,32 @@ CanRtaConfig assumptions_from(const Args& args) {
   return cfg;
 }
 
+/// --strict escalates ingest warnings (zero cycle times, stray signal
+/// lines, non-0|1 boolean columns, ...) to hard errors.
+DiagnosticPolicy policy_from(const Args& args) {
+  return args.has_flag("strict") ? DiagnosticPolicy::kStrict : DiagnosticPolicy::kLenient;
+}
+
+/// Load through the diagnostics-collecting parsers so a malformed file
+/// reports every problem at once; ParseError is rendered by run_cli as
+/// one line per diagnostic, exit code 2.
+KMatrix load_matrix_file(const std::string& path, bool is_dbc, DiagnosticPolicy policy,
+                         const DbcImportOptions& opt = {}) {
+  Diagnostics diags{policy};
+  const std::string text = read_file(path);
+  auto km = is_dbc ? kmatrix_from_dbc(text, opt, diags) : kmatrix_from_csv(text, diags);
+  diags.throw_if_failed();
+  if (!km) throw ParseError{diags};
+  return std::move(*km);
+}
+
 KMatrix load_matrix(const Args& args, std::size_t positional_index = 0) {
   if (args.positionals().size() <= positional_index)
     throw std::invalid_argument("missing K-Matrix path");
   const std::string& path = args.positionals()[positional_index];
   const bool is_dbc =
       args.has_flag("dbc") || (path.size() > 4 && path.substr(path.size() - 4) == ".dbc");
-  KMatrix km = is_dbc ? load_dbc(path) : load_kmatrix(path);
+  KMatrix km = load_matrix_file(path, is_dbc, policy_from(args));
   const double jitter = args.double_option_or("jitter", -1.0);
   if (jitter >= 0) assume_jitter_fraction(km, jitter, args.has_flag("override-known"));
   return km;
@@ -386,7 +407,7 @@ int cmd_import(const Args& args, std::ostream& out) {
   DbcImportOptions opt;
   opt.default_bitrate_bps = args.int_option_or("bitrate", opt.default_bitrate_bps);
   opt.bus_name = args.option_or("bus-name", opt.bus_name);
-  const KMatrix km = load_dbc(args.positionals()[0], opt);
+  const KMatrix km = load_matrix_file(args.positionals()[0], true, policy_from(args), opt);
   const std::string output = args.option_or("out", "");
   fail_on_unused(args);
   if (output.empty()) {
@@ -465,6 +486,9 @@ std::string usage() {
          "--jobs N selects N worker threads for sweep/sensitivity/optimize/\n"
          "extend/report (0 = all hardware threads, the default; results are\n"
          "bit-identical at any width).\n"
+         "--strict escalates ingest warnings (zero cycle times, stray\n"
+         "signal lines, non-0|1 boolean columns) to errors. Malformed input\n"
+         "prints one line-numbered diagnostic per problem and exits 2.\n"
          "--rta-cache on|off (default on) memoizes per-message RTA verdicts\n"
          "across the re-analyses those same commands perform; cached results\n"
          "are bit-identical to fresh ones, so 'off' exists only to measure.\n"
@@ -488,7 +512,7 @@ int run_cli(const std::vector<std::string>& argv_tail, std::ostream& out, std::o
   try {
     const std::vector<std::string> flags = {"worst-case", "best-case", "override-known",
                                             "tt-offsets", "dbc",      "json",
-                                            "stats"};
+                                            "stats",      "strict"};
     const Args args = Args::parse(rest, flags);
 
     // Observability exports apply to every command: validate the paths up
@@ -525,6 +549,14 @@ int run_cli(const std::vector<std::string>& argv_tail, std::ostream& out, std::o
       if (trace_out) obs::write_file(*trace_out, obs::trace_to_chrome_json(obs::tracer()));
     }
     return rc;
+  } catch (const ParseError& e) {
+    // Malformed input: one line per collected diagnostic, then exit 2.
+    obs::set_enabled(false);
+    const Diagnostics& d = e.diagnostics();
+    err << "symcan " << command << ": " << d.source() << ": " << d.error_count() << " error(s)";
+    if (d.warning_count() > 0) err << ", " << d.warning_count() << " warning(s)";
+    err << "\n" << d.format();
+    return 2;
   } catch (const std::exception& e) {
     obs::set_enabled(false);
     err << "symcan " << command << ": " << e.what() << "\n";

@@ -1,10 +1,13 @@
 #include "symcan/supplychain/datasheet.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 
 #include "symcan/analysis/provenance.hpp"
+#include "symcan/util/csv.hpp"
 
 namespace symcan {
 
@@ -23,7 +26,126 @@ std::size_t index_of(const KMatrix& km, const std::string& message) {
   throw std::invalid_argument("unknown message '" + message + "'");
 }
 
+/// "inf" or a non-negative nanosecond count; nullopt with a diagnostic
+/// otherwise.
+std::optional<Duration> parse_duration_ns(const std::string& s, std::size_t line_no,
+                                          const char* what, Diagnostics& diags) {
+  if (s == "inf") return Duration::infinite();
+  std::int64_t v = 0;
+  const auto res = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (res.ec != std::errc{} || res.ptr != s.data() + s.size()) {
+    diags.error(line_no, std::string("bad duration for ") + what + ": '" + s + "'");
+    return std::nullopt;
+  }
+  if (v < 0) {
+    diags.error(line_no, std::string(what) + " must be >= 0, got " + s);
+    return std::nullopt;
+  }
+  return Duration::ns(v);
+}
+
+std::string duration_field(Duration d) {
+  return d.is_infinite() ? "inf" : std::to_string(d.count_ns());
+}
+
 }  // namespace
+
+std::string datasheet_to_csv(const EcuDatasheet& ds) {
+  std::ostringstream os;
+  os << "# symcan ECU datasheet\n";
+  os << format_csv_row({"ecu", ds.ecu}) << '\n';
+  for (const auto& g : ds.send_guarantees)
+    os << format_csv_row({"send", g.message, std::to_string(g.jitter.count_ns())}) << '\n';
+  for (const auto& r : ds.arrival_requirements)
+    os << format_csv_row({"need", r.message, r.receiver, duration_field(r.max_latency),
+                          duration_field(r.max_response_jitter)})
+       << '\n';
+  return os.str();
+}
+
+std::optional<EcuDatasheet> datasheet_from_csv(const std::string& text, Diagnostics& diags) {
+  diags.set_source("datasheet CSV");
+  std::optional<EcuDatasheet> ds;
+  for (const auto& [line_no, row] : parse_csv_numbered(text)) {
+    if (diags.exhausted()) {
+      diags.error(0, "too many problems; giving up");
+      break;
+    }
+    if (row.empty() || row[0].empty()) continue;
+    const std::string& kind = row[0];
+    if (kind == "ecu") {
+      if (row.size() != 2) {
+        diags.error(line_no, "ecu record needs 2 fields, got " + std::to_string(row.size()));
+        continue;
+      }
+      if (ds) {
+        diags.error(line_no, "duplicate ecu record");
+        continue;
+      }
+      if (row[1].empty()) {
+        diags.error(line_no, "empty ecu name");
+        continue;
+      }
+      ds.emplace();
+      ds->ecu = row[1];
+    } else if (kind == "send") {
+      if (!ds) {
+        diags.error(line_no, "send record before ecu record");
+        continue;
+      }
+      if (row.size() != 3) {
+        diags.error(line_no, "send record needs 3 fields, got " + std::to_string(row.size()));
+        continue;
+      }
+      if (row[1].empty()) {
+        diags.error(line_no, "empty message name");
+        continue;
+      }
+      const auto jitter = parse_duration_ns(row[2], line_no, "jitter_ns", diags);
+      if (!jitter) continue;
+      if (jitter->is_infinite()) {
+        diags.error(line_no, "a send guarantee cannot have infinite jitter");
+        continue;
+      }
+      ds->send_guarantees.push_back({row[1], *jitter});
+    } else if (kind == "need") {
+      if (!ds) {
+        diags.error(line_no, "need record before ecu record");
+        continue;
+      }
+      if (row.size() != 5) {
+        diags.error(line_no, "need record needs 5 fields, got " + std::to_string(row.size()));
+        continue;
+      }
+      if (row[1].empty() || row[2].empty()) {
+        diags.error(line_no, "empty message or receiver name");
+        continue;
+      }
+      const auto latency = parse_duration_ns(row[3], line_no, "max_latency_ns", diags);
+      const auto jitter = parse_duration_ns(row[4], line_no, "max_response_jitter_ns", diags);
+      if (!latency || !jitter) continue;
+      if (*latency == Duration::zero())
+        diags.warning(line_no, "max_latency_ns of 0 is unsatisfiable by any bus");
+      ds->arrival_requirements.push_back({row[1], row[2], *latency, *jitter});
+    } else {
+      diags.error(line_no, "unknown record kind '" + kind + "'");
+    }
+  }
+  if (!ds) {
+    diags.error(0, "missing ecu record");
+    return std::nullopt;
+  }
+  if (!diags.ok()) return std::nullopt;
+  return ds;
+}
+
+EcuDatasheet datasheet_from_csv(const std::string& text) {
+  Diagnostics diags{DiagnosticPolicy::kLenient, "datasheet CSV"};
+  auto ds = datasheet_from_csv(text, diags);
+  diags.throw_if_failed();
+  if (!ds) throw ParseError{diags};  // unreachable unless diags/ok desynchronize
+  return std::move(*ds);
+}
 
 Duration max_own_jitter(const KMatrix& km, const CanRtaConfig& rta, const std::string& message,
                         Duration tolerance) {

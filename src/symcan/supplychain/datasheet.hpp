@@ -20,11 +20,13 @@
 // of either party [can] be protected, as internal implementation details
 // ... need not be disclosed".
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "symcan/analysis/can_rta.hpp"
 #include "symcan/can/kmatrix.hpp"
+#include "symcan/util/diagnostics.hpp"
 
 namespace symcan {
 
@@ -55,6 +57,26 @@ struct EcuDatasheet {
   std::vector<SendJitterGuarantee> send_guarantees;
   std::vector<ArrivalRequirement> arrival_requirements;
 };
+
+/// Serialize a data sheet to its CSV exchange format:
+///
+///   ecu,<name>
+///   send,<message>,<jitter_ns>
+///   need,<message>,<receiver>,<max_latency_ns|inf>,<max_response_jitter_ns|inf>
+///
+/// Lines starting with '#' are comments. This is the file that actually
+/// crosses the OEM/supplier boundary, so the loader below treats it as
+/// untrusted input.
+std::string datasheet_to_csv(const EcuDatasheet& ds);
+
+/// Parse the CSV exchange format, reporting malformed records through
+/// `diags` (line-numbered; policy semantics as in util/diagnostics.hpp).
+/// Does not throw on malformed input; returns nullopt when any error was
+/// recorded.
+std::optional<EcuDatasheet> datasheet_from_csv(const std::string& text, Diagnostics& diags);
+
+/// Throwing convenience wrapper (lenient policy): throws ParseError.
+EcuDatasheet datasheet_from_csv(const std::string& text);
 
 /// One mismatch found by the duality check.
 struct DualityViolation {

@@ -41,13 +41,22 @@ CsvRow parse_csv_line(std::string_view line) {
 
 std::vector<CsvRow> parse_csv(std::string_view text) {
   std::vector<CsvRow> rows;
+  for (auto& [line, fields] : parse_csv_numbered(text)) rows.push_back(std::move(fields));
+  return rows;
+}
+
+std::vector<NumberedCsvRow> parse_csv_numbered(std::string_view text) {
+  std::vector<NumberedCsvRow> rows;
   std::size_t start = 0;
+  std::size_t line_no = 0;
   while (start <= text.size()) {
     std::size_t end = text.find('\n', start);
     if (end == std::string_view::npos) end = text.size();
     std::string_view line = text.substr(start, end - start);
+    ++line_no;
     if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
-    if (!line.empty() && line.front() != '#') rows.push_back(parse_csv_line(line));
+    if (!line.empty() && line.front() != '#')
+      rows.push_back(NumberedCsvRow{line_no, parse_csv_line(line)});
     if (end == text.size()) break;
     start = end + 1;
   }

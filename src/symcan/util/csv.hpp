@@ -22,6 +22,17 @@ CsvRow parse_csv_line(std::string_view line);
 /// are skipped.
 std::vector<CsvRow> parse_csv(std::string_view text);
 
+/// A parsed row together with its 1-based physical line number in the
+/// original text — what line-numbered ingest diagnostics point at.
+struct NumberedCsvRow {
+  std::size_t line = 0;
+  CsvRow fields;
+};
+
+/// parse_csv(), keeping physical line numbers across skipped blank and
+/// comment lines.
+std::vector<NumberedCsvRow> parse_csv_numbered(std::string_view text);
+
 /// Render one row, quoting any field that contains a comma, quote, or
 /// leading/trailing whitespace.
 std::string format_csv_row(const CsvRow& row);

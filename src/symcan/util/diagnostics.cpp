@@ -1,0 +1,63 @@
+#include "symcan/util/diagnostics.hpp"
+
+#include <sstream>
+
+namespace symcan {
+
+const char* to_string(Severity s) { return s == Severity::kError ? "error" : "warning"; }
+
+std::string to_string(const Diagnostic& d) {
+  std::ostringstream os;
+  os << d.source;
+  if (d.line > 0) {
+    os << " line " << d.line;
+    if (d.column > 0) os << ", column " << d.column;
+  }
+  os << ": " << to_string(d.severity) << ": " << d.message;
+  return os.str();
+}
+
+void Diagnostics::record(Severity severity, std::size_t line, std::size_t column,
+                         std::string message) {
+  if (severity == Severity::kError)
+    ++error_count_;
+  else
+    ++warning_count_;
+  if (entries_.size() >= kMaxRecorded) return;  // counters keep the true totals
+  Diagnostic d;
+  d.severity = severity;
+  d.source = source_;
+  d.line = line;
+  d.column = column;
+  d.message = std::move(message);
+  entries_.push_back(std::move(d));
+}
+
+std::string Diagnostics::format() const {
+  std::ostringstream os;
+  for (const auto& d : entries_) os << to_string(d) << "\n";
+  const std::size_t total = error_count_ + warning_count_;
+  if (total > entries_.size())
+    os << "... and " << (total - entries_.size()) << " more not shown\n";
+  return os.str();
+}
+
+void Diagnostics::throw_if_failed() const {
+  if (!ok()) throw ParseError{*this};
+}
+
+namespace {
+std::string parse_error_what(const Diagnostics& d) {
+  std::ostringstream os;
+  os << d.source() << ": " << d.error_count() << " error(s)";
+  if (d.warning_count() > 0) os << ", " << d.warning_count() << " warning(s)";
+  const std::string body = d.format();
+  if (!body.empty()) os << "\n" << body;
+  return os.str();
+}
+}  // namespace
+
+ParseError::ParseError(Diagnostics diagnostics)
+    : std::runtime_error(parse_error_what(diagnostics)), diagnostics_{std::move(diagnostics)} {}
+
+}  // namespace symcan

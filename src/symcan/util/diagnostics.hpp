@@ -1,0 +1,119 @@
+#pragma once
+
+// Typed diagnostics for the ingest layer.
+//
+// K-Matrices, DBC files and data sheets cross the OEM/supplier boundary
+// as *files* (paper Section 5, Figure 6), which makes the parsers the
+// supply-chain trust boundary of the toolkit. Instead of throwing on the
+// first malformed construct, the loaders collect structured, line-numbered
+// records into a Diagnostics sink, so one pass over a bad file reports
+// every problem, and the CLI can render them uniformly and exit 2.
+//
+// Policy knob: under kLenient, recoverable oddities (a zero cycle time, a
+// stray signal line) are recorded as warnings and parsing proceeds with a
+// documented substitute; under kStrict every warning is escalated to an
+// error. Strict therefore fails on a superset of the inputs lenient fails
+// on — a property the fuzz harness checks.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace symcan {
+
+enum class Severity : std::uint8_t {
+  kWarning,  ///< Recoverable; parsing continued with a documented substitute.
+  kError,    ///< The input (or this record of it) is unusable.
+};
+
+const char* to_string(Severity s);
+
+/// One diagnostic record. `line` is 1-based; 0 means "whole input".
+/// `column` is 1-based; 0 means "unknown".
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string source;  ///< Input label, e.g. "DBC", "K-Matrix CSV".
+  std::size_t line = 0;
+  std::size_t column = 0;
+  std::string message;
+};
+
+/// "DBC line 12: error: malformed message id 'zz'".
+std::string to_string(const Diagnostic& d);
+
+enum class DiagnosticPolicy : std::uint8_t {
+  kLenient,  ///< Warnings stay warnings; parse continues where possible.
+  kStrict,   ///< Warnings are escalated to errors.
+};
+
+/// Collector the ingest layer reports through.
+///
+/// Bounded: after kMaxRecorded records further entries only bump the
+/// counters, so a hostile input with a million bad lines cannot balloon
+/// memory. `exhausted()` tells a parser it can stop early.
+class Diagnostics {
+ public:
+  static constexpr std::size_t kMaxRecorded = 64;
+
+  explicit Diagnostics(DiagnosticPolicy policy = DiagnosticPolicy::kLenient,
+                       std::string source = "input")
+      : policy_{policy}, source_{std::move(source)} {}
+
+  DiagnosticPolicy policy() const { return policy_; }
+  const std::string& source() const { return source_; }
+  void set_source(std::string source) { source_ = std::move(source); }
+
+  void error(std::size_t line, std::string message) {
+    record(Severity::kError, line, 0, std::move(message));
+  }
+  void error_at(std::size_t line, std::size_t column, std::string message) {
+    record(Severity::kError, line, column, std::move(message));
+  }
+  /// Escalated to an error under DiagnosticPolicy::kStrict.
+  void warning(std::size_t line, std::string message) {
+    record(policy_ == DiagnosticPolicy::kStrict ? Severity::kError : Severity::kWarning, line, 0,
+           std::move(message));
+  }
+
+  bool ok() const { return error_count_ == 0; }
+  std::size_t error_count() const { return error_count_; }
+  std::size_t warning_count() const { return warning_count_; }
+  /// True once the bounded store is full; parsers may bail out early.
+  bool exhausted() const { return error_count_ + warning_count_ >= kMaxRecorded; }
+
+  const std::vector<Diagnostic>& entries() const { return entries_; }
+
+  /// All recorded entries, one per line, plus a trailing "... and N more"
+  /// marker when the bounded store overflowed.
+  std::string format() const;
+
+  /// Throws ParseError carrying *this when any error was recorded.
+  void throw_if_failed() const;
+
+ private:
+  void record(Severity severity, std::size_t line, std::size_t column, std::string message);
+
+  DiagnosticPolicy policy_;
+  std::string source_;
+  std::vector<Diagnostic> entries_;
+  std::size_t error_count_ = 0;
+  std::size_t warning_count_ = 0;
+};
+
+/// Exception form of a failed parse, for the throwing convenience
+/// wrappers (load_dbc, load_kmatrix, ...). what() is the formatted
+/// diagnostic list, so legacy catch sites keep printing useful,
+/// line-numbered text; new code can inspect diagnostics() directly.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(Diagnostics diagnostics);
+
+  const Diagnostics& diagnostics() const { return diagnostics_; }
+
+ private:
+  Diagnostics diagnostics_;
+};
+
+}  // namespace symcan

@@ -132,5 +132,30 @@ TEST_P(ErrorMonotonicity, OverheadMonotoneInRetxFrame) {
 
 INSTANTIATE_TEST_SUITE_P(AllModels, ErrorMonotonicity, ::testing::Range(0, 5));
 
+TEST(ErrorModelSaturation, SporadicFaultCountSaturatesNearInfinity) {
+  // A hostile window (near Duration::infinite()) with a tiny inter-error
+  // interval must saturate the fault count, not wrap into the negatives.
+  SporadicErrors e{Duration::ns(1), std::numeric_limits<std::int64_t>::max() - 1};
+  const std::int64_t n = e.max_faults(Duration::infinite() - Duration::ns(1));
+  EXPECT_EQ(n, std::numeric_limits<std::int64_t>::max());
+  EXPECT_GE(e.max_faults(Duration::s(1)), 0);
+}
+
+TEST(ErrorModelSaturation, BurstFaultCountSaturatesNearInfinity) {
+  BurstErrors e{Duration::ns(1), std::numeric_limits<std::int64_t>::max() / 2};
+  const std::int64_t n = e.max_faults(Duration::infinite() - Duration::ns(1));
+  EXPECT_GT(n, 0);
+  EXPECT_EQ(n, std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(ErrorModelSaturation, OverheadRidesTheInfinityRail) {
+  SporadicErrors s{Duration::ns(1)};
+  EXPECT_EQ(s.overhead(Duration::infinite() - Duration::ns(1), Duration::us(270), timing),
+            Duration::infinite());
+  BurstErrors b{Duration::ns(1), 1'000'000};
+  const Duration oh = b.overhead(Duration::s(1'000'000), Duration::us(270), timing);
+  EXPECT_GE(oh, Duration::zero());
+}
+
 }  // namespace
 }  // namespace symcan

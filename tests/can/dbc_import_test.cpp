@@ -125,5 +125,106 @@ TEST(DbcImport, MessageWithoutSignalsReceivesItself) {
   EXPECT_EQ(km.find_message("Lonely")->receivers[0], "A");
 }
 
+TEST(DbcImport, RejectsStandardIdAboveElevenBits) {
+  // 2048 without bit 31 is not a valid standard id — it must NOT be
+  // silently reinterpreted as extended.
+  Diagnostics diags;
+  EXPECT_FALSE(kmatrix_from_dbc("BU_: A\nBO_ 2048 M: 8 A\n", {}, diags).has_value());
+  ASSERT_FALSE(diags.entries().empty());
+  EXPECT_NE(diags.entries()[0].message.find("11 bits"), std::string::npos);
+  EXPECT_EQ(diags.entries()[0].line, 2u);
+}
+
+TEST(DbcImport, RejectsExtendedIdAboveTwentyNineBits) {
+  // Bit 31 set, id bits 0x20000000 = 2^29: one past the extended range.
+  Diagnostics diags;
+  EXPECT_FALSE(kmatrix_from_dbc("BU_: A\nBO_ 2684354560 M: 8 A\n", {}, diags).has_value());
+  ASSERT_FALSE(diags.entries().empty());
+  EXPECT_NE(diags.entries()[0].message.find("29 bits"), std::string::npos);
+}
+
+TEST(DbcImport, MasksExtendedBitAtTheBoundary) {
+  // 0x80000000 = bit 31 + id 0: the smallest extended id.
+  const KMatrix km = kmatrix_from_dbc("BU_: A\nBO_ 2147483648 M: 8 A\n");
+  ASSERT_EQ(km.size(), 1u);
+  EXPECT_EQ(km.messages()[0].id, 0u);
+  EXPECT_EQ(km.messages()[0].format, FrameFormat::kExtended);
+}
+
+TEST(DbcImport, RejectsNegativeIdAndDlc) {
+  EXPECT_THROW(kmatrix_from_dbc("BU_: A\nBO_ -1 M: 8 A\n"), ParseError);
+  EXPECT_THROW(kmatrix_from_dbc("BU_: A\nBO_ 1 M: -2 A\n"), ParseError);
+  EXPECT_THROW(kmatrix_from_dbc("BU_: A\nBO_ 1 M: 9 A\n"), ParseError);
+  EXPECT_THROW(kmatrix_from_dbc("BU_: A\nBO_ 99999999999999999999 M: 8 A\n"), ParseError);
+}
+
+TEST(DbcImport, RejectsNonPositiveBitrate) {
+  EXPECT_THROW(kmatrix_from_dbc("BU_: A\nBO_ 1 M: 8 A\nBA_ \"Baudrate\" 0;\n"), ParseError);
+  EXPECT_THROW(kmatrix_from_dbc("BU_: A\nBO_ 1 M: 8 A\nBA_ \"Baudrate\" -500000;\n"), ParseError);
+  EXPECT_THROW(kmatrix_from_dbc("BU_: A\nBO_ 1 M: 8 A\nBA_ \"Baudrate\" 2000000000;\n"),
+               ParseError);
+}
+
+TEST(DbcImport, RejectsNegativeCycleAndDelayTime) {
+  EXPECT_THROW(
+      kmatrix_from_dbc("BU_: A\nBO_ 1 M: 8 A\nBA_ \"GenMsgCycleTime\" BO_ 1 -10;\n"), ParseError);
+  EXPECT_THROW(
+      kmatrix_from_dbc("BU_: A\nBO_ 1 M: 8 A\nBA_ \"GenMsgDelayTime\" BO_ 1 -1;\n"), ParseError);
+}
+
+TEST(DbcImport, ZeroCycleTimeWarnsLenientFailsStrict) {
+  // GenMsgCycleTime 0 conventionally means "not cyclic": lenient keeps
+  // the fallback period with a warning; strict refuses.
+  const std::string dbc = "BU_: A\nBO_ 1 M: 8 A\nBA_ \"GenMsgCycleTime\" BO_ 1 0;\n";
+  Diagnostics lenient{DiagnosticPolicy::kLenient};
+  const auto km = kmatrix_from_dbc(dbc, {}, lenient);
+  ASSERT_TRUE(km.has_value());
+  EXPECT_EQ(lenient.warning_count(), 1u);
+  EXPECT_EQ(km->messages()[0].period, DbcImportOptions{}.fallback_period);
+  Diagnostics strict{DiagnosticPolicy::kStrict};
+  EXPECT_FALSE(kmatrix_from_dbc(dbc, {}, strict).has_value());
+}
+
+TEST(DbcImport, CollectsEveryErrorInOnePass) {
+  const std::string dbc =
+      "BU_: A\n"
+      "BO_ zz M1: 8 A\n"
+      "BO_ 2048 M2: 8 A\n"
+      "BO_ 1 M3: 9 A\n"
+      "BA_ \"Baudrate\" -1;\n";
+  Diagnostics diags;
+  EXPECT_FALSE(kmatrix_from_dbc(dbc, {}, diags).has_value());
+  EXPECT_EQ(diags.error_count(), 4u) << diags.format();
+  EXPECT_EQ(diags.entries()[0].line, 2u);
+  EXPECT_EQ(diags.entries()[1].line, 3u);
+  EXPECT_EQ(diags.entries()[2].line, 4u);
+  EXPECT_EQ(diags.entries()[3].line, 5u);
+}
+
+TEST(DbcImport, MalformedMessageDoesNotAdoptFollowingSignals) {
+  // The SG_ under the broken BO_ must not attach to the previous good
+  // message; lenient records a warning for it.
+  const std::string dbc =
+      "BU_: A B\n"
+      "BO_ 1 Good: 8 A\n"
+      "BO_ zz Broken: 8 A\n"
+      " SG_ S : 0|8@1+ (1,0) [0|0] \"\" B\n";
+  Diagnostics diags;
+  EXPECT_FALSE(kmatrix_from_dbc(dbc, {}, diags).has_value());
+  bool warned_stray = false;
+  for (const auto& d : diags.entries())
+    warned_stray = warned_stray || d.message.find("outside any message") != std::string::npos;
+  EXPECT_TRUE(warned_stray) << diags.format();
+}
+
+TEST(DbcImport, HostileInputCannotBalloonDiagnostics) {
+  std::string dbc = "BU_: A\n";
+  for (int i = 0; i < 5000; ++i) dbc += "BO_ zz M: 8 A\n";
+  Diagnostics diags;
+  EXPECT_FALSE(kmatrix_from_dbc(dbc, {}, diags).has_value());
+  EXPECT_LE(diags.entries().size(), Diagnostics::kMaxRecorded);
+  EXPECT_TRUE(diags.exhausted());
+}
+
 }  // namespace
 }  // namespace symcan

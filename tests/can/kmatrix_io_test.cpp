@@ -137,11 +137,95 @@ TEST(KMatrixIo, CommentsAreIgnored) {
 }
 
 TEST(KMatrixIo, ValidationRunsOnImport) {
-  // msg sent by a node that is never declared.
+  // msg sent by a node that is never declared. Model-validation failures
+  // surface as line-numbered parse diagnostics, not leaked
+  // invalid_argument.
   const std::string csv =
       "bus,a,500000\nnode,A,fullCAN,1,0\n"
       "msg,m,256,standard,8,10000,0,0,period,-,GHOST,A,0\n";
-  EXPECT_THROW(kmatrix_from_csv(csv), std::invalid_argument);
+  EXPECT_THROW(kmatrix_from_csv(csv), ParseError);
+}
+
+TEST(KMatrixIo, EmptyFieldsAreDiagnosedNotDropped) {
+  // A doubled comma used to be swallowed by split(), silently shifting
+  // every following field by one. It must now surface as a field-count
+  // or bad-value diagnostic on the right line.
+  const std::string csv =
+      "bus,a,500000\nnode,A,fullCAN,1,0\nnode,B,fullCAN,1,0\n"
+      "msg,m,,standard,8,10000000,0,0,period,-,A,B,0,-\n";
+  Diagnostics diags;
+  EXPECT_FALSE(kmatrix_from_csv(csv, diags).has_value());
+  ASSERT_FALSE(diags.entries().empty());
+  EXPECT_EQ(diags.entries()[0].line, 4u);
+}
+
+TEST(KMatrixIo, StrayReceiverSeparatorIsDiagnosed) {
+  const std::string csv =
+      "bus,a,500000\nnode,A,fullCAN,1,0\nnode,B,fullCAN,1,0\n"
+      "msg,m,256,standard,8,10000000,0,0,period,-,A,B;;A,0,-\n";
+  Diagnostics diags;
+  EXPECT_FALSE(kmatrix_from_csv(csv, diags).has_value());
+  ASSERT_FALSE(diags.entries().empty());
+  EXPECT_NE(diags.entries()[0].message.find("empty receiver"), std::string::npos);
+  EXPECT_EQ(diags.entries()[0].line, 4u);
+}
+
+TEST(KMatrixIo, RangeViolationsAreDiagnosedPerField) {
+  const std::string csv =
+      "bus,a,500000\n"
+      "node,A,fullCAN,0,0\n"                                          // tx_buffers < 1
+      "msg,m1,4096,standard,8,10000000,0,0,period,-,A,A,0,-\n"        // id > 11 bits
+      "msg,m2,536870912,extended,8,10000000,0,0,period,-,A,A,0,-\n"   // id > 29 bits
+      "msg,m3,1,standard,9,10000000,0,0,period,-,A,A,0,-\n"           // payload > 8
+      "msg,m4,2,standard,8,0,0,0,period,-,A,A,0,-\n"                  // period <= 0
+      "msg,m5,3,standard,8,10000000,-1,0,period,-,A,A,0,-\n"          // jitter < 0
+      "msg,m6,4,standard,8,10000000,0,0,explicit,0,A,A,0,-\n"         // deadline <= 0
+      "msg,m7,5,standard,8,10000000,0,0,period,-,A,A,0,10000000\n";   // offset >= period
+  Diagnostics diags;
+  EXPECT_FALSE(kmatrix_from_csv(csv, diags).has_value());
+  // One pass reports them all — no fail-on-first-error.
+  EXPECT_EQ(diags.error_count(), 8u) << diags.format();
+  for (std::size_t i = 0; i < diags.entries().size(); ++i)
+    EXPECT_EQ(diags.entries()[i].line, i + 2) << diags.format();
+}
+
+TEST(KMatrixIo, OverflowLengthPeriodIsDiagnosedNotWrapped) {
+  const std::string csv =
+      "bus,a,500000\nnode,A,fullCAN,1,0\n"
+      "msg,m,1,standard,8,99999999999999999999,0,0,period,-,A,A,0,-\n";
+  Diagnostics diags;
+  EXPECT_FALSE(kmatrix_from_csv(csv, diags).has_value());
+  ASSERT_FALSE(diags.entries().empty());
+  EXPECT_NE(diags.entries()[0].message.find("period_ns"), std::string::npos);
+}
+
+TEST(KMatrixIo, LineNumbersCountPhysicalLines) {
+  // Blank and comment lines must still advance the reported line number.
+  const std::string csv =
+      "# header\n\nbus,a,500000\n# sep\nnode,A,fullCAN,1,0\n\nwat,x\n";
+  Diagnostics diags;
+  EXPECT_FALSE(kmatrix_from_csv(csv, diags).has_value());
+  ASSERT_EQ(diags.entries().size(), 1u);
+  EXPECT_EQ(diags.entries()[0].line, 7u);
+}
+
+TEST(KMatrixIo, NonBooleanFlagWarnsLenientFailsStrict) {
+  const std::string csv =
+      "bus,a,500000\nnode,A,fullCAN,1,2\n";  // gateway flag '2'
+  Diagnostics lenient{DiagnosticPolicy::kLenient};
+  EXPECT_TRUE(kmatrix_from_csv(csv, lenient).has_value());
+  EXPECT_EQ(lenient.warning_count(), 1u);
+  Diagnostics strict{DiagnosticPolicy::kStrict};
+  EXPECT_FALSE(kmatrix_from_csv(csv, strict).has_value());
+}
+
+TEST(KMatrixIo, LegacyThirteenFieldMsgStillParses) {
+  const std::string csv =
+      "bus,a,500000\nnode,A,fullCAN,1,0\n"
+      "msg,m,256,standard,8,10000000,0,0,period,-,A,A,0\n";
+  const KMatrix km = kmatrix_from_csv(csv);
+  ASSERT_EQ(km.size(), 1u);
+  EXPECT_FALSE(km.messages()[0].tt_offset.has_value());
 }
 
 }  // namespace

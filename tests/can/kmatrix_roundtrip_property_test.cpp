@@ -1,0 +1,158 @@
+// Property test: kmatrix_to_csv -> kmatrix_from_csv is the identity on
+// every valid matrix, including hostile names (commas, quotes, leading
+// and trailing spaces) and boundary ids/periods — or the matrix fails
+// validation with a clean error before it can be serialized at all.
+
+#include <gtest/gtest.h>
+
+#include "symcan/can/kmatrix_io.hpp"
+#include "symcan/util/rng.hpp"
+#include "symcan/workload/powertrain.hpp"
+
+namespace symcan {
+namespace {
+
+CanMessage base_message(const std::string& name, CanId id) {
+  CanMessage m;
+  m.name = name;
+  m.id = id;
+  m.payload_bytes = 8;
+  m.period = Duration::ms(10);
+  m.sender = "A";
+  m.receivers = {"B"};
+  return m;
+}
+
+KMatrix base_matrix() {
+  KMatrix km{"bus", BitTiming{500'000}};
+  EcuNode a;
+  a.name = "A";
+  EcuNode b;
+  b.name = "B";
+  km.add_node(a);
+  km.add_node(b);
+  return km;
+}
+
+void expect_bit_identical_roundtrip(const KMatrix& km) {
+  const std::string csv = kmatrix_to_csv(km);
+  Diagnostics diags;
+  const auto back = kmatrix_from_csv(csv, diags);
+  ASSERT_TRUE(back.has_value()) << diags.format() << "--- csv ---\n" << csv;
+  EXPECT_EQ(kmatrix_to_csv(*back), csv);
+}
+
+TEST(KMatrixRoundtripProperty, HostileNamesEitherRoundTripOrFailValidation) {
+  const std::vector<std::string> names = {
+      "plain",        "with,comma",     "with\"quote",  "with,both\",\"", " leading-space",
+      "trail-space ", "tab\tinside",    "semi;colon",   "new\nline",      "carriage\rreturn",
+      "",             "with  spaces",   "#hash-start",  "quoted\"\"pair", "-",
+  };
+  for (const auto& name : names) {
+    KMatrix km = base_matrix();
+    CanMessage m = base_message(name, 100);
+    bool valid = true;
+    try {
+      m.validate();
+    } catch (const std::invalid_argument&) {
+      valid = false;
+    }
+    if (!valid) continue;  // rejected cleanly before serialization: fine
+    km.add_message(m);
+    expect_bit_identical_roundtrip(km);
+  }
+}
+
+TEST(KMatrixRoundtripProperty, SeparatorAndLineBreakNamesAreRejected) {
+  for (const std::string& bad : {"semi;colon", "new\nline", "carriage\rreturn"}) {
+    CanMessage m = base_message(bad, 100);
+    EXPECT_THROW(m.validate(), std::invalid_argument) << bad;
+    CanMessage s = base_message("ok", 101);
+    s.sender = bad;
+    EXPECT_THROW(s.validate(), std::invalid_argument) << "sender " << bad;
+    CanMessage r = base_message("ok", 102);
+    r.receivers = {bad};
+    EXPECT_THROW(r.validate(), std::invalid_argument) << "receiver " << bad;
+    EcuNode n;
+    n.name = bad;
+    EXPECT_THROW(n.validate(), std::invalid_argument) << "node " << bad;
+  }
+}
+
+TEST(KMatrixRoundtripProperty, BoundaryIdsAndPeriodsRoundTrip) {
+  struct Case {
+    CanId id;
+    FrameFormat format;
+    Duration period;
+  };
+  const std::vector<Case> cases = {
+      {0, FrameFormat::kStandard, Duration::ns(1)},
+      {max_standard_id, FrameFormat::kStandard, Duration::ms(1)},
+      {0, FrameFormat::kExtended, Duration::s(3600)},
+      {max_extended_id, FrameFormat::kExtended, Duration::ns(1)},
+      {max_standard_id, FrameFormat::kExtended, Duration::infinite() - Duration::ns(1)},
+  };
+  for (const auto& c : cases) {
+    KMatrix km = base_matrix();
+    CanMessage m = base_message("M", c.id);
+    m.format = c.format;
+    m.period = c.period;
+    m.jitter = c.period - Duration::ns(1);
+    km.add_message(m);
+    expect_bit_identical_roundtrip(km);
+  }
+}
+
+TEST(KMatrixRoundtripProperty, ExplicitDeadlinesAndOffsetsRoundTrip) {
+  KMatrix km = base_matrix();
+  CanMessage m1 = base_message("Explicit", 10);
+  m1.deadline_policy = DeadlinePolicy::kExplicit;
+  m1.explicit_deadline = Duration::us(1234);
+  km.add_message(m1);
+  CanMessage m2 = base_message("Offset", 11);
+  m2.tt_offset = Duration::ms(3);
+  km.add_message(m2);
+  CanMessage m3 = base_message("MinReArrival", 12);
+  m3.deadline_policy = DeadlinePolicy::kMinReArrival;
+  m3.jitter = Duration::ms(2);
+  m3.jitter_known = true;
+  m3.min_distance = Duration::us(500);
+  km.add_message(m3);
+  expect_bit_identical_roundtrip(km);
+}
+
+TEST(KMatrixRoundtripProperty, GeneratedMatricesRoundTripAcrossSeeds) {
+  for (const std::uint64_t seed : {1u, 7u, 23u, 91u, 255u}) {
+    PowertrainConfig cfg;
+    cfg.seed = seed;
+    cfg.message_count = 20 + static_cast<int>(seed % 17);
+    cfg.ecu_count = 3 + static_cast<int>(seed % 5);
+    expect_bit_identical_roundtrip(generate_powertrain(cfg));
+  }
+}
+
+TEST(KMatrixRoundtripProperty, RandomHostileNamesAcrossSeeds) {
+  // Names drawn from a hostile alphabet: either validation rejects the
+  // message cleanly or the matrix round-trips bit-identically.
+  const std::string alphabet = "ab,\";\n\r \t#0-";
+  Rng rng{0xfeed};
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string name;
+    const std::size_t len = rng.index(8);
+    for (std::size_t i = 0; i < len; ++i) name.push_back(alphabet[rng.index(alphabet.size())]);
+    CanMessage m = base_message(name, static_cast<CanId>(100 + trial));
+    bool valid = true;
+    try {
+      m.validate();
+    } catch (const std::invalid_argument&) {
+      valid = false;
+    }
+    if (!valid) continue;
+    KMatrix km = base_matrix();
+    km.add_message(m);
+    expect_bit_identical_roundtrip(km);
+  }
+}
+
+}  // namespace
+}  // namespace symcan

@@ -309,5 +309,82 @@ TEST_F(CliTest, MetricsOutFailsCleanlyOnUnwritablePath) {
   EXPECT_NE(err_.str().find("cannot open"), std::string::npos);
 }
 
+/// Writes `text` to a temp file and returns its path; removed in TearDown
+/// by the caller via std::remove.
+std::string write_temp(const std::string& name, const std::string& text) {
+  const std::string p = ::testing::TempDir() + "/" + name;
+  std::ofstream f{p};
+  f << text;
+  return p;
+}
+
+TEST_F(CliTest, MalformedMatrixExitsTwoWithLineDiagnostics) {
+  const std::string bad = write_temp("symcan_cli_bad.csv",
+                                     "bus,a,500000\n"
+                                     "node,A,fullCAN,1,0\n"
+                                     "msg,m,4096,standard,9,0,0,0,period,-,A,A,0,-\n");
+  EXPECT_EQ(run({"analyze", bad}), 2);
+  const std::string e = err_.str();
+  EXPECT_NE(e.find("error(s)"), std::string::npos) << e;
+  EXPECT_NE(e.find(" line 3"), std::string::npos) << e;
+  EXPECT_NE(e.find("K-Matrix CSV"), std::string::npos) << e;
+  std::remove(bad.c_str());
+}
+
+TEST_F(CliTest, MalformedDbcExitsTwoWithLineDiagnostics) {
+  const std::string bad = write_temp("symcan_cli_bad.dbc",
+                                     "BU_: ENG\n"
+                                     "BO_ 4096 M1: 8 ENG\n");
+  EXPECT_EQ(run({"import", bad, "--dbc"}), 2);
+  const std::string e = err_.str();
+  EXPECT_NE(e.find("error(s)"), std::string::npos) << e;
+  EXPECT_NE(e.find("DBC line 2"), std::string::npos) << e;
+  std::remove(bad.c_str());
+}
+
+TEST_F(CliTest, MalformedInputReportsEveryErrorNotJustTheFirst) {
+  const std::string bad = write_temp("symcan_cli_multi.csv",
+                                     "bus,a,500000\n"
+                                     "node,A,fullCAN,0,0\n"
+                                     "msg,m,4096,standard,8,10000000,0,0,period,-,A,A,0,-\n"
+                                     "msg,n,1,standard,9,10000000,0,0,period,-,A,A,0,-\n");
+  EXPECT_EQ(run({"analyze", bad}), 2);
+  const std::string e = err_.str();
+  EXPECT_NE(e.find("3 error(s)"), std::string::npos) << e;
+  EXPECT_NE(e.find(" line 2"), std::string::npos) << e;
+  EXPECT_NE(e.find(" line 3"), std::string::npos) << e;
+  EXPECT_NE(e.find(" line 4"), std::string::npos) << e;
+  std::remove(bad.c_str());
+}
+
+TEST_F(CliTest, StrictFlagEscalatesWarningsToExitTwo) {
+  // Gateway flag '2' is a lenient warning (treated as 0) but a strict error.
+  const std::string warn = write_temp("symcan_cli_warn.csv",
+                                      "bus,a,500000\n"
+                                      "node,A,fullCAN,1,2\n");
+  EXPECT_EQ(run({"analyze", warn}), 0) << err_.str();
+  EXPECT_EQ(run({"analyze", warn, "--strict"}), 2);
+  EXPECT_NE(err_.str().find("error(s)"), std::string::npos) << err_.str();
+  std::remove(warn.c_str());
+}
+
+TEST_F(CliTest, StrictFlagAppliesToDbcImport) {
+  const std::string warn = write_temp("symcan_cli_warn.dbc",
+                                      "BU_: ENG GW\n"
+                                      "BO_ 256 M1: 8 ENG\n"
+                                      "BA_ \"GenMsgCycleTime\" BO_ 256 0;\n");
+  EXPECT_EQ(run({"import", warn, "--dbc"}), 0) << err_.str();
+  EXPECT_EQ(run({"import", warn, "--dbc", "--strict"}), 2);
+  std::remove(warn.c_str());
+}
+
+TEST_F(CliTest, MissingFileFailsWithoutLineDiagnostics) {
+  // A missing file is an environment error, not a parse error: no
+  // line-numbered diagnostics block.
+  EXPECT_EQ(run({"analyze", "/no/such/symcan_file.csv"}), 2);
+  EXPECT_NE(err_.str().find("cannot open"), std::string::npos) << err_.str();
+  EXPECT_EQ(err_.str().find("error(s)"), std::string::npos) << err_.str();
+}
+
 }  // namespace
 }  // namespace symcan::cli

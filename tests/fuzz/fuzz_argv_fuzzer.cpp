@@ -1,0 +1,16 @@
+// libFuzzer target for CLI argument parsing and dispatch (build with
+// -DSYMCAN_FUZZ=ON). The entry point neutralises path-like and
+// output-file tokens, so the fuzzer explores parsing, not the
+// filesystem. Findings replay via tests/fuzz/corpus/argv/.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "fuzz_entries.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  symcan::fuzz::check_cli_argv_input(
+      std::string_view{reinterpret_cast<const char*>(data), size});
+  return 0;
+}

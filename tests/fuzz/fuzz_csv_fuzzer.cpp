@@ -1,0 +1,16 @@
+// libFuzzer target for the K-Matrix CSV loader (build with
+// -DSYMCAN_FUZZ=ON). Shares its entry point with the deterministic
+// corpus test; findings replay by adding the input to
+// tests/fuzz/corpus/csv/.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "fuzz_entries.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  symcan::fuzz::check_kmatrix_csv_input(
+      std::string_view{reinterpret_cast<const char*>(data), size});
+  return 0;
+}

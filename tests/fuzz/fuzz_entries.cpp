@@ -1,0 +1,143 @@
+#include "fuzz_entries.hpp"
+
+#include <cctype>
+#include <optional>
+#include <sstream>
+
+#include "symcan/analysis/can_rta.hpp"
+#include "symcan/can/dbc_import.hpp"
+#include "symcan/can/kmatrix_io.hpp"
+#include "symcan/cli/commands.hpp"
+#include "symcan/util/diagnostics.hpp"
+
+namespace symcan::fuzz {
+
+namespace {
+
+void require(bool ok, const std::string& what) {
+  if (!ok) throw FuzzPropertyViolation{what};
+}
+
+/// Parsed matrix must come back iff no error was recorded — the two
+/// failure signals may never disagree.
+void require_consistent(const std::optional<KMatrix>& km, const Diagnostics& diags) {
+  require(km.has_value() == diags.ok(),
+          "loader returned " + std::string(km ? "a matrix" : "nullopt") + " but recorded " +
+              std::to_string(diags.error_count()) + " error(s)");
+}
+
+/// Strict escalates warnings, so it must fail on a superset of the
+/// inputs lenient fails on.
+void require_strict_superset(bool lenient_ok, bool strict_ok) {
+  require(!(strict_ok && !lenient_ok), "strict accepted an input lenient rejected");
+}
+
+/// An accepted matrix must survive export -> import bit-identically.
+void require_roundtrip(const KMatrix& km) {
+  const std::string csv = kmatrix_to_csv(km);
+  Diagnostics diags{DiagnosticPolicy::kLenient};
+  const auto back = kmatrix_from_csv(csv, diags);
+  require(back.has_value(), "exported matrix failed to re-import:\n" + diags.format());
+  require(kmatrix_to_csv(*back) == csv, "CSV round trip is not bit-identical");
+}
+
+/// Bounded RTA over an accepted matrix: with saturating time arithmetic
+/// the fixed point either converges or hits the horizon — never wraps,
+/// never throws. Skipped for matrices where the iteration count itself
+/// would be unbounded for the harness (sub-100us periods, huge fleets).
+void require_bounded_rta(const KMatrix& km) {
+  if (km.size() > 64) return;
+  for (const auto& m : km.messages())
+    if (m.period < Duration::us(100)) return;
+  CanRtaConfig cfg;
+  cfg.horizon = Duration::ms(10);
+  const BusResult res = CanRta{km, cfg}.analyze();
+  for (const auto& m : res.messages) {
+    require(m.wcrt >= Duration::zero(), "negative wcrt for " + m.name + " (arithmetic wrap)");
+    require(m.busy_period >= Duration::zero(), "negative busy period for " + m.name);
+  }
+}
+
+}  // namespace
+
+void check_dbc_input(std::string_view data) {
+  if (data.size() > kMaxInputBytes) return;
+  const std::string text{data};
+  Diagnostics lenient{DiagnosticPolicy::kLenient};
+  const auto km = kmatrix_from_dbc(text, {}, lenient);
+  require_consistent(km, lenient);
+  Diagnostics strict{DiagnosticPolicy::kStrict};
+  const auto km_strict = kmatrix_from_dbc(text, {}, strict);
+  require_consistent(km_strict, strict);
+  require_strict_superset(km.has_value(), km_strict.has_value());
+  if (km) {
+    require_roundtrip(*km);
+    require_bounded_rta(*km);
+  }
+}
+
+void check_kmatrix_csv_input(std::string_view data) {
+  if (data.size() > kMaxInputBytes) return;
+  const std::string text{data};
+  Diagnostics lenient{DiagnosticPolicy::kLenient};
+  const auto km = kmatrix_from_csv(text, lenient);
+  require_consistent(km, lenient);
+  Diagnostics strict{DiagnosticPolicy::kStrict};
+  const auto km_strict = kmatrix_from_csv(text, strict);
+  require_consistent(km_strict, strict);
+  require_strict_superset(km.has_value(), km_strict.has_value());
+  if (km) {
+    require_roundtrip(*km);
+    require_bounded_rta(*km);
+  }
+}
+
+std::vector<std::string> sanitize_argv(std::string_view data) {
+  std::vector<std::string> argv;
+  std::string cur;
+  const auto flush = [&] {
+    if (cur.empty()) return;
+    // Neutralise tokens that would read arbitrary filesystem paths (a
+    // token "/dev/zero" must not hang the harness) and clamp numeric
+    // tokens so --millis/--messages cannot turn one input into a
+    // minutes-long run. Output-file options are dropped entirely.
+    if (cur.front() == '/' || cur.find("..") != std::string::npos) cur = "no-such-file";
+    bool numeric = true;
+    for (std::size_t i = cur.front() == '-' ? 1 : 0; i < cur.size(); ++i)
+      if (!std::isdigit(static_cast<unsigned char>(cur[i]))) numeric = false;
+    if (numeric && cur.size() > 3) cur.resize(3);
+    argv.push_back(std::move(cur));
+    cur.clear();
+  };
+  for (const char c : data) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+      flush();
+    else
+      cur.push_back(c);
+  }
+  flush();
+  static const char* kWriters[] = {"--out",        "--trace-out",   "--metrics-out",
+                                   "--stats-json", "--trace-jsonl", "--trace-chrome"};
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < argv.size() && out.size() < 16; ++i) {
+    bool writer = false;
+    for (const char* w : kWriters) writer = writer || argv[i] == w;
+    if (writer) {
+      ++i;  // skip the option and its value
+      continue;
+    }
+    out.push_back(argv[i]);
+  }
+  return out;
+}
+
+void check_cli_argv_input(std::string_view data) {
+  if (data.size() > kMaxInputBytes) return;
+  const auto argv = sanitize_argv(data);
+  std::ostringstream out;
+  std::ostringstream err;
+  const int rc = cli::run_cli(argv, out, err);  // nothing may escape
+  require(rc == 0 || rc == 1 || rc == 2, "run_cli returned exit code " + std::to_string(rc));
+}
+
+}  // namespace symcan::fuzz

@@ -1,0 +1,55 @@
+#pragma once
+
+// Shared fuzzing entry points for the ingest layer.
+//
+// Each check_* function feeds one untrusted input through the
+// diagnostics-collecting loaders and asserts the ingest contract:
+//
+//  * no exception escapes the non-throwing parsers,
+//  * a parser returns a matrix if and only if it recorded no error,
+//  * strict policy fails on a superset of the inputs lenient fails on,
+//  * an accepted matrix survives a bit-identical CSV round trip,
+//  * a bounded RTA over an accepted matrix terminates without wrap
+//    (hostile parameters saturate to Duration::infinite() instead).
+//
+// Violations throw FuzzPropertyViolation. The same functions back two
+// harnesses: the deterministic corpus test (fuzz_corpus_test.cpp, part of
+// the regular suite) and the coverage-guided libFuzzer binaries built
+// under -DSYMCAN_FUZZ=ON — so a libFuzzer finding can be replayed as a
+// plain unit test by pasting the input into the corpus.
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace symcan::fuzz {
+
+/// A fuzzed input violated an ingest-contract property (not merely "the
+/// input was malformed" — malformed inputs must be *diagnosed*, which is
+/// a pass).
+class FuzzPropertyViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Inputs larger than this are ignored (mirrors the libFuzzer -max_len).
+constexpr std::size_t kMaxInputBytes = 1 << 16;
+
+/// Feed one DBC document through kmatrix_from_dbc under both policies.
+void check_dbc_input(std::string_view data);
+
+/// Feed one K-Matrix CSV document through kmatrix_from_csv under both
+/// policies.
+void check_kmatrix_csv_input(std::string_view data);
+
+/// Run one whitespace-separated argv through run_cli. Tokens naming
+/// absolute paths or output-file options are neutralised first, so the
+/// harness exercises parsing and dispatch without touching the
+/// filesystem; the exit code must be 0, 1 or 2 and nothing may escape.
+void check_cli_argv_input(std::string_view data);
+
+/// The argv sanitisation used by check_cli_argv_input, exposed for tests.
+std::vector<std::string> sanitize_argv(std::string_view data);
+
+}  // namespace symcan::fuzz

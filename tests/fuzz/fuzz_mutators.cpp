@@ -1,0 +1,228 @@
+#include "fuzz_mutators.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "symcan/util/rng.hpp"
+
+namespace symcan::fuzz {
+
+namespace {
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (const char c : text) {
+    if (c == '\n') {
+      lines.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) lines.push_back(std::move(cur));
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const auto& l : lines) {
+    out += l;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+const std::string& pick(const std::vector<std::string>& pool, Rng& rng) {
+  return pool[rng.index(pool.size())];
+}
+
+/// Replace one randomly chosen digit run in `s` with a boundary number.
+void swap_number(std::string& s, Rng& rng) {
+  std::vector<std::pair<std::size_t, std::size_t>> runs;  // (start, len)
+  for (std::size_t i = 0; i < s.size();) {
+    if (std::isdigit(static_cast<unsigned char>(s[i]))) {
+      std::size_t j = i;
+      while (j < s.size() && std::isdigit(static_cast<unsigned char>(s[j]))) ++j;
+      const std::size_t start = (i > 0 && s[i - 1] == '-') ? i - 1 : i;
+      runs.emplace_back(start, j - start);
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  if (runs.empty()) return;
+  const auto [start, len] = runs[rng.index(runs.size())];
+  s = s.substr(0, start) + pick(boundary_numbers(), rng) + s.substr(start + len);
+}
+
+/// Line-level mutations shared by the DBC and CSV mutators; `garbage`
+/// supplies format-specific hostile inserts.
+std::string mutate_lines(const std::string& seed_text, std::uint64_t seed,
+                         const std::vector<std::string>& garbage) {
+  Rng rng{seed};
+  auto lines = split_lines(seed_text);
+  const int ops = static_cast<int>(rng.uniform_int(1, 4));
+  for (int op = 0; op < ops; ++op) {
+    if (lines.empty()) {
+      lines.push_back(pick(garbage, rng));
+      continue;
+    }
+    switch (rng.uniform_int(0, 6)) {
+      case 0:  // delete a line
+        lines.erase(lines.begin() + static_cast<std::ptrdiff_t>(rng.index(lines.size())));
+        break;
+      case 1:  // duplicate a line (duplicate ids, doubled records)
+        lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(rng.index(lines.size())),
+                     lines[rng.index(lines.size())]);
+        break;
+      case 2:  // reorder
+        std::swap(lines[rng.index(lines.size())], lines[rng.index(lines.size())]);
+        break;
+      case 3:  // boundary number
+        swap_number(lines[rng.index(lines.size())], rng);
+        break;
+      case 4:  // hostile insert
+        lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(rng.index(lines.size())),
+                     pick(garbage, rng));
+        break;
+      case 5: {  // truncate a line mid-token
+        std::string& l = lines[rng.index(lines.size())];
+        if (!l.empty()) l.resize(rng.index(l.size()));
+        break;
+      }
+      case 6: {  // splice two lines
+        const std::string& src = lines[rng.index(lines.size())];
+        std::string& dst = lines[rng.index(lines.size())];
+        if (!src.empty()) dst += src.substr(rng.index(src.size()));
+        break;
+      }
+    }
+  }
+  return join_lines(lines);
+}
+
+}  // namespace
+
+const std::vector<std::string>& boundary_numbers() {
+  static const std::vector<std::string> kPool = {
+      "0",
+      "1",
+      "-1",
+      "8",
+      "9",
+      "-9",
+      "2047",                  // max standard id
+      "2048",                  // first invalid standard id
+      "536870911",             // max extended id (2^29-1)
+      "536870912",             // 2^29
+      "2147483647",            // 2^31-1 (largest raw id without bit 31)
+      "2147483648",            // bit 31 set, extended id 0
+      "2684354559",            // bit 31 set, extended id at the 29-bit edge
+      "4294967295",            // 2^32-1
+      "4294967296",            // 2^32
+      "9223372036854775807",   // int64 max
+      "-9223372036854775808",  // int64 min
+      "99999999999999999999",  // overflows int64 in parsing
+  };
+  return kPool;
+}
+
+std::string mutate_dbc(const std::string& seed_text, std::uint64_t seed) {
+  static const std::vector<std::string> kGarbage = {
+      "BO_",
+      "BO_ zz Name: 8 ECU",
+      "BO_ 100 : 8 ECU",
+      "BO_ 100 NoSender: 8",
+      "BO_ 2147483649 Ext: 9 ECU",
+      " SG_ Sig : 0|8@1+ (1,0) [0|0] \"\" ECU1,ECU2",
+      "SG_ Orphan : 0|8@1+ (1,0) [0|0] \"\" ,,,",
+      "BA_ \"GenMsgCycleTime\" BO_ 100 0;",
+      "BA_ \"GenMsgCycleTime\" BO_ 999 -5;",
+      "BA_ \"GenMsgDelayTime\" BO_ 100 -1;",
+      "BA_ \"Baudrate\" 0;",
+      "BA_ \"Baudrate\" -500000;",
+      "BA_DEF_DEF_ \"GenMsgCycleTime\" zz;",
+      "BU_: A B C A",
+      "\"unterminated",
+  };
+  return mutate_lines(seed_text, seed, kGarbage);
+}
+
+std::string mutate_csv(const std::string& seed_text, std::uint64_t seed) {
+  static const std::vector<std::string> kGarbage = {
+      "msg",
+      "msg,,,,,,,,,,,,",
+      "msg,M,1,standard,8",
+      "bus,second,500000",
+      "bus,,0",
+      "node,N,neitherCAN,1,0",
+      "node,N,fullCAN,0,2",
+      "msg,M,4096,standard,8,10000000,0,0,period,-,A,B,1",
+      "msg,M,1,extended,9,10000000,0,0,period,-,A,B;;C,1",
+      "msg,M,1,standard,8,0,0,0,period,-,A,B,1",
+      "msg,M,1,standard,8,10000000,-1,0,period,-,A,B,1",
+      "msg,\"un,closed,2,standard,8,10000000,0,0,period,-,A,B,1",
+      "wat,1,2,3",
+      ",,,",
+  };
+  // Field-level hostility on top of the shared line mutations: double a
+  // comma or semicolon somewhere so fields shift or empty out.
+  Rng rng{seed * 2654435761u + 1};
+  std::string text = mutate_lines(seed_text, seed, kGarbage);
+  if (!text.empty() && rng.chance(0.5)) {
+    const std::size_t at = rng.index(text.size());
+    if (text[at] == ',' || text[at] == ';')
+      text.insert(at, 1, text[at]);
+    else if (rng.chance(0.5))
+      text.insert(at, 1, ',');
+  }
+  return text;
+}
+
+std::string mutate_argv(const std::string& seed_text, std::uint64_t seed) {
+  static const std::vector<std::string> kPool = {
+      "generate",      "analyze",     "sweep",        "import",      "report",
+      "budget",        "sensitivity", "optimize",     "simulate",    "explain",
+      "validate",      "extend",      "version",      "help",        "frobnicate",
+      "--worst-case",  "--best-case", "--strict",     "--dbc",       "--json",
+      "--stats",       "--jitter",    "--seed",       "--messages",  "--ecus",
+      "--util",        "--bitrate",   "--jobs",       "--rta-cache", "on",
+      "off",           "--millis",    "--errors",     "sporadic",    "burst",
+      "--from",        "--to",        "--step",       "--",          "---",
+      "--no-such-opt", "0.5",         "-0.5",         "nan",         "no-such-file",
+      "no-such.dbc",   "0",           "1",            "999",         "-1",
+  };
+  Rng rng{seed};
+  std::istringstream in{seed_text};
+  std::vector<std::string> tokens;
+  std::string t;
+  while (in >> t) tokens.push_back(t);
+  const int ops = static_cast<int>(rng.uniform_int(1, 3));
+  for (int op = 0; op < ops; ++op) {
+    switch (rng.uniform_int(0, 3)) {
+      case 0:  // insert a vocabulary token
+        tokens.insert(tokens.begin() + static_cast<std::ptrdiff_t>(rng.index(tokens.size() + 1)),
+                      pick(kPool, rng));
+        break;
+      case 1:  // delete a token
+        if (!tokens.empty())
+          tokens.erase(tokens.begin() + static_cast<std::ptrdiff_t>(rng.index(tokens.size())));
+        break;
+      case 2:  // replace a token
+        if (!tokens.empty()) tokens[rng.index(tokens.size())] = pick(kPool, rng);
+        break;
+      case 3:  // boundary number in place of a value
+        if (!tokens.empty()) tokens[rng.index(tokens.size())] = pick(boundary_numbers(), rng);
+        break;
+    }
+  }
+  std::string out;
+  for (const auto& tok : tokens) {
+    if (!out.empty()) out.push_back(' ');
+    out += tok;
+  }
+  return out;
+}
+
+}  // namespace symcan::fuzz

@@ -1,0 +1,37 @@
+#pragma once
+
+// Deterministic structure-aware mutators for the fuzz harnesses.
+//
+// Each mutator derives a hostile variant of a well-formed seed input
+// using a seeded Rng, so every generated case replays bit-identically
+// from (corpus file, seed) — the corpus test sweeps a fixed seed range
+// and any failure reproduces with no stored artifacts.
+//
+// "Structure-aware" means the mutations target the places the ingest
+// layer must defend: numeric tokens are swapped for boundary values
+// (bit-31 ids, 2^63-1 periods, negatives, overflow-length digit runs),
+// separators are doubled or dropped to shift fields, records are
+// duplicated, truncated and spliced — rather than flipping raw bytes.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace symcan::fuzz {
+
+/// Boundary numbers every mutator draws from (ids around the 11/29/31/32
+/// bit edges, int64 extremes, overflow-length digit strings).
+const std::vector<std::string>& boundary_numbers();
+
+/// Mutate a DBC document (line/token oriented).
+std::string mutate_dbc(const std::string& seed_text, std::uint64_t seed);
+
+/// Mutate a K-Matrix CSV document (field oriented: doubled commas and
+/// semicolons, dropped fields, boundary numbers, quote injection).
+std::string mutate_csv(const std::string& seed_text, std::uint64_t seed);
+
+/// Mutate a CLI argv line (token oriented, drawing from the real option
+/// vocabulary so dispatch code is reached, not just the tokenizer).
+std::string mutate_argv(const std::string& seed_text, std::uint64_t seed);
+
+}  // namespace symcan::fuzz

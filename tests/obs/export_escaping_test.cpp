@@ -99,12 +99,17 @@ TEST(JsonEscape, SimTraceExportersSurviveHostileMessageNames) {
   EXPECT_EQ(lines, 3);
   EXPECT_NE(jsonl.find("a\\\"b\\\\c"), std::string::npos);
 
+  // Names with ';' or line breaks can no longer enter a KMatrix at all
+  // (validate() rejects them to keep the CSV round-trip invertible), so
+  // the matrix path gets the worst name that can legally exist there:
+  // quotes, backslashes, tabs and control bytes still flow to JSON.
+  const std::string hostile_in_matrix = "a\"b\\c\td\x01e, \"}], ";
   KMatrix km{"bus", BitTiming{500'000}};
   EcuNode node;
   node.name = "ecu\"with\\quotes";
   km.add_node(node);
   CanMessage m;
-  m.name = kHostile;
+  m.name = hostile_in_matrix;
   m.id = 0x10;
   m.payload_bytes = 8;
   m.period = Duration::ms(10);

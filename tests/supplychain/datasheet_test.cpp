@@ -177,5 +177,74 @@ TEST(CheckDuality, GuaranteesSubstitutedBeforeArrivalCheck) {
   EXPECT_TRUE(rep.ok());
 }
 
+EcuDatasheet sample_sheet() {
+  EcuDatasheet ds;
+  ds.ecu = "ENG";
+  ds.send_guarantees.push_back({"rpm", Duration::us(150)});
+  ds.send_guarantees.push_back({"torque", Duration::zero()});
+  ds.arrival_requirements.push_back({"brake", "ENG", Duration::ms(5), Duration::ms(1)});
+  ds.arrival_requirements.push_back(
+      {"diag", "ENG", Duration::infinite(), Duration::infinite()});
+  return ds;
+}
+
+TEST(DatasheetCsv, RoundTripsBitIdentically) {
+  const EcuDatasheet ds = sample_sheet();
+  const std::string csv = datasheet_to_csv(ds);
+  Diagnostics diags;
+  const auto back = datasheet_from_csv(csv, diags);
+  ASSERT_TRUE(back.has_value()) << diags.format();
+  EXPECT_EQ(back->ecu, ds.ecu);
+  ASSERT_EQ(back->send_guarantees.size(), 2u);
+  EXPECT_EQ(back->send_guarantees[0].message, "rpm");
+  EXPECT_EQ(back->send_guarantees[0].jitter, Duration::us(150));
+  ASSERT_EQ(back->arrival_requirements.size(), 2u);
+  EXPECT_EQ(back->arrival_requirements[0].max_latency, Duration::ms(5));
+  EXPECT_TRUE(back->arrival_requirements[1].max_latency.is_infinite());
+  EXPECT_EQ(datasheet_to_csv(*back), csv);
+}
+
+TEST(DatasheetCsv, MissingEcuRecordIsAnError) {
+  Diagnostics diags;
+  EXPECT_FALSE(datasheet_from_csv("send,rpm,1000\n", diags).has_value());
+  EXPECT_FALSE(diags.ok());
+}
+
+TEST(DatasheetCsv, MalformedRecordsAreLineNumbered) {
+  const std::string csv =
+      "ecu,ENG\n"
+      "send,rpm,-5\n"
+      "need,brake,ENG,zz,inf\n"
+      "wat,x\n";
+  Diagnostics diags;
+  EXPECT_FALSE(datasheet_from_csv(csv, diags).has_value());
+  EXPECT_GE(diags.error_count(), 3u) << diags.format();
+  EXPECT_EQ(diags.entries()[0].line, 2u);
+  EXPECT_EQ(diags.entries()[1].line, 3u);
+  EXPECT_EQ(diags.entries()[2].line, 4u);
+}
+
+TEST(DatasheetCsv, ZeroLatencyWarnsLenientFailsStrict) {
+  const std::string csv = "ecu,ENG\nneed,brake,ENG,0,inf\n";
+  Diagnostics lenient{DiagnosticPolicy::kLenient};
+  EXPECT_TRUE(datasheet_from_csv(csv, lenient).has_value());
+  EXPECT_EQ(lenient.warning_count(), 1u) << lenient.format();
+  Diagnostics strict{DiagnosticPolicy::kStrict};
+  EXPECT_FALSE(datasheet_from_csv(csv, strict).has_value());
+}
+
+TEST(DatasheetCsv, ThrowingWrapperRaisesParseError) {
+  EXPECT_THROW(datasheet_from_csv("send,rpm,1000\n"), ParseError);
+  EXPECT_NO_THROW(datasheet_from_csv(datasheet_to_csv(sample_sheet())));
+}
+
+TEST(DatasheetCsv, OverflowJitterIsDiagnosedNotWrapped) {
+  Diagnostics diags;
+  EXPECT_FALSE(
+      datasheet_from_csv("ecu,ENG\nsend,rpm,99999999999999999999\n", diags).has_value());
+  ASSERT_FALSE(diags.entries().empty());
+  EXPECT_EQ(diags.entries()[0].line, 2u);
+}
+
 }  // namespace
 }  // namespace symcan

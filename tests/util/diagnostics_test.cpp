@@ -1,0 +1,104 @@
+#include "symcan/util/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace symcan {
+namespace {
+
+TEST(Diagnostics, StartsClean) {
+  Diagnostics d;
+  EXPECT_TRUE(d.ok());
+  EXPECT_EQ(d.error_count(), 0u);
+  EXPECT_EQ(d.warning_count(), 0u);
+  EXPECT_FALSE(d.exhausted());
+  EXPECT_TRUE(d.entries().empty());
+  EXPECT_NO_THROW(d.throw_if_failed());
+}
+
+TEST(Diagnostics, RecordsLineNumberedEntries) {
+  Diagnostics d{DiagnosticPolicy::kLenient, "DBC"};
+  d.error(12, "malformed message id 'zz'");
+  d.warning(30, "cycle time of 0 ms treated as unset");
+  ASSERT_EQ(d.entries().size(), 2u);
+  EXPECT_EQ(to_string(d.entries()[0]), "DBC line 12: error: malformed message id 'zz'");
+  EXPECT_EQ(to_string(d.entries()[1]), "DBC line 30: warning: cycle time of 0 ms treated as unset");
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(d.error_count(), 1u);
+  EXPECT_EQ(d.warning_count(), 1u);
+}
+
+TEST(Diagnostics, LineZeroMeansWholeInput) {
+  Diagnostics d{DiagnosticPolicy::kLenient, "K-Matrix CSV"};
+  d.error(0, "missing bus record");
+  EXPECT_EQ(to_string(d.entries()[0]), "K-Matrix CSV: error: missing bus record");
+}
+
+TEST(Diagnostics, ColumnRendersWhenPresent) {
+  Diagnostics d{DiagnosticPolicy::kLenient, "CSV"};
+  d.error_at(3, 14, "unexpected quote");
+  EXPECT_EQ(to_string(d.entries()[0]), "CSV line 3, column 14: error: unexpected quote");
+}
+
+TEST(Diagnostics, StrictEscalatesWarningsToErrors) {
+  Diagnostics lenient{DiagnosticPolicy::kLenient};
+  lenient.warning(1, "odd but recoverable");
+  EXPECT_TRUE(lenient.ok());
+  EXPECT_EQ(lenient.warning_count(), 1u);
+
+  Diagnostics strict{DiagnosticPolicy::kStrict};
+  strict.warning(1, "odd but recoverable");
+  EXPECT_FALSE(strict.ok());
+  EXPECT_EQ(strict.error_count(), 1u);
+  EXPECT_EQ(strict.warning_count(), 0u);
+  EXPECT_EQ(strict.entries()[0].severity, Severity::kError);
+}
+
+TEST(Diagnostics, BoundedStoreKeepsTrueCounters) {
+  Diagnostics d;
+  for (std::size_t i = 0; i < 1000; ++i) d.error(i + 1, "bad record");
+  EXPECT_EQ(d.entries().size(), Diagnostics::kMaxRecorded);
+  EXPECT_EQ(d.error_count(), 1000u);
+  EXPECT_TRUE(d.exhausted());
+  const std::string formatted = d.format();
+  EXPECT_NE(formatted.find("... and 936 more not shown"), std::string::npos) << formatted;
+}
+
+TEST(Diagnostics, ExhaustedTripsAtTheBound) {
+  Diagnostics d;
+  for (std::size_t i = 0; i + 1 < Diagnostics::kMaxRecorded; ++i) d.warning(i + 1, "w");
+  EXPECT_FALSE(d.exhausted());
+  d.warning(999, "w");
+  EXPECT_TRUE(d.exhausted());
+}
+
+TEST(Diagnostics, ThrowIfFailedThrowsParseErrorWithFormattedWhat) {
+  Diagnostics d{DiagnosticPolicy::kLenient, "DBC"};
+  d.error(7, "bad integer 'x'");
+  d.warning(9, "stray signal line");
+  try {
+    d.throw_if_failed();
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 error(s)"), std::string::npos) << what;
+    EXPECT_NE(what.find("1 warning(s)"), std::string::npos) << what;
+    EXPECT_NE(what.find("DBC line 7: error: bad integer 'x'"), std::string::npos) << what;
+    EXPECT_EQ(e.diagnostics().error_count(), 1u);
+  }
+}
+
+TEST(Diagnostics, ParseErrorIsARuntimeError) {
+  // Legacy catch sites expect std::runtime_error from the loaders.
+  Diagnostics d;
+  d.error(1, "x");
+  EXPECT_THROW(d.throw_if_failed(), std::runtime_error);
+}
+
+TEST(Diagnostics, WarningsAloneDoNotThrow) {
+  Diagnostics d{DiagnosticPolicy::kLenient};
+  d.warning(1, "recoverable");
+  EXPECT_NO_THROW(d.throw_if_failed());
+}
+
+}  // namespace
+}  // namespace symcan

@@ -118,5 +118,73 @@ INSTANTIATE_TEST_SUITE_P(Sweep, CeilDivProperty,
                                            std::pair<std::int64_t, std::int64_t>{123456789, 97},
                                            std::pair<std::int64_t, std::int64_t>{1, 1000000000}));
 
+constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+
+TEST(SaturatingScalars, AddClampsAtBothRails) {
+  EXPECT_EQ(sat_add_i64(kMax, 1), kMax);
+  EXPECT_EQ(sat_add_i64(kMax, kMax), kMax);
+  EXPECT_EQ(sat_add_i64(-kMax, -2), -kMax);
+  EXPECT_EQ(sat_add_i64(2, 3), 5);
+  EXPECT_EQ(sat_add_i64(kMax, -1), kMax - 1);
+}
+
+TEST(SaturatingScalars, SubClampsAtBothRails) {
+  EXPECT_EQ(sat_sub_i64(kMin, 1), -kMax);
+  EXPECT_EQ(sat_sub_i64(kMax, -1), kMax);
+  EXPECT_EQ(sat_sub_i64(10, 4), 6);
+}
+
+TEST(SaturatingScalars, MulClampsWithSignOfResult) {
+  EXPECT_EQ(sat_mul_i64(kMax, 2), kMax);
+  EXPECT_EQ(sat_mul_i64(kMax, -2), -kMax);
+  EXPECT_EQ(sat_mul_i64(-kMax, -2), kMax);
+  EXPECT_EQ(sat_mul_i64(1 << 20, 1 << 20), std::int64_t{1} << 40);
+  EXPECT_EQ(sat_mul_i64(0, kMax), 0);
+}
+
+TEST(SaturatingScalars, NegOfMinIsMax) {
+  EXPECT_EQ(sat_neg_i64(kMin), kMax);
+  EXPECT_EQ(sat_neg_i64(kMax), -kMax);
+  EXPECT_EQ(sat_neg_i64(-5), 5);
+}
+
+TEST(DurationSaturation, ArithmeticSticksAtInfinite) {
+  const Duration inf = Duration::infinite();
+  EXPECT_EQ(inf + Duration::ns(1), inf);
+  EXPECT_EQ(inf + inf, inf);
+  EXPECT_EQ(inf * 2, inf);
+  EXPECT_EQ(2 * inf, inf);
+  EXPECT_EQ(Duration::ms(kMax), inf);
+  EXPECT_EQ(Duration::us(kMax), inf);
+  EXPECT_EQ(Duration::s(kMax), inf);
+  EXPECT_EQ(-(-inf), inf);
+}
+
+TEST(DurationSaturation, HostileAccumulationNeverWraps) {
+  // A busy-window style accumulation over hostile periods/jitters must
+  // monotonically ride the rail, never go negative.
+  Duration w = Duration::zero();
+  for (int i = 0; i < 100; ++i) {
+    const Duration before = w;
+    w += Duration::ms(kMax / 3);
+    EXPECT_GE(w, before);
+  }
+  EXPECT_EQ(w, Duration::infinite());
+}
+
+TEST(DurationSaturation, CeilDivOfInfiniteDoesNotOverflow) {
+  EXPECT_EQ(ceil_div(Duration::infinite(), Duration::ns(1)),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_GT(ceil_div(Duration::infinite(), Duration::ms(10)), 0);
+  EXPECT_EQ(ceil_div(Duration::zero(), Duration::ns(1)), 0);
+}
+
+TEST(DurationSaturation, DivisionMinByMinusOneSaturates) {
+  const Duration lowest = Duration::ns(kMin);
+  EXPECT_EQ(lowest / Duration::ns(-1), kMax);
+  EXPECT_EQ(lowest / std::int64_t{-1}, Duration::infinite());
+}
+
 }  // namespace
 }  // namespace symcan
