@@ -20,6 +20,9 @@
 #include "symcan/sim/trace_export.hpp"
 #include "symcan/sim/trace_stats.hpp"
 #include "symcan/sim/validation.hpp"
+#include "symcan/stream/analyzer.hpp"
+#include "symcan/stream/health.hpp"
+#include "symcan/stream/trace_reader.hpp"
 #include "symcan/util/csv.hpp"
 #include "symcan/util/diagnostics.hpp"
 #include "symcan/util/table.hpp"
@@ -319,6 +322,66 @@ int cmd_validate(const Args& args, std::ostream& out) {
   return v.ok() ? 0 : 1;
 }
 
+int cmd_monitor(const Args& args, std::ostream& out) {
+  const KMatrix km = load_matrix(args);
+  SimConfig sim;
+  sim.duration = Duration::ms(args.positive_option_or("millis", 2000));
+  sim.seed = static_cast<std::uint64_t>(args.int_option_or("seed", 1));
+  sim.errors = sim_errors_from(args);
+  sim.record_trace = true;
+  const std::optional<std::string> from_trace = args.path_option("from-trace");
+  const std::optional<std::string> stats_json_out = args.path_option("stats-json");
+  const std::optional<std::string> events_out = args.path_option("events-jsonl");
+  const bool json = args.has_flag("json");
+  const bool no_bounds = args.has_flag("no-bounds");
+  const std::size_t chunk = static_cast<std::size_t>(args.positive_option_or("chunk", 4096));
+  fail_on_unused(args);
+
+  stream::StreamAnalyzer analyzer;
+  if (!no_bounds) {
+    // Same sound pairing as `validate`: the bounds must dominate what the
+    // stream can contain, or an online "violation" means nothing.
+    CanRtaConfig rta;
+    rta.worst_case_stuffing = true;
+    rta.deadline_override = DeadlinePolicy::kPeriod;
+    rta.errors = matching_error_model(sim.errors);
+    analyzer.set_bounds(CanRta{km, rta}.analyze());
+  }
+
+  Trace trace;
+  Duration span = Duration::zero();
+  if (from_trace) {
+    Diagnostics diags{policy_from(args)};
+    auto parsed = stream::trace_from_jsonl(read_file(*from_trace), diags);
+    diags.throw_if_failed();
+    if (!parsed) throw ParseError{diags};
+    trace = std::move(*parsed);
+    if (!trace.events().empty()) span = trace.events().back().time;
+  } else {
+    SimResult res = simulate(km, sim);
+    trace = std::move(res.trace);
+    span = res.simulated;
+  }
+
+  // Chunked ingest stands in for the arrival batches a live capture
+  // would deliver; results are chunk-invariant by contract.
+  const auto& events = trace.events();
+  for (std::size_t i = 0; i < events.size(); i += chunk)
+    analyzer.ingest(events.data() + i, std::min(chunk, events.size() - i));
+  analyzer.advance_to(span);
+
+  const stream::StreamStats stats = analyzer.stats();
+  if (stats_json_out)
+    obs::write_file(*stats_json_out, stream::stream_stats_to_json(stats) + "\n");
+  if (events_out) obs::write_file(*events_out, stream::health_events_to_jsonl(analyzer.events()));
+  if (json) {
+    out << stream::stream_stats_to_json(stats) << "\n";
+  } else {
+    out << stream::stream_stats_to_text(stats);
+  }
+  return stats.violations > 0 ? 1 : 0;
+}
+
 int cmd_budget(const Args& args, std::ostream& out) {
   const KMatrix km = load_matrix(args);
   const CanRtaConfig cfg = assumptions_from(args);
@@ -479,6 +542,12 @@ std::string usage() {
          "  validate    FILE [--millis N] [--seed N] [--errors none|sporadic|burst]\n"
          "              [--error-gap-ms N] [--json]    bound-vs-observed report;\n"
          "              exit 1 if any simulated response exceeds its RTA bound\n"
+         "  monitor     FILE [--millis N] [--seed N] [--errors none|sporadic|burst]\n"
+         "              [--error-gap-ms N] [--from-trace FILE.jsonl] [--chunk N]\n"
+         "              [--json] [--stats-json FILE] [--events-jsonl FILE] [--no-bounds]\n"
+         "              stream the trace through the online health analyzer:\n"
+         "              per-message EWMA baselines, jitter/drift/stall/arrhythmia\n"
+         "              onset+clear events; exit 1 if a response crossed its bound\n"
          "  extend      FILE [--period-ms N] [--bytes N] [--profile-jitter F]\n"
          "              [--first-id N] [--jobs N] [--worst-case|--best-case]\n"
          "  version     print version and build configuration\n"
@@ -512,7 +581,7 @@ int run_cli(const std::vector<std::string>& argv_tail, std::ostream& out, std::o
   try {
     const std::vector<std::string> flags = {"worst-case", "best-case", "override-known",
                                             "tt-offsets", "dbc",      "json",
-                                            "stats",      "strict"};
+                                            "stats",      "strict",   "no-bounds"};
     const Args args = Args::parse(rest, flags);
 
     // Observability exports apply to every command: validate the paths up
@@ -537,6 +606,7 @@ int run_cli(const std::vector<std::string>& argv_tail, std::ostream& out, std::o
       if (command == "simulate") return cmd_simulate(args, out);
       if (command == "explain") return cmd_explain(args, out);
       if (command == "validate") return cmd_validate(args, out);
+      if (command == "monitor") return cmd_monitor(args, out);
       if (command == "extend") return cmd_extend(args, out);
       err << "symcan: unknown command '" << command << "'\n" << usage();
       return 2;

@@ -116,6 +116,9 @@ TraceStats compute_trace_stats(const Trace& trace, Duration span, Duration windo
         if (st.released) {
           const Duration latency = e.time - st.release;
           acc.out.observed_max = max(acc.out.observed_max, latency);
+          acc.out.observed_min = min(acc.out.observed_min, latency);
+          acc.out.latency_total += latency;
+          ++acc.out.latency_samples;
           acc.latency_us.observe(static_cast<double>(latency.count_ns()) / 1000.0);
           if (st.errored) acc.out.retransmit_delay_total += e.time - st.first_error;
         }
@@ -218,6 +221,10 @@ std::string trace_stats_to_json(const TraceStats& stats) {
     appendf(out, "\"retransmits\":%" PRId64 ",", m.retransmits);
     appendf(out, "\"losses\":%" PRId64 ",", m.losses);
     appendf(out, "\"observed_max_ns\":%" PRId64 ",", m.observed_max.count_ns());
+    appendf(out, "\"observed_min_ns\":%" PRId64 ",",
+            m.latency_samples > 0 ? m.observed_min.count_ns() : 0);
+    appendf(out, "\"latency_mean_ns\":%" PRId64 ",", m.latency_mean().count_ns());
+    appendf(out, "\"latency_samples\":%" PRId64 ",", m.latency_samples);
     appendf(out, "\"observed_p99_ns\":%" PRId64 ",", m.observed_p99.count_ns());
     appendf(out, "\"arbitration_wait_max_ns\":%" PRId64 ",", m.arbitration_wait_max.count_ns());
     appendf(out, "\"arbitration_wait_total_ns\":%" PRId64 ",", m.arbitration_wait_total.count_ns());

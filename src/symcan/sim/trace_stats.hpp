@@ -37,6 +37,18 @@ struct MessageTraceStats {
   Duration observed_max = Duration::zero();
   Duration observed_p99 = Duration::zero();  ///< Interpolated from the histogram.
 
+  /// Exact integer-ns latency aggregates (the histogram above is a lossy
+  /// microsecond view). The online StreamAnalyzer reproduces these
+  /// bit-for-bit — the equivalence contract tests/stream/equivalence_test.cpp
+  /// pins. `observed_min` is infinite when no completed instance had an
+  /// observed release.
+  Duration observed_min = Duration::infinite();
+  Duration latency_total = Duration::zero();
+  std::int64_t latency_samples = 0;
+  Duration latency_mean() const {
+    return latency_samples > 0 ? latency_total / latency_samples : Duration::zero();
+  }
+
   /// Arbitration wait: release to *first* transmission start — the time
   /// an instance spent queued while losing (or waiting out) arbitration.
   Duration arbitration_wait_total = Duration::zero();

@@ -1,0 +1,69 @@
+#include "symcan/stream/health.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "symcan/obs/export.hpp"
+
+namespace symcan::stream {
+
+const char* to_string(HealthEventType t) {
+  switch (t) {
+    case HealthEventType::kJitterBurstOnset: return "jitter_burst_onset";
+    case HealthEventType::kJitterBurstClear: return "jitter_burst_clear";
+    case HealthEventType::kDriftOnset: return "drift_onset";
+    case HealthEventType::kDriftClear: return "drift_clear";
+    case HealthEventType::kStallOnset: return "stall_onset";
+    case HealthEventType::kStallClear: return "stall_clear";
+    case HealthEventType::kArrhythmiaOnset: return "arrhythmia_onset";
+    case HealthEventType::kArrhythmiaClear: return "arrhythmia_clear";
+    case HealthEventType::kBoundViolation: return "bound_violation";
+  }
+  return "?";
+}
+
+bool is_onset(HealthEventType t) {
+  switch (t) {
+    case HealthEventType::kJitterBurstOnset:
+    case HealthEventType::kDriftOnset:
+    case HealthEventType::kStallOnset:
+    case HealthEventType::kArrhythmiaOnset:
+    case HealthEventType::kBoundViolation: return true;
+    case HealthEventType::kJitterBurstClear:
+    case HealthEventType::kDriftClear:
+    case HealthEventType::kStallClear:
+    case HealthEventType::kArrhythmiaClear: return false;
+  }
+  return false;
+}
+
+std::string to_string(const HealthEvent& e) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "%-12s %-18s %-20s observed %-12s baseline %-12s @ frame %" PRId64,
+                to_string(e.time).c_str(), to_string(e.type), e.message.c_str(),
+                to_string(Duration::ns(e.observed_ns)).c_str(),
+                to_string(Duration::ns(e.baseline_ns)).c_str(), e.frame_index);
+  return buf;
+}
+
+std::string health_events_to_jsonl(const std::vector<HealthEvent>& events) {
+  std::string out;
+  char buf[96];
+  for (const HealthEvent& e : events) {
+    out += "{\"t_ns\":";
+    std::snprintf(buf, sizeof buf, "%" PRId64, e.time.count_ns());
+    out += buf;
+    out += ",\"event\":\"";
+    out += to_string(e.type);
+    out += "\",\"message\":\"";
+    out += obs::json_escape(e.message);
+    out += "\"";
+    std::snprintf(buf, sizeof buf, ",\"observed_ns\":%" PRId64 ",\"baseline_ns\":%" PRId64
+                                   ",\"frame\":%" PRId64 "}\n",
+                  e.observed_ns, e.baseline_ns, e.frame_index);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace symcan::stream

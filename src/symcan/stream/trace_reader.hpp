@@ -1,0 +1,44 @@
+#pragma once
+
+// JSONL trace ingest — the inverse of sim::trace_to_jsonl, and the
+// second trust boundary of the stream layer: `symcan monitor` accepts
+// traces recorded by other tools, so every malformed line must surface
+// as a line-numbered diagnostic (util/diagnostics.hpp), never a crash or
+// a silently skewed statistic.
+//
+// Accepted line grammar: one JSON object per line with exactly the keys
+// the exporter writes —
+//
+//   {"t_ns":<int>,"type":"<slug>","message":"<string>","instance":<int>}
+//
+// in any key order; type slugs are release, tx_start, tx_end, error,
+// retransmit, loss. Empty lines are skipped. Unknown keys with scalar
+// values are warnings (errors under strict); duplicate or missing keys,
+// malformed JSON, non-integer numbers, negative timestamps and unknown
+// slugs are errors. Timestamps running backwards get a single warning
+// for the whole input (the analyzer tolerates them; a recorder merging
+// per-node logs often interleaves imperfectly). String escapes,
+// including \uXXXX (with surrogate pairs), decode to UTF-8, so
+// parse ∘ serialize ∘ parse is the identity on event lists.
+
+#include <optional>
+#include <string>
+
+#include "symcan/sim/trace.hpp"
+#include "symcan/util/diagnostics.hpp"
+
+namespace symcan::stream {
+
+/// Parse JSONL trace text, reporting every malformed line through
+/// `diags`. Does not throw; returns nullopt when any error was recorded,
+/// and the full event list otherwise.
+std::optional<Trace> trace_from_jsonl(const std::string& text, Diagnostics& diags);
+
+/// Throwing convenience wrapper (lenient policy): throws ParseError
+/// carrying the line-numbered diagnostics.
+Trace trace_from_jsonl(const std::string& text);
+
+/// File convenience wrapper around the throwing form.
+Trace load_trace_jsonl(const std::string& path);
+
+}  // namespace symcan::stream

@@ -274,6 +274,60 @@ TEST_F(CliTest, ValidateFindsNoViolationsOnSoundPairing) {
   EXPECT_EQ(out_.str().find("<-- VIOLATION"), std::string::npos);
 }
 
+TEST_F(CliTest, MonitorSimulatedBusPrintsHealthTable) {
+  // Sound bounds pairing (same as validate): no message may cross its
+  // bound, so the exit code is 0 and every message gets a state column.
+  EXPECT_EQ(run({"monitor", path_, "--millis", "200", "--errors", "sporadic"}), 0);
+  EXPECT_NE(out_.str().find("stream: "), std::string::npos);
+  EXPECT_NE(out_.str().find("0 messages over bound"), std::string::npos);
+  EXPECT_NE(out_.str().find("state"), std::string::npos);
+}
+
+TEST_F(CliTest, MonitorExportsStatsJsonAndEventsJsonl) {
+  const std::string stats = ::testing::TempDir() + "/symcan_cli_monitor_stats.json";
+  const std::string events = ::testing::TempDir() + "/symcan_cli_monitor_events.jsonl";
+  EXPECT_EQ(run({"monitor", path_, "--millis", "200", "--json", "--stats-json", stats,
+                 "--events-jsonl", events}),
+            0);
+  EXPECT_NE(out_.str().find("\"frames\":"), std::string::npos);
+  const std::string s = slurp(stats);
+  EXPECT_NE(s.find("\"messages\":["), std::string::npos);
+  EXPECT_NE(s.find("\"active\":["), std::string::npos);
+  std::remove(stats.c_str());
+  std::remove(events.c_str());
+}
+
+TEST_F(CliTest, MonitorFromTraceMatchesLiveSimulation) {
+  // Exporting the simulated trace and replaying it through --from-trace
+  // must produce the identical health table: the JSONL roundtrip is
+  // nanosecond-exact and ingest is chunk-invariant.
+  const std::string jsonl = ::testing::TempDir() + "/symcan_cli_monitor_trace.jsonl";
+  ASSERT_EQ(run({"simulate", path_, "--millis", "200", "--trace-jsonl", jsonl}), 0);
+  ASSERT_EQ(run({"monitor", path_, "--millis", "200"}), 0);
+  const std::string live = out_.str();
+  ASSERT_EQ(run({"monitor", path_, "--from-trace", jsonl, "--chunk", "17"}), 0);
+  EXPECT_EQ(out_.str(), live);
+  std::remove(jsonl.c_str());
+}
+
+TEST_F(CliTest, MonitorMalformedTraceExitsTwoWithLineDiagnostics) {
+  const std::string bad = ::testing::TempDir() + "/symcan_cli_monitor_bad.jsonl";
+  {
+    std::ofstream f{bad};
+    f << "{\"t_ns\":0,\"type\":\"release\",\"message\":\"ok\",\"instance\":0}\n"
+      << "definitely not json\n";
+  }
+  EXPECT_EQ(run({"monitor", path_, "--from-trace", bad}), 2);
+  EXPECT_NE(err_.str().find(" line 2"), std::string::npos) << err_.str();
+  EXPECT_NE(err_.str().find("error"), std::string::npos);
+  std::remove(bad.c_str());
+}
+
+TEST_F(CliTest, MonitorRejectsNonPositiveChunk) {
+  EXPECT_EQ(run({"monitor", path_, "--millis", "50", "--chunk", "0"}), 2);
+  EXPECT_NE(err_.str().find("chunk"), std::string::npos);
+}
+
 TEST_F(CliTest, SimulateExportsTraceAndStats) {
   const std::string jsonl = ::testing::TempDir() + "/symcan_cli_sim.jsonl";
   const std::string chrome = ::testing::TempDir() + "/symcan_cli_sim_chrome.json";

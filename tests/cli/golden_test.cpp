@@ -280,6 +280,7 @@ class GoldenTest : public ::testing::Test {
   }
 
   std::string matrix_ = SYMCAN_CASE_STUDY_CSV;
+  std::string trace_ = SYMCAN_CASE_STUDY_TRACE;
   std::ostringstream out_;
   std::ostringstream err_;
 };
@@ -334,6 +335,29 @@ TEST_F(GoldenTest, ExplainText) {
 TEST_F(GoldenTest, ExplainJson) {
   ASSERT_EQ(run({"explain", matrix_, "M16", "--worst-case", "--json"}), 0) << err_.str();
   check_json("explain.json", out_.str());
+}
+
+TEST_F(GoldenTest, MonitorHealthTableOverCommittedTrace) {
+  // The committed trace (data/case_study_trace.jsonl) was recorded with
+  // `simulate --millis 120 --seed 5 --errors sporadic --error-gap-ms 10`;
+  // the monitor invocation passes the matching error process so its
+  // bounds soundly dominate the recording. Everything downstream is
+  // integer-exact, so the health table is pinned byte for byte.
+  ASSERT_EQ(run({"monitor", matrix_, "--from-trace", trace_, "--errors", "sporadic",
+                 "--error-gap-ms", "10"}),
+            0)
+      << err_.str();
+  check_text("monitor.txt", out_.str());
+}
+
+TEST_F(GoldenTest, MonitorHealthEventsJsonlOverCommittedTrace) {
+  const std::string events = ::testing::TempDir() + "/symcan_golden_monitor_events.jsonl";
+  ASSERT_EQ(run({"monitor", matrix_, "--from-trace", trace_, "--errors", "sporadic",
+                 "--error-gap-ms", "10", "--events-jsonl", events}),
+            0)
+      << err_.str();
+  check_text("monitor_events.jsonl", slurp(events));
+  std::remove(events.c_str());
 }
 
 TEST_F(GoldenTest, ReportMarkdownIdenticalWithCacheOff) {

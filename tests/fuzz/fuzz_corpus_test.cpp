@@ -61,6 +61,13 @@ TEST(FuzzCorpus, ArgvCorpusVerbatim) {
     ASSERT_NO_THROW(check_cli_argv_input(read_file(f.string()))) << f;
 }
 
+TEST(FuzzCorpus, TraceCorpusVerbatim) {
+  const auto files = corpus_files("trace");
+  ASSERT_FALSE(files.empty());
+  for (const auto& f : files)
+    ASSERT_NO_THROW(check_trace_jsonl_input(read_file(f.string()))) << f;
+}
+
 TEST(FuzzCorpus, DbcMutationStorm) {
   for (const auto& f : corpus_files("dbc")) {
     const std::string seed_text = read_file(f.string());
@@ -90,6 +97,16 @@ TEST(FuzzCorpus, ArgvMutationStorm) {
   }
 }
 
+TEST(FuzzCorpus, TraceMutationStorm) {
+  for (const auto& f : corpus_files("trace")) {
+    const std::string seed_text = read_file(f.string());
+    for (std::uint64_t seed = 1; seed <= kMutationsPerSeed; ++seed)
+      ASSERT_NO_THROW(check_trace_jsonl_input(mutate_trace_jsonl(seed_text, seed)))
+          << f << " seed " << seed << "\n--- mutated input ---\n"
+          << mutate_trace_jsonl(seed_text, seed);
+  }
+}
+
 // Every malformed fixture, loaded through the real CLI, must exit 2 with
 // at least one line-numbered diagnostic on stderr — the ingest contract
 // the README documents.
@@ -111,6 +128,30 @@ TEST(FuzzCorpus, MalformedFixturesExitTwoWithLineDiagnostics) {
     }
   }
   EXPECT_GE(checked, 4u);
+}
+
+// Same contract for the stream layer's trust boundary: a malformed
+// recorded trace fed to `symcan monitor --from-trace` must exit 2 with
+// line-numbered diagnostics, and well-formed fixtures must not.
+TEST(FuzzCorpus, MalformedTraceFixturesExitTwoThroughMonitor) {
+  std::size_t checked = 0;
+  for (const auto& f : corpus_files("trace")) {
+    std::ostringstream out;
+    std::ostringstream err;
+    const int rc =
+        cli::run_cli({"monitor", SYMCAN_CASE_STUDY_CSV, "--from-trace", f.string()}, out, err);
+    if (is_malformed_fixture(f)) {
+      EXPECT_EQ(rc, 2) << f;
+      EXPECT_NE(err.str().find(" line "), std::string::npos)
+          << f << ": stderr lacks a line-numbered diagnostic:\n"
+          << err.str();
+      EXPECT_NE(err.str().find("error"), std::string::npos) << f;
+      ++checked;
+    } else {
+      EXPECT_TRUE(rc == 0 || rc == 1) << f << " rc=" << rc << "\n" << err.str();
+    }
+  }
+  EXPECT_GE(checked, 1u);
 }
 
 // Well-formed fixtures must load cleanly through the CLI (exit 0 or the

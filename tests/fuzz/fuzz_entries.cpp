@@ -8,6 +8,9 @@
 #include "symcan/can/dbc_import.hpp"
 #include "symcan/can/kmatrix_io.hpp"
 #include "symcan/cli/commands.hpp"
+#include "symcan/sim/trace_export.hpp"
+#include "symcan/stream/analyzer.hpp"
+#include "symcan/stream/trace_reader.hpp"
 #include "symcan/util/diagnostics.hpp"
 
 namespace symcan::fuzz {
@@ -117,7 +120,8 @@ std::vector<std::string> sanitize_argv(std::string_view data) {
   }
   flush();
   static const char* kWriters[] = {"--out",        "--trace-out",   "--metrics-out",
-                                   "--stats-json", "--trace-jsonl", "--trace-chrome"};
+                                   "--stats-json", "--trace-jsonl", "--trace-chrome",
+                                   "--events-jsonl"};
   std::vector<std::string> out;
   for (std::size_t i = 0; i < argv.size() && out.size() < 16; ++i) {
     bool writer = false;
@@ -138,6 +142,45 @@ void check_cli_argv_input(std::string_view data) {
   std::ostringstream err;
   const int rc = cli::run_cli(argv, out, err);  // nothing may escape
   require(rc == 0 || rc == 1 || rc == 2, "run_cli returned exit code " + std::to_string(rc));
+}
+
+void check_trace_jsonl_input(std::string_view data) {
+  if (data.size() > kMaxInputBytes) return;
+  const std::string text{data};
+  Diagnostics lenient{DiagnosticPolicy::kLenient};
+  const auto trace = stream::trace_from_jsonl(text, lenient);
+  require(trace.has_value() == lenient.ok(),
+          "trace reader returned " + std::string(trace ? "a trace" : "nullopt") +
+              " but recorded " + std::to_string(lenient.error_count()) + " error(s)");
+  Diagnostics strict{DiagnosticPolicy::kStrict};
+  const auto trace_strict = stream::trace_from_jsonl(text, strict);
+  require(trace_strict.has_value() == strict.ok(), "strict trace reader is inconsistent");
+  require_strict_superset(trace.has_value(), trace_strict.has_value());
+  if (!trace) return;
+
+  // parse ∘ serialize ∘ parse must be the identity on event lists.
+  const std::string serialized = trace_to_jsonl(*trace);
+  Diagnostics again_diags{DiagnosticPolicy::kLenient};
+  const auto again = stream::trace_from_jsonl(serialized, again_diags);
+  require(again.has_value(),
+          "serialized form of an accepted trace failed to re-parse:\n" + again_diags.format());
+  const auto& a = trace->events();
+  const auto& b = again->events();
+  require(a.size() == b.size(), "round trip changed the event count");
+  for (std::size_t i = 0; i < a.size(); ++i)
+    require(a[i].time == b[i].time && a[i].type == b[i].type && a[i].message == b[i].message &&
+                a[i].instance == b[i].instance,
+            "round trip changed event " + std::to_string(i));
+
+  // Any accepted trace must stream through the analyzer without throwing
+  // — saturating time math, bounded event log, fixed in-flight slots.
+  stream::StreamAnalyzer an;
+  an.ingest(*trace);
+  if (!a.empty()) an.advance_to(a.back().time);
+  require(an.frames_ingested() == static_cast<std::int64_t>(a.size()),
+          "analyzer lost frames during ingest");
+  const stream::StreamStats stats = an.stats();
+  require(stats.frames == an.frames_ingested(), "stats disagree with the frame counter");
 }
 
 }  // namespace symcan::fuzz

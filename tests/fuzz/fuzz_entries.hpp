@@ -49,6 +49,14 @@ void check_kmatrix_csv_input(std::string_view data);
 /// filesystem; the exit code must be 0, 1 or 2 and nothing may escape.
 void check_cli_argv_input(std::string_view data);
 
+/// Feed one JSONL trace document through stream::trace_from_jsonl under
+/// both policies, then an accepted trace through the StreamAnalyzer.
+/// Checks the same contract as the matrix loaders (consistency, strict
+/// superset) plus the reader's own: parse ∘ serialize ∘ parse is the
+/// identity on event lists, and the analyzer never throws on any
+/// accepted trace.
+void check_trace_jsonl_input(std::string_view data);
+
 /// The argv sanitisation used by check_cli_argv_input, exposed for tests.
 std::vector<std::string> sanitize_argv(std::string_view data);
 

@@ -180,6 +180,32 @@ std::string mutate_csv(const std::string& seed_text, std::uint64_t seed) {
   return text;
 }
 
+std::string mutate_trace_jsonl(const std::string& seed_text, std::uint64_t seed) {
+  static const std::vector<std::string> kGarbage = {
+      "{",
+      "}",
+      "{}",
+      "null",
+      "[{\"t_ns\":1}]",
+      "{\"t_ns\":1,\"type\":\"release\",\"message\":\"m\",\"instance\":0",
+      "{\"t_ns\":1,\"type\":\"release\",\"message\":\"m\",\"instance\":0} trailing",
+      "{\"t_ns\":1,\"t_ns\":2,\"type\":\"release\",\"message\":\"m\",\"instance\":0}",
+      "{\"t_ns\":-1,\"type\":\"release\",\"message\":\"m\",\"instance\":0}",
+      "{\"t_ns\":1.5,\"type\":\"release\",\"message\":\"m\",\"instance\":0}",
+      "{\"t_ns\":1e9,\"type\":\"release\",\"message\":\"m\",\"instance\":0}",
+      "{\"t_ns\":1,\"type\":\"warp\",\"message\":\"m\",\"instance\":0}",
+      "{\"t_ns\":1,\"type\":release,\"message\":\"m\",\"instance\":0}",
+      "{\"t_ns\":1,\"type\":\"release\",\"message\":\"\\u\",\"instance\":0}",
+      "{\"t_ns\":1,\"type\":\"release\",\"message\":\"\\ud800\",\"instance\":0}",
+      "{\"t_ns\":1,\"type\":\"release\",\"message\":\"\\ud83d\\ude00\",\"instance\":0}",
+      "{\"t_ns\":1,\"type\":\"release\",\"message\":\"unterminated,\"instance\":0}",
+      "{\"t_ns\":1,\"type\":\"release\",\"message\":\"m\",\"instance\":{}}",
+      "{\"t_ns\":1,\"type\":\"release\",\"message\":\"m\",\"instance\":0,\"x\":true}",
+      "{\"t_ns\":9223372036854775807,\"type\":\"loss\",\"message\":\"m\",\"instance\":0}",
+  };
+  return mutate_lines(seed_text, seed, kGarbage);
+}
+
 std::string mutate_argv(const std::string& seed_text, std::uint64_t seed) {
   static const std::vector<std::string> kPool = {
       "generate",      "analyze",     "sweep",        "import",      "report",
@@ -192,6 +218,7 @@ std::string mutate_argv(const std::string& seed_text, std::uint64_t seed) {
       "--from",        "--to",        "--step",       "--",          "---",
       "--no-such-opt", "0.5",         "-0.5",         "nan",         "no-such-file",
       "no-such.dbc",   "0",           "1",            "999",         "-1",
+      "monitor",       "--from-trace", "--chunk",     "--no-bounds", "no-such.jsonl",
   };
   Rng rng{seed};
   std::istringstream in{seed_text};

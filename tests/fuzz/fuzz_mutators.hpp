@@ -34,4 +34,8 @@ std::string mutate_csv(const std::string& seed_text, std::uint64_t seed);
 /// vocabulary so dispatch code is reached, not just the tokenizer).
 std::string mutate_argv(const std::string& seed_text, std::uint64_t seed);
 
+/// Mutate a JSONL trace document (line oriented: key games, escape
+/// torture, boundary timestamps, truncated objects).
+std::string mutate_trace_jsonl(const std::string& seed_text, std::uint64_t seed);
+
 }  // namespace symcan::fuzz

@@ -1,0 +1,110 @@
+// O(1) memory contract: once the StreamAnalyzer has seen every message
+// once and its watchdog heap has reached steady occupancy, ingesting
+// further traffic performs ZERO heap allocations — state is a fixed
+// block per message ID, never per frame or per instance. The global
+// operator new is replaced with a counting shim to prove it (same
+// technique as tests/obs/obs_overhead_test.cpp; each test source is its
+// own binary, so the replacement is local to this suite).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "symcan/stream/analyzer.hpp"
+
+namespace {
+std::atomic<long> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace symcan::stream {
+namespace {
+
+/// Clean periodic multi-message stream: `arrivals` release/txend pairs
+/// per message, all messages phase-staggered on the same period so the
+/// event order is deterministic and no detector ever fires.
+std::vector<TraceEvent> make_stream(int messages, int arrivals, Duration start) {
+  const Duration period = Duration::ms(1);
+  const Duration response = Duration::us(50);
+  std::vector<TraceEvent> out;
+  out.reserve(static_cast<std::size_t>(messages) * static_cast<std::size_t>(arrivals) * 2);
+  for (int k = 0; k < arrivals; ++k) {
+    for (int m = 0; m < messages; ++m) {
+      const Duration t = start + period * k + Duration::us(100) * m;
+      const std::int64_t instance = k;
+      out.push_back({t, TraceEventType::kRelease, "msg_" + std::to_string(m), instance});
+      out.push_back({t + response, TraceEventType::kTxEnd, "msg_" + std::to_string(m), instance});
+    }
+  }
+  return out;
+}
+
+TEST(StreamAllocation, SteadyStateIngestAllocatesNothing) {
+  // Warmup: first message sightings allocate per-message state and the
+  // watchdog heap grows to its steady occupancy (stale entries are popped
+  // lazily ~4 periods after arming, so occupancy plateaus quickly).
+  const std::vector<TraceEvent> warm = make_stream(8, 200, Duration::zero());
+  const std::vector<TraceEvent> steady = make_stream(8, 200, Duration::ms(200));
+
+  StreamAnalyzer an;
+  an.ingest(warm.data(), warm.size());
+  ASSERT_TRUE(an.events().empty());
+
+  const long before = g_allocations.load(std::memory_order_relaxed);
+  an.ingest(steady.data(), steady.size());
+  const long after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0) << "steady-state ingest must not allocate";
+
+  EXPECT_TRUE(an.events().empty());
+  EXPECT_EQ(an.frames_ingested(), static_cast<std::int64_t>(warm.size() + steady.size()));
+  const StreamStats stats = an.stats();
+  ASSERT_EQ(stats.messages.size(), 8u);
+  EXPECT_EQ(stats.messages.front().completions, 400);
+}
+
+TEST(StreamAllocation, FirstSightingsDoAllocate) {
+  // Sanity check that the shim actually counts: a fresh analyzer meeting
+  // fresh messages must allocate (per-message state, name interning).
+  const std::vector<TraceEvent> warm = make_stream(4, 20, Duration::zero());
+  const long before = g_allocations.load(std::memory_order_relaxed);
+  StreamAnalyzer an;
+  an.ingest(warm.data(), warm.size());
+  const long after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_GT(after - before, 0);
+}
+
+TEST(StreamAllocation, SingleEventPathIsAllocationFreeToo) {
+  // The per-event entry point (no batch wrapper) shares the contract.
+  const std::vector<TraceEvent> warm = make_stream(4, 100, Duration::zero());
+  const std::vector<TraceEvent> steady = make_stream(4, 100, Duration::ms(100));
+  StreamAnalyzer an;
+  an.ingest(warm.data(), warm.size());
+  const long before = g_allocations.load(std::memory_order_relaxed);
+  for (const TraceEvent& e : steady) an.ingest(e);
+  const long after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0);
+  EXPECT_TRUE(an.events().empty());
+}
+
+}  // namespace
+}  // namespace symcan::stream

@@ -1,0 +1,342 @@
+// Detector unit suite with synthetic fault injection: traces constructed
+// with known jitter bursts, drift ramps, stalls and arrhythmia episodes
+// must raise the matching onset at the expected event index and clear on
+// recovery — and a clean periodic trace must raise zero events (the
+// false-positive gate every always-on monitor lives or dies on).
+
+#include "symcan/stream/analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "symcan/sim/trace.hpp"
+#include "symcan/stream/health.hpp"
+
+namespace symcan::stream {
+namespace {
+
+constexpr Duration kPeriod = Duration::ms(10);
+constexpr Duration kResponse = Duration::us(200);
+
+/// Synthetic trace builder: each arrival time becomes a release at
+/// (arrival - response) and a completion at the arrival itself, so the
+/// analyzer sees a constant response time and the injected inter-arrival
+/// pattern. Events from several messages merge in time order.
+struct TraceBuilder {
+  std::vector<TraceEvent> events;
+
+  void add_message(const std::string& name, const std::vector<Duration>& arrivals) {
+    std::int64_t instance = 0;
+    for (const Duration t : arrivals) {
+      events.push_back({t - kResponse, TraceEventType::kRelease, name, instance});
+      events.push_back({t, TraceEventType::kTxEnd, name, instance});
+      ++instance;
+    }
+  }
+
+  /// Chronological merge; ties keep insertion order (stable sort) so the
+  /// stream is deterministic.
+  std::vector<TraceEvent> build() {
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) { return a.time < b.time; });
+    return events;
+  }
+
+  /// Frame index of the completion of `name` at time `t` in the built
+  /// (sorted) stream — what HealthEvent::frame_index should report.
+  static std::int64_t completion_frame(const std::vector<TraceEvent>& stream,
+                                       const std::string& name, Duration t) {
+    for (std::size_t i = 0; i < stream.size(); ++i)
+      if (stream[i].type == TraceEventType::kTxEnd && stream[i].message == name &&
+          stream[i].time == t)
+        return static_cast<std::int64_t>(i);
+    return -1;
+  }
+};
+
+std::vector<Duration> periodic(int count, Duration period = kPeriod,
+                               Duration start = Duration::zero()) {
+  std::vector<Duration> out;
+  for (int i = 0; i < count; ++i) out.push_back(start + period * i + kResponse);
+  return out;
+}
+
+std::vector<HealthEvent> events_for(const StreamAnalyzer& an, const std::string& name) {
+  std::vector<HealthEvent> out;
+  for (const HealthEvent& e : an.events())
+    if (e.message == name) out.push_back(e);
+  return out;
+}
+
+TEST(StreamDetectors, CleanPeriodicTraceRaisesZeroEvents) {
+  TraceBuilder tb;
+  tb.add_message("A", periodic(200, Duration::ms(10)));
+  tb.add_message("B", periodic(100, Duration::ms(20)));
+  tb.add_message("C", periodic(40, Duration::ms(50)));
+  const auto stream = tb.build();
+
+  StreamAnalyzer an;
+  an.ingest(stream.data(), stream.size());
+  an.advance_to(stream.back().time);
+  EXPECT_TRUE(an.events().empty())
+      << "false positive: " << to_string(an.events().front());
+  EXPECT_EQ(an.frames_ingested(), static_cast<std::int64_t>(stream.size()));
+
+  const StreamStats stats = an.stats();
+  ASSERT_EQ(stats.messages.size(), 3u);
+  EXPECT_EQ(stats.active_conditions, 0);
+  const MessageStreamStats* a = stats.find("A");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->completions, 200);
+  EXPECT_EQ(a->latency_min, kResponse);
+  EXPECT_EQ(a->latency_max, kResponse);
+  EXPECT_EQ(a->period_baseline, Duration::ms(10));
+  EXPECT_EQ(a->period_deviation, Duration::zero());
+}
+
+TEST(StreamDetectors, JitterBurstOnsetAtThirdOutlierAndClearsAfterCalm) {
+  // Clean warmup, then five alternating +/-5 ms displacements: every
+  // burst delta is an outlier against the (frozen, robust) envelope, so
+  // onset lands exactly on the third burst arrival; recovery is eight
+  // clean deltas, so clear lands exactly on the eighth.
+  const Duration j = Duration::ms(5);
+  std::vector<Duration> arrivals = periodic(20);
+  const auto at = [&](int i) { return kPeriod * i + kResponse; };
+  for (int i = 20; i < 25; ++i) arrivals.push_back(at(i) + ((i - 20) % 2 == 0 ? j : Duration::zero()));
+  for (int i = 25; i < 40; ++i) arrivals.push_back(at(i));
+
+  TraceBuilder tb;
+  tb.add_message("M", arrivals);
+  tb.add_message("CLK", periodic(400, Duration::ms(1)));
+  const auto stream = tb.build();
+
+  StreamAnalyzer an;
+  an.ingest(stream.data(), stream.size());
+
+  const auto got = events_for(an, "M");
+  ASSERT_EQ(got.size(), 2u) << stream_stats_to_text(an.stats());
+  EXPECT_EQ(got[0].type, HealthEventType::kJitterBurstOnset);
+  EXPECT_EQ(got[1].type, HealthEventType::kJitterBurstClear);
+
+  // Burst deltas: arrivals 20..25 give P+5, P-5, P+5, P-5, P+5, P-5 —
+  // six consecutive outliers; onset on the third (arrival 22).
+  EXPECT_EQ(got[0].time, arrivals[22]);
+  EXPECT_EQ(got[0].frame_index, TraceBuilder::completion_frame(stream, "M", arrivals[22]));
+  // Arrival 25 closes the burst (last displaced delta); calm deltas start
+  // at arrival 26, so the eighth inlier is arrival 33.
+  EXPECT_EQ(got[1].time, arrivals[33]);
+  EXPECT_EQ(got[1].frame_index, TraceBuilder::completion_frame(stream, "M", arrivals[33]));
+}
+
+TEST(StreamDetectors, DriftRampRaisesOnsetAndClearsAfterPlateau) {
+  // Period ramps 10 ms -> 20 ms in 100 us steps (1 % per arrival: inliers,
+  // not outliers), then holds. The fast baseline tracks the ramp, the slow
+  // reference lags ~64 samples behind -> drift onset; on the plateau both
+  // converge -> drift clear.
+  std::vector<Duration> arrivals = periodic(20);
+  Duration t = arrivals.back();
+  Duration period = kPeriod;
+  for (int i = 0; i < 100; ++i) {
+    period += Duration::us(100);
+    t += period;
+    arrivals.push_back(t);
+  }
+  for (int i = 0; i < 200; ++i) {
+    t += period;
+    arrivals.push_back(t);
+  }
+
+  TraceBuilder tb;
+  tb.add_message("M", arrivals);
+  const auto stream = tb.build();
+  StreamAnalyzer an;
+  an.ingest(stream.data(), stream.size());
+
+  const auto got = events_for(an, "M");
+  ASSERT_EQ(got.size(), 2u) << stream_stats_to_text(an.stats());
+  EXPECT_EQ(got[0].type, HealthEventType::kDriftOnset);
+  EXPECT_EQ(got[1].type, HealthEventType::kDriftClear);
+  // Onset during the ramp, clear on the plateau.
+  EXPECT_LE(got[0].time, arrivals[120]);
+  EXPECT_GT(got[1].time, arrivals[120]);
+  EXPECT_FALSE(an.stats().find("M")->drift_active);
+}
+
+TEST(StreamDetectors, StallWatchdogFiresAtDeadlineAndClearsOnReturn) {
+  // M goes silent for five periods while CLK keeps the stream clock
+  // moving. The watchdog deadline is last arrival + 4 * baseline; the
+  // onset must carry exactly that time, the clear the returning arrival.
+  std::vector<Duration> arrivals = periodic(20);
+  const Duration last_before_gap = arrivals.back();
+  const Duration back = last_before_gap + kPeriod * 5;
+  for (int i = 0; i < 10; ++i) arrivals.push_back(back + kPeriod * i);
+
+  TraceBuilder tb;
+  tb.add_message("M", arrivals);
+  tb.add_message("CLK", periodic(320, Duration::ms(1)));
+  const auto stream = tb.build();
+
+  StreamAnalyzer an;
+  an.ingest(stream.data(), stream.size());
+
+  const auto got = events_for(an, "M");
+  ASSERT_EQ(got.size(), 2u) << stream_stats_to_text(an.stats());
+  EXPECT_EQ(got[0].type, HealthEventType::kStallOnset);
+  EXPECT_EQ(got[0].time, last_before_gap + kPeriod * 4);
+  EXPECT_EQ(got[1].type, HealthEventType::kStallClear);
+  EXPECT_EQ(got[1].time, back);
+  EXPECT_EQ(got[1].frame_index, TraceBuilder::completion_frame(stream, "M", back));
+
+  // The re-anchored baseline must not have absorbed the stall gap.
+  EXPECT_EQ(an.stats().find("M")->period_baseline, kPeriod);
+}
+
+TEST(StreamDetectors, SilentTailIsFlaggedByAdvanceTo) {
+  // A message that stops before the end of the run only stalls if
+  // something advances the clock past its watchdog — advance_to() is that
+  // something for a bounded capture.
+  TraceBuilder tb;
+  tb.add_message("M", periodic(20));
+  const auto stream = tb.build();
+  StreamAnalyzer an;
+  an.ingest(stream.data(), stream.size());
+  EXPECT_TRUE(an.events().empty());
+  an.advance_to(stream.back().time + kPeriod * 10);
+  const auto got = events_for(an, "M");
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].type, HealthEventType::kStallOnset);
+  EXPECT_EQ(got[0].time, stream.back().time + kPeriod * 4);
+  EXPECT_TRUE(an.stats().find("M")->stall_active);
+}
+
+TEST(StreamDetectors, ArrhythmiaRaisesOnSustainedIrregularityAndClears) {
+  // Alternating displacement growing gently (100 us per arrival): every
+  // delta stays inside the jitter envelope, which adapts faster than the
+  // irregularity grows — no burst, but the deviation EWMA climbs past
+  // 25 % of the period -> arrhythmia; perfect rhythm afterwards decays it
+  // back below 12.5 % -> clear.
+  std::vector<Duration> arrivals = periodic(20);
+  const auto at = [&](int i) { return kPeriod * i + kResponse; };
+  Duration amp = Duration::zero();
+  for (int i = 20; i < 60; ++i) {
+    amp += Duration::us(100);
+    arrivals.push_back(at(i) + ((i % 2 == 0) ? amp : -amp));
+  }
+  for (int i = 60; i < 100; ++i) arrivals.push_back(at(i));
+
+  TraceBuilder tb;
+  tb.add_message("M", arrivals);
+  const auto stream = tb.build();
+  StreamAnalyzer an;
+  an.ingest(stream.data(), stream.size());
+
+  const auto got = events_for(an, "M");
+  std::vector<HealthEventType> types;
+  for (const auto& e : got) types.push_back(e.type);
+  // The whole point: sustained irregularity raises arrhythmia, never a
+  // jitter burst (every sample individually looks plausible).
+  EXPECT_EQ(std::count(types.begin(), types.end(), HealthEventType::kJitterBurstOnset), 0)
+      << stream_stats_to_text(an.stats());
+  ASSERT_TRUE(std::count(types.begin(), types.end(), HealthEventType::kArrhythmiaOnset) == 1 &&
+              std::count(types.begin(), types.end(), HealthEventType::kArrhythmiaClear) == 1)
+      << stream_stats_to_text(an.stats());
+  const auto onset = std::find(types.begin(), types.end(), HealthEventType::kArrhythmiaOnset);
+  const auto clear = std::find(types.begin(), types.end(), HealthEventType::kArrhythmiaClear);
+  EXPECT_LT(onset - types.begin(), clear - types.begin());
+  // Onset inside the irregular episode, clear after rhythm returned.
+  EXPECT_LE(got[static_cast<std::size_t>(onset - types.begin())].time, arrivals[59]);
+  EXPECT_GT(got[static_cast<std::size_t>(clear - types.begin())].time, arrivals[60]);
+  EXPECT_FALSE(an.stats().find("M")->arrhythmia_active);
+}
+
+TEST(StreamDetectors, BoundViolationEmittedOnceAndCounted) {
+  // Hand-built BusResult: bound 1 ms for M, diverged bound for D. Three
+  // completions of M above the bound -> one kBoundViolation event,
+  // violation count 3; D can never violate.
+  BusResult analysis;
+  MessageResult rm;
+  rm.name = "M";
+  rm.wcrt = Duration::ms(1);
+  analysis.messages.push_back(rm);
+  MessageResult rd;
+  rd.name = "D";
+  rd.wcrt = Duration::infinite();
+  rd.diverged = true;
+  analysis.messages.push_back(rd);
+
+  TraceBuilder tb;
+  std::vector<TraceEvent>& ev = tb.events;
+  for (int i = 0; i < 12; ++i) {
+    const Duration rel = kPeriod * i;
+    const Duration latency = i >= 9 ? Duration::ms(2) : Duration::us(500);
+    ev.push_back({rel, TraceEventType::kRelease, "M", i});
+    ev.push_back({rel + latency, TraceEventType::kTxEnd, "M", i});
+    ev.push_back({rel, TraceEventType::kRelease, "D", i});
+    ev.push_back({rel + Duration::ms(5), TraceEventType::kTxEnd, "D", i});
+  }
+  const auto stream = tb.build();
+
+  StreamAnalyzer an;
+  an.set_bounds(analysis);
+  an.ingest(stream.data(), stream.size());
+
+  const auto got_m = events_for(an, "M");
+  ASSERT_EQ(got_m.size(), 1u) << stream_stats_to_text(an.stats());
+  EXPECT_EQ(got_m[0].type, HealthEventType::kBoundViolation);
+  EXPECT_EQ(got_m[0].observed_ns, Duration::ms(2).count_ns());
+  EXPECT_EQ(got_m[0].baseline_ns, Duration::ms(1).count_ns());
+  EXPECT_TRUE(events_for(an, "D").empty());
+
+  const StreamStats stats = an.stats();
+  EXPECT_EQ(stats.find("M")->bound_violations, 3);
+  EXPECT_TRUE(stats.find("M")->violation());
+  EXPECT_FALSE(stats.find("D")->violation());
+  EXPECT_EQ(stats.violations, 1);
+}
+
+TEST(StreamDetectors, EventLogIsBoundedAndDropsAreCounted) {
+  StreamConfig cfg;
+  cfg.max_events = 4;
+  StreamAnalyzer an{cfg};
+  BusResult analysis;
+  for (int m = 0; m < 8; ++m) {
+    MessageResult r;
+    r.name = "M" + std::to_string(m);
+    r.wcrt = Duration::us(1);
+    analysis.messages.push_back(r);
+  }
+  an.set_bounds(analysis);
+  std::vector<TraceEvent> ev;
+  for (int m = 0; m < 8; ++m) {
+    const std::string name = "M" + std::to_string(m);
+    ev.push_back({Duration::ms(m), TraceEventType::kRelease, name, 0});
+    ev.push_back({Duration::ms(m) + Duration::us(50), TraceEventType::kTxEnd, name, 0});
+  }
+  an.ingest(ev.data(), ev.size());
+  EXPECT_EQ(an.events().size(), 4u);
+  EXPECT_EQ(an.events_emitted(), 8);
+  EXPECT_EQ(an.stats().dropped_events, 4);
+  EXPECT_EQ(an.stats().violations, 8);  // state still tracks dropped events
+}
+
+TEST(StreamDetectors, TextAndJsonRenderersNameActiveConditions) {
+  TraceBuilder tb;
+  tb.add_message("M", periodic(20));
+  const auto stream = tb.build();
+  StreamAnalyzer an;
+  an.ingest(stream.data(), stream.size());
+  an.advance_to(stream.back().time + kPeriod * 10);  // leaves M stalled
+
+  const StreamStats stats = an.stats();
+  const std::string text = stream_stats_to_text(stats);
+  EXPECT_NE(text.find(" stall"), std::string::npos) << text;
+  const std::string json = stream_stats_to_json(stats);
+  EXPECT_NE(json.find("\"active\":[\"stall\"]"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"frames\":40"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace symcan::stream
