@@ -9,6 +9,20 @@ namespace symcan::analysis {
 
 IncrementalRta::IncrementalRta(RtaCacheConfig cfg) : cfg_{cfg} {
   if (cfg_.capacity == 0) throw std::invalid_argument("IncrementalRta: capacity must be >= 1");
+  if (cfg_.shards == 0) throw std::invalid_argument("IncrementalRta: shards must be >= 1");
+  // More shards than entries would create empty shards with capacity 0;
+  // clamp so every shard can hold at least one entry.
+  const std::size_t shards = cfg_.shards > cfg_.capacity ? cfg_.capacity : cfg_.shards;
+  shard_capacity_ = cfg_.capacity / shards;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+IncrementalRta::Shard& IncrementalRta::shard_for(const ContextKey& key) {
+  // The fingerprint is already uniformly mixed, so its hash modulo the
+  // shard count spreads keys evenly; a key deterministically lives in
+  // exactly one shard.
+  return *shards_[ContextKeyHash{}(key) % shards_.size()];
 }
 
 MessageResult IncrementalRta::analyze_one(const KMatrix& km, const CanRtaConfig& cfg,
@@ -21,11 +35,12 @@ MessageResult IncrementalRta::analyze_one(const KMatrix& km, const CanRtaConfig&
 MessageResult IncrementalRta::analyze_keyed(const ContextKey& key, const KMatrix& km,
                                             const CanRtaConfig& cfg, std::size_t index,
                                             RtaCacheStats& delta) {
+  Shard& shard = shard_for(key);
   {
-    std::lock_guard<std::mutex> lock{m_};
-    const auto it = map_.find(key);
-    if (it != map_.end()) {
-      lru_.splice(lru_.begin(), lru_, it->second);
+    std::lock_guard<std::mutex> lock{shard.m};
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       ++delta.hits;
       MessageResult res = it->second->second;
       // Identity is not part of the key: a structurally equal message in
@@ -44,16 +59,16 @@ MessageResult IncrementalRta::analyze_keyed(const ContextKey& key, const KMatrix
   MessageResult res = solve_message(build_message_context(km, cfg, index));
   ++delta.misses;
   {
-    std::lock_guard<std::mutex> lock{m_};
-    const auto it = map_.find(key);
-    if (it != map_.end()) {
-      lru_.splice(lru_.begin(), lru_, it->second);
+    std::lock_guard<std::mutex> lock{shard.m};
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     } else {
-      lru_.emplace_front(key, res);
-      map_.emplace(key, lru_.begin());
-      if (lru_.size() > cfg_.capacity) {
-        map_.erase(lru_.back().first);
-        lru_.pop_back();
+      shard.lru.emplace_front(key, res);
+      shard.map.emplace(key, shard.lru.begin());
+      if (shard.lru.size() > shard_capacity_) {
+        shard.map.erase(shard.lru.back().first);
+        shard.lru.pop_back();
         ++delta.evictions;
       }
     }
@@ -63,10 +78,13 @@ MessageResult IncrementalRta::analyze_keyed(const ContextKey& key, const KMatrix
 
 void IncrementalRta::flush_cache_observations(const RtaCacheStats& delta) {
   {
-    std::lock_guard<std::mutex> lock{m_};
-    stats_.hits += delta.hits;
-    stats_.misses += delta.misses;
-    stats_.evictions += delta.evictions;
+    // Lifetime counters live on shard 0; per-shard deltas are already
+    // merged into `delta` by the callers.
+    std::lock_guard<std::mutex> lock{shards_.front()->m};
+    RtaCacheStats& s = shards_.front()->stats;
+    s.hits += delta.hits;
+    s.misses += delta.misses;
+    s.evictions += delta.evictions;
   }
   if (!obs::enabled()) return;
   auto& m = obs::metrics();
@@ -110,19 +128,25 @@ MessageResult IncrementalRta::analyze_message(const KMatrix& km, const CanRtaCon
 }
 
 RtaCacheStats IncrementalRta::stats() const {
-  std::lock_guard<std::mutex> lock{m_};
-  return stats_;
+  std::lock_guard<std::mutex> lock{shards_.front()->m};
+  return shards_.front()->stats;
 }
 
 std::size_t IncrementalRta::size() const {
-  std::lock_guard<std::mutex> lock{m_};
-  return map_.size();
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock{shard->m};
+    n += shard->map.size();
+  }
+  return n;
 }
 
 void IncrementalRta::clear() {
-  std::lock_guard<std::mutex> lock{m_};
-  lru_.clear();
-  map_.clear();
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock{shard->m};
+    shard->lru.clear();
+    shard->map.clear();
+  }
 }
 
 }  // namespace symcan::analysis

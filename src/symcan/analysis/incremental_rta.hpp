@@ -24,16 +24,25 @@
 // harness in tests/integration/rta_cache_differential_test.cpp.
 //
 // Thread safety: one IncrementalRta may be shared by every worker of a
-// ParallelExecutor fan-out. Lookups and inserts take a mutex; solving
-// happens outside the lock. Because cached and fresh results are
+// ParallelExecutor fan-out. Lookups and inserts take a per-shard mutex;
+// solving happens outside the lock. Because cached and fresh results are
 // bit-identical, sharing the cache cannot perturb parallel determinism.
+//
+// Sharding: the key space is split across `shards` independent LRUs,
+// each with its own lock, selected by the context fingerprint's own
+// hash. A GA fan-out or the `symcan serve` batcher therefore does not
+// serialize every worker on one mutex; with shards == 1 (the default)
+// the behaviour is exactly the historical single-LRU cache. Sharding
+// changes only lock granularity and eviction locality — never verdicts.
 
 #include <cstddef>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "symcan/analysis/can_rta.hpp"
 #include "symcan/analysis/rta_context.hpp"
@@ -45,10 +54,16 @@ namespace symcan::analysis {
 /// is what the --rta-cache off ablation measures.
 struct RtaCacheConfig {
   bool enabled = true;
-  /// Maximum number of cached per-message results. The case-study matrix
-  /// has ~56 messages, so the default holds ~1000 distinct interference
-  /// contexts — plenty for a GA population while bounding memory.
+  /// Maximum number of cached per-message results, summed over all
+  /// shards. The case-study matrix has ~56 messages, so the default
+  /// holds ~1000 distinct interference contexts — plenty for a GA
+  /// population while bounding memory. The CLI exposes this as
+  /// --rta-cache-capacity.
   std::size_t capacity = 65536;
+  /// Number of independent LRU shards (each with its own lock). 1 is
+  /// the historical shared-LRU cache; `symcan serve` defaults higher so
+  /// concurrent request batches do not contend on one mutex.
+  std::size_t shards = 1;
 };
 
 /// Lifetime counters (monotonic; survive clear()).
@@ -77,27 +92,39 @@ class IncrementalRta {
   MessageResult analyze_message(const KMatrix& km, const CanRtaConfig& cfg, std::size_t index);
 
   const RtaCacheConfig& config() const { return cfg_; }
+  /// Aggregated over all shards.
   RtaCacheStats stats() const;
+  /// Total cached entries, summed over all shards.
   std::size_t size() const;
+  /// Effective shard count (>= 1) after clamping to capacity.
+  std::size_t shard_count() const { return shards_.size(); }
 
-  /// Drop all cached entries (stats are kept).
+  /// Drop all cached entries in every shard (stats are kept).
   void clear();
 
  private:
+  /// One independent LRU with its own lock. Entries are routed by the
+  /// fingerprint's hash, so a key lives in exactly one shard.
+  struct Shard {
+    using Entry = std::pair<ContextKey, MessageResult>;
+    mutable std::mutex m;
+    std::list<Entry> lru;  ///< Front = most recently used; guarded by m.
+    std::unordered_map<ContextKey, std::list<Entry>::iterator, ContextKeyHash> map;
+    RtaCacheStats stats;  ///< Guarded by m.
+  };
+
+  Shard& shard_for(const ContextKey& key);
   MessageResult analyze_one(const KMatrix& km, const CanRtaConfig& cfg, std::size_t index,
                             RtaCacheStats& delta);
   MessageResult analyze_keyed(const ContextKey& key, const KMatrix& km, const CanRtaConfig& cfg,
                               std::size_t index, RtaCacheStats& delta);
   void flush_cache_observations(const RtaCacheStats& delta);
 
-  using Entry = std::pair<ContextKey, MessageResult>;
-
   RtaCacheConfig cfg_;
-
-  mutable std::mutex m_;
-  std::list<Entry> lru_;  ///< Front = most recently used; guarded by m_.
-  std::unordered_map<ContextKey, std::list<Entry>::iterator, ContextKeyHash> map_;
-  RtaCacheStats stats_;  ///< Guarded by m_.
+  std::size_t shard_capacity_ = 0;  ///< Per-shard entry budget.
+  /// unique_ptr keeps Shard (mutex member) immovable while the vector
+  /// stays constructible; sized once in the constructor, never resized.
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace symcan::analysis

@@ -1,5 +1,6 @@
 #include "symcan/cli/commands.hpp"
 
+#include <iostream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -13,7 +14,10 @@
 #include "symcan/obs/export.hpp"
 #include "symcan/obs/obs.hpp"
 #include "symcan/opt/ga.hpp"
+#include "symcan/pipeline/stages.hpp"
 #include "symcan/sensitivity/extensibility.hpp"
+#include "symcan/serve/core.hpp"
+#include "symcan/serve/server.hpp"
 #include "symcan/supplychain/budget.hpp"
 #include "symcan/sensitivity/robustness.hpp"
 #include "symcan/sim/simulator.hpp"
@@ -34,14 +38,14 @@ namespace {
 
 /// Shared option handling: --worst-case / --best-case assumption presets
 /// and the --jitter fraction applied to (unknown) jitters.
+pipeline::AssumptionPreset preset_from(const Args& args) {
+  if (args.has_flag("worst-case")) return pipeline::AssumptionPreset::kWorstCase;
+  if (args.has_flag("best-case")) return pipeline::AssumptionPreset::kBestCase;
+  return pipeline::AssumptionPreset::kDefault;
+}
+
 CanRtaConfig assumptions_from(const Args& args) {
-  if (args.has_flag("worst-case")) return worst_case_assumptions();
-  if (args.has_flag("best-case")) return best_case_assumptions();
-  // Default: stuffing + no errors + period deadlines.
-  CanRtaConfig cfg;
-  cfg.worst_case_stuffing = true;
-  cfg.deadline_override = DeadlinePolicy::kPeriod;
-  return cfg;
+  return pipeline::assumptions_for(preset_from(args));
 }
 
 /// --strict escalates ingest warnings (zero cycle times, stray signal
@@ -86,11 +90,15 @@ int jobs_from(const Args& args) {
 /// --rta-cache on|off: RTA memoization for the commands that re-analyze
 /// edited matrices. Default on — cached verdicts are bit-identical to
 /// fresh ones, so off exists only to measure the cache's effect.
+/// --rta-cache-capacity N bounds the number of cached per-message
+/// verdicts (summed over shards; rejected unless a positive integer).
 RtaCacheConfig rta_cache_from(const Args& args) {
   const std::string v = args.option_or("rta-cache", "on");
   if (v != "on" && v != "off") throw std::invalid_argument("--rta-cache must be on|off");
   RtaCacheConfig cache;
   cache.enabled = v == "on";
+  cache.capacity =
+      static_cast<std::size_t>(args.positive_option_or("rta-cache-capacity", 65536));
   return cache;
 }
 
@@ -127,22 +135,7 @@ int cmd_analyze(const Args& args, std::ostream& out) {
   const KMatrix km = load_matrix(args);
   const CanRtaConfig cfg = assumptions_from(args);
   fail_on_unused(args);
-
-  const LoadReport load = analyze_load(km, cfg.worst_case_stuffing);
-  out << strprintf("bus %s: %zu messages, load %.1f%% of %.0f kbit/s\n", km.bus_name().c_str(),
-                   km.size(), 100 * load.utilization, load.bandwidth_bps / 1000);
-
-  const BusResult res = CanRta{km, cfg}.analyze();
-  TextTable t;
-  t.header({"message", "id", "wcrt", "deadline", "slack", "verdict"});
-  for (const std::size_t i : km.priority_order()) {
-    const MessageResult& m = res.messages[i];
-    t.row({m.name, strprintf("0x%03X", m.id), to_string(m.wcrt), to_string(m.deadline),
-           to_string(m.slack()), m.schedulable ? "ok" : "MISS"});
-  }
-  t.print(out);
-  out << strprintf("misses: %zu/%zu\n", res.miss_count(), res.messages.size());
-  return res.all_schedulable() ? 0 : 1;
+  return pipeline::render_analyze(km, cfg, out);
 }
 
 int cmd_sweep(const Args& args, std::ostream& out) {
@@ -182,54 +175,39 @@ int cmd_sensitivity(const Args& args, std::ostream& out) {
 
 int cmd_optimize(const Args& args, std::ostream& out) {
   const KMatrix km = load_matrix(args);
-  GaConfig cfg;
-  cfg.rta = args.has_flag("best-case") ? best_case_assumptions() : worst_case_assumptions();
-  cfg.seed = static_cast<std::uint64_t>(args.int_option_or("seed", 7));
-  cfg.generations = static_cast<int>(args.positive_option_or("generations", 25));
-  cfg.population = static_cast<int>(args.positive_option_or("population", 32));
-  cfg.archive = std::max(2, cfg.population / 2);
-  cfg.eval_fractions = {args.double_option_or("target-jitter", 0.25)};
-  cfg.seeds = {current_order(km), deadline_monotonic_order(km)};
-  cfg.parallelism = jobs_from(args);
-  cfg.cache = rta_cache_from(args);
+  pipeline::OptimizeSpec spec;
+  spec.best_case = args.has_flag("best-case");
+  spec.seed = static_cast<std::uint64_t>(args.int_option_or("seed", 7));
+  spec.generations = static_cast<int>(args.positive_option_or("generations", 25));
+  spec.population = static_cast<int>(args.positive_option_or("population", 32));
+  spec.target_jitter = args.double_option_or("target-jitter", 0.25);
+  spec.jobs = jobs_from(args);
+  spec.cache = rta_cache_from(args);
   const std::string output = args.option_or("out", "");
   fail_on_unused(args);
 
-  const GaResult res = optimize_priorities(km, cfg);
-  const KMatrix optimized = apply_priority_order(km, res.best.order);
+  if (output.empty()) return pipeline::render_optimize(km, spec, out);
+  const pipeline::OptimizeOutcome o = pipeline::run_optimize(km, spec);
   out << strprintf("GA: %d evaluations, best misses %.0f, robustness cost %.3f\n",
-                   res.evaluations, res.best.misses, res.best.robustness_cost);
-  if (output.empty()) {
-    out << kmatrix_to_csv(optimized);
-  } else {
-    save_kmatrix(optimized, output);
-    out << "wrote optimized matrix to " << output << "\n";
-  }
-  return res.best.misses == 0 ? 0 : 1;
+                   o.result.evaluations, o.result.best.misses, o.result.best.robustness_cost);
+  save_kmatrix(o.optimized, output);
+  out << "wrote optimized matrix to " << output << "\n";
+  return o.result.best.misses == 0 ? 0 : 1;
 }
 
 /// Shared --errors none|sporadic|burst [--error-gap-ms N] parsing for the
-/// simulation commands.
-SimErrorProcess sim_errors_from(const Args& args) {
-  const std::string errors = args.option_or("errors", "none");
-  if (errors == "sporadic")
-    return SimErrorProcess::sporadic(Duration::ms(args.positive_option_or("error-gap-ms", 40)));
-  if (errors == "burst")
-    return SimErrorProcess::burst(Duration::ms(args.positive_option_or("error-gap-ms", 25)), 4);
-  if (errors != "none") throw std::invalid_argument("--errors must be none|sporadic|burst");
-  return SimErrorProcess::none();
+/// simulation commands. The gap is only read (and validated) when an
+/// error process asks for it, exactly as before the pipeline refactor.
+pipeline::ErrorSpec error_spec_from(const Args& args) {
+  pipeline::ErrorSpec spec;
+  spec.kind = args.option_or("errors", "none");
+  if (spec.kind == "sporadic") spec.gap_ms = args.positive_option_or("error-gap-ms", 40);
+  if (spec.kind == "burst") spec.gap_ms = args.positive_option_or("error-gap-ms", 25);
+  return spec;
 }
 
-/// Analysis error model dominating the given simulated error process —
-/// the pairing that keeps RTA bounds valid simulation oracles.
-std::shared_ptr<const ErrorModel> matching_error_model(const SimErrorProcess& p) {
-  switch (p.kind) {
-    case SimErrorProcess::Kind::kSporadic: return std::make_shared<SporadicErrors>(p.min_gap);
-    case SimErrorProcess::Kind::kBurst:
-      return std::make_shared<BurstErrors>(p.min_gap, p.burst_len);
-    case SimErrorProcess::Kind::kNone: break;
-  }
-  return std::make_shared<NoErrors>();
+SimErrorProcess sim_errors_from(const Args& args) {
+  return pipeline::sim_errors_for(error_spec_from(args));
 }
 
 int cmd_simulate(const Args& args, std::ostream& out) {
@@ -280,46 +258,18 @@ int cmd_explain(const Args& args, std::ostream& out) {
   const CanRtaConfig cfg = assumptions_from(args);
   const bool json = args.has_flag("json");
   fail_on_unused(args);
-  const std::optional<std::size_t> index = analysis::find_message(km, name);
-  if (!index)
-    throw std::invalid_argument("no message named '" + name + "' in " + km.bus_name());
-  const analysis::Provenance p = analysis::explain_message(km, cfg, *index);
-  if (json)
-    out << analysis::provenance_to_json(p) << "\n";
-  else
-    out << analysis::provenance_to_text(p);
-  return p.result.schedulable ? 0 : 1;
+  return pipeline::render_explain(km, cfg, name, json, out);
 }
 
 int cmd_validate(const Args& args, std::ostream& out) {
   const KMatrix km = load_matrix(args);
-  SimConfig sim;
-  sim.duration = Duration::ms(args.positive_option_or("millis", 2000));
-  sim.seed = static_cast<std::uint64_t>(args.int_option_or("seed", 1));
-  sim.errors = sim_errors_from(args);
-  sim.stuffing = StuffingMode::kRandom;
-  sim.randomize_jitter = true;
-  sim.record_percentiles = true;
-  const bool json = args.has_flag("json");
+  pipeline::ValidateSpec spec;
+  spec.millis = args.positive_option_or("millis", 2000);
+  spec.seed = static_cast<std::uint64_t>(args.int_option_or("seed", 1));
+  spec.errors = error_spec_from(args);
+  spec.json = args.has_flag("json");
   fail_on_unused(args);
-
-  // The analysis must dominate the simulation for its bounds to be valid
-  // oracles: worst-case stuffing over sampled stuffing, and an error
-  // model admitting every injected fault. Assumption presets are
-  // deliberately not offered here — --best-case would make a reported
-  // "violation" meaningless.
-  CanRtaConfig rta;
-  rta.worst_case_stuffing = true;
-  rta.deadline_override = DeadlinePolicy::kPeriod;
-  rta.errors = matching_error_model(sim.errors);
-
-  const BusResult bounds = CanRta{km, rta}.analyze();
-  const BoundValidation v = compare_bound_vs_observed(bounds, simulate(km, sim));
-  if (json)
-    out << validation_to_json(v) << "\n";
-  else
-    out << validation_to_text(v);
-  return v.ok() ? 0 : 1;
+  return pipeline::render_validate(km, spec, out);
 }
 
 int cmd_monitor(const Args& args, std::ostream& out) {
@@ -344,7 +294,7 @@ int cmd_monitor(const Args& args, std::ostream& out) {
     CanRtaConfig rta;
     rta.worst_case_stuffing = true;
     rta.deadline_override = DeadlinePolicy::kPeriod;
-    rta.errors = matching_error_model(sim.errors);
+    rta.errors = pipeline::matching_error_model(sim.errors);
     analyzer.set_bounds(CanRta{km, rta}.analyze());
   }
 
@@ -503,6 +453,29 @@ int cmd_extend(const Args& args, std::ostream& out) {
   return 0;
 }
 
+/// `symcan serve --stdio`: the long-running analysis service. All knobs
+/// are validated up front (garbage exits 2 before any request is read).
+int cmd_serve(const Args& args, std::istream& in, std::ostream& out) {
+  if (!args.has_flag("stdio"))
+    throw std::invalid_argument("serve requires --stdio (the only transport today)");
+  serve::ServeConfig cfg;
+  cfg.cache = rta_cache_from(args);
+  cfg.cache.shards = static_cast<std::size_t>(args.positive_option_or("serve-shards", 8));
+  cfg.ring.capacity = static_cast<std::size_t>(args.positive_option_or("ring-capacity", 256));
+  const std::string overflow = args.option_or("overflow", "reject");
+  if (!serve::overflow_policy_from_string(overflow, cfg.ring.overflow))
+    throw std::invalid_argument("--overflow must be reject|drop-oldest|block-with-deadline");
+  cfg.ring.block_deadline = Duration::ms(args.positive_option_or("block-deadline-ms", 100));
+  cfg.batch_max = static_cast<std::size_t>(args.positive_option_or("batch", 32));
+  cfg.jobs = jobs_from(args);
+  cfg.matrix_cache_capacity =
+      static_cast<std::size_t>(args.positive_option_or("matrix-cache", 64));
+  cfg.policy = policy_from(args);
+  fail_on_unused(args);
+  serve::ServeCore core{cfg};
+  return serve::run_stdio_serve(core, in, out);
+}
+
 }  // namespace
 
 std::string version_string() {
@@ -550,6 +523,14 @@ std::string usage() {
          "              onset+clear events; exit 1 if a response crossed its bound\n"
          "  extend      FILE [--period-ms N] [--bytes N] [--profile-jitter F]\n"
          "              [--first-id N] [--jobs N] [--worst-case|--best-case]\n"
+         "  serve       --stdio [--serve-shards N] [--rta-cache-capacity N]\n"
+         "              [--ring-capacity N] [--overflow reject|drop-oldest|\n"
+         "              block-with-deadline] [--block-deadline-ms N] [--batch N]\n"
+         "              [--jobs N] [--matrix-cache N] [--strict]\n"
+         "              long-running analysis service: one JSON request per stdin\n"
+         "              line (analyze/explain/validate/optimize/health), one JSON\n"
+         "              response per stdout line, bit-identical to the one-shot\n"
+         "              CLI on the same inputs (see DESIGN.md)\n"
          "  version     print version and build configuration\n"
          "  help\n"
          "--jobs N selects N worker threads for sweep/sensitivity/optimize/\n"
@@ -561,6 +542,9 @@ std::string usage() {
          "--rta-cache on|off (default on) memoizes per-message RTA verdicts\n"
          "across the re-analyses those same commands perform; cached results\n"
          "are bit-identical to fresh ones, so 'off' exists only to measure.\n"
+         "--rta-cache-capacity N (default 65536) bounds the cached verdicts;\n"
+         "--serve-shards N (serve only, default 8) splits the cache into N\n"
+         "independently locked LRU shards.\n"
          "--trace-out FILE / --metrics-out FILE work with every command:\n"
          "they record spans (chrome://tracing JSON) and metrics (counters,\n"
          "histograms, per-iteration series) for the run and write them on\n"
@@ -568,6 +552,11 @@ std::string usage() {
 }
 
 int run_cli(const std::vector<std::string>& argv_tail, std::ostream& out, std::ostream& err) {
+  return run_cli(argv_tail, std::cin, out, err);
+}
+
+int run_cli(const std::vector<std::string>& argv_tail, std::istream& in, std::ostream& out,
+            std::ostream& err) {
   if (argv_tail.empty() || argv_tail[0] == "help" || argv_tail[0] == "--help") {
     out << usage();
     return argv_tail.empty() ? 2 : 0;
@@ -580,8 +569,9 @@ int run_cli(const std::vector<std::string>& argv_tail, std::ostream& out, std::o
   const std::vector<std::string> rest(argv_tail.begin() + 1, argv_tail.end());
   try {
     const std::vector<std::string> flags = {"worst-case", "best-case", "override-known",
-                                            "tt-offsets", "dbc",      "json",
-                                            "stats",      "strict",   "no-bounds"};
+                                            "tt-offsets", "dbc",       "json",
+                                            "stats",      "strict",    "no-bounds",
+                                            "stdio"};
     const Args args = Args::parse(rest, flags);
 
     // Observability exports apply to every command: validate the paths up
@@ -608,6 +598,7 @@ int run_cli(const std::vector<std::string>& argv_tail, std::ostream& out, std::o
       if (command == "validate") return cmd_validate(args, out);
       if (command == "monitor") return cmd_monitor(args, out);
       if (command == "extend") return cmd_extend(args, out);
+      if (command == "serve") return cmd_serve(args, in, out);
       err << "symcan: unknown command '" << command << "'\n" << usage();
       return 2;
     };

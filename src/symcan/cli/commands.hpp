@@ -22,7 +22,11 @@ namespace symcan::cli {
 /// Entry point used by main() and by the tests. `argv_tail` excludes the
 /// program name. Returns the process exit code; never throws (errors are
 /// reported on `err` with exit code 2, analysis "failures" such as
-/// unschedulable matrices use exit code 1).
+/// unschedulable matrices use exit code 1). `in` feeds the commands that
+/// read request streams (`serve --stdio`); the three-argument form uses
+/// std::cin.
+int run_cli(const std::vector<std::string>& argv_tail, std::istream& in, std::ostream& out,
+            std::ostream& err);
 int run_cli(const std::vector<std::string>& argv_tail, std::ostream& out, std::ostream& err);
 
 /// One-line summary per command, used by `symcan help`.

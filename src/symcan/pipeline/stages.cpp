@@ -1,0 +1,163 @@
+#include "symcan/pipeline/stages.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "symcan/analysis/load.hpp"
+#include "symcan/analysis/presets.hpp"
+#include "symcan/analysis/provenance.hpp"
+#include "symcan/can/kmatrix_io.hpp"
+#include "symcan/opt/assignment.hpp"
+#include "symcan/sim/validation.hpp"
+#include "symcan/util/table.hpp"
+#include "symcan/workload/powertrain.hpp"
+
+namespace symcan::pipeline {
+
+const char* to_string(AssumptionPreset preset) {
+  switch (preset) {
+    case AssumptionPreset::kWorstCase: return "worst-case";
+    case AssumptionPreset::kBestCase: return "best-case";
+    case AssumptionPreset::kDefault: break;
+  }
+  return "default";
+}
+
+bool preset_from_string(const std::string& text, AssumptionPreset& out) {
+  if (text == "default") out = AssumptionPreset::kDefault;
+  else if (text == "worst-case") out = AssumptionPreset::kWorstCase;
+  else if (text == "best-case") out = AssumptionPreset::kBestCase;
+  else return false;
+  return true;
+}
+
+CanRtaConfig assumptions_for(AssumptionPreset preset) {
+  if (preset == AssumptionPreset::kWorstCase) return worst_case_assumptions();
+  if (preset == AssumptionPreset::kBestCase) return best_case_assumptions();
+  // Default: stuffing + no errors + period deadlines.
+  CanRtaConfig cfg;
+  cfg.worst_case_stuffing = true;
+  cfg.deadline_override = DeadlinePolicy::kPeriod;
+  return cfg;
+}
+
+void apply_matrix_spec(KMatrix& km, const MatrixSpec& spec) {
+  if (spec.jitter >= 0) assume_jitter_fraction(km, spec.jitter, spec.override_known);
+}
+
+SimErrorProcess sim_errors_for(const ErrorSpec& spec) {
+  const auto gap = [&](std::int64_t fallback) {
+    const std::int64_t ms = spec.gap_ms < 0 ? fallback : spec.gap_ms;
+    if (ms <= 0) throw std::invalid_argument("error gap must be positive");
+    return Duration::ms(ms);
+  };
+  if (spec.kind == "sporadic") return SimErrorProcess::sporadic(gap(40));
+  if (spec.kind == "burst") return SimErrorProcess::burst(gap(25), 4);
+  if (spec.kind != "none") throw std::invalid_argument("--errors must be none|sporadic|burst");
+  return SimErrorProcess::none();
+}
+
+std::shared_ptr<const ErrorModel> matching_error_model(const SimErrorProcess& p) {
+  switch (p.kind) {
+    case SimErrorProcess::Kind::kSporadic: return std::make_shared<SporadicErrors>(p.min_gap);
+    case SimErrorProcess::Kind::kBurst:
+      return std::make_shared<BurstErrors>(p.min_gap, p.burst_len);
+    case SimErrorProcess::Kind::kNone: break;
+  }
+  return std::make_shared<NoErrors>();
+}
+
+int render_analyze(const KMatrix& km, const CanRtaConfig& cfg, std::ostream& out,
+                   analysis::IncrementalRta* cache) {
+  const LoadReport load = analyze_load(km, cfg.worst_case_stuffing);
+  out << strprintf("bus %s: %zu messages, load %.1f%% of %.0f kbit/s\n", km.bus_name().c_str(),
+                   km.size(), 100 * load.utilization, load.bandwidth_bps / 1000);
+
+  const BusResult res = cache ? cache->analyze(km, cfg) : CanRta{km, cfg}.analyze();
+  TextTable t;
+  t.header({"message", "id", "wcrt", "deadline", "slack", "verdict"});
+  for (const std::size_t i : km.priority_order()) {
+    const MessageResult& m = res.messages[i];
+    t.row({m.name, strprintf("0x%03X", m.id), to_string(m.wcrt), to_string(m.deadline),
+           to_string(m.slack()), m.schedulable ? "ok" : "MISS"});
+  }
+  t.print(out);
+  out << strprintf("misses: %zu/%zu\n", res.miss_count(), res.messages.size());
+  return res.all_schedulable() ? 0 : 1;
+}
+
+int render_explain(const KMatrix& km, const CanRtaConfig& cfg, const std::string& message,
+                   bool json, std::ostream& out) {
+  const std::optional<std::size_t> index = analysis::find_message(km, message);
+  if (!index)
+    throw std::invalid_argument("no message named '" + message + "' in " + km.bus_name());
+  const analysis::Provenance p = analysis::explain_message(km, cfg, *index);
+  if (json)
+    out << analysis::provenance_to_json(p) << "\n";
+  else
+    out << analysis::provenance_to_text(p);
+  return p.result.schedulable ? 0 : 1;
+}
+
+int render_validate(const KMatrix& km, const ValidateSpec& spec, std::ostream& out,
+                    analysis::IncrementalRta* cache) {
+  if (spec.millis <= 0) throw std::invalid_argument("millis must be positive");
+  SimConfig sim;
+  sim.duration = Duration::ms(spec.millis);
+  sim.seed = spec.seed;
+  sim.errors = sim_errors_for(spec.errors);
+  sim.stuffing = StuffingMode::kRandom;
+  sim.randomize_jitter = true;
+  sim.record_percentiles = true;
+
+  // The analysis must dominate the simulation for its bounds to be valid
+  // oracles: worst-case stuffing over sampled stuffing, and an error
+  // model admitting every injected fault. Assumption presets are
+  // deliberately not offered here — --best-case would make a reported
+  // "violation" meaningless.
+  CanRtaConfig rta;
+  rta.worst_case_stuffing = true;
+  rta.deadline_override = DeadlinePolicy::kPeriod;
+  rta.errors = matching_error_model(sim.errors);
+
+  const BusResult bounds = cache ? cache->analyze(km, rta) : CanRta{km, rta}.analyze();
+  const BoundValidation v = compare_bound_vs_observed(bounds, simulate(km, sim));
+  if (spec.json)
+    out << validation_to_json(v) << "\n";
+  else
+    out << validation_to_text(v);
+  return v.ok() ? 0 : 1;
+}
+
+GaConfig ga_config_for(const KMatrix& km, const OptimizeSpec& spec) {
+  if (spec.generations <= 0) throw std::invalid_argument("generations must be positive");
+  if (spec.population <= 0) throw std::invalid_argument("population must be positive");
+  GaConfig cfg;
+  cfg.rta = spec.best_case ? best_case_assumptions() : worst_case_assumptions();
+  cfg.seed = spec.seed;
+  cfg.generations = spec.generations;
+  cfg.population = spec.population;
+  cfg.archive = std::max(2, cfg.population / 2);
+  cfg.eval_fractions = {spec.target_jitter};
+  cfg.seeds = {current_order(km), deadline_monotonic_order(km)};
+  cfg.parallelism = spec.jobs;
+  cfg.cache = spec.cache;
+  return cfg;
+}
+
+OptimizeOutcome run_optimize(const KMatrix& km, const OptimizeSpec& spec) {
+  const GaConfig cfg = ga_config_for(km, spec);
+  GaResult res = optimize_priorities(km, cfg);
+  KMatrix optimized = apply_priority_order(km, res.best.order);
+  return {std::move(res), std::move(optimized)};
+}
+
+int render_optimize(const KMatrix& km, const OptimizeSpec& spec, std::ostream& out) {
+  const OptimizeOutcome o = run_optimize(km, spec);
+  out << strprintf("GA: %d evaluations, best misses %.0f, robustness cost %.3f\n",
+                   o.result.evaluations, o.result.best.misses, o.result.best.robustness_cost);
+  out << kmatrix_to_csv(o.optimized);
+  return o.result.best.misses == 0 ? 0 : 1;
+}
+
+}  // namespace symcan::pipeline

@@ -1,0 +1,206 @@
+#include "symcan/serve/core.hpp"
+
+#include <sstream>
+
+#include "symcan/can/kmatrix_io.hpp"
+#include "symcan/obs/export.hpp"
+#include "symcan/obs/obs.hpp"
+
+namespace symcan::serve {
+
+ServeCore::ServeCore(ServeConfig cfg)
+    : cfg_{std::move(cfg)},
+      ring_{cfg_.ring},
+      captain_{cfg_.captain},
+      rta_{cfg_.cache},
+      pool_{cfg_.jobs} {
+  if (cfg_.matrix_cache_capacity == 0)
+    throw std::invalid_argument("matrix cache capacity must be positive");
+  if (cfg_.batch_max == 0) throw std::invalid_argument("batch size must be positive");
+}
+
+std::shared_ptr<const KMatrix> ServeCore::matrix_for(const std::string& csv) {
+  // The diagnostic policy is fixed per core, so the exact CSV text alone
+  // identifies a parse.
+  {
+    std::lock_guard<std::mutex> lock(matrix_m_);
+    const auto it = matrix_map_.find(csv);
+    if (it != matrix_map_.end()) {
+      matrix_lru_.splice(matrix_lru_.begin(), matrix_lru_, it->second);
+      ++matrix_hits_;
+      obs::count("serve.matrix_cache.hits");
+      return it->second->second;
+    }
+    ++matrix_misses_;
+  }
+  obs::count("serve.matrix_cache.misses");
+
+  // Parse outside the lock; a concurrent duplicate parse of the same
+  // text yields an identical matrix, so the race is benign.
+  Diagnostics diags{cfg_.policy};
+  auto km = kmatrix_from_csv(csv, diags);
+  diags.throw_if_failed();
+  if (!km) throw ParseError{diags};
+  auto shared = std::make_shared<const KMatrix>(std::move(*km));
+
+  std::lock_guard<std::mutex> lock(matrix_m_);
+  if (matrix_map_.count(csv) == 0) {
+    matrix_lru_.emplace_front(csv, shared);
+    matrix_map_.emplace(csv, matrix_lru_.begin());
+    while (matrix_lru_.size() > cfg_.matrix_cache_capacity) {
+      matrix_map_.erase(matrix_lru_.back().first);
+      matrix_lru_.pop_back();
+    }
+  }
+  return shared;
+}
+
+ServeResponse ServeCore::handle(const ServeRequest& req) {
+  ServeResponse resp;
+  resp.id = req.id;
+  resp.kind = req.kind;
+  obs::count("serve.requests");
+
+  if (!captain_.admits(req.kind)) {
+    captain_.record_shed(req.kind);
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    resp.status = ResponseStatus::kShed;
+    resp.exit_code = 2;
+    return resp;
+  }
+
+  try {
+    if (req.kind == RequestKind::kHealth) {
+      resp.health_json = health_json();
+      ok_.fetch_add(1, std::memory_order_relaxed);
+      return resp;
+    }
+
+    const std::shared_ptr<const KMatrix> base = matrix_for(req.matrix_csv);
+    // Jitter assumptions mutate the matrix, so they work on a copy; the
+    // memoized matrix stays pristine for the next request.
+    std::optional<KMatrix> adjusted;
+    const KMatrix* km = base.get();
+    if (req.jitter) {
+      adjusted.emplace(*base);
+      pipeline::apply_matrix_spec(*adjusted, {*req.jitter, req.override_known});
+      km = &*adjusted;
+    }
+
+    std::ostringstream out;
+    int rc = 0;
+    switch (req.kind) {
+      case RequestKind::kAnalyze:
+        rc = pipeline::render_analyze(*km, pipeline::assumptions_for(req.preset), out, &rta_);
+        break;
+      case RequestKind::kExplain:
+        rc = pipeline::render_explain(*km, pipeline::assumptions_for(req.preset), req.message,
+                                      req.json, out);
+        break;
+      case RequestKind::kValidate: {
+        pipeline::ValidateSpec spec;
+        spec.millis = req.millis;
+        spec.seed = req.seed.value_or(1);
+        spec.errors = {req.errors, req.error_gap_ms.value_or(-1)};
+        spec.json = req.json;
+        rc = pipeline::render_validate(*km, spec, out, &rta_);
+        break;
+      }
+      case RequestKind::kOptimize: {
+        pipeline::OptimizeSpec spec;
+        spec.seed = req.seed.value_or(7);
+        spec.generations = req.generations;
+        spec.population = req.population;
+        spec.target_jitter = req.target_jitter;
+        spec.best_case = req.preset == pipeline::AssumptionPreset::kBestCase;
+        // Batch workers already run in parallel; the GA inside each
+        // stays serial (its results are bit-identical at any width).
+        spec.jobs = 1;
+        spec.cache = cfg_.cache;
+        rc = pipeline::render_optimize(*km, spec, out);
+        break;
+      }
+      case RequestKind::kHealth: break;  // Handled above.
+    }
+    resp.output = out.str();
+    resp.exit_code = rc;
+    resp.status = rc == 0 ? ResponseStatus::kOk : ResponseStatus::kFailed;
+    (rc == 0 ? ok_ : failed_).fetch_add(1, std::memory_order_relaxed);
+    return resp;
+  } catch (const ParseError& e) {
+    invalid_.fetch_add(1, std::memory_order_relaxed);
+    obs::count("serve.requests.invalid");
+    ServeResponse bad = invalid_response(req.id, e.diagnostics());
+    bad.kind = req.kind;
+    return bad;
+  } catch (const std::exception& e) {
+    invalid_.fetch_add(1, std::memory_order_relaxed);
+    obs::count("serve.requests.invalid");
+    resp.status = ResponseStatus::kInvalid;
+    resp.exit_code = 2;
+    Diagnostic d;
+    d.source = "serve";
+    d.message = e.what();
+    resp.diagnostics = {d};
+    resp.output.clear();
+    resp.health_json.clear();
+    return resp;
+  }
+}
+
+std::vector<ServeResponse> ServeCore::handle_batch(const std::vector<ServeRequest>& reqs) {
+  if (reqs.empty()) return {};
+  return pool_.parallel_map(reqs, [&](const ServeRequest& r) { return handle(r); });
+}
+
+PushOutcome ServeCore::submit(ServeRequest req, std::optional<ServeRequest>* victim) {
+  return ring_.push(std::move(req), victim);
+}
+
+std::string ServeCore::health_json() const {
+  using obs::json_number;
+  const RingStats rs = ring_.stats();
+  const analysis::RtaCacheStats cs = rta_.stats();
+  std::int64_t mhits = 0, mmisses = 0;
+  std::size_t msize = 0;
+  {
+    std::lock_guard<std::mutex> lock(matrix_m_);
+    mhits = matrix_hits_;
+    mmisses = matrix_misses_;
+    msize = matrix_lru_.size();
+  }
+  std::string out = "{";
+  out += "\"mode\":\"" + std::string(to_string(captain_.mode())) + "\"";
+  out += ",\"pressure\":\"" + std::string(to_string(ring_.pressure())) + "\"";
+  out += ",\"ring\":{\"capacity\":" + std::to_string(ring_.config().capacity);
+  out += ",\"size\":" + std::to_string(ring_.size());
+  out += ",\"pushes\":" + std::to_string(rs.pushes);
+  out += ",\"accepted\":" + std::to_string(rs.accepted);
+  out += ",\"rejected\":" + std::to_string(rs.rejected);
+  out += ",\"timed_out\":" + std::to_string(rs.timed_out);
+  out += ",\"dropped_oldest\":" + std::to_string(rs.dropped_oldest);
+  out += ",\"popped\":" + std::to_string(rs.popped) + "}";
+  out += ",\"captain\":{\"shed_optimize\":" + std::to_string(captain_.shed_optimize());
+  out += ",\"shed_explain\":" + std::to_string(captain_.shed_explain());
+  out += ",\"mode_changes\":" + std::to_string(captain_.mode_changes()) + "}";
+  out += ",\"rta_cache\":{\"shards\":" + std::to_string(rta_.shard_count());
+  out += ",\"capacity\":" + std::to_string(rta_.config().capacity);
+  out += ",\"size\":" + std::to_string(rta_.size());
+  out += ",\"hits\":" + std::to_string(cs.hits);
+  out += ",\"misses\":" + std::to_string(cs.misses);
+  out += ",\"evictions\":" + std::to_string(cs.evictions);
+  out += ",\"hit_rate\":" + json_number(cs.hit_rate()) + "}";
+  out += ",\"matrix_cache\":{\"capacity\":" + std::to_string(cfg_.matrix_cache_capacity);
+  out += ",\"size\":" + std::to_string(msize);
+  out += ",\"hits\":" + std::to_string(mhits);
+  out += ",\"misses\":" + std::to_string(mmisses) + "}";
+  out += ",\"requests\":{\"handled\":" + std::to_string(handled());
+  out += ",\"ok\":" + std::to_string(ok_.load(std::memory_order_relaxed));
+  out += ",\"failed\":" + std::to_string(failed_.load(std::memory_order_relaxed));
+  out += ",\"invalid\":" + std::to_string(invalid_.load(std::memory_order_relaxed));
+  out += ",\"shed\":" + std::to_string(shed_.load(std::memory_order_relaxed)) + "}";
+  out += "}";
+  return out;
+}
+
+}  // namespace symcan::serve

@@ -1,0 +1,114 @@
+#pragma once
+
+// ServeCore: the in-process heart of `symcan serve`, usable without any
+// transport (tests and embedders call it directly; serve --stdio is a
+// thin JSONL loop over it — the transport layer stays pluggable).
+//
+// One core owns:
+//   - the bounded request ring (admission; overflow policies),
+//   - the Captain (graceful degradation under sustained pressure),
+//   - one sharded IncrementalRta shared by every request, so hot
+//     K-matrices stay warm across requests and across batches,
+//   - a bounded parsed-matrix memo keyed by the exact CSV text (and
+//     diagnostic policy), so re-submitted matrices skip the parser,
+//   - a ParallelExecutor for batch fan-out.
+//
+// Determinism: handle() is a pure function of the request given the
+// pipeline stages' determinism contracts — caches return bit-identical
+// results to fresh computation, per-request seeds drive the stochastic
+// stages, and parallel_map preserves order — so a batch's responses are
+// bit-identical to handling each request alone, at any thread width,
+// and byte-for-byte equal to the one-shot CLI on the same inputs
+// (tests/serve/serve_differential_test.cpp).
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "symcan/analysis/incremental_rta.hpp"
+#include "symcan/serve/captain.hpp"
+#include "symcan/serve/request.hpp"
+#include "symcan/serve/ring.hpp"
+#include "symcan/util/parallel.hpp"
+
+namespace symcan::serve {
+
+struct ServeConfig {
+  RingConfig ring;
+  CaptainConfig captain;
+  /// Shared RTA cache; `symcan serve` defaults to 8 shards (CLI
+  /// --serve-shards) so batch workers do not serialize on one lock.
+  RtaCacheConfig cache;
+  /// Parsed-matrix memo entries (distinct CSV texts held ready).
+  std::size_t matrix_cache_capacity = 64;
+  /// ParallelExecutor width for handle_batch (0 = hardware).
+  int jobs = 0;
+  /// Requests coalesced per scheduling cycle.
+  std::size_t batch_max = 32;
+  DiagnosticPolicy policy = DiagnosticPolicy::kLenient;
+};
+
+class ServeCore {
+ public:
+  explicit ServeCore(ServeConfig cfg = {});
+
+  const ServeConfig& config() const { return cfg_; }
+
+  /// Answer one request (any thread). Never throws: malformed or
+  /// unprocessable requests become kInvalid responses, inadmissible
+  /// kinds under the current mode become kShed.
+  ServeResponse handle(const ServeRequest& req);
+
+  /// Answer a batch via the executor; responses in request order,
+  /// bit-identical to handling each request alone.
+  std::vector<ServeResponse> handle_batch(const std::vector<ServeRequest>& reqs);
+
+  /// Ring producer / consumer sides for transports.
+  PushOutcome submit(ServeRequest req, std::optional<ServeRequest>* victim = nullptr);
+  std::vector<ServeRequest> take_batch() { return ring_.pop_batch(cfg_.batch_max); }
+
+  BoundedRing<ServeRequest>& ring() { return ring_; }
+  Captain& captain() { return captain_; }
+  const analysis::IncrementalRta& rta_cache() const { return rta_; }
+
+  /// The `health` request payload: mode, pressure, ring / cache /
+  /// request counters as one JSON object.
+  std::string health_json() const;
+
+  std::int64_t handled() const { return ok_ + failed_ + invalid_ + shed_; }
+  std::int64_t shed_count() const { return shed_; }
+
+ private:
+  /// Parse (or recall) the request's matrix. Throws ParseError on a
+  /// malformed matrix; the memo stores successful parses only.
+  std::shared_ptr<const KMatrix> matrix_for(const std::string& csv);
+
+  ServeConfig cfg_;
+  BoundedRing<ServeRequest> ring_;
+  Captain captain_;
+  analysis::IncrementalRta rta_;
+  ParallelExecutor pool_;
+
+  /// Bounded LRU of parsed matrices, keyed by the exact CSV text —
+  /// exact-text keys cannot collide, so a hit is the same matrix by
+  /// construction. Guarded by matrix_m_.
+  using MatrixEntry = std::pair<std::string, std::shared_ptr<const KMatrix>>;
+  mutable std::mutex matrix_m_;
+  std::list<MatrixEntry> matrix_lru_;
+  std::unordered_map<std::string, std::list<MatrixEntry>::iterator> matrix_map_;
+  std::int64_t matrix_hits_ = 0;    ///< Guarded by matrix_m_.
+  std::int64_t matrix_misses_ = 0;  ///< Guarded by matrix_m_.
+
+  std::atomic<std::int64_t> ok_{0};
+  std::atomic<std::int64_t> failed_{0};
+  std::atomic<std::int64_t> invalid_{0};
+  std::atomic<std::int64_t> shed_{0};
+};
+
+}  // namespace symcan::serve

@@ -1,0 +1,41 @@
+#include "symcan/serve/ring.hpp"
+
+namespace symcan::serve {
+
+const char* to_string(OverflowPolicy policy) {
+  switch (policy) {
+    case OverflowPolicy::kDropOldest: return "drop-oldest";
+    case OverflowPolicy::kBlockWithDeadline: return "block-with-deadline";
+    case OverflowPolicy::kReject: break;
+  }
+  return "reject";
+}
+
+bool overflow_policy_from_string(const std::string& text, OverflowPolicy& out) {
+  if (text == "reject") out = OverflowPolicy::kReject;
+  else if (text == "drop-oldest") out = OverflowPolicy::kDropOldest;
+  else if (text == "block-with-deadline") out = OverflowPolicy::kBlockWithDeadline;
+  else return false;
+  return true;
+}
+
+const char* to_string(PressureState state) {
+  switch (state) {
+    case PressureState::kElevated: return "elevated";
+    case PressureState::kSaturated: return "saturated";
+    case PressureState::kOk: break;
+  }
+  return "ok";
+}
+
+const char* to_string(PushOutcome outcome) {
+  switch (outcome) {
+    case PushOutcome::kReplacedOldest: return "replaced-oldest";
+    case PushOutcome::kRejected: return "rejected";
+    case PushOutcome::kTimedOut: return "timed-out";
+    case PushOutcome::kAccepted: break;
+  }
+  return "accepted";
+}
+
+}  // namespace symcan::serve

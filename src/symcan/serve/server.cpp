@@ -1,0 +1,84 @@
+#include "symcan/serve/server.hpp"
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace symcan::serve {
+
+namespace {
+
+bool blank(const std::string& line) {
+  for (const char c : line)
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  return true;
+}
+
+}  // namespace
+
+int run_stdio_serve(ServeCore& core, std::istream& in, std::ostream& out) {
+  std::string line;
+  std::size_t line_no = 0;
+  bool eof = false;
+  while (!eof) {
+    // Read one cycle's worth of lines.
+    std::vector<std::pair<std::size_t, std::string>> lines;
+    while (lines.size() < core.config().batch_max) {
+      if (!std::getline(in, line)) {
+        eof = true;
+        break;
+      }
+      ++line_no;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (!blank(line)) lines.emplace_back(line_no, line);
+    }
+    if (lines.empty() && eof) break;
+
+    // Parse; answer malformed lines immediately, enqueue the rest.
+    for (auto& [no, text] : lines) {
+      Diagnostics diags{core.config().policy, "serve request"};
+      auto req = request_from_jsonl(text, no, diags);
+      if (!req) {
+        out << response_to_jsonl(invalid_response("", diags)) << "\n";
+        continue;
+      }
+      // submit() consumes the request, so remember what a rejection
+      // response needs before handing it over.
+      const std::string req_id = req->id;
+      const RequestKind req_kind = req->kind;
+      std::optional<ServeRequest> victim;
+      const PushOutcome outcome = core.submit(std::move(*req), &victim);
+      const auto reject = [&](const std::string& id, RequestKind kind, const char* why) {
+        ServeResponse resp;
+        resp.id = id;
+        resp.kind = kind;
+        resp.status = ResponseStatus::kRejected;
+        resp.exit_code = 2;
+        Diagnostic d;
+        d.source = "serve";
+        d.line = 0;
+        d.message = why;
+        resp.diagnostics = {d};
+        out << response_to_jsonl(resp) << "\n";
+      };
+      if (outcome == PushOutcome::kRejected)
+        reject(req_id, req_kind, "request ring full (overflow policy: reject)");
+      else if (outcome == PushOutcome::kTimedOut)
+        reject(req_id, req_kind, "request ring full past the block deadline");
+      else if (victim)
+        reject(victim->id, victim->kind,
+               "evicted by a newer request (overflow policy: drop-oldest)");
+    }
+
+    // One pressure sample per cycle, then drain and answer the batch.
+    core.captain().observe(core.ring().pressure());
+    const std::vector<ServeRequest> batch = core.take_batch();
+    for (const ServeResponse& resp : core.handle_batch(batch))
+      out << response_to_jsonl(resp) << "\n";
+    out.flush();
+  }
+  return 0;
+}
+
+}  // namespace symcan::serve

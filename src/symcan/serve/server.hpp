@@ -1,0 +1,34 @@
+#pragma once
+
+// The JSONL-over-stdio transport for `symcan serve --stdio`.
+//
+// One request object per input line, one response object per output
+// line. The loop is deliberately deterministic so CI can replay a
+// committed request file and diff the bytes:
+//
+//   cycle:  read up to batch_max lines
+//           -> parse; malformed lines answer immediately (kInvalid), in
+//              arrival order, without occupying a ring slot
+//           -> submit the rest to the ring; overflow casualties answer
+//              immediately (kRejected)
+//           -> one Captain pressure sample
+//           -> pop a batch, handle it via the executor, emit responses
+//              in request order
+//
+// Responses within a cycle are therefore in arrival order (invalid and
+// rejected first, then the handled batch), and the whole transcript is
+// a pure function of the input lines and the ServeConfig — at any
+// --jobs width, by the handle_batch determinism contract.
+
+#include <iosfwd>
+
+#include "symcan/serve/core.hpp"
+
+namespace symcan::serve {
+
+/// Run the serve loop until EOF on `in`. Returns the process exit code
+/// (0: served until EOF; the per-request exit codes ride inside the
+/// responses).
+int run_stdio_serve(ServeCore& core, std::istream& in, std::ostream& out);
+
+}  // namespace symcan::serve

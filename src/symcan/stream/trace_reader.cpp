@@ -1,182 +1,17 @@
 #include "symcan/stream/trace_reader.hpp"
 
-#include <charconv>
 #include <cstdint>
 #include <fstream>
 #include <sstream>
 #include <utility>
 
+#include "symcan/util/jsonl.hpp"
+
 namespace symcan::stream {
 
 namespace {
 
-/// Cursor over one line; all helpers leave the cursor after what they
-/// consumed and report failures through the line's diagnostics.
-struct Cursor {
-  const char* p;
-  const char* end;
-
-  bool done() const { return p == end; }
-  char peek() const { return *p; }
-  void skip_ws() {
-    while (p != end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
-  }
-  bool eat(char c) {
-    skip_ws();
-    if (p == end || *p != c) return false;
-    ++p;
-    return true;
-  }
-};
-
-void append_utf8(std::string& out, std::uint32_t cp) {
-  if (cp < 0x80) {
-    out.push_back(static_cast<char>(cp));
-  } else if (cp < 0x800) {
-    out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
-    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
-  } else if (cp < 0x10000) {
-    // Lone surrogates are encoded as-is (WTF-8): the exporter passes
-    // bytes >= 0x20 through raw, so this keeps parse/serialize an
-    // identity even on inputs no sane recorder writes.
-    out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
-    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
-    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
-  } else {
-    out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
-    out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
-    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
-    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
-  }
-}
-
-/// Four hex digits after \u; returns 0x110000 on failure.
-std::uint32_t parse_hex4(Cursor& c) {
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) {
-    if (c.done()) return 0x110000;
-    const char ch = *c.p++;
-    v <<= 4;
-    if (ch >= '0' && ch <= '9') v |= static_cast<std::uint32_t>(ch - '0');
-    else if (ch >= 'a' && ch <= 'f') v |= static_cast<std::uint32_t>(ch - 'a' + 10);
-    else if (ch >= 'A' && ch <= 'F') v |= static_cast<std::uint32_t>(ch - 'A' + 10);
-    else return 0x110000;
-  }
-  return v;
-}
-
-bool parse_string(Cursor& c, std::size_t line_no, const char* what, std::string& out,
-                  Diagnostics& diags) {
-  if (!c.eat('"')) {
-    diags.error(line_no, std::string("expected string for ") + what);
-    return false;
-  }
-  out.clear();
-  while (true) {
-    if (c.done()) {
-      diags.error(line_no, std::string("unterminated string for ") + what);
-      return false;
-    }
-    const char ch = *c.p++;
-    if (ch == '"') return true;
-    if (static_cast<unsigned char>(ch) < 0x20) {
-      diags.error(line_no, std::string("raw control character in string for ") + what);
-      return false;
-    }
-    if (ch != '\\') {
-      out.push_back(ch);
-      continue;
-    }
-    if (c.done()) {
-      diags.error(line_no, std::string("dangling escape in string for ") + what);
-      return false;
-    }
-    const char esc = *c.p++;
-    switch (esc) {
-      case '"': out.push_back('"'); break;
-      case '\\': out.push_back('\\'); break;
-      case '/': out.push_back('/'); break;
-      case 'b': out.push_back('\b'); break;
-      case 'f': out.push_back('\f'); break;
-      case 'n': out.push_back('\n'); break;
-      case 'r': out.push_back('\r'); break;
-      case 't': out.push_back('\t'); break;
-      case 'u': {
-        std::uint32_t cp = parse_hex4(c);
-        if (cp > 0x10FFFF) {
-          diags.error(line_no, std::string("bad \\u escape in string for ") + what);
-          return false;
-        }
-        if (cp >= 0xD800 && cp <= 0xDBFF && c.end - c.p >= 6 && c.p[0] == '\\' && c.p[1] == 'u') {
-          // High surrogate followed by a \u escape: try to pair them.
-          Cursor save = c;
-          c.p += 2;
-          const std::uint32_t lo = parse_hex4(c);
-          if (lo >= 0xDC00 && lo <= 0xDFFF) {
-            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
-          } else {
-            c = save;  // Not a low surrogate; emit the lone high one.
-          }
-        }
-        append_utf8(out, cp);
-        break;
-      }
-      default:
-        diags.error(line_no, std::string("unknown escape '\\") + esc + "' in string for " + what);
-        return false;
-    }
-  }
-}
-
-bool parse_i64(Cursor& c, std::size_t line_no, const char* what, std::int64_t& out,
-               Diagnostics& diags) {
-  c.skip_ws();
-  const char* begin = c.p;
-  if (c.p != c.end && *c.p == '-') ++c.p;
-  while (c.p != c.end && *c.p >= '0' && *c.p <= '9') ++c.p;
-  // JSON permits fractions and exponents; the trace format does not.
-  if (c.p != c.end && (*c.p == '.' || *c.p == 'e' || *c.p == 'E')) {
-    diags.error(line_no, std::string(what) + " must be an integer");
-    return false;
-  }
-  std::int64_t v = 0;
-  const auto res = std::from_chars(begin, c.p, v);
-  if (res.ec != std::errc{} || res.ptr != c.p || begin == c.p) {
-    diags.error(line_no, std::string("bad integer for ") + what);
-    return false;
-  }
-  out = v;
-  return true;
-}
-
-/// Skip a scalar value of an unknown key; nested containers are rejected
-/// (nothing in the trace grammar nests, and skipping them faithfully
-/// would turn this reader into a full JSON parser).
-bool skip_scalar(Cursor& c, std::size_t line_no, Diagnostics& diags) {
-  c.skip_ws();
-  if (c.done()) {
-    diags.error(line_no, "missing value");
-    return false;
-  }
-  const char ch = c.peek();
-  if (ch == '"') {
-    std::string ignored;
-    return parse_string(c, line_no, "unknown key", ignored, diags);
-  }
-  if (ch == '{' || ch == '[') {
-    diags.error(line_no, "nested containers are not part of the trace format");
-    return false;
-  }
-  // Number / true / false / null: consume the bare token.
-  const char* begin = c.p;
-  while (!c.done() && *c.p != ',' && *c.p != '}' && *c.p != ' ' && *c.p != '\t' && *c.p != '\r')
-    ++c.p;
-  if (begin == c.p) {
-    diags.error(line_no, "missing value");
-    return false;
-  }
-  return true;
-}
+using jsonl::Cursor;
 
 bool slug_to_type(const std::string& slug, TraceEventType& out) {
   if (slug == "release") out = TraceEventType::kRelease;
@@ -205,7 +40,7 @@ bool parse_line(const char* begin, const char* end, std::size_t line_no, TraceEv
   c.skip_ws();
   if (!c.eat('}')) {
     while (true) {
-      if (!parse_string(c, line_no, "key", key, diags)) return false;
+      if (!jsonl::parse_string(c, line_no, "key", key, diags)) return false;
       if (!c.eat(':')) {
         diags.error(line_no, "expected ':' after key \"" + key + "\"");
         return false;
@@ -215,32 +50,32 @@ bool parse_line(const char* begin, const char* end, std::size_t line_no, TraceEv
           diags.error(line_no, "duplicate key \"t_ns\"");
           return false;
         }
-        if (!parse_i64(c, line_no, "t_ns", t_ns, diags)) return false;
+        if (!jsonl::parse_i64(c, line_no, "t_ns", t_ns, diags)) return false;
         have_t = true;
       } else if (key == "type") {
         if (have_type) {
           diags.error(line_no, "duplicate key \"type\"");
           return false;
         }
-        if (!parse_string(c, line_no, "type", slug, diags)) return false;
+        if (!jsonl::parse_string(c, line_no, "type", slug, diags)) return false;
         have_type = true;
       } else if (key == "message") {
         if (have_message) {
           diags.error(line_no, "duplicate key \"message\"");
           return false;
         }
-        if (!parse_string(c, line_no, "message", out.message, diags)) return false;
+        if (!jsonl::parse_string(c, line_no, "message", out.message, diags)) return false;
         have_message = true;
       } else if (key == "instance") {
         if (have_instance) {
           diags.error(line_no, "duplicate key \"instance\"");
           return false;
         }
-        if (!parse_i64(c, line_no, "instance", out.instance, diags)) return false;
+        if (!jsonl::parse_i64(c, line_no, "instance", out.instance, diags)) return false;
         have_instance = true;
       } else {
         diags.warning(line_no, "unknown key \"" + key + "\" ignored");
-        if (!skip_scalar(c, line_no, diags)) return false;
+        if (!jsonl::skip_scalar(c, line_no, diags)) return false;
         if (diags.policy() == DiagnosticPolicy::kStrict) return false;
       }
       if (c.eat(',')) continue;

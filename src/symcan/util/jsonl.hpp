@@ -1,0 +1,70 @@
+#pragma once
+
+// Shared single-line JSON scanning primitives for the JSONL trust
+// boundaries (stream/trace_reader.cpp, serve/request.cpp). Both readers
+// accept "one flat JSON object per line" grammars, and both must turn
+// every malformed construct into a line-numbered diagnostic — never a
+// crash, never a silently skewed value — so the escape/number handling
+// lives here once instead of being forked per reader.
+//
+// These are deliberately not a general JSON parser: values are scalars
+// only (the readers reject nested containers where their grammars do not
+// allow them), numbers are parsed to exact integers or round-trip
+// doubles, and \uXXXX escapes (including surrogate pairs; lone
+// surrogates as WTF-8) decode to UTF-8 so parse ∘ serialize ∘ parse is
+// the identity the fuzz harnesses check.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "symcan/util/diagnostics.hpp"
+
+namespace symcan::jsonl {
+
+/// Cursor over one line; all helpers leave the cursor after what they
+/// consumed and report failures through the line's diagnostics.
+struct Cursor {
+  const char* p;
+  const char* end;
+
+  bool done() const { return p == end; }
+  char peek() const { return *p; }
+  void skip_ws() {
+    while (p != end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (p == end || *p != c) return false;
+    ++p;
+    return true;
+  }
+};
+
+/// Append one code point as UTF-8 (lone surrogates as WTF-8, keeping
+/// parse/serialize an identity even on inputs no sane writer produces).
+void append_utf8(std::string& out, std::uint32_t cp);
+
+/// A quoted JSON string with full escape handling. `what` names the
+/// field in diagnostics ("key", "matrix_csv", ...).
+bool parse_string(Cursor& c, std::size_t line_no, const char* what, std::string& out,
+                  Diagnostics& diags);
+
+/// A strict integer: JSON permits fractions and exponents, the JSONL
+/// grammars here do not, so `1.5` and `1e9` are diagnosed.
+bool parse_i64(Cursor& c, std::size_t line_no, const char* what, std::int64_t& out,
+               Diagnostics& diags);
+
+/// A finite JSON number (integer or fraction/exponent form).
+bool parse_double(Cursor& c, std::size_t line_no, const char* what, double& out,
+                  Diagnostics& diags);
+
+/// The literals true / false.
+bool parse_bool(Cursor& c, std::size_t line_no, const char* what, bool& out, Diagnostics& diags);
+
+/// Skip a scalar value of an unknown key; nested containers are rejected
+/// (nothing in the line grammars nests, and skipping them faithfully
+/// would turn these readers into full JSON parsers).
+bool skip_scalar(Cursor& c, std::size_t line_no, Diagnostics& diags);
+
+}  // namespace symcan::jsonl

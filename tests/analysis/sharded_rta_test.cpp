@@ -1,0 +1,140 @@
+// Sharded-RTA-cache contract: sharding changes only lock granularity and
+// eviction locality — never verdicts. Any shard count must return
+// results bit-identical to a fresh CanRta analysis and to the historical
+// single-LRU cache, and the aggregated stats/size views must stay
+// consistent with what each shard records.
+
+#include <gtest/gtest.h>
+
+#include "symcan/analysis/incremental_rta.hpp"
+#include "symcan/analysis/presets.hpp"
+#include "symcan/util/parallel.hpp"
+#include "symcan/workload/powertrain.hpp"
+
+namespace symcan {
+namespace {
+
+KMatrix test_matrix(std::uint64_t seed = 11, int messages = 24, double util = 0.55) {
+  PowertrainConfig cfg;
+  cfg.seed = seed;
+  cfg.message_count = messages;
+  cfg.ecu_count = 4;
+  cfg.target_utilization = util;
+  return generate_powertrain(cfg);
+}
+
+/// Field-by-field equality; any difference is a cache soundness bug.
+void expect_identical(const BusResult& a, const BusResult& b) {
+  ASSERT_EQ(a.messages.size(), b.messages.size());
+  EXPECT_EQ(a.utilization, b.utilization);
+  for (std::size_t i = 0; i < a.messages.size(); ++i) {
+    const MessageResult& x = a.messages[i];
+    const MessageResult& y = b.messages[i];
+    SCOPED_TRACE(x.name);
+    EXPECT_EQ(x.name, y.name);
+    EXPECT_EQ(x.id, y.id);
+    EXPECT_EQ(x.wcrt, y.wcrt);
+    EXPECT_EQ(x.bcrt, y.bcrt);
+    EXPECT_EQ(x.deadline, y.deadline);
+    EXPECT_EQ(x.blocking, y.blocking);
+    EXPECT_EQ(x.busy_period, y.busy_period);
+    EXPECT_EQ(x.instances, y.instances);
+    EXPECT_EQ(x.fixedpoint_iterations, y.fixedpoint_iterations);
+    EXPECT_EQ(x.schedulable, y.schedulable);
+    EXPECT_EQ(x.diverged, y.diverged);
+  }
+}
+
+RtaCacheConfig sharded(std::size_t shards, std::size_t capacity = 65536) {
+  RtaCacheConfig cfg;
+  cfg.shards = shards;
+  cfg.capacity = capacity;
+  return cfg;
+}
+
+TEST(ShardedRtaTest, AnyShardCountMatchesFreshAnalysis) {
+  const KMatrix km = test_matrix();
+  for (const CanRtaConfig& rta : {worst_case_assumptions(), best_case_assumptions()}) {
+    const BusResult fresh = CanRta{km, rta}.analyze();
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
+      SCOPED_TRACE(shards);
+      IncrementalRta cache{sharded(shards)};
+      expect_identical(cache.analyze(km, rta), fresh);  // All misses.
+      expect_identical(cache.analyze(km, rta), fresh);  // All hits.
+      EXPECT_EQ(cache.stats().hits, static_cast<std::int64_t>(km.size()));
+    }
+  }
+}
+
+TEST(ShardedRtaTest, ShardsPartitionTheKeySpace) {
+  const KMatrix km = test_matrix();
+  const CanRtaConfig rta = worst_case_assumptions();
+  IncrementalRta cache{sharded(8)};
+  EXPECT_EQ(cache.shard_count(), 8u);
+  cache.analyze(km, rta);
+  // Every message landed in exactly one shard: the aggregate size is the
+  // number of distinct contexts, here one per message.
+  EXPECT_EQ(cache.size(), km.size());
+  EXPECT_EQ(cache.stats().misses, static_cast<std::int64_t>(km.size()));
+  // The same keys route to the same shards on re-analysis: zero misses.
+  cache.analyze(km, rta);
+  EXPECT_EQ(cache.stats().misses, static_cast<std::int64_t>(km.size()));
+}
+
+TEST(ShardedRtaTest, ShardCountClampsToCapacity) {
+  // 8 shards over capacity 2 would give every shard capacity 0; the
+  // constructor clamps so every shard holds at least one entry.
+  IncrementalRta cache{sharded(8, 2)};
+  EXPECT_EQ(cache.shard_count(), 2u);
+  EXPECT_THROW(IncrementalRta{sharded(0)}, std::invalid_argument);
+  EXPECT_THROW(IncrementalRta{sharded(1, 0)}, std::invalid_argument);
+}
+
+TEST(ShardedRtaTest, TinyShardsEvictButStayCorrect) {
+  const KMatrix km = test_matrix();
+  const CanRtaConfig rta = worst_case_assumptions();
+  const BusResult fresh = CanRta{km, rta}.analyze();
+  // Fewer total entries than messages: constant churn, still correct.
+  IncrementalRta cache{sharded(4, 8)};
+  for (int round = 0; round < 3; ++round) expect_identical(cache.analyze(km, rta), fresh);
+  EXPECT_LE(cache.size(), 8u);
+  EXPECT_GT(cache.stats().evictions, 0);
+}
+
+TEST(ShardedRtaTest, ClearEmptiesEveryShardAndKeepsStats) {
+  const KMatrix km = test_matrix();
+  const CanRtaConfig rta = worst_case_assumptions();
+  IncrementalRta cache{sharded(8)};
+  cache.analyze(km, rta);
+  const std::int64_t misses = cache.stats().misses;
+  ASSERT_GT(cache.size(), 0u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().misses, misses);
+  // Post-clear analysis re-misses every context and stays correct.
+  expect_identical(cache.analyze(km, rta), CanRta{km, rta}.analyze());
+  EXPECT_EQ(cache.stats().misses, 2 * misses);
+}
+
+TEST(ShardedRtaTest, SharedAcrossParallelWorkersStaysBitIdentical) {
+  // The serve batcher's usage: many workers, one sharded cache, distinct
+  // matrices. Every response must match its own fresh analysis.
+  std::vector<KMatrix> matrices;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed)
+    matrices.push_back(test_matrix(seed, 16, 0.45));
+  const CanRtaConfig rta = worst_case_assumptions();
+  IncrementalRta cache{sharded(8)};
+  ParallelExecutor pool{4};
+  const std::vector<BusResult> results =
+      pool.parallel_map(matrices, [&](const KMatrix& km) { return cache.analyze(km, rta); });
+  ASSERT_EQ(results.size(), matrices.size());
+  for (std::size_t i = 0; i < matrices.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_identical(results[i], CanRta{matrices[i], rta}.analyze());
+  }
+  EXPECT_EQ(cache.stats().hits + cache.stats().misses,
+            cache.stats().lookups());
+}
+
+}  // namespace
+}  // namespace symcan

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -12,11 +14,19 @@
 namespace symcan::cli {
 namespace {
 
+/// ctest runs every test of this binary as its own process, many in
+/// parallel, so fixed temp file names race: one process's TearDown can
+/// delete a file another is still reading. Pid-unique names keep the
+/// processes apart.
+std::string temp_name(const std::string& name) {
+  return ::testing::TempDir() + "/" + std::to_string(::getpid()) + "_" + name;
+}
+
 /// Fixture providing a small matrix on disk and captured streams.
 class CliTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "/symcan_cli_test.csv";
+    path_ = temp_name("symcan_cli_test.csv");
     PowertrainConfig cfg = PowertrainConfig::case_study();
     cfg.message_count = 16;
     cfg.ecu_count = 4;
@@ -59,7 +69,7 @@ TEST_F(CliTest, UnknownCommandFails) {
 }
 
 TEST_F(CliTest, GenerateWritesParsableMatrix) {
-  const std::string out_path = ::testing::TempDir() + "/symcan_cli_gen.csv";
+  const std::string out_path = temp_name("symcan_cli_gen.csv");
   EXPECT_EQ(run({"generate", "--messages", "12", "--ecus", "3", "--out", out_path}), 0);
   const KMatrix km = load_kmatrix(out_path);
   EXPECT_EQ(km.size(), 12u);
@@ -116,7 +126,7 @@ TEST_F(CliTest, SensitivityListsEveryMessage) {
 }
 
 TEST_F(CliTest, OptimizeWritesValidMatrix) {
-  const std::string out_path = ::testing::TempDir() + "/symcan_cli_opt.csv";
+  const std::string out_path = temp_name("symcan_cli_opt.csv");
   const int rc = run({"optimize", path_, "--generations", "4", "--population", "8", "--out",
                       out_path});
   EXPECT_TRUE(rc == 0 || rc == 1);
@@ -175,6 +185,65 @@ TEST_F(CliTest, BudgetFailsOnUnschedulableBaseline) {
   if (rc == 2) EXPECT_NE(err_.str().find("not schedulable"), std::string::npos);
 }
 
+TEST_F(CliTest, RtaCacheCapacityIsValidated) {
+  EXPECT_EQ(run({"sweep", path_, "--rta-cache-capacity", "1024"}), 0);
+  EXPECT_EQ(run({"sweep", path_, "--rta-cache-capacity", "0"}), 2);
+  EXPECT_EQ(run({"sweep", path_, "--rta-cache-capacity", "-5"}), 2);
+  EXPECT_EQ(run({"sweep", path_, "--rta-cache-capacity", "lots"}), 2);
+}
+
+TEST_F(CliTest, ServeRequiresStdio) {
+  std::istringstream in;
+  EXPECT_EQ(run_cli({"serve"}, in, out_, err_), 2);
+  EXPECT_NE(err_.str().find("--stdio"), std::string::npos);
+}
+
+TEST_F(CliTest, ServeValidatesItsKnobsBeforeReadingRequests) {
+  // Garbage knobs exit 2 up front; stdin is never touched.
+  const std::vector<std::vector<std::string>> bad = {
+      {"serve", "--stdio", "--serve-shards", "0"},
+      {"serve", "--stdio", "--serve-shards", "many"},
+      {"serve", "--stdio", "--ring-capacity", "-1"},
+      {"serve", "--stdio", "--overflow", "fifo"},
+      {"serve", "--stdio", "--block-deadline-ms", "0"},
+      {"serve", "--stdio", "--batch", "0"},
+      {"serve", "--stdio", "--matrix-cache", "nope"},
+      {"serve", "--stdio", "--rta-cache-capacity", "0"},
+      {"serve", "--stdio", "--frobnicate", "1"},
+  };
+  for (const auto& args : bad) {
+    std::istringstream in{"{\"id\":\"x\",\"kind\":\"health\"}\n"};
+    out_.str("");
+    err_.str("");
+    EXPECT_EQ(run_cli(args, in, out_, err_), 2) << args[2];
+    EXPECT_EQ(out_.str(), "") << args[2];
+  }
+}
+
+TEST_F(CliTest, ServeStdioAnswersRequestsAndExitsAtEof) {
+  std::istringstream in{"{\"id\":\"h1\",\"kind\":\"health\"}\n"};
+  EXPECT_EQ(run_cli({"serve", "--stdio", "--serve-shards", "4"}, in, out_, err_), 0);
+  EXPECT_NE(out_.str().find("\"id\":\"h1\""), std::string::npos);
+  EXPECT_NE(out_.str().find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(out_.str().find("\"shards\":4"), std::string::npos);
+  EXPECT_EQ(err_.str(), "");
+
+  std::istringstream empty;
+  out_.str("");
+  EXPECT_EQ(run_cli({"serve", "--stdio"}, empty, out_, err_), 0);
+  EXPECT_EQ(out_.str(), "");
+}
+
+TEST_F(CliTest, ServeStdioReportsMalformedRequestLines) {
+  std::istringstream in{"this is not json\n{\"id\":\"h2\",\"kind\":\"health\"}\n"};
+  EXPECT_EQ(run_cli({"serve", "--stdio"}, in, out_, err_), 0);
+  const std::string text = out_.str();
+  EXPECT_NE(text.find("\"status\":\"invalid\""), std::string::npos);
+  EXPECT_NE(text.find("\"line\":1"), std::string::npos);
+  // The service survives the bad line; the next request is answered.
+  EXPECT_NE(text.find("\"id\":\"h2\""), std::string::npos);
+}
+
 TEST_F(CliTest, UnknownOptionIsRejected) {
   EXPECT_EQ(run({"analyze", path_, "--tpyo", "3"}), 2);
   EXPECT_NE(err_.str().find("unknown option --tpyo"), std::string::npos);
@@ -204,8 +273,8 @@ TEST_F(CliTest, GenerateRejectsNonPositiveSizes) {
 }
 
 TEST_F(CliTest, AnalyzeExportsTraceAndMetrics) {
-  const std::string trace = ::testing::TempDir() + "/symcan_cli_trace.json";
-  const std::string metrics = ::testing::TempDir() + "/symcan_cli_metrics.json";
+  const std::string trace = temp_name("symcan_cli_trace.json");
+  const std::string metrics = temp_name("symcan_cli_metrics.json");
   EXPECT_EQ(run({"analyze", path_, "--trace-out", trace, "--metrics-out", metrics}), 0);
   const std::string t = slurp(trace);
   EXPECT_NE(t.find("\"traceEvents\""), std::string::npos);
@@ -219,7 +288,7 @@ TEST_F(CliTest, AnalyzeExportsTraceAndMetrics) {
 }
 
 TEST_F(CliTest, SweepWithJobsExportsParallelMetrics) {
-  const std::string metrics = ::testing::TempDir() + "/symcan_cli_sweep_metrics.json";
+  const std::string metrics = temp_name("symcan_cli_sweep_metrics.json");
   EXPECT_EQ(run({"sweep", path_, "--jobs", "2", "--from", "0", "--to", "0.1", "--step", "0.05",
                  "--metrics-out", metrics}),
             0);
@@ -231,17 +300,17 @@ TEST_F(CliTest, SweepWithJobsExportsParallelMetrics) {
 }
 
 TEST_F(CliTest, OptimizeExportsPerGenerationSeries) {
-  const std::string metrics = ::testing::TempDir() + "/symcan_cli_opt_metrics.json";
+  const std::string metrics = temp_name("symcan_cli_opt_metrics.json");
   const int rc = run({"optimize", path_, "--generations", "2", "--population", "8",
                       "--metrics-out", metrics, "--out",
-                      ::testing::TempDir() + "/symcan_cli_opt2.csv"});
+                      temp_name("symcan_cli_opt2.csv")});
   EXPECT_TRUE(rc == 0 || rc == 1);
   const std::string m = slurp(metrics);
   EXPECT_NE(m.find("\"ga.generations\""), std::string::npos);
   EXPECT_NE(m.find("best_misses"), std::string::npos);
   EXPECT_NE(m.find("eval_ms"), std::string::npos);
   std::remove(metrics.c_str());
-  std::remove((::testing::TempDir() + "/symcan_cli_opt2.csv").c_str());
+  std::remove((temp_name("symcan_cli_opt2.csv")).c_str());
 }
 
 TEST_F(CliTest, ExplainDecomposesOneMessage) {
@@ -284,8 +353,8 @@ TEST_F(CliTest, MonitorSimulatedBusPrintsHealthTable) {
 }
 
 TEST_F(CliTest, MonitorExportsStatsJsonAndEventsJsonl) {
-  const std::string stats = ::testing::TempDir() + "/symcan_cli_monitor_stats.json";
-  const std::string events = ::testing::TempDir() + "/symcan_cli_monitor_events.jsonl";
+  const std::string stats = temp_name("symcan_cli_monitor_stats.json");
+  const std::string events = temp_name("symcan_cli_monitor_events.jsonl");
   EXPECT_EQ(run({"monitor", path_, "--millis", "200", "--json", "--stats-json", stats,
                  "--events-jsonl", events}),
             0);
@@ -301,7 +370,7 @@ TEST_F(CliTest, MonitorFromTraceMatchesLiveSimulation) {
   // Exporting the simulated trace and replaying it through --from-trace
   // must produce the identical health table: the JSONL roundtrip is
   // nanosecond-exact and ingest is chunk-invariant.
-  const std::string jsonl = ::testing::TempDir() + "/symcan_cli_monitor_trace.jsonl";
+  const std::string jsonl = temp_name("symcan_cli_monitor_trace.jsonl");
   ASSERT_EQ(run({"simulate", path_, "--millis", "200", "--trace-jsonl", jsonl}), 0);
   ASSERT_EQ(run({"monitor", path_, "--millis", "200"}), 0);
   const std::string live = out_.str();
@@ -311,7 +380,7 @@ TEST_F(CliTest, MonitorFromTraceMatchesLiveSimulation) {
 }
 
 TEST_F(CliTest, MonitorMalformedTraceExitsTwoWithLineDiagnostics) {
-  const std::string bad = ::testing::TempDir() + "/symcan_cli_monitor_bad.jsonl";
+  const std::string bad = temp_name("symcan_cli_monitor_bad.jsonl");
   {
     std::ofstream f{bad};
     f << "{\"t_ns\":0,\"type\":\"release\",\"message\":\"ok\",\"instance\":0}\n"
@@ -329,9 +398,9 @@ TEST_F(CliTest, MonitorRejectsNonPositiveChunk) {
 }
 
 TEST_F(CliTest, SimulateExportsTraceAndStats) {
-  const std::string jsonl = ::testing::TempDir() + "/symcan_cli_sim.jsonl";
-  const std::string chrome = ::testing::TempDir() + "/symcan_cli_sim_chrome.json";
-  const std::string stats = ::testing::TempDir() + "/symcan_cli_sim_stats.json";
+  const std::string jsonl = temp_name("symcan_cli_sim.jsonl");
+  const std::string chrome = temp_name("symcan_cli_sim_chrome.json");
+  const std::string stats = temp_name("symcan_cli_sim_stats.json");
   EXPECT_EQ(run({"simulate", path_, "--millis", "100", "--trace-jsonl", jsonl, "--trace-chrome",
                  chrome, "--stats-json", stats}),
             0);
@@ -366,7 +435,7 @@ TEST_F(CliTest, MetricsOutFailsCleanlyOnUnwritablePath) {
 /// Writes `text` to a temp file and returns its path; removed in TearDown
 /// by the caller via std::remove.
 std::string write_temp(const std::string& name, const std::string& text) {
-  const std::string p = ::testing::TempDir() + "/" + name;
+  const std::string p = temp_name(name);
   std::ofstream f{p};
   f << text;
   return p;

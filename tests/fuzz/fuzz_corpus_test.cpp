@@ -61,6 +61,13 @@ TEST(FuzzCorpus, ArgvCorpusVerbatim) {
     ASSERT_NO_THROW(check_cli_argv_input(read_file(f.string()))) << f;
 }
 
+TEST(FuzzCorpus, ServeCorpusVerbatim) {
+  const auto files = corpus_files("serve");
+  ASSERT_FALSE(files.empty());
+  for (const auto& f : files)
+    ASSERT_NO_THROW(check_serve_request_input(read_file(f.string()))) << f;
+}
+
 TEST(FuzzCorpus, TraceCorpusVerbatim) {
   const auto files = corpus_files("trace");
   ASSERT_FALSE(files.empty());
@@ -105,6 +112,36 @@ TEST(FuzzCorpus, TraceMutationStorm) {
           << f << " seed " << seed << "\n--- mutated input ---\n"
           << mutate_trace_jsonl(seed_text, seed);
   }
+}
+
+TEST(FuzzCorpus, ServeMutationStorm) {
+  for (const auto& f : corpus_files("serve")) {
+    const std::string seed_text = read_file(f.string());
+    for (std::uint64_t seed = 1; seed <= kMutationsPerSeed; ++seed)
+      ASSERT_NO_THROW(check_serve_request_input(mutate_serve_jsonl(seed_text, seed)))
+          << f << " seed " << seed << "\n--- mutated input ---\n"
+          << mutate_serve_jsonl(seed_text, seed);
+  }
+}
+
+// The service's trust boundary: any corpus stream fed through `serve
+// --stdio` leaves the service alive (exit 0), and the malformed fixture
+// yields structured invalid responses with line numbers instead of a
+// dropped connection.
+TEST(FuzzCorpus, ServeStdioSurvivesEveryCorpusStream) {
+  std::size_t malformed_checked = 0;
+  for (const auto& f : corpus_files("serve")) {
+    std::istringstream in{read_file(f.string())};
+    std::ostringstream out;
+    std::ostringstream err;
+    EXPECT_EQ(cli::run_cli({"serve", "--stdio"}, in, out, err), 0) << f;
+    if (is_malformed_fixture(f)) {
+      EXPECT_NE(out.str().find("\"status\":\"invalid\""), std::string::npos) << f;
+      EXPECT_NE(out.str().find("\"line\":"), std::string::npos) << f;
+      ++malformed_checked;
+    }
+  }
+  EXPECT_GE(malformed_checked, 1u);
 }
 
 // Every malformed fixture, loaded through the real CLI, must exit 2 with

@@ -8,6 +8,7 @@
 #include "symcan/can/dbc_import.hpp"
 #include "symcan/can/kmatrix_io.hpp"
 #include "symcan/cli/commands.hpp"
+#include "symcan/serve/request.hpp"
 #include "symcan/sim/trace_export.hpp"
 #include "symcan/stream/analyzer.hpp"
 #include "symcan/stream/trace_reader.hpp"
@@ -138,10 +139,50 @@ std::vector<std::string> sanitize_argv(std::string_view data) {
 void check_cli_argv_input(std::string_view data) {
   if (data.size() > kMaxInputBytes) return;
   const auto argv = sanitize_argv(data);
+  // An empty request stream, so a fuzzed "serve --stdio" serves zero
+  // requests and returns instead of waiting on the harness's stdin.
+  std::istringstream in;
   std::ostringstream out;
   std::ostringstream err;
-  const int rc = cli::run_cli(argv, out, err);  // nothing may escape
+  const int rc = cli::run_cli(argv, in, out, err);  // nothing may escape
   require(rc == 0 || rc == 1 || rc == 2, "run_cli returned exit code " + std::to_string(rc));
+}
+
+void check_serve_request_input(std::string_view data) {
+  if (data.size() > kMaxInputBytes) return;
+  const std::string text{data};
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    std::string line = text.substr(start, nl == std::string::npos ? nl : nl - start);
+    start = nl == std::string::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+
+    Diagnostics lenient{DiagnosticPolicy::kLenient, "serve request"};
+    const auto req = serve::request_from_jsonl(line, line_no, lenient);
+    require(req.has_value() == lenient.ok(),
+            "serve request parser returned " + std::string(req ? "a request" : "nullopt") +
+                " but recorded " + std::to_string(lenient.error_count()) + " error(s)");
+    Diagnostics strict{DiagnosticPolicy::kStrict, "serve request"};
+    const auto req_strict = serve::request_from_jsonl(line, line_no, strict);
+    require(req_strict.has_value() == strict.ok(), "strict serve request parser is inconsistent");
+    require_strict_superset(req.has_value(), req_strict.has_value());
+    if (!req) continue;
+
+    // parse ∘ serialize ∘ parse must be the identity on accepted
+    // requests, and the canonical spelling a fixed point.
+    const std::string wire = serve::request_to_jsonl(*req);
+    Diagnostics again{DiagnosticPolicy::kLenient, "serve request"};
+    const auto back = serve::request_from_jsonl(wire, line_no, again);
+    require(back.has_value(),
+            "canonical form of an accepted request failed to re-parse:\n" + again.format());
+    require(*back == *req, "serialize/parse round trip changed the request: " + wire);
+    require(serve::request_to_jsonl(*back) == wire,
+            "canonical spelling is not a fixed point: " + wire);
+  }
 }
 
 void check_trace_jsonl_input(std::string_view data) {

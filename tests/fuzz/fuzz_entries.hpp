@@ -57,6 +57,14 @@ void check_cli_argv_input(std::string_view data);
 /// accepted trace.
 void check_trace_jsonl_input(std::string_view data);
 
+/// Feed one JSONL serve-request stream through request_from_jsonl line
+/// by line (as the stdio transport does) under both policies. Checks the
+/// shared ingest contract (parse result iff no error, strict superset)
+/// plus the wire grammar's own: parse ∘ serialize ∘ parse is the
+/// identity on accepted requests and the canonical spelling is a fixed
+/// point of serialization.
+void check_serve_request_input(std::string_view data);
+
 /// The argv sanitisation used by check_cli_argv_input, exposed for tests.
 std::vector<std::string> sanitize_argv(std::string_view data);
 

@@ -206,6 +206,39 @@ std::string mutate_trace_jsonl(const std::string& seed_text, std::uint64_t seed)
   return mutate_lines(seed_text, seed, kGarbage);
 }
 
+std::string mutate_serve_jsonl(const std::string& seed_text, std::uint64_t seed) {
+  static const std::vector<std::string> kGarbage = {
+      "{",
+      "}",
+      "{}",
+      "null",
+      "[]",
+      "{\"id\":\"x\"}",
+      "{\"kind\":\"analyze\",\"matrix_csv\":\"c\"}",
+      "{\"id\":\"x\",\"kind\":\"frobnicate\",\"matrix_csv\":\"c\"}",
+      "{\"id\":\"x\",\"id\":\"y\",\"kind\":\"health\"}",
+      "{\"id\":\"x\",\"kind\":\"health\",\"matrix_csv\":\"c\"}",
+      "{\"id\":\"x\",\"kind\":\"analyze\"}",
+      "{\"id\":\"x\",\"kind\":\"analyze\",\"matrix_csv\":\"c\",\"millis\":100}",
+      "{\"id\":\"x\",\"kind\":\"validate\",\"matrix_csv\":\"c\",\"preset\":\"best-case\"}",
+      "{\"id\":\"x\",\"kind\":\"validate\",\"matrix_csv\":\"c\",\"millis\":0}",
+      "{\"id\":\"x\",\"kind\":\"validate\",\"matrix_csv\":\"c\",\"seed\":-1}",
+      "{\"id\":\"x\",\"kind\":\"validate\",\"matrix_csv\":\"c\",\"errors\":\"cosmic\"}",
+      "{\"id\":\"x\",\"kind\":\"optimize\",\"matrix_csv\":\"c\",\"generations\":2000000}",
+      "{\"id\":\"x\",\"kind\":\"analyze\",\"matrix_csv\":\"c\",\"jitter\":-0.5}",
+      "{\"id\":\"x\",\"kind\":\"analyze\",\"matrix_csv\":\"c\",\"jitter\":1e308}",
+      "{\"id\":\"x\",\"kind\":\"analyze\",\"matrix_csv\":{\"nested\":true}}",
+      "{\"id\":\"x\",\"kind\":\"analyze\",\"matrix_csv\":[1,2]}",
+      "{\"id\":\"x\",\"kind\":\"explain\",\"matrix_csv\":\"c\"}",
+      "{\"id\":\"x\",\"kind\":\"explain\",\"matrix_csv\":\"c\",\"message\":\"\\ud800\"}",
+      "{\"id\":\"\\u0000\",\"kind\":\"health\"}",
+      "{\"id\":\"x\",\"kind\":\"health\",\"future_knob\":7}",
+      "{\"id\":\"x\",\"kind\":\"health\"} trailing",
+      "{\"id\":\"unterminated,\"kind\":\"health\"}",
+  };
+  return mutate_lines(seed_text, seed, kGarbage);
+}
+
 std::string mutate_argv(const std::string& seed_text, std::uint64_t seed) {
   static const std::vector<std::string> kPool = {
       "generate",      "analyze",     "sweep",        "import",      "report",
@@ -219,6 +252,9 @@ std::string mutate_argv(const std::string& seed_text, std::uint64_t seed) {
       "--no-such-opt", "0.5",         "-0.5",         "nan",         "no-such-file",
       "no-such.dbc",   "0",           "1",            "999",         "-1",
       "monitor",       "--from-trace", "--chunk",     "--no-bounds", "no-such.jsonl",
+      "serve",         "--stdio",      "--serve-shards", "--ring-capacity", "--overflow",
+      "reject",        "drop-oldest",  "block-with-deadline", "--batch",
+      "--rta-cache-capacity", "--block-deadline-ms", "--matrix-cache",
   };
   Rng rng{seed};
   std::istringstream in{seed_text};

@@ -38,4 +38,9 @@ std::string mutate_argv(const std::string& seed_text, std::uint64_t seed);
 /// torture, boundary timestamps, truncated objects).
 std::string mutate_trace_jsonl(const std::string& seed_text, std::uint64_t seed);
 
+/// Mutate a JSONL serve-request stream (line oriented: kind confusion,
+/// duplicate/foreign keys, boundary numbers, escape torture, nested
+/// containers where scalars belong).
+std::string mutate_serve_jsonl(const std::string& seed_text, std::uint64_t seed);
+
 }  // namespace symcan::fuzz

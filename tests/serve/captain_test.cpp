@@ -1,0 +1,124 @@
+#include "symcan/serve/captain.hpp"
+
+#include <gtest/gtest.h>
+
+namespace symcan::serve {
+namespace {
+
+CaptainConfig quick() {
+  CaptainConfig cfg;
+  cfg.degrade_after = 3;
+  cfg.recover_after = 8;
+  return cfg;
+}
+
+void observe_n(Captain& c, PressureState p, int n) {
+  for (int i = 0; i < n; ++i) c.observe(p);
+}
+
+TEST(CaptainTest, RejectsNonPositiveThresholds) {
+  CaptainConfig bad;
+  bad.degrade_after = 0;
+  EXPECT_THROW(Captain{bad}, std::invalid_argument);
+  bad = {};
+  bad.recover_after = -1;
+  EXPECT_THROW(Captain{bad}, std::invalid_argument);
+}
+
+TEST(CaptainTest, FullModeAdmitsEverything) {
+  Captain c{quick()};
+  EXPECT_EQ(c.mode(), ServeMode::kFull);
+  for (const RequestKind k : {RequestKind::kAnalyze, RequestKind::kExplain,
+                              RequestKind::kValidate, RequestKind::kOptimize,
+                              RequestKind::kHealth})
+    EXPECT_TRUE(c.admits(k)) << to_string(k);
+}
+
+TEST(CaptainTest, ShedsOptimizeFirstThenExplain) {
+  Captain c{quick()};
+  observe_n(c, PressureState::kSaturated, 3);
+  EXPECT_EQ(c.mode(), ServeMode::kNoOptimize);
+  EXPECT_FALSE(c.admits(RequestKind::kOptimize));
+  EXPECT_TRUE(c.admits(RequestKind::kExplain));
+  EXPECT_TRUE(c.admits(RequestKind::kAnalyze));
+  EXPECT_TRUE(c.admits(RequestKind::kValidate));
+  EXPECT_TRUE(c.admits(RequestKind::kHealth));
+
+  observe_n(c, PressureState::kSaturated, 3);
+  EXPECT_EQ(c.mode(), ServeMode::kEssential);
+  EXPECT_FALSE(c.admits(RequestKind::kOptimize));
+  EXPECT_FALSE(c.admits(RequestKind::kExplain));
+  // The always-needed questions stay answerable.
+  EXPECT_TRUE(c.admits(RequestKind::kAnalyze));
+  EXPECT_TRUE(c.admits(RequestKind::kValidate));
+  EXPECT_TRUE(c.admits(RequestKind::kHealth));
+
+  // Essential is the floor.
+  observe_n(c, PressureState::kSaturated, 10);
+  EXPECT_EQ(c.mode(), ServeMode::kEssential);
+  EXPECT_EQ(c.mode_changes(), 2);
+}
+
+TEST(CaptainTest, DegradeRequiresConsecutiveSaturatedSamples) {
+  Captain c{quick()};
+  observe_n(c, PressureState::kSaturated, 2);
+  c.observe(PressureState::kOk);  // Streak broken.
+  observe_n(c, PressureState::kSaturated, 2);
+  EXPECT_EQ(c.mode(), ServeMode::kFull);
+  c.observe(PressureState::kSaturated);  // Third consecutive.
+  EXPECT_EQ(c.mode(), ServeMode::kNoOptimize);
+}
+
+TEST(CaptainTest, RecoversOneLevelPerOkStreak) {
+  Captain c{quick()};
+  observe_n(c, PressureState::kSaturated, 6);
+  ASSERT_EQ(c.mode(), ServeMode::kEssential);
+
+  observe_n(c, PressureState::kOk, 7);
+  EXPECT_EQ(c.mode(), ServeMode::kEssential);  // One short of recover_after.
+  c.observe(PressureState::kOk);
+  EXPECT_EQ(c.mode(), ServeMode::kNoOptimize);
+  observe_n(c, PressureState::kOk, 8);
+  EXPECT_EQ(c.mode(), ServeMode::kFull);
+  EXPECT_EQ(c.mode_changes(), 4);
+
+  // Full is the ceiling.
+  observe_n(c, PressureState::kOk, 20);
+  EXPECT_EQ(c.mode(), ServeMode::kFull);
+  EXPECT_EQ(c.mode_changes(), 4);
+}
+
+TEST(CaptainTest, ElevatedHoldsModeAndResetsBothStreaks) {
+  Captain c{quick()};
+  observe_n(c, PressureState::kSaturated, 2);
+  c.observe(PressureState::kElevated);  // Saturated streak gone.
+  observe_n(c, PressureState::kSaturated, 2);
+  EXPECT_EQ(c.mode(), ServeMode::kFull);
+
+  observe_n(c, PressureState::kSaturated, 1);
+  ASSERT_EQ(c.mode(), ServeMode::kNoOptimize);
+  observe_n(c, PressureState::kOk, 7);
+  c.observe(PressureState::kElevated);  // Ok streak gone.
+  observe_n(c, PressureState::kOk, 7);
+  EXPECT_EQ(c.mode(), ServeMode::kNoOptimize);  // Still one short each time.
+  c.observe(PressureState::kOk);
+  EXPECT_EQ(c.mode(), ServeMode::kFull);
+}
+
+TEST(CaptainTest, RecordShedCountsPerKind) {
+  Captain c{quick()};
+  c.record_shed(RequestKind::kOptimize);
+  c.record_shed(RequestKind::kOptimize);
+  c.record_shed(RequestKind::kExplain);
+  EXPECT_EQ(c.shed_optimize(), 2);
+  EXPECT_EQ(c.shed_explain(), 1);
+}
+
+TEST(CaptainTest, ModeSpellings) {
+  EXPECT_STREQ(to_string(ServeMode::kFull), "full");
+  EXPECT_STREQ(to_string(ServeMode::kNoOptimize), "no-optimize");
+  EXPECT_STREQ(to_string(ServeMode::kEssential), "essential");
+}
+
+}  // namespace
+}  // namespace symcan::serve

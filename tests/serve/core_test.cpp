@@ -1,0 +1,174 @@
+#include "symcan/serve/core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "symcan/can/kmatrix_io.hpp"
+#include "symcan/workload/powertrain.hpp"
+
+namespace symcan::serve {
+namespace {
+
+std::string small_matrix_csv(std::uint64_t seed = 42) {
+  PowertrainConfig cfg;
+  cfg.seed = seed;
+  cfg.message_count = 12;
+  return kmatrix_to_csv(generate_powertrain(cfg));
+}
+
+ServeRequest analyze_request(const std::string& csv, const std::string& id = "a1") {
+  ServeRequest req;
+  req.id = id;
+  req.kind = RequestKind::kAnalyze;
+  req.matrix_csv = csv;
+  return req;
+}
+
+TEST(ServeCoreTest, AnalyzeProducesOutputAndCounts) {
+  ServeCore core;
+  const ServeResponse resp = core.handle(analyze_request(small_matrix_csv()));
+  EXPECT_EQ(resp.id, "a1");
+  EXPECT_EQ(resp.kind, RequestKind::kAnalyze);
+  ASSERT_TRUE(resp.status == ResponseStatus::kOk || resp.status == ResponseStatus::kFailed);
+  EXPECT_NE(resp.output.find("bus "), std::string::npos);
+  EXPECT_NE(resp.output.find("misses:"), std::string::npos);
+  EXPECT_EQ(resp.exit_code, resp.status == ResponseStatus::kOk ? 0 : 1);
+  EXPECT_EQ(core.handled(), 1);
+}
+
+TEST(ServeCoreTest, MalformedMatrixYieldsInvalidNotThrow) {
+  ServeCore core;
+  const ServeResponse resp = core.handle(analyze_request("definitely,not,a\nkmatrix"));
+  EXPECT_EQ(resp.status, ResponseStatus::kInvalid);
+  EXPECT_EQ(resp.exit_code, 2);
+  EXPECT_FALSE(resp.diagnostics.empty());
+  EXPECT_EQ(core.handled(), 1);
+}
+
+TEST(ServeCoreTest, UnknownExplainTargetYieldsInvalid) {
+  ServeCore core;
+  ServeRequest req;
+  req.id = "e1";
+  req.kind = RequestKind::kExplain;
+  req.matrix_csv = small_matrix_csv();
+  req.message = "NoSuchMessage";
+  const ServeResponse resp = core.handle(req);
+  EXPECT_EQ(resp.status, ResponseStatus::kInvalid);
+  EXPECT_EQ(resp.exit_code, 2);
+  ASSERT_FALSE(resp.diagnostics.empty());
+  EXPECT_NE(resp.diagnostics.front().message.find("NoSuchMessage"), std::string::npos);
+}
+
+TEST(ServeCoreTest, HealthReportsTheWholeDashboard) {
+  ServeCore core;
+  ServeRequest req;
+  req.id = "h1";
+  req.kind = RequestKind::kHealth;
+  const ServeResponse resp = core.handle(req);
+  EXPECT_EQ(resp.status, ResponseStatus::kOk);
+  for (const char* key :
+       {"\"mode\"", "\"pressure\"", "\"ring\"", "\"captain\"", "\"rta_cache\"",
+        "\"matrix_cache\"", "\"requests\""})
+    EXPECT_NE(resp.health_json.find(key), std::string::npos) << key;
+  EXPECT_NE(resp.health_json.find("\"mode\":\"full\""), std::string::npos);
+}
+
+TEST(ServeCoreTest, BatchIsBitIdenticalToOneAtATime) {
+  const std::string csv_a = small_matrix_csv(1);
+  const std::string csv_b = small_matrix_csv(2);
+  std::vector<ServeRequest> reqs;
+  for (int i = 0; i < 6; ++i) {
+    ServeRequest req = analyze_request(i % 2 ? csv_a : csv_b, "b" + std::to_string(i));
+    if (i == 3) {
+      req.kind = RequestKind::kValidate;
+      req.millis = 50;
+    }
+    reqs.push_back(std::move(req));
+  }
+
+  ServeCore batched;
+  const std::vector<ServeResponse> batch = batched.handle_batch(reqs);
+
+  ServeCore oneshot;
+  ASSERT_EQ(batch.size(), reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const ServeResponse solo = oneshot.handle(reqs[i]);
+    SCOPED_TRACE(reqs[i].id);
+    EXPECT_EQ(batch[i].id, solo.id);
+    EXPECT_EQ(batch[i].status, solo.status);
+    EXPECT_EQ(batch[i].exit_code, solo.exit_code);
+    EXPECT_EQ(batch[i].output, solo.output);
+  }
+}
+
+TEST(ServeCoreTest, RepeatSubmissionsHitBothCaches) {
+  ServeCore core;
+  const std::string csv = small_matrix_csv();
+  const ServeResponse first = core.handle(analyze_request(csv, "c1"));
+  const ServeResponse second = core.handle(analyze_request(csv, "c2"));
+  EXPECT_EQ(first.output, second.output);
+  EXPECT_EQ(first.exit_code, second.exit_code);
+
+  const std::string health = core.health_json();
+  // Second pass recalled the parsed matrix and the per-message RTA entries.
+  EXPECT_NE(health.find("\"matrix_cache\":{\"capacity\":64,\"size\":1,\"hits\":1,\"misses\":1}"),
+            std::string::npos)
+      << health;
+  EXPECT_GT(core.rta_cache().stats().hits, 0);
+}
+
+TEST(ServeCoreTest, ShedsInadmissibleKindsAndAccountsThem) {
+  ServeConfig cfg;
+  cfg.captain.degrade_after = 1;
+  ServeCore core{cfg};
+  // Force kEssential: two saturated samples, one mode step each.
+  core.captain().observe(PressureState::kSaturated);
+  core.captain().observe(PressureState::kSaturated);
+  ASSERT_EQ(core.captain().mode(), ServeMode::kEssential);
+
+  ServeRequest opt;
+  opt.id = "o1";
+  opt.kind = RequestKind::kOptimize;
+  opt.matrix_csv = small_matrix_csv();
+  const ServeResponse shed_opt = core.handle(opt);
+  EXPECT_EQ(shed_opt.status, ResponseStatus::kShed);
+  EXPECT_EQ(shed_opt.exit_code, 2);
+
+  ServeRequest exp;
+  exp.id = "e1";
+  exp.kind = RequestKind::kExplain;
+  exp.matrix_csv = small_matrix_csv();
+  exp.message = "whatever";
+  EXPECT_EQ(core.handle(exp).status, ResponseStatus::kShed);
+
+  // The essential kinds still get answered.
+  const ServeResponse still_live = core.handle(analyze_request(small_matrix_csv(), "a9"));
+  EXPECT_NE(still_live.status, ResponseStatus::kShed);
+
+  EXPECT_EQ(core.shed_count(), 2);
+  EXPECT_EQ(core.captain().shed_optimize(), 1);
+  EXPECT_EQ(core.captain().shed_explain(), 1);
+  EXPECT_EQ(core.handled(), 3);
+  const std::string health = core.health_json();
+  EXPECT_NE(health.find("\"shed_optimize\":1"), std::string::npos) << health;
+  EXPECT_NE(health.find("\"shed_explain\":1"), std::string::npos) << health;
+}
+
+TEST(ServeCoreTest, SubmitTakeBatchRoundTripsThroughTheRing) {
+  ServeConfig cfg;
+  cfg.ring.capacity = 2;
+  cfg.ring.overflow = OverflowPolicy::kReject;
+  ServeCore core{cfg};
+  EXPECT_EQ(core.submit(analyze_request("csv", "q1")), PushOutcome::kAccepted);
+  EXPECT_EQ(core.submit(analyze_request("csv", "q2")), PushOutcome::kAccepted);
+  EXPECT_EQ(core.submit(analyze_request("csv", "q3")), PushOutcome::kRejected);
+  const std::vector<ServeRequest> batch = core.take_batch();
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].id, "q1");
+  EXPECT_EQ(batch[1].id, "q2");
+}
+
+}  // namespace
+}  // namespace symcan::serve

@@ -1,0 +1,167 @@
+#include "symcan/serve/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace symcan::serve {
+namespace {
+
+/// The ring's accounting contract: at every quiescent point, every push
+/// is accounted as exactly one outcome, and every accepted request is
+/// queued, popped, or a named drop-oldest casualty.
+void expect_accounted(const BoundedRing<int>& ring) {
+  const RingStats s = ring.stats();
+  EXPECT_EQ(s.pushes, s.accepted + s.rejected + s.timed_out);
+  EXPECT_EQ(s.accepted,
+            s.popped + s.dropped_oldest + static_cast<std::int64_t>(ring.size()));
+}
+
+RingConfig tiny(OverflowPolicy policy, std::size_t capacity = 4) {
+  RingConfig cfg;
+  cfg.capacity = capacity;
+  cfg.overflow = policy;
+  cfg.block_deadline = Duration::ms(20);
+  return cfg;
+}
+
+TEST(RingTest, RejectsZeroCapacity) {
+  RingConfig cfg;
+  cfg.capacity = 0;
+  EXPECT_THROW(BoundedRing<int>{cfg}, std::invalid_argument);
+}
+
+TEST(RingTest, RejectsInvertedPressureThresholds) {
+  RingConfig cfg;
+  cfg.elevated_fraction = 0.9;
+  cfg.saturated_fraction = 0.5;
+  EXPECT_THROW(BoundedRing<int>{cfg}, std::invalid_argument);
+}
+
+TEST(RingTest, AcceptsUntilFullThenRejects) {
+  BoundedRing<int> ring{tiny(OverflowPolicy::kReject)};
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(ring.push(i), PushOutcome::kAccepted);
+    expect_accounted(ring);
+  }
+  EXPECT_EQ(ring.push(99), PushOutcome::kRejected);
+  expect_accounted(ring);
+  EXPECT_EQ(ring.size(), 4u);
+  // The rejected push left the queue untouched.
+  EXPECT_EQ(ring.pop_batch(8), (std::vector<int>{0, 1, 2, 3}));
+  expect_accounted(ring);
+}
+
+TEST(RingTest, DropOldestEvictsFifoHeadAndNamesTheVictim) {
+  BoundedRing<int> ring{tiny(OverflowPolicy::kDropOldest)};
+  for (int i = 0; i < 4; ++i) ring.push(i);
+  std::optional<int> victim;
+  EXPECT_EQ(ring.push(4, &victim), PushOutcome::kReplacedOldest);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 0);
+  expect_accounted(ring);
+  EXPECT_EQ(ring.pop_batch(8), (std::vector<int>{1, 2, 3, 4}));
+  expect_accounted(ring);
+  const RingStats s = ring.stats();
+  EXPECT_EQ(s.dropped_oldest, 1);
+  EXPECT_EQ(s.accepted, 5);
+  EXPECT_EQ(s.rejected, 0);
+}
+
+TEST(RingTest, BlockWithDeadlineTimesOutWithoutAConsumer) {
+  BoundedRing<int> ring{tiny(OverflowPolicy::kBlockWithDeadline, 1)};
+  EXPECT_EQ(ring.push(1), PushOutcome::kAccepted);
+  EXPECT_EQ(ring.push(2), PushOutcome::kTimedOut);
+  expect_accounted(ring);
+  EXPECT_EQ(ring.stats().timed_out, 1);
+  EXPECT_EQ(ring.pop_batch(8), (std::vector<int>{1}));
+}
+
+TEST(RingTest, BlockWithDeadlineAdmitsWhenAConsumerDrains) {
+  RingConfig cfg = tiny(OverflowPolicy::kBlockWithDeadline, 1);
+  cfg.block_deadline = Duration::ms(2000);  // Generous; the consumer is quick.
+  BoundedRing<int> ring{cfg};
+  ASSERT_EQ(ring.push(1), PushOutcome::kAccepted);
+  std::thread consumer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ring.pop_batch(1);
+  });
+  EXPECT_EQ(ring.push(2), PushOutcome::kAccepted);
+  consumer.join();
+  expect_accounted(ring);
+  EXPECT_EQ(ring.pop_batch(8), (std::vector<int>{2}));
+  EXPECT_EQ(ring.stats().timed_out, 0);
+}
+
+TEST(RingTest, PressureWalksEveryTransitionBothWays) {
+  RingConfig cfg = tiny(OverflowPolicy::kReject, 10);
+  cfg.elevated_fraction = 0.5;
+  cfg.saturated_fraction = 0.9;
+  BoundedRing<int> ring{cfg};
+
+  EXPECT_EQ(ring.pressure(), PressureState::kOk);
+  for (int i = 0; i < 4; ++i) ring.push(i);
+  EXPECT_EQ(ring.pressure(), PressureState::kOk);  // 4/10 < 0.5
+  ring.push(4);
+  EXPECT_EQ(ring.pressure(), PressureState::kElevated);  // 5/10 >= 0.5
+  for (int i = 5; i < 9; ++i) ring.push(i);
+  EXPECT_EQ(ring.pressure(), PressureState::kSaturated);  // 9/10 >= 0.9
+  ring.pop_batch(1);
+  EXPECT_EQ(ring.pressure(), PressureState::kElevated);  // back to 8/10
+  ring.pop_batch(4);
+  EXPECT_EQ(ring.pressure(), PressureState::kOk);  // 4/10
+  expect_accounted(ring);
+}
+
+TEST(RingTest, ConcurrentProducersAccountEveryPush) {
+  // 8 producers, 200 pushes each, against a small ring with a draining
+  // consumer: whatever interleaving happens, the accounting identity
+  // must hold and every accepted item must come out exactly once.
+  RingConfig cfg = tiny(OverflowPolicy::kReject, 64);
+  BoundedRing<int> ring{cfg};
+  std::atomic<bool> done{false};
+  std::atomic<std::int64_t> consumed{0};
+  std::thread consumer([&] {
+    while (!done.load() || ring.size() > 0)
+      consumed.fetch_add(static_cast<std::int64_t>(ring.pop_batch(16).size()));
+  });
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 8; ++p)
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < 200; ++i) ring.push(p * 200 + i);
+    });
+  for (auto& t : producers) t.join();
+  done.store(true);
+  consumer.join();
+
+  const RingStats s = ring.stats();
+  EXPECT_EQ(s.pushes, 1600);
+  EXPECT_EQ(s.pushes, s.accepted + s.rejected + s.timed_out);
+  EXPECT_EQ(s.accepted, s.popped);
+  EXPECT_EQ(consumed.load(), s.popped);
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(RingTest, EnumSpellingsRoundTrip) {
+  for (const OverflowPolicy p : {OverflowPolicy::kReject, OverflowPolicy::kDropOldest,
+                                 OverflowPolicy::kBlockWithDeadline}) {
+    OverflowPolicy back{};
+    ASSERT_TRUE(overflow_policy_from_string(to_string(p), back));
+    EXPECT_EQ(back, p);
+  }
+  OverflowPolicy ignored{};
+  EXPECT_FALSE(overflow_policy_from_string("fifo", ignored));
+  EXPECT_STREQ(to_string(PressureState::kOk), "ok");
+  EXPECT_STREQ(to_string(PressureState::kElevated), "elevated");
+  EXPECT_STREQ(to_string(PressureState::kSaturated), "saturated");
+  EXPECT_STREQ(to_string(PushOutcome::kAccepted), "accepted");
+  EXPECT_STREQ(to_string(PushOutcome::kReplacedOldest), "replaced-oldest");
+  EXPECT_STREQ(to_string(PushOutcome::kRejected), "rejected");
+  EXPECT_STREQ(to_string(PushOutcome::kTimedOut), "timed-out");
+}
+
+}  // namespace
+}  // namespace symcan::serve
