@@ -101,6 +101,7 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter {
     std::int64_t runs = 0;
     double sum_wall_ms = 0;
     double min_wall_ms = 0;
+    std::map<std::string, double> counters;  ///< Last-run user counters.
   };
 
   void ReportRuns(const std::vector<Run>& reports) override {
@@ -113,6 +114,7 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter {
       s.min_wall_ms = s.runs == 0 ? wall_ms : std::min(s.min_wall_ms, wall_ms);
       s.sum_wall_ms += wall_ms;
       ++s.runs;
+      for (const auto& [name, counter] : r.counters) s.counters[name] = counter.value;
       order_.push_back(r.benchmark_name());
     }
     ConsoleReporter::ReportRuns(reports);
@@ -132,7 +134,18 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter {
       out += ", \"runs\": " + std::to_string(s.runs);
       out += ", \"mean_wall_ms\": " +
              obs::json_number(s.runs > 0 ? s.sum_wall_ms / static_cast<double>(s.runs) : 0.0);
-      out += ", \"min_wall_ms\": " + obs::json_number(s.min_wall_ms) + "}";
+      out += ", \"min_wall_ms\": " + obs::json_number(s.min_wall_ms);
+      if (!s.counters.empty()) {
+        out += ", \"counters\": {";
+        bool first_counter = true;
+        for (const auto& [counter, value] : s.counters) {
+          out += first_counter ? "" : ", ";
+          first_counter = false;
+          out += "\"" + obs::json_escape(counter) + "\": " + obs::json_number(value);
+        }
+        out += "}";
+      }
+      out += "}";
     }
     out += first ? "]" : "\n  ]";
     return out;

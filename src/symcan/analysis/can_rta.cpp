@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "symcan/analysis/columnar.hpp"
 #include "symcan/analysis/rta_context.hpp"
 #include "symcan/obs/obs.hpp"
 
@@ -55,7 +56,19 @@ BusResult CanRta::analyze() const {
   BusResult out;
   out.utilization = km_.utilization(cfg_.worst_case_stuffing);
   out.messages.reserve(km_.size());
-  for (std::size_t i = 0; i < km_.size(); ++i) out.messages.push_back(analyze_message(i));
+  // Columnar whole-bus path: one pack resolves every context, then each
+  // solve runs allocation-free over the shared columns. Bit-identical to
+  // the per-message analyze_message() loop (the layout-differential
+  // suite pins this). The pack arena is thread-local so repeated
+  // analyses reuse its capacity.
+  static thread_local analysis::ColumnarBus bus;
+  analysis::pack_bus(km_, cfg_, bus);
+  for (std::size_t i = 0; i < km_.size(); ++i) {
+    MessageResult r = analysis::solve_columnar(bus, i);
+    r.name = km_.messages()[i].name;
+    r.id = km_.messages()[i].id;
+    out.messages.push_back(std::move(r));
+  }
   flush_rta_observations(out);
   return out;
 }

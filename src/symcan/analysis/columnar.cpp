@@ -1,0 +1,333 @@
+#include "symcan/analysis/columnar.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <tuple>
+
+#include "symcan/analysis/can_rta.hpp"
+#include "symcan/can/kmatrix.hpp"
+#include "symcan/model/event_model.hpp"
+
+namespace symcan::analysis {
+
+namespace {
+
+/// Same fixed point as rta_context.cpp's, minus the recorder — the
+/// columnar path never explains, so the hooks would inline to nothing
+/// anyway. Iteration counting and divergence handling are identical.
+template <typename F>
+Duration fixed_point(Duration x0, Duration horizon, std::int64_t& iterations, F&& f) {
+  Duration x = x0;
+  for (;;) {
+    ++iterations;
+    const Duration next = f(x);
+    if (next == x) return x;
+    if (next > horizon) return Duration::infinite();
+    assert(next > x);
+    x = next;
+  }
+}
+
+Duration frame_time(const KMatrix& km, const CanRtaConfig& cfg, const CanMessage& m) {
+  return m.wcet(km.timing(), cfg.worst_case_stuffing);
+}
+
+/// Deadline under cfg's override policy; mirrors effective_deadline() in
+/// rta_context.cpp (the differential suite pins the two together).
+Duration effective_deadline(const CanMessage& m, const CanRtaConfig& cfg) {
+  const DeadlinePolicy policy =
+      (!cfg.deadline_override || m.deadline_policy == DeadlinePolicy::kExplicit)
+          ? m.deadline_policy
+          : *cfg.deadline_override;
+  switch (policy) {
+    case DeadlinePolicy::kPeriod:
+      return m.period;
+    case DeadlinePolicy::kMinReArrival:
+      return max(m.period - m.jitter, m.min_distance);
+    case DeadlinePolicy::kExplicit:
+      return m.explicit_deadline;
+  }
+  return Duration::infinite();
+}
+
+auto member_order_key(const TtGroup::Member& m) {
+  return std::make_tuple(m.period.count_ns(), m.offset.count_ns(), m.jitter.count_ns(),
+                         m.cost.count_ns());
+}
+
+}  // namespace
+
+void ColumnarBus::clear() {
+  cost.clear();
+  bcrt.clear();
+  deadline.clear();
+  blocking.clear();
+  max_retx.clear();
+  act_period.clear();
+  act_jitter.clear();
+  act_dmin.clear();
+  hp_begin.clear();
+  hp_period.clear();
+  hp_jitter.clear();
+  hp_dmin.clear();
+  hp_cost.clear();
+  tt_begin.clear();
+  tt_groups.clear();
+}
+
+void pack_bus(const KMatrix& km, const CanRtaConfig& cfg, ColumnarBus& out) {
+  const auto& msgs = km.messages();
+  const std::size_t n = msgs.size();
+
+  out.clear();
+  out.timing = km.timing();
+  out.horizon = cfg.horizon;
+  out.errors = cfg.errors;
+
+  out.cost.reserve(n);
+  out.bcrt.reserve(n);
+  out.deadline.reserve(n);
+  out.blocking.reserve(n);
+  out.max_retx.reserve(n);
+  out.act_period.reserve(n);
+  out.act_jitter.reserve(n);
+  out.act_dmin.reserve(n);
+  out.hp_begin.reserve(n + 1);
+  out.tt_begin.reserve(n + 1);
+
+  // Pre-pass, mirroring bus_fingerprints(): per message its rank, frame
+  // time, sender index and normalized activation parameters, so every
+  // pairwise step below is a compare plus a push.
+  std::vector<const std::string*> senders;
+  std::vector<std::uint64_t> rank(n);
+  std::vector<std::size_t> sender_of(n);
+  std::vector<char> is_tt(n, 0);
+  for (std::size_t k = 0; k < n; ++k) {
+    rank[k] = msgs[k].arbitration_rank();
+    out.cost.push_back(frame_time(km, cfg, msgs[k]));
+    out.bcrt.push_back(msgs[k].bcet(km.timing()));
+    out.deadline.push_back(effective_deadline(msgs[k], cfg));
+    const EventModel em = msgs[k].activation();
+    out.act_period.push_back(em.period());
+    out.act_jitter.push_back(em.jitter());
+    out.act_dmin.push_back(em.min_distance());
+    std::size_t s = senders.size();
+    for (std::size_t j = 0; j < senders.size(); ++j)
+      if (*senders[j] == msgs[k].sender) {
+        s = j;
+        break;
+      }
+    if (s == senders.size()) senders.push_back(&msgs[k].sender);
+    sender_of[k] = s;
+    is_tt[k] = cfg.use_offsets && msgs[k].tt_offset.has_value();
+  }
+
+  // Effective-rank resolution: basicCAN senders degrade every message to
+  // the node's worst rank (what effective_rank() resolves one message at
+  // a time).
+  std::vector<std::uint64_t> sender_max_rank(senders.size(), 0);
+  std::vector<char> sender_basic(senders.size(), 0);
+  std::vector<int> sender_tx_buffers(senders.size(), 0);
+  for (std::size_t s = 0; s < senders.size(); ++s) {
+    const EcuNode* node = km.find_node(*senders[s]);
+    sender_basic[s] = cfg.model_controller_queues && node != nullptr &&
+                      node->controller == ControllerType::kBasicCan;
+    sender_tx_buffers[s] = node != nullptr ? node->tx_buffers : 0;
+  }
+  for (std::size_t k = 0; k < n; ++k)
+    sender_max_rank[sender_of[k]] = std::max(sender_max_rank[sender_of[k]], rank[k]);
+
+  // Canonical hp order, established once: indices sorted by the legacy
+  // quad (period, jitter, min distance, cost). Scanning interferers in
+  // this order emits every message's hp rows already sorted, replacing n
+  // per-message sorts with one global one. Ties carry identical quads,
+  // so any tie order is bit-identical to the legacy per-message sort.
+  std::vector<std::size_t> by_quad(n);
+  for (std::size_t k = 0; k < n; ++k) by_quad[k] = k;
+  const auto quad = [&](std::size_t k) {
+    return std::make_tuple(out.act_period[k].count_ns(), out.act_jitter[k].count_ns(),
+                           out.act_dmin[k].count_ns(), out.cost[k].count_ns());
+  };
+  std::sort(by_quad.begin(), by_quad.end(),
+            [&](std::size_t a, std::size_t b) { return quad(a) < quad(b); });
+
+  // Per-message scratch, reused across the loop (capacity only grows).
+  std::vector<std::vector<TtGroup::Member>> group_members(senders.size());
+  std::vector<std::size_t> group_order;
+  std::vector<Duration> lp_frames;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t eff_rank =
+        sender_basic[sender_of[i]] ? sender_max_rank[sender_of[i]] : rank[i];
+
+    Duration bus_blocking = Duration::zero();
+    Duration max_retx = out.cost[i];
+    for (auto& g : group_members) g.clear();
+    lp_frames.clear();
+    out.hp_begin.push_back(out.hp_period.size());
+    // Scan in quad order: hp rows land in out.hp_* pre-sorted; the max /
+    // sum-after-sort aggregates below are order-independent.
+    for (const std::size_t k : by_quad) {
+      if (k == i) continue;
+      if (rank[k] > eff_rank) bus_blocking = max(bus_blocking, out.cost[k]);
+      if (rank[k] <= eff_rank) max_retx = max(max_retx, out.cost[k]);
+      if (sender_basic[sender_of[i]] && sender_of[k] == sender_of[i] && rank[k] > rank[i])
+        lp_frames.push_back(out.cost[k]);
+      const bool interferes =
+          sender_of[k] == sender_of[i] ? rank[k] < rank[i] : rank[k] < eff_rank;
+      if (!interferes) continue;
+      if (is_tt[k]) {
+        group_members[sender_of[k]].push_back(
+            TtGroup::Member{msgs[k].period, *msgs[k].tt_offset, msgs[k].jitter, out.cost[k]});
+      } else {
+        out.hp_period.push_back(out.act_period[k]);
+        out.hp_jitter.push_back(out.act_jitter[k]);
+        out.hp_dmin.push_back(out.act_dmin[k]);
+        out.hp_cost.push_back(out.cost[k]);
+      }
+    }
+    max_retx = max(max_retx, bus_blocking);
+
+    // Committed-FIFO blocking of basicCAN senders: the top tx_buffers
+    // same-node lower-priority frames, summed largest first (the exact
+    // order intra_node_blocking() adds them in).
+    Duration intra = Duration::zero();
+    if (!lp_frames.empty()) {
+      std::sort(lp_frames.begin(), lp_frames.end(), std::greater<>{});
+      const std::size_t committed = std::min<std::size_t>(
+          lp_frames.size(), static_cast<std::size_t>(sender_tx_buffers[sender_of[i]]));
+      for (std::size_t f = 0; f < committed; ++f) intra += lp_frames[f];
+    }
+    out.blocking.push_back(bus_blocking + intra);
+    out.max_retx.push_back(max_retx);
+
+    // Canonical group order: members sorted by their quad, groups sorted
+    // lexicographically by member quads (ties are groups with identical
+    // quad sequences, interchangeable to the solver — same as legacy).
+    group_order.clear();
+    for (std::size_t s = 0; s < group_members.size(); ++s)
+      if (!group_members[s].empty()) {
+        std::sort(group_members[s].begin(), group_members[s].end(),
+                  [](const TtGroup::Member& x, const TtGroup::Member& y) {
+                    return member_order_key(x) < member_order_key(y);
+                  });
+        group_order.push_back(s);
+      }
+    std::sort(group_order.begin(), group_order.end(), [&](std::size_t x, std::size_t y) {
+      return std::lexicographical_compare(
+          group_members[x].begin(), group_members[x].end(), group_members[y].begin(),
+          group_members[y].end(),
+          [](const TtGroup::Member& a, const TtGroup::Member& b) {
+            return member_order_key(a) < member_order_key(b);
+          });
+    });
+
+    // Pre-build the groups; a failed build (unbounded hyperperiod) falls
+    // back to offset-blind event models appended after the sorted hp rows
+    // — the same append position solve_message_impl() uses.
+    out.tt_begin.push_back(out.tt_groups.size());
+    for (const std::size_t s : group_order) {
+      if (auto g = TtGroup::build(group_members[s])) {
+        out.tt_groups.push_back(std::move(*g));
+      } else {
+        for (const auto& member : group_members[s]) {
+          const EventModel em = EventModel::periodic_jitter(member.period, member.jitter);
+          out.hp_period.push_back(em.period());
+          out.hp_jitter.push_back(em.jitter());
+          out.hp_dmin.push_back(em.min_distance());
+          out.hp_cost.push_back(member.cost);
+        }
+      }
+    }
+  }
+  out.hp_begin.push_back(out.hp_period.size());
+  out.tt_begin.push_back(out.tt_groups.size());
+}
+
+ColumnarBus pack_bus(const KMatrix& km, const CanRtaConfig& cfg) {
+  ColumnarBus bus;
+  pack_bus(km, cfg, bus);
+  return bus;
+}
+
+MessageResult solve_columnar(const ColumnarBus& bus, std::size_t i, const ErrorModel& errors) {
+  if (i + 1 >= bus.hp_begin.size())
+    throw std::out_of_range("solve_columnar: bad index");
+
+  const Duration tau_bit = bus.timing.bit_time();
+  const Duration c_m = bus.cost[i];
+  const Duration act_p = bus.act_period[i];
+  const Duration act_j = bus.act_jitter[i];
+  const Duration act_d = bus.act_dmin[i];
+
+  MessageResult res;
+  res.bcrt = bus.bcrt[i];
+  res.deadline = bus.deadline[i];
+  res.blocking = bus.blocking[i];
+  const Duration blocking = bus.blocking[i];
+  const Duration max_retx = bus.max_retx[i];
+
+  const std::size_t hp_lo = bus.hp_begin[i];
+  const std::size_t hp_hi = bus.hp_begin[i + 1];
+  const std::size_t tt_lo = bus.tt_begin[i];
+  const std::size_t tt_hi = bus.tt_begin[i + 1];
+
+  const auto hp_interference = [&](Duration window) {
+    Duration total = Duration::zero();
+    for (std::size_t k = hp_lo; k < hp_hi; ++k)
+      total +=
+          columnar_eta_plus(window, bus.hp_period[k], bus.hp_jitter[k], bus.hp_dmin[k]) * bus.hp_cost[k];
+    for (std::size_t g = tt_lo; g < tt_hi; ++g) total += bus.tt_groups[g].interference(window);
+    return total;
+  };
+  const auto error_overhead = [&](Duration window) {
+    if (window <= Duration::zero()) return Duration::zero();
+    return errors.overhead(window, max_retx, bus.timing);
+  };
+
+  std::int64_t iterations = 0;
+  const Duration busy = fixed_point(blocking + c_m, bus.horizon, iterations, [&](Duration t) {
+    return blocking + columnar_eta_plus(t, act_p, act_j, act_d) * c_m + hp_interference(t) +
+           error_overhead(t);
+  });
+  res.fixedpoint_iterations = iterations;
+  if (busy.is_infinite()) {
+    res.wcrt = Duration::infinite();
+    res.busy_period = Duration::infinite();
+    res.diverged = true;
+    res.schedulable = false;
+    return res;
+  }
+  res.busy_period = busy;
+
+  const std::int64_t q_max = columnar_eta_plus(busy, act_p, act_j, act_d);
+  res.instances = q_max;
+  Duration wcrt = Duration::zero();
+  for (std::int64_t q = 0; q < q_max; ++q) {
+    const Duration w = fixed_point(blocking + q * c_m, bus.horizon, iterations, [&](Duration t) {
+      return blocking + q * c_m + hp_interference(t + tau_bit) + error_overhead(t + c_m);
+    });
+    res.fixedpoint_iterations = iterations;
+    if (w.is_infinite()) {
+      res.wcrt = Duration::infinite();
+      res.diverged = true;
+      res.schedulable = false;
+      return res;
+    }
+    const Duration response = w + c_m - columnar_delta_min(q + 1, act_p, act_j, act_d);
+    wcrt = max(wcrt, response);
+    if (w + c_m <= columnar_delta_min(q + 2, act_p, act_j, act_d)) break;
+  }
+  res.wcrt = wcrt;
+  res.schedulable = !res.deadline.is_infinite() ? wcrt <= res.deadline : true;
+  return res;
+}
+
+MessageResult solve_columnar(const ColumnarBus& bus, std::size_t i) {
+  return solve_columnar(bus, i, *bus.errors);
+}
+
+}  // namespace symcan::analysis

@@ -1,0 +1,153 @@
+#pragma once
+
+// Columnar (structure-of-arrays) form of the busy-period solve core.
+//
+// build_message_context() + solve_message() resolve and solve one message
+// at a time through an object graph: a MessageContext owns its own hp
+// vector, its own offset-group member lists and its own strings, so every
+// solve on the hot path (GA fitness grids, sweeps, `symcan serve`) pays a
+// dozen allocations before the fixed point even starts. pack_bus()
+// instead resolves a *whole* K-Matrix + config into contiguous columns in
+// one pass:
+//
+//   * per-message scalars (cost, bcrt, deadline, blocking, max_retx) and
+//     the activation event-model parameters as parallel arrays;
+//   * the higher-priority interference sets as one shared CSR block
+//     (hp_begin[i] .. hp_begin[i+1]) of (period, jitter, dmin, cost)
+//     columns;
+//   * the offset groups pre-built into TtGroups (CSR again), with the
+//     groups whose hyperperiod is unbounded already expanded into their
+//     offset-blind fallback entries at the tail of the hp rows.
+//
+// solve_columnar() then runs the identical Davis/Tindell fixed point over
+// the columns with zero heap traffic per solve. Bit-exactness contract:
+// for every message i,
+//
+//   solve_columnar(pack_bus(km, cfg), i)  ==  solve_message(
+//       build_message_context(km, cfg, i))
+//
+// in every field, iteration counts included (the name/id identity is
+// patched by the caller; it never reaches the solver). This holds because
+// the pack resolves exactly the values build_message_context() resolves,
+// in exactly the legacy summation order: the hp rows are canonically
+// sorted (period, jitter, min distance, cost) with group-build-fallback
+// members appended after, groups are built from canonically sorted member
+// lists in canonical group order, and every eta+/delta_min evaluation
+// replicates EventModel verbatim on normalized parameters. All sums are
+// saturating integer arithmetic over non-negative terms, so the layout
+// change cannot even in principle introduce rounding drift — the
+// layout-differential suite (tests/analysis/columnar_differential_test
+// .cpp) pins the equality across assumption presets and seeded matrices
+// anyway.
+//
+// Arena lifetime: a ColumnarBus is a bundle of vectors that only ever
+// grow; pack_bus() into an existing instance clear()s and refills them,
+// reusing capacity. Hot loops keep one thread_local instance per worker
+// (IncrementalRta::analyze() packs lazily on the first cache miss), so
+// steady-state re-analysis performs no allocation at all — the arena the
+// per-solve scratch lives in is the packed bus itself.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "symcan/analysis/error_model.hpp"
+#include "symcan/analysis/tt_schedule.hpp"
+#include "symcan/can/frame.hpp"
+#include "symcan/util/time.hpp"
+
+namespace symcan {
+
+struct CanRtaConfig;
+struct MessageResult;
+class KMatrix;
+
+namespace analysis {
+
+/// EventModel::eta_plus on raw columns. The parameters are stored
+/// through the EventModel getters at pack time, so the invariants
+/// (p > 0, j >= 0, 0 <= d <= p) hold by construction and this replicates
+/// event_model.cpp operation for operation — inline, so the fixed-point
+/// loop reads three contiguous lanes instead of chasing an object.
+inline std::int64_t columnar_eta_plus(Duration dt, Duration p, Duration j, Duration d) {
+  if (dt <= Duration::zero()) return 0;
+  const std::int64_t periodic_bound = ceil_div(dt + j, p);
+  if (d <= Duration::zero()) return periodic_bound;
+  const std::int64_t burst_bound = ceil_div(dt, d) + 1;
+  return std::min(periodic_bound, burst_bound);
+}
+
+/// EventModel::delta_min on raw columns; same contract as above.
+inline Duration columnar_delta_min(std::int64_t n, Duration p, Duration j, Duration d) {
+  if (n <= 1) return Duration::zero();
+  const Duration periodic = (n - 1) * p - j;
+  const Duration burst = (n - 1) * d;
+  return max(max(periodic, burst), Duration::zero());
+}
+
+/// One whole bus resolved under one config, ready to solve. Index-
+/// parallel to KMatrix::messages().
+struct ColumnarBus {
+  BitTiming timing{500'000};
+  Duration horizon = Duration::s(10);
+  std::shared_ptr<const ErrorModel> errors;
+
+  // Per-message scalar columns.
+  std::vector<Duration> cost;      ///< C_m under the configured stuffing.
+  std::vector<Duration> bcrt;      ///< Unstuffed frame time.
+  std::vector<Duration> deadline;  ///< Resolved against any override.
+  std::vector<Duration> blocking;  ///< Bus + committed intra-node blocking.
+  std::vector<Duration> max_retx;  ///< Largest retransmittable frame.
+  // Activation event model, already normalized (dmin <= period).
+  std::vector<Duration> act_period;
+  std::vector<Duration> act_jitter;
+  std::vector<Duration> act_dmin;
+
+  /// Higher-priority interference CSR: message i's entries occupy
+  /// [hp_begin[i], hp_begin[i+1]) of the four column arrays — the
+  /// canonically sorted event-model interferers first, then the
+  /// offset-blind fallbacks of any group whose hyperperiod was
+  /// unbounded (in canonical group/member order, matching the legacy
+  /// solver's append order).
+  std::vector<std::size_t> hp_begin;
+  std::vector<Duration> hp_period;
+  std::vector<Duration> hp_jitter;
+  std::vector<Duration> hp_dmin;
+  std::vector<Duration> hp_cost;
+
+  /// Pre-built offset groups CSR: message i's groups occupy
+  /// [tt_begin[i], tt_begin[i+1]) of tt_groups, in canonical group
+  /// order. Building happens once per pack instead of once per solve —
+  /// TtGroup::interference() is const and safe to share.
+  std::vector<std::size_t> tt_begin;
+  std::vector<TtGroup> tt_groups;
+
+  std::size_t size() const { return cost.size(); }
+
+  /// Drop all rows, keep capacity (the arena reuse path).
+  void clear();
+};
+
+/// Resolve every message of `km` under `cfg` into `out`, reusing its
+/// capacity. Mirrors build_message_context() for all indices at once in
+/// one O(n^2) pass (the same asymptotics one legacy context build pays).
+void pack_bus(const KMatrix& km, const CanRtaConfig& cfg, ColumnarBus& out);
+
+/// Convenience: pack into a fresh instance.
+ColumnarBus pack_bus(const KMatrix& km, const CanRtaConfig& cfg);
+
+/// Run the busy-period fixed point on packed message `i` using
+/// `bus.errors`. Allocation-free; the result's name/id are left empty for
+/// the caller to patch (they never influence the solver).
+MessageResult solve_columnar(const ColumnarBus& bus, std::size_t i);
+
+/// Same solve with the error model replaced per call — the grid-sweep
+/// path, where only the fault assumption varies between points and the
+/// packed columns stay valid (the error model enters the solver solely
+/// through its overhead term).
+MessageResult solve_columnar(const ColumnarBus& bus, std::size_t i, const ErrorModel& errors);
+
+}  // namespace analysis
+}  // namespace symcan

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <vector>
 
+#include "symcan/analysis/columnar.hpp"
 #include "symcan/obs/obs.hpp"
 
 namespace symcan {
@@ -157,7 +159,93 @@ EcuResult EcuRta::analyze() const {
   double u = 0;
   for (const auto& t : tasks_) u += demand(t).as_s() / t.activation.period().as_s();
   out.utilization = u;
-  for (std::size_t i = 0; i < tasks_.size(); ++i) out.tasks.push_back(analyze_task(i));
+
+  // Columnar whole-ECU path: resolve every task's demand, blocking and
+  // preemptor set into contiguous columns once, then run each fixed
+  // point allocation-free. Bit-identical to the analyze_task() loop —
+  // hp rows stay in task-index order, exactly as analyze_task() collects
+  // them (the layout-differential suite pins the equality).
+  const std::size_t n = tasks_.size();
+  std::vector<Duration> cost(n), blocking(n), act_p(n), act_j(n), act_d(n);
+  std::vector<std::size_t> hp_begin;
+  hp_begin.reserve(n + 1);
+  std::vector<Duration> hp_p, hp_j, hp_d, hp_cost;
+  for (std::size_t i = 0; i < n; ++i) {
+    cost[i] = demand(tasks_[i]);
+    blocking[i] = blocking_for(i);
+    act_p[i] = tasks_[i].activation.period();
+    act_j[i] = tasks_[i].activation.jitter();
+    act_d[i] = tasks_[i].activation.min_distance();
+    hp_begin.push_back(hp_p.size());
+    for (std::size_t k = 0; k < n; ++k) {
+      if (k == i) continue;
+      if (!preempts(tasks_[k], tasks_[i])) continue;
+      hp_p.push_back(tasks_[k].activation.period());
+      hp_j.push_back(tasks_[k].activation.jitter());
+      hp_d.push_back(tasks_[k].activation.min_distance());
+      hp_cost.push_back(demand(tasks_[k]));
+    }
+  }
+  hp_begin.push_back(hp_p.size());
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Task& me = tasks_[i];
+    TaskResult res;
+    res.name = me.name;
+    res.bcrt = me.bcet;
+    res.deadline = me.deadline;
+    res.blocking = blocking[i];
+    const Duration b = blocking[i];
+    const Duration c_me = cost[i];
+    const std::size_t lo = hp_begin[i];
+    const std::size_t hi = hp_begin[i + 1];
+    const auto hp_interference = [&](Duration w) {
+      Duration total = Duration::zero();
+      for (std::size_t k = lo; k < hi; ++k)
+        total += analysis::columnar_eta_plus(w, hp_p[k], hp_j[k], hp_d[k]) * hp_cost[k];
+      return total;
+    };
+
+    std::int64_t iterations = 0;
+    const Duration busy = fixed_point(b + c_me, horizon_, iterations, [&](Duration t) {
+      return b + analysis::columnar_eta_plus(t, act_p[i], act_j[i], act_d[i]) * c_me +
+             hp_interference(t);
+    });
+    res.fixedpoint_iterations = iterations;
+    if (busy.is_infinite()) {
+      res.diverged = true;
+      res.schedulable = false;
+      res.busy_period = Duration::infinite();
+      out.tasks.push_back(std::move(res));
+      continue;
+    }
+    res.busy_period = busy;
+
+    const std::int64_t q_max = analysis::columnar_eta_plus(busy, act_p[i], act_j[i], act_d[i]);
+    res.instances = q_max;
+    Duration wcrt = Duration::zero();
+    bool window_diverged = false;
+    for (std::int64_t q = 0; q < q_max; ++q) {
+      const Duration w = fixed_point(b + (q + 1) * c_me, horizon_, iterations, [&](Duration t) {
+        return b + (q + 1) * c_me + hp_interference(t);
+      });
+      res.fixedpoint_iterations = iterations;
+      if (w.is_infinite()) {
+        res.diverged = true;
+        res.schedulable = false;
+        res.wcrt = Duration::infinite();
+        window_diverged = true;
+        break;
+      }
+      wcrt = max(wcrt, w - analysis::columnar_delta_min(q + 1, act_p[i], act_j[i], act_d[i]));
+      if (w <= analysis::columnar_delta_min(q + 2, act_p[i], act_j[i], act_d[i])) break;
+    }
+    if (!window_diverged) {
+      res.wcrt = wcrt;
+      res.schedulable = res.deadline.is_infinite() ? true : wcrt <= res.deadline;
+    }
+    out.tasks.push_back(std::move(res));
+  }
   if (obs::enabled()) {
     auto& m = obs::metrics();
     std::int64_t total_iters = 0;

@@ -2,10 +2,21 @@
 
 #include <stdexcept>
 
+#include "symcan/analysis/columnar.hpp"
 #include "symcan/can/kmatrix.hpp"
 #include "symcan/obs/obs.hpp"
 
 namespace symcan::analysis {
+
+namespace {
+
+/// Misses a run must accumulate before the whole bus gets packed for the
+/// columnar miss path. Roughly pack_bus cost divided by one legacy
+/// build + solve on the case study — below it the legacy path is
+/// cheaper, above it the pack amortizes across the remaining misses.
+constexpr std::int64_t kPackMissThreshold = 4;
+
+}  // namespace
 
 IncrementalRta::IncrementalRta(RtaCacheConfig cfg) : cfg_{cfg} {
   if (cfg_.capacity == 0) throw std::invalid_argument("IncrementalRta: capacity must be >= 1");
@@ -34,7 +45,8 @@ MessageResult IncrementalRta::analyze_one(const KMatrix& km, const CanRtaConfig&
 
 MessageResult IncrementalRta::analyze_keyed(const ContextKey& key, const KMatrix& km,
                                             const CanRtaConfig& cfg, std::size_t index,
-                                            RtaCacheStats& delta) {
+                                            RtaCacheStats& delta, ColumnarBus* scratch,
+                                            bool* packed) {
   Shard& shard = shard_for(key);
   {
     std::lock_guard<std::mutex> lock{shard.m};
@@ -52,11 +64,27 @@ MessageResult IncrementalRta::analyze_keyed(const ContextKey& key, const KMatrix
     }
   }
 
-  // Miss: build the context and solve outside the lock. Two workers may
-  // race on the same key and both solve; the results are bit-identical,
-  // so the duplicate insert below is harmless (the second becomes a
-  // refresh).
-  MessageResult res = solve_message(build_message_context(km, cfg, index));
+  // Miss: solve outside the lock. Two workers may race on the same key
+  // and both solve; the results are bit-identical, so the duplicate
+  // insert below is harmless (the second becomes a refresh). Whole-bus
+  // callers hand in a columnar scratch: packing the whole bus costs a
+  // handful of legacy build + solve calls, so the first few misses of a
+  // run take the legacy path and the pack only happens once enough
+  // misses accumulate to amortize it — near-all-hit analyses (the GA
+  // steady state) never pay for a pack they would barely use. Both miss
+  // paths are bit-identical, so the threshold is purely a speed knob.
+  MessageResult res;
+  if (scratch != nullptr && (*packed || delta.misses >= kPackMissThreshold)) {
+    if (!*packed) {
+      pack_bus(km, cfg, *scratch);
+      *packed = true;
+    }
+    res = solve_columnar(*scratch, index);
+    res.name = km.messages()[index].name;
+    res.id = km.messages()[index].id;
+  } else {
+    res = solve_message(build_message_context(km, cfg, index));
+  }
   ++delta.misses;
   {
     std::lock_guard<std::mutex> lock{shard.m};
@@ -96,21 +124,31 @@ void IncrementalRta::flush_cache_observations(const RtaCacheStats& delta) {
 
 BusResult IncrementalRta::analyze(const KMatrix& km, const CanRtaConfig& cfg) {
   if (!cfg.errors) throw std::invalid_argument("IncrementalRta: error model must not be null");
-  km.validate();
+  if (cfg_.validate_input) km.validate();
   SYMCAN_OBS_SPAN("rta.can.analyze");
   BusResult out;
   out.utilization = km.utilization(cfg.worst_case_stuffing);
   out.messages.reserve(km.size());
   RtaCacheStats delta;
+  // Columnar scratch for the miss path, thread-local so every analyze()
+  // on a worker reuses the same arena (capacity only grows; `packed`
+  // scopes validity to this run).
+  static thread_local ColumnarBus scratch;
+  bool packed = false;
   if (cfg_.enabled) {
     // Whole-bus lookup path: one pre-hashed pass over the matrix yields
     // every message's key at a fraction of n independent fingerprints.
     const std::vector<ContextKey> keys = bus_fingerprints(km, cfg);
     for (std::size_t i = 0; i < km.size(); ++i)
-      out.messages.push_back(analyze_keyed(keys[i], km, cfg, i, delta));
+      out.messages.push_back(analyze_keyed(keys[i], km, cfg, i, delta, &scratch, &packed));
   } else {
-    for (std::size_t i = 0; i < km.size(); ++i)
-      out.messages.push_back(solve_message(build_message_context(km, cfg, i)));
+    pack_bus(km, cfg, scratch);
+    for (std::size_t i = 0; i < km.size(); ++i) {
+      MessageResult r = solve_columnar(scratch, i);
+      r.name = km.messages()[i].name;
+      r.id = km.messages()[i].id;
+      out.messages.push_back(std::move(r));
+    }
   }
   flush_rta_observations(out);
   flush_cache_observations(delta);

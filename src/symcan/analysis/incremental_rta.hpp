@@ -49,6 +49,8 @@
 
 namespace symcan::analysis {
 
+struct ColumnarBus;
+
 /// Cache policy. `enabled = false` degrades to plain context + solve
 /// (still avoiding the per-call KMatrix/config copies of CanRta), which
 /// is what the --rta-cache off ablation measures.
@@ -64,6 +66,13 @@ struct RtaCacheConfig {
   /// the historical shared-LRU cache; `symcan serve` defaults higher so
   /// concurrent request batches do not contend on one mutex.
   std::size_t shards = 1;
+  /// Run KMatrix::validate() on every analyze() input. Hot loops that
+  /// re-analyze thousands of ID permutations of one already-validated
+  /// matrix (GA/NSGA-II fitness) turn this off after validating once up
+  /// front; validation is O(n^2) in messages and would otherwise be paid
+  /// per evaluation. Appended last so positional initializers keep
+  /// meaning {enabled, capacity, shards}.
+  bool validate_input = true;
 };
 
 /// Lifetime counters (monotonic; survive clear()).
@@ -116,8 +125,15 @@ class IncrementalRta {
   Shard& shard_for(const ContextKey& key);
   MessageResult analyze_one(const KMatrix& km, const CanRtaConfig& cfg, std::size_t index,
                             RtaCacheStats& delta);
+  /// Cache lookup + miss resolution for one message. When `scratch` is
+  /// non-null, misses beyond a small threshold solve on the columnar
+  /// path, packing the whole bus into `scratch` once (`*packed` tracks
+  /// it); the first few misses — and every miss when `scratch` is null —
+  /// run the legacy build + solve. Both miss paths are bit-identical, so
+  /// the choice is purely a speed knob for whole-bus runs.
   MessageResult analyze_keyed(const ContextKey& key, const KMatrix& km, const CanRtaConfig& cfg,
-                              std::size_t index, RtaCacheStats& delta);
+                              std::size_t index, RtaCacheStats& delta,
+                              ColumnarBus* scratch = nullptr, bool* packed = nullptr);
   void flush_cache_observations(const RtaCacheStats& delta);
 
   RtaCacheConfig cfg_;

@@ -87,6 +87,15 @@ int jobs_from(const Args& args) {
   return static_cast<int>(args.count_option_or("jobs", 0));
 }
 
+/// --tile N: work items per tile in the parallel fan-outs (sweep points,
+/// GA individuals). 0 = auto-size from batch and thread count, the
+/// default. Tiling affects scheduling only — every result lands in its
+/// own index slot, so output is byte-identical at any tile size.
+/// Negative or non-numeric values are rejected (exit 2).
+int tile_from(const Args& args) {
+  return static_cast<int>(args.count_option_or("tile", 0));
+}
+
 /// --rta-cache on|off: RTA memoization for the commands that re-analyze
 /// edited matrices. Default on — cached verdicts are bit-identical to
 /// fresh ones, so off exists only to measure the cache's effect.
@@ -146,6 +155,7 @@ int cmd_sweep(const Args& args, std::ostream& out) {
   cfg.to = args.double_option_or("to", 0.60);
   cfg.step = args.double_option_or("step", 0.05);
   cfg.parallelism = jobs_from(args);
+  cfg.tile = tile_from(args);
   cfg.cache = rta_cache_from(args);
   fail_on_unused(args);
   const JitterSweepResult res = sweep_jitter(km, cfg);
@@ -161,6 +171,7 @@ int cmd_sensitivity(const Args& args, std::ostream& out) {
   JitterSweepConfig cfg;
   cfg.rta = assumptions_from(args);
   cfg.parallelism = jobs_from(args);
+  cfg.tile = tile_from(args);
   cfg.cache = rta_cache_from(args);
   fail_on_unused(args);
   const SensitivityReport rep = analyze_sensitivity(km, cfg);
@@ -182,6 +193,7 @@ int cmd_optimize(const Args& args, std::ostream& out) {
   spec.population = static_cast<int>(args.positive_option_or("population", 32));
   spec.target_jitter = args.double_option_or("target-jitter", 0.25);
   spec.jobs = jobs_from(args);
+  spec.tile = tile_from(args);
   spec.cache = rta_cache_from(args);
   const std::string output = args.option_or("out", "");
   fail_on_unused(args);
@@ -498,14 +510,14 @@ std::string usage() {
          "  generate    [--seed N] [--messages N] [--ecus N] [--util X] [--bitrate BPS]\n"
          "              [--tt-offsets] [--out FILE]      synthesize a K-Matrix CSV\n"
          "  analyze     FILE [--worst-case|--best-case] [--jitter F] [--override-known]\n"
-         "  sweep       FILE [--from F] [--to F] [--step F] [--jobs N]\n"
+         "  sweep       FILE [--from F] [--to F] [--step F] [--jobs N] [--tile N]\n"
          "              [--worst-case|--best-case]\n"
          "  import      FILE.dbc [--bitrate BPS] [--bus-name NAME] [--out FILE]\n"
          "  report      FILE [--worst-case|--best-case] [--jitter F]   markdown summary\n"
          "  budget      FILE [--worst-case|--best-case]   jitter budgets (Section 5.2)\n"
-         "  sensitivity FILE [--worst-case|--best-case] [--jobs N]\n"
+         "  sensitivity FILE [--worst-case|--best-case] [--jobs N] [--tile N]\n"
          "  optimize    FILE [--generations N] [--population N] [--seed N]\n"
-         "              [--target-jitter F] [--jobs N] [--out FILE]\n"
+         "              [--target-jitter F] [--jobs N] [--tile N] [--out FILE]\n"
          "  simulate    FILE [--millis N] [--seed N] [--errors none|sporadic|burst]\n"
          "              [--error-gap-ms N] [--stats] [--window-ms N] [--stats-json FILE]\n"
          "              [--trace-jsonl FILE] [--trace-chrome FILE]\n"
@@ -536,6 +548,9 @@ std::string usage() {
          "--jobs N selects N worker threads for sweep/sensitivity/optimize/\n"
          "extend/report (0 = all hardware threads, the default; results are\n"
          "bit-identical at any width).\n"
+         "--tile N shards those fan-outs into fixed-size work tiles\n"
+         "(0 = auto, the default); purely a scheduling knob — outputs are\n"
+         "byte-identical at every tile size and worker count.\n"
          "--strict escalates ingest warnings (zero cycle times, stray\n"
          "signal lines, non-0|1 boolean columns) to errors. Malformed input\n"
          "prints one line-numbered diagnostic per problem and exits 2.\n"

@@ -7,9 +7,10 @@
 
 namespace symcan {
 
-KMatrix apply_priority_order(const KMatrix& km, const PriorityOrder& order, CanId base,
-                             CanId spacing) {
-  if (order.size() != km.size())
+namespace {
+
+void check_permutation(const PriorityOrder& order, std::size_t n) {
+  if (order.size() != n)
     throw std::invalid_argument("apply_priority_order: order size mismatch");
   std::vector<bool> seen(order.size(), false);
   for (const std::size_t i : order) {
@@ -17,8 +18,10 @@ KMatrix apply_priority_order(const KMatrix& km, const PriorityOrder& order, CanI
       throw std::invalid_argument("apply_priority_order: order is not a permutation");
     seen[i] = true;
   }
+}
+
+void reassign_ids(KMatrix& out, const PriorityOrder& order, CanId base, CanId spacing) {
   const CanId top = base + spacing * static_cast<CanId>(order.size() - 1);
-  KMatrix out = km;
   for (std::size_t rank = 0; rank < order.size(); ++rank) {
     CanMessage& m = out.messages()[order[rank]];
     CanId id = base + spacing * static_cast<CanId>(rank);
@@ -30,8 +33,24 @@ KMatrix apply_priority_order(const KMatrix& km, const PriorityOrder& order, CanI
     }
     m.id = id;
   }
+}
+
+}  // namespace
+
+KMatrix apply_priority_order(const KMatrix& km, const PriorityOrder& order, CanId base,
+                             CanId spacing) {
+  check_permutation(order, km.size());
+  KMatrix out = km;
+  reassign_ids(out, order, base, spacing);
   out.validate();
   return out;
+}
+
+void apply_priority_order_into(const KMatrix& km, const PriorityOrder& order, KMatrix& out,
+                               CanId base, CanId spacing) {
+  check_permutation(order, km.size());
+  out = km;  // copy-assign: a reused `out` keeps its heap buffers
+  reassign_ids(out, order, base, spacing);
 }
 
 PriorityOrder current_order(const KMatrix& km) { return km.priority_order(); }

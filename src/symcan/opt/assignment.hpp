@@ -25,6 +25,14 @@ using PriorityOrder = std::vector<std::size_t>;
 KMatrix apply_priority_order(const KMatrix& km, const PriorityOrder& order, CanId base = 0x100,
                              CanId spacing = 8);
 
+/// Hot-loop variant: write the reordered matrix into `out` (copy-assign
+/// reuses its string/vector capacity, so a reused buffer makes this
+/// allocation-light) and skip the output re-validation — the rewrite
+/// only permutes IDs over a collision-free range, so `out` is valid iff
+/// `km` is. `order` is still checked to be a permutation.
+void apply_priority_order_into(const KMatrix& km, const PriorityOrder& order, KMatrix& out,
+                               CanId base = 0x100, CanId spacing = 8);
+
 /// The order implied by the matrix's current IDs.
 PriorityOrder current_order(const KMatrix& km);
 

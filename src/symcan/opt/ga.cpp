@@ -72,10 +72,17 @@ GaIndividual evaluate_order(const KMatrix& km, const PriorityOrder& order, const
   // number of misses at later (stress) fractions.
   double weight = 1.0;
   for (std::size_t k = 1; k < cfg.eval_fractions.size(); ++k) weight *= 1000.0;
+  // Per-worker variant buffer: the reorder copy-assigns into it, so the
+  // message strings and vectors keep their heap blocks across the
+  // thousands of evaluations a GA run makes on this thread.
+  static thread_local KMatrix variant{"", BitTiming{500'000}};
   for (const double f : cfg.eval_fractions) {
     // One matrix copy per evaluation point — reorder and jitter-edit in
-    // place rather than copying a reordered intermediate.
-    KMatrix variant = apply_priority_order(km, order);
+    // the reused buffer rather than allocating a fresh matrix. The
+    // ID rewrite preserves validity, so no re-validation here; callers
+    // validate `km` once (CanRta/IncrementalRta do, and the optimizers
+    // validate up front before turning per-call validation off).
+    apply_priority_order_into(km, order, variant);
     assume_jitter_fraction(variant, f, cfg.override_known);
     // The config (and its ErrorModel shared_ptr) stays by const reference
     // all the way down — no per-individual CanRtaConfig copies on the hot
@@ -108,6 +115,7 @@ GaResult optimize_priorities(const KMatrix& km, const GaConfig& cfg) {
   if (cfg.archive < 2) throw std::invalid_argument("optimize_priorities: archive too small");
   if (cfg.eval_fractions.empty())
     throw std::invalid_argument("optimize_priorities: need at least one evaluation fraction");
+  if (cfg.tile < 0) throw std::invalid_argument("optimize_priorities: tile must be >= 0");
 
   const std::size_t n = km.size();
   GaResult result;
@@ -121,14 +129,20 @@ GaResult optimize_priorities(const KMatrix& km, const GaConfig& cfg) {
   // One memo shared by all workers across all generations: neighbouring
   // candidates differ in a few swapped ranks, so most per-message
   // contexts recur and only the edited span re-solves. Safe because a
-  // cache hit is bit-identical to a fresh solve.
-  IncrementalRta rta{cfg.cache};
+  // cache hit is bit-identical to a fresh solve. Validate the input once
+  // here instead of per evaluation — every variant is an ID permutation
+  // of this matrix, which preserves validity.
+  km.validate();
+  RtaCacheConfig cache_cfg = cfg.cache;
+  cache_cfg.validate_input = false;
+  IncrementalRta rta{cache_cfg};
   double last_eval_ms = 0;
   auto evaluate_all = [&](const std::vector<PriorityOrder>& orders) {
     result.evaluations += static_cast<int>(orders.size());
     const auto t0 = std::chrono::steady_clock::now();
-    auto evaluated = exec.parallel_map(
-        orders, [&](const PriorityOrder& o) { return evaluate_order(km, o, cfg, rta); });
+    auto evaluated = exec.parallel_map_tiled(
+        orders, static_cast<std::size_t>(cfg.tile),
+        [&](const PriorityOrder& o) { return evaluate_order(km, o, cfg, rta); });
     last_eval_ms =
         std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
     if (obs::enabled()) {

@@ -141,6 +141,7 @@ GaConfig ga_config_for(const KMatrix& km, const OptimizeSpec& spec) {
   cfg.eval_fractions = {spec.target_jitter};
   cfg.seeds = {current_order(km), deadline_monotonic_order(km)};
   cfg.parallelism = spec.jobs;
+  cfg.tile = spec.tile;
   cfg.cache = spec.cache;
   return cfg;
 }

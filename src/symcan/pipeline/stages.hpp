@@ -102,6 +102,9 @@ struct OptimizeSpec {
   /// Worker threads for fitness evaluation (0 = hardware). Evolved
   /// populations are bit-identical at any width.
   int jobs = 0;
+  /// Individuals per fan-out tile (0 = auto). Scheduling only — evolved
+  /// populations are byte-identical for every tile size.
+  int tile = 0;
   RtaCacheConfig cache;
 };
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "symcan/analysis/columnar.hpp"
 #include "symcan/obs/obs.hpp"
 #include "symcan/util/parallel.hpp"
 #include "symcan/workload/powertrain.hpp"
@@ -29,6 +30,7 @@ std::vector<Duration> JitterSweepResult::response_curve(const std::string& messa
 JitterSweepResult sweep_jitter(const KMatrix& km, const JitterSweepConfig& cfg) {
   if (cfg.step <= 0 || cfg.to < cfg.from)
     throw std::invalid_argument("sweep_jitter: bad sweep bounds");
+  if (cfg.tile < 0) throw std::invalid_argument("sweep_jitter: tile must be >= 0");
   JitterSweepResult out;
   // Half-step epsilon keeps the endpoint inclusive despite FP accumulation.
   for (double f = cfg.from; f <= cfg.to + cfg.step / 2; f += cfg.step) out.fractions.push_back(f);
@@ -36,11 +38,12 @@ JitterSweepResult sweep_jitter(const KMatrix& km, const JitterSweepConfig& cfg) 
   IncrementalRta rta{cfg.cache};
   {
     SYMCAN_OBS_SPAN("sweep.jitter");
-    out.results = exec.parallel_map(out.fractions, [&](double f) {
-      KMatrix variant = km;
-      assume_jitter_fraction(variant, f, cfg.override_known);
-      return rta.analyze(variant, cfg.rta);
-    });
+    out.results = exec.parallel_map_tiled(
+        out.fractions, static_cast<std::size_t>(cfg.tile), [&](double f) {
+          KMatrix variant = km;
+          assume_jitter_fraction(variant, f, cfg.override_known);
+          return rta.analyze(variant, cfg.rta);
+        });
   }
   if (obs::enabled()) {
     obs::count("sweep.jitter.points", static_cast<std::int64_t>(out.fractions.size()));
@@ -56,6 +59,7 @@ JitterSweepResult sweep_jitter(const KMatrix& km, const JitterSweepConfig& cfg) 
 ErrorSweepResult sweep_errors(const KMatrix& km, const ErrorSweepConfig& cfg) {
   if (cfg.points < 2) throw std::invalid_argument("sweep_errors: need >= 2 points");
   if (cfg.from <= cfg.to) throw std::invalid_argument("sweep_errors: from must exceed to");
+  if (cfg.tile < 0) throw std::invalid_argument("sweep_errors: tile must be >= 0");
   ErrorSweepResult out;
   const double lo = std::log(static_cast<double>(cfg.to.count_ns()));
   const double hi = std::log(static_cast<double>(cfg.from.count_ns()));
@@ -67,11 +71,12 @@ ErrorSweepResult sweep_errors(const KMatrix& km, const ErrorSweepConfig& cfg) {
   IncrementalRta rta{cfg.cache};
   {
     SYMCAN_OBS_SPAN("sweep.errors");
-    out.results = exec.parallel_map(out.min_inter_error, [&](Duration gap) {
-      CanRtaConfig point = cfg.rta;
-      point.errors = std::make_shared<SporadicErrors>(gap);
-      return rta.analyze(km, point);
-    });
+    out.results = exec.parallel_map_tiled(
+        out.min_inter_error, static_cast<std::size_t>(cfg.tile), [&](Duration gap) {
+          CanRtaConfig point = cfg.rta;
+          point.errors = std::make_shared<SporadicErrors>(gap);
+          return rta.analyze(km, point);
+        });
   }
   if (obs::enabled()) {
     obs::count("sweep.errors.points", static_cast<std::int64_t>(out.min_inter_error.size()));
@@ -80,6 +85,77 @@ ErrorSweepResult sweep_errors(const KMatrix& km, const ErrorSweepConfig& cfg) {
       series.append({{"min_inter_error_ms", out.min_inter_error[i].as_ms()},
                      {"miss_fraction", out.results[i].miss_fraction()},
                      {"utilization", out.results[i].utilization}});
+  }
+  return out;
+}
+
+GridSweepResult sweep_grid(const KMatrix& km, const GridSweepConfig& cfg) {
+  if (cfg.step <= 0 || cfg.to < cfg.from)
+    throw std::invalid_argument("sweep_grid: bad jitter bounds");
+  if (cfg.error_points < 2) throw std::invalid_argument("sweep_grid: need >= 2 error points");
+  if (cfg.error_from <= cfg.error_to)
+    throw std::invalid_argument("sweep_grid: error_from must exceed error_to");
+  if (cfg.tile < 0) throw std::invalid_argument("sweep_grid: tile must be >= 0");
+  if (!cfg.rta.errors) throw std::invalid_argument("sweep_grid: error model must not be null");
+  km.validate();
+
+  GridSweepResult out;
+  for (double f = cfg.from; f <= cfg.to + cfg.step / 2; f += cfg.step) out.fractions.push_back(f);
+  const double lo = std::log(static_cast<double>(cfg.error_to.count_ns()));
+  const double hi = std::log(static_cast<double>(cfg.error_from.count_ns()));
+  for (int i = 0; i < cfg.error_points; ++i) {
+    const double t = hi - (hi - lo) * static_cast<double>(i) / (cfg.error_points - 1);
+    out.min_inter_error.push_back(Duration::ns(static_cast<std::int64_t>(std::exp(t))));
+  }
+  out.messages = km.size();
+  const std::size_t cols = out.min_inter_error.size();
+  const std::size_t n = km.size();
+
+  struct Cell {
+    double miss_fraction;
+    Duration worst_wcrt;
+  };
+  ParallelExecutor exec{cfg.parallelism};
+  std::vector<std::vector<Cell>> rows;
+  {
+    SYMCAN_OBS_SPAN("sweep.grid");
+    rows = exec.parallel_map_tiled(
+        out.fractions, static_cast<std::size_t>(cfg.tile), [&](double f) {
+          // One pack per row: the jitter edit changes the columns, the
+          // error model does not (it is per-solve state), so every
+          // column of this row solves from the same arena.
+          static thread_local analysis::ColumnarBus bus;
+          KMatrix variant = km;
+          assume_jitter_fraction(variant, f, cfg.override_known);
+          analysis::pack_bus(variant, cfg.rta, bus);
+          std::vector<Cell> row;
+          row.reserve(cols);
+          for (const Duration gap : out.min_inter_error) {
+            const SporadicErrors errors{gap};
+            std::size_t misses = 0;
+            Duration worst = Duration::zero();
+            for (std::size_t i = 0; i < n; ++i) {
+              const MessageResult r = analysis::solve_columnar(bus, i, errors);
+              if (!r.schedulable) ++misses;
+              worst = max(worst, r.wcrt);
+            }
+            row.push_back(Cell{
+                n > 0 ? static_cast<double>(misses) / static_cast<double>(n) : 0.0, worst});
+          }
+          return row;
+        });
+  }
+  out.miss_fraction.reserve(out.cells());
+  out.worst_wcrt.reserve(out.cells());
+  for (const auto& row : rows) {
+    for (const Cell& c : row) {
+      out.miss_fraction.push_back(c.miss_fraction);
+      out.worst_wcrt.push_back(c.worst_wcrt);
+    }
+  }
+  if (obs::enabled()) {
+    obs::count("sweep.grid.cells", static_cast<std::int64_t>(out.cells()));
+    obs::count("sweep.grid.points", static_cast<std::int64_t>(out.points()));
   }
   return out;
 }

@@ -27,6 +27,11 @@ struct JitterSweepConfig {
   /// Worker threads for evaluating sweep points (0 = hardware
   /// concurrency, 1 = serial). Results are bit-identical either way.
   int parallelism = 1;
+  /// Sweep points per work tile handed to a worker (0 = auto-size from
+  /// point count and thread count). Affects scheduling only — results
+  /// are byte-identical for every tile size (the determinism suite pins
+  /// this). Must be >= 0.
+  int tile = 0;
   /// RTA memoization across sweep points: messages the swept jitter does
   /// not reach keep their interference context and are served from cache.
   RtaCacheConfig cache;
@@ -59,6 +64,8 @@ struct ErrorSweepConfig {
   /// Worker threads for evaluating sweep points (0 = hardware
   /// concurrency, 1 = serial). Results are bit-identical either way.
   int parallelism = 1;
+  /// Sweep points per work tile (0 = auto; see JitterSweepConfig::tile).
+  int tile = 0;
   /// RTA memoization across sweep points (the error model is part of the
   /// cache key, so each point only reuses what it legitimately can).
   RtaCacheConfig cache;
@@ -70,5 +77,53 @@ struct ErrorSweepResult {
 };
 
 ErrorSweepResult sweep_errors(const KMatrix& km, const ErrorSweepConfig& cfg);
+
+/// Two-dimensional what-if grid: assumed jitter fraction (rows, linear
+/// steps as in JitterSweepConfig) x bus fault rate (columns, logarithmic
+/// min inter-error times as in ErrorSweepConfig). One cell = one full
+/// bus analysis; a modest grid therefore reaches millions of per-message
+/// solves, which is where the columnar core earns its keep: each row
+/// packs its jitter variant once and re-solves every error column from
+/// the same columns, so a cell costs solves only — no context rebuilds.
+struct GridSweepConfig {
+  double from = 0.0;
+  double to = 0.60;
+  double step = 0.05;
+  bool override_known = true;
+  Duration error_from = Duration::s(1);
+  Duration error_to = Duration::ms(1);
+  int error_points = 13;
+  CanRtaConfig rta;  ///< Its error model is replaced at every column.
+  /// Worker threads over rows (0 = hardware concurrency, 1 = serial).
+  int parallelism = 1;
+  /// Rows per work tile (0 = auto; scheduling only, results are
+  /// byte-identical for every tile size). Must be >= 0.
+  int tile = 0;
+};
+
+/// Per-cell aggregates in row-major order (row = jitter fraction index,
+/// column = min inter-error index). Full BusResults are deliberately not
+/// kept: a million-point grid would hold a million MessageResults.
+struct GridSweepResult {
+  std::vector<double> fractions;
+  std::vector<Duration> min_inter_error;
+  std::vector<double> miss_fraction;  ///< rows x cols, row-major.
+  std::vector<Duration> worst_wcrt;   ///< rows x cols; infinite if any diverged.
+  std::size_t messages = 0;           ///< Messages analyzed per cell.
+
+  std::size_t rows() const { return fractions.size(); }
+  std::size_t cols() const { return min_inter_error.size(); }
+  std::size_t cells() const { return rows() * cols(); }
+  /// Total per-message solves the grid performed.
+  std::size_t points() const { return cells() * messages; }
+  double miss_at(std::size_t row, std::size_t col) const {
+    return miss_fraction.at(row * cols() + col);
+  }
+  Duration wcrt_at(std::size_t row, std::size_t col) const {
+    return worst_wcrt.at(row * cols() + col);
+  }
+};
+
+GridSweepResult sweep_grid(const KMatrix& km, const GridSweepConfig& cfg);
 
 }  // namespace symcan

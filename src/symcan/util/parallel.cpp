@@ -12,6 +12,14 @@ int ParallelExecutor::resolve(int requested) {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+std::size_t ParallelExecutor::auto_tile(std::size_t count, int threads) {
+  if (count == 0) return 1;
+  const std::size_t slots = static_cast<std::size_t>(threads) * 4;
+  const std::size_t tile = (count + slots - 1) / slots;
+  if (tile < 1) return 1;
+  return tile > 64 ? 64 : tile;
+}
+
 ParallelExecutor::ParallelExecutor(int threads) : threads_{resolve(threads)} {
   // The calling thread participates in every run, so the pool holds one
   // worker fewer than the requested width.

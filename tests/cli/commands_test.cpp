@@ -265,6 +265,24 @@ TEST_F(CliTest, JobsRejectsNegativeAndGarbage) {
   EXPECT_NE(err_.str().find("not an integer"), std::string::npos);
 }
 
+TEST_F(CliTest, TileRejectsNegativeAndGarbage) {
+  EXPECT_EQ(run({"sweep", path_, "--tile", "-1"}), 2);
+  EXPECT_NE(err_.str().find("--tile"), std::string::npos);
+  EXPECT_EQ(run({"sweep", path_, "--tile", "seven"}), 2);
+  EXPECT_NE(err_.str().find("not an integer"), std::string::npos);
+  EXPECT_EQ(run({"sensitivity", path_, "--tile", "-3"}), 2);
+  EXPECT_EQ(run({"optimize", path_, "--tile", "garbage"}), 2);
+}
+
+TEST_F(CliTest, TileShardsSweepIdenticallyToDefault) {
+  EXPECT_EQ(run({"sweep", path_, "--from", "0", "--to", "0.2", "--step", "0.1"}), 0);
+  const std::string untiled = out_.str();
+  EXPECT_EQ(run({"sweep", path_, "--from", "0", "--to", "0.2", "--step", "0.1", "--jobs", "2",
+                 "--tile", "1"}),
+            0);
+  EXPECT_EQ(out_.str(), untiled);
+}
+
 TEST_F(CliTest, GenerateRejectsNonPositiveSizes) {
   EXPECT_EQ(run({"generate", "--messages", "0"}), 2);
   EXPECT_NE(err_.str().find("--messages"), std::string::npos);

@@ -1,0 +1,17 @@
+// libFuzzer driver for the columnar layout differential: any CSV the
+// loader accepts must pack into a well-formed ColumnarBus whose solves
+// are bit-identical to the object-graph solver. Build with
+// -DSYMCAN_FUZZ=ON; seed from tests/fuzz/corpus/columnar (the csv corpus
+// works too).
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "fuzz_entries.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  symcan::fuzz::check_columnar_pack(
+      std::string_view{reinterpret_cast<const char*>(data), size});
+  return 0;
+}

@@ -54,6 +54,20 @@ TEST(FuzzCorpus, CsvCorpusVerbatim) {
     ASSERT_NO_THROW(check_kmatrix_csv_input(read_file(f.string()))) << f;
 }
 
+TEST(FuzzCorpus, ColumnarCorpusVerbatim) {
+  const auto files = corpus_files("columnar");
+  ASSERT_FALSE(files.empty());
+  for (const auto& f : files)
+    ASSERT_NO_THROW(check_columnar_pack(read_file(f.string()))) << f;
+}
+
+// The shared CSV corpus is also valid columnar input — every accepted
+// matrix anywhere in the corpus must pack and solve bit-identically.
+TEST(FuzzCorpus, ColumnarHoldsOnCsvCorpus) {
+  for (const auto& f : corpus_files("csv"))
+    ASSERT_NO_THROW(check_columnar_pack(read_file(f.string()))) << f;
+}
+
 TEST(FuzzCorpus, ArgvCorpusVerbatim) {
   const auto files = corpus_files("argv");
   ASSERT_FALSE(files.empty());
@@ -90,6 +104,16 @@ TEST(FuzzCorpus, CsvMutationStorm) {
     const std::string seed_text = read_file(f.string());
     for (std::uint64_t seed = 1; seed <= kMutationsPerSeed; ++seed)
       ASSERT_NO_THROW(check_kmatrix_csv_input(mutate_csv(seed_text, seed)))
+          << f << " seed " << seed << "\n--- mutated input ---\n"
+          << mutate_csv(seed_text, seed);
+  }
+}
+
+TEST(FuzzCorpus, ColumnarMutationStorm) {
+  for (const auto& f : corpus_files("columnar")) {
+    const std::string seed_text = read_file(f.string());
+    for (std::uint64_t seed = 1; seed <= kMutationsPerSeed; ++seed)
+      ASSERT_NO_THROW(check_columnar_pack(mutate_csv(seed_text, seed)))
           << f << " seed " << seed << "\n--- mutated input ---\n"
           << mutate_csv(seed_text, seed);
   }

@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "symcan/analysis/can_rta.hpp"
+#include "symcan/analysis/columnar.hpp"
+#include "symcan/analysis/rta_context.hpp"
 #include "symcan/can/dbc_import.hpp"
 #include "symcan/can/kmatrix_io.hpp"
 #include "symcan/cli/commands.hpp"
@@ -62,6 +64,51 @@ void require_bounded_rta(const KMatrix& km) {
   }
 }
 
+/// The pack must emit a structurally sound CSR image of the matrix: one
+/// scalar row per message, monotonic index rows closed by the column
+/// lengths, and all four hp lanes in lockstep. A malformed layout would
+/// make the per-field solve comparison below read garbage, so it is
+/// checked first with its own messages.
+void require_packed_layout(const analysis::ColumnarBus& bus, std::size_t n) {
+  require(bus.size() == n, "pack emitted " + std::to_string(bus.size()) + " scalar rows for " +
+                               std::to_string(n) + " messages");
+  require(bus.hp_begin.size() == n + 1, "hp_begin is not n+1 rows");
+  require(bus.tt_begin.size() == n + 1, "tt_begin is not n+1 rows");
+  require(bus.hp_begin.front() == 0 && bus.tt_begin.front() == 0, "CSR index rows must start at 0");
+  for (std::size_t i = 0; i < n; ++i) {
+    require(bus.hp_begin[i] <= bus.hp_begin[i + 1], "hp_begin is not monotonic");
+    require(bus.tt_begin[i] <= bus.tt_begin[i + 1], "tt_begin is not monotonic");
+  }
+  require(bus.hp_begin.back() == bus.hp_period.size(), "hp_begin does not close the hp columns");
+  require(bus.tt_begin.back() == bus.tt_groups.size(), "tt_begin does not close the group column");
+  require(bus.hp_period.size() == bus.hp_jitter.size() &&
+              bus.hp_period.size() == bus.hp_dmin.size() &&
+              bus.hp_period.size() == bus.hp_cost.size(),
+          "hp lanes have diverging lengths");
+}
+
+/// Bit-exactness of the columnar core against the object-graph solver,
+/// per message and per field, on an accepted matrix under one config.
+void require_columnar_differential(const KMatrix& km, const CanRtaConfig& cfg) {
+  const analysis::ColumnarBus bus = analysis::pack_bus(km, cfg);
+  require_packed_layout(bus, km.size());
+  for (std::size_t i = 0; i < km.size(); ++i) {
+    const MessageResult ref = analysis::solve_message(analysis::build_message_context(km, cfg, i));
+    const MessageResult col = analysis::solve_columnar(bus, i);
+    const std::string who = "message " + km.messages()[i].name + ": columnar ";
+    require(col.wcrt == ref.wcrt, who + "wcrt diverged from legacy");
+    require(col.bcrt == ref.bcrt, who + "bcrt diverged from legacy");
+    require(col.deadline == ref.deadline, who + "deadline diverged from legacy");
+    require(col.blocking == ref.blocking, who + "blocking diverged from legacy");
+    require(col.busy_period == ref.busy_period, who + "busy period diverged from legacy");
+    require(col.instances == ref.instances, who + "instance count diverged from legacy");
+    require(col.fixedpoint_iterations == ref.fixedpoint_iterations,
+            who + "iteration count diverged from legacy");
+    require(col.schedulable == ref.schedulable, who + "schedulability diverged from legacy");
+    require(col.diverged == ref.diverged, who + "divergence flag diverged from legacy");
+  }
+}
+
 }  // namespace
 
 void check_dbc_input(std::string_view data) {
@@ -94,6 +141,33 @@ void check_kmatrix_csv_input(std::string_view data) {
     require_roundtrip(*km);
     require_bounded_rta(*km);
   }
+}
+
+void check_columnar_pack(std::string_view data) {
+  if (data.size() > kMaxInputBytes) return;
+  const std::string text{data};
+  Diagnostics lenient{DiagnosticPolicy::kLenient};
+  const auto km = kmatrix_from_csv(text, lenient);
+  require_consistent(km, lenient);
+  if (!km) return;  // malformed input diagnosed — that's a pass
+  // Same harness bounds as require_bounded_rta: the differential runs
+  // 2 x n legacy solves, so hostile periods would make it unbounded.
+  if (km->size() > 64) return;
+  for (const auto& m : km->messages())
+    if (m.period < Duration::us(100)) return;
+
+  CanRtaConfig cfg;
+  cfg.horizon = Duration::ms(10);
+  require_columnar_differential(*km, cfg);
+
+  // Invert every assumption the pack resolves differently: unstuffed
+  // costs, offset-blind groups, no controller-queue blocking, and the
+  // worst-case deadline override.
+  cfg.worst_case_stuffing = false;
+  cfg.use_offsets = false;
+  cfg.model_controller_queues = false;
+  cfg.deadline_override = DeadlinePolicy::kMinReArrival;
+  require_columnar_differential(*km, cfg);
 }
 
 std::vector<std::string> sanitize_argv(std::string_view data) {
