@@ -130,6 +130,35 @@ void BM_ServeThroughputSharded(benchmark::State& state) {
 }
 BENCHMARK(BM_ServeThroughputSharded);
 
+// The throughput rungs above run with the telemetry plane always on
+// (per-request records, windowed aggregates, SLO counters, flight
+// recorder), so the >= 10k requests/s gate already bounds its overhead.
+// The two benchmarks below price the read-side surfaces themselves.
+
+/// Rendering the `telemetry` payload: windowed snapshot + SLO merge.
+void BM_ServeTelemetrySnapshot(benchmark::State& state) {
+  serve::ServeCore core{serve_config(true, 8)};
+  core.handle_batch(request_batch());  // populate windows and SLO counters
+  for (auto _ : state) {
+    const std::string json = core.telemetry_json();
+    benchmark::DoNotOptimize(json.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeTelemetrySnapshot);
+
+/// The full health dashboard, windowed sections included.
+void BM_ServeHealthJson(benchmark::State& state) {
+  serve::ServeCore core{serve_config(true, 8)};
+  core.handle_batch(request_batch());
+  for (auto _ : state) {
+    const std::string json = core.health_json();
+    benchmark::DoNotOptimize(json.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeHealthJson);
+
 }  // namespace
 }  // namespace symcan::bench
 

@@ -13,6 +13,7 @@
 #include "symcan/cli/args.hpp"
 #include "symcan/obs/export.hpp"
 #include "symcan/obs/obs.hpp"
+#include "symcan/obs/prometheus.hpp"
 #include "symcan/opt/ga.hpp"
 #include "symcan/pipeline/stages.hpp"
 #include "symcan/sensitivity/extensibility.hpp"
@@ -483,6 +484,18 @@ int cmd_serve(const Args& args, std::istream& in, std::ostream& out) {
   cfg.matrix_cache_capacity =
       static_cast<std::size_t>(args.positive_option_or("matrix-cache", 64));
   cfg.policy = policy_from(args);
+
+  // Telemetry plane: always on (the windows and flight ring are cheap);
+  // the flags pick where dumps land and how much history is retained.
+  if (const auto flight = args.path_option("flight-recorder"))
+    cfg.telemetry.flight_path = *flight;
+  cfg.telemetry.flight_capacity =
+      static_cast<std::size_t>(args.positive_option_or("flight-capacity", 256));
+  cfg.telemetry.window_bucket_ms = args.positive_option_or("window-bucket-ms", 5000);
+  cfg.telemetry.window_buckets =
+      static_cast<std::size_t>(args.positive_option_or("window-buckets", 12));
+  cfg.build_info = version_string();
+  if (const auto prom = args.path_option("metrics-prom")) cfg.metrics_prom_path = *prom;
   fail_on_unused(args);
   serve::ServeCore core{cfg};
   return serve::run_stdio_serve(core, in, out);
@@ -539,10 +552,21 @@ std::string usage() {
          "              [--ring-capacity N] [--overflow reject|drop-oldest|\n"
          "              block-with-deadline] [--block-deadline-ms N] [--batch N]\n"
          "              [--jobs N] [--matrix-cache N] [--strict]\n"
+         "              [--flight-recorder FILE] [--flight-capacity N]\n"
+         "              [--window-bucket-ms N] [--window-buckets N]\n"
+         "              [--metrics-prom FILE]\n"
          "              long-running analysis service: one JSON request per stdin\n"
-         "              line (analyze/explain/validate/optimize/health), one JSON\n"
-         "              response per stdout line, bit-identical to the one-shot\n"
-         "              CLI on the same inputs (see DESIGN.md)\n"
+         "              line (analyze/explain/validate/optimize/health/telemetry),\n"
+         "              one JSON response per stdout line, bit-identical to the\n"
+         "              one-shot CLI on the same inputs (see DESIGN.md). Every\n"
+         "              request gets a telemetry record (queue wait, service time,\n"
+         "              batch id, cache hit, outcome); the 'telemetry' kind returns\n"
+         "              windowed rates, latency quantiles, and per-kind SLO burn.\n"
+         "              --flight-recorder FILE keeps the last N records (default\n"
+         "              256, --flight-capacity) and dumps them as JSONL on the\n"
+         "              first shed, a bound violation, a telemetry request with\n"
+         "              \"dump\":true, or shutdown. --metrics-prom FILE rewrites a\n"
+         "              Prometheus text-format scrape file once per cycle.\n"
          "  version     print version and build configuration\n"
          "  help\n"
          "--jobs N selects N worker threads for sweep/sensitivity/optimize/\n"
@@ -560,9 +584,10 @@ std::string usage() {
          "--rta-cache-capacity N (default 65536) bounds the cached verdicts;\n"
          "--serve-shards N (serve only, default 8) splits the cache into N\n"
          "independently locked LRU shards.\n"
-         "--trace-out FILE / --metrics-out FILE work with every command:\n"
-         "they record spans (chrome://tracing JSON) and metrics (counters,\n"
-         "histograms, per-iteration series) for the run and write them on\n"
+         "--trace-out FILE / --metrics-out FILE / --metrics-prom FILE work\n"
+         "with every command: they record spans (chrome://tracing JSON) and\n"
+         "metrics (counters, histograms, per-iteration series; --metrics-prom\n"
+         "uses Prometheus text exposition) for the run and write them on\n"
          "exit.\n";
 }
 
@@ -594,7 +619,8 @@ int run_cli(const std::vector<std::string>& argv_tail, std::istream& in, std::os
     // only when at least one export was requested.
     const std::optional<std::string> trace_out = args.path_option("trace-out");
     const std::optional<std::string> metrics_out = args.path_option("metrics-out");
-    if (trace_out || metrics_out) {
+    const std::optional<std::string> metrics_prom = args.path_option("metrics-prom");
+    if (trace_out || metrics_out || metrics_prom) {
       obs::reset();
       obs::set_enabled(true);
     }
@@ -619,9 +645,11 @@ int run_cli(const std::vector<std::string>& argv_tail, std::istream& in, std::os
     };
     const int rc = dispatch();
 
-    if (trace_out || metrics_out) {
+    if (trace_out || metrics_out || metrics_prom) {
       obs::set_enabled(false);
       if (metrics_out) obs::write_file(*metrics_out, obs::metrics_to_json(obs::metrics()));
+      if (metrics_prom)
+        obs::write_file(*metrics_prom, obs::metrics_to_prometheus(obs::metrics()));
       if (trace_out) obs::write_file(*trace_out, obs::trace_to_chrome_json(obs::tracer()));
     }
     return rc;

@@ -130,6 +130,18 @@ std::string trace_to_chrome_json(const Tracer& tracer) {
   std::string out;
   out += "{\"traceEvents\": [";
   bool first = true;
+  // Metadata pass: name the process and every thread that registered a
+  // name, so chrome://tracing shows "symcan-worker-3" instead of a bare
+  // tid.
+  out += "\n  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1"
+         ", \"args\": {\"name\": \"symcan\"}}";
+  first = false;
+  for (const auto& [tid, name] : tracer.thread_names()) {
+    out += ",\n  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": " +
+           std::to_string(tid) + ", \"args\": {\"name\": ";
+    append_quoted(out, name);
+    out += "}}";
+  }
   for (const TraceEvent& e : events) {
     out += first ? "\n  " : ",\n  ";
     first = false;
@@ -142,7 +154,9 @@ std::string trace_to_chrome_json(const Tracer& tracer) {
       out += ", \"ph\": \"X\", \"dur\": " + std::to_string(e.dur_us);
     }
     out += ", \"ts\": " + std::to_string(e.start_us);
-    out += ", \"pid\": 1, \"tid\": " + std::to_string(e.tid) + "}";
+    out += ", \"pid\": 1, \"tid\": " + std::to_string(e.tid);
+    if (e.flow != 0) out += ", \"args\": {\"flow\": " + std::to_string(e.flow) + "}";
+    out += "}";
   }
   out += first ? "]" : "\n]";
   out += ", \"displayTimeUnit\": \"ms\"}\n";

@@ -62,6 +62,24 @@ inline void instant(const char* name) {
   tracer().record_instant(name);
 }
 
+/// RAII trace context: installs `flow` as the calling thread's flow id
+/// for the scope, restoring the previous one on exit. Spans and instants
+/// recorded inside the scope carry the flow, stitching one request's
+/// events into a tree across threads. Pure thread-local stores — no
+/// atomics, no allocation — so it is safe to install unconditionally,
+/// but call sites still gate on enabled() to keep the disabled path at
+/// one relaxed load.
+class FlowScope {
+ public:
+  explicit FlowScope(std::uint64_t flow) : saved_{current_flow()} { set_current_flow(flow); }
+  FlowScope(const FlowScope&) = delete;
+  FlowScope& operator=(const FlowScope&) = delete;
+  ~FlowScope() { set_current_flow(saved_); }
+
+ private:
+  std::uint64_t saved_;
+};
+
 /// RAII span: records [construction, destruction) into the tracer when
 /// observation was enabled at construction. `name` must outlive the
 /// guard (string literals at every call site).

@@ -1,0 +1,76 @@
+#include "symcan/obs/prometheus.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+namespace symcan::obs {
+
+namespace {
+
+std::string prom_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void family_header(std::string& out, const std::string& name, const char* type) {
+  out += "# HELP " + name + " symcan metric " + name + "\n";
+  out += "# TYPE " + name + " " + type + "\n";
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "symcan_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string snapshot_to_prometheus(const RegistrySnapshot& snap) {
+  std::string out;
+  // Families that collide after sanitization keep the first spelling;
+  // duplicate family names are invalid exposition and CI lints for them.
+  std::set<std::string> emitted;
+  const auto fresh = [&](const std::string& name) { return emitted.insert(name).second; };
+
+  for (const auto& [name, value] : snap.counters) {
+    const std::string p = prometheus_name(name) + "_total";
+    if (!fresh(p)) continue;
+    family_header(out, p, "counter");
+    out += p + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string p = prometheus_name(name);
+    if (!fresh(p)) continue;
+    family_header(out, p, "gauge");
+    out += p + " " + prom_number(value) + "\n";
+  }
+  for (const auto& h : snap.histograms) {
+    const std::string p = prometheus_name(h.name);
+    if (!fresh(p)) continue;
+    family_header(out, p, "histogram");
+    std::int64_t cum = 0;
+    for (const auto& [le, count] : h.buckets) {
+      cum += count;
+      out += p + "_bucket{le=\"" + prom_number(le) + "\"} " + std::to_string(cum) + "\n";
+    }
+    out += p + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += p + "_sum " + prom_number(h.sum) + "\n";
+    out += p + "_count " + std::to_string(h.count) + "\n";
+  }
+  // Series are per-iteration sample logs, not scrapeable families; the
+  // JSON exporter carries them.
+  return out;
+}
+
+std::string metrics_to_prometheus(const MetricsRegistry& registry) {
+  return snapshot_to_prometheus(registry.snapshot());
+}
+
+}  // namespace symcan::obs

@@ -1,0 +1,34 @@
+#pragma once
+
+// Prometheus text exposition (version 0.0.4) for the metrics registry,
+// suitable for a node_exporter textfile collector or any file-based
+// scrape: counters become `<name>_total`, gauges stay gauges, histograms
+// expand to the `_bucket{le=...}` / `_sum` / `_count` family.
+//
+// Name hygiene: registry names use dots ("serve.requests"); Prometheus
+// names may only use [a-zA-Z0-9_:], so every invalid rune maps to '_',
+// the result is prefixed with "symcan_", and families that collide after
+// sanitization keep the first spelling only (the linter in CI rejects
+// duplicate names, so collisions must not reach the wire). Non-finite
+// values degrade to 0 — the exposition format has no NaN/Inf and the CI
+// lint rejects them.
+
+#include <string>
+
+#include "symcan/obs/metrics.hpp"
+
+namespace symcan::obs {
+
+/// Sanitize one registry metric name into a Prometheus family name
+/// (prefixed, charset-mapped, leading-digit guarded).
+std::string prometheus_name(const std::string& name);
+
+/// Render the full exposition: one `# HELP` + `# TYPE` header per family
+/// followed by its samples, families in registry (sorted-name) order.
+std::string metrics_to_prometheus(const MetricsRegistry& registry);
+
+/// Same, from an already-taken snapshot (serve uses one snapshot for
+/// both the JSON and Prometheus surfaces).
+std::string snapshot_to_prometheus(const RegistrySnapshot& snap);
+
+}  // namespace symcan::obs

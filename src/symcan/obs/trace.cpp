@@ -1,10 +1,16 @@
 #include "symcan/obs/trace.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 namespace symcan::obs {
 
 namespace {
+
+/// Thread-local trace context. Fixed storage so installing a flow or a
+/// thread name never allocates (the obs overhead contract).
+thread_local std::uint64_t g_current_flow = 0;
+thread_local char g_thread_name[64] = {};
 
 /// Epoch ids are unique across all Tracer instances and resets, so a
 /// thread-local buffer pointer from a previous epoch (or another tracer)
@@ -21,6 +27,15 @@ thread_local Tls tls;
 
 }  // namespace
 
+std::uint64_t current_flow() { return g_current_flow; }
+
+void set_current_flow(std::uint64_t flow) { g_current_flow = flow; }
+
+void set_thread_name(const char* name) {
+  std::strncpy(g_thread_name, name, sizeof g_thread_name - 1);
+  g_thread_name[sizeof g_thread_name - 1] = '\0';
+}
+
 Tracer::Tracer()
     : epoch_{g_next_epoch.fetch_add(1, std::memory_order_relaxed)},
       epoch_time_{std::chrono::steady_clock::now()} {}
@@ -36,6 +51,7 @@ Tracer::Buffer& Tracer::local_buffer() {
     std::lock_guard<std::mutex> lk{m_};
     buffers_.push_back(std::make_unique<Buffer>());
     buffers_.back()->tid = next_tid_++;
+    buffers_.back()->thread_name = g_thread_name;
     tls.owner = this;
     tls.epoch = epoch_.load(std::memory_order_relaxed);
     tls.buffer = buffers_.back().get();
@@ -49,7 +65,7 @@ void Tracer::record_span(const char* name, std::int64_t start_us, std::int64_t e
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  b.events.push_back(TraceEvent{name, start_us, end_us - start_us, b.tid});
+  b.events.push_back(TraceEvent{name, start_us, end_us - start_us, b.tid, g_current_flow});
 }
 
 void Tracer::record_instant(const char* name) {
@@ -58,7 +74,7 @@ void Tracer::record_instant(const char* name) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  b.events.push_back(TraceEvent{name, now_us(), -1, b.tid});
+  b.events.push_back(TraceEvent{name, now_us(), -1, b.tid, g_current_flow});
 }
 
 std::vector<TraceEvent> Tracer::collect() const {
@@ -72,6 +88,14 @@ std::vector<TraceEvent> Tracer::collect() const {
     if (a.start_us != b.start_us) return a.start_us < b.start_us;
     return a.tid < b.tid;
   });
+  return out;
+}
+
+std::vector<std::pair<int, std::string>> Tracer::thread_names() const {
+  std::lock_guard<std::mutex> lk{m_};
+  std::vector<std::pair<int, std::string>> out;
+  for (const auto& b : buffers_)
+    if (!b->thread_name.empty()) out.emplace_back(b->tid, b->thread_name);
   return out;
 }
 

@@ -15,6 +15,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace symcan::obs {
@@ -24,7 +25,22 @@ struct TraceEvent {
   std::int64_t start_us = 0;  ///< Microseconds since the tracer epoch.
   std::int64_t dur_us = 0;    ///< Span duration; 0 allowed, -1 = instant event.
   int tid = 0;                ///< Small sequential id per recording thread.
+  std::uint64_t flow = 0;     ///< Trace-context id (0 = none); see below.
 };
+
+/// Trace context: a thread-local flow id stamped onto every event the
+/// thread records, so the spans of one serve request form one tree in
+/// the exported trace even when its stages hop across ParallelExecutor
+/// workers. Scoped installation (save old, set, restore) lives in
+/// obs::FlowScope; these are the raw accessors it and the executor use.
+std::uint64_t current_flow();
+void set_current_flow(std::uint64_t flow);
+
+/// Label the calling thread in exported traces (chrome://tracing
+/// `thread_name` metadata). Copies into a fixed thread-local buffer —
+/// never allocates — and applies to buffers the thread registers from
+/// now on, including after a tracer reset.
+void set_thread_name(const char* name);
 
 class Tracer {
  public:
@@ -42,12 +58,17 @@ class Tracer {
   std::vector<TraceEvent> collect() const;
   std::int64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
 
+  /// (tid, name) for every registered buffer whose thread had a name at
+  /// registration time; consumed by the chrome exporter's metadata pass.
+  std::vector<std::pair<int, std::string>> thread_names() const;
+
   /// Discard all buffers and restart the epoch clock.
   void reset();
 
  private:
   struct Buffer {
     int tid = 0;
+    std::string thread_name;  ///< Copied from set_thread_name at creation.
     std::vector<TraceEvent> events;
   };
 

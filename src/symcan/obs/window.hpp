@@ -1,0 +1,142 @@
+#pragma once
+
+// symcan::obs rolling windows: time-windowed rates, latency quantiles and
+// SLO error budgets over a fixed ring of bucketed sub-windows.
+//
+// The lifetime metrics in metrics.hpp answer "how has this process done
+// since it started"; these answer "how is it doing NOW". A window is a
+// ring of `bucket_count` sub-windows, each `bucket_width_ns` wide, tagged
+// with the absolute bucket index (`now_ns / bucket_width_ns`) it last
+// held. Recording CASes the slot's epoch tag forward when time has moved
+// past it — O(1) rotation, no timer thread — and a snapshot merges
+// exactly the slots whose tag falls inside the window ending now. Stale
+// slots (idle period, clock jump forward) are excluded by their tag, so
+// reuse after idle and jumps need no special casing.
+//
+// Concurrency contract (same as metrics.hpp): recording is wait-free
+// relaxed atomics from any thread; no allocation after construction; a
+// sample racing a slot rotation may land in a slot that the rotation
+// winner zeroes, losing that sample — windowed values are statistical
+// aggregates, never exact accounting, which the exact lifetime counters
+// remain. Callers pass `now_ns` explicitly (monotonic, from any epoch),
+// so tests can drive rotation deterministically.
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace symcan::obs {
+
+struct WindowConfig {
+  std::int64_t bucket_width_ns = 5'000'000'000;  ///< 5 s sub-windows...
+  std::size_t bucket_count = 12;                 ///< ...over a 60 s window.
+
+  std::int64_t window_ns() const {
+    return bucket_width_ns * static_cast<std::int64_t>(bucket_count);
+  }
+};
+
+/// Merged view of the sub-windows covering (now - window, now].
+struct WindowStats {
+  std::int64_t count = 0;
+  double sum = 0;
+  double mean = 0;          ///< 0 when empty.
+  double rate_per_sec = 0;  ///< count / window length (fixed denominator).
+  double p50 = 0;           ///< Bucket-interpolated, like Histogram::quantile,
+  double p95 = 0;           ///< but without an observed min/max clamp (the
+  double p99 = 0;           ///< window keeps no per-slot extrema).
+  std::int64_t window_ns = 0;
+};
+
+/// Windowed event count (no value distribution).
+class WindowedCounter {
+ public:
+  explicit WindowedCounter(WindowConfig cfg = {});
+
+  void add(std::int64_t now_ns, std::int64_t delta = 1);
+
+  std::int64_t window_count(std::int64_t now_ns) const;
+  double window_rate(std::int64_t now_ns) const;
+
+  const WindowConfig& config() const { return cfg_; }
+
+ private:
+  WindowConfig cfg_;
+  /// epochs_[s] holds the absolute bucket index the slot's count belongs
+  /// to; -1 = never written.
+  std::vector<std::atomic<std::int64_t>> epochs_;
+  std::vector<std::atomic<std::int64_t>> counts_;
+};
+
+/// Windowed latency/value distribution: count, sum and fixed `le`
+/// buckets per sub-window, merged into quantiles at snapshot time.
+class WindowedHistogram {
+ public:
+  /// Bounds must be strictly increasing (same contract as Histogram);
+  /// one implicit overflow bucket catches v > bounds.back().
+  WindowedHistogram(WindowConfig cfg, std::vector<double> upper_bounds);
+
+  void record(std::int64_t now_ns, double v);
+
+  WindowStats snapshot(std::int64_t now_ns) const;
+
+  const WindowConfig& config() const { return cfg_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  /// Rotate `slot` to absolute bucket `idx` if it is stale; returns false
+  /// when the sample is older than what the slot currently holds (clock
+  /// skew between recording threads) and should be dropped.
+  bool claim(std::size_t slot, std::int64_t idx);
+
+  WindowConfig cfg_;
+  std::vector<double> bounds_;
+  std::size_t stride_;  ///< bounds_.size() + 1 (overflow bucket).
+  std::vector<std::atomic<std::int64_t>> epochs_;
+  std::vector<std::atomic<std::int64_t>> counts_;
+  std::vector<std::atomic<double>> sums_;
+  /// bucket_count x stride_, row-major per slot.
+  std::vector<std::atomic<std::int64_t>> buckets_;
+};
+
+struct SloConfig {
+  std::int64_t target_ns = 0;  ///< Latency target; <= target meets the SLO.
+  double objective = 0.99;     ///< Fraction of requests that must meet it.
+  WindowConfig window;
+};
+
+struct SloStats {
+  std::int64_t target_ns = 0;
+  double objective = 0;
+  std::int64_t total = 0;         ///< Lifetime requests recorded.
+  std::int64_t over_target = 0;   ///< Lifetime requests over target.
+  std::int64_t window_total = 0;  ///< Same pair, window-scoped.
+  std::int64_t window_over = 0;
+  /// (windowed miss fraction) / (allowed miss fraction): 1.0 burns the
+  /// error budget exactly at the sustainable pace, >1 exhausts it early.
+  double burn_rate = 0;
+  /// Lifetime miss fraction / allowed miss fraction, >= 0.
+  double budget_used = 0;
+};
+
+/// Per-kind latency SLO: lifetime hit/miss counters plus a windowed pair
+/// giving the instantaneous error-budget burn rate.
+class SloTracker {
+ public:
+  explicit SloTracker(SloConfig cfg);
+
+  void record(std::int64_t now_ns, std::int64_t latency_ns);
+
+  SloStats snapshot(std::int64_t now_ns) const;
+
+  const SloConfig& config() const { return cfg_; }
+
+ private:
+  SloConfig cfg_;
+  std::atomic<std::int64_t> total_{0};
+  std::atomic<std::int64_t> over_{0};
+  WindowedCounter window_total_;
+  WindowedCounter window_over_;
+};
+
+}  // namespace symcan::obs

@@ -9,6 +9,7 @@
 #include "symcan/can/kmatrix_io.hpp"
 #include "symcan/opt/assignment.hpp"
 #include "symcan/sim/validation.hpp"
+#include "symcan/obs/obs.hpp"
 #include "symcan/util/table.hpp"
 #include "symcan/workload/powertrain.hpp"
 
@@ -69,6 +70,7 @@ std::shared_ptr<const ErrorModel> matching_error_model(const SimErrorProcess& p)
 
 int render_analyze(const KMatrix& km, const CanRtaConfig& cfg, std::ostream& out,
                    analysis::IncrementalRta* cache) {
+  SYMCAN_OBS_SPAN("pipeline.analyze");
   const LoadReport load = analyze_load(km, cfg.worst_case_stuffing);
   out << strprintf("bus %s: %zu messages, load %.1f%% of %.0f kbit/s\n", km.bus_name().c_str(),
                    km.size(), 100 * load.utilization, load.bandwidth_bps / 1000);
@@ -88,6 +90,7 @@ int render_analyze(const KMatrix& km, const CanRtaConfig& cfg, std::ostream& out
 
 int render_explain(const KMatrix& km, const CanRtaConfig& cfg, const std::string& message,
                    bool json, std::ostream& out) {
+  SYMCAN_OBS_SPAN("pipeline.explain");
   const std::optional<std::size_t> index = analysis::find_message(km, message);
   if (!index)
     throw std::invalid_argument("no message named '" + message + "' in " + km.bus_name());
@@ -101,6 +104,7 @@ int render_explain(const KMatrix& km, const CanRtaConfig& cfg, const std::string
 
 int render_validate(const KMatrix& km, const ValidateSpec& spec, std::ostream& out,
                     analysis::IncrementalRta* cache) {
+  SYMCAN_OBS_SPAN("pipeline.validate");
   if (spec.millis <= 0) throw std::invalid_argument("millis must be positive");
   SimConfig sim;
   sim.duration = Duration::ms(spec.millis);
@@ -154,6 +158,7 @@ OptimizeOutcome run_optimize(const KMatrix& km, const OptimizeSpec& spec) {
 }
 
 int render_optimize(const KMatrix& km, const OptimizeSpec& spec, std::ostream& out) {
+  SYMCAN_OBS_SPAN("pipeline.optimize");
   const OptimizeOutcome o = run_optimize(km, spec);
   out << strprintf("GA: %d evaluations, best misses %.0f, robustness cost %.3f\n",
                    o.result.evaluations, o.result.best.misses, o.result.best.robustness_cost);

@@ -8,26 +8,75 @@
 
 namespace symcan::serve {
 
+namespace {
+
+obs::WindowConfig window_config(const TelemetryConfig& t) {
+  obs::WindowConfig w;
+  w.bucket_width_ns = t.window_bucket_ms * 1'000'000;
+  w.bucket_count = t.window_buckets;
+  return w;
+}
+
+}  // namespace
+
+std::int64_t SloTargets::for_kind(RequestKind kind) const {
+  switch (kind) {
+    case RequestKind::kAnalyze: return analyze_ms;
+    case RequestKind::kExplain: return explain_ms;
+    case RequestKind::kValidate: return validate_ms;
+    case RequestKind::kOptimize: return optimize_ms;
+    case RequestKind::kHealth: return health_ms;
+    case RequestKind::kTelemetry: return telemetry_ms;
+  }
+  return 0;
+}
+
 ServeCore::ServeCore(ServeConfig cfg)
     : cfg_{std::move(cfg)},
+      epoch_{std::chrono::steady_clock::now()},
       ring_{cfg_.ring},
       captain_{cfg_.captain},
       rta_{cfg_.cache},
-      pool_{cfg_.jobs} {
+      pool_{cfg_.jobs},
+      flight_{cfg_.telemetry.flight_capacity},
+      window_service_us_{window_config(cfg_.telemetry),
+                         obs::MetricsRegistry::default_latency_bounds_us()},
+      window_requests_{window_config(cfg_.telemetry)},
+      window_errors_{window_config(cfg_.telemetry)},
+      window_shed_{window_config(cfg_.telemetry)} {
   if (cfg_.matrix_cache_capacity == 0)
     throw std::invalid_argument("matrix cache capacity must be positive");
   if (cfg_.batch_max == 0) throw std::invalid_argument("batch size must be positive");
+  for (const RequestKind k :
+       {RequestKind::kAnalyze, RequestKind::kExplain, RequestKind::kValidate,
+        RequestKind::kOptimize, RequestKind::kHealth, RequestKind::kTelemetry}) {
+    const std::int64_t target_ms = cfg_.telemetry.slo.for_kind(k);
+    if (target_ms <= 0) continue;
+    obs::SloConfig sc;
+    sc.target_ns = target_ms * 1'000'000;
+    sc.objective = cfg_.telemetry.slo_objective;
+    sc.window = window_config(cfg_.telemetry);
+    slo_[kind_index(k)] = std::make_unique<obs::SloTracker>(sc);
+  }
 }
 
-std::shared_ptr<const KMatrix> ServeCore::matrix_for(const std::string& csv) {
+std::int64_t ServeCore::now_ns() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                              epoch_)
+      .count();
+}
+
+std::shared_ptr<const KMatrix> ServeCore::matrix_for(const std::string& csv, bool* hit) {
   // The diagnostic policy is fixed per core, so the exact CSV text alone
   // identifies a parse.
+  if (hit) *hit = false;
   {
     std::lock_guard<std::mutex> lock(matrix_m_);
     const auto it = matrix_map_.find(csv);
     if (it != matrix_map_.end()) {
       matrix_lru_.splice(matrix_lru_.begin(), matrix_lru_, it->second);
       ++matrix_hits_;
+      if (hit) *hit = true;
       obs::count("serve.matrix_cache.hits");
       return it->second->second;
     }
@@ -56,27 +105,69 @@ std::shared_ptr<const KMatrix> ServeCore::matrix_for(const std::string& csv) {
 }
 
 ServeResponse ServeCore::handle(const ServeRequest& req) {
+  QueuedRequest q;
+  q.req = req;
+  // Leave the transport stamps unset: handle_queued copies its own start
+  // stamp into them, so a direct call reads enqueue == dequeue == start
+  // (zero queue wait) exactly.
+  q.flow = flow_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  return handle_queued(q, 0);
+}
+
+ServeResponse ServeCore::handle_queued(const QueuedRequest& q, std::uint64_t batch_id) {
+  const ServeRequest& req = q.req;
+  RequestTelemetry t;
+  t.set_id(req.id);
+  t.kind = req.kind;
+  t.start_ns = now_ns();
+  t.enqueue_ns = q.enqueue_ns != 0 ? q.enqueue_ns : t.start_ns;
+  t.dequeue_ns = q.dequeue_ns != 0 ? q.dequeue_ns : t.start_ns;
+  t.batch_id = batch_id;
+  t.flow = q.flow;
+
+  // Install the request's trace context for everything this worker (and
+  // any nested fan-out) records while handling it.
+  obs::FlowScope flow_scope{q.flow};
+  SYMCAN_OBS_SPAN("serve.request");
+
   ServeResponse resp;
   resp.id = req.id;
   resp.kind = req.kind;
   obs::count("serve.requests");
+
+  const auto finish = [&](ServeResponse& r) -> ServeResponse& {
+    t.finish_ns = now_ns();
+    t.outcome = r.status;
+    t.exit_code = r.exit_code;
+    t.response_bytes = r.output.size() + r.health_json.size();
+    finish_telemetry(t);
+    return r;
+  };
 
   if (!captain_.admits(req.kind)) {
     captain_.record_shed(req.kind);
     shed_.fetch_add(1, std::memory_order_relaxed);
     resp.status = ResponseStatus::kShed;
     resp.exit_code = 2;
-    return resp;
+    return finish(resp);
   }
 
   try {
     if (req.kind == RequestKind::kHealth) {
       resp.health_json = health_json();
       ok_.fetch_add(1, std::memory_order_relaxed);
-      return resp;
+      return finish(resp);
+    }
+    if (req.kind == RequestKind::kTelemetry) {
+      resp.health_json = telemetry_json();
+      if (req.dump) dump_flight("request");
+      ok_.fetch_add(1, std::memory_order_relaxed);
+      return finish(resp);
     }
 
-    const std::shared_ptr<const KMatrix> base = matrix_for(req.matrix_csv);
+    bool matrix_hit = false;
+    const std::shared_ptr<const KMatrix> base = matrix_for(req.matrix_csv, &matrix_hit);
+    t.matrix_cache = matrix_hit ? 1 : 0;
     // Jitter assumptions mutate the matrix, so they work on a copy; the
     // memoized matrix stays pristine for the next request.
     std::optional<KMatrix> adjusted;
@@ -120,19 +211,21 @@ ServeResponse ServeCore::handle(const ServeRequest& req) {
         rc = pipeline::render_optimize(*km, spec, out);
         break;
       }
-      case RequestKind::kHealth: break;  // Handled above.
+      case RequestKind::kHealth:
+      case RequestKind::kTelemetry:
+        break;  // Handled above.
     }
     resp.output = out.str();
     resp.exit_code = rc;
     resp.status = rc == 0 ? ResponseStatus::kOk : ResponseStatus::kFailed;
     (rc == 0 ? ok_ : failed_).fetch_add(1, std::memory_order_relaxed);
-    return resp;
+    return finish(resp);
   } catch (const ParseError& e) {
     invalid_.fetch_add(1, std::memory_order_relaxed);
     obs::count("serve.requests.invalid");
     ServeResponse bad = invalid_response(req.id, e.diagnostics());
     bad.kind = req.kind;
-    return bad;
+    return finish(bad);
   } catch (const std::exception& e) {
     invalid_.fetch_add(1, std::memory_order_relaxed);
     obs::count("serve.requests.invalid");
@@ -144,17 +237,189 @@ ServeResponse ServeCore::handle(const ServeRequest& req) {
     resp.diagnostics = {d};
     resp.output.clear();
     resp.health_json.clear();
-    return resp;
+    return finish(resp);
+  }
+}
+
+void ServeCore::finish_telemetry(RequestTelemetry& t) {
+  flight_.record(t);
+  const std::int64_t now = t.finish_ns;
+  window_requests_.add(now);
+  window_service_us_.record(now, static_cast<double>(t.service_ns()) / 1000.0);
+  switch (t.outcome) {
+    case ResponseStatus::kFailed:
+    case ResponseStatus::kInvalid:
+      window_errors_.add(now);
+      break;
+    case ResponseStatus::kShed:
+    case ResponseStatus::kRejected:
+      window_shed_.add(now);
+      break;
+    case ResponseStatus::kOk:
+      break;
+  }
+  if (const auto& slo = slo_[kind_index(t.kind)]; slo && t.outcome != ResponseStatus::kShed &&
+                                                  t.outcome != ResponseStatus::kRejected) {
+    // SLO latency is end-to-end: queue wait counts against the target.
+    slo->record(now, t.finish_ns - t.enqueue_ns);
+  }
+
+  // Dump triggers: the first shed and the first bound violation are the
+  // moments an operator will want the surrounding request history.
+  if (t.outcome == ResponseStatus::kShed || t.outcome == ResponseStatus::kRejected) {
+    if (!dumped_on_shed_.exchange(true, std::memory_order_relaxed)) dump_flight("first-shed");
+  } else if (t.exit_code == 1 &&
+             (t.kind == RequestKind::kAnalyze || t.kind == RequestKind::kValidate)) {
+    if (!dumped_on_violation_.exchange(true, std::memory_order_relaxed))
+      dump_flight("bound-violation");
+  }
+
+  if (obs::enabled()) {
+    auto& m = obs::metrics();
+    m.histogram("serve.request.queue_wait_us")
+        .observe(static_cast<double>(t.queue_wait_ns()) / 1000.0);
+    m.histogram("serve.request.service_us")
+        .observe(static_cast<double>(t.service_ns()) / 1000.0);
   }
 }
 
 std::vector<ServeResponse> ServeCore::handle_batch(const std::vector<ServeRequest>& reqs) {
   if (reqs.empty()) return {};
-  return pool_.parallel_map(reqs, [&](const ServeRequest& r) { return handle(r); });
+  std::vector<QueuedRequest> queued;
+  queued.reserve(reqs.size());
+  const std::int64_t now = now_ns();
+  for (const ServeRequest& r : reqs) {
+    QueuedRequest q;
+    q.req = r;
+    q.enqueue_ns = now;
+    q.dequeue_ns = now;
+    q.flow = flow_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    queued.push_back(std::move(q));
+  }
+  return handle_batch(queued);
 }
 
-PushOutcome ServeCore::submit(ServeRequest req, std::optional<ServeRequest>* victim) {
-  return ring_.push(std::move(req), victim);
+std::vector<ServeResponse> ServeCore::handle_batch(const std::vector<QueuedRequest>& reqs) {
+  if (reqs.empty()) return {};
+  const std::uint64_t batch_id = batch_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  return pool_.parallel_map(reqs,
+                            [&](const QueuedRequest& q) { return handle_queued(q, batch_id); });
+}
+
+PushOutcome ServeCore::submit(ServeRequest req, std::optional<QueuedRequest>* victim) {
+  QueuedRequest q;
+  q.req = std::move(req);
+  q.enqueue_ns = now_ns();
+  q.flow = flow_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  // Remember enough to write a telemetry record if the ring refuses it.
+  RequestTelemetry t;
+  t.set_id(q.req.id);
+  t.kind = q.req.kind;
+  t.enqueue_ns = q.enqueue_ns;
+  t.flow = q.flow;
+
+  const PushOutcome outcome = ring_.push(std::move(q), victim);
+  if (outcome == PushOutcome::kRejected || outcome == PushOutcome::kTimedOut) {
+    const std::int64_t now = now_ns();
+    t.dequeue_ns = now;
+    t.start_ns = now;
+    t.finish_ns = now;
+    t.outcome = ResponseStatus::kRejected;
+    t.exit_code = 2;
+    finish_telemetry(t);
+  }
+  if (victim && *victim) {
+    // The drop-oldest casualty: it queued for a while, then died unserved.
+    RequestTelemetry v;
+    v.set_id((*victim)->req.id);
+    v.kind = (*victim)->req.kind;
+    v.enqueue_ns = (*victim)->enqueue_ns;
+    v.flow = (*victim)->flow;
+    const std::int64_t now = now_ns();
+    v.dequeue_ns = now;
+    v.start_ns = now;
+    v.finish_ns = now;
+    v.outcome = ResponseStatus::kRejected;
+    v.exit_code = 2;
+    finish_telemetry(v);
+  }
+  return outcome;
+}
+
+std::vector<QueuedRequest> ServeCore::take_batch() {
+  std::vector<QueuedRequest> batch = ring_.pop_batch(cfg_.batch_max);
+  const std::int64_t now = now_ns();
+  for (QueuedRequest& q : batch) q.dequeue_ns = now;
+  return batch;
+}
+
+bool ServeCore::dump_flight(const char* reason) {
+  obs::count("serve.flight.dump_triggers");
+  if (cfg_.telemetry.flight_path.empty()) return false;
+  std::lock_guard<std::mutex> lock(dump_m_);
+  try {
+    std::string out = "{\"reason\":\"" + std::string(reason) + "\"}\n";
+    out += flight_.dump_jsonl();
+    obs::write_file(cfg_.telemetry.flight_path, out);
+  } catch (const std::exception&) {
+    return false;  // A failed dump must never take a request down with it.
+  }
+  dumps_.fetch_add(1, std::memory_order_relaxed);
+  obs::instant("serve.flight.dump");
+  return true;
+}
+
+namespace {
+
+std::string slo_json(const obs::SloStats& s) {
+  using obs::json_number;
+  std::string out = "{\"target_ms\":" + std::to_string(s.target_ns / 1'000'000);
+  out += ",\"objective\":" + json_number(s.objective);
+  out += ",\"total\":" + std::to_string(s.total);
+  out += ",\"over_target\":" + std::to_string(s.over_target);
+  out += ",\"window_total\":" + std::to_string(s.window_total);
+  out += ",\"window_over\":" + std::to_string(s.window_over);
+  out += ",\"burn_rate\":" + json_number(s.burn_rate);
+  out += ",\"budget_used\":" + json_number(s.budget_used) + "}";
+  return out;
+}
+
+}  // namespace
+
+std::string ServeCore::telemetry_json() const {
+  using obs::json_number;
+  const std::int64_t now = now_ns();
+  const obs::WindowStats w = window_service_us_.snapshot(now);
+  std::string out = "{";
+  out += "\"uptime_ms\":" + std::to_string(now / 1'000'000);
+  out += ",\"window\":{\"windowed_total\":" + std::to_string(window_requests_.window_count(now));
+  out += ",\"rate_per_sec\":" + json_number(window_requests_.window_rate(now));
+  out += ",\"errors\":" + std::to_string(window_errors_.window_count(now));
+  out += ",\"shed\":" + std::to_string(window_shed_.window_count(now));
+  out += ",\"window_ms\":" + std::to_string(w.window_ns / 1'000'000);
+  out += ",\"service_us\":{\"count\":" + std::to_string(w.count);
+  out += ",\"mean\":" + json_number(w.mean);
+  out += ",\"p50\":" + json_number(w.p50);
+  out += ",\"p95\":" + json_number(w.p95);
+  out += ",\"p99\":" + json_number(w.p99) + "}}";
+  out += ",\"slo\":{";
+  bool first = true;
+  for (const RequestKind k :
+       {RequestKind::kAnalyze, RequestKind::kExplain, RequestKind::kValidate,
+        RequestKind::kOptimize, RequestKind::kHealth, RequestKind::kTelemetry}) {
+    const auto& slo = slo_[kind_index(k)];
+    if (!slo) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + std::string(to_string(k)) + "\":" + slo_json(slo->snapshot(now));
+  }
+  out += "}";
+  out += ",\"flight_recorder\":{\"capacity\":" + std::to_string(flight_.capacity());
+  out += ",\"recorded\":" + std::to_string(flight_.recorded());
+  out += ",\"dumps\":" + std::to_string(dumps_.load(std::memory_order_relaxed)) + "}";
+  out += "}";
+  return out;
 }
 
 std::string ServeCore::health_json() const {
@@ -169,6 +434,8 @@ std::string ServeCore::health_json() const {
     mmisses = matrix_misses_;
     msize = matrix_lru_.size();
   }
+  const std::int64_t now = now_ns();
+  const obs::WindowStats w = window_service_us_.snapshot(now);
   std::string out = "{";
   out += "\"mode\":\"" + std::string(to_string(captain_.mode())) + "\"";
   out += ",\"pressure\":\"" + std::string(to_string(ring_.pressure())) + "\"";
@@ -199,6 +466,33 @@ std::string ServeCore::health_json() const {
   out += ",\"failed\":" + std::to_string(failed_.load(std::memory_order_relaxed));
   out += ",\"invalid\":" + std::to_string(invalid_.load(std::memory_order_relaxed));
   out += ",\"shed\":" + std::to_string(shed_.load(std::memory_order_relaxed)) + "}";
+  out += ",\"uptime_ms\":" + std::to_string(now / 1'000'000);
+  out += ",\"build\":\"" + obs::json_escape(cfg_.build_info) + "\"";
+  out += ",\"window\":{\"windowed_total\":" + std::to_string(window_requests_.window_count(now));
+  out += ",\"rate_per_sec\":" + json_number(window_requests_.window_rate(now));
+  out += ",\"errors\":" + std::to_string(window_errors_.window_count(now));
+  out += ",\"shed\":" + std::to_string(window_shed_.window_count(now));
+  out += ",\"window_ms\":" + std::to_string(w.window_ns / 1'000'000);
+  out += ",\"service_us\":{\"count\":" + std::to_string(w.count);
+  out += ",\"mean\":" + json_number(w.mean);
+  out += ",\"p50\":" + json_number(w.p50);
+  out += ",\"p95\":" + json_number(w.p95);
+  out += ",\"p99\":" + json_number(w.p99) + "}}";
+  out += ",\"slo\":{";
+  bool first = true;
+  for (const RequestKind k :
+       {RequestKind::kAnalyze, RequestKind::kExplain, RequestKind::kValidate,
+        RequestKind::kOptimize, RequestKind::kHealth, RequestKind::kTelemetry}) {
+    const auto& slo = slo_[kind_index(k)];
+    if (!slo) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + std::string(to_string(k)) + "\":" + slo_json(slo->snapshot(now));
+  }
+  out += "}";
+  out += ",\"flight_recorder\":{\"capacity\":" + std::to_string(flight_.capacity());
+  out += ",\"recorded\":" + std::to_string(flight_.recorded());
+  out += ",\"dumps\":" + std::to_string(dumps_.load(std::memory_order_relaxed)) + "}";
   out += "}";
   return out;
 }

@@ -11,7 +11,12 @@
 //     K-matrices stay warm across requests and across batches,
 //   - a bounded parsed-matrix memo keyed by the exact CSV text (and
 //     diagnostic policy), so re-submitted matrices skip the parser,
-//   - a ParallelExecutor for batch fan-out.
+//   - a ParallelExecutor for batch fan-out,
+//   - the telemetry plane: a RequestTelemetry record per request
+//     (queue-wait / service-time decomposition, batch id, cache
+//     hit/miss, outcome), rolling-window latency/rate aggregates and
+//     per-kind SLO burn counters (obs/window.hpp), and a flight
+//     recorder holding the last N records for post-incident dumps.
 //
 // Determinism: handle() is a pure function of the request given the
 // pipeline stages' determinism contracts — caches return bit-identical
@@ -19,9 +24,12 @@
 // stages, and parallel_map preserves order — so a batch's responses are
 // bit-identical to handling each request alone, at any thread width,
 // and byte-for-byte equal to the one-shot CLI on the same inputs
-// (tests/serve/serve_differential_test.cpp).
+// (tests/serve/serve_differential_test.cpp). Telemetry rides alongside
+// the response and never feeds back into its bytes.
 
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -32,12 +40,42 @@
 #include <vector>
 
 #include "symcan/analysis/incremental_rta.hpp"
+#include "symcan/obs/window.hpp"
 #include "symcan/serve/captain.hpp"
 #include "symcan/serve/request.hpp"
 #include "symcan/serve/ring.hpp"
+#include "symcan/serve/telemetry.hpp"
 #include "symcan/util/parallel.hpp"
 
 namespace symcan::serve {
+
+/// Per-kind latency SLO targets (milliseconds); 0 disables the kind's
+/// tracker. Defaults reflect each kind's intrinsic cost tier.
+struct SloTargets {
+  std::int64_t analyze_ms = 50;
+  std::int64_t explain_ms = 200;
+  std::int64_t validate_ms = 2000;
+  std::int64_t optimize_ms = 30'000;
+  std::int64_t health_ms = 5;
+  std::int64_t telemetry_ms = 5;
+
+  std::int64_t for_kind(RequestKind kind) const;
+};
+
+struct TelemetryConfig {
+  /// Flight-recorder depth (last N requests retained).
+  std::size_t flight_capacity = 256;
+  /// When non-empty, the flight recorder dumps its ring here (JSONL,
+  /// truncating) on first shed, first bound violation, a telemetry
+  /// request with dump:true, and shutdown.
+  std::string flight_path;
+  /// Rolling-window shape shared by the latency window and SLO burn
+  /// counters: bucket_count sub-windows of bucket_ms each.
+  std::int64_t window_bucket_ms = 5000;
+  std::size_t window_buckets = 12;
+  double slo_objective = 0.99;
+  SloTargets slo;
+};
 
 struct ServeConfig {
   RingConfig ring;
@@ -52,6 +90,23 @@ struct ServeConfig {
   /// Requests coalesced per scheduling cycle.
   std::size_t batch_max = 32;
   DiagnosticPolicy policy = DiagnosticPolicy::kLenient;
+  TelemetryConfig telemetry;
+  /// Version/build string surfaced in health_json (the CLI passes its
+  /// version_string()); empty omits the key's content, not the key.
+  std::string build_info;
+  /// When non-empty, the stdio server rewrites the Prometheus exposition
+  /// of the global obs registry here once per scheduling cycle.
+  std::string metrics_prom_path;
+};
+
+/// A request as it travels through the ring: the payload plus the
+/// telemetry stamps the transport has taken so far. Timestamps are
+/// core-clock nanoseconds (now_ns()); flow is the obs trace-context id.
+struct QueuedRequest {
+  ServeRequest req;
+  std::int64_t enqueue_ns = 0;
+  std::int64_t dequeue_ns = 0;
+  std::uint64_t flow = 0;
 };
 
 class ServeCore {
@@ -60,37 +115,72 @@ class ServeCore {
 
   const ServeConfig& config() const { return cfg_; }
 
+  /// Monotonic nanoseconds since core construction — the clock every
+  /// telemetry stamp uses.
+  std::int64_t now_ns() const;
+
   /// Answer one request (any thread). Never throws: malformed or
   /// unprocessable requests become kInvalid responses, inadmissible
-  /// kinds under the current mode become kShed.
+  /// kinds under the current mode become kShed. Telemetry is recorded
+  /// with enqueue == dequeue == start (no queue time outside the ring).
   ServeResponse handle(const ServeRequest& req);
 
   /// Answer a batch via the executor; responses in request order,
   /// bit-identical to handling each request alone.
   std::vector<ServeResponse> handle_batch(const std::vector<ServeRequest>& reqs);
 
-  /// Ring producer / consumer sides for transports.
-  PushOutcome submit(ServeRequest req, std::optional<ServeRequest>* victim = nullptr);
-  std::vector<ServeRequest> take_batch() { return ring_.pop_batch(cfg_.batch_max); }
+  /// Transport path: a popped ring batch, telemetry stamps included.
+  std::vector<ServeResponse> handle_batch(const std::vector<QueuedRequest>& reqs);
 
-  BoundedRing<ServeRequest>& ring() { return ring_; }
+  /// Ring producer / consumer sides for transports. submit() stamps the
+  /// enqueue time and assigns the flow id; rejected / evicted / timed-
+  /// out requests are recorded in telemetry here, since no worker will
+  /// ever see them.
+  PushOutcome submit(ServeRequest req, std::optional<QueuedRequest>* victim = nullptr);
+  std::vector<QueuedRequest> take_batch();
+
+  BoundedRing<QueuedRequest>& ring() { return ring_; }
   Captain& captain() { return captain_; }
   const analysis::IncrementalRta& rta_cache() const { return rta_; }
+  const FlightRecorder& flight_recorder() const { return flight_; }
 
   /// The `health` request payload: mode, pressure, ring / cache /
-  /// request counters as one JSON object.
+  /// request counters, uptime + build info, windowed rates/latency and
+  /// SLO burn — one JSON object.
   std::string health_json() const;
+
+  /// The `telemetry` request payload: uptime, windowed stats, per-kind
+  /// SLO state and flight-recorder occupancy.
+  std::string telemetry_json() const;
+
+  /// Flush the flight recorder to cfg.telemetry.flight_path (JSONL,
+  /// truncating). Returns false when no path is configured. `reason`
+  /// labels the dump in obs and in the dumps counter.
+  bool dump_flight(const char* reason);
 
   std::int64_t handled() const { return ok_ + failed_ + invalid_ + shed_; }
   std::int64_t shed_count() const { return shed_; }
 
  private:
   /// Parse (or recall) the request's matrix. Throws ParseError on a
-  /// malformed matrix; the memo stores successful parses only.
-  std::shared_ptr<const KMatrix> matrix_for(const std::string& csv);
+  /// malformed matrix; the memo stores successful parses only. `hit`
+  /// (when non-null) reports whether the memo already held it.
+  std::shared_ptr<const KMatrix> matrix_for(const std::string& csv, bool* hit = nullptr);
+
+  /// The actual request body: stamps start/finish around the previous
+  /// handle() logic and records the telemetry.
+  ServeResponse handle_queued(const QueuedRequest& q, std::uint64_t batch_id);
+
+  /// Window/SLO/flight/registry bookkeeping for one finished record.
+  void finish_telemetry(RequestTelemetry& t);
+
+  std::size_t kind_index(RequestKind kind) const {
+    return static_cast<std::size_t>(kind);
+  }
 
   ServeConfig cfg_;
-  BoundedRing<ServeRequest> ring_;
+  std::chrono::steady_clock::time_point epoch_;
+  BoundedRing<QueuedRequest> ring_;
   Captain captain_;
   analysis::IncrementalRta rta_;
   ParallelExecutor pool_;
@@ -109,6 +199,22 @@ class ServeCore {
   std::atomic<std::int64_t> failed_{0};
   std::atomic<std::int64_t> invalid_{0};
   std::atomic<std::int64_t> shed_{0};
+
+  // --- telemetry plane (always on; obs::enabled() gates only the
+  // global registry/tracer side) ---
+  std::atomic<std::uint64_t> flow_seq_{0};
+  std::atomic<std::uint64_t> batch_seq_{0};
+  FlightRecorder flight_;
+  obs::WindowedHistogram window_service_us_;  ///< Service time, all kinds.
+  obs::WindowedCounter window_requests_;
+  obs::WindowedCounter window_errors_;  ///< failed + invalid outcomes.
+  obs::WindowedCounter window_shed_;    ///< shed + rejected/timed-out.
+  /// Indexed by kind_index(); disabled targets hold nullptr.
+  std::array<std::unique_ptr<obs::SloTracker>, 6> slo_;
+  std::atomic<std::int64_t> dumps_{0};
+  std::atomic<bool> dumped_on_shed_{false};
+  std::atomic<bool> dumped_on_violation_{false};
+  std::mutex dump_m_;  ///< Serializes flight-dump file writes.
 };
 
 }  // namespace symcan::serve

@@ -16,7 +16,7 @@ struct Seen {
   bool id = false, kind = false, matrix = false, preset = false, jitter = false;
   bool override_known = false, message = false, json = false, millis = false;
   bool seed = false, errors = false, error_gap_ms = false, generations = false;
-  bool population = false, target_jitter = false;
+  bool population = false, target_jitter = false, dump = false;
 };
 
 bool check_kind_rules(const ServeRequest& req, const Seen& seen, std::size_t line_no,
@@ -29,7 +29,7 @@ bool check_kind_rules(const ServeRequest& req, const Seen& seen, std::size_t lin
     diags.error(line_no, std::string("key \"") + key + "\" is not valid for " + name + " requests");
     ok = false;
   };
-  const bool has_matrix = k != RequestKind::kHealth;
+  const bool has_matrix = k != RequestKind::kHealth && k != RequestKind::kTelemetry;
   only_for(seen.matrix, "matrix_csv", has_matrix);
   only_for(seen.preset, "preset",
            k == RequestKind::kAnalyze || k == RequestKind::kExplain ||
@@ -45,6 +45,7 @@ bool check_kind_rules(const ServeRequest& req, const Seen& seen, std::size_t lin
   only_for(seen.generations, "generations", k == RequestKind::kOptimize);
   only_for(seen.population, "population", k == RequestKind::kOptimize);
   only_for(seen.target_jitter, "target_jitter", k == RequestKind::kOptimize);
+  only_for(seen.dump, "dump", k == RequestKind::kTelemetry);
 
   if (has_matrix && !seen.matrix) {
     diags.error(line_no, std::string("missing key \"matrix_csv\" for ") + name + " request");
@@ -65,6 +66,7 @@ const char* to_string(RequestKind kind) {
     case RequestKind::kValidate: return "validate";
     case RequestKind::kOptimize: return "optimize";
     case RequestKind::kHealth: return "health";
+    case RequestKind::kTelemetry: return "telemetry";
     case RequestKind::kAnalyze: break;
   }
   return "analyze";
@@ -76,6 +78,7 @@ bool request_kind_from_string(const std::string& text, RequestKind& out) {
   else if (text == "validate") out = RequestKind::kValidate;
   else if (text == "optimize") out = RequestKind::kOptimize;
   else if (text == "health") out = RequestKind::kHealth;
+  else if (text == "telemetry") out = RequestKind::kTelemetry;
   else return false;
   return true;
 }
@@ -129,8 +132,9 @@ std::optional<ServeRequest> request_from_jsonl(const std::string& line, std::siz
         if (dup(seen.kind, "kind")) return std::nullopt;
         if (!jsonl::parse_string(c, line_no, "kind", text, diags)) return std::nullopt;
         if (!request_kind_from_string(text, req.kind)) {
-          diags.error(line_no, "unknown kind '" + text +
-                                   "' (expected analyze|explain|validate|optimize|health)");
+          diags.error(line_no,
+                      "unknown kind '" + text +
+                          "' (expected analyze|explain|validate|optimize|health|telemetry)");
           return std::nullopt;
         }
         seen.kind = true;
@@ -228,6 +232,10 @@ std::optional<ServeRequest> request_from_jsonl(const std::string& line, std::siz
         if (!jsonl::parse_double(c, line_no, "target_jitter", req.target_jitter, diags))
           return std::nullopt;
         seen.target_jitter = true;
+      } else if (key == "dump") {
+        if (dup(seen.dump, "dump")) return std::nullopt;
+        if (!jsonl::parse_bool(c, line_no, "dump", req.dump, diags)) return std::nullopt;
+        seen.dump = true;
       } else {
         diags.warning(line_no, "unknown key \"" + key + "\" ignored");
         if (!jsonl::skip_scalar(c, line_no, diags)) return std::nullopt;
@@ -267,7 +275,7 @@ std::string request_to_jsonl(const ServeRequest& req) {
   using obs::json_number;
   std::string out = "{\"id\":" + quote(req.id);
   out += ",\"kind\":\"" + std::string(to_string(req.kind)) + "\"";
-  if (req.kind != RequestKind::kHealth)
+  if (req.kind != RequestKind::kHealth && req.kind != RequestKind::kTelemetry)
     out += ",\"matrix_csv\":" + quote(req.matrix_csv);
   if (req.preset != AssumptionPreset::kDefault)
     out += ",\"preset\":\"" + std::string(pipeline::to_string(req.preset)) + "\"";
@@ -284,6 +292,7 @@ std::string request_to_jsonl(const ServeRequest& req) {
   if (req.generations != 25) out += ",\"generations\":" + std::to_string(req.generations);
   if (req.population != 32) out += ",\"population\":" + std::to_string(req.population);
   if (req.target_jitter != 0.25) out += ",\"target_jitter\":" + json_number(req.target_jitter);
+  if (req.dump) out += ",\"dump\":true";
   out += "}";
   return out;
 }
@@ -306,7 +315,10 @@ std::string response_to_jsonl(const ServeResponse& resp) {
     }
     out += "]";
   }
-  if (!resp.health_json.empty()) out += ",\"health\":" + resp.health_json;
+  if (!resp.health_json.empty()) {
+    const char* key = resp.kind == RequestKind::kTelemetry ? "telemetry" : "health";
+    out += ",\"" + std::string(key) + "\":" + resp.health_json;
+  }
   out += "}";
   return out;
 }

@@ -30,9 +30,17 @@
 
 namespace symcan::serve {
 
-enum class RequestKind : std::uint8_t { kAnalyze, kExplain, kValidate, kOptimize, kHealth };
+enum class RequestKind : std::uint8_t {
+  kAnalyze,
+  kExplain,
+  kValidate,
+  kOptimize,
+  kHealth,
+  kTelemetry,
+};
 
-/// Wire spelling: "analyze", "explain", "validate", "optimize", "health".
+/// Wire spelling: "analyze", "explain", "validate", "optimize", "health",
+/// "telemetry".
 const char* to_string(RequestKind kind);
 bool request_kind_from_string(const std::string& text, RequestKind& out);
 
@@ -67,6 +75,9 @@ struct ServeRequest {
   int population = 32;         ///< optimize
   double target_jitter = 0.25; ///< optimize
 
+  /// telemetry only: also flush the flight recorder to its dump path.
+  bool dump = false;
+
   bool operator==(const ServeRequest&) const = default;
 };
 
@@ -98,7 +109,8 @@ struct ServeResponse {
   std::string output;  ///< Exact bytes the CLI writes to stdout.
   /// kInvalid: the collected diagnostics, line numbers included.
   std::vector<Diagnostic> diagnostics;
-  /// kHealth: raw JSON object (emitted unquoted under "health").
+  /// health / telemetry: raw JSON object (emitted unquoted under
+  /// "health" or "telemetry" by the response kind).
   std::string health_json;
 };
 

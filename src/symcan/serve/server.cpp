@@ -5,6 +5,10 @@
 #include <string>
 #include <vector>
 
+#include "symcan/obs/export.hpp"
+#include "symcan/obs/obs.hpp"
+#include "symcan/obs/prometheus.hpp"
+
 namespace symcan::serve {
 
 namespace {
@@ -47,7 +51,7 @@ int run_stdio_serve(ServeCore& core, std::istream& in, std::ostream& out) {
       // response needs before handing it over.
       const std::string req_id = req->id;
       const RequestKind req_kind = req->kind;
-      std::optional<ServeRequest> victim;
+      std::optional<QueuedRequest> victim;
       const PushOutcome outcome = core.submit(std::move(*req), &victim);
       const auto reject = [&](const std::string& id, RequestKind kind, const char* why) {
         ServeResponse resp;
@@ -67,17 +71,31 @@ int run_stdio_serve(ServeCore& core, std::istream& in, std::ostream& out) {
       else if (outcome == PushOutcome::kTimedOut)
         reject(req_id, req_kind, "request ring full past the block deadline");
       else if (victim)
-        reject(victim->id, victim->kind,
+        reject(victim->req.id, victim->req.kind,
                "evicted by a newer request (overflow policy: drop-oldest)");
     }
 
     // One pressure sample per cycle, then drain and answer the batch.
     core.captain().observe(core.ring().pressure());
-    const std::vector<ServeRequest> batch = core.take_batch();
+    const std::vector<QueuedRequest> batch = core.take_batch();
     for (const ServeResponse& resp : core.handle_batch(batch))
       out << response_to_jsonl(resp) << "\n";
     out.flush();
+
+    // Periodic Prometheus exposition: rewrite the scrape file once per
+    // cycle so an external collector always reads a fresh snapshot.
+    if (!core.config().metrics_prom_path.empty()) {
+      try {
+        obs::write_file(core.config().metrics_prom_path,
+                        obs::metrics_to_prometheus(obs::metrics()));
+      } catch (const std::exception&) {
+        // Scrape-file trouble must not take the service down.
+      }
+    }
   }
+  // Shutdown is one of the flight recorder's dump triggers: the last N
+  // requests are exactly what a post-mortem wants.
+  core.dump_flight("shutdown");
   return 0;
 }
 

@@ -1,6 +1,7 @@
 #include "symcan/util/parallel.hpp"
 
 #include <chrono>
+#include <cstdio>
 
 #include "symcan/obs/obs.hpp"
 
@@ -23,7 +24,13 @@ std::size_t ParallelExecutor::auto_tile(std::size_t count, int threads) {
 ParallelExecutor::ParallelExecutor(int threads) : threads_{resolve(threads)} {
   // The calling thread participates in every run, so the pool holds one
   // worker fewer than the requested width.
-  for (int i = 1; i < threads_; ++i) workers_.emplace_back([this] { worker_loop(); });
+  for (int i = 1; i < threads_; ++i)
+    workers_.emplace_back([this, i] {
+      char name[32];
+      std::snprintf(name, sizeof name, "symcan-worker-%d", i);
+      obs::set_thread_name(name);
+      worker_loop();
+    });
 }
 
 ParallelExecutor::~ParallelExecutor() {
@@ -86,7 +93,11 @@ void ParallelExecutor::run(std::size_t count, const std::function<void(std::size
     m.gauge("parallel.queue_depth").set(static_cast<double>(count));
     m.gauge("parallel.width").set(static_cast<double>(threads_));
     obs::Histogram& task_us = m.histogram("parallel.task_us");
-    timed = [&body, &task_us](std::size_t i) {
+    // Propagate the caller's trace context into the workers so spans a
+    // task records land in the same flow tree as the dispatching span.
+    const std::uint64_t flow = obs::current_flow();
+    timed = [&body, &task_us, flow](std::size_t i) {
+      obs::FlowScope flow_scope{flow};
       const auto t0 = std::chrono::steady_clock::now();
       body(i);
       const auto dt = std::chrono::steady_clock::now() - t0;

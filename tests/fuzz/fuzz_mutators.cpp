@@ -235,6 +235,12 @@ std::string mutate_serve_jsonl(const std::string& seed_text, std::uint64_t seed)
       "{\"id\":\"x\",\"kind\":\"health\",\"future_knob\":7}",
       "{\"id\":\"x\",\"kind\":\"health\"} trailing",
       "{\"id\":\"unterminated,\"kind\":\"health\"}",
+      "{\"id\":\"x\",\"kind\":\"telemetry\"}",
+      "{\"id\":\"x\",\"kind\":\"telemetry\",\"dump\":true}",
+      "{\"id\":\"x\",\"kind\":\"telemetry\",\"dump\":\"yes\"}",
+      "{\"id\":\"x\",\"kind\":\"telemetry\",\"matrix_csv\":\"c\"}",
+      "{\"id\":\"x\",\"kind\":\"health\",\"dump\":true}",
+      "{\"id\":\"x\",\"kind\":\"telemetry\",\"dump\":true,\"dump\":false}",
   };
   return mutate_lines(seed_text, seed, kGarbage);
 }
@@ -255,6 +261,8 @@ std::string mutate_argv(const std::string& seed_text, std::uint64_t seed) {
       "serve",         "--stdio",      "--serve-shards", "--ring-capacity", "--overflow",
       "reject",        "drop-oldest",  "block-with-deadline", "--batch",
       "--rta-cache-capacity", "--block-deadline-ms", "--matrix-cache",
+      "--flight-recorder", "--flight-capacity", "--window-bucket-ms",
+      "--window-buckets",  "--metrics-prom",
   };
   Rng rng{seed};
   std::istringstream in{seed_text};

@@ -10,6 +10,8 @@
 #include <new>
 
 #include "symcan/obs/obs.hpp"
+#include "symcan/obs/window.hpp"
+#include "symcan/serve/telemetry.hpp"
 
 namespace {
 std::atomic<long> g_allocations{0};
@@ -63,6 +65,63 @@ TEST(ObsOverhead, EnabledPathActuallyRecords) {
   EXPECT_EQ(metrics().histogram("sanity.histogram").count(), 1);
   EXPECT_EQ(tracer().collect().size(), 1u);
   reset();
+}
+
+TEST(ObsOverhead, WindowedRecordingAllocatesNothing) {
+  // The windowed aggregates preallocate their whole ring at construction;
+  // record() — including the slot rotations this loop forces — is CAS +
+  // relaxed adds only.
+  WindowConfig cfg;
+  cfg.bucket_width_ns = 1000;
+  cfg.bucket_count = 4;
+  WindowedHistogram h{cfg, {1.0, 10.0, 100.0}};
+  WindowedCounter c{cfg};
+  SloConfig scfg;
+  scfg.target_ns = 50;
+  scfg.window = cfg;
+  SloTracker slo{scfg};
+  const long before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 10'000; ++i) {
+    const std::int64_t now = static_cast<std::int64_t>(i) * 700;
+    h.record(now, static_cast<double>(i % 200));
+    c.add(now);
+    slo.record(now, i % 100);
+  }
+  const long after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0) << "windowed recording must not allocate";
+}
+
+TEST(ObsOverhead, RequestTelemetryRecordingAllocatesNothing) {
+  // One telemetry record per request rides the serve hot path
+  // unconditionally, so it must be a bounded copy: set_id into the
+  // fixed id buffer, flight-recorder record into preallocated slots.
+  serve::FlightRecorder recorder{64};
+  const std::string id = "req-7";  // SSO: built outside the window
+  serve::RequestTelemetry t;
+  const long before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 10'000; ++i) {
+    t.set_id(id);
+    t.enqueue_ns = i;
+    t.dequeue_ns = i + 1;
+    t.start_ns = i + 2;
+    t.finish_ns = i + 40;
+    recorder.record(t);
+  }
+  const long after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0) << "telemetry recording must not allocate";
+  EXPECT_EQ(recorder.recorded(), 10'000);
+}
+
+TEST(ObsOverhead, FlowContextAllocatesNothing) {
+  set_enabled(false);
+  const long before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 10'000; ++i) {
+    FlowScope scope{static_cast<std::uint64_t>(i)};
+    set_thread_name("symcan-worker-0");
+    (void)current_flow();
+  }
+  const long after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0) << "flow context must not allocate";
 }
 
 TEST(ObsOverhead, RecordingOnCachedHandlesAllocatesNothing) {

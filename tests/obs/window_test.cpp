@@ -1,0 +1,261 @@
+#include "symcan/obs/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace symcan::obs {
+namespace {
+
+constexpr std::int64_t kSec = 1'000'000'000;
+
+WindowConfig tiny_window() {
+  WindowConfig cfg;
+  cfg.bucket_width_ns = kSec;  // 1 s buckets...
+  cfg.bucket_count = 4;        // ...over a 4 s window.
+  return cfg;
+}
+
+TEST(WindowedCounterTest, EmptyWindowReadsZero) {
+  WindowedCounter c{tiny_window()};
+  EXPECT_EQ(c.window_count(0), 0);
+  EXPECT_EQ(c.window_count(123 * kSec), 0);
+  EXPECT_DOUBLE_EQ(c.window_rate(123 * kSec), 0.0);
+}
+
+TEST(WindowedCounterTest, CountsInsideTheWindowAndRotatesOutside) {
+  WindowedCounter c{tiny_window()};
+  c.add(1 * kSec);
+  c.add(1 * kSec);
+  c.add(2 * kSec);
+  EXPECT_EQ(c.window_count(2 * kSec), 3);
+  // 4 s window: the two samples at t=1s leave the window once the read
+  // point passes t=5s (1s bucket + 4 bucket window).
+  EXPECT_EQ(c.window_count(4 * kSec), 3);
+  EXPECT_EQ(c.window_count(5 * kSec), 1);
+  EXPECT_EQ(c.window_count(6 * kSec), 0);
+}
+
+TEST(WindowedCounterTest, RateUsesTheFixedWindowLength) {
+  WindowedCounter c{tiny_window()};
+  for (int i = 0; i < 8; ++i) c.add(2 * kSec);
+  // 8 events over a fixed 4 s window = 2/s, regardless of how briefly
+  // the process has actually been up.
+  EXPECT_DOUBLE_EQ(c.window_rate(2 * kSec), 2.0);
+}
+
+TEST(WindowedCounterTest, FirstSampleAfterLongIdleEvictsStaleSlots) {
+  WindowedCounter c{tiny_window()};
+  for (int i = 0; i < 5; ++i) c.add(static_cast<std::int64_t>(i) * kSec);
+  ASSERT_GT(c.window_count(4 * kSec), 0);
+  // Idle for 1000 buckets, then one sample. The ring slots still hold
+  // the old epochs, but their tags exclude them from the new window.
+  const std::int64_t later = 1004 * kSec;
+  c.add(later);
+  EXPECT_EQ(c.window_count(later), 1);
+}
+
+TEST(WindowedCounterTest, ClockJumpForwardDropsTheOldWindowNotTheNewSample) {
+  WindowedCounter c{tiny_window()};
+  c.add(1 * kSec, 7);
+  // Jump far past the window (suspend/resume, NTP step on a bad clock).
+  const std::int64_t jumped = 1'000'000 * kSec;
+  c.add(jumped);
+  EXPECT_EQ(c.window_count(jumped), 1);
+  // The pre-jump count is gone from the window but was never "negative"
+  // or double-counted: reading at the old time still sees only slots
+  // whose epoch is <= that time.
+  EXPECT_EQ(c.window_count(1 * kSec), 7);
+}
+
+TEST(WindowedCounterTest, StaleSampleOlderThanSlotOccupantIsDropped) {
+  WindowedCounter c{tiny_window()};
+  // Slot index = bucket % 4, so buckets 2 and 6 share a slot.
+  c.add(6 * kSec);
+  // A racing thread with a slightly older clock tries bucket 2; the slot
+  // already holds the newer epoch 6, so the sample is dropped rather
+  // than corrupting the newer bucket.
+  c.add(2 * kSec, 100);
+  EXPECT_EQ(c.window_count(6 * kSec), 1);
+}
+
+TEST(WindowedCounterTest, DeltaAccumulatesWithinABucket) {
+  WindowedCounter c{tiny_window()};
+  c.add(3 * kSec, 10);
+  c.add(3 * kSec, 5);
+  EXPECT_EQ(c.window_count(3 * kSec), 15);
+}
+
+TEST(WindowedHistogramTest, EmptySnapshotIsAllZeros) {
+  WindowedHistogram h{tiny_window(), {1, 10, 100}};
+  const WindowStats s = h.snapshot(50 * kSec);
+  EXPECT_EQ(s.count, 0);
+  EXPECT_DOUBLE_EQ(s.mean, 0);
+  EXPECT_DOUBLE_EQ(s.rate_per_sec, 0);
+  EXPECT_DOUBLE_EQ(s.p50, 0);
+  EXPECT_DOUBLE_EQ(s.p99, 0);
+  EXPECT_EQ(s.window_ns, tiny_window().window_ns());
+}
+
+TEST(WindowedHistogramTest, MeanAndCountMergeAcrossBuckets) {
+  WindowedHistogram h{tiny_window(), {1, 10, 100}};
+  h.record(1 * kSec, 2);
+  h.record(2 * kSec, 4);
+  h.record(3 * kSec, 6);
+  const WindowStats s = h.snapshot(3 * kSec);
+  EXPECT_EQ(s.count, 3);
+  EXPECT_DOUBLE_EQ(s.sum, 12);
+  EXPECT_DOUBLE_EQ(s.mean, 4);
+  EXPECT_DOUBLE_EQ(s.rate_per_sec, 3.0 / 4.0);
+}
+
+TEST(WindowedHistogramTest, QuantilesInterpolateMergedBuckets) {
+  WindowedHistogram h{tiny_window(), {10, 20, 30, 40}};
+  // 100 samples uniform in the 0..10 bucket.
+  for (int i = 0; i < 100; ++i) h.record(1 * kSec, 5);
+  const WindowStats s = h.snapshot(1 * kSec);
+  // All mass in the first bucket: p50 interpolates to its midpoint.
+  EXPECT_GT(s.p50, 0);
+  EXPECT_LE(s.p50, 10);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+}
+
+TEST(WindowedHistogramTest, OverflowSamplesReportTheTopBound) {
+  WindowedHistogram h{tiny_window(), {10, 20}};
+  for (int i = 0; i < 10; ++i) h.record(1 * kSec, 1e9);
+  const WindowStats s = h.snapshot(1 * kSec);
+  EXPECT_EQ(s.count, 10);
+  // Quantiles can't exceed what the buckets resolve: the overflow bucket
+  // degrades to the largest finite bound.
+  EXPECT_DOUBLE_EQ(s.p99, 20);
+}
+
+TEST(WindowedHistogramTest, RotationZeroesEveryParallelArray) {
+  WindowedHistogram h{tiny_window(), {10, 20}};
+  h.record(1 * kSec, 5);
+  h.record(1 * kSec, 15);
+  ASSERT_EQ(h.snapshot(1 * kSec).count, 2);
+  // Bucket 5 reuses slot 1; the rotation must clear count, sum and every
+  // le-bucket or the merged quantiles would resurrect old samples.
+  h.record(5 * kSec, 25);
+  const WindowStats s = h.snapshot(5 * kSec);
+  EXPECT_EQ(s.count, 1);
+  EXPECT_DOUBLE_EQ(s.sum, 25);
+  EXPECT_DOUBLE_EQ(s.p50, 20);  // all mass in overflow -> top bound
+}
+
+TEST(WindowedHistogramTest, IdleGapThenSampleSeesOnlyTheNewSample) {
+  WindowedHistogram h{tiny_window(), {10, 20}};
+  for (int i = 0; i < 50; ++i) h.record(2 * kSec, 3);
+  h.record(9999 * kSec, 12);
+  const WindowStats s = h.snapshot(9999 * kSec);
+  EXPECT_EQ(s.count, 1);
+  EXPECT_DOUBLE_EQ(s.sum, 12);
+}
+
+TEST(WindowedHistogramTest, ConcurrentRecordsAllLandWithoutRotation) {
+  // With a fixed now_ns there is no rotation race, so every sample must
+  // be counted exactly once (wait-free relaxed adds).
+  WindowedHistogram h{tiny_window(), {1, 10, 100}};
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t)
+    ts.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.record(2 * kSec, 5);
+    });
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(h.snapshot(2 * kSec).count,
+            static_cast<std::int64_t>(kThreads) * kPerThread);
+}
+
+TEST(WindowedHistogramTest, ConcurrentRecordsAcrossRotationNeverOvercount) {
+  // Rotation may LOSE racing samples (documented) but must never invent
+  // or double-count them.
+  WindowedHistogram h{tiny_window(), {1, 10, 100}};
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::atomic<int> next{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t)
+    ts.emplace_back([&h, &next] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const int n = next.fetch_add(1, std::memory_order_relaxed);
+        h.record(static_cast<std::int64_t>(n / 100) * kSec, 1.0);
+      }
+    });
+  for (auto& t : ts) t.join();
+  const std::int64_t last_bucket = (kThreads * kPerThread - 1) / 100;
+  const WindowStats s = h.snapshot(last_bucket * kSec);
+  EXPECT_LE(s.count, static_cast<std::int64_t>(kThreads) * kPerThread);
+  EXPECT_GE(s.count, 0);
+}
+
+TEST(WindowedHistogramTest, RejectsBadBounds) {
+  EXPECT_THROW(WindowedHistogram(tiny_window(), {}), std::invalid_argument);
+  EXPECT_THROW(WindowedHistogram(tiny_window(), {10, 10}), std::invalid_argument);
+  EXPECT_THROW(WindowedHistogram(tiny_window(), {10, 5}), std::invalid_argument);
+}
+
+TEST(SloTrackerTest, TracksLifetimeAndWindowedMisses) {
+  SloConfig cfg;
+  cfg.target_ns = 100;
+  cfg.objective = 0.9;  // 10% error budget
+  cfg.window = tiny_window();
+  SloTracker slo{cfg};
+  // 8 hits, 2 misses at t=1s: miss fraction 0.2, budget 0.1 -> burn 2.0.
+  for (int i = 0; i < 8; ++i) slo.record(1 * kSec, 50);
+  for (int i = 0; i < 2; ++i) slo.record(1 * kSec, 500);
+  const SloStats s = slo.snapshot(1 * kSec);
+  EXPECT_EQ(s.total, 10);
+  EXPECT_EQ(s.over_target, 2);
+  EXPECT_EQ(s.window_total, 10);
+  EXPECT_EQ(s.window_over, 2);
+  EXPECT_NEAR(s.burn_rate, 2.0, 1e-9);
+  EXPECT_NEAR(s.budget_used, 2.0, 1e-9);
+}
+
+TEST(SloTrackerTest, WindowForgetsOldMissesButLifetimeDoesNot) {
+  SloConfig cfg;
+  cfg.target_ns = 100;
+  cfg.objective = 0.9;
+  cfg.window = tiny_window();
+  SloTracker slo{cfg};
+  slo.record(1 * kSec, 500);  // miss
+  const std::int64_t later = 100 * kSec;
+  slo.record(later, 50);  // hit, far outside the first window
+  const SloStats s = slo.snapshot(later);
+  EXPECT_EQ(s.total, 2);
+  EXPECT_EQ(s.over_target, 1);
+  EXPECT_EQ(s.window_total, 1);
+  EXPECT_EQ(s.window_over, 0);
+  EXPECT_DOUBLE_EQ(s.burn_rate, 0);
+  EXPECT_GT(s.budget_used, 0);
+}
+
+TEST(SloTrackerTest, ExactlyOnTargetIsAHit) {
+  SloConfig cfg;
+  cfg.target_ns = 100;
+  cfg.window = tiny_window();
+  SloTracker slo{cfg};
+  slo.record(1 * kSec, 100);
+  const SloStats s = slo.snapshot(1 * kSec);
+  EXPECT_EQ(s.over_target, 0);
+}
+
+TEST(SloTrackerTest, RejectsDegenerateConfig) {
+  SloConfig bad_target;
+  bad_target.target_ns = 0;
+  EXPECT_THROW(SloTracker{bad_target}, std::invalid_argument);
+  SloConfig bad_objective;
+  bad_objective.target_ns = 100;
+  bad_objective.objective = 1.0;
+  EXPECT_THROW(SloTracker{bad_objective}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace symcan::obs

@@ -70,9 +70,31 @@ TEST(ServeCoreTest, HealthReportsTheWholeDashboard) {
   EXPECT_EQ(resp.status, ResponseStatus::kOk);
   for (const char* key :
        {"\"mode\"", "\"pressure\"", "\"ring\"", "\"captain\"", "\"rta_cache\"",
-        "\"matrix_cache\"", "\"requests\""})
+        "\"matrix_cache\"", "\"requests\"", "\"uptime_ms\"", "\"build\"", "\"window\"",
+        "\"slo\"", "\"flight_recorder\""})
     EXPECT_NE(resp.health_json.find(key), std::string::npos) << key;
   EXPECT_NE(resp.health_json.find("\"mode\":\"full\""), std::string::npos);
+}
+
+TEST(ServeCoreTest, TelemetryKindReturnsWindowedStats) {
+  ServeConfig cfg;
+  cfg.build_info = "symcan-test";
+  ServeCore core{cfg};
+  core.handle(analyze_request(small_matrix_csv(), "t0"));
+
+  ServeRequest req;
+  req.id = "t1";
+  req.kind = RequestKind::kTelemetry;
+  const ServeResponse resp = core.handle(req);
+  EXPECT_EQ(resp.status, ResponseStatus::kOk);
+  EXPECT_EQ(resp.exit_code, 0);
+  for (const char* key :
+       {"\"uptime_ms\"", "\"window\"", "\"windowed_total\"", "\"rate_per_sec\"",
+        "\"service_us\"", "\"p95\"", "\"slo\"", "\"analyze\"", "\"burn_rate\"",
+        "\"flight_recorder\""})
+    EXPECT_NE(resp.health_json.find(key), std::string::npos) << key << " in " << resp.health_json;
+  // The analyze request above must already be visible in the window.
+  EXPECT_EQ(resp.health_json.find("\"windowed_total\":0,"), std::string::npos) << resp.health_json;
 }
 
 TEST(ServeCoreTest, BatchIsBitIdenticalToOneAtATime) {
@@ -164,10 +186,18 @@ TEST(ServeCoreTest, SubmitTakeBatchRoundTripsThroughTheRing) {
   EXPECT_EQ(core.submit(analyze_request("csv", "q1")), PushOutcome::kAccepted);
   EXPECT_EQ(core.submit(analyze_request("csv", "q2")), PushOutcome::kAccepted);
   EXPECT_EQ(core.submit(analyze_request("csv", "q3")), PushOutcome::kRejected);
-  const std::vector<ServeRequest> batch = core.take_batch();
+  const std::vector<QueuedRequest> batch = core.take_batch();
   ASSERT_EQ(batch.size(), 2u);
-  EXPECT_EQ(batch[0].id, "q1");
-  EXPECT_EQ(batch[1].id, "q2");
+  EXPECT_EQ(batch[0].req.id, "q1");
+  EXPECT_EQ(batch[1].req.id, "q2");
+  // submit() stamped the enqueue time and a flow id; take_batch() stamped
+  // the dequeue time, never before the enqueue.
+  for (const QueuedRequest& q : batch) {
+    EXPECT_GT(q.enqueue_ns, 0);
+    EXPECT_GE(q.dequeue_ns, q.enqueue_ns);
+    EXPECT_GT(q.flow, 0u);
+  }
+  EXPECT_NE(batch[0].flow, batch[1].flow);
 }
 
 }  // namespace

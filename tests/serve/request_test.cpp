@@ -86,6 +86,34 @@ TEST(ServeRequestTest, RoundTripEveryKind) {
   health.id = "h";
   health.kind = RequestKind::kHealth;
   expect_round_trip(health);
+
+  ServeRequest telemetry;
+  telemetry.id = "t";
+  telemetry.kind = RequestKind::kTelemetry;
+  expect_round_trip(telemetry);
+
+  ServeRequest telemetry_dump;
+  telemetry_dump.id = "td";
+  telemetry_dump.kind = RequestKind::kTelemetry;
+  telemetry_dump.dump = true;
+  expect_round_trip(telemetry_dump);
+}
+
+TEST(ServeRequestTest, TelemetryKindRules) {
+  // Telemetry carries no matrix, like health.
+  EXPECT_FALSE(parse(R"({"id":"x","kind":"telemetry","matrix_csv":"c"})"));
+  const auto req = parse(R"({"id":"x","kind":"telemetry","dump":true})");
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->kind, RequestKind::kTelemetry);
+  EXPECT_TRUE(req->dump);
+  // dump belongs to telemetry only.
+  EXPECT_FALSE(parse(R"({"id":"x","kind":"health","dump":true})"));
+  EXPECT_FALSE(parse(R"({"id":"x","kind":"analyze","matrix_csv":"c","dump":true})"));
+  // dump:false is the default and stays off the wire.
+  ServeRequest plain;
+  plain.id = "x";
+  plain.kind = RequestKind::kTelemetry;
+  EXPECT_EQ(request_to_jsonl(plain), R"({"id":"x","kind":"telemetry"})");
 }
 
 TEST(ServeRequestTest, DefaultsAreOmittedFromTheWire) {
@@ -203,6 +231,14 @@ TEST(ServeRequestTest, ResponseSerializationShapes) {
   health.kind = RequestKind::kHealth;
   health.health_json = R"({"mode":"full"})";
   EXPECT_NE(response_to_jsonl(health).find(R"("health":{"mode":"full"})"), std::string::npos);
+
+  // A telemetry payload rides the same field under its own wire key.
+  ServeResponse telemetry;
+  telemetry.id = "t";
+  telemetry.kind = RequestKind::kTelemetry;
+  telemetry.health_json = R"({"uptime_ms":1})";
+  EXPECT_NE(response_to_jsonl(telemetry).find(R"("telemetry":{"uptime_ms":1})"),
+            std::string::npos);
 }
 
 }  // namespace
