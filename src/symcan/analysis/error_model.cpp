@@ -50,6 +50,20 @@ std::uint64_t SporadicErrors::fingerprint() const {
   return mix64(h, static_cast<std::uint64_t>(initial_errors_));
 }
 
+FixedFaults::FixedFaults(std::int64_t faults) : faults_{faults} {
+  if (faults < 0) throw std::invalid_argument("FixedFaults: faults must be >= 0");
+}
+
+std::string FixedFaults::name() const {
+  std::ostringstream os;
+  os << "fixed(n=" << faults_ << ")";
+  return os.str();
+}
+
+std::uint64_t FixedFaults::fingerprint() const {
+  return mix64(0x4, static_cast<std::uint64_t>(faults_));
+}
+
 BurstErrors::BurstErrors(Duration min_inter_burst, std::int64_t errors_per_burst,
                          Duration intra_burst_gap)
     : min_inter_burst_{min_inter_burst},

@@ -88,6 +88,31 @@ class SporadicErrors final : public ErrorModel {
   std::int64_t initial_errors_;
 };
 
+/// Exactly `faults` faults in every non-empty window, independent of its
+/// length. Not a physical arrival model: it is the per-rung conditioning
+/// device of the probabilistic analysis (analysis/prob_rta.hpp), which
+/// solves the busy period once per possible fault count k and mixes the
+/// resulting response-time rungs by the probability of k. Constant n(t)
+/// is trivially monotone, so the fixed point stays convergent.
+class FixedFaults final : public ErrorModel {
+ public:
+  explicit FixedFaults(std::int64_t faults);
+
+  std::int64_t max_faults(Duration t) const override {
+    return t > Duration::zero() ? faults_ : 0;
+  }
+  std::string name() const override;
+  std::unique_ptr<ErrorModel> clone() const override {
+    return std::make_unique<FixedFaults>(*this);
+  }
+  std::uint64_t fingerprint() const override;
+
+  std::int64_t faults() const { return faults_; }
+
+ private:
+  std::int64_t faults_;
+};
+
 /// Punnekkat-style burst error model: clusters of up to `errors_per_burst`
 /// consecutive faults; cluster starts separated by at least
 /// `min_inter_burst`; faults within a cluster separated by at least

@@ -5,6 +5,7 @@
 #include "symcan/analysis/columnar.hpp"
 #include "symcan/can/kmatrix.hpp"
 #include "symcan/obs/obs.hpp"
+#include "symcan/util/parallel.hpp"
 
 namespace symcan::analysis {
 
@@ -16,6 +17,22 @@ namespace {
 /// cheaper, above it the pack amortizes across the remaining misses.
 constexpr std::int64_t kPackMissThreshold = 4;
 
+/// SplitMix64-style chain (same shape as the fingerprint helpers).
+std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
+  h += v + 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+/// Ladder cache key: the context fingerprint with the ladder shape
+/// (max_rungs) mixed into both lanes under a plane tag, so ladder keys
+/// can never alias verdict keys or each other across shapes.
+ContextKey ladder_key(const ContextKey& ctx, std::int64_t max_rungs) {
+  return {mix64(ctx.a ^ 0x1adde7, static_cast<std::uint64_t>(max_rungs)),
+          mix64(ctx.b, static_cast<std::uint64_t>(max_rungs))};
+}
+
 }  // namespace
 
 IncrementalRta::IncrementalRta(RtaCacheConfig cfg) : cfg_{cfg} {
@@ -26,7 +43,11 @@ IncrementalRta::IncrementalRta(RtaCacheConfig cfg) : cfg_{cfg} {
   const std::size_t shards = cfg_.shards > cfg_.capacity ? cfg_.capacity : cfg_.shards;
   shard_capacity_ = cfg_.capacity / shards;
   shards_.reserve(shards);
-  for (std::size_t i = 0; i < shards; ++i) shards_.push_back(std::make_unique<Shard>());
+  prob_shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    prob_shards_.push_back(std::make_unique<ProbShard>());
+  }
 }
 
 IncrementalRta::Shard& IncrementalRta::shard_for(const ContextKey& key) {
@@ -104,6 +125,122 @@ MessageResult IncrementalRta::analyze_keyed(const ContextKey& key, const KMatrix
   return res;
 }
 
+IncrementalRta::ProbShard& IncrementalRta::prob_shard_for(const ContextKey& key) {
+  return *prob_shards_[ContextKeyHash{}(key) % prob_shards_.size()];
+}
+
+RungLadder IncrementalRta::ladder_keyed(const ContextKey& key, const KMatrix& km,
+                                        const ProbRtaConfig& cfg, std::size_t index,
+                                        RtaCacheStats& delta) {
+  ProbShard& shard = prob_shard_for(key);
+  {
+    std::lock_guard<std::mutex> lock{shard.m};
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      ++delta.hits;
+      RungLadder ladder = it->second->second;
+      ladder.det.name = km.messages()[index].name;
+      ladder.det.id = km.messages()[index].id;
+      return ladder;
+    }
+  }
+  // Miss: solve the ladder outside the lock (racing solvers produce
+  // bit-identical ladders, so a duplicate insert is a refresh).
+  RungLadder ladder = solve_rung_ladder(build_message_context(km, cfg.rta, index), cfg.max_rungs);
+  ++delta.misses;
+  {
+    std::lock_guard<std::mutex> lock{shard.m};
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    } else {
+      shard.lru.emplace_front(key, ladder);
+      shard.map.emplace(key, shard.lru.begin());
+      if (shard.lru.size() > shard_capacity_) {
+        shard.map.erase(shard.lru.back().first);
+        shard.lru.pop_back();
+        ++delta.evictions;
+      }
+    }
+  }
+  return ladder;
+}
+
+void IncrementalRta::flush_prob_observations(const RtaCacheStats& delta) {
+  {
+    std::lock_guard<std::mutex> lock{prob_shards_.front()->m};
+    RtaCacheStats& s = prob_shards_.front()->stats;
+    s.hits += delta.hits;
+    s.misses += delta.misses;
+    s.evictions += delta.evictions;
+  }
+  if (!obs::enabled()) return;
+  auto& m = obs::metrics();
+  m.counter("rta.prob.cache.hits").add(delta.hits);
+  m.counter("rta.prob.cache.misses").add(delta.misses);
+  m.counter("rta.prob.cache.evictions").add(delta.evictions);
+}
+
+ProbMessageResult IncrementalRta::analyze_message_prob(const KMatrix& km,
+                                                       const ProbRtaConfig& cfg,
+                                                       std::size_t index) {
+  validate_prob_config(cfg);
+  if (!cfg.rta.errors)
+    throw std::invalid_argument("IncrementalRta: error model must not be null");
+  if (!cfg_.enabled)
+    return mix_ladder(solve_rung_ladder(build_message_context(km, cfg.rta, index), cfg.max_rungs),
+                      cfg);
+  RtaCacheStats delta;
+  const ContextKey key = ladder_key(message_fingerprint(km, cfg.rta, index), cfg.max_rungs);
+  ProbMessageResult res = mix_ladder(ladder_keyed(key, km, cfg, index, delta), cfg);
+  flush_prob_observations(delta);
+  return res;
+}
+
+ProbBusResult IncrementalRta::analyze_prob(const KMatrix& km, const ProbRtaConfig& cfg) {
+  validate_prob_config(cfg);
+  if (!cfg.rta.errors)
+    throw std::invalid_argument("IncrementalRta: error model must not be null");
+  if (cfg_.validate_input) km.validate();
+  SYMCAN_OBS_SPAN("rta.prob.analyze");
+  ProbBusResult out;
+  out.utilization = km.utilization(cfg.rta.worst_case_stuffing);
+  if (!cfg_.enabled) {
+    ProbRtaConfig inner = cfg;  // analyze_prob re-validates; fan-out below
+    ParallelExecutor exec{cfg.parallelism};
+    out.messages = exec.parallel_map_indexed_tiled(
+        km.size(), static_cast<std::size_t>(cfg.tile), [&](std::size_t i) {
+          return mix_ladder(
+              solve_rung_ladder(build_message_context(km, inner.rta, i), inner.max_rungs), inner);
+        });
+    return out;
+  }
+  // Whole-bus lookup path: one pre-hashed pass yields every context key.
+  const std::vector<ContextKey> keys = bus_fingerprints(km, cfg.rta);
+  std::vector<RtaCacheStats> deltas(km.size());
+  ParallelExecutor exec{cfg.parallelism};
+  out.messages = exec.parallel_map_indexed_tiled(
+      km.size(), static_cast<std::size_t>(cfg.tile), [&](std::size_t i) {
+        return mix_ladder(
+            ladder_keyed(ladder_key(keys[i], cfg.max_rungs), km, cfg, i, deltas[i]), cfg);
+      });
+  RtaCacheStats delta;
+  for (const auto& d : deltas) {
+    delta.hits += d.hits;
+    delta.misses += d.misses;
+    delta.evictions += d.evictions;
+  }
+  flush_prob_observations(delta);
+  if (obs::enabled()) {
+    std::int64_t convolutions = 0;
+    for (const auto& m : out.messages) convolutions += m.convolutions;
+    obs::count("prob.messages", static_cast<std::int64_t>(out.messages.size()));
+    obs::count("prob.convolutions", convolutions);
+  }
+  return out;
+}
+
 void IncrementalRta::flush_cache_observations(const RtaCacheStats& delta) {
   {
     // Lifetime counters live on shard 0; per-shard deltas are already
@@ -170,6 +307,11 @@ RtaCacheStats IncrementalRta::stats() const {
   return shards_.front()->stats;
 }
 
+RtaCacheStats IncrementalRta::prob_stats() const {
+  std::lock_guard<std::mutex> lock{prob_shards_.front()->m};
+  return prob_shards_.front()->stats;
+}
+
 std::size_t IncrementalRta::size() const {
   std::size_t n = 0;
   for (const auto& shard : shards_) {
@@ -181,6 +323,11 @@ std::size_t IncrementalRta::size() const {
 
 void IncrementalRta::clear() {
   for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock{shard->m};
+    shard->lru.clear();
+    shard->map.clear();
+  }
+  for (auto& shard : prob_shards_) {
     std::lock_guard<std::mutex> lock{shard->m};
     shard->lru.clear();
     shard->map.clear();

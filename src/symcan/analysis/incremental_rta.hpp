@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "symcan/analysis/can_rta.hpp"
+#include "symcan/analysis/prob_rta.hpp"
 #include "symcan/analysis/rta_context.hpp"
 
 namespace symcan::analysis {
@@ -100,9 +101,22 @@ class IncrementalRta {
   /// entry point the sensitivity binary searches iterate on.
   MessageResult analyze_message(const KMatrix& km, const CanRtaConfig& cfg, std::size_t index);
 
+  /// Probabilistic analysis with a warm rung-ladder cache: the expensive
+  /// half of a probabilistic verdict (the deterministic solve plus one
+  /// conditional solve per fault count — see analysis/prob_rta.hpp) is
+  /// content-addressed by the message's context fingerprint mixed with
+  /// the ladder shape, so a probability sweep over one matrix solves
+  /// each ladder once and only redoes the cheap fixed-point mixture per
+  /// sweep point. Bit-identical to the uncached analysis::analyze_prob.
+  ProbBusResult analyze_prob(const KMatrix& km, const ProbRtaConfig& cfg);
+  ProbMessageResult analyze_message_prob(const KMatrix& km, const ProbRtaConfig& cfg,
+                                         std::size_t index);
+
   const RtaCacheConfig& config() const { return cfg_; }
   /// Aggregated over all shards.
   RtaCacheStats stats() const;
+  /// Rung-ladder cache counters (the prob plane keeps its own stats).
+  RtaCacheStats prob_stats() const;
   /// Total cached entries, summed over all shards.
   std::size_t size() const;
   /// Effective shard count (>= 1) after clamping to capacity.
@@ -122,7 +136,24 @@ class IncrementalRta {
     RtaCacheStats stats;  ///< Guarded by m.
   };
 
+  /// The prob plane's shard: same sharding scheme, RungLadder payload.
+  /// Ladders and verdicts never share a key space (the ladder key mixes
+  /// in the ladder shape), so the planes stay independent.
+  struct ProbShard {
+    using Entry = std::pair<ContextKey, RungLadder>;
+    mutable std::mutex m;
+    std::list<Entry> lru;  ///< Front = most recently used; guarded by m.
+    std::unordered_map<ContextKey, std::list<Entry>::iterator, ContextKeyHash> map;
+    RtaCacheStats stats;  ///< Guarded by m.
+  };
+
   Shard& shard_for(const ContextKey& key);
+  ProbShard& prob_shard_for(const ContextKey& key);
+  /// Cached rung-ladder resolution for one message (mirrors
+  /// analyze_keyed: lookup under the shard lock, solve outside it).
+  RungLadder ladder_keyed(const ContextKey& key, const KMatrix& km, const ProbRtaConfig& cfg,
+                          std::size_t index, RtaCacheStats& delta);
+  void flush_prob_observations(const RtaCacheStats& delta);
   MessageResult analyze_one(const KMatrix& km, const CanRtaConfig& cfg, std::size_t index,
                             RtaCacheStats& delta);
   /// Cache lookup + miss resolution for one message. When `scratch` is
@@ -141,6 +172,7 @@ class IncrementalRta {
   /// unique_ptr keeps Shard (mutex member) immovable while the vector
   /// stays constructible; sized once in the constructor, never resized.
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<ProbShard>> prob_shards_;
 };
 
 }  // namespace symcan::analysis

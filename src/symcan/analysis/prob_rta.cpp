@@ -1,0 +1,392 @@
+#include "symcan/analysis/prob_rta.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "symcan/can/kmatrix.hpp"
+#include "symcan/obs/obs.hpp"
+#include "symcan/util/parallel.hpp"
+
+namespace symcan::analysis {
+
+namespace {
+
+/// SplitMix64-style chain (same shape as the error-model fingerprints).
+std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
+  h += v + 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+constexpr std::int64_t kPpmOne = 1'000'000;
+
+/// 128-bit accumulator for weight products: each product is < 2^64, but
+/// sums of products need the headroom. __extension__ silences -Wpedantic
+/// (the toolchain targets x86-64/aarch64 gcc/clang, which all have it).
+__extension__ typedef unsigned __int128 u128;
+
+/// Binomial(n, p) in fixed point by iterated Bernoulli convolution.
+/// Each step multiplies in unsigned __int128 and floor-divides by kOne;
+/// the rounding residue lands on the highest occupied count — mass only
+/// moves toward *more* faults, so every tail P(K >= j) over-approximates
+/// the exact binomial tail (conservative). p in {0, kOne} is exact.
+/// `convolutions`, when non-null, counts the Bernoulli steps performed.
+std::vector<std::uint64_t> binomial_weights(std::size_t n, std::uint64_t p,
+                                            std::int64_t* convolutions) {
+  std::vector<std::uint64_t> w(n + 1, 0);
+  w[0] = Pmf::kOne;
+  const std::uint64_t q = Pmf::kOne - p;
+  for (std::size_t step = 0; step < n; ++step) {
+    std::vector<u128> wide(step + 2, 0);
+    for (std::size_t i = 0; i <= step; ++i) {
+      wide[i] += static_cast<u128>(w[i]) * q;
+      wide[i + 1] += static_cast<u128>(w[i]) * p;
+    }
+    std::uint64_t total = 0;
+    std::size_t top = 0;
+    for (std::size_t i = 0; i <= step + 1; ++i) {
+      w[i] = static_cast<std::uint64_t>(wide[i] >> 32);
+      total += w[i];
+      if (wide[i] > 0) top = i;
+    }
+    w[top] += Pmf::kOne - total;  // residue-to-top: conservative
+    if (convolutions) ++*convolutions;
+  }
+  return w;
+}
+
+}  // namespace
+
+// --- Pmf -----------------------------------------------------------------
+
+Pmf Pmf::point(Duration v) {
+  Pmf p;
+  p.atoms_.push_back({v, kOne});
+  return p;
+}
+
+Pmf Pmf::two_point(Duration low, Duration high, std::uint64_t high_weight) {
+  if (high_weight > kOne) throw std::invalid_argument("Pmf::two_point: weight > kOne");
+  if (low > high) throw std::invalid_argument("Pmf::two_point: low > high");
+  if (low == high || high_weight == kOne) return point(high);
+  if (high_weight == 0) return point(low);
+  Pmf p;
+  p.atoms_.push_back({low, kOne - high_weight});
+  p.atoms_.push_back({high, high_weight});
+  return p;
+}
+
+Pmf Pmf::from_atoms(std::vector<Atom> atoms) {
+  std::map<std::int64_t, std::uint64_t> merged;
+  std::map<std::int64_t, Duration> values;  // preserves infinite sentinels
+  for (const auto& a : atoms) {
+    if (a.weight == 0) continue;
+    merged[a.value.count_ns()] += a.weight;
+    values.emplace(a.value.count_ns(), a.value);
+  }
+  Pmf p;
+  for (const auto& [ns, w] : merged) p.atoms_.push_back({values.at(ns), w});
+  p.validate();
+  return p;
+}
+
+std::uint64_t Pmf::mass_above(Duration v) const {
+  std::uint64_t mass = 0;
+  for (auto it = atoms_.rbegin(); it != atoms_.rend() && it->value > v; ++it) mass += it->weight;
+  return mass;
+}
+
+Duration Pmf::quantile(std::uint64_t rank) const {
+  if (rank > kOne) throw std::invalid_argument("Pmf::quantile: rank > kOne");
+  std::uint64_t cum = 0;
+  for (const auto& a : atoms_) {
+    cum += a.weight;
+    if (cum >= rank) return a.value;
+  }
+  return atoms_.back().value;  // unreachable: cum ends at exactly kOne
+}
+
+Pmf Pmf::clamped_min(Duration floor) const {
+  if (atoms_.front().value >= floor) return *this;
+  std::vector<Atom> out;
+  std::uint64_t folded = 0;
+  for (const auto& a : atoms_) {
+    if (a.value < floor)
+      folded += a.weight;
+    else
+      out.push_back(a);
+  }
+  if (folded > 0) {
+    if (!out.empty() && out.front().value == floor) {
+      out.front().weight += folded;
+    } else {
+      out.insert(out.begin(), Atom{floor, folded});
+    }
+  }
+  Pmf p;
+  p.atoms_ = std::move(out);
+  p.validate();
+  return p;
+}
+
+std::uint64_t Pmf::weight_from_ppm(std::int64_t ppm) {
+  if (ppm < 0 || ppm > kPpmOne) throw std::invalid_argument("weight_from_ppm: ppm out of range");
+  // Ceiling: quantization can only add mass to the modelled event, and
+  // every event here is "the worst case materializes" — conservative.
+  return (static_cast<std::uint64_t>(ppm) * kOne + (kPpmOne - 1)) / kPpmOne;
+}
+
+std::int64_t Pmf::ppm_from_weight(std::uint64_t weight) {
+  if (weight > kOne) throw std::invalid_argument("ppm_from_weight: weight > kOne");
+  return static_cast<std::int64_t>((weight * static_cast<std::uint64_t>(kPpmOne) + kOne - 1) >>
+                                   32);
+}
+
+void Pmf::validate() const {
+  if (atoms_.empty()) throw std::logic_error("Pmf: empty support");
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < atoms_.size(); ++i) {
+    if (atoms_[i].weight == 0) throw std::logic_error("Pmf: zero-weight atom");
+    if (i > 0 && !(atoms_[i - 1].value < atoms_[i].value))
+      throw std::logic_error("Pmf: atoms not strictly ascending");
+    total += atoms_[i].weight;
+  }
+  if (total != kOne) throw std::logic_error("Pmf: mass does not sum to kOne");
+}
+
+Pmf convolve(const Pmf& a, const Pmf& b) {
+  // Point masses shift exactly — no products to round.
+  if (b.degenerate()) {
+    const Duration shift = b.atoms_.front().value;
+    if (shift == Duration::zero()) return a;
+    Pmf out = a;
+    for (auto& atom : out.atoms_) atom.value = atom.value + shift;
+    return out;
+  }
+  if (a.degenerate()) return convolve(b, a);
+
+  std::map<std::int64_t, u128> wide;
+  for (const auto& x : a.atoms_)
+    for (const auto& y : b.atoms_)
+      wide[(x.value + y.value).count_ns()] += static_cast<u128>(x.weight) * y.weight;
+
+  Pmf out;
+  std::uint64_t total = 0;
+  for (const auto& [ns, w] : wide) {
+    const auto scaled = static_cast<std::uint64_t>(w >> 32);
+    total += scaled;
+    out.atoms_.push_back({Duration::ns(ns), scaled});
+  }
+  // Residue-to-top: the floor-division losses (< 1 ulp per output atom)
+  // all land on the maximum-value atom, so the rounded distribution
+  // stochastically dominates the exact one.
+  out.atoms_.back().weight += Pmf::kOne - total;
+  out.atoms_.erase(std::remove_if(out.atoms_.begin(), out.atoms_.end(),
+                                  [](const Pmf::Atom& atom) { return atom.weight == 0; }),
+                   out.atoms_.end());
+  out.validate();
+  return out;
+}
+
+// --- configuration -------------------------------------------------------
+
+void validate_prob_config(const ProbRtaConfig& cfg) {
+  const auto check_ppm = [](std::int64_t ppm, const char* what) {
+    if (ppm < 0 || ppm > kPpmOne)
+      throw std::invalid_argument(std::string{what} + " must lie in [0, 1000000] ppm");
+  };
+  check_ppm(cfg.fault_ppm, "fault probability");
+  check_ppm(cfg.stuff_ppm, "stuffing probability");
+  check_ppm(cfg.jitter_ppm, "jitter probability");
+  if (cfg.max_rungs < 1 || cfg.max_rungs > 4096)
+    throw std::invalid_argument("max_rungs must lie in [1, 4096]");
+  if (cfg.parallelism < 0) throw std::invalid_argument("parallelism must be >= 0");
+  if (cfg.tile < 0) throw std::invalid_argument("tile must be >= 0");
+}
+
+std::uint64_t prob_config_fingerprint(const ProbRtaConfig& cfg) {
+  std::uint64_t h = mix64(0x50b, static_cast<std::uint64_t>(cfg.fault_ppm));
+  h = mix64(h, static_cast<std::uint64_t>(cfg.stuff_ppm));
+  h = mix64(h, static_cast<std::uint64_t>(cfg.jitter_ppm));
+  return mix64(h, static_cast<std::uint64_t>(cfg.max_rungs));
+}
+
+// --- rung ladder ---------------------------------------------------------
+
+RungLadder solve_rung_ladder(const MessageContext& ctx, std::int64_t max_rungs) {
+  RungLadder ladder;
+  ladder.det = solve_message(ctx);
+  ladder.stuff_savings = ctx.cost - ctx.bcrt;
+  ladder.jitter = ctx.activation.jitter();
+  if (ladder.det.diverged || ladder.det.wcrt.is_infinite()) {
+    ladder.rungs = {ladder.det.wcrt};
+    return ladder;
+  }
+  // Fault counts the configured model admits inside the deterministic
+  // busy period: every materialized-fault pattern the probabilistic run
+  // can see is conditioned on one of these counts.
+  const std::int64_t admitted = ctx.errors->max_faults(ladder.det.busy_period + ctx.cost);
+  const std::int64_t k_stop = std::min(admitted, max_rungs);
+  ladder.rungs.reserve(static_cast<std::size_t>(k_stop) + 1);
+  Duration prev = Duration::zero();
+  MessageContext rung_ctx = ctx;
+  for (std::int64_t k = 0; k < k_stop; ++k) {
+    rung_ctx.errors = std::make_shared<FixedFaults>(k);
+    const MessageResult r = solve_message(rung_ctx);
+    // Clamp into [previous rung, deterministic WCRT]: monotone ladder,
+    // and det.wcrt bounds any run the deterministic model admits, so the
+    // clamp is sound even when a conditional fixed point diverges.
+    Duration v = r.diverged || r.wcrt.is_infinite() ? ladder.det.wcrt
+                                                    : std::min(r.wcrt, ladder.det.wcrt);
+    v = std::max(v, prev);
+    ladder.rungs.push_back(v);
+    prev = v;
+  }
+  // Top rung: the deterministic WCRT itself — the distribution's
+  // provable upper support point.
+  ladder.rungs.push_back(ladder.det.wcrt);
+  return ladder;
+}
+
+ProbMessageResult mix_ladder(const RungLadder& ladder, const ProbRtaConfig& cfg) {
+  ProbMessageResult out;
+  out.det = ladder.det;
+  out.rungs = ladder.rungs;
+  if (out.det.diverged || out.det.wcrt.is_infinite()) {
+    out.response = Pmf::point(out.det.wcrt);
+    out.miss_weight = out.response.mass_above(out.det.deadline);
+    return out;
+  }
+
+  const std::size_t k_stop = ladder.rungs.size() - 1;
+  const std::uint64_t fault_w = Pmf::weight_from_ppm(cfg.fault_ppm);
+  const std::vector<std::uint64_t> counts =
+      binomial_weights(k_stop, fault_w, &out.convolutions);
+  std::vector<Pmf::Atom> mixture;
+  mixture.reserve(counts.size());
+  for (std::size_t k = 0; k < counts.size(); ++k)
+    mixture.push_back({ladder.rungs[k], counts[k]});
+  Pmf response = Pmf::from_atoms(std::move(mixture));
+
+  // Luck deltas: with probability (1 - p) the worst case does not
+  // materialize and the response comes in early by the saving. Values
+  // are non-positive, so residue-to-top pushes mass toward zero saving
+  // — the conservative direction.
+  if (ladder.stuff_savings > Duration::zero()) {
+    response = convolve(response, Pmf::two_point(Duration::zero() - ladder.stuff_savings,
+                                                 Duration::zero(),
+                                                 Pmf::weight_from_ppm(cfg.stuff_ppm)));
+    ++out.convolutions;
+  }
+  if (ladder.jitter > Duration::zero()) {
+    response = convolve(response, Pmf::two_point(Duration::zero() - ladder.jitter,
+                                                 Duration::zero(),
+                                                 Pmf::weight_from_ppm(cfg.jitter_ppm)));
+    ++out.convolutions;
+  }
+  // Responses below the best-case response time are physically
+  // impossible; fold that mass back onto the floor.
+  response = response.clamped_min(out.det.bcrt);
+
+  out.response = std::move(response);
+  out.miss_weight = out.response.mass_above(out.det.deadline);
+  return out;
+}
+
+std::size_t ProbBusResult::miss_count(std::uint64_t threshold_weight) const {
+  std::size_t n = 0;
+  for (const auto& m : messages)
+    if (m.miss_weight > threshold_weight) ++n;
+  return n;
+}
+
+// --- entry points --------------------------------------------------------
+
+ProbMessageResult analyze_message_prob(const KMatrix& km, const ProbRtaConfig& cfg,
+                                       std::size_t index) {
+  validate_prob_config(cfg);
+  const MessageContext ctx = build_message_context(km, cfg.rta, index);
+  return mix_ladder(solve_rung_ladder(ctx, cfg.max_rungs), cfg);
+}
+
+ProbBusResult analyze_prob(const KMatrix& km, const ProbRtaConfig& cfg) {
+  validate_prob_config(cfg);
+  km.validate();
+  ProbBusResult out;
+  ParallelExecutor exec{cfg.parallelism};
+  {
+    SYMCAN_OBS_SPAN("prob.analyze");
+    out.messages = exec.parallel_map_indexed_tiled(
+        km.size(), static_cast<std::size_t>(cfg.tile),
+        [&](std::size_t i) { return analyze_message_prob(km, cfg, i); });
+  }
+  out.utilization = km.utilization(cfg.rta.worst_case_stuffing);
+  if (obs::enabled()) {
+    std::int64_t convolutions = 0;
+    for (const auto& m : out.messages) convolutions += m.convolutions;
+    obs::count("prob.messages", static_cast<std::int64_t>(out.messages.size()));
+    obs::count("prob.convolutions", convolutions);
+  }
+  return out;
+}
+
+ProbProvenance explain_message_prob(const KMatrix& km, const ProbRtaConfig& cfg,
+                                    std::size_t index) {
+  validate_prob_config(cfg);
+  ProbProvenance out;
+  out.det = explain_message(km, cfg.rta, index);
+
+  // Re-walk the ladder with the tracing solver (identical code path, so
+  // the traced rungs ARE the rungs mix_ladder sees).
+  const MessageContext ctx = build_message_context(km, cfg.rta, index);
+  RungLadder ladder;
+  ladder.det = solve_message(ctx);
+  ladder.stuff_savings = ctx.cost - ctx.bcrt;
+  ladder.jitter = ctx.activation.jitter();
+  if (ladder.det.diverged || ladder.det.wcrt.is_infinite()) {
+    ladder.rungs = {ladder.det.wcrt};
+  } else {
+    const std::int64_t admitted = ctx.errors->max_faults(ladder.det.busy_period + ctx.cost);
+    const std::int64_t k_stop = std::min(admitted, cfg.max_rungs);
+    Duration prev = Duration::zero();
+    MessageContext rung_ctx = ctx;
+    for (std::int64_t k = 0; k < k_stop; ++k) {
+      rung_ctx.errors = std::make_shared<FixedFaults>(k);
+      SolveTrace trace;
+      const MessageResult r = solve_message(rung_ctx, trace);
+      Duration v = r.diverged || r.wcrt.is_infinite() ? ladder.det.wcrt
+                                                      : std::min(r.wcrt, ladder.det.wcrt);
+      v = std::max(v, prev);
+      out.rungs.push_back({k, v, r.wcrt, r.fixedpoint_iterations, trace.critical_instance,
+                           trace.busy_iterates.size()});
+      ladder.rungs.push_back(v);
+      prev = v;
+    }
+    ladder.rungs.push_back(ladder.det.wcrt);
+    out.rungs.push_back({k_stop, ladder.det.wcrt, ladder.det.wcrt,
+                         ladder.det.fixedpoint_iterations, out.det.critical_instance,
+                         out.det.busy_iterates.size()});
+  }
+  out.prob = mix_ladder(ladder, cfg);
+  return out;
+}
+
+std::string prob_provenance_to_text(const ProbProvenance& p) {
+  std::ostringstream os;
+  os << "message " << p.det.name << " (id " << p.det.id << ")\n";
+  os << "  deterministic wcrt " << to_string(p.det.result.wcrt) << ", deadline "
+     << to_string(p.det.result.deadline) << "\n";
+  os << "  miss probability " << p.prob.miss_ppm() << " ppm ("
+     << p.prob.response.atoms().size() << " atoms, upper support "
+     << to_string(p.prob.response.max_value()) << ")\n";
+  os << "  fault rungs:\n";
+  for (const auto& r : p.rungs)
+    os << "    k=" << r.faults << "  R_k " << to_string(r.wcrt) << "  (iterations "
+       << r.fixedpoint_iterations << ", q* " << r.critical_instance << ")\n";
+  return os.str();
+}
+
+}  // namespace symcan::analysis

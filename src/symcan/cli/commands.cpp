@@ -144,12 +144,51 @@ int cmd_generate(const Args& args, std::ostream& out) {
 int cmd_analyze(const Args& args, std::ostream& out) {
   const KMatrix km = load_matrix(args);
   const CanRtaConfig cfg = assumptions_from(args);
+  if (args.has_flag("prob")) {
+    // Probabilistic mode: deadline-miss distributions instead of a
+    // binary verdict. Probabilities are exact ppm integers; the
+    // defaults are degenerate, reproducing the deterministic table's
+    // verdicts and exit code bit-for-bit.
+    pipeline::ProbSpec spec;
+    spec.fault_ppm = args.int_option_or("fault-ppm", 1'000'000);
+    spec.stuff_ppm = args.int_option_or("stuff-ppm", 1'000'000);
+    spec.jitter_ppm = args.int_option_or("jitter-ppm", 1'000'000);
+    spec.max_rungs = args.positive_option_or("max-rungs", 96);
+    spec.jobs = jobs_from(args);
+    spec.tile = tile_from(args);
+    fail_on_unused(args);
+    return pipeline::render_prob(km, cfg, spec, out);
+  }
   fail_on_unused(args);
   return pipeline::render_analyze(km, cfg, out);
 }
 
 int cmd_sweep(const Args& args, std::ostream& out) {
   const KMatrix km = load_matrix(args);
+  if (args.has_flag("prob")) {
+    // Miss-probability vs error rate: log-spaced fault probabilities,
+    // one probabilistic analysis per point. The rung ladders are shared
+    // across points, so the sweep costs one ladder build plus cheap
+    // binomial re-mixes.
+    FaultSweepConfig cfg;
+    cfg.rta = assumptions_from(args);
+    cfg.from_ppm = args.int_option_or("from-ppm", 1'000'000);
+    cfg.to_ppm = args.int_option_or("to-ppm", 1);
+    cfg.points = static_cast<int>(args.positive_option_or("points", 13));
+    cfg.stuff_ppm = args.int_option_or("stuff-ppm", 1'000'000);
+    cfg.jitter_ppm = args.int_option_or("jitter-ppm", 1'000'000);
+    cfg.max_rungs = args.positive_option_or("max-rungs", 96);
+    cfg.parallelism = jobs_from(args);
+    cfg.tile = tile_from(args);
+    cfg.cache = rta_cache_from(args);
+    fail_on_unused(args);
+    const FaultSweepResult res = sweep_fault_probability(km, cfg);
+    out << "fault_ppm,at_risk_fraction,worst_miss_ppm\n";
+    for (std::size_t i = 0; i < res.fault_ppm.size(); ++i)
+      out << strprintf("%lld,%.6f,%lld\n", static_cast<long long>(res.fault_ppm[i]),
+                       res.at_risk_fraction(i), static_cast<long long>(res.worst_miss_ppm(i)));
+    return 0;
+  }
   JitterSweepConfig cfg;
   cfg.rta = assumptions_from(args);
   cfg.from = args.double_option_or("from", 0.0);
@@ -494,6 +533,13 @@ int cmd_serve(const Args& args, std::istream& in, std::ostream& out) {
   cfg.telemetry.window_bucket_ms = args.positive_option_or("window-bucket-ms", 5000);
   cfg.telemetry.window_buckets =
       static_cast<std::size_t>(args.positive_option_or("window-buckets", 12));
+  // SLO objective: the burn-rate denominator is (1 - objective), so 1.0
+  // (or anything outside the open interval) would divide by zero and
+  // poison the telemetry/health JSON — reject it here, before the
+  // service starts (exit 2), rather than crash on the first snapshot.
+  cfg.telemetry.slo_objective = args.double_option_or("slo-objective", 0.99);
+  if (!(cfg.telemetry.slo_objective > 0.0) || !(cfg.telemetry.slo_objective < 1.0))
+    throw std::invalid_argument("--slo-objective must lie strictly between 0 and 1");
   cfg.build_info = version_string();
   if (const auto prom = args.path_option("metrics-prom")) cfg.metrics_prom_path = *prom;
   fail_on_unused(args);
@@ -523,8 +569,22 @@ std::string usage() {
          "  generate    [--seed N] [--messages N] [--ecus N] [--util X] [--bitrate BPS]\n"
          "              [--tt-offsets] [--out FILE]      synthesize a K-Matrix CSV\n"
          "  analyze     FILE [--worst-case|--best-case] [--jitter F] [--override-known]\n"
+         "              [--prob [--fault-ppm N] [--stuff-ppm N] [--jitter-ppm N]\n"
+         "              [--max-rungs N] [--jobs N] [--tile N]]\n"
+         "              --prob reports per-message deadline-miss probabilities:\n"
+         "              the response-time distribution from convolving per-fault-\n"
+         "              count bounds (each admitted fault materializes with\n"
+         "              probability --fault-ppm/1e6), worst-case stuffing and\n"
+         "              activation jitter; the deterministic WCRT is the\n"
+         "              distribution's upper support point, and all-1e6 ppm\n"
+         "              (the default) reproduces the deterministic verdicts\n"
          "  sweep       FILE [--from F] [--to F] [--step F] [--jobs N] [--tile N]\n"
          "              [--worst-case|--best-case]\n"
+         "              [--prob [--from-ppm N] [--to-ppm N] [--points N]\n"
+         "              [--stuff-ppm N] [--jitter-ppm N] [--max-rungs N]]\n"
+         "              --prob sweeps the fault probability instead of jitter:\n"
+         "              miss-probability vs error rate, log-spaced ppm points\n"
+         "              (rung ladders are shared across points via the cache)\n"
          "  import      FILE.dbc [--bitrate BPS] [--bus-name NAME] [--out FILE]\n"
          "  report      FILE [--worst-case|--best-case] [--jitter F]   markdown summary\n"
          "  budget      FILE [--worst-case|--best-case]   jitter budgets (Section 5.2)\n"
@@ -554,9 +614,10 @@ std::string usage() {
          "              [--jobs N] [--matrix-cache N] [--strict]\n"
          "              [--flight-recorder FILE] [--flight-capacity N]\n"
          "              [--window-bucket-ms N] [--window-buckets N]\n"
-         "              [--metrics-prom FILE]\n"
+         "              [--metrics-prom FILE] [--slo-objective X]\n"
          "              long-running analysis service: one JSON request per stdin\n"
-         "              line (analyze/explain/validate/optimize/health/telemetry),\n"
+         "              line (analyze/prob/explain/validate/optimize/health/\n"
+         "              telemetry),\n"
          "              one JSON response per stdout line, bit-identical to the\n"
          "              one-shot CLI on the same inputs (see DESIGN.md). Every\n"
          "              request gets a telemetry record (queue wait, service time,\n"
@@ -611,7 +672,7 @@ int run_cli(const std::vector<std::string>& argv_tail, std::istream& in, std::os
     const std::vector<std::string> flags = {"worst-case", "best-case", "override-known",
                                             "tt-offsets", "dbc",       "json",
                                             "stats",      "strict",    "no-bounds",
-                                            "stdio"};
+                                            "stdio",      "prob"};
     const Args args = Args::parse(rest, flags);
 
     // Observability exports apply to every command: validate the paths up

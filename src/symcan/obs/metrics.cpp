@@ -58,7 +58,12 @@ double Histogram::quantile(double q) const {
     lower = bounds_[i];
   }
   // Rank falls into the overflow bucket: all we know is v > bounds.back().
-  return hi;
+  // Report the last finite bucket edge (the documented contract, matching
+  // WindowedHistogram::snapshot): returning the observed max would
+  // surface +inf here whenever an infinite sample was recorded, poisoning
+  // JSON consumers — the Prometheus export maps non-finite to 0, and the
+  // two surfaces must stay consistent.
+  return bounds_.back();
 }
 
 void Histogram::reset() {

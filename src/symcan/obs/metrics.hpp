@@ -77,7 +77,11 @@ class Gauge {
 /// overflow bucket catches v > bounds.back(). Quantiles interpolate
 /// linearly inside the selected bucket and are clamped to the observed
 /// [min, max], so a quantile query at a bucket boundary with only
-/// boundary-valued observations returns the boundary exactly.
+/// boundary-valued observations returns the boundary exactly. A rank
+/// that falls into the overflow bucket reports the last finite bucket
+/// edge — never the observed max, which may be +inf and would poison
+/// JSON consumers (the Prometheus export maps non-finite to 0; both
+/// surfaces stay finite and consistent).
 class Histogram {
  public:
   explicit Histogram(std::vector<double> upper_bounds);

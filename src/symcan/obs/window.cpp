@@ -173,13 +173,19 @@ SloStats SloTracker::snapshot(std::int64_t now_ns) const {
   out.over_target = over_.load(std::memory_order_relaxed);
   out.window_total = window_total_.window_count(now_ns);
   out.window_over = window_over_.window_count(now_ns);
+  // Defense in depth: the constructor rejects objectives outside (0, 1),
+  // but a non-positive error allowance must never reach the divisions —
+  // burn_rate/budget_used stay 0 instead of poisoning the telemetry and
+  // health JSON with inf/nan.
   const double allowed = 1.0 - cfg_.objective;
-  if (out.window_total > 0)
-    out.burn_rate = (static_cast<double>(out.window_over) /
-                     static_cast<double>(out.window_total)) / allowed;
-  if (out.total > 0)
-    out.budget_used = (static_cast<double>(out.over_target) /
-                       static_cast<double>(out.total)) / allowed;
+  if (allowed > 0.0) {
+    if (out.window_total > 0)
+      out.burn_rate = (static_cast<double>(out.window_over) /
+                       static_cast<double>(out.window_total)) / allowed;
+    if (out.total > 0)
+      out.budget_used = (static_cast<double>(out.over_target) /
+                         static_cast<double>(out.total)) / allowed;
+  }
   return out;
 }
 

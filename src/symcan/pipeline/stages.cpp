@@ -88,6 +88,41 @@ int render_analyze(const KMatrix& km, const CanRtaConfig& cfg, std::ostream& out
   return res.all_schedulable() ? 0 : 1;
 }
 
+int render_prob(const KMatrix& km, const CanRtaConfig& cfg, const ProbSpec& spec,
+                std::ostream& out, analysis::IncrementalRta* cache) {
+  SYMCAN_OBS_SPAN("pipeline.prob");
+  ProbRtaConfig pcfg;
+  pcfg.rta = cfg;
+  pcfg.fault_ppm = spec.fault_ppm;
+  pcfg.stuff_ppm = spec.stuff_ppm;
+  pcfg.jitter_ppm = spec.jitter_ppm;
+  pcfg.max_rungs = spec.max_rungs;
+  pcfg.parallelism = spec.jobs;
+  pcfg.tile = spec.tile;
+  analysis::validate_prob_config(pcfg);
+
+  const LoadReport load = analyze_load(km, cfg.worst_case_stuffing);
+  out << strprintf("bus %s: %zu messages, load %.1f%% of %.0f kbit/s\n", km.bus_name().c_str(),
+                   km.size(), 100 * load.utilization, load.bandwidth_bps / 1000);
+  out << strprintf("probabilities (ppm): fault %lld, worst-case stuffing %lld, jitter %lld\n",
+                   static_cast<long long>(spec.fault_ppm), static_cast<long long>(spec.stuff_ppm),
+                   static_cast<long long>(spec.jitter_ppm));
+
+  const ProbBusResult res =
+      cache ? cache->analyze_prob(km, pcfg) : analysis::analyze_prob(km, pcfg);
+  TextTable t;
+  t.header({"message", "id", "det wcrt", "deadline", "miss ppm", "atoms", "verdict"});
+  for (const std::size_t i : km.priority_order()) {
+    const ProbMessageResult& m = res.messages[i];
+    t.row({m.det.name, strprintf("0x%03X", m.det.id), to_string(m.det.wcrt),
+           to_string(m.det.deadline), strprintf("%lld", static_cast<long long>(m.miss_ppm())),
+           strprintf("%zu", m.response.atoms().size()), m.miss_weight == 0 ? "ok" : "AT-RISK"});
+  }
+  t.print(out);
+  out << strprintf("at-risk: %zu/%zu\n", res.miss_count(), res.messages.size());
+  return res.miss_count() == 0 ? 0 : 1;
+}
+
 int render_explain(const KMatrix& km, const CanRtaConfig& cfg, const std::string& message,
                    bool json, std::ostream& out) {
   SYMCAN_OBS_SPAN("pipeline.explain");

@@ -75,6 +75,29 @@ std::shared_ptr<const ErrorModel> matching_error_model(const SimErrorProcess& p)
 int render_analyze(const KMatrix& km, const CanRtaConfig& cfg, std::ostream& out,
                    analysis::IncrementalRta* cache = nullptr);
 
+/// `symcan analyze --prob` / the serve "prob" kind: the probabilistic
+/// analysis knobs, carried as exact parts-per-million integers so the
+/// CLI flags, the JSONL wire and the cache keys all agree bit-for-bit.
+/// The defaults are the degenerate point masses — with them the verdict
+/// table reproduces the deterministic analysis exactly.
+struct ProbSpec {
+  std::int64_t fault_ppm = 1'000'000;
+  std::int64_t stuff_ppm = 1'000'000;
+  std::int64_t jitter_ppm = 1'000'000;
+  std::int64_t max_rungs = 96;
+  /// Fan-out knobs (0 = hardware / auto tile). Speed only: rendered
+  /// bytes are identical at any jobs x tile combination.
+  int jobs = 0;
+  int tile = 0;
+};
+
+/// `symcan analyze --prob`: load line, per-message deadline-miss
+/// probability table, at-risk count. Returns 0 when every message has
+/// zero miss probability, 1 otherwise (the degenerate defaults make
+/// this agree with render_analyze's exit code).
+int render_prob(const KMatrix& km, const CanRtaConfig& cfg, const ProbSpec& spec,
+                std::ostream& out, analysis::IncrementalRta* cache = nullptr);
+
 /// `symcan explain MESSAGE [--json]`: per-term bound breakdown. Returns
 /// 0/1 with the message's schedulability; throws std::invalid_argument
 /// when no message has that name.

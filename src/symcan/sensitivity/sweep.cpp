@@ -1,5 +1,6 @@
 #include "symcan/sensitivity/sweep.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -85,6 +86,54 @@ ErrorSweepResult sweep_errors(const KMatrix& km, const ErrorSweepConfig& cfg) {
       series.append({{"min_inter_error_ms", out.min_inter_error[i].as_ms()},
                      {"miss_fraction", out.results[i].miss_fraction()},
                      {"utilization", out.results[i].utilization}});
+  }
+  return out;
+}
+
+std::int64_t FaultSweepResult::worst_miss_ppm(std::size_t i) const {
+  std::int64_t worst = 0;
+  for (const auto& m : results.at(i).messages) worst = std::max(worst, m.miss_ppm());
+  return worst;
+}
+
+FaultSweepResult sweep_fault_probability(const KMatrix& km, const FaultSweepConfig& cfg) {
+  if (cfg.points < 2) throw std::invalid_argument("sweep_fault_probability: need >= 2 points");
+  if (cfg.from_ppm <= cfg.to_ppm)
+    throw std::invalid_argument("sweep_fault_probability: from_ppm must exceed to_ppm");
+  if (cfg.to_ppm < 1 || cfg.from_ppm > 1'000'000)
+    throw std::invalid_argument("sweep_fault_probability: ppm bounds must lie in [1, 1000000]");
+  if (cfg.tile < 0) throw std::invalid_argument("sweep_fault_probability: tile must be >= 0");
+  FaultSweepResult out;
+  const double lo = std::log(static_cast<double>(cfg.to_ppm));
+  const double hi = std::log(static_cast<double>(cfg.from_ppm));
+  for (int i = 0; i < cfg.points; ++i) {
+    const double t = hi - (hi - lo) * static_cast<double>(i) / (cfg.points - 1);
+    out.fault_ppm.push_back(static_cast<std::int64_t>(std::exp(t)));
+  }
+  ParallelExecutor exec{cfg.parallelism};
+  IncrementalRta rta{cfg.cache};
+  {
+    SYMCAN_OBS_SPAN("sweep.prob");
+    out.results = exec.parallel_map_tiled(
+        out.fault_ppm, static_cast<std::size_t>(cfg.tile), [&](std::int64_t ppm) {
+          analysis::ProbRtaConfig point;
+          point.rta = cfg.rta;
+          point.fault_ppm = ppm;
+          point.stuff_ppm = cfg.stuff_ppm;
+          point.jitter_ppm = cfg.jitter_ppm;
+          point.max_rungs = cfg.max_rungs;
+          // The sweep fans out over points; each point stays serial.
+          point.parallelism = 1;
+          return rta.analyze_prob(km, point);
+        });
+  }
+  if (obs::enabled()) {
+    obs::count("sweep.prob.points", static_cast<std::int64_t>(out.fault_ppm.size()));
+    auto& series = obs::metrics().series("sweep.prob");
+    for (std::size_t i = 0; i < out.results.size(); ++i)
+      series.append({{"fault_ppm", static_cast<double>(out.fault_ppm[i])},
+                     {"at_risk_fraction", out.at_risk_fraction(i)},
+                     {"worst_miss_ppm", static_cast<double>(out.worst_miss_ppm(i))}});
   }
   return out;
 }

@@ -10,6 +10,7 @@
 
 #include "symcan/analysis/can_rta.hpp"
 #include "symcan/analysis/incremental_rta.hpp"
+#include "symcan/analysis/prob_rta.hpp"
 #include "symcan/can/kmatrix.hpp"
 
 namespace symcan {
@@ -77,6 +78,48 @@ struct ErrorSweepResult {
 };
 
 ErrorSweepResult sweep_errors(const KMatrix& km, const ErrorSweepConfig& cfg);
+
+/// Sweep of the per-busy-period fault probability: miss probability vs
+/// error rate. fault_ppm runs from `from_ppm` down to `to_ppm` in
+/// `points` logarithmic steps; every point shares the deterministic rung
+/// ladders (the per-fault-count conditional bounds), so after the first
+/// point only the cheap binomial re-mix runs — the IncrementalRta ladder
+/// cache keeps the whole sweep warm.
+struct FaultSweepConfig {
+  std::int64_t from_ppm = 1'000'000;
+  std::int64_t to_ppm = 1;
+  int points = 13;
+  /// Fixed non-fault knobs shared by every point (see ProbRtaConfig).
+  std::int64_t stuff_ppm = 1'000'000;
+  std::int64_t jitter_ppm = 1'000'000;
+  std::int64_t max_rungs = 96;
+  CanRtaConfig rta;
+  /// Worker threads for evaluating sweep points (0 = hardware
+  /// concurrency, 1 = serial). Results are bit-identical either way.
+  int parallelism = 1;
+  /// Sweep points per work tile (0 = auto; see JitterSweepConfig::tile).
+  int tile = 0;
+  /// Ladder memoization across sweep points (the fault probability is
+  /// mix-time state, so every point reuses every ladder).
+  RtaCacheConfig cache;
+};
+
+struct FaultSweepResult {
+  std::vector<std::int64_t> fault_ppm;
+  std::vector<ProbBusResult> results;  ///< One ProbBusResult per point.
+
+  /// Fraction of messages with nonzero miss probability at point i.
+  double at_risk_fraction(std::size_t i) const {
+    const ProbBusResult& r = results.at(i);
+    return r.messages.empty() ? 0.0
+                              : static_cast<double>(r.miss_count()) /
+                                    static_cast<double>(r.messages.size());
+  }
+  /// Largest per-message miss probability (ppm) at point i.
+  std::int64_t worst_miss_ppm(std::size_t i) const;
+};
+
+FaultSweepResult sweep_fault_probability(const KMatrix& km, const FaultSweepConfig& cfg);
 
 /// Two-dimensional what-if grid: assumed jitter fraction (rows, linear
 /// steps as in JitterSweepConfig) x bus fault rate (columns, logarithmic

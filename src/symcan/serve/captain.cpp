@@ -25,7 +25,8 @@ bool Captain::admits(RequestKind kind) const {
     case ServeMode::kFull: return true;
     case ServeMode::kNoOptimize: return kind != RequestKind::kOptimize;
     case ServeMode::kEssential:
-      return kind != RequestKind::kOptimize && kind != RequestKind::kExplain;
+      return kind != RequestKind::kOptimize && kind != RequestKind::kExplain &&
+             kind != RequestKind::kProb;
   }
   return true;
 }
@@ -65,6 +66,10 @@ void Captain::record_shed(RequestKind kind) {
     shed_explain_.fetch_add(1, std::memory_order_relaxed);
     obs::count("serve.captain.shed.explain");
     obs::instant("serve.captain.shed.explain");
+  } else if (kind == RequestKind::kProb) {
+    shed_prob_.fetch_add(1, std::memory_order_relaxed);
+    obs::count("serve.captain.shed.prob");
+    obs::instant("serve.captain.shed.prob");
   }
 }
 

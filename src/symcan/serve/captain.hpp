@@ -9,8 +9,10 @@
 //   kFull        everything admitted
 //   kNoOptimize  optimize shed (GA runs are orders of magnitude above
 //                the rest)
-//   kEssential   optimize + explain shed; analyze / validate / health
-//                stay live
+//   kEssential   optimize + explain + prob shed; analyze / validate /
+//                health stay live (prob is a convolution fan-out per
+//                message — affordable under normal load, first luxury
+//                to drop when essentials are at risk)
 //
 // The Captain samples ring pressure once per scheduling cycle
 // (observe()). degrade_after consecutive kSaturated samples step one
@@ -66,6 +68,7 @@ class Captain {
 
   std::int64_t shed_optimize() const { return shed_optimize_.load(std::memory_order_relaxed); }
   std::int64_t shed_explain() const { return shed_explain_.load(std::memory_order_relaxed); }
+  std::int64_t shed_prob() const { return shed_prob_.load(std::memory_order_relaxed); }
   std::int64_t mode_changes() const { return mode_changes_; }
 
  private:
@@ -78,6 +81,7 @@ class Captain {
   std::int64_t mode_changes_ = 0;  ///< Scheduler thread only.
   std::atomic<std::int64_t> shed_optimize_{0};
   std::atomic<std::int64_t> shed_explain_{0};
+  std::atomic<std::int64_t> shed_prob_{0};
 };
 
 }  // namespace symcan::serve

@@ -27,6 +27,7 @@ std::int64_t SloTargets::for_kind(RequestKind kind) const {
     case RequestKind::kOptimize: return optimize_ms;
     case RequestKind::kHealth: return health_ms;
     case RequestKind::kTelemetry: return telemetry_ms;
+    case RequestKind::kProb: return prob_ms;
   }
   return 0;
 }
@@ -49,7 +50,8 @@ ServeCore::ServeCore(ServeConfig cfg)
   if (cfg_.batch_max == 0) throw std::invalid_argument("batch size must be positive");
   for (const RequestKind k :
        {RequestKind::kAnalyze, RequestKind::kExplain, RequestKind::kValidate,
-        RequestKind::kOptimize, RequestKind::kHealth, RequestKind::kTelemetry}) {
+        RequestKind::kOptimize, RequestKind::kHealth, RequestKind::kTelemetry,
+        RequestKind::kProb}) {
     const std::int64_t target_ms = cfg_.telemetry.slo.for_kind(k);
     if (target_ms <= 0) continue;
     obs::SloConfig sc;
@@ -184,6 +186,19 @@ ServeResponse ServeCore::handle_queued(const QueuedRequest& q, std::uint64_t bat
       case RequestKind::kAnalyze:
         rc = pipeline::render_analyze(*km, pipeline::assumptions_for(req.preset), out, &rta_);
         break;
+      case RequestKind::kProb: {
+        pipeline::ProbSpec spec;
+        spec.fault_ppm = req.fault_ppm;
+        spec.stuff_ppm = req.stuff_ppm;
+        spec.jitter_ppm = req.jitter_ppm;
+        spec.max_rungs = req.max_rungs;
+        // Batch workers already run in parallel; the convolution fan-out
+        // inside each stays serial (results are bit-identical at any
+        // width, so this is a scheduling choice only).
+        spec.jobs = 1;
+        rc = pipeline::render_prob(*km, pipeline::assumptions_for(req.preset), spec, out, &rta_);
+        break;
+      }
       case RequestKind::kExplain:
         rc = pipeline::render_explain(*km, pipeline::assumptions_for(req.preset), req.message,
                                       req.json, out);
@@ -406,8 +421,9 @@ std::string ServeCore::telemetry_json() const {
   out += ",\"slo\":{";
   bool first = true;
   for (const RequestKind k :
-       {RequestKind::kAnalyze, RequestKind::kExplain, RequestKind::kValidate,
-        RequestKind::kOptimize, RequestKind::kHealth, RequestKind::kTelemetry}) {
+       {RequestKind::kAnalyze, RequestKind::kProb, RequestKind::kExplain,
+        RequestKind::kValidate, RequestKind::kOptimize, RequestKind::kHealth,
+        RequestKind::kTelemetry}) {
     const auto& slo = slo_[kind_index(k)];
     if (!slo) continue;
     if (!first) out += ",";
@@ -449,6 +465,7 @@ std::string ServeCore::health_json() const {
   out += ",\"popped\":" + std::to_string(rs.popped) + "}";
   out += ",\"captain\":{\"shed_optimize\":" + std::to_string(captain_.shed_optimize());
   out += ",\"shed_explain\":" + std::to_string(captain_.shed_explain());
+  out += ",\"shed_prob\":" + std::to_string(captain_.shed_prob());
   out += ",\"mode_changes\":" + std::to_string(captain_.mode_changes()) + "}";
   out += ",\"rta_cache\":{\"shards\":" + std::to_string(rta_.shard_count());
   out += ",\"capacity\":" + std::to_string(rta_.config().capacity);
@@ -481,8 +498,9 @@ std::string ServeCore::health_json() const {
   out += ",\"slo\":{";
   bool first = true;
   for (const RequestKind k :
-       {RequestKind::kAnalyze, RequestKind::kExplain, RequestKind::kValidate,
-        RequestKind::kOptimize, RequestKind::kHealth, RequestKind::kTelemetry}) {
+       {RequestKind::kAnalyze, RequestKind::kProb, RequestKind::kExplain,
+        RequestKind::kValidate, RequestKind::kOptimize, RequestKind::kHealth,
+        RequestKind::kTelemetry}) {
     const auto& slo = slo_[kind_index(k)];
     if (!slo) continue;
     if (!first) out += ",";

@@ -58,6 +58,7 @@ struct SloTargets {
   std::int64_t optimize_ms = 30'000;
   std::int64_t health_ms = 5;
   std::int64_t telemetry_ms = 5;
+  std::int64_t prob_ms = 100;
 
   std::int64_t for_kind(RequestKind kind) const;
 };
@@ -210,7 +211,7 @@ class ServeCore {
   obs::WindowedCounter window_errors_;  ///< failed + invalid outcomes.
   obs::WindowedCounter window_shed_;    ///< shed + rejected/timed-out.
   /// Indexed by kind_index(); disabled targets hold nullptr.
-  std::array<std::unique_ptr<obs::SloTracker>, 6> slo_;
+  std::array<std::unique_ptr<obs::SloTracker>, 7> slo_;
   std::atomic<std::int64_t> dumps_{0};
   std::atomic<bool> dumped_on_shed_{false};
   std::atomic<bool> dumped_on_violation_{false};

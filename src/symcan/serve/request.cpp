@@ -17,6 +17,7 @@ struct Seen {
   bool override_known = false, message = false, json = false, millis = false;
   bool seed = false, errors = false, error_gap_ms = false, generations = false;
   bool population = false, target_jitter = false, dump = false;
+  bool fault_ppm = false, stuff_ppm = false, jitter_ppm = false, max_rungs = false;
 };
 
 bool check_kind_rules(const ServeRequest& req, const Seen& seen, std::size_t line_no,
@@ -32,8 +33,8 @@ bool check_kind_rules(const ServeRequest& req, const Seen& seen, std::size_t lin
   const bool has_matrix = k != RequestKind::kHealth && k != RequestKind::kTelemetry;
   only_for(seen.matrix, "matrix_csv", has_matrix);
   only_for(seen.preset, "preset",
-           k == RequestKind::kAnalyze || k == RequestKind::kExplain ||
-               k == RequestKind::kOptimize);
+           k == RequestKind::kAnalyze || k == RequestKind::kProb ||
+               k == RequestKind::kExplain || k == RequestKind::kOptimize);
   only_for(seen.jitter, "jitter", has_matrix);
   only_for(seen.override_known, "override_known", has_matrix);
   only_for(seen.message, "message", k == RequestKind::kExplain);
@@ -46,6 +47,10 @@ bool check_kind_rules(const ServeRequest& req, const Seen& seen, std::size_t lin
   only_for(seen.population, "population", k == RequestKind::kOptimize);
   only_for(seen.target_jitter, "target_jitter", k == RequestKind::kOptimize);
   only_for(seen.dump, "dump", k == RequestKind::kTelemetry);
+  only_for(seen.fault_ppm, "fault_ppm", k == RequestKind::kProb);
+  only_for(seen.stuff_ppm, "stuff_ppm", k == RequestKind::kProb);
+  only_for(seen.jitter_ppm, "jitter_ppm", k == RequestKind::kProb);
+  only_for(seen.max_rungs, "max_rungs", k == RequestKind::kProb);
 
   if (has_matrix && !seen.matrix) {
     diags.error(line_no, std::string("missing key \"matrix_csv\" for ") + name + " request");
@@ -67,6 +72,7 @@ const char* to_string(RequestKind kind) {
     case RequestKind::kOptimize: return "optimize";
     case RequestKind::kHealth: return "health";
     case RequestKind::kTelemetry: return "telemetry";
+    case RequestKind::kProb: return "prob";
     case RequestKind::kAnalyze: break;
   }
   return "analyze";
@@ -79,6 +85,7 @@ bool request_kind_from_string(const std::string& text, RequestKind& out) {
   else if (text == "optimize") out = RequestKind::kOptimize;
   else if (text == "health") out = RequestKind::kHealth;
   else if (text == "telemetry") out = RequestKind::kTelemetry;
+  else if (text == "prob") out = RequestKind::kProb;
   else return false;
   return true;
 }
@@ -134,7 +141,7 @@ std::optional<ServeRequest> request_from_jsonl(const std::string& line, std::siz
         if (!request_kind_from_string(text, req.kind)) {
           diags.error(line_no,
                       "unknown kind '" + text +
-                          "' (expected analyze|explain|validate|optimize|health|telemetry)");
+                          "' (expected analyze|prob|explain|validate|optimize|health|telemetry)");
           return std::nullopt;
         }
         seen.kind = true;
@@ -236,6 +243,29 @@ std::optional<ServeRequest> request_from_jsonl(const std::string& line, std::siz
         if (dup(seen.dump, "dump")) return std::nullopt;
         if (!jsonl::parse_bool(c, line_no, "dump", req.dump, diags)) return std::nullopt;
         seen.dump = true;
+      } else if (key == "fault_ppm" || key == "stuff_ppm" || key == "jitter_ppm") {
+        bool& was = key == "fault_ppm" ? seen.fault_ppm
+                    : key == "stuff_ppm" ? seen.stuff_ppm
+                                         : seen.jitter_ppm;
+        if (dup(was, key.c_str())) return std::nullopt;
+        std::int64_t v = 0;
+        if (!jsonl::parse_i64(c, line_no, key.c_str(), v, diags)) return std::nullopt;
+        if (v < 0 || v > 1'000'000) {
+          diags.error(line_no, key + " must lie in [0, 1000000]");
+          return std::nullopt;
+        }
+        (key == "fault_ppm" ? req.fault_ppm
+         : key == "stuff_ppm" ? req.stuff_ppm
+                              : req.jitter_ppm) = v;
+        was = true;
+      } else if (key == "max_rungs") {
+        if (dup(seen.max_rungs, "max_rungs")) return std::nullopt;
+        if (!jsonl::parse_i64(c, line_no, "max_rungs", req.max_rungs, diags)) return std::nullopt;
+        if (req.max_rungs < 1 || req.max_rungs > 4096) {
+          diags.error(line_no, "max_rungs must lie in [1, 4096]");
+          return std::nullopt;
+        }
+        seen.max_rungs = true;
       } else {
         diags.warning(line_no, "unknown key \"" + key + "\" ignored");
         if (!jsonl::skip_scalar(c, line_no, diags)) return std::nullopt;
@@ -292,6 +322,10 @@ std::string request_to_jsonl(const ServeRequest& req) {
   if (req.generations != 25) out += ",\"generations\":" + std::to_string(req.generations);
   if (req.population != 32) out += ",\"population\":" + std::to_string(req.population);
   if (req.target_jitter != 0.25) out += ",\"target_jitter\":" + json_number(req.target_jitter);
+  if (req.fault_ppm != 1'000'000) out += ",\"fault_ppm\":" + std::to_string(req.fault_ppm);
+  if (req.stuff_ppm != 1'000'000) out += ",\"stuff_ppm\":" + std::to_string(req.stuff_ppm);
+  if (req.jitter_ppm != 1'000'000) out += ",\"jitter_ppm\":" + std::to_string(req.jitter_ppm);
+  if (req.max_rungs != 96) out += ",\"max_rungs\":" + std::to_string(req.max_rungs);
   if (req.dump) out += ",\"dump\":true";
   out += "}";
   return out;

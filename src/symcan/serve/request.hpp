@@ -3,9 +3,9 @@
 // The `symcan serve` wire grammar: one flat JSON object per line in,
 // one JSON object per line out.
 //
-// Requests name one of the CLI's analysis questions (analyze / explain /
-// validate / optimize) plus `health`, and carry the K-Matrix inline as
-// CSV text — the service is long-lived and must not trust client paths.
+// Requests name one of the CLI's analysis questions (analyze / prob /
+// explain / validate / optimize) plus `health`, and carry the K-Matrix
+// inline as CSV text — the service is long-lived and must not trust client paths.
 // Parsing rides the util::Diagnostics contract exactly like the file
 // loaders: a malformed request yields line-numbered typed diagnostics
 // and a structured `invalid` response, never a dropped connection, and
@@ -37,10 +37,11 @@ enum class RequestKind : std::uint8_t {
   kOptimize,
   kHealth,
   kTelemetry,
+  kProb,  ///< Appended last so existing kind indices stay stable.
 };
 
 /// Wire spelling: "analyze", "explain", "validate", "optimize", "health",
-/// "telemetry".
+/// "telemetry", "prob".
 const char* to_string(RequestKind kind);
 bool request_kind_from_string(const std::string& text, RequestKind& out);
 
@@ -74,6 +75,15 @@ struct ServeRequest {
   int generations = 25;        ///< optimize
   int population = 32;         ///< optimize
   double target_jitter = 0.25; ///< optimize
+
+  // prob only: deadline-miss probability knobs, carried as exact
+  // parts-per-million integers (the same convention as the CLI flags and
+  // the cache keys). The degenerate defaults make a bare prob request
+  // agree with analyze bit for bit on the verdicts.
+  std::int64_t fault_ppm = 1'000'000;
+  std::int64_t stuff_ppm = 1'000'000;
+  std::int64_t jitter_ppm = 1'000'000;
+  std::int64_t max_rungs = 96;
 
   /// telemetry only: also flush the flight recorder to its dump path.
   bool dump = false;

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <stdexcept>
+#include <vector>
 
 namespace symcan {
 namespace {
@@ -131,6 +133,85 @@ TEST_P(ErrorMonotonicity, OverheadMonotoneInRetxFrame) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllModels, ErrorMonotonicity, ::testing::Range(0, 5));
+
+TEST(FixedFaults, ConstantCountForAnyPositiveWindow) {
+  FixedFaults e{3};
+  EXPECT_EQ(e.max_faults(Duration::zero()), 0);
+  EXPECT_EQ(e.max_faults(Duration::ns(1)), 3);
+  EXPECT_EQ(e.max_faults(Duration::s(100)), 3);
+  EXPECT_EQ(e.faults(), 3);
+}
+
+TEST(FixedFaults, ZeroFaultsBehavesLikeNoErrors) {
+  FixedFaults e{0};
+  NoErrors none;
+  for (const Duration w : {Duration::ms(1), Duration::ms(40), Duration::s(1)})
+    EXPECT_EQ(e.overhead(w, Duration::us(270), timing), none.overhead(w, Duration::us(270), timing));
+}
+
+TEST(FixedFaults, RejectsNegativeCount) {
+  EXPECT_THROW(FixedFaults{-1}, std::invalid_argument);
+}
+
+TEST(FixedFaults, NameMentionsCount) {
+  EXPECT_NE(FixedFaults{7}.name().find("7"), std::string::npos);
+}
+
+TEST(FixedFaults, ClonePreservesCount) {
+  FixedFaults e{5};
+  auto c = e.clone();
+  EXPECT_EQ(c->max_faults(Duration::ms(1)), 5);
+  EXPECT_EQ(c->fingerprint(), e.fingerprint());
+}
+
+/// Satellite audit: the incremental-RTA cache folds fingerprint() into
+/// its per-message key, so two models whose overhead curves differ MUST
+/// have different fingerprints — a collision would serve one model's
+/// cached bound as the other's. The default fingerprint hashes name()
+/// only, which silently collides for any model with parameters that
+/// change overhead() but not name() (BurstErrors' intra_burst_gap is
+/// exactly such a parameter); this grid locks every concrete model into
+/// an explicit parameter-hashing override.
+TEST(ErrorModelFingerprint, DifferentOverheadCurvesImplyDifferentFingerprints) {
+  std::vector<std::unique_ptr<ErrorModel>> models;
+  models.push_back(std::make_unique<NoErrors>());
+  for (const std::int64_t gap_ms : {1, 7, 10, 25, 40})
+    for (const std::int64_t initial : {0, 1, 3})
+      models.push_back(std::make_unique<SporadicErrors>(Duration::ms(gap_ms), initial));
+  for (const std::int64_t gap_ms : {1, 10, 25})
+    for (const std::int64_t burst : {1, 2, 4})
+      for (const std::int64_t intra_us : {0, 500, 700})
+        models.push_back(std::make_unique<BurstErrors>(Duration::ms(gap_ms), burst,
+                                                       Duration::us(intra_us)));
+  for (const std::int64_t k : {0, 1, 2, 5, 96})
+    models.push_back(std::make_unique<FixedFaults>(k));
+
+  // An overhead curve sampled densely enough to distinguish every pair
+  // in the grid (windows straddle the gap/burst boundaries above).
+  const auto curve = [&](const ErrorModel& m) {
+    std::vector<Duration> samples;
+    for (const Duration w :
+         {Duration::zero(), Duration::us(400), Duration::ms(1), Duration::us(1'600),
+          Duration::ms(5), Duration::ms(9), Duration::ms(15), Duration::ms(24),
+          Duration::ms(60), Duration::ms(150), Duration::s(1)}) {
+      samples.push_back(m.overhead(w, Duration::us(270), timing));
+      samples.push_back(Duration::ns(m.max_faults(w)));
+    }
+    return samples;
+  };
+
+  std::vector<std::vector<Duration>> curves;
+  curves.reserve(models.size());
+  for (const auto& m : models) curves.push_back(curve(*m));
+  for (std::size_t a = 0; a < models.size(); ++a) {
+    for (std::size_t b = a + 1; b < models.size(); ++b) {
+      if (curves[a] != curves[b]) {
+        EXPECT_NE(models[a]->fingerprint(), models[b]->fingerprint())
+            << models[a]->name() << " vs " << models[b]->name();
+      }
+    }
+  }
+}
 
 TEST(ErrorModelSaturation, SporadicFaultCountSaturatesNearInfinity) {
   // A hostile window (near Duration::infinite()) with a tiny inter-error

@@ -220,6 +220,54 @@ TEST_F(CliTest, ServeValidatesItsKnobsBeforeReadingRequests) {
   }
 }
 
+TEST_F(CliTest, ServeRejectsDegenerateSloObjective) {
+  // Regression: objective 1.0 used to reach the SLO trackers, where the
+  // zero error allowance turned burn rates into inf/nan in health JSON.
+  // Now the whole closed boundary exits 2 before any request is read.
+  for (const std::string objective : {"1.0", "0.0", "-0.25", "1.5", "nope"}) {
+    std::istringstream in{"{\"id\":\"x\",\"kind\":\"health\"}\n"};
+    out_.str("");
+    err_.str("");
+    EXPECT_EQ(run_cli({"serve", "--stdio", "--slo-objective", objective}, in, out_, err_), 2)
+        << objective;
+    EXPECT_EQ(out_.str(), "") << objective;
+    EXPECT_FALSE(err_.str().empty()) << objective;
+  }
+  std::istringstream in{"{\"id\":\"ok\",\"kind\":\"health\"}\n"};
+  out_.str("");
+  err_.str("");
+  // 0.5 is exactly representable, so the JSON spelling is stable.
+  EXPECT_EQ(run_cli({"serve", "--stdio", "--slo-objective", "0.5"}, in, out_, err_), 0);
+  EXPECT_NE(out_.str().find("\"objective\":0.5"), std::string::npos);
+}
+
+TEST_F(CliTest, AnalyzeProbDefaultsMatchDeterministicVerdicts) {
+  // Degenerate ppm defaults: the probabilistic table must agree with the
+  // deterministic one on the verdict count and exit code.
+  EXPECT_EQ(run({"analyze", path_, "--prob"}), 0);
+  const std::string text = out_.str();
+  EXPECT_NE(text.find("miss ppm"), std::string::npos);
+  EXPECT_NE(text.find("at-risk: 0/"), std::string::npos);
+}
+
+TEST_F(CliTest, AnalyzeProbValidatesPpmRange) {
+  EXPECT_EQ(run({"analyze", path_, "--prob", "--fault-ppm", "1000001"}), 2);
+  EXPECT_EQ(run({"analyze", path_, "--prob", "--fault-ppm", "-1"}), 2);
+  EXPECT_EQ(run({"analyze", path_, "--prob", "--max-rungs", "0"}), 2);
+}
+
+TEST_F(CliTest, SweepProbEmitsCsvSeries) {
+  EXPECT_EQ(run({"sweep", path_, "--prob", "--points", "3", "--from-ppm", "1000000", "--to-ppm",
+                 "100"}),
+            0);
+  const std::string text = out_.str();
+  EXPECT_NE(text.find("fault_ppm,at_risk_fraction,worst_miss_ppm"), std::string::npos);
+  int lines = 0;
+  for (char c : text)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 4);  // header + 3 points
+}
+
 TEST_F(CliTest, ServeStdioAnswersRequestsAndExitsAtEof) {
   std::istringstream in{"{\"id\":\"h1\",\"kind\":\"health\"}\n"};
   EXPECT_EQ(run_cli({"serve", "--stdio", "--serve-shards", "4"}, in, out_, err_), 0);

@@ -68,6 +68,21 @@ TEST(FuzzCorpus, ColumnarHoldsOnCsvCorpus) {
     ASSERT_NO_THROW(check_columnar_pack(read_file(f.string()))) << f;
 }
 
+TEST(FuzzCorpus, ProbCorpusVerbatim) {
+  const auto files = corpus_files("prob");
+  ASSERT_FALSE(files.empty());
+  for (const auto& f : files)
+    ASSERT_NO_THROW(check_prob_rta(read_file(f.string()))) << f;
+}
+
+// The shared CSV corpus is also valid probabilistic input — the
+// degenerate gate and monotone tails must hold on every accepted matrix
+// anywhere in the corpus.
+TEST(FuzzCorpus, ProbHoldsOnCsvCorpus) {
+  for (const auto& f : corpus_files("csv"))
+    ASSERT_NO_THROW(check_prob_rta(read_file(f.string()))) << f;
+}
+
 TEST(FuzzCorpus, ArgvCorpusVerbatim) {
   const auto files = corpus_files("argv");
   ASSERT_FALSE(files.empty());
@@ -114,6 +129,16 @@ TEST(FuzzCorpus, ColumnarMutationStorm) {
     const std::string seed_text = read_file(f.string());
     for (std::uint64_t seed = 1; seed <= kMutationsPerSeed; ++seed)
       ASSERT_NO_THROW(check_columnar_pack(mutate_csv(seed_text, seed)))
+          << f << " seed " << seed << "\n--- mutated input ---\n"
+          << mutate_csv(seed_text, seed);
+  }
+}
+
+TEST(FuzzCorpus, ProbMutationStorm) {
+  for (const auto& f : corpus_files("prob")) {
+    const std::string seed_text = read_file(f.string());
+    for (std::uint64_t seed = 1; seed <= kMutationsPerSeed; ++seed)
+      ASSERT_NO_THROW(check_prob_rta(mutate_csv(seed_text, seed)))
           << f << " seed " << seed << "\n--- mutated input ---\n"
           << mutate_csv(seed_text, seed);
   }

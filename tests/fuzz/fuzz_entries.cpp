@@ -1,11 +1,13 @@
 #include "fuzz_entries.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <optional>
 #include <sstream>
 
 #include "symcan/analysis/can_rta.hpp"
 #include "symcan/analysis/columnar.hpp"
+#include "symcan/analysis/prob_rta.hpp"
 #include "symcan/analysis/rta_context.hpp"
 #include "symcan/can/dbc_import.hpp"
 #include "symcan/can/kmatrix_io.hpp"
@@ -168,6 +170,91 @@ void check_columnar_pack(std::string_view data) {
   cfg.model_controller_queues = false;
   cfg.deadline_override = DeadlinePolicy::kMinReArrival;
   require_columnar_differential(*km, cfg);
+}
+
+void check_prob_rta(std::string_view data) {
+  if (data.size() > kMaxInputBytes) return;
+  const std::string text{data};
+  Diagnostics lenient{DiagnosticPolicy::kLenient};
+  const auto km = kmatrix_from_csv(text, lenient);
+  require_consistent(km, lenient);
+  if (!km) return;  // malformed input diagnosed — that's a pass
+  // Same harness bounds as require_bounded_rta, plus a short ladder so a
+  // hostile error model cannot make the rung count itself unbounded.
+  if (km->size() > 64) return;
+  for (const auto& m : km->messages())
+    if (m.period < Duration::us(100)) return;
+
+  ProbRtaConfig cfg;
+  cfg.rta.horizon = Duration::ms(10);
+  cfg.max_rungs = 16;
+
+  // Degenerate gate: the all-certain defaults reproduce the
+  // deterministic engine bit for bit, point mass at the WCRT included.
+  const ProbBusResult degenerate = analysis::analyze_prob(*km, cfg);
+  const BusResult det = CanRta{*km, cfg.rta}.analyze();
+  require(degenerate.messages.size() == det.messages.size(),
+          "probabilistic analysis dropped or invented messages");
+  for (std::size_t i = 0; i < det.messages.size(); ++i) {
+    const MessageResult& d = det.messages[i];
+    const MessageResult& p = degenerate.messages[i].det;
+    const std::string who = "message " + d.name + ": degenerate prob ";
+    require(p.wcrt == d.wcrt, who + "wcrt diverged from deterministic");
+    require(p.bcrt == d.bcrt, who + "bcrt diverged from deterministic");
+    require(p.deadline == d.deadline, who + "deadline diverged from deterministic");
+    require(p.blocking == d.blocking, who + "blocking diverged from deterministic");
+    require(p.busy_period == d.busy_period, who + "busy period diverged from deterministic");
+    require(p.instances == d.instances, who + "instance count diverged from deterministic");
+    require(p.fixedpoint_iterations == d.fixedpoint_iterations,
+            who + "iteration count diverged from deterministic");
+    require(p.schedulable == d.schedulable, who + "schedulability diverged from deterministic");
+    require(p.diverged == d.diverged, who + "divergence flag diverged from deterministic");
+    if (!d.diverged) {
+      require(degenerate.messages[i].response.degenerate(),
+              who + "distribution is not a point mass");
+      require(degenerate.messages[i].response.max_value() == d.wcrt,
+              who + "point mass is not at the WCRT");
+    }
+    require(degenerate.messages[i].miss_weight ==
+                (d.schedulable ? std::uint64_t{0} : analysis::Pmf::kOne),
+            who + "miss weight disagrees with the binary verdict");
+  }
+
+  // A fuzzed interior fault probability (FNV-1a over the input bytes) so
+  // the corpus explores the ppm range, not just the 0 / 10^6 rails.
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  const std::int64_t fuzzed_ppm = static_cast<std::int64_t>(h % 999'999) + 1;
+
+  // Tail monotonicity in fault probability, with the documented residue
+  // tolerance of ~8*(k+1)^2 ulps per k-rung ladder. The upper support
+  // point stays pinned at the deterministic WCRT throughout.
+  std::vector<std::int64_t> ppms = {0, fuzzed_ppm / 2, fuzzed_ppm, 1'000'000};
+  std::sort(ppms.begin(), ppms.end());
+  std::vector<std::uint64_t> prev(km->size(), 0);
+  for (const std::int64_t ppm : ppms) {
+    cfg.fault_ppm = ppm;
+    const ProbBusResult res = analysis::analyze_prob(*km, cfg);
+    for (std::size_t i = 0; i < res.messages.size(); ++i) {
+      const auto& m = res.messages[i];
+      std::uint64_t total = 0;
+      for (const auto& atom : m.response.atoms()) total += atom.weight;
+      require(total == analysis::Pmf::kOne,
+              "message " + m.det.name + ": mass leaked (sum != kOne)");
+      if (!m.det.diverged)
+        require(m.response.max_value() == m.det.wcrt,
+                "message " + m.det.name + ": upper support point moved off the WCRT");
+      const std::uint64_t k = m.rungs.size();
+      const std::uint64_t tol = 8 * (k + 1) * (k + 1);
+      require(m.miss_weight + tol >= prev[i],
+              "message " + m.det.name + ": miss weight not monotone in fault_ppm at " +
+                  std::to_string(ppm));
+      prev[i] = m.miss_weight;
+    }
+  }
 }
 
 std::vector<std::string> sanitize_argv(std::string_view data) {

@@ -77,6 +77,18 @@ void check_serve_request_input(std::string_view data);
 /// check so the fixed point stays harness-sized.
 void check_columnar_pack(std::string_view data);
 
+/// Feed one K-Matrix CSV document through kmatrix_from_csv, then hold an
+/// accepted matrix to the probabilistic-analysis contract: analyze_prob
+/// never throws on a valid matrix and bounded config, the degenerate
+/// (all-certain) mixture reproduces CanRta::analyze() bit-exactly, the
+/// distribution's upper support point is the deterministic WCRT, every
+/// weight vector sums to exactly Pmf::kOne, and the deadline-miss weight
+/// is monotone in the fault probability (up to the documented fixed-point
+/// residue tolerance). The fuzzed fault probability is derived from the
+/// input bytes so the corpus explores the interior of the ppm range, not
+/// just the rails. Same size/period bounds as the RTA check.
+void check_prob_rta(std::string_view data);
+
 /// The argv sanitisation used by check_cli_argv_input, exposed for tests.
 std::vector<std::string> sanitize_argv(std::string_view data);
 

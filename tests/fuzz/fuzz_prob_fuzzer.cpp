@@ -1,0 +1,19 @@
+// libFuzzer driver for the probabilistic-analysis contract: any CSV the
+// loader accepts must satisfy the degenerate differential gate (certain
+// mixture == deterministic engine), keep the deterministic WCRT as the
+// distribution's upper support point, conserve mass exactly, and keep
+// the miss weight monotone in the fault probability. Build with
+// -DSYMCAN_FUZZ=ON; seed from tests/fuzz/corpus/prob (the csv corpus
+// works too).
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "fuzz_entries.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  symcan::fuzz::check_prob_rta(
+      std::string_view{reinterpret_cast<const char*>(data), size});
+  return 0;
+}

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "symcan/obs/export.hpp"
@@ -77,11 +79,32 @@ TEST(Histogram, QuantileOrderingAcrossBuckets) {
   EXPECT_LE(p99, 80.0);
 }
 
-TEST(Histogram, QuantileOverflowReturnsObservedMax) {
+TEST(Histogram, QuantileOverflowReturnsLastFiniteBound) {
+  // All we know about an overflow sample is v > bounds.back(); the
+  // documented contract reports the last finite bucket edge, never the
+  // observed max (which may be +inf — see the regression below).
   Histogram h{{1.0}};
   h.observe(100.0);
   h.observe(200.0);
-  EXPECT_DOUBLE_EQ(h.quantile(0.99), 200.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 1.0);
+  EXPECT_DOUBLE_EQ(h.observed_max(), 200.0);  // The max itself stays exact.
+}
+
+TEST(Histogram, AllSamplesInOverflowKeepQuantilesFinite) {
+  // Regression: every sample lands in the +inf overflow bucket
+  // (including an actually-infinite sample). Quantiles must return the
+  // last finite bucket edge — not 0, not inf — so the JSON export and
+  // the Prometheus exposition stay consistent and finite.
+  Histogram h{{10.0, 20.0, 50.0}};
+  h.observe(1000.0);
+  h.observe(std::numeric_limits<double>::infinity());
+  for (const double q : {0.5, 0.95, 0.99, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_TRUE(std::isfinite(v)) << "q=" << q;
+    EXPECT_DOUBLE_EQ(v, 50.0) << "q=" << q;
+  }
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_EQ(h.bucket_count(3), 2);  // Both in the overflow bucket.
 }
 
 TEST(Histogram, EmptyQuantileIsZero) {

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -255,6 +257,35 @@ TEST(SloTrackerTest, RejectsDegenerateConfig) {
   bad_objective.target_ns = 100;
   bad_objective.objective = 1.0;
   EXPECT_THROW(SloTracker{bad_objective}, std::invalid_argument);
+}
+
+TEST(SloTrackerTest, RejectsEveryObjectiveOutsideOpenUnitInterval) {
+  // Regression: objective == 1.0 makes the error allowance (1 - objective)
+  // zero, turning burn_rate into miss_frac / 0 — inf/nan that poisons the
+  // telemetry and health JSON. The constructor must refuse the whole
+  // boundary, both rails included.
+  for (const double objective : {1.0, 0.0, -0.5, 1.5}) {
+    SloConfig cfg;
+    cfg.target_ns = 100;
+    cfg.objective = objective;
+    cfg.window = tiny_window();
+    EXPECT_THROW(SloTracker{cfg}, std::invalid_argument) << "objective=" << objective;
+  }
+}
+
+TEST(SloTrackerTest, BurnRateStaysFiniteUnderTotalMisses) {
+  // 100% misses against a tight objective: the largest burn rate the
+  // tracker can produce. It must be a finite number, never inf/nan.
+  SloConfig cfg;
+  cfg.target_ns = 100;
+  cfg.objective = 0.999;
+  cfg.window = tiny_window();
+  SloTracker slo{cfg};
+  for (int i = 0; i < 10; ++i) slo.record(1 * kSec, 10'000);
+  const SloStats s = slo.snapshot(1 * kSec);
+  EXPECT_TRUE(std::isfinite(s.burn_rate));
+  EXPECT_TRUE(std::isfinite(s.budget_used));
+  EXPECT_NEAR(s.burn_rate, 1000.0, 1e-6);
 }
 
 }  // namespace

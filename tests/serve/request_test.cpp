@@ -82,6 +82,17 @@ TEST(ServeRequestTest, RoundTripEveryKind) {
   optimize.target_jitter = 0.5;
   expect_round_trip(optimize);
 
+  ServeRequest prob;
+  prob.id = "p";
+  prob.kind = RequestKind::kProb;
+  prob.matrix_csv = "csv";
+  prob.preset = pipeline::AssumptionPreset::kWorstCase;
+  prob.fault_ppm = 250'000;
+  prob.stuff_ppm = 900'000;
+  prob.jitter_ppm = 0;
+  prob.max_rungs = 32;
+  expect_round_trip(prob);
+
   ServeRequest health;
   health.id = "h";
   health.kind = RequestKind::kHealth;
@@ -114,6 +125,36 @@ TEST(ServeRequestTest, TelemetryKindRules) {
   plain.id = "x";
   plain.kind = RequestKind::kTelemetry;
   EXPECT_EQ(request_to_jsonl(plain), R"({"id":"x","kind":"telemetry"})");
+}
+
+TEST(ServeRequestTest, ProbKindRules) {
+  // Minimal prob request: ppm knobs default to the degenerate certain
+  // values that reproduce the deterministic analysis.
+  const auto req = parse(R"({"id":"p","kind":"prob","matrix_csv":"c"})");
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->kind, RequestKind::kProb);
+  EXPECT_EQ(req->fault_ppm, 1'000'000);
+  EXPECT_EQ(req->stuff_ppm, 1'000'000);
+  EXPECT_EQ(req->jitter_ppm, 1'000'000);
+  EXPECT_EQ(req->max_rungs, 96);
+  // Default knobs stay off the wire.
+  ServeRequest minimal;
+  minimal.id = "p";
+  minimal.kind = RequestKind::kProb;
+  minimal.matrix_csv = "c";
+  EXPECT_EQ(request_to_jsonl(minimal), R"({"id":"p","kind":"prob","matrix_csv":"c"})");
+  // The ppm knobs belong to prob only.
+  EXPECT_FALSE(parse(R"({"id":"x","kind":"analyze","matrix_csv":"c","fault_ppm":5})"));
+  EXPECT_FALSE(parse(R"({"id":"x","kind":"validate","matrix_csv":"c","stuff_ppm":5})"));
+  EXPECT_FALSE(parse(R"({"id":"x","kind":"optimize","matrix_csv":"c","max_rungs":8})"));
+  // Range validation: ppm in [0, 1000000], max_rungs in [1, 4096].
+  EXPECT_FALSE(parse(R"({"id":"x","kind":"prob","matrix_csv":"c","fault_ppm":1000001})"));
+  EXPECT_FALSE(parse(R"({"id":"x","kind":"prob","matrix_csv":"c","jitter_ppm":-1})"));
+  EXPECT_FALSE(parse(R"({"id":"x","kind":"prob","matrix_csv":"c","max_rungs":0})"));
+  EXPECT_FALSE(parse(R"({"id":"x","kind":"prob","matrix_csv":"c","max_rungs":4097})"));
+  // Like every matrix-carrying kind, prob requires one and takes a preset.
+  EXPECT_FALSE(parse(R"({"id":"x","kind":"prob"})"));
+  EXPECT_TRUE(parse(R"({"id":"x","kind":"prob","matrix_csv":"c","preset":"worst-case"})"));
 }
 
 TEST(ServeRequestTest, DefaultsAreOmittedFromTheWire) {

@@ -1,0 +1,156 @@
+// Cross-validation of the probabilistic analysis against the simulator:
+// wherever the simulated processes are dominated by the analysis
+// assumptions, the empirical response-time distribution must be
+// stochastically dominated by the analytic one — empirical miss
+// frequency never exceeds the analytic miss probability at matched
+// thresholds, and empirical quantiles never exceed analytic quantiles at
+// matched ranks. A failure means the convolution construction is
+// optimistic (unsound), not merely imprecise.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "symcan/analysis/prob_rta.hpp"
+#include "symcan/sim/simulator.hpp"
+#include "symcan/workload/powertrain.hpp"
+
+namespace symcan {
+namespace {
+
+KMatrix workload(std::uint64_t seed) {
+  PowertrainConfig wl;
+  wl.seed = seed;
+  wl.message_count = 24;
+  wl.ecu_count = 4;
+  wl.target_utilization = 0.55;
+  return generate_powertrain(wl);
+}
+
+/// Analysis assumptions that dominate every simulated process below:
+/// worst-case stuffing vs sampled stuffing, full jitter vs sampled
+/// jitter, sporadic errors at the same minimum gap the injector honours.
+CanRtaConfig dominating_rta() {
+  CanRtaConfig rta;
+  rta.worst_case_stuffing = true;
+  rta.deadline_override = DeadlinePolicy::kPeriod;
+  rta.errors = std::make_shared<SporadicErrors>(Duration::ms(40));
+  return rta;
+}
+
+/// Fraction of recorded responses strictly above `t`, as a probability.
+double empirical_ccdf(const MessageStats& m, Duration t) {
+  if (m.responses.empty()) return 0.0;
+  std::size_t above = 0;
+  for (const Duration r : m.responses)
+    if (r > t) ++above;
+  return static_cast<double>(above) / static_cast<double>(m.responses.size());
+}
+
+TEST(ProbCrossValidation, FaultFreeSimStaysUnderTheZeroFaultRung) {
+  // A fault-free run can never exceed the k = 0 conditional bound, which
+  // is the analytic distribution's minimum support point when the luck
+  // deltas are off (stuff/jitter ppm at the certain defaults).
+  for (const std::uint64_t seed : {3u, 29u}) {
+    const KMatrix km = workload(seed);
+    ProbRtaConfig cfg;
+    cfg.rta = dominating_rta();
+    cfg.fault_ppm = 200'000;  // Non-degenerate mixture over the ladder.
+    const ProbBusResult prob = analyze_prob(km, cfg);
+
+    SimConfig sim;
+    sim.duration = Duration::s(10);
+    sim.seed = seed * 1000 + 17;
+    sim.stuffing = StuffingMode::kRandom;
+    sim.randomize_jitter = true;
+    sim.errors = SimErrorProcess::none();
+    sim.record_percentiles = true;
+    const SimResult observed = simulate(km, sim);
+
+    for (std::size_t i = 0; i < km.size(); ++i) {
+      const auto& p = prob.messages[i];
+      const auto& o = observed.messages[i];
+      if (p.det.diverged || o.completions == 0) continue;
+      ASSERT_FALSE(p.rungs.empty());
+      EXPECT_LE(o.wcrt_observed, p.rungs.front())
+          << km.messages()[i].name << ": fault-free observation above the k=0 rung";
+      // Matched thresholds: at every analytic atom, the empirical tail
+      // must sit under the analytic (conservative) tail.
+      for (const auto& atom : p.response.atoms()) {
+        EXPECT_LE(empirical_ccdf(o, atom.value),
+                  Pmf::probability(p.response.mass_above(atom.value)) + 1e-12)
+            << km.messages()[i].name << " at " << to_string(atom.value);
+      }
+      // Matched ranks: empirical quantiles under analytic quantiles.
+      for (const double q : {0.5, 0.9, 0.99, 1.0}) {
+        const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(Pmf::kOne));
+        EXPECT_LE(o.percentile(q), p.response.quantile(std::min(rank, Pmf::kOne)))
+            << km.messages()[i].name << " at q=" << q;
+      }
+    }
+  }
+}
+
+TEST(ProbCrossValidation, FaultySimStaysUnderTheDegenerateDistribution) {
+  // With faults actually injected, the certain mixture (every ppm at
+  // 1'000'000) is the deterministic analysis: all simulated responses
+  // sit under the point mass at the WCRT, and the empirical miss
+  // frequency under the analytic miss probability.
+  const KMatrix km = workload(11);
+  ProbRtaConfig cfg;
+  cfg.rta = dominating_rta();
+  const ProbBusResult prob = analyze_prob(km, cfg);
+
+  SimConfig sim;
+  sim.duration = Duration::s(10);
+  sim.seed = 4242;
+  sim.stuffing = StuffingMode::kRandom;
+  sim.randomize_jitter = true;
+  sim.errors = SimErrorProcess::sporadic(Duration::ms(40));
+  sim.record_percentiles = true;
+  const SimResult observed = simulate(km, sim);
+
+  for (std::size_t i = 0; i < km.size(); ++i) {
+    const auto& p = prob.messages[i];
+    const auto& o = observed.messages[i];
+    if (p.det.diverged || o.completions == 0) continue;
+    EXPECT_TRUE(p.response.degenerate()) << km.messages()[i].name;
+    EXPECT_LE(o.wcrt_observed, p.response.max_value()) << km.messages()[i].name;
+    const double empirical_miss = empirical_ccdf(o, p.det.deadline);
+    EXPECT_LE(empirical_miss, p.miss_probability() + 1e-12) << km.messages()[i].name;
+  }
+}
+
+TEST(ProbCrossValidation, MissProbabilityBracketsTheFaultFreeLossRate) {
+  // End-to-end sanity on the verdict the CLI prints: for a bus the
+  // deterministic analysis declares schedulable, a dominated fault-free
+  // sim observes zero misses — consistent with the zero miss ppm the
+  // degenerate analysis reports.
+  const KMatrix km = workload(47);
+  ProbRtaConfig cfg;
+  cfg.rta = dominating_rta();
+  cfg.rta.errors = std::make_shared<NoErrors>();
+  const ProbBusResult prob = analyze_prob(km, cfg);
+
+  SimConfig sim;
+  sim.duration = Duration::s(5);
+  sim.seed = 9;
+  sim.stuffing = StuffingMode::kRandom;
+  sim.randomize_jitter = true;
+  sim.record_percentiles = true;
+  const SimResult observed = simulate(km, sim);
+
+  for (std::size_t i = 0; i < km.size(); ++i) {
+    const auto& p = prob.messages[i];
+    const auto& o = observed.messages[i];
+    if (p.det.diverged || !p.det.schedulable || o.completions == 0) continue;
+    EXPECT_EQ(p.miss_ppm(), 0) << km.messages()[i].name;
+    EXPECT_DOUBLE_EQ(empirical_ccdf(o, p.det.deadline), 0.0) << km.messages()[i].name;
+  }
+}
+
+}  // namespace
+}  // namespace symcan
